@@ -1,0 +1,139 @@
+// Ablation of Audit Join's design choices (DESIGN.md section 2):
+//  1. the tipping threshold — sweeping it from "never tip" (pure Wander
+//     Join behaviour with AJ's estimators) to "tip immediately" (exact
+//     evaluation per walk), reporting error, rejection rate and tipped
+//     fraction at a fixed time budget;
+//  2. the walk order — forward vs anchor-first vs per-query selected.
+//
+// Expected shape: error falls steeply once tipping starts converting
+// would-be rejections into exact partial counts, then flattens; extremely
+// large thresholds give exact answers but at a much lower walk rate.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/eval/metrics.h"
+#include "src/eval/runner.h"
+#include "src/explore/session.h"
+#include "src/join/ctj.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace kgoa {
+namespace {
+
+void ThresholdSweep(const bench::Dataset& ds, const ChainQuery& query,
+                    const GroupedResult& exact, double seconds) {
+  std::printf("\n--- tipping threshold sweep (%s, %zu groups) ---\n",
+              ds.name.c_str(), exact.counts.size());
+  for (bool adaptive : {false, true}) {
+    TextTable table({"threshold", "MAE", "reject", "tipped", "walks"});
+    for (double threshold :
+         {0.0, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 1e18}) {
+      OlaRunOptions options;
+      options.algo = OlaAlgo::kAudit;
+      options.duration_seconds = seconds;
+      options.checkpoints = 1;
+      options.tipping_threshold = threshold;
+      options.enable_tipping = threshold > 0;
+      options.adaptive_tipping = adaptive;
+      const OlaRunResult run = RunOla(*ds.indexes, query, exact, options);
+      const double tipped_fraction =
+          run.walks == 0 ? 0
+                         : static_cast<double>(run.tipped) /
+                               static_cast<double>(run.walks);
+      table.AddRow({threshold > 1e17 ? "inf" : TextTable::Fmt(threshold, 0),
+                    TextTable::FmtPercent(run.final_mae),
+                    TextTable::FmtPercent(run.rejection_rate),
+                    TextTable::FmtPercent(tipped_fraction),
+                    std::to_string(run.walks)});
+    }
+    std::printf("%s tipping:\n%s", adaptive ? "adaptive" : "static (paper)",
+                table.ToString().c_str());
+  }
+}
+
+void WalkOrderAblation(const bench::Dataset& ds, const ChainQuery& query,
+                       const GroupedResult& exact, double seconds) {
+  std::printf("\n--- walk-order ablation (%s) ---\n", ds.name.c_str());
+  TextTable table({"algo", "order", "MAE", "reject"});
+  for (OlaAlgo algo : {OlaAlgo::kWander, OlaAlgo::kAudit}) {
+    struct Candidate {
+      const char* label;
+      std::vector<int> order;
+    };
+    std::vector<Candidate> candidates;
+    std::vector<int> forward;
+    for (int i = 0; i < query.NumPatterns(); ++i) forward.push_back(i);
+    candidates.push_back({"forward", forward});
+    candidates.push_back({"anchor-first", DefaultAuditOrder(query)});
+    candidates.push_back(
+        {"selected", SelectBestWalkOrder(*ds.indexes, query, exact, algo,
+                                         seconds / 8, 3)});
+    for (const Candidate& candidate : candidates) {
+      OlaRunOptions options;
+      options.algo = algo;
+      options.duration_seconds = seconds;
+      options.checkpoints = 1;
+      options.walk_order = candidate.order;
+      const OlaRunResult run = RunOla(*ds.indexes, query, exact, options);
+      table.AddRow({OlaAlgoName(algo), candidate.label,
+                    TextTable::FmtPercent(run.final_mae),
+                    TextTable::FmtPercent(run.rejection_rate)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace kgoa
+
+int main(int argc, char** argv) {
+  kgoa::Flags flags(argc, argv);
+  flags.RestrictTo("scale,seconds");
+  const double scale = flags.GetDouble("scale", 0.2);
+  const double seconds = flags.GetDouble("seconds", 0.6);
+
+  std::printf("=== Ablations: tipping threshold and walk order ===\n\n");
+  kgoa::bench::Dataset ds =
+      kgoa::bench::BuildDataset(kgoa::DbpediaLikeSpec(scale));
+
+  // Query: object expansion after drilling in (deep enough to reject).
+  kgoa::ExplorationSession session(ds.graph);
+  kgoa::CtjEngine engine(*ds.indexes);
+  const kgoa::GroupedResult top =
+      engine.Evaluate(session.BuildQuery(kgoa::ExpansionKind::kSubclass));
+  kgoa::TermId best = kgoa::kInvalidTerm;
+  uint64_t best_count = 0;
+  for (const auto& [group, count] : top.counts) {
+    if (count > best_count) {
+      best = group;
+      best_count = count;
+    }
+  }
+  session.ExpandAndSelect(kgoa::ExpansionKind::kSubclass, best);
+
+  // Drill further: click the largest non-type out-property, then classify
+  // the objects (a 3-pattern chain where walks can die at the last step —
+  // the regime where tipping matters).
+  const kgoa::GroupedResult props =
+      engine.Evaluate(session.BuildQuery(kgoa::ExpansionKind::kOutProperty));
+  kgoa::TermId best_prop = kgoa::kInvalidTerm;
+  uint64_t best_prop_count = 0;
+  for (const auto& [group, count] : props.counts) {
+    if (group == ds.graph.rdf_type() || group == ds.graph.subclass_of()) {
+      continue;
+    }
+    if (count > best_prop_count) {
+      best_prop = group;
+      best_prop_count = count;
+    }
+  }
+  session.ExpandAndSelect(kgoa::ExpansionKind::kOutProperty, best_prop);
+  const kgoa::ChainQuery query =
+      session.BuildQuery(kgoa::ExpansionKind::kObject);
+  const kgoa::GroupedResult exact = engine.Evaluate(query);
+
+  kgoa::ThresholdSweep(ds, query, exact, seconds);
+  kgoa::WalkOrderAblation(ds, query, exact, seconds);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared setup for the figure/table reproduction benches: dataset
+// construction at a configurable scale, timing helpers, and common
+// formatting. Every bench binary accepts:
+//   --scale=<f>    multiplier on dataset size (default per bench)
+//   --seconds=<f>  online-aggregation budget per query
+//   --paths=<n>    exploration paths per graph for workload benches
+// and runs with sensible defaults when given no arguments.
+#ifndef KGOA_BENCH_BENCH_COMMON_H_
+#define KGOA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/gen/kg_gen.h"
+#include "src/index/index_set.h"
+#include "src/rdf/graph.h"
+#include "src/util/stopwatch.h"
+
+namespace kgoa::bench {
+
+struct Dataset {
+  std::string name;
+  Graph graph;
+  std::unique_ptr<IndexSet> indexes;
+  double generate_seconds = 0;
+  double index_seconds = 0;
+};
+
+inline Dataset BuildDataset(const KgSpec& spec) {
+  Dataset ds;
+  ds.name = spec.name;
+  Stopwatch clock;
+  ds.graph = GenerateKg(spec);
+  ds.generate_seconds = clock.ElapsedSeconds();
+  clock.Restart();
+  ds.indexes = std::make_unique<IndexSet>(ds.graph);
+  ds.index_seconds = clock.ElapsedSeconds();
+  std::printf("[setup] %s: %zu triples (generated in %.1fs, indexed in %.1fs)\n",
+              ds.name.c_str(), ds.graph.NumTriples(), ds.generate_seconds,
+              ds.index_seconds);
+  std::fflush(stdout);
+  return ds;
+}
+
+}  // namespace kgoa::bench
+
+#endif  // KGOA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,117 @@
+// Triangle counting with the cyclic-query extension (the paper's named
+// future-work direction): exact counting via the generic worst-case
+// optimal LFTJ versus online estimates from the cyclic Wander Join and
+// cyclic Audit Join.
+//
+// The graph is a skewed synthetic follower network (Zipf in/out degrees),
+// where triangle counting is the standard WCOJ stress test. Expected
+// shape: LFTJ needs a full pass; the walk engines give single-digit
+// percent error in a fraction of that time, and tipping improves the
+// rejection rate like in the acyclic case.
+#include <cstdio>
+
+#include "src/cyclic/cyclic.h"
+#include "src/index/index_set.h"
+#include "src/join/leapfrog.h"
+#include "src/rdf/graph.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+#include "src/util/stopwatch.h"
+#include "src/util/table.h"
+#include "src/util/zipf.h"
+
+namespace kgoa {
+namespace {
+
+Graph FollowerNetwork(uint64_t nodes, uint64_t edges, uint64_t seed) {
+  GraphBuilder b;
+  const TermId follows = b.Intern("follows");
+  std::vector<TermId> ids;
+  ids.reserve(nodes);
+  for (uint64_t i = 0; i < nodes; ++i) {
+    ids.push_back(b.Intern("user" + std::to_string(i)));
+  }
+  Rng rng(seed);
+  ZipfSampler popularity(nodes, 0.8);
+  for (uint64_t i = 0; i < edges; ++i) {
+    const TermId src = ids[popularity.Sample(rng)];
+    const TermId dst = ids[popularity.Sample(rng)];
+    if (src != dst) b.Add(src, follows, dst);
+  }
+  (void)follows;
+  return std::move(b).Build();
+}
+
+}  // namespace
+}  // namespace kgoa
+
+int main(int argc, char** argv) {
+  kgoa::Flags flags(argc, argv);
+  flags.RestrictTo("nodes,edges,seconds");
+  const auto nodes = static_cast<uint64_t>(flags.GetInt("nodes", 30000));
+  const auto edges = static_cast<uint64_t>(flags.GetInt("edges", 400000));
+  const double seconds = flags.GetDouble("seconds", 0.5);
+
+  std::printf("=== Cyclic extension: triangle counting ===\n\n");
+  kgoa::Graph graph = kgoa::FollowerNetwork(nodes, edges, 7);
+  kgoa::IndexSet indexes(graph);
+  std::printf("follower network: %zu edges over %llu users\n",
+              graph.NumTriples(), static_cast<unsigned long long>(nodes));
+
+  const kgoa::TermId follows = graph.dict().Lookup("follows");
+  auto var = [](kgoa::VarId v) { return kgoa::Slot::MakeVar(v); };
+  auto cst = [](kgoa::TermId t) { return kgoa::Slot::MakeConst(t); };
+  const std::vector<kgoa::TriplePattern> triangle = {
+      kgoa::MakePattern(var(0), cst(follows), var(1)),
+      kgoa::MakePattern(var(1), cst(follows), var(2)),
+      kgoa::MakePattern(var(2), cst(follows), var(0))};
+
+  // Exact count via the worst-case optimal join.
+  kgoa::Stopwatch clock;
+  kgoa::LeapfrogJoin join(indexes, triangle);
+  const uint64_t exact = join.Count();
+  const double exact_seconds = clock.ElapsedSeconds();
+  std::printf("exact (LFTJ): %llu directed triangles in %.2f s\n\n",
+              static_cast<unsigned long long>(exact), exact_seconds);
+
+  auto query = kgoa::CyclicQuery::Create(triangle, 0);
+  if (!query.has_value() || exact == 0) {
+    std::printf("(no triangles; nothing to estimate)\n");
+    return 0;
+  }
+
+  kgoa::TextTable table({"engine", "time (s)", "estimate", "error",
+                         "reject"});
+  auto report = [&](const char* name, double estimate, double reject,
+                    double elapsed) {
+    table.AddRow({name, kgoa::TextTable::Fmt(elapsed, 2),
+                  kgoa::TextTable::Fmt(estimate, 0),
+                  kgoa::TextTable::FmtPercent(
+                      std::abs(estimate - static_cast<double>(exact)) /
+                      static_cast<double>(exact)),
+                  kgoa::TextTable::FmtPercent(reject)});
+  };
+
+  {
+    kgoa::CyclicWanderJoin wander(indexes, *query);
+    clock.Restart();
+    while (clock.ElapsedSeconds() < seconds) wander.RunWalks(512);
+    double total = 0;
+    for (const auto& [g, e] : wander.estimates().Estimates()) total += e;
+    report("cyclic Wander Join", total,
+           wander.estimates().RejectionRate(), clock.ElapsedSeconds());
+  }
+  {
+    kgoa::CyclicAuditJoin::Options options;
+    options.tipping_threshold = 64;
+    kgoa::CyclicAuditJoin audit(indexes, *query, options);
+    clock.Restart();
+    while (clock.ElapsedSeconds() < seconds) audit.RunWalks(512);
+    double total = 0;
+    for (const auto& [g, e] : audit.estimates().Estimates()) total += e;
+    report("cyclic Audit Join", total, audit.estimates().RejectionRate(),
+           clock.ElapsedSeconds());
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Reproduces Figure 8: for a selection of exploration queries on each
+// graph (three per dataset, mirroring the paper's picks), prints the
+// runtimes of the exact engines (the Virtuoso stand-in and CTJ) and the
+// mean absolute error / 0.95 confidence interval of Wander Join and Audit
+// Join at each checkpoint.
+//
+// Paper shapes to expect: the baseline is the slowest by a wide margin and
+// degrades on the larger graph; CTJ is much faster but still not
+// interactive on root expansions; AJ reaches low error in the first
+// checkpoint while WJ's error stays high (often orders of magnitude
+// apart), especially on the root out-property expansion whose thousands of
+// groups each have near-1 selectivity.
+#include <cstdio>
+#include <optional>
+
+#include "bench/bench_common.h"
+#include "src/eval/metrics.h"
+#include "src/eval/runner.h"
+#include "src/explore/session.h"
+#include "src/join/baseline.h"
+#include "src/join/ctj.h"
+#include "src/util/flags.h"
+#include "src/util/stopwatch.h"
+#include "src/util/table.h"
+
+namespace kgoa {
+namespace {
+
+struct SelectedQuery {
+  std::string label;
+  ChainQuery query;
+  GroupedResult exact;
+};
+
+// Largest bar, optionally skipping the given categories.
+TermId LargestGroup(const GroupedResult& result,
+                    const std::vector<TermId>& skip = {}) {
+  TermId best = kInvalidTerm;
+  uint64_t best_count = 0;
+  for (const auto& [group, count] : result.counts) {
+    bool skipped = false;
+    for (TermId s : skip) skipped = skipped || s == group;
+    if (!skipped && count > best_count) {
+      best = group;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+std::vector<SelectedQuery> SelectQueries(const Graph& graph,
+                                         const IndexSet& indexes) {
+  CtjEngine engine(indexes);
+  std::vector<SelectedQuery> out;
+
+  // (a/d) Out-property expansion of the root class Thing.
+  {
+    ExplorationSession session(graph);
+    ChainQuery q = session.BuildQuery(ExpansionKind::kOutProperty);
+    out.push_back({"out-property(Thing)", q, engine.Evaluate(q)});
+  }
+
+  // (b/e) Subclass expansion of the largest subclass of Thing.
+  {
+    ExplorationSession session(graph);
+    const GroupedResult top =
+        engine.Evaluate(session.BuildQuery(ExpansionKind::kSubclass));
+    const TermId cls = LargestGroup(top);
+    session.ExpandAndSelect(ExpansionKind::kSubclass, cls);
+    ChainQuery q = session.BuildQuery(ExpansionKind::kSubclass);
+    GroupedResult exact = engine.Evaluate(q);
+    if (exact.counts.empty()) {
+      // Degenerate taxonomy (no grandchildren): fall back to the
+      // out-property expansion of the class.
+      q = session.BuildQuery(ExpansionKind::kOutProperty);
+      exact = engine.Evaluate(q);
+    }
+    out.push_back({"subclass(" +
+                       std::string(graph.dict().Spell(cls)).substr(0, 40) +
+                       ")",
+                   q, std::move(exact)});
+  }
+
+  // (c/f) Object expansion after drilling into the top class and its top
+  // non-type property (the paper's musicalArtist-style query).
+  {
+    ExplorationSession session(graph);
+    const GroupedResult top =
+        engine.Evaluate(session.BuildQuery(ExpansionKind::kSubclass));
+    session.ExpandAndSelect(ExpansionKind::kSubclass, LargestGroup(top));
+    const GroupedResult props =
+        engine.Evaluate(session.BuildQuery(ExpansionKind::kOutProperty));
+    // Largest property whose object expansion is non-empty (literal-valued
+    // properties classify nothing).
+    std::vector<TermId> skip{graph.rdf_type(), graph.subclass_of()};
+    while (true) {
+      const TermId prop = LargestGroup(props, skip);
+      if (prop == kInvalidTerm) break;
+      ExplorationSession candidate = session;
+      candidate.ExpandAndSelect(ExpansionKind::kOutProperty, prop);
+      ChainQuery q = candidate.BuildQuery(ExpansionKind::kObject);
+      GroupedResult exact = engine.Evaluate(q);
+      if (!exact.counts.empty()) {
+        out.push_back(
+            {"object(" +
+                 std::string(graph.dict().Spell(prop)).substr(0, 40) + ")",
+             q, std::move(exact)});
+        break;
+      }
+      skip.push_back(prop);
+    }
+  }
+  return out;
+}
+
+void RunDataset(const KgSpec& spec, double seconds, int checkpoints) {
+  bench::Dataset ds = bench::BuildDataset(spec);
+  const auto queries = SelectQueries(ds.graph, *ds.indexes);
+
+  for (const SelectedQuery& sq : queries) {
+    std::printf("\n--- %s / %s (distinct; %zu groups) ---\n",
+                ds.name.c_str(), sq.label.c_str(), sq.exact.counts.size());
+
+    // Exact engines.
+    Stopwatch clock;
+    BaselineEngine::Options bopt;
+    bopt.max_rows = 400'000'000;
+    const auto base = BaselineEngine(*ds.indexes, bopt).Evaluate(sq.query);
+    const double baseline_seconds = clock.ElapsedSeconds();
+    clock.Restart();
+    const GroupedResult ctj = CtjEngine(*ds.indexes).Evaluate(sq.query);
+    const double ctj_seconds = clock.ElapsedSeconds();
+    if (!base.truncated && !(base.result == ctj)) {
+      std::printf("!! exact engines disagree\n");
+    }
+    std::printf("exact: Virtuoso-like %s s%s | CTJ %.3f s\n",
+                TextTable::Fmt(baseline_seconds, 3).c_str(),
+                base.truncated ? " (aborted at row cap)" : "",
+                ctj_seconds);
+
+    // Online aggregation: WJ (best candidate order) and AJ.
+    OlaRunOptions wj;
+    wj.algo = OlaAlgo::kWander;
+    wj.duration_seconds = seconds;
+    wj.checkpoints = checkpoints;
+    wj.walk_order = SelectBestWalkOrder(*ds.indexes, sq.query, sq.exact,
+                                        OlaAlgo::kWander,
+                                        seconds / (4.0 * checkpoints), 11);
+    const OlaRunResult wj_run = RunOla(*ds.indexes, sq.query, sq.exact, wj);
+
+    // AJ is "implemented on top of WJ" (section V-A): it gets the same
+    // per-query order selection.
+    OlaRunOptions aj = wj;
+    aj.algo = OlaAlgo::kAudit;
+    aj.walk_order = SelectBestWalkOrder(*ds.indexes, sq.query, sq.exact,
+                                        OlaAlgo::kAudit,
+                                        seconds / (4.0 * checkpoints), 11);
+    const OlaRunResult aj_run = RunOla(*ds.indexes, sq.query, sq.exact, aj);
+
+    TextTable table({"t (s)", "WJ MAE", "WJ CI", "AJ MAE", "AJ CI"});
+    for (int cp = 0; cp < checkpoints; ++cp) {
+      table.AddRow({TextTable::Fmt(wj_run.points[cp].seconds, 2),
+                    TextTable::FmtPercent(wj_run.points[cp].mae),
+                    TextTable::FmtPercent(wj_run.points[cp].mean_ci),
+                    TextTable::FmtPercent(aj_run.points[cp].mae),
+                    TextTable::FmtPercent(aj_run.points[cp].mean_ci)});
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf(
+        "rejection rate: WJ %s, AJ %s | walks: WJ %llu, AJ %llu (%llu "
+        "tipped)\n",
+        TextTable::FmtPercent(wj_run.rejection_rate).c_str(),
+        TextTable::FmtPercent(aj_run.rejection_rate).c_str(),
+        static_cast<unsigned long long>(wj_run.walks),
+        static_cast<unsigned long long>(aj_run.walks),
+        static_cast<unsigned long long>(aj_run.tipped));
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace kgoa
+
+int main(int argc, char** argv) {
+  kgoa::Flags flags(argc, argv);
+  flags.RestrictTo("scale,seconds,checkpoints");
+  const double scale = flags.GetDouble("scale", 0.5);
+  const double seconds = flags.GetDouble("seconds", 1.8);
+  const int checkpoints =
+      static_cast<int>(flags.GetInt("checkpoints", 9));
+
+  std::printf("=== Figure 8: selected exploration queries ===\n");
+  std::printf("(scale %.2f, %.1fs per algorithm per query, %d checkpoints; "
+              "paper: 9s runs, reported per second)\n\n",
+              scale, seconds, checkpoints);
+  kgoa::RunDataset(kgoa::DbpediaLikeSpec(scale), seconds, checkpoints);
+  kgoa::RunDataset(kgoa::LgdLikeSpec(scale), seconds, checkpoints);
+  return 0;
+}

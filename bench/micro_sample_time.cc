@@ -1,0 +1,133 @@
+// Micro-benchmarks for the claims of sections IV-D and V-C: per-walk
+// sample time of Wander Join and Audit Join (paper: ~2.5us average for
+// both), the amortized cost of the online Pr(a, b) computation (paper:
+// ~2.5us average thanks to caching), and the underlying index operations.
+#include <benchmark/benchmark.h>
+
+#include "src/core/audit.h"
+#include "src/core/reach.h"
+#include "src/explore/session.h"
+#include "src/gen/kg_gen.h"
+#include "src/index/index_set.h"
+#include "src/join/ctj.h"
+#include "src/ola/wander.h"
+#include "src/util/rng.h"
+
+namespace kgoa {
+namespace {
+
+// One mid-size graph shared by every benchmark in this binary.
+struct Fixture {
+  Fixture() : graph(GenerateKg(DbpediaLikeSpec(0.1))), indexes(graph) {
+    ExplorationSession session(graph);
+    // Root out-property expansion: the paper's marquee query.
+    root_out_property = std::make_unique<ChainQuery>(
+        session.BuildQuery(ExpansionKind::kOutProperty));
+  }
+  Graph graph;
+  IndexSet indexes;
+  std::unique_ptr<ChainQuery> root_out_property;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_WanderJoinWalk(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  WanderJoin wj(f.indexes, *f.root_out_property);
+  for (auto _ : state) {
+    wj.RunOneWalk();
+  }
+  state.counters["rejection_rate"] = wj.estimates().RejectionRate();
+}
+BENCHMARK(BM_WanderJoinWalk);
+
+void BM_AuditJoinWalk(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  AuditJoin::Options options;
+  options.tipping_threshold = static_cast<double>(state.range(0));
+  options.enable_tipping = state.range(0) > 0;
+  AuditJoin aj(f.indexes, *f.root_out_property, options);
+  for (auto _ : state) {
+    aj.RunOneWalk();
+  }
+  state.counters["tipped_fraction"] =
+      static_cast<double>(aj.tipped_walks()) /
+      static_cast<double>(aj.estimates().walks());
+}
+BENCHMARK(BM_AuditJoinWalk)->Arg(0)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ReachPrAbAmortized(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const WalkPlan plan = WalkPlan::Compile(*f.root_out_property);
+  ReachProbability reach(f.indexes, plan);
+  // Sample (a, b) pairs the walk actually produces.
+  const GroupedResult exact =
+      CtjEngine(f.indexes).Evaluate(*f.root_out_property);
+  std::vector<TermId> groups;
+  for (const auto& [group, count] : exact.counts) groups.push_back(group);
+  // b values: subjects of the graph.
+  Rng rng(1);
+  const auto& triples = f.graph.triples();
+  for (auto _ : state) {
+    const TermId a = groups[rng.Below(groups.size())];
+    const TermId b = triples[rng.Below(triples.size())].s;
+    benchmark::DoNotOptimize(reach.PrAB(a, b));
+  }
+  state.counters["cache_hit_rate"] =
+      static_cast<double>(reach.cache_hits()) /
+      static_cast<double>(reach.cache_hits() + reach.cache_misses());
+}
+BENCHMARK(BM_ReachPrAbAmortized);
+
+void BM_HashRangeResolve(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const TriplePattern pattern =
+      MakePattern(Slot::MakeVar(0), Slot::MakeVar(1), Slot::MakeVar(2));
+  // Access (?x ?p ?y) bound on ?x — the out-property walk step.
+  const PatternAccess access = PatternAccess::Compile(pattern, 0);
+  Rng rng(2);
+  const auto& triples = f.graph.triples();
+  for (auto _ : state) {
+    const TermId s = triples[rng.Below(triples.size())].s;
+    benchmark::DoNotOptimize(access.Resolve(f.indexes, s));
+  }
+}
+BENCHMARK(BM_HashRangeResolve);
+
+void BM_TrieNarrow(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const TrieIndex& spo = f.indexes.Index(IndexOrder::kSpo);
+  Rng rng(3);
+  const auto& triples = f.graph.triples();
+  for (auto _ : state) {
+    const TermId s = triples[rng.Below(triples.size())].s;
+    benchmark::DoNotOptimize(spo.Narrow(spo.Root(), 0, s));
+  }
+}
+BENCHMARK(BM_TrieNarrow);
+
+void BM_SuffixCountCached(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const TermId type = f.graph.rdf_type();
+  ChainSuffixCounter counter(
+      f.indexes,
+      {MakePattern(Slot::MakeVar(0), Slot::MakeVar(1), Slot::MakeVar(2)),
+       MakePattern(Slot::MakeVar(2), Slot::MakeConst(type),
+                   Slot::MakeVar(3))},
+      {0, 2});
+  Rng rng(4);
+  const auto& triples = f.graph.triples();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        counter.Count(0, triples[rng.Below(triples.size())].s));
+  }
+}
+BENCHMARK(BM_SuffixCountCached);
+
+}  // namespace
+}  // namespace kgoa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Three generations of online aggregation side by side: Ripple Join
+// (Haas & Hellerstein 1999), Wander Join (Li et al. 2016) and Audit Join
+// (the paper), on the Figure-8-style selected queries.
+//
+// Expected shape (section II): Wander Join converges far faster than
+// Ripple Join on selective joins (Ripple Join samples each relation
+// independently, so joining samples rarely produces matches), and Audit
+// Join beats both — this contextualizes the paper's choice of Wander Join
+// as the baseline to improve on.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/eval/metrics.h"
+#include "src/eval/runner.h"
+#include "src/explore/session.h"
+#include "src/join/ctj.h"
+#include "src/ola/ripple.h"
+#include "src/util/flags.h"
+#include "src/util/stopwatch.h"
+#include "src/util/table.h"
+
+namespace kgoa {
+namespace {
+
+double RippleMae(const IndexSet& indexes, const ChainQuery& query,
+                 const GroupedResult& exact, double seconds,
+                 double* coverage) {
+  RippleJoin ripple(indexes, query);
+  Stopwatch clock;
+  while (clock.ElapsedSeconds() < seconds && !ripple.exhausted()) {
+    ripple.RunRound();
+  }
+  *coverage = ripple.MinCoverage();
+  double sum = 0;
+  for (const auto& [group, count] : exact.counts) {
+    sum += std::abs(ripple.Estimate(group) - static_cast<double>(count)) /
+           static_cast<double>(count);
+  }
+  return exact.counts.empty() ? 0 : sum / exact.counts.size();
+}
+
+double OlaMae(const IndexSet& indexes, const ChainQuery& query,
+              const GroupedResult& exact, OlaAlgo algo, double seconds) {
+  OlaRunOptions options;
+  options.algo = algo;
+  options.duration_seconds = seconds;
+  options.checkpoints = 1;
+  if (algo == OlaAlgo::kWander) {
+    options.walk_order = SelectBestWalkOrder(indexes, query, exact, algo,
+                                             seconds / 6, 3);
+  }
+  return RunOla(indexes, query, exact, options).final_mae;
+}
+
+}  // namespace
+}  // namespace kgoa
+
+int main(int argc, char** argv) {
+  kgoa::Flags flags(argc, argv);
+  flags.RestrictTo("scale,seconds");
+  const double scale = flags.GetDouble("scale", 0.2);
+  const double seconds = flags.GetDouble("seconds", 0.5);
+
+  std::printf("=== Ripple Join vs Wander Join vs Audit Join ===\n");
+  std::printf("(scale %.2f, %.1fs per algorithm per query, distinct)\n\n",
+              scale, seconds);
+
+  kgoa::bench::Dataset ds =
+      kgoa::bench::BuildDataset(kgoa::DbpediaLikeSpec(scale));
+  kgoa::CtjEngine engine(*ds.indexes);
+
+  // Three queries of increasing depth along a drill-down session.
+  kgoa::ExplorationSession session(ds.graph);
+  std::vector<std::pair<std::string, kgoa::ChainQuery>> queries;
+  const kgoa::ExpansionKind trail[] = {kgoa::ExpansionKind::kSubclass,
+                                       kgoa::ExpansionKind::kOutProperty,
+                                       kgoa::ExpansionKind::kObject};
+  for (kgoa::ExpansionKind expansion : trail) {
+    if (!session.IsLegal(expansion)) break;
+    kgoa::ChainQuery q = session.BuildQuery(expansion);
+    const kgoa::GroupedResult exact = engine.Evaluate(q);
+    if (exact.counts.empty()) break;
+    queries.emplace_back(kgoa::ExpansionName(expansion), q);
+    kgoa::TermId pick = kgoa::kInvalidTerm;
+    uint64_t best = 0;
+    for (const auto& [group, count] : exact.counts) {
+      if (group == ds.graph.rdf_type() || group == ds.graph.subclass_of()) {
+        continue;
+      }
+      if (count > best) {
+        pick = group;
+        best = count;
+      }
+    }
+    if (pick == kgoa::kInvalidTerm) break;
+    session.ExpandAndSelect(expansion, pick);
+  }
+
+  for (bool distinct : {true, false}) {
+    std::printf("\n%s:\n", distinct ? "COUNT(DISTINCT beta)" : "COUNT(beta)");
+    kgoa::TextTable table({"query", "groups", "RJ MAE", "RJ coverage",
+                           "WJ MAE", "AJ MAE"});
+    for (const auto& [label, base_query] : queries) {
+      const kgoa::ChainQuery query = base_query.WithDistinct(distinct);
+      const kgoa::GroupedResult exact = engine.Evaluate(query);
+      double coverage = 0;
+      const double rj =
+          kgoa::RippleMae(*ds.indexes, query, exact, seconds, &coverage);
+      table.AddRow(
+          {label, std::to_string(exact.counts.size()),
+           kgoa::TextTable::FmtPercent(rj),
+           kgoa::TextTable::FmtPercent(coverage),
+           kgoa::TextTable::FmtPercent(kgoa::OlaMae(
+               *ds.indexes, query, exact, kgoa::OlaAlgo::kWander, seconds)),
+           kgoa::TextTable::FmtPercent(kgoa::OlaMae(
+               *ds.indexes, query, exact, kgoa::OlaAlgo::kAudit, seconds))});
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  std::printf(
+      "\nNote: at reproduction scale Ripple Join may exhaust a pattern's\n"
+      "extent within the budget (coverage 100%% = exact); on the paper's\n"
+      "billion-triple graphs its coverage would stay near zero, which is\n"
+      "why Wander Join superseded it for selective joins.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Shared driver for the all-queries experiments (Figures 9, 10 and 11):
+// generates the random exploration workload of a dataset, runs Wander Join
+// (with the paper's per-query order selection) and Audit Join on every
+// query, and renders per-step Tukey box statistics of the error over time.
+#ifndef KGOA_BENCH_WORKLOAD_COMMON_H_
+#define KGOA_BENCH_WORKLOAD_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/eval/runner.h"
+#include "src/gen/workload.h"
+#include "src/join/ctj.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace kgoa::bench {
+
+struct QueryRun {
+  int step = 1;
+  std::string description;
+  OlaRunResult wander;
+  OlaRunResult audit;
+};
+
+struct WorkloadExperimentOptions {
+  int paths = 25;
+  int max_steps = 4;
+  bool distinct = true;
+  double seconds = 1.0;
+  int checkpoints = 5;
+  uint64_t seed = 7;
+};
+
+inline std::vector<QueryRun> RunWorkloadExperiment(
+    const Dataset& ds, const WorkloadExperimentOptions& options) {
+  WorkloadOptions wl;
+  wl.num_paths = options.paths;
+  wl.max_steps = options.max_steps;
+  wl.seed = options.seed;
+  const auto workload = GenerateWorkload(ds.graph, *ds.indexes, wl);
+  std::printf("[setup] %s: %zu workload queries\n", ds.name.c_str(),
+              workload.size());
+  std::fflush(stdout);
+
+  CtjEngine engine(*ds.indexes);
+  std::vector<QueryRun> runs;
+  for (const auto& eq : workload) {
+    const ChainQuery query = eq.query.WithDistinct(options.distinct);
+    const GroupedResult exact =
+        options.distinct ? eq.exact : engine.Evaluate(query);
+    if (exact.counts.empty()) continue;
+
+    QueryRun run;
+    run.step = eq.step;
+    run.description = eq.description;
+
+    const double select_budget =
+        options.seconds / (4.0 * options.checkpoints);
+    OlaRunOptions wj;
+    wj.algo = OlaAlgo::kWander;
+    wj.duration_seconds = options.seconds;
+    wj.checkpoints = options.checkpoints;
+    wj.walk_order = SelectBestWalkOrder(*ds.indexes, query, exact,
+                                        OlaAlgo::kWander, select_budget, 5);
+    run.wander = RunOla(*ds.indexes, query, exact, wj);
+
+    OlaRunOptions aj = wj;
+    aj.algo = OlaAlgo::kAudit;
+    aj.walk_order = SelectBestWalkOrder(*ds.indexes, query, exact,
+                                        OlaAlgo::kAudit, select_budget, 5);
+    run.audit = RunOla(*ds.indexes, query, exact, aj);
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+// Prints, per exploration step, Tukey box statistics (whisker-lo, q1,
+// median, q3, whisker-hi) of the per-query MAE at each checkpoint — the
+// text form of one row of Figure 9/10.
+inline void PrintStepBoxes(const std::string& dataset,
+                           const std::vector<QueryRun>& runs,
+                           int checkpoints, int max_steps) {
+  for (int step = 1; step <= max_steps; ++step) {
+    std::vector<const QueryRun*> of_step;
+    for (const QueryRun& run : runs) {
+      if (run.step == step) of_step.push_back(&run);
+    }
+    if (of_step.empty()) continue;
+    std::printf("\n--- %s, exploration step %d (%zu queries) ---\n",
+                dataset.c_str(), step, of_step.size());
+    for (const char* algo : {"WJ", "AJ"}) {
+      TextTable table({"t (s)", "whisker-lo", "q1", "median", "q3",
+                       "whisker-hi"});
+      for (int cp = 0; cp < checkpoints; ++cp) {
+        std::vector<double> maes;
+        double t = 0;
+        for (const QueryRun* run : of_step) {
+          const auto& points = std::string(algo) == "WJ"
+                                   ? run->wander.points
+                                   : run->audit.points;
+          maes.push_back(points[cp].mae);
+          t = points[cp].seconds;
+        }
+        const TukeyBox box = MakeTukeyBox(maes);
+        table.AddRow({TextTable::Fmt(t, 2),
+                      TextTable::FmtPercent(box.whisker_lo),
+                      TextTable::FmtPercent(box.q1),
+                      TextTable::FmtPercent(box.median),
+                      TextTable::FmtPercent(box.q3),
+                      TextTable::FmtPercent(box.whisker_hi)});
+      }
+      std::printf("%s MAE distribution:\n%s", algo,
+                  table.ToString().c_str());
+    }
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace kgoa::bench
+
+#endif  // KGOA_BENCH_WORKLOAD_COMMON_H_

@@ -1,0 +1,138 @@
+// Audit Join as a cardinality estimator.
+//
+// Beyond powering exploration charts, the paper notes (section VI) that
+// Audit Join suits "scenarios requiring efficient cardinality estimations
+// over large-scale knowledge graphs". This example estimates join sizes
+// (non-distinct counts) for a set of path queries of increasing length and
+// compares three estimators:
+//   * the static PostgreSQL-style composition (Audit Join's tipping
+//     estimate, essentially free),
+//   * Audit Join run for a few milliseconds,
+//   * the exact count (CTJ).
+//
+//   ./cardinality_estimation [--scale=0.1] [--budget_ms=25]
+#include <cstdio>
+#include <string>
+
+#include "src/core/audit.h"
+#include "src/core/tipping.h"
+#include "src/explore/session.h"
+#include "src/gen/kg_gen.h"
+#include "src/index/index_set.h"
+#include "src/join/ctj.h"
+#include "src/util/flags.h"
+#include "src/util/stopwatch.h"
+#include "src/util/table.h"
+
+namespace {
+
+// Total non-distinct join size from an Audit Join run: sum of the
+// per-group estimates.
+double EstimateJoinSize(const kgoa::IndexSet& indexes,
+                        const kgoa::ChainQuery& query, double seconds) {
+  kgoa::AuditJoin::Options options;
+  options.tipping_threshold = 64;
+  kgoa::AuditJoin audit(indexes, query.WithDistinct(false), options);
+  kgoa::Stopwatch clock;
+  while (clock.ElapsedSeconds() < seconds) audit.RunWalks(256);
+  double total = 0;
+  for (const auto& [group, estimate] : audit.estimates().Estimates()) {
+    total += estimate;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kgoa::Flags flags(argc, argv);
+  flags.RestrictTo("scale,budget_ms");
+  const double scale = flags.GetDouble("scale", 0.1);
+  const double budget = flags.GetDouble("budget_ms", 25) / 1000.0;
+
+  std::printf("generating DBpedia-like graph (scale %.2f)...\n", scale);
+  kgoa::Graph graph = kgoa::GenerateKg(kgoa::DbpediaLikeSpec(scale));
+  kgoa::IndexSet indexes(graph);
+  kgoa::CtjEngine engine(indexes);
+
+  // Build a family of progressively longer exploration queries.
+  kgoa::ExplorationSession session(graph);
+  std::vector<std::pair<std::string, kgoa::ChainQuery>> queries;
+  const kgoa::ExpansionKind trail[] = {
+      kgoa::ExpansionKind::kSubclass, kgoa::ExpansionKind::kOutProperty,
+      kgoa::ExpansionKind::kObject, kgoa::ExpansionKind::kOutProperty};
+  for (kgoa::ExpansionKind expansion : trail) {
+    if (!session.IsLegal(expansion)) break;
+    kgoa::ChainQuery q = session.BuildQuery(expansion);
+    const kgoa::GroupedResult exact = engine.Evaluate(q);
+    if (exact.counts.empty()) break;
+    queries.emplace_back(
+        std::to_string(q.NumPatterns()) + " patterns (" +
+            std::string(kgoa::ExpansionName(expansion)) + ")",
+        q);
+    // Follow the largest bar; for property bars, prefer one whose object
+    // expansion is non-empty (literal-valued properties classify nothing).
+    std::vector<kgoa::TermId> skip{graph.rdf_type(), graph.subclass_of()};
+    kgoa::TermId pick = kgoa::kInvalidTerm;
+    while (true) {
+      kgoa::TermId candidate = kgoa::kInvalidTerm;
+      uint64_t best = 0;
+      for (const auto& [group, count] : exact.counts) {
+        bool skipped = false;
+        for (kgoa::TermId s : skip) skipped = skipped || s == group;
+        if (!skipped && count > best) {
+          candidate = group;
+          best = count;
+        }
+      }
+      if (candidate == kgoa::kInvalidTerm) break;
+      if (expansion != kgoa::ExpansionKind::kOutProperty) {
+        pick = candidate;
+        break;
+      }
+      kgoa::ExplorationSession probe = session;
+      probe.ExpandAndSelect(expansion, candidate);
+      if (!engine.Evaluate(probe.BuildQuery(kgoa::ExpansionKind::kObject))
+               .counts.empty()) {
+        pick = candidate;
+        break;
+      }
+      skip.push_back(candidate);
+    }
+    if (pick == kgoa::kInvalidTerm) break;
+    session.ExpandAndSelect(expansion, pick);
+  }
+
+  kgoa::TextTable table({"query", "exact size", "static est", "AJ est",
+                         "AJ err", "exact (ms)", "AJ (ms)"});
+  for (const auto& [label, query] : queries) {
+    kgoa::Stopwatch clock;
+    const double exact =
+        static_cast<double>(engine.Evaluate(query.WithDistinct(false)).Total());
+    const double exact_ms = clock.ElapsedMillis();
+
+    const kgoa::WalkPlan plan = kgoa::WalkPlan::Compile(query);
+    const kgoa::TippingEstimator tipping(indexes, plan);
+    const double static_estimate = tipping.StaticSuffixEstimate(0);
+
+    clock.Restart();
+    const double aj = EstimateJoinSize(indexes, query, budget);
+    const double aj_ms = clock.ElapsedMillis();
+
+    table.AddRow({label, kgoa::TextTable::Fmt(exact, 0),
+                  kgoa::TextTable::Fmt(static_estimate, 0),
+                  kgoa::TextTable::Fmt(aj, 0),
+                  exact > 0
+                      ? kgoa::TextTable::FmtPercent((aj - exact) / exact)
+                      : "n/a",
+                  kgoa::TextTable::Fmt(exact_ms, 1),
+                  kgoa::TextTable::Fmt(aj_ms, 1)});
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  std::printf(
+      "\nAudit Join converges to the exact size; the static composition\n"
+      "can be off by orders of magnitude on correlated data — the gap the\n"
+      "paper's tipping point only needs coarsely, but downstream uses\n"
+      "(e.g. join ordering) benefit from closing.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Exploring and contrasting multiple knowledge graphs simultaneously —
+// an extension the paper's conclusion envisages ("allowing users to
+// explore and contrast multiple knowledge graphs simultaneously").
+//
+// Runs the same exploration step on two graphs side by side, with each
+// chart served by Audit Join under the same interactive budget, and
+// reports how the two datasets differ structurally (class counts,
+// property usage) — the kind of comparison a data engineer makes when
+// choosing a source.
+//
+//   ./compare_graphs [--scale=0.08] [--budget_ms=120]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/explorer.h"
+#include "src/eval/profile.h"
+#include "src/gen/kg_gen.h"
+#include "src/util/flags.h"
+
+namespace {
+
+struct Side {
+  std::string name;
+  kgoa::Explorer explorer;
+  kgoa::ExplorationSession session;
+
+  Side(std::string n, kgoa::Graph graph)
+      : name(std::move(n)),
+        explorer(std::move(graph)),
+        session(explorer.NewSession()) {}
+};
+
+void ShowSideBySide(Side& a, Side& b, kgoa::ExpansionKind expansion,
+                    double budget) {
+  std::printf("\n--- %s expansion ---\n", kgoa::ExpansionName(expansion));
+  for (Side* side : {&a, &b}) {
+    std::printf("%s:\n", side->name.c_str());
+    if (!side->session.IsLegal(expansion)) {
+      std::printf("  (not legal)\n");
+      continue;
+    }
+    const kgoa::ChainQuery query = side->session.BuildQuery(expansion);
+    const kgoa::Chart chart = side->explorer.ApproximateChart(
+        query, budget, ResultBarKind(expansion));
+    int shown = 0;
+    for (const kgoa::Bar& bar : chart.bars) {
+      if (++shown > 6) break;
+      std::printf(
+          "  %-45s ~%.0f\n",
+          std::string(side->explorer.graph().dict().Spell(bar.category))
+              .c_str(),
+          bar.count);
+    }
+    // Advance each session along its own largest bar, skipping the
+    // structural properties when following a property view.
+    for (const kgoa::Bar& bar : chart.bars) {
+      if (bar.category == side->explorer.graph().rdf_type() ||
+          bar.category == side->explorer.graph().subclass_of()) {
+        continue;
+      }
+      side->session.ExpandAndSelect(expansion, bar.category);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kgoa::Flags flags(argc, argv);
+  flags.RestrictTo("scale,budget_ms");
+  const double scale = flags.GetDouble("scale", 0.08);
+  const double budget = flags.GetDouble("budget_ms", 120) / 1000.0;
+
+  std::printf("generating both graphs (scale %.2f)...\n", scale);
+  Side dbp("dbpedia-like", kgoa::GenerateKg(kgoa::DbpediaLikeSpec(scale)));
+  Side lgd("lgd-like", kgoa::GenerateKg(kgoa::LgdLikeSpec(scale)));
+
+  // Structural contrast.
+  for (Side* side : {&dbp, &lgd}) {
+    const kgoa::GraphProfile profile =
+        kgoa::ProfileGraph(side->explorer.graph(), 3);
+    std::printf(
+        "%-13s %8zu triples, %5llu classes, %4llu properties, literal "
+        "objects %.0f%%\n",
+        side->name.c_str(), side->explorer.graph().NumTriples(),
+        static_cast<unsigned long long>(profile.classes),
+        static_cast<unsigned long long>(profile.properties),
+        profile.literal_object_fraction * 100);
+  }
+
+  // Walk both graphs through the same expansion sequence.
+  ShowSideBySide(dbp, lgd, kgoa::ExpansionKind::kSubclass, budget);
+  ShowSideBySide(dbp, lgd, kgoa::ExpansionKind::kOutProperty, budget);
+  ShowSideBySide(dbp, lgd, kgoa::ExpansionKind::kObject, budget);
+
+  std::printf("\nfinal selections:\n  %s\n  %s\n",
+              dbp.session.Describe().c_str(),
+              lgd.session.Describe().c_str());
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Interactive exploration shell — the terminal analogue of the paper's
+// web frontend (Figure 1): charts served by Audit Join within an
+// interactive budget, driven by keyboard commands.
+//
+//   ./explore_repl [graph.nt|graph.bin] [--scale=0.1] [--budget_ms=150]
+//
+// Commands (read from stdin; EOF exits, so the binary also terminates
+// cleanly when run non-interactively):
+//   sub | out | in | obj | subj   apply an expansion and show the chart
+//   pick <n>                      select the n-th bar of the last chart
+//   back                          undo the last selection
+//   plan                          EXPLAIN the last chart query
+//   show                          describe the current selection
+//   quit
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "src/core/explain.h"
+#include "src/core/explorer.h"
+#include "src/gen/kg_gen.h"
+#include "src/rdf/binary_io.h"
+#include "src/rdf/ntriples.h"
+#include "src/rdf/schema.h"
+#include "src/util/flags.h"
+
+namespace {
+
+struct Repl {
+  kgoa::Explorer* explorer;
+  kgoa::ExplorationSession session;
+  double budget;
+  std::optional<kgoa::ExpansionKind> last_expansion;
+  kgoa::Chart last_chart;
+
+  explicit Repl(kgoa::Explorer* e, double budget_seconds)
+      : explorer(e), session(e->NewSession()), budget(budget_seconds) {}
+
+  void ShowChart(kgoa::ExpansionKind expansion) {
+    if (!session.IsLegal(expansion)) {
+      std::printf("  (%s expansion not legal from a %s bar)\n",
+                  kgoa::ExpansionName(expansion),
+                  kgoa::BarKindName(session.current_kind()));
+      return;
+    }
+    const kgoa::ChainQuery query = session.BuildQuery(expansion);
+    last_chart = explorer->ApproximateChart(query, budget,
+                                            ResultBarKind(expansion));
+    last_expansion = expansion;
+    if (last_chart.bars.empty()) {
+      std::printf("  (empty chart)\n");
+      return;
+    }
+    int index = 0;
+    for (const kgoa::Bar& bar : last_chart.bars) {
+      if (index >= 15) {
+        std::printf("  ... %zu more\n", last_chart.bars.size() - 15);
+        break;
+      }
+      std::printf("  [%2d] %-50s ~%.0f (+/- %.0f)\n", index,
+                  std::string(explorer->graph().dict().Spell(bar.category))
+                      .c_str(),
+                  bar.count, bar.ci_half_width);
+      ++index;
+    }
+  }
+
+  void Pick(int index) {
+    if (!last_expansion.has_value() || index < 0 ||
+        index >= static_cast<int>(last_chart.bars.size())) {
+      std::printf("  (no such bar; run an expansion first)\n");
+      return;
+    }
+    session.ExpandAndSelect(*last_expansion,
+                            last_chart.bars[index].category);
+    last_expansion.reset();
+    std::printf("  -> %s\n", session.Describe().c_str());
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc > 1 && argv[1][0] != '-') {
+    path = argv[1];
+    --argc;
+    ++argv;
+  }
+  kgoa::Flags flags(argc, argv);
+  flags.RestrictTo("scale,budget_ms");
+  const double scale = flags.GetDouble("scale", 0.1);
+  const double budget = flags.GetDouble("budget_ms", 150) / 1000.0;
+
+  kgoa::Graph graph;
+  if (path.empty()) {
+    std::printf("generating DBpedia-like graph (scale %.2f)...\n", scale);
+    graph = kgoa::GenerateKg(kgoa::DbpediaLikeSpec(scale));
+  } else if (path.size() > 3 && path.substr(path.size() - 3) == ".nt") {
+    std::ifstream in(path);
+    kgoa::GraphBuilder builder;
+    const auto parsed = kgoa::ParseNTriples(in, builder);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "parse error line %zu: %s\n", parsed.error_line,
+                   parsed.error.c_str());
+      return 1;
+    }
+    graph =
+        kgoa::MaterializeSubclassClosure(std::move(builder).Build());
+  } else {
+    std::string error;
+    auto loaded = kgoa::LoadGraphBinary(path, &error);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    graph = std::move(*loaded);
+  }
+
+  kgoa::Explorer explorer(std::move(graph));
+  Repl repl(&explorer, budget);
+  std::printf("%zu triples. commands: sub out in obj subj pick <n> back "
+              "plan show quit\n",
+              explorer.graph().NumTriples());
+
+  std::string line;
+  std::printf("> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::istringstream words(line);
+    std::string command;
+    words >> command;
+    if (command == "quit" || command == "exit") break;
+    if (command == "sub") repl.ShowChart(kgoa::ExpansionKind::kSubclass);
+    else if (command == "out") repl.ShowChart(kgoa::ExpansionKind::kOutProperty);
+    else if (command == "in") repl.ShowChart(kgoa::ExpansionKind::kInProperty);
+    else if (command == "obj") repl.ShowChart(kgoa::ExpansionKind::kObject);
+    else if (command == "subj") repl.ShowChart(kgoa::ExpansionKind::kSubject);
+    else if (command == "pick") {
+      int index = -1;
+      words >> index;
+      repl.Pick(index);
+    } else if (command == "back") {
+      std::printf("  %s\n", repl.session.GoBack() ? "ok" : "(at root)");
+    } else if (command == "show") {
+      std::printf("  %s\n", repl.session.Describe().c_str());
+    } else if (command == "plan") {
+      if (repl.last_expansion.has_value()) {
+        std::printf("%s",
+                    kgoa::ExplainPlan(
+                        explorer.indexes(),
+                        repl.session.BuildQuery(*repl.last_expansion),
+                        &explorer.graph().dict())
+                        .c_str());
+      } else {
+        std::printf("  (run an expansion first)\n");
+      }
+    } else if (!command.empty()) {
+      std::printf("  unknown command '%s'\n", command.c_str());
+    }
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,266 @@
+#include "src/core/audit.h"
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+AuditJoin::AuditJoin(const IndexSet& indexes, const ChainQuery& query,
+                     Options options)
+    : indexes_(indexes),
+      query_(query),
+      options_(options),
+      plan_(WalkPlan::Compile(query_, options_.walk_order)),
+      tipping_(indexes_, plan_),
+      reach_(indexes_, plan_),
+      rng_(options_.seed),
+      state_(plan_.num_slots(), kInvalidTerm) {
+  const int n = plan_.NumSteps();
+  next_in_component_.assign(n, -1);
+  count_memo_.resize(n);
+  abort_memo_.resize(n);
+  for (int q = 0; q + 1 < n; ++q) {
+    if (plan_.ParentStepOf(q + 1) != q) continue;
+    const TriplePattern& pattern =
+        query_.patterns()[plan_.steps()[q].pattern_index];
+    next_in_component_[q] = pattern.ComponentOf(plan_.steps()[q + 1].in_var);
+    KGOA_DCHECK(next_in_component_[q] >= 0);
+  }
+}
+
+uint64_t AuditJoin::CountFrom(int q, TermId value) {
+  KGOA_DCHECK(q < plan_.NumSteps());
+  auto [it, inserted] = count_memo_[q].try_emplace(value, 0);
+  if (!inserted) {
+    ++count_cache_hits_;
+    return it->second;
+  }
+  const WalkStep& step = plan_.steps()[q];
+  const Range range = step.access.Resolve(indexes_, value);
+  uint64_t count = 0;
+  if (q + 1 == plan_.NumSteps() && step.filter.empty()) {
+    count = range.size();
+  } else {
+    const TrieIndex& index = indexes_.Index(step.access.order());
+    for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+      const Triple& t = index.TripleAt(pos);
+      if (!step.filter.empty() && !step.filter.Pass(indexes_, t)) continue;
+      count += q + 1 == plan_.NumSteps()
+                   ? 1
+                   : CountFrom(q + 1, t[next_in_component_[q]]);
+    }
+  }
+  count_memo_[q][value] = count;
+  return count;
+}
+
+bool AuditJoin::EnumerateRemaining(int q, std::vector<TermId>& state,
+                                   double mass, uint64_t* budget,
+                                   std::unordered_map<uint64_t, double>* acc) {
+  if (q == plan_.NumSteps()) {
+    if (query_.distinct()) {
+      (*acc)[PackPair(state[plan_.alpha_slot()], state[plan_.beta_slot()])] +=
+          mass;
+    } else {
+      (*acc)[state[plan_.alpha_slot()]] += 1.0;
+    }
+    return true;
+  }
+  const WalkStep& step = plan_.steps()[q];
+  const TermId bound = step.in_slot >= 0 ? state[step.in_slot] : kInvalidTerm;
+  const Range range = step.access.Resolve(indexes_, bound);
+  if (range.empty()) return true;  // dead branch, zero completions
+  const double d = static_cast<double>(range.size());
+  const TrieIndex& index = indexes_.Index(step.access.order());
+  for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+    if (*budget == 0) return false;
+    --*budget;
+    const Triple& t = index.TripleAt(pos);
+    if (!step.filter.empty() && !step.filter.Pass(indexes_, t)) continue;
+    for (const WalkStep::Record& record : step.records) {
+      state[record.slot] = t[record.component];
+    }
+    if (!EnumerateRemaining(q + 1, state, mass / d, budget, acc)) return false;
+  }
+  return true;
+}
+
+bool AuditJoin::TippedContributions(int q0, std::vector<TermId>& state,
+                                    double weight, ContributionMap* out) {
+  // Fast path: memoized pure counting (the CTJ cache) applies when the
+  // group is already fixed by the prefix and the remaining steps chain
+  // linearly.
+  if (!query_.distinct() && plan_.SingleSegmentFrom(q0) &&
+      plan_.RecordStepOfSlot(plan_.alpha_slot()) < q0) {
+    const int in_slot = plan_.steps()[q0].in_slot;
+    const TermId in_value = in_slot >= 0 ? state[in_slot] : kInvalidTerm;
+    const uint64_t count = CountFrom(q0, in_value);
+    if (count > 0) {
+      (*out)[state[plan_.alpha_slot()]] =
+          weight * static_cast<double>(count);
+    }
+    return true;
+  }
+
+  const int in_slot = plan_.steps()[q0].in_slot;
+  const TermId in_value = in_slot >= 0 ? state[in_slot] : kInvalidTerm;
+  if (abort_memo_[q0].count(in_value) > 0) return false;
+
+  std::unordered_map<uint64_t, double> acc;
+  uint64_t budget = options_.max_tip_enumeration;
+  if (!EnumerateRemaining(q0, state, 1.0, &budget, &acc)) {
+    abort_memo_[q0].insert(in_value);
+    return false;
+  }
+
+  if (query_.distinct()) {
+    for (const auto& [key, walk_mass] : acc) {
+      const TermId a = static_cast<TermId>(key >> 32);
+      const TermId b = static_cast<TermId>(key & 0xffffffffu);
+      const double pr = reach_.PrAB(a, b);
+      KGOA_DCHECK(pr > 0);
+      (*out)[a] += walk_mass / pr;
+    }
+  } else {
+    for (const auto& [a, count] : acc) {
+      (*out)[static_cast<TermId>(a)] += weight * count;
+    }
+  }
+  return true;
+}
+
+void AuditJoin::RunOneWalk() {
+  double weight = 1.0;  // 1 / Pr(delta) for the sampled prefix
+  for (int q = 0; q < plan_.NumSteps(); ++q) {
+    const WalkStep& step = plan_.steps()[q];
+    const TermId bound =
+        step.in_slot >= 0 ? state_[step.in_slot] : kInvalidTerm;
+
+    // Static tipping decision: the remaining suffix looks cheap, so
+    // switch to exact computation before even resolving this step (a
+    // tipped walk never dead-ends; it yields an exact count, possibly 0).
+    if (options_.enable_tipping && !options_.adaptive_tipping &&
+        tipping_.StaticSuffixEstimate(q) <= options_.tipping_threshold) {
+      ContributionMap contributions;
+      if (TippedContributions(q, state_, weight, &contributions)) {
+        for (const auto& [group, value] : contributions) {
+          if (value > 0) estimates_.AddContribution(group, value);
+        }
+        ++tipped_;
+        estimates_.EndWalk(/*rejected=*/false);
+        return;
+      }
+      ++tip_aborts_;
+    }
+
+    const Range range = step.access.Resolve(indexes_, bound);
+
+    // Adaptive variant: seed the estimate with the actual fan-out.
+    if (options_.enable_tipping && options_.adaptive_tipping &&
+        tipping_.Estimate(range.size(), q) <= options_.tipping_threshold) {
+      ContributionMap contributions;
+      if (TippedContributions(q, state_, weight, &contributions)) {
+        for (const auto& [group, value] : contributions) {
+          if (value > 0) estimates_.AddContribution(group, value);
+        }
+        ++tipped_;
+        estimates_.EndWalk(/*rejected=*/false);
+        return;
+      }
+      ++tip_aborts_;
+    }
+
+    if (range.empty()) {
+      estimates_.EndWalk(/*rejected=*/true);
+      return;
+    }
+    weight *= static_cast<double>(range.size());
+    const uint32_t pos =
+        range.begin + static_cast<uint32_t>(rng_.Below(range.size()));
+    const Triple& t = indexes_.Index(step.access.order()).TripleAt(pos);
+    if (!step.filter.empty() && !step.filter.Pass(indexes_, t)) {
+      estimates_.EndWalk(/*rejected=*/true);
+      return;
+    }
+    for (const WalkStep::Record& record : step.records) {
+      state_[record.slot] = t[record.component];
+    }
+  }
+
+  const TermId a = state_[plan_.alpha_slot()];
+  if (query_.distinct()) {
+    const double pr = reach_.PrAB(a, state_[plan_.beta_slot()]);
+    KGOA_DCHECK(pr > 0);
+    estimates_.AddContribution(a, 1.0 / pr);
+  } else {
+    estimates_.AddContribution(a, weight);
+  }
+  ++full_;
+  estimates_.EndWalk(/*rejected=*/false);
+}
+
+void AuditJoin::RunWalks(uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) RunOneWalk();
+}
+
+void AuditJoin::EnumerateAllWalks(
+    const std::function<void(double, const ContributionMap&)>& callback) {
+  std::vector<TermId> state(plan_.num_slots(), kInvalidTerm);
+  const ContributionMap kEmpty;
+
+  auto walk = [&](auto&& self, int q, double probability,
+                  double weight) -> void {
+    if (q == plan_.NumSteps()) {
+      ContributionMap contributions;
+      const TermId a = state[plan_.alpha_slot()];
+      if (query_.distinct()) {
+        contributions[a] = 1.0 / reach_.PrAB(a, state[plan_.beta_slot()]);
+      } else {
+        contributions[a] = weight;
+      }
+      callback(probability, contributions);
+      return;
+    }
+    const WalkStep& step = plan_.steps()[q];
+    const TermId bound =
+        step.in_slot >= 0 ? state[step.in_slot] : kInvalidTerm;
+
+    if (options_.enable_tipping && !options_.adaptive_tipping &&
+        tipping_.StaticSuffixEstimate(q) <= options_.tipping_threshold) {
+      ContributionMap contributions;
+      if (TippedContributions(q, state, weight, &contributions)) {
+        callback(probability, contributions);
+        return;
+      }
+    }
+
+    const Range range = step.access.Resolve(indexes_, bound);
+    if (options_.enable_tipping && options_.adaptive_tipping &&
+        tipping_.Estimate(range.size(), q) <= options_.tipping_threshold) {
+      ContributionMap contributions;
+      if (TippedContributions(q, state, weight, &contributions)) {
+        callback(probability, contributions);
+        return;
+      }
+    }
+    if (range.empty()) {
+      callback(probability, kEmpty);
+      return;
+    }
+    const double d = static_cast<double>(range.size());
+    const TrieIndex& index = indexes_.Index(step.access.order());
+    for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+      const Triple& t = index.TripleAt(pos);
+      if (!step.filter.empty() && !step.filter.Pass(indexes_, t)) {
+        callback(probability / d, kEmpty);  // rejected branch
+        continue;
+      }
+      for (const WalkStep::Record& record : step.records) {
+        state[record.slot] = t[record.component];
+      }
+      self(self, q + 1, probability / d, weight * d);
+    }
+  };
+  walk(walk, 0, 1.0, 1.0);
+}
+
+}  // namespace kgoa

@@ -1,0 +1,147 @@
+// Audit Join — the paper's contribution (section IV-D, Figure 7).
+//
+// Audit Join runs Wander-Join random walks, but at every step estimates the
+// number of completions of the sampled prefix delta (PostgreSQL-style
+// composition of join-size statistics, seeded with the actual next-step
+// fan-out). When the estimate falls below the tipping threshold, the
+// remainder of the walk is replaced by an exact partial computation over
+// the trie indexes (the CTJ role):
+//
+//   * without DISTINCT, the walk contributes |Gamma_delta| / Pr(delta) to
+//     each group reached by a completion — Proposition IV.1 shows this
+//     estimator is unbiased;
+//   * with DISTINCT, every completion (a, b) of delta contributes its walk
+//     mass w(a, b) divided by Pr(a, b) (the probability that a walk
+//     completes with group a and counted value b, see src/core/reach.h) —
+//     Proposition IV.2 shows the resulting estimator of the distinct count
+//     is unbiased. A full, untipped walk is the special case w(a, b) =
+//     Pr(delta), contributing 1 / Pr(a, b).
+//
+// Estimates for every group divide by the total number of walks, rejected
+// walks included (Figure 7, line 24).
+#ifndef KGOA_CORE_AUDIT_H_
+#define KGOA_CORE_AUDIT_H_
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/reach.h"
+#include "src/core/tipping.h"
+#include "src/index/index_set.h"
+#include "src/ola/estimator.h"
+#include "src/ola/walk_plan.h"
+#include "src/query/chain_query.h"
+#include "src/util/rng.h"
+
+namespace kgoa {
+
+class AuditJoin {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    // Walk order over pattern indices; empty = forward.
+    std::vector<int> walk_order;
+    // Tip when the estimated number of prefix completions is at most this.
+    double tipping_threshold = 64.0;
+    // Ablation switch: with tipping disabled (and a non-distinct query)
+    // Audit Join degenerates to Wander Join.
+    bool enable_tipping = true;
+    // Paper-faithful (false): the tipping decision is static per walk
+    // position — the composed PostgreSQL-style estimate of the remaining
+    // suffix size (section IV-D); the walk switches to exact computation
+    // at the first position whose static estimate is below the threshold,
+    // so a tipped walk never dead-ends (it yields an exact partial count,
+    // possibly zero). Adaptive (true): the estimate is additionally seeded
+    // with the actual fan-out of the next step, making the decision
+    // prefix-dependent. Both are unbiased.
+    bool adaptive_tipping = false;
+    // Hard cap on tuples visited by one partial exact computation; if the
+    // estimate was wrong and enumeration exceeds this, the walk resumes
+    // sampling instead (a deterministic function of the prefix, so
+    // unbiasedness is preserved).
+    uint64_t max_tip_enumeration = 4096;
+  };
+
+  AuditJoin(const IndexSet& indexes, const ChainQuery& query)
+      : AuditJoin(indexes, query, Options()) {}
+  AuditJoin(const IndexSet& indexes, const ChainQuery& query,
+            Options options);
+
+  AuditJoin(const AuditJoin&) = delete;
+  AuditJoin& operator=(const AuditJoin&) = delete;
+
+  void RunOneWalk();
+  void RunWalks(uint64_t count);
+
+  const GroupedEstimates& estimates() const { return estimates_; }
+  const WalkPlan& plan() const { return plan_; }
+  const TippingEstimator& tipping() const { return tipping_; }
+
+  uint64_t tipped_walks() const { return tipped_; }
+  uint64_t full_walks() const { return full_; }
+  uint64_t tip_aborts() const { return tip_aborts_; }
+  uint64_t suffix_cache_hits() const { return count_cache_hits_; }
+  const ReachProbability& reach() const { return reach_; }
+
+  // Verification hook mirroring RunOneWalk's decisions exactly: enumerates
+  // every stoppable prefix delta with its probability and the contribution
+  // map the estimator would add. The probability-weighted sum per group
+  // must equal the exact (distinct or non-distinct) count — the
+  // deterministic form of Propositions IV.1 / IV.2 used by the tests.
+  using ContributionMap = std::unordered_map<TermId, double>;
+  void EnumerateAllWalks(
+      const std::function<void(double probability,
+                               const ContributionMap& contributions)>&
+          callback);
+
+ private:
+  // Computes the contributions of tipping at walk position q0 with the
+  // current prefix state and weight = 1/Pr(delta). Returns false when the
+  // enumeration cap is hit (caller resumes sampling).
+  bool TippedContributions(int q0, std::vector<TermId>& state, double weight,
+                           ContributionMap* out);
+
+  // Exact number of completions of steps q..n-1 given in-value `value`;
+  // memoized per (step, value) — valid because SingleSegmentFrom(q) holds
+  // whenever this is called. This cache is Audit Join's reuse of CTJ
+  // caching across walks (section IV-D).
+  uint64_t CountFrom(int q, TermId value);
+
+  // Recursive exact enumeration of the remaining steps; returns false on
+  // budget exhaustion. Accumulates either per-alpha counts (non-distinct)
+  // or per-(a, b) walk mass (distinct).
+  bool EnumerateRemaining(int q, std::vector<TermId>& state, double mass,
+                          uint64_t* budget,
+                          std::unordered_map<uint64_t, double>* acc);
+
+  const IndexSet& indexes_;
+  ChainQuery query_;
+  Options options_;
+  WalkPlan plan_;
+  TippingEstimator tipping_;
+  ReachProbability reach_;
+  GroupedEstimates estimates_;
+  Rng rng_;
+  std::vector<TermId> state_;
+
+  // next_in_component_[q]: component of step q's pattern carrying step
+  // q+1's in-value, when steps q, q+1 chain directly (-1 otherwise).
+  std::vector<int> next_in_component_;
+  std::vector<std::unordered_map<TermId, uint64_t>> count_memo_;
+  // In-values whose tip enumeration at a step exceeded the budget once;
+  // later walks skip the attempt. The decision stays a deterministic
+  // function of the prefix (and of earlier, independent walks), so the
+  // estimator stays unbiased.
+  std::vector<std::unordered_set<TermId>> abort_memo_;
+  uint64_t count_cache_hits_ = 0;
+
+  uint64_t tipped_ = 0;
+  uint64_t full_ = 0;
+  uint64_t tip_aborts_ = 0;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_CORE_AUDIT_H_

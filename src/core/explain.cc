@@ -1,0 +1,69 @@
+#include "src/core/explain.h"
+
+#include <sstream>
+
+#include "src/core/tipping.h"
+#include "src/eval/runner.h"
+#include "src/ola/walk_plan.h"
+
+namespace kgoa {
+
+std::string ExplainPlan(const IndexSet& indexes, const ChainQuery& query,
+                        const Dictionary* dict,
+                        const AuditJoin::Options& options) {
+  std::vector<int> order = options.walk_order;
+  if (order.empty()) order = DefaultAuditOrder(query);
+  const WalkPlan plan = WalkPlan::Compile(query, order);
+  const TippingEstimator tipping(indexes, plan);
+
+  // First step whose static suffix estimate is at or below the threshold.
+  int tip_step = -1;
+  if (options.enable_tipping && !options.adaptive_tipping) {
+    for (int q = 0; q < plan.NumSteps(); ++q) {
+      if (tipping.StaticSuffixEstimate(q) <= options.tipping_threshold) {
+        tip_step = q;
+        break;
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "AuditJoin plan (" << (query.distinct() ? "COUNT DISTINCT" : "COUNT")
+      << ", threshold " << options.tipping_threshold << ", "
+      << (options.adaptive_tipping ? "adaptive" : "static") << " tipping)\n";
+  for (int q = 0; q < plan.NumSteps(); ++q) {
+    const WalkStep& step = plan.steps()[q];
+    const TriplePattern& pattern = query.patterns()[step.pattern_index];
+    out << "  step " << q << ": pattern[" << step.pattern_index << "] "
+        << pattern.ToString(dict) << '\n';
+    out << "    access: " << OrderName(step.access.order()) << " prefix depth "
+        << step.access.depth();
+    if (step.in_var != kNoVar) out << ", bound on ?v" << step.in_var;
+    if (!query.filters(step.pattern_index).empty()) {
+      out << ", " << query.filters(step.pattern_index).size()
+          << " existence filter(s)";
+    }
+    out << '\n';
+    out << "    extent: " << indexes.CountMatches(pattern)
+        << " triples; est. completions from here: "
+        << tipping.StaticSuffixEstimate(q);
+    if (q == tip_step) out << "   <== tipping point: exact from here";
+    out << '\n';
+  }
+  if (tip_step < 0 && options.enable_tipping &&
+      !options.adaptive_tipping) {
+    out << "  (no static tipping point under this threshold; walks run to "
+           "completion)\n";
+  }
+  out << "  group variable ?v" << query.alpha() << ", counted variable ?v"
+      << query.beta() << ", anchor pattern "
+      << query.alpha_beta_pattern() << '\n';
+  return out.str();
+}
+
+std::string ExplainPlan(const IndexSet& indexes, const ChainQuery& query,
+                        const Dictionary* dict) {
+  return ExplainPlan(indexes, query, dict, AuditJoin::Options());
+}
+
+}  // namespace kgoa

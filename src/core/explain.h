@@ -1,0 +1,28 @@
+// EXPLAIN for Audit Join plans: renders the walk order, each step's access
+// path (index order and fixed prefix depth), the per-pattern extents, the
+// composed static suffix estimates, and the position where the tipping
+// point fires for a given threshold — the database-engine introspection a
+// user needs to understand why a query samples the way it does.
+#ifndef KGOA_CORE_EXPLAIN_H_
+#define KGOA_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "src/core/audit.h"
+#include "src/index/index_set.h"
+#include "src/query/chain_query.h"
+
+namespace kgoa {
+
+// `dict` may be null (constants print as #id). The walk order defaults to
+// the engine default (anchor-first) when options.walk_order is empty.
+std::string ExplainPlan(const IndexSet& indexes, const ChainQuery& query,
+                        const Dictionary* dict,
+                        const AuditJoin::Options& options);
+
+std::string ExplainPlan(const IndexSet& indexes, const ChainQuery& query,
+                        const Dictionary* dict = nullptr);
+
+}  // namespace kgoa
+
+#endif  // KGOA_CORE_EXPLAIN_H_

@@ -1,0 +1,63 @@
+#include "src/core/explorer.h"
+
+#include <algorithm>
+
+#include "src/eval/runner.h"
+#include "src/join/ctj.h"
+#include "src/util/stopwatch.h"
+
+namespace kgoa {
+
+Explorer::Explorer(Graph graph)
+    : graph_(std::move(graph)),
+      indexes_(std::make_unique<IndexSet>(graph_)) {}
+
+GroupedResult Explorer::Evaluate(const ChainQuery& query) const {
+  return CtjEngine(*indexes_).Evaluate(query);
+}
+
+namespace {
+
+void SortBars(Chart& chart) {
+  std::sort(chart.bars.begin(), chart.bars.end(),
+            [](const Bar& a, const Bar& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.category < b.category;
+            });
+}
+
+}  // namespace
+
+Chart Explorer::EvaluateChart(const ChainQuery& query, BarKind kind) const {
+  Chart chart;
+  chart.kind = kind;
+  for (const auto& [group, count] : Evaluate(query).counts) {
+    chart.bars.push_back(Bar{group, static_cast<double>(count), 0.0});
+  }
+  SortBars(chart);
+  return chart;
+}
+
+Chart Explorer::ApproximateChart(const ChainQuery& query, double seconds,
+                                 BarKind kind,
+                                 AuditJoin::Options options) const {
+  if (options.walk_order.empty()) {
+    options.walk_order = DefaultAuditOrder(query);
+  }
+  Stopwatch clock;
+  AuditJoin audit(*indexes_, query, options);
+  do {
+    audit.RunWalks(64);
+  } while (clock.ElapsedSeconds() < seconds);
+  Chart chart;
+  chart.kind = kind;
+  for (const auto& [group, estimate] : audit.estimates().Estimates()) {
+    if (estimate <= 0) continue;
+    chart.bars.push_back(
+        Bar{group, estimate, audit.estimates().CiHalfWidth(group)});
+  }
+  SortBars(chart);
+  return chart;
+}
+
+}  // namespace kgoa

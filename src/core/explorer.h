@@ -1,0 +1,64 @@
+// Explorer — the library's top-level facade (the "specialized query
+// engine" of Figure 1). It owns a graph and its indexes and serves
+// exploration charts either exactly (Cached Trie Join) or approximately
+// within a wall-clock budget (Audit Join), the way the paper's exploration
+// system serves its web frontend.
+//
+// Typical use (see examples/quickstart.cc):
+//
+//   kgoa::Explorer explorer(std::move(graph));
+//   kgoa::ExplorationSession session = explorer.NewSession();
+//   kgoa::ChainQuery q = session.BuildQuery(kgoa::ExpansionKind::kSubclass);
+//   kgoa::Chart chart = explorer.ApproximateChart(q, /*seconds=*/0.1);
+#ifndef KGOA_CORE_EXPLORER_H_
+#define KGOA_CORE_EXPLORER_H_
+
+#include <memory>
+
+#include "src/core/audit.h"
+#include "src/explore/chart.h"
+#include "src/explore/session.h"
+#include "src/index/index_set.h"
+#include "src/join/result.h"
+#include "src/query/chain_query.h"
+#include "src/rdf/graph.h"
+
+namespace kgoa {
+
+class Explorer {
+ public:
+  // Takes ownership of the graph and builds the four index orders.
+  explicit Explorer(Graph graph);
+
+  Explorer(const Explorer&) = delete;
+  Explorer& operator=(const Explorer&) = delete;
+
+  const Graph& graph() const { return graph_; }
+  const IndexSet& indexes() const { return *indexes_; }
+
+  // Fresh session starting at owl:Thing (or the given root class).
+  ExplorationSession NewSession(TermId root_class = kInvalidTerm) const {
+    return ExplorationSession(graph_, root_class);
+  }
+
+  // Exact grouped evaluation (Cached Trie Join).
+  GroupedResult Evaluate(const ChainQuery& query) const;
+
+  // Exact chart: one bar per group, sorted by count descending.
+  Chart EvaluateChart(const ChainQuery& query, BarKind kind) const;
+
+  // Approximate chart via Audit Join within `seconds` of wall-clock time.
+  // Bars carry 0.95 confidence-interval half-widths.
+  Chart ApproximateChart(const ChainQuery& query, double seconds,
+                         BarKind kind,
+                         AuditJoin::Options options = AuditJoin::Options())
+      const;
+
+ private:
+  Graph graph_;
+  std::unique_ptr<IndexSet> indexes_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_CORE_EXPLORER_H_

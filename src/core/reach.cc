@@ -1,0 +1,164 @@
+#include "src/core/reach.h"
+
+#include "src/join/filter.h"
+#include "src/util/check.h"
+
+namespace kgoa {
+
+ReachProbability::ReachProbability(const IndexSet& indexes,
+                                   const WalkPlan& plan)
+    : indexes_(indexes), plan_(plan) {
+  const int n = plan.NumSteps();
+  children_.resize(n);
+  parent_.assign(n, -1);
+  in_component_.assign(n, -1);
+  reverse_access_.resize(n);
+  s_memo_.resize(n);
+  u_memo_.resize(n);
+
+  const ChainQuery& query = plan.query();
+  for (int q = 0; q < n; ++q) {
+    const WalkStep& step = plan.steps()[q];
+    if (step.in_var == kNoVar) continue;
+    in_component_[q] =
+        query.patterns()[step.pattern_index].ComponentOf(step.in_var);
+    parent_[q] = plan.ParentStepOf(q);
+    KGOA_CHECK(parent_[q] >= 0);
+    const int parent_pattern = plan.steps()[parent_[q]].pattern_index;
+    children_[parent_[q]].push_back(ChildEdge{
+        q, query.patterns()[parent_pattern].ComponentOf(step.in_var)});
+    reverse_access_[q] =
+        PatternAccess::Compile(query.patterns()[parent_pattern], step.in_var);
+  }
+}
+
+double ReachProbability::Fanout(int step, TermId in_value) const {
+  return static_cast<double>(
+      plan_.steps()[step].access.Resolve(indexes_, in_value).size());
+}
+
+double ReachProbability::S(int step, TermId value) {
+  auto [it, inserted] = s_memo_[step].try_emplace(value, 0.0);
+  if (!inserted) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const WalkStep& ws = plan_.steps()[step];
+  const Range range = ws.access.Resolve(indexes_, value);
+  if (range.empty()) return 0.0;  // memoized zero already in place
+  const TrieIndex& index = indexes_.Index(ws.access.order());
+  double sum = 0.0;
+  for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+    const Triple& t = index.TripleAt(pos);
+    if (!ws.filter.empty() && !ws.filter.Pass(indexes_, t)) continue;
+    double product = 1.0;
+    for (const ChildEdge& child : children_[step]) {
+      product *= S(child.step, t[child.component]);
+      if (product == 0.0) break;
+    }
+    sum += product;
+  }
+  const double result = sum / static_cast<double>(range.size());
+  s_memo_[step][value] = result;  // iterator may have been invalidated
+  return result;
+}
+
+double ReachProbability::U(int step, TermId value) {
+  auto [it, inserted] = u_memo_[step].try_emplace(value, 0.0);
+  if (!inserted) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const int par = parent_[step];
+  KGOA_DCHECK(par >= 0);
+  const Range range = reverse_access_[step].Resolve(indexes_, value);
+  const TrieIndex& index = indexes_.Index(reverse_access_[step].order());
+  const FilterSet& parent_filter = plan_.steps()[par].filter;
+  double sum = 0.0;
+  for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+    const Triple& t = index.TripleAt(pos);
+    if (!parent_filter.empty() && !parent_filter.Pass(indexes_, t)) continue;
+    const TermId parent_in =
+        in_component_[par] >= 0 ? t[in_component_[par]] : kInvalidTerm;
+    const double d = Fanout(par, parent_in);
+    KGOA_DCHECK(d > 0);  // t itself matches the parent pattern
+    double base = (parent_[par] >= 0 ? U(par, parent_in) : 1.0) / d;
+    if (base == 0.0) continue;
+    for (const ChildEdge& sibling : children_[par]) {
+      if (sibling.step == step) continue;
+      base *= S(sibling.step, t[sibling.component]);
+      if (base == 0.0) break;
+    }
+    sum += base;
+  }
+  u_memo_[step][value] = sum;
+  return sum;
+}
+
+double ReachProbability::PrAB(TermId a, TermId b) {
+  const uint64_t key = PackPair(a, b);
+  auto [it, inserted] = pr_memo_.try_emplace(key, 0.0);
+  if (!inserted) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+
+  const ChainQuery& query = plan_.query();
+  const int anchor = query.alpha_beta_pattern();
+  const int m = plan_.StepOf(anchor);
+  TriplePattern subst = query.patterns()[anchor];
+  const int alpha_component = subst.ComponentOf(query.alpha());
+  const int beta_component = subst.ComponentOf(query.beta());
+  KGOA_CHECK(alpha_component >= 0 && beta_component >= 0);
+  if (query.alpha() == query.beta()) KGOA_CHECK(a == b);
+  subst[alpha_component] = Slot::MakeConst(a);
+  subst[beta_component] = Slot::MakeConst(b);
+
+  double sum = 0.0;
+  const FilterSet& anchor_filter = plan_.steps()[m].filter;
+  auto handle_tuple = [&](const Triple& t) {
+    if (!anchor_filter.empty() && !anchor_filter.Pass(indexes_, t)) return;
+    double mass;
+    if (m == 0) {
+      mass = 1.0 / Fanout(0, kInvalidTerm);
+    } else {
+      const TermId in_value = t[in_component_[m]];
+      const double d = Fanout(m, in_value);
+      KGOA_DCHECK(d > 0);
+      mass = U(m, in_value) / d;
+    }
+    if (mass == 0.0) return;
+    for (const ChildEdge& child : children_[m]) {
+      mass *= S(child.step, t[child.component]);
+      if (mass == 0.0) return;
+    }
+    sum += mass;
+  };
+
+  PatternAccess access;
+  if (PatternAccess::TryCompile(subst, kNoVar, &access)) {
+    const Range range = access.Resolve(indexes_, kInvalidTerm);
+    const TrieIndex& index = indexes_.Index(access.order());
+    for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+      handle_tuple(index.TripleAt(pos));
+    }
+  } else {
+    // Constants fix exactly {subject, object}: scan the subject's SPO
+    // range, filtering on the object.
+    const TrieIndex& spo = indexes_.Index(IndexOrder::kSpo);
+    const Range range =
+        indexes_.Hash(IndexOrder::kSpo).Depth1(subst[kSubject].term());
+    for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+      const Triple& t = spo.TripleAt(pos);
+      if (t.o == subst[kObject].term()) handle_tuple(t);
+    }
+  }
+
+  pr_memo_[key] = sum;
+  return sum;
+}
+
+}  // namespace kgoa

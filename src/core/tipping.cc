@@ -1,0 +1,40 @@
+#include "src/core/tipping.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+TippingEstimator::TippingEstimator(const IndexSet& indexes,
+                                   const WalkPlan& plan) {
+  const ChainQuery& query = plan.query();
+  const int n = plan.NumSteps();
+  std::vector<double> fanout(n, 1.0);
+  for (int q = 0; q < n; ++q) {
+    const WalkStep& step = plan.steps()[q];
+    const TriplePattern& pattern = query.patterns()[step.pattern_index];
+    const double matches =
+        static_cast<double>(indexes.CountMatches(pattern));
+    if (step.in_var == kNoVar) {
+      fanout[q] = matches;  // first step: d_0 = |G_0|
+      continue;
+    }
+    // ndv of the join variable in this pattern and in the adjacent pattern
+    // that bound it (the PostgreSQL max rule).
+    uint64_t ndv = indexes.CountDistinctVar(pattern, step.in_var);
+    for (int other = 0; other < query.NumPatterns(); ++other) {
+      if (other == step.pattern_index) continue;
+      if (query.patterns()[other].HasVar(step.in_var)) {
+        ndv = std::max(ndv,
+                       indexes.CountDistinctVar(query.patterns()[other],
+                                                step.in_var));
+      }
+    }
+    fanout[q] = ndv == 0 ? 0.0 : matches / static_cast<double>(ndv);
+  }
+  suffix_.assign(n + 1, 1.0);
+  for (int q = n - 1; q >= 0; --q) suffix_[q] = suffix_[q + 1] * fanout[q];
+}
+
+}  // namespace kgoa

@@ -1,0 +1,65 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/join/ctj.h"
+#include "src/util/check.h"
+
+namespace kgoa {
+
+double MeanAbsoluteError(const GroupedResult& exact,
+                         const GroupedEstimates& estimates) {
+  if (exact.counts.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [group, count] : exact.counts) {
+    KGOA_DCHECK(count > 0);
+    const double estimate = estimates.Estimate(group);
+    sum += std::abs(estimate - static_cast<double>(count)) /
+           static_cast<double>(count);
+  }
+  return sum / static_cast<double>(exact.counts.size());
+}
+
+double MeanRelativeCi(const GroupedResult& exact,
+                      const GroupedEstimates& estimates) {
+  if (exact.counts.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [group, count] : exact.counts) {
+    sum += estimates.CiHalfWidth(group) / static_cast<double>(count);
+  }
+  return sum / static_cast<double>(exact.counts.size());
+}
+
+double QuerySelectivity(const IndexSet& indexes, const ChainQuery& query) {
+  // Denominator: join size with every constant freed (and filters
+  // dropped). Fresh variables appear once each, so the chain contract
+  // still holds.
+  VarId fresh = 1'000'000;
+  std::vector<TriplePattern> freed;
+  for (const TriplePattern& pattern : query.patterns()) {
+    TriplePattern copy = pattern;
+    for (int c = 0; c < 3; ++c) {
+      if (!copy[c].is_var()) copy[c] = Slot::MakeVar(fresh++);
+    }
+    freed.push_back(copy);
+  }
+  auto unfiltered = ChainQuery::Create(freed, query.alpha(), query.beta(),
+                                       /*distinct=*/false);
+  KGOA_CHECK(unfiltered.has_value());
+  CtjEngine engine(indexes);
+  const double denominator =
+      static_cast<double>(engine.Evaluate(*unfiltered).Total());
+  if (denominator == 0) return 0.0;
+
+  // Numerators: per-group non-distinct join sizes of the real query.
+  const GroupedResult sizes = engine.Evaluate(query.WithDistinct(false));
+  if (sizes.counts.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& [group, count] : sizes.counts) {
+    sum += std::max(0.0, 1.0 - static_cast<double>(count) / denominator);
+  }
+  return sum / static_cast<double>(sizes.counts.size());
+}
+
+}  // namespace kgoa

@@ -1,0 +1,34 @@
+// Error and selectivity metrics of the paper's experimental study
+// (section V-B, "Queries").
+#ifndef KGOA_EVAL_METRICS_H_
+#define KGOA_EVAL_METRICS_H_
+
+#include "src/index/index_set.h"
+#include "src/join/result.h"
+#include "src/ola/estimator.h"
+#include "src/query/chain_query.h"
+
+namespace kgoa {
+
+// Mean absolute error: the absolute difference between the exact and
+// estimated count divided by the exact count, averaged over all groups of
+// the exact result (a group the estimator never reached counts as error 1).
+double MeanAbsoluteError(const GroupedResult& exact,
+                         const GroupedEstimates& estimates);
+
+// Average 0.95 confidence-interval half-width relative to the exact count,
+// over the groups of the exact result (the "WJ CI" / "AJ CI" series of
+// Figure 8).
+double MeanRelativeCi(const GroupedResult& exact,
+                      const GroupedEstimates& estimates);
+
+// Selectivity per the paper: 1 - (join size including filters) / (join
+// size without filters), where the query's constants act as the filters
+// and each group contributes its own numerator; the reported value
+// averages over groups. The denominator is the join size of the query
+// with every constant replaced by a fresh variable.
+double QuerySelectivity(const IndexSet& indexes, const ChainQuery& query);
+
+}  // namespace kgoa
+
+#endif  // KGOA_EVAL_METRICS_H_

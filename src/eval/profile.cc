@@ -1,0 +1,111 @@
+#include "src/eval/profile.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/table.h"
+
+namespace kgoa {
+
+namespace {
+
+// Literal spellings are stored quoted (see src/rdf/ntriples.cc).
+bool IsLiteral(const Graph& graph, TermId id) {
+  const std::string_view term = graph.dict().Spell(id);
+  return !term.empty() && term.front() == '"';
+}
+
+std::vector<GraphProfile::Ranked> TopK(
+    const std::unordered_map<TermId, uint64_t>& counts, int k) {
+  std::vector<GraphProfile::Ranked> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [term, count] : counts) {
+    ranked.push_back({term, count});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const GraphProfile::Ranked& a, const GraphProfile::Ranked& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.term < b.term;
+            });
+  if (static_cast<int>(ranked.size()) > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace
+
+GraphProfile ProfileGraph(const Graph& graph, int top_k) {
+  GraphProfile profile;
+  profile.triples = graph.NumTriples();
+  profile.terms = graph.dict().size();
+
+  std::unordered_map<TermId, uint64_t> class_sizes;
+  std::unordered_map<TermId, uint64_t> property_counts;
+  std::unordered_map<TermId, uint32_t> out_degree;
+  std::unordered_set<TermId> typed;
+  uint64_t property_triples = 0;
+  uint64_t literal_objects = 0;
+
+  for (const Triple& t : graph.triples()) {
+    if (t.p == graph.rdf_type()) {
+      ++profile.type_triples;
+      ++class_sizes[t.o];
+      typed.insert(t.s);
+    } else if (t.p == graph.subclass_of()) {
+      ++profile.subclass_triples;
+    } else {
+      ++property_triples;
+      ++property_counts[t.p];
+      ++out_degree[t.s];
+      if (IsLiteral(graph, t.o)) ++literal_objects;
+    }
+  }
+
+  profile.classes = class_sizes.size();
+  profile.properties = property_counts.size();
+  profile.typed_entities = typed.size();
+  profile.literal_object_fraction =
+      property_triples == 0
+          ? 0
+          : static_cast<double>(literal_objects) /
+                static_cast<double>(property_triples);
+  profile.mean_out_degree =
+      out_degree.empty() ? 0
+                         : static_cast<double>(property_triples) /
+                               static_cast<double>(out_degree.size());
+  for (const auto& [subject, degree] : out_degree) {
+    profile.max_out_degree = std::max(profile.max_out_degree, degree);
+  }
+  profile.top_classes = TopK(class_sizes, top_k);
+  profile.top_properties = TopK(property_counts, top_k);
+  return profile;
+}
+
+std::string RenderProfile(const Graph& graph, const GraphProfile& profile) {
+  std::ostringstream out;
+  out << "triples: " << profile.triples << "  (type: "
+      << profile.type_triples << ", subClassOf: " << profile.subclass_triples
+      << ")\n";
+  out << "terms: " << profile.terms << "  classes: " << profile.classes
+      << "  properties: " << profile.properties
+      << "  typed entities: " << profile.typed_entities << '\n';
+  out << "literal objects: "
+      << TextTable::FmtPercent(profile.literal_object_fraction)
+      << "  mean out-degree: " << TextTable::Fmt(profile.mean_out_degree, 2)
+      << "  max out-degree: " << profile.max_out_degree << '\n';
+
+  auto render_ranked = [&](const char* title,
+                           const std::vector<GraphProfile::Ranked>& ranked) {
+    out << title << ":\n";
+    for (const auto& entry : ranked) {
+      out << "  " << graph.dict().Spell(entry.term) << "  " << entry.count
+          << '\n';
+    }
+  };
+  render_ranked("top classes (by instances)", profile.top_classes);
+  render_ranked("top properties (by triples)", profile.top_properties);
+  return out.str();
+}
+
+}  // namespace kgoa

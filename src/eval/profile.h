@@ -1,0 +1,45 @@
+// Statistical profiles of a knowledge graph — the "graph profiling"
+// use case of the paper's related work (section II): summarizing a large
+// graph by its most popular classes and properties, degree statistics and
+// composition, the kind of summary systems like LODStats or ProLOD++
+// compute offline and that Audit Join can approximate online.
+#ifndef KGOA_EVAL_PROFILE_H_
+#define KGOA_EVAL_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/rdf/graph.h"
+
+namespace kgoa {
+
+struct GraphProfile {
+  uint64_t triples = 0;
+  uint64_t terms = 0;
+  uint64_t classes = 0;
+  uint64_t properties = 0;
+  uint64_t typed_entities = 0;     // distinct subjects of rdf:type
+  uint64_t type_triples = 0;
+  uint64_t subclass_triples = 0;
+  double literal_object_fraction = 0;  // property triples with a literal
+  double mean_out_degree = 0;          // property triples per subject
+  uint32_t max_out_degree = 0;
+
+  struct Ranked {
+    TermId term = kInvalidTerm;
+    uint64_t count = 0;
+  };
+  std::vector<Ranked> top_classes;     // by instance count
+  std::vector<Ranked> top_properties; // by triple count (non-structural)
+};
+
+// Computes the profile in one pass over the graph (plus the rankings).
+GraphProfile ProfileGraph(const Graph& graph, int top_k = 10);
+
+// Plain-text rendering.
+std::string RenderProfile(const Graph& graph, const GraphProfile& profile);
+
+}  // namespace kgoa
+
+#endif  // KGOA_EVAL_PROFILE_H_

@@ -1,0 +1,32 @@
+#include "src/explore/cache.h"
+
+namespace kgoa {
+
+const GroupedResult* ChartCache::Lookup(const ChainQuery& query) {
+  auto it = cache_.find(KeyOf(query));
+  if (it == cache_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void ChartCache::Insert(const ChainQuery& query, GroupedResult result) {
+  std::string key = KeyOf(query);
+  if (cache_.count(key) > 0) return;
+  while (cache_.size() >= max_entries_ && !insertion_order_.empty()) {
+    auto evicted = cache_.find(insertion_order_.front());
+    if (evicted != cache_.end()) {
+      approx_bytes_ -= evicted->first.size() +
+                       evicted->second.counts.size() * 16;
+      cache_.erase(evicted);
+    }
+    insertion_order_.pop_front();
+  }
+  approx_bytes_ += key.size() + result.counts.size() * 16;
+  insertion_order_.push_back(key);
+  cache_.emplace(std::move(key), std::move(result));
+}
+
+}  // namespace kgoa

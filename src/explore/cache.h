@@ -1,0 +1,61 @@
+// Materialization cache for exploration charts.
+//
+// The systems the paper contrasts with (GraFa, Rhizomer, Broccoli —
+// section II) precompute and cache aggregated counts; that works for
+// frequently visited charts but cannot cover the combinatorial space of
+// exploration paths ("typically only a subset of relevant results can be
+// materialized"). This cache implements the strategy so the tradeoff can
+// be measured against online aggregation (bench/ablation_materialization):
+// exact results keyed by the rendered query, FIFO-bounded.
+#ifndef KGOA_EXPLORE_CACHE_H_
+#define KGOA_EXPLORE_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "src/join/result.h"
+#include "src/query/chain_query.h"
+
+namespace kgoa {
+
+class ChartCache {
+ public:
+  explicit ChartCache(std::size_t max_entries = 100000)
+      : max_entries_(max_entries) {}
+
+  // Cached exact result for `query`, or nullptr. Counts hits/misses.
+  const GroupedResult* Lookup(const ChainQuery& query);
+
+  // Stores a result; evicts the oldest entry when full.
+  void Insert(const ChainQuery& query, GroupedResult result);
+
+  std::size_t entries() const { return cache_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double HitRate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0 : static_cast<double>(hits_) /
+                                static_cast<double>(total);
+  }
+
+  // Rough memory footprint: keys plus one (group, count) pair per bar.
+  uint64_t ApproxMemoryBytes() const { return approx_bytes_; }
+
+ private:
+  static std::string KeyOf(const ChainQuery& query) {
+    return query.ToSparql();
+  }
+
+  std::size_t max_entries_;
+  std::unordered_map<std::string, GroupedResult> cache_;
+  std::deque<std::string> insertion_order_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t approx_bytes_ = 0;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_EXPLORE_CACHE_H_

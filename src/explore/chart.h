@@ -1,0 +1,75 @@
+// Bar-chart value types of the visual exploration model (section III).
+#ifndef KGOA_EXPLORE_CHART_H_
+#define KGOA_EXPLORE_CHART_H_
+
+#include <vector>
+
+#include "src/rdf/types.h"
+
+namespace kgoa {
+
+// Kind of a bar: what its category denotes.
+enum class BarKind {
+  kClass,        // category is a class; contents are its instances
+  kOutProperty,  // category is a property; contents are subjects having it
+  kInProperty,   // category is a property; contents are objects having it
+};
+
+// The five bar expansions (Figure 3).
+enum class ExpansionKind {
+  kSubclass,     // class bar  -> chart of direct subclasses
+  kOutProperty,  // class bar  -> chart of outgoing properties
+  kInProperty,   // class bar  -> chart of incoming properties
+  kObject,       // out-property bar -> chart of object classes
+  kSubject,      // in-property bar  -> chart of subject classes
+};
+
+inline const char* BarKindName(BarKind kind) {
+  switch (kind) {
+    case BarKind::kClass: return "class";
+    case BarKind::kOutProperty: return "out-property";
+    case BarKind::kInProperty: return "in-property";
+  }
+  return "?";
+}
+
+inline const char* ExpansionName(ExpansionKind kind) {
+  switch (kind) {
+    case ExpansionKind::kSubclass: return "subclass";
+    case ExpansionKind::kOutProperty: return "out-property";
+    case ExpansionKind::kInProperty: return "in-property";
+    case ExpansionKind::kObject: return "object";
+    case ExpansionKind::kSubject: return "subject";
+  }
+  return "?";
+}
+
+// Kind of the bars a given expansion produces.
+inline BarKind ResultBarKind(ExpansionKind expansion) {
+  switch (expansion) {
+    case ExpansionKind::kSubclass:
+    case ExpansionKind::kObject:
+    case ExpansionKind::kSubject:
+      return BarKind::kClass;
+    case ExpansionKind::kOutProperty:
+      return BarKind::kOutProperty;
+    case ExpansionKind::kInProperty:
+      return BarKind::kInProperty;
+  }
+  return BarKind::kClass;
+}
+
+struct Bar {
+  TermId category = kInvalidTerm;
+  double count = 0;           // height: (estimated) distinct focus count
+  double ci_half_width = 0;   // 0 for exact results
+};
+
+struct Chart {
+  BarKind kind = BarKind::kClass;
+  std::vector<Bar> bars;  // sorted by count, descending
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_EXPLORE_CHART_H_

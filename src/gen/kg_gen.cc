@@ -1,0 +1,159 @@
+#include "src/gen/kg_gen.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rdf/vocab.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+
+namespace kgoa {
+
+KgSpec DbpediaLikeSpec(double scale) {
+  KgSpec spec;
+  spec.name = "dbpedia-like";
+  spec.seed = 20220501;
+  spec.num_classes = 1200;
+  spec.taxonomy_skew = 0.55;
+  spec.num_properties = 400;
+  spec.num_entities = static_cast<uint64_t>(140'000 * scale);
+  spec.num_property_triples = static_cast<uint64_t>(900'000 * scale);
+  spec.num_literals = static_cast<uint64_t>(40'000 * scale);
+  spec.class_zipf = 1.05;
+  spec.property_zipf = 1.02;
+  spec.entity_zipf = 0.65;
+  spec.literal_fraction = 0.35;
+  spec.affinity = 0.7;
+  return spec;
+}
+
+KgSpec LgdLikeSpec(double scale) {
+  KgSpec spec;
+  spec.name = "lgd-like";
+  spec.seed = 20151101;
+  spec.num_classes = 280;        // LGD has far fewer classes than DBpedia
+  spec.taxonomy_skew = 0.9;      // shallow, broad taxonomy
+  spec.num_properties = 150;
+  spec.num_entities = static_cast<uint64_t>(420'000 * scale);
+  spec.num_property_triples = static_cast<uint64_t>(2'700'000 * scale);
+  spec.num_literals = static_cast<uint64_t>(120'000 * scale);
+  spec.class_zipf = 0.95;
+  spec.property_zipf = 1.0;
+  spec.entity_zipf = 0.55;
+  spec.literal_fraction = 0.45;  // spatial data is literal-heavy
+  spec.affinity = 0.8;
+  return spec;
+}
+
+Graph GenerateKg(const KgSpec& spec) {
+  KGOA_CHECK(spec.num_classes >= 1);
+  Rng rng(spec.seed);
+  GraphBuilder builder;
+
+  const TermId type_id = builder.Intern(vocab::kRdfType);
+  const TermId subclass_id = builder.Intern(vocab::kRdfsSubClassOf);
+  const TermId thing_id = builder.Intern(vocab::kOwlThing);
+
+  // --- Class taxonomy rooted at owl:Thing -------------------------------
+  std::vector<TermId> classes;
+  classes.reserve(spec.num_classes);
+  classes.push_back(thing_id);
+  std::vector<uint32_t> parent_of(spec.num_classes, 0);
+  for (uint32_t i = 1; i < spec.num_classes; ++i) {
+    classes.push_back(
+        builder.Intern(spec.name + "/class/C" + std::to_string(i)));
+    // Zipf over earlier classes: low-index (shallow) classes attract more
+    // children, giving a broad top and progressively thinner branches.
+    ZipfSampler parents(i, spec.taxonomy_skew);
+    parent_of[i] = static_cast<uint32_t>(parents.Sample(rng));
+    builder.Add(classes[i], subclass_id, classes[parent_of[i]]);
+  }
+
+  // Ancestor chains (for materializing the closure on instance typing).
+  std::vector<std::vector<uint32_t>> ancestors(spec.num_classes);
+  for (uint32_t i = 1; i < spec.num_classes; ++i) {
+    uint32_t cur = i;
+    while (cur != 0) {
+      cur = parent_of[cur];
+      ancestors[i].push_back(cur);
+    }
+  }
+
+  // --- Entities with Zipf-assigned primary classes ----------------------
+  std::vector<TermId> entities;
+  entities.reserve(spec.num_entities);
+  std::vector<uint32_t> primary_class(spec.num_entities);
+  // Instances concentrate in a subset of classes; skip the root so that
+  // "instances of Thing" is exactly the closure of all typed entities.
+  ZipfSampler class_sampler(spec.num_classes - 1, spec.class_zipf);
+  std::vector<std::vector<uint32_t>> instances_of(spec.num_classes);
+  for (uint64_t e = 0; e < spec.num_entities; ++e) {
+    entities.push_back(
+        builder.Intern(spec.name + "/entity/E" + std::to_string(e)));
+    const auto cls = static_cast<uint32_t>(class_sampler.Sample(rng)) + 1;
+    primary_class[e] = cls;
+    instances_of[cls].push_back(static_cast<uint32_t>(e));
+    builder.Add(entities[e], type_id, classes[cls]);
+    for (uint32_t super : ancestors[cls]) {
+      builder.Add(entities[e], type_id, classes[super]);
+    }
+  }
+
+  // --- Literals ----------------------------------------------------------
+  std::vector<TermId> literals;
+  literals.reserve(spec.num_literals);
+  for (uint64_t l = 0; l < spec.num_literals; ++l) {
+    literals.push_back(builder.Intern("\"lit" + std::to_string(l) + "\""));
+  }
+
+  // --- Properties with class affinity ------------------------------------
+  std::vector<TermId> properties;
+  properties.reserve(spec.num_properties);
+  std::vector<uint32_t> domain_of(spec.num_properties);
+  std::vector<uint32_t> range_of(spec.num_properties);
+  std::vector<bool> literal_valued(spec.num_properties);
+  for (uint32_t p = 0; p < spec.num_properties; ++p) {
+    properties.push_back(
+        builder.Intern(spec.name + "/prop/P" + std::to_string(p)));
+    domain_of[p] = static_cast<uint32_t>(class_sampler.Sample(rng)) + 1;
+    range_of[p] = static_cast<uint32_t>(class_sampler.Sample(rng)) + 1;
+    literal_valued[p] = rng.NextDouble() < spec.literal_fraction;
+  }
+
+  // --- Property triples ---------------------------------------------------
+  ZipfSampler property_sampler(spec.num_properties, spec.property_zipf);
+  ZipfSampler entity_sampler(spec.num_entities, spec.entity_zipf);
+  ZipfSampler literal_sampler(spec.num_literals == 0 ? 1 : spec.num_literals,
+                              1.0);
+
+  auto pick_affine = [&](uint32_t cls) -> uint32_t {
+    const auto& pool = instances_of[cls];
+    if (pool.empty()) {
+      return static_cast<uint32_t>(entity_sampler.Sample(rng));
+    }
+    return pool[rng.Below(pool.size())];
+  };
+
+  for (uint64_t i = 0; i < spec.num_property_triples; ++i) {
+    const auto p = static_cast<uint32_t>(property_sampler.Sample(rng));
+    const uint32_t subject =
+        rng.NextDouble() < spec.affinity
+            ? pick_affine(domain_of[p])
+            : static_cast<uint32_t>(entity_sampler.Sample(rng));
+    TermId object;
+    if (literal_valued[p] && spec.num_literals > 0) {
+      object = literals[literal_sampler.Sample(rng)];
+    } else if (rng.NextDouble() < spec.affinity) {
+      object = entities[pick_affine(range_of[p])];
+    } else {
+      object = entities[entity_sampler.Sample(rng)];
+    }
+    builder.Add(entities[subject], properties[p], object);
+  }
+
+  return std::move(builder).Build();
+}
+
+}  // namespace kgoa

@@ -1,0 +1,53 @@
+#include "src/gen/workload.h"
+
+#include <unordered_set>
+
+#include "src/explore/session.h"
+#include "src/join/ctj.h"
+#include "src/util/rng.h"
+
+namespace kgoa {
+
+std::vector<ExplorationQuery> GenerateWorkload(
+    const Graph& graph, const IndexSet& indexes,
+    const WorkloadOptions& options) {
+  Rng rng(options.seed);
+  CtjEngine engine(indexes);
+  std::vector<ExplorationQuery> out;
+  std::unordered_set<std::string> seen;  // dedup by rendered form
+
+  for (int path = 0; path < options.num_paths; ++path) {
+    ExplorationSession session(graph);
+    std::string trail = "root";
+    for (int step = 1; step <= options.max_steps; ++step) {
+      const auto legal = session.LegalExpansions();
+      const ExpansionKind expansion = legal[rng.Below(legal.size())];
+      ChainQuery query = session.BuildQuery(expansion);
+      GroupedResult exact = engine.Evaluate(query);
+      if (exact.counts.empty()) break;  // empty chart ends the path
+
+      trail += std::string(" -> ") + ExpansionName(expansion);
+      const std::string key = query.ToSparql();
+      if (seen.insert(key).second) {
+        out.push_back(ExplorationQuery{query, step, trail, exact});
+      }
+
+      // Weighted bar selection: probability proportional to group size
+      // (the paper's focus-on-large-groups sampling).
+      uint64_t total = exact.Total();
+      uint64_t pick = rng.Below(total) + 1;
+      TermId category = kInvalidTerm;
+      for (const auto& [group, count] : exact.counts) {
+        category = group;
+        if (pick <= count) break;
+        pick -= count;
+      }
+      session.ExpandAndSelect(expansion, category);
+      trail += std::string("(") +
+               std::string(graph.dict().Spell(category)) + ")";
+    }
+  }
+  return out;
+}
+
+}  // namespace kgoa

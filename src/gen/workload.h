@@ -1,0 +1,40 @@
+// Random exploration workload, imitating the paper's query generator
+// (section V-B): start at the root class, repeatedly pick an expansion
+// uniformly at random, evaluate the chart, sample a bar weighted by its
+// size (focusing on large groups like the paper), and continue for up to
+// four steps or until a chart comes back empty. Every non-empty chart query
+// along the way is collected, with its exact result as ground truth.
+#ifndef KGOA_GEN_WORKLOAD_H_
+#define KGOA_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/index/index_set.h"
+#include "src/join/result.h"
+#include "src/query/chain_query.h"
+#include "src/rdf/graph.h"
+
+namespace kgoa {
+
+struct WorkloadOptions {
+  uint64_t seed = 7;
+  int num_paths = 25;  // paper: 25 exploration paths per graph
+  int max_steps = 4;   // paper: up to 4 steps per path
+};
+
+struct ExplorationQuery {
+  ChainQuery query;          // DISTINCT form (the system's native queries)
+  int step = 1;              // 1-based exploration depth of this query
+  std::string description;   // human-readable expansion trail
+  GroupedResult exact;       // exact distinct counts (ground truth)
+};
+
+std::vector<ExplorationQuery> GenerateWorkload(const Graph& graph,
+                                               const IndexSet& indexes,
+                                               const WorkloadOptions& options);
+
+}  // namespace kgoa
+
+#endif  // KGOA_GEN_WORKLOAD_H_

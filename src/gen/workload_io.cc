@@ -1,0 +1,81 @@
+#include "src/gen/workload_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/join/ctj.h"
+#include "src/query/sparql.h"
+
+namespace kgoa {
+
+void WriteWorkload(const std::vector<ExplorationQuery>& workload,
+                   const Graph& graph, std::ostream& out) {
+  out << "# kgoa workload v1\n";
+  for (const ExplorationQuery& eq : workload) {
+    out << "# step: " << eq.step << '\n';
+    out << "# trail: " << eq.description << '\n';
+    out << eq.query.ToSparql(&graph.dict()) << "\n\n";
+  }
+}
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+std::vector<ExplorationQuery> ReadWorkload(std::istream& in,
+                                           const Graph& graph,
+                                           const IndexSet& indexes,
+                                           std::string* error) {
+  std::vector<ExplorationQuery> out;
+  CtjEngine engine(indexes);
+
+  std::string line;
+  int step = 1;
+  std::string trail;
+  std::string block;
+  auto flush_block = [&]() -> bool {
+    if (block.find_first_not_of(" \t\r\n") == std::string::npos) {
+      block.clear();
+      return true;
+    }
+    const SparqlParseResult parsed =
+        ParseSparqlCount(block, graph.dict());
+    if (!parsed.ok()) {
+      SetError(error, "query block ending before line ?: " + parsed.error);
+      return false;
+    }
+    ExplorationQuery eq{*parsed.query, step, trail,
+                        engine.Evaluate(*parsed.query)};
+    out.push_back(std::move(eq));
+    block.clear();
+    return true;
+  };
+
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.rfind("# step:", 0) == 0) {
+      step = std::atoi(line.c_str() + 7);
+      continue;
+    }
+    if (line.rfind("# trail:", 0) == 0) {
+      trail = line.substr(9);
+      continue;
+    }
+    if (!line.empty() && line[0] == '#') continue;
+    if (line.empty()) {
+      if (!flush_block()) return {};
+      continue;
+    }
+    block += line;
+    block += '\n';
+  }
+  if (!flush_block()) return {};
+  return out;
+}
+
+}  // namespace kgoa

@@ -1,0 +1,35 @@
+// Workload serialization: saves a generated exploration workload as a
+// plain-text file of SPARQL queries (one Figure-4 query per block) and
+// loads it back through the SPARQL parser, so experiments can be re-run
+// or shared without regenerating. Ground truth is not stored; reload
+// re-evaluates it with CTJ.
+#ifndef KGOA_GEN_WORKLOAD_IO_H_
+#define KGOA_GEN_WORKLOAD_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/gen/workload.h"
+#include "src/index/index_set.h"
+#include "src/rdf/graph.h"
+
+namespace kgoa {
+
+// Writes the workload with constants spelled via `graph`'s dictionary.
+// Each query block carries its step and description as comments and is
+// terminated by a blank line.
+void WriteWorkload(const std::vector<ExplorationQuery>& workload,
+                   const Graph& graph, std::ostream& out);
+
+// Parses a workload file against `graph`'s dictionary, recomputing exact
+// results over `indexes`. On a malformed block, fills *error and returns
+// an empty vector.
+std::vector<ExplorationQuery> ReadWorkload(std::istream& in,
+                                           const Graph& graph,
+                                           const IndexSet& indexes,
+                                           std::string* error = nullptr);
+
+}  // namespace kgoa
+
+#endif  // KGOA_GEN_WORKLOAD_IO_H_

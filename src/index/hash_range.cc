@@ -1,0 +1,41 @@
+#include "src/index/hash_range.h"
+
+namespace kgoa {
+
+HashRangeIndex::HashRangeIndex(const TrieIndex& index) {
+  const Range root = index.Root();
+  uint32_t pos = root.begin;
+  while (pos < root.end) {
+    const TermId v0 = index.KeyAt(pos, 0);
+    const uint32_t end0 = index.BlockEnd(root, 0, pos);
+    const Range node0{pos, end0};
+    uint32_t child_count = 0;
+    uint32_t p1 = pos;
+    while (p1 < end0) {
+      const TermId v1 = index.KeyAt(p1, 1);
+      const uint32_t end1 = index.BlockEnd(node0, 1, p1);
+      depth2_.emplace(PackPair(v0, v1), Range{p1, end1});
+      ++child_count;
+      p1 = end1;
+    }
+    depth1_.emplace(v0, Entry{node0, child_count});
+    pos = end0;
+  }
+}
+
+Range HashRangeIndex::Depth1(TermId v0) const {
+  auto it = depth1_.find(v0);
+  return it == depth1_.end() ? Range{} : it->second.range;
+}
+
+Range HashRangeIndex::Depth2(TermId v0, TermId v1) const {
+  auto it = depth2_.find(PackPair(v0, v1));
+  return it == depth2_.end() ? Range{} : it->second;
+}
+
+uint64_t HashRangeIndex::Ndv2(TermId v0) const {
+  auto it = depth1_.find(v0);
+  return it == depth1_.end() ? 0 : it->second.child_count;
+}
+
+}  // namespace kgoa

@@ -1,0 +1,56 @@
+// Hash indexes from trie key prefixes to sorted-array ranges.
+//
+// Wander Join and Audit Join need O(1) access to the set of triples
+// matching a pattern given the values sampled so far: both the fan-out d_i
+// (range size) and a uniform draw from the range. The paper implements this
+// with std::unordered_map indexes over the sorted arrays (section V-A);
+// this class is that structure for one TrieIndex: prefix keys of depth 1
+// and 2 map to ranges, and per-key distinct counts of the next level are
+// kept for the tipping-point cardinality estimates.
+#ifndef KGOA_INDEX_HASH_RANGE_H_
+#define KGOA_INDEX_HASH_RANGE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/index/trie_index.h"
+
+namespace kgoa {
+
+class HashRangeIndex {
+ public:
+  explicit HashRangeIndex(const TrieIndex& index);
+
+  HashRangeIndex(const HashRangeIndex&) = delete;
+  HashRangeIndex& operator=(const HashRangeIndex&) = delete;
+  HashRangeIndex(HashRangeIndex&&) = default;
+
+  // Range of triples whose level-0 value is v0 (empty range if absent).
+  Range Depth1(TermId v0) const;
+
+  // Range of triples whose level-0/1 values are (v0, v1).
+  Range Depth2(TermId v0, TermId v1) const;
+
+  // Number of distinct level-0 values.
+  uint64_t Ndv1() const { return depth1_.size(); }
+
+  // Number of distinct level-1 values under level-0 value v0 (0 if absent).
+  uint64_t Ndv2(TermId v0) const;
+
+  // Entry counts (for memory accounting).
+  uint64_t Depth1Entries() const { return depth1_.size(); }
+  uint64_t Depth2Entries() const { return depth2_.size(); }
+
+ private:
+  struct Entry {
+    Range range;
+    uint32_t child_count = 0;  // distinct values at the next level
+  };
+
+  std::unordered_map<TermId, Entry> depth1_;
+  std::unordered_map<uint64_t, Range> depth2_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_INDEX_HASH_RANGE_H_

@@ -1,0 +1,158 @@
+#include "src/index/index_set.h"
+
+#include <bit>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+IndexSet::IndexSet(const Graph& graph) : num_triples_(graph.NumTriples()) {
+  for (IndexOrder order : kAllIndexOrders) {
+    indexes_.push_back(std::make_unique<TrieIndex>(order, graph.triples()));
+    hashes_.push_back(std::make_unique<HashRangeIndex>(*indexes_.back()));
+  }
+}
+
+uint64_t IndexSet::ApproxMemoryBytes() const {
+  uint64_t bytes = 0;
+  for (IndexOrder order : kAllIndexOrders) {
+    bytes += static_cast<uint64_t>(Index(order).size()) * sizeof(Triple);
+    // unordered_map overhead: key + value + bucket/bookkeeping, roughly
+    // 48 bytes per entry on libstdc++.
+    bytes += Hash(order).Depth1Entries() * 48;
+    bytes += Hash(order).Depth2Entries() * 48;
+  }
+  return bytes;
+}
+
+bool IndexSet::ChooseOrder(uint32_t fixed_mask, IndexOrder* order,
+                           int* depth) {
+  const int k = std::popcount(fixed_mask);
+  for (IndexOrder candidate : kAllIndexOrders) {
+    uint32_t prefix_mask = 0;
+    for (int level = 0; level < k; ++level) {
+      prefix_mask |= 1u << OrderComponent(candidate, level);
+    }
+    if (prefix_mask == fixed_mask) {
+      *order = candidate;
+      *depth = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IndexSet::ChooseOrderWithNext(uint32_t fixed_mask, int next,
+                                   IndexOrder* order, int* depth) {
+  const int k = std::popcount(fixed_mask);
+  KGOA_DCHECK((fixed_mask & (1u << next)) == 0);
+  for (IndexOrder candidate : kAllIndexOrders) {
+    uint32_t prefix_mask = 0;
+    for (int level = 0; level < k; ++level) {
+      prefix_mask |= 1u << OrderComponent(candidate, level);
+    }
+    if (prefix_mask == fixed_mask && OrderComponent(candidate, k) == next) {
+      *order = candidate;
+      *depth = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t IndexSet::ConstantMask(const TriplePattern& pattern) const {
+  uint32_t mask = 0;
+  for (int c = 0; c < 3; ++c) {
+    if (!pattern[c].is_var()) mask |= 1u << c;
+  }
+  return mask;
+}
+
+Range IndexSet::ConstantRange(const TriplePattern& pattern, IndexOrder* order,
+                              int* depth) const {
+  const uint32_t mask = ConstantMask(pattern);
+  KGOA_CHECK_MSG(ChooseOrder(mask, order, depth),
+                 "pattern constants do not form an index prefix");
+  const TrieIndex& index = Index(*order);
+  const HashRangeIndex& hash = Hash(*order);
+  switch (*depth) {
+    case 0:
+      return index.Root();
+    case 1:
+      return hash.Depth1(pattern[OrderComponent(*order, 0)].term());
+    case 2:
+      return hash.Depth2(pattern[OrderComponent(*order, 0)].term(),
+                         pattern[OrderComponent(*order, 1)].term());
+    default: {
+      // All three components constant: narrow the depth-2 range.
+      Range r = hash.Depth2(pattern[OrderComponent(*order, 0)].term(),
+                            pattern[OrderComponent(*order, 1)].term());
+      return index.Narrow(r, 2, pattern[OrderComponent(*order, 2)].term());
+    }
+  }
+}
+
+uint64_t IndexSet::CountMatches(const TriplePattern& pattern) const {
+  const uint32_t mask = ConstantMask(pattern);
+  IndexOrder order;
+  int depth;
+  if (ChooseOrder(mask, &order, &depth)) {
+    return ConstantRange(pattern, &order, &depth).size();
+  }
+  // Only {subject, object} lacks a prefix order: scan the subject's SPO
+  // range and filter on the object.
+  KGOA_DCHECK(mask == 0b101u);
+  const TrieIndex& spo = Index(IndexOrder::kSpo);
+  const Range r = Hash(IndexOrder::kSpo).Depth1(pattern[kSubject].term());
+  uint64_t count = 0;
+  for (uint32_t pos = r.begin; pos < r.end; ++pos) {
+    if (spo.TripleAt(pos).o == pattern[kObject].term()) ++count;
+  }
+  return count;
+}
+
+uint64_t IndexSet::CountDistinctVar(const TriplePattern& pattern,
+                                    VarId v) const {
+  const int vc = pattern.ComponentOf(v);
+  KGOA_CHECK_MSG(vc >= 0, "variable not in pattern");
+  const uint32_t mask = ConstantMask(pattern);
+  IndexOrder order;
+  int depth;
+  if (ChooseOrderWithNext(mask, vc, &order, &depth)) {
+    const HashRangeIndex& hash = Hash(order);
+    switch (depth) {
+      case 0:
+        return hash.Ndv1();
+      case 1:
+        return hash.Ndv2(pattern[OrderComponent(order, 0)].term());
+      default: {
+        // Two constants fixed: triples are unique, so every value of the
+        // remaining component is distinct.
+        return hash.Depth2(pattern[OrderComponent(order, 0)].term(),
+                           pattern[OrderComponent(order, 1)].term())
+            .size();
+      }
+    }
+  }
+  // Fallback: scan the constant range (or everything) and collect values.
+  std::unordered_set<TermId> values;
+  if (ChooseOrder(mask, &order, &depth)) {
+    const Range r = ConstantRange(pattern, &order, &depth);
+    const TrieIndex& index = Index(order);
+    for (uint32_t pos = r.begin; pos < r.end; ++pos) {
+      values.insert(index.TripleAt(pos)[vc]);
+    }
+  } else {
+    KGOA_DCHECK(mask == 0b101u);
+    const TrieIndex& spo = Index(IndexOrder::kSpo);
+    const Range r = Hash(IndexOrder::kSpo).Depth1(pattern[kSubject].term());
+    for (uint32_t pos = r.begin; pos < r.end; ++pos) {
+      const Triple& t = spo.TripleAt(pos);
+      if (t.o == pattern[kObject].term()) values.insert(t[vc]);
+    }
+  }
+  return values.size();
+}
+
+}  // namespace kgoa

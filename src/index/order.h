@@ -1,0 +1,61 @@
+// Index orderings over the three triple components.
+//
+// Following the paper (section V-A), four of the six possible orders are
+// maintained: (s,p,o), (o,p,s), (p,s,o), (p,o,s). These suffice for every
+// access path that exploration queries need (constants plus at most one
+// bound join variable always form a prefix of one of these orders).
+#ifndef KGOA_INDEX_ORDER_H_
+#define KGOA_INDEX_ORDER_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/rdf/types.h"
+
+namespace kgoa {
+
+enum class IndexOrder : uint8_t { kSpo = 0, kOps = 1, kPso = 2, kPos = 3 };
+
+inline constexpr int kNumIndexOrders = 4;
+
+inline constexpr std::array<IndexOrder, kNumIndexOrders> kAllIndexOrders = {
+    IndexOrder::kSpo, IndexOrder::kOps, IndexOrder::kPso, IndexOrder::kPos};
+
+// Component (0 = subject, 1 = predicate, 2 = object) stored at each trie
+// level for each order.
+inline constexpr int OrderComponent(IndexOrder order, int level) {
+  constexpr int kComponents[kNumIndexOrders][3] = {
+      {0, 1, 2},  // SPO
+      {2, 1, 0},  // OPS
+      {1, 0, 2},  // PSO
+      {1, 2, 0},  // POS
+  };
+  return kComponents[static_cast<int>(order)][level];
+}
+
+inline constexpr const char* OrderName(IndexOrder order) {
+  constexpr const char* kNames[kNumIndexOrders] = {"SPO", "OPS", "PSO", "POS"};
+  return kNames[static_cast<int>(order)];
+}
+
+// Key of `t` under `order`: the component values in level order.
+inline std::array<TermId, 3> OrderKey(IndexOrder order, const Triple& t) {
+  return {t[OrderComponent(order, 0)], t[OrderComponent(order, 1)],
+          t[OrderComponent(order, 2)]};
+}
+
+// Lexicographic comparison of triples under `order`.
+struct OrderLess {
+  IndexOrder order;
+  bool operator()(const Triple& a, const Triple& b) const {
+    for (int level = 0; level < 3; ++level) {
+      const int c = OrderComponent(order, level);
+      if (a[c] != b[c]) return a[c] < b[c];
+    }
+    return false;
+  }
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_INDEX_ORDER_H_

@@ -1,0 +1,77 @@
+#include "src/index/trie_index.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+namespace {
+
+// Comparator projecting a single level's component for binary search.
+struct LevelLess {
+  IndexOrder order;
+  int level;
+  bool operator()(const Triple& t, TermId v) const {
+    return t[OrderComponent(order, level)] < v;
+  }
+  bool operator()(TermId v, const Triple& t) const {
+    return v < t[OrderComponent(order, level)];
+  }
+};
+
+}  // namespace
+
+TrieIndex::TrieIndex(IndexOrder order, const std::vector<Triple>& triples)
+    : order_(order), triples_(triples) {
+  std::sort(triples_.begin(), triples_.end(), OrderLess{order_});
+}
+
+Range TrieIndex::Narrow(Range range, int level, TermId value) const {
+  KGOA_DCHECK(level >= 0 && level < 3);
+  const auto first = triples_.begin() + range.begin;
+  const auto last = triples_.begin() + range.end;
+  const auto [lo, hi] =
+      std::equal_range(first, last, value, LevelLess{order_, level});
+  return Range{static_cast<uint32_t>(lo - triples_.begin()),
+               static_cast<uint32_t>(hi - triples_.begin())};
+}
+
+uint32_t TrieIndex::SeekGE(Range range, int level, TermId value,
+                           uint32_t from) const {
+  KGOA_DCHECK(from >= range.begin);
+  const auto first = triples_.begin() + from;
+  const auto last = triples_.begin() + range.end;
+  const auto it = std::lower_bound(first, last, value, LevelLess{order_, level});
+  return static_cast<uint32_t>(it - triples_.begin());
+}
+
+uint32_t TrieIndex::BlockEnd(Range range, int level, uint32_t pos) const {
+  KGOA_DCHECK(pos >= range.begin && pos < range.end);
+  const TermId value = KeyAt(pos, level);
+  // Exponential (galloping) search: blocks are usually short relative to
+  // the enclosing range, so this beats a full binary search in practice.
+  uint32_t step = 1;
+  uint32_t lo = pos;
+  while (lo + step < range.end && KeyAt(lo + step, level) == value) {
+    lo += step;
+    step <<= 1;
+  }
+  const uint32_t hi = std::min<uint64_t>(range.end, static_cast<uint64_t>(lo) + step);
+  const auto first = triples_.begin() + lo;
+  const auto last = triples_.begin() + hi;
+  const auto it = std::upper_bound(first, last, value, LevelLess{order_, level});
+  return static_cast<uint32_t>(it - triples_.begin());
+}
+
+uint64_t TrieIndex::CountDistinct(Range range, int level) const {
+  uint64_t count = 0;
+  uint32_t pos = range.begin;
+  while (pos < range.end) {
+    ++count;
+    pos = BlockEnd(range, level, pos);
+  }
+  return count;
+}
+
+}  // namespace kgoa

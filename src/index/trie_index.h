@@ -1,0 +1,71 @@
+// Sorted-array trie index over the triples of a graph, for one component
+// order. This is the paper's index representation for CTJ and Audit Join
+// (section V-A): a flat std::vector sorted lexicographically, where each
+// trie "node" is a contiguous range and each search is O(log n).
+#ifndef KGOA_INDEX_TRIE_INDEX_H_
+#define KGOA_INDEX_TRIE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/order.h"
+#include "src/rdf/types.h"
+
+namespace kgoa {
+
+// Half-open range of positions in the sorted triple array.
+struct Range {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  uint32_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+class TrieIndex {
+ public:
+  // Copies and sorts `triples` under `order`. Input must be duplicate-free
+  // (Graph guarantees this).
+  TrieIndex(IndexOrder order, const std::vector<Triple>& triples);
+
+  TrieIndex(const TrieIndex&) = delete;
+  TrieIndex& operator=(const TrieIndex&) = delete;
+  TrieIndex(TrieIndex&&) = default;
+
+  IndexOrder order() const { return order_; }
+  uint32_t size() const { return static_cast<uint32_t>(triples_.size()); }
+  Range Root() const { return Range{0, size()}; }
+
+  const Triple& TripleAt(uint32_t pos) const { return triples_[pos]; }
+
+  // Value stored at trie `level` for the triple at `pos`.
+  TermId KeyAt(uint32_t pos, int level) const {
+    return triples_[pos][OrderComponent(order_, level)];
+  }
+
+  // Sub-range of `range` whose `level` value equals `value`. `range` must
+  // be a trie node at depth `level` (root or the result of narrowing levels
+  // 0..level-1). O(log |range|).
+  Range Narrow(Range range, int level, TermId value) const;
+
+  // First position in [from, range.end) whose `level` value is >= `value`.
+  // Positions before `from` are assumed already consumed (leapfrog seek).
+  uint32_t SeekGE(Range range, int level, TermId value, uint32_t from) const;
+
+  // End of the block of equal `level` values starting at `pos`.
+  uint32_t BlockEnd(Range range, int level, uint32_t pos) const;
+
+  // Number of distinct `level` values in `range` (a depth-`level` node).
+  // O(d log n) for d distinct values.
+  uint64_t CountDistinct(Range range, int level) const;
+
+ private:
+  IndexOrder order_;
+  std::vector<Triple> triples_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_INDEX_TRIE_INDEX_H_

@@ -1,0 +1,54 @@
+#include "src/index/trie_iterator.h"
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+TrieIterator::TrieIterator(const TrieIndex* index) : index_(index) {
+  ranges_[0] = index_->Root();
+  pos_ = ranges_[0].begin;
+}
+
+void TrieIterator::Open() {
+  KGOA_DCHECK(level_ < 2);
+  if (level_ >= 0) {
+    KGOA_DCHECK(!AtEnd());
+    saved_pos_[level_] = pos_;
+    // The child node is the block of triples sharing the current key.
+    const uint32_t end = index_->BlockEnd(NodeRange(), level_, pos_);
+    ranges_[level_ + 1] = Range{pos_, end};
+  }
+  ++level_;
+  pos_ = NodeRange().begin;
+}
+
+void TrieIterator::Up() {
+  KGOA_DCHECK(level_ >= 0);
+  --level_;
+  pos_ = level_ >= 0 ? saved_pos_[level_] : ranges_[0].begin;
+}
+
+void TrieIterator::Next() {
+  KGOA_DCHECK(level_ >= 0 && !AtEnd());
+  pos_ = index_->BlockEnd(NodeRange(), level_, pos_);
+}
+
+void TrieIterator::SeekGE(TermId value) {
+  KGOA_DCHECK(level_ >= 0);
+  if (AtEnd() || Key() >= value) return;
+  pos_ = index_->SeekGE(NodeRange(), level_, value, pos_);
+}
+
+uint64_t TrieIterator::CountRemaining() const {
+  KGOA_DCHECK(level_ >= 0);
+  uint64_t count = 0;
+  uint32_t p = pos_;
+  const Range node = NodeRange();
+  while (p < node.end) {
+    ++count;
+    p = index_->BlockEnd(node, level_, p);
+  }
+  return count;
+}
+
+}  // namespace kgoa

@@ -1,0 +1,64 @@
+// LeapFrog-style trie iterator (Veldhuizen, ICDT 2014) over a TrieIndex.
+//
+// Exposes the classic interface the LeapFrog Trie Join backtracking search
+// needs: Open/Up to move vertically, Next/SeekGE/AtEnd to scan the distinct
+// values of the current trie level.
+#ifndef KGOA_INDEX_TRIE_ITERATOR_H_
+#define KGOA_INDEX_TRIE_ITERATOR_H_
+
+#include <array>
+
+#include "src/index/trie_index.h"
+
+namespace kgoa {
+
+class TrieIterator {
+ public:
+  explicit TrieIterator(const TrieIndex* index);
+
+  // Depth of the iterator: -1 at the (virtual) root, 0..2 inside the trie.
+  int level() const { return level_; }
+
+  // Descends into the first value of the next level. Requires level() < 2
+  // and, at level >= 0, !AtEnd().
+  void Open();
+
+  // Ascends one level, restoring the parent's position.
+  void Up();
+
+  // True when the current level's values are exhausted.
+  bool AtEnd() const { return pos_ >= NodeRange().end; }
+
+  // Current value at the current level. Requires !AtEnd().
+  TermId Key() const { return index_->KeyAt(pos_, level_); }
+
+  // Advances to the next distinct value at the current level.
+  void Next();
+
+  // Advances to the least value >= `value` at the current level (leapfrog
+  // seek). Never moves backwards.
+  void SeekGE(TermId value);
+
+  // Number of distinct values remaining at the current level from the
+  // current position (linear in that count; used by tests).
+  uint64_t CountRemaining() const;
+
+  const TrieIndex& index() const { return *index_; }
+
+ private:
+  // Trie node (range) containing the values of the current level; valid
+  // for level_ >= 0.
+  Range NodeRange() const { return ranges_[level_]; }
+
+  const TrieIndex* index_;
+  int level_ = -1;
+  // ranges_[l]: the node whose values form level l (ranges_[0] = root).
+  std::array<Range, 3> ranges_;
+  // Saved positions per level for Up().
+  std::array<uint32_t, 3> saved_pos_{};
+  uint32_t pos_ = 0;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_INDEX_TRIE_ITERATOR_H_

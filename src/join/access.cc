@@ -1,0 +1,62 @@
+#include "src/join/access.h"
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+bool PatternAccess::TryCompile(const TriplePattern& pattern, VarId bound_var,
+                               PatternAccess* access) {
+  uint32_t mask = 0;
+  for (int c = 0; c < 3; ++c) {
+    if (!pattern[c].is_var()) mask |= 1u << c;
+  }
+  int bound_component = -1;
+  if (bound_var != kNoVar) {
+    bound_component = pattern.ComponentOf(bound_var);
+    KGOA_CHECK_MSG(bound_component >= 0, "bound variable not in pattern");
+    mask |= 1u << bound_component;
+  }
+
+  if (!IndexSet::ChooseOrder(mask, &access->order_, &access->depth_)) {
+    return false;
+  }
+  access->bound_level_ = -1;
+  for (int level = 0; level < access->depth_; ++level) {
+    const int c = OrderComponent(access->order_, level);
+    if (c == bound_component) {
+      access->bound_level_ = level;
+    } else {
+      access->key_[level] = pattern[c].term();
+    }
+  }
+  return true;
+}
+
+PatternAccess PatternAccess::Compile(const TriplePattern& pattern,
+                                     VarId bound_var) {
+  PatternAccess access;
+  KGOA_CHECK_MSG(TryCompile(pattern, bound_var, &access),
+                 "no index order covers this access path");
+  return access;
+}
+
+Range PatternAccess::Resolve(const IndexSet& indexes,
+                             TermId bound_value) const {
+  std::array<TermId, 3> key = key_;
+  if (bound_level_ >= 0) key[bound_level_] = bound_value;
+
+  const TrieIndex& index = indexes.Index(order_);
+  const HashRangeIndex& hash = indexes.Hash(order_);
+  switch (depth_) {
+    case 0:
+      return index.Root();
+    case 1:
+      return hash.Depth1(key[0]);
+    case 2:
+      return hash.Depth2(key[0], key[1]);
+    default:
+      return index.Narrow(hash.Depth2(key[0], key[1]), 2, key[2]);
+  }
+}
+
+}  // namespace kgoa

@@ -1,0 +1,56 @@
+// Access-path compilation for a triple pattern with at most one bound
+// (runtime-supplied) variable.
+//
+// Every engine in this library — CTJ's cached backtracking, Wander Join's
+// random walks, Audit Join's hybrid — repeats one primitive: "given the
+// value of the variable shared with the previous pattern, give me the range
+// of matching triples". PatternAccess picks the index order whose prefix
+// covers the pattern's constants plus the bound variable and resolves that
+// range in O(1) via the hash range indexes.
+#ifndef KGOA_JOIN_ACCESS_H_
+#define KGOA_JOIN_ACCESS_H_
+
+#include <array>
+
+#include "src/index/index_set.h"
+#include "src/query/pattern.h"
+
+namespace kgoa {
+
+class PatternAccess {
+ public:
+  // Compiles the access path. `bound_var` is the variable whose value is
+  // supplied at Resolve time (kNoVar if none); it must occur in `pattern`.
+  // Aborts if no maintained index order covers the required prefix (cannot
+  // happen for chain exploration queries; see src/index/order.h).
+  static PatternAccess Compile(const TriplePattern& pattern, VarId bound_var);
+
+  // Like Compile but returns false instead of aborting when no maintained
+  // order covers the prefix (the {subject, object} fixed set).
+  static bool TryCompile(const TriplePattern& pattern, VarId bound_var,
+                         PatternAccess* access);
+
+  // Range of triples matching the constants and bound_var = bound_value.
+  // `bound_value` is ignored when the access has no bound variable.
+  Range Resolve(const IndexSet& indexes, TermId bound_value) const;
+
+  // True if any triple matches; for depth-3 accesses this is the
+  // existence-check form.
+  bool Exists(const IndexSet& indexes, TermId bound_value) const {
+    return !Resolve(indexes, bound_value).empty();
+  }
+
+  IndexOrder order() const { return order_; }
+  int depth() const { return depth_; }
+  bool has_bound() const { return bound_level_ >= 0; }
+
+ private:
+  IndexOrder order_ = IndexOrder::kSpo;
+  int depth_ = 0;                       // fixed prefix length (0..3)
+  int bound_level_ = -1;                // level of the bound variable
+  std::array<TermId, 3> key_{};         // constant values per level (< depth)
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_JOIN_ACCESS_H_

@@ -1,0 +1,134 @@
+#include "src/join/baseline.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/join/access.h"
+#include "src/join/filter.h"
+#include "src/util/check.h"
+
+namespace kgoa {
+
+namespace {
+
+// A materialized relation: `width` columns (one per variable in `schema`),
+// rows stored contiguously.
+struct Table {
+  std::vector<VarId> schema;
+  std::vector<TermId> cells;
+
+  std::size_t width() const { return schema.size(); }
+  std::size_t rows() const {
+    return schema.empty() ? 0 : cells.size() / schema.size();
+  }
+  int ColumnOf(VarId v) const {
+    for (std::size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace
+
+BaselineEngine::Outcome BaselineEngine::Evaluate(
+    const ChainQuery& query) const {
+  Outcome outcome;
+  const auto& patterns = query.patterns();
+
+  // Materialize the first pattern.
+  Table table;
+  {
+    const TriplePattern& p0 = patterns[0];
+    table.schema = p0.Vars();
+    const PatternAccess access = PatternAccess::Compile(p0, kNoVar);
+    const FilterSet filter(query.filters(0));
+    const Range range = access.Resolve(indexes_, kInvalidTerm);
+    const TrieIndex& index = indexes_.Index(access.order());
+    table.cells.reserve(static_cast<std::size_t>(range.size()) *
+                        table.width());
+    for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+      const Triple& t = index.TripleAt(pos);
+      if (!filter.empty() && !filter.Pass(indexes_, t)) continue;
+      for (VarId v : table.schema) table.cells.push_back(t[p0.ComponentOf(v)]);
+    }
+  }
+  outcome.peak_rows = table.rows();
+
+  // Join in the remaining patterns left to right, materializing each
+  // intermediate result in full.
+  for (int i = 1; i < query.NumPatterns(); ++i) {
+    const TriplePattern& p = patterns[i];
+    const VarId link = query.links()[i - 1];
+    const int link_column = table.ColumnOf(link);
+    KGOA_CHECK(link_column >= 0);
+    const int link_component = p.ComponentOf(link);
+    KGOA_CHECK(link_component >= 0);
+
+    // Build a hash table over the new pattern keyed on the link value.
+    const PatternAccess access = PatternAccess::Compile(p, kNoVar);
+    const FilterSet filter(query.filters(i));
+    const Range range = access.Resolve(indexes_, kInvalidTerm);
+    const TrieIndex& index = indexes_.Index(access.order());
+    std::unordered_map<TermId, std::vector<uint32_t>> build;
+    for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+      const Triple& t = index.TripleAt(pos);
+      if (!filter.empty() && !filter.Pass(indexes_, t)) continue;
+      build[t[link_component]].push_back(pos);
+    }
+
+    // New columns contributed by this pattern.
+    std::vector<VarId> new_vars;
+    for (VarId v : p.Vars()) {
+      if (v != link) new_vars.push_back(v);
+    }
+
+    Table next;
+    next.schema = table.schema;
+    next.schema.insert(next.schema.end(), new_vars.begin(), new_vars.end());
+
+    const std::size_t old_width = table.width();
+    for (std::size_t row = 0; row < table.rows(); ++row) {
+      const TermId* cells = table.cells.data() + row * old_width;
+      auto it = build.find(cells[link_column]);
+      if (it == build.end()) continue;
+      for (uint32_t pos : it->second) {
+        const Triple& t = index.TripleAt(pos);
+        next.cells.insert(next.cells.end(), cells, cells + old_width);
+        for (VarId v : new_vars) next.cells.push_back(t[p.ComponentOf(v)]);
+        if (next.rows() > options_.max_rows) {
+          outcome.truncated = true;
+          return outcome;
+        }
+      }
+    }
+    table = std::move(next);
+    outcome.peak_rows = std::max<uint64_t>(outcome.peak_rows, table.rows());
+  }
+
+  // Group by alpha; count beta (with or without distinct).
+  const int alpha_column = table.ColumnOf(query.alpha());
+  const int beta_column = table.ColumnOf(query.beta());
+  KGOA_CHECK(alpha_column >= 0 && beta_column >= 0);
+  const std::size_t width = table.width();
+  if (query.distinct()) {
+    std::unordered_set<uint64_t> seen_pairs;
+    for (std::size_t row = 0; row < table.rows(); ++row) {
+      const TermId* cells = table.cells.data() + row * width;
+      if (seen_pairs.insert(PackPair(cells[alpha_column], cells[beta_column]))
+              .second) {
+        ++outcome.result.counts[cells[alpha_column]];
+      }
+    }
+  } else {
+    for (std::size_t row = 0; row < table.rows(); ++row) {
+      const TermId* cells = table.cells.data() + row * width;
+      ++outcome.result.counts[cells[alpha_column]];
+    }
+  }
+  return outcome;
+}
+
+}  // namespace kgoa

@@ -1,0 +1,48 @@
+// Baseline exact engine: left-deep materializing hash joins.
+//
+// This is the reproduction's stand-in for the off-the-shelf SPARQL engine
+// (Virtuoso) in the paper's evaluation. Like a traditional engine it fully
+// materializes every intermediate join result before grouping, so its
+// runtime explodes on the low-selectivity exploration queries — the
+// behaviour the paper reports (minutes to hours on root expansions) and
+// the motivation for WCOJ and online aggregation. See DESIGN.md section 4.
+#ifndef KGOA_JOIN_BASELINE_H_
+#define KGOA_JOIN_BASELINE_H_
+
+#include <cstdint>
+
+#include "src/index/index_set.h"
+#include "src/join/result.h"
+#include "src/query/chain_query.h"
+
+namespace kgoa {
+
+class BaselineEngine {
+ public:
+  struct Options {
+    // Safety valve: abort (truncated=true) when an intermediate relation
+    // exceeds this many rows, so benchmark sweeps terminate.
+    uint64_t max_rows = 100'000'000;
+  };
+
+  struct Outcome {
+    GroupedResult result;
+    bool truncated = false;     // hit max_rows; result is invalid
+    uint64_t peak_rows = 0;     // largest materialized intermediate
+  };
+
+  explicit BaselineEngine(const IndexSet& indexes)
+      : indexes_(indexes), options_() {}
+  BaselineEngine(const IndexSet& indexes, Options options)
+      : indexes_(indexes), options_(options) {}
+
+  Outcome Evaluate(const ChainQuery& query) const;
+
+ private:
+  const IndexSet& indexes_;
+  Options options_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_JOIN_BASELINE_H_

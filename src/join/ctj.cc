@@ -1,0 +1,160 @@
+#include "src/join/ctj.h"
+
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+ChainSuffixCounter::ChainSuffixCounter(const IndexSet& indexes,
+                                       std::vector<TriplePattern> patterns,
+                                       std::vector<VarId> in_vars,
+                                       std::vector<FilterSet> filters)
+    : indexes_(indexes),
+      patterns_(std::move(patterns)),
+      in_vars_(std::move(in_vars)),
+      filters_(std::move(filters)) {
+  KGOA_CHECK(in_vars_.size() == patterns_.size());
+  filters_.resize(patterns_.size());
+  caches_.resize(patterns_.size());
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    accesses_.push_back(PatternAccess::Compile(patterns_[i], in_vars_[i]));
+    int out_component = -1;
+    if (i + 1 < patterns_.size()) {
+      out_component = patterns_[i].ComponentOf(in_vars_[i + 1]);
+      KGOA_CHECK_MSG(out_component >= 0,
+                     "consecutive chain steps must share the in-variable");
+    }
+    out_components_.push_back(out_component);
+  }
+}
+
+uint64_t ChainSuffixCounter::Count(int step, TermId value) {
+  if (step == NumSteps()) return 1;
+  KGOA_DCHECK(step >= 0 && step < NumSteps());
+
+  const bool cacheable = caching_enabled_ && in_vars_[step] != kNoVar;
+  if (cacheable) {
+    auto it = caches_[step].find(value);
+    if (it != caches_[step].end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+
+  const Range range = accesses_[step].Resolve(indexes_, value);
+  const TrieIndex& index = indexes_.Index(accesses_[step].order());
+  const FilterSet& filter = filters_[step];
+  uint64_t count = 0;
+  if (out_components_[step] < 0 && filter.empty()) {
+    // Last step: every matching triple is a completion.
+    count = range.size();
+  } else {
+    for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+      const Triple& t = index.TripleAt(pos);
+      if (!filter.empty() && !filter.Pass(indexes_, t)) continue;
+      count += out_components_[step] < 0
+                   ? 1
+                   : Count(step + 1, t[out_components_[step]]);
+    }
+  }
+
+  if (cacheable) caches_[step].emplace(value, count);
+  return count;
+}
+
+void ChainSuffixCounter::ClearCache() {
+  for (auto& cache : caches_) cache.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+namespace {
+
+// Builds the two outward chains (left and right of the anchor pattern) of
+// a query, as pattern/in-var sequences for ChainSuffixCounter.
+struct AnchoredChains {
+  std::vector<TriplePattern> left_patterns;   // anchor-1 .. 0
+  std::vector<VarId> left_in_vars;
+  std::vector<FilterSet> left_filters;
+  std::vector<TriplePattern> right_patterns;  // anchor+1 .. n-1
+  std::vector<VarId> right_in_vars;
+  std::vector<FilterSet> right_filters;
+  int left_component = -1;   // anchor triple component joining leftwards
+  int right_component = -1;  // anchor triple component joining rightwards
+};
+
+AnchoredChains BuildAnchoredChains(const ChainQuery& query, int anchor) {
+  AnchoredChains chains;
+  const auto& patterns = query.patterns();
+  const auto& links = query.links();
+  if (anchor > 0) {
+    chains.left_component = patterns[anchor].ComponentOf(links[anchor - 1]);
+    for (int i = anchor - 1; i >= 0; --i) {
+      chains.left_patterns.push_back(patterns[i]);
+      chains.left_in_vars.push_back(links[i]);
+      chains.left_filters.emplace_back(query.filters(i));
+    }
+  }
+  if (anchor + 1 < query.NumPatterns()) {
+    chains.right_component = patterns[anchor].ComponentOf(links[anchor]);
+    for (int i = anchor + 1; i < query.NumPatterns(); ++i) {
+      chains.right_patterns.push_back(patterns[i]);
+      chains.right_in_vars.push_back(links[i - 1]);
+      chains.right_filters.emplace_back(query.filters(i));
+    }
+  }
+  return chains;
+}
+
+}  // namespace
+
+GroupedResult CtjEngine::Evaluate(const ChainQuery& query) const {
+  const int anchor = query.alpha_beta_pattern();
+  KGOA_CHECK(anchor >= 0);
+  const TriplePattern& ap = query.patterns()[anchor];
+  const int alpha_component = ap.ComponentOf(query.alpha());
+  const int beta_component = ap.ComponentOf(query.beta());
+  KGOA_CHECK(alpha_component >= 0 && beta_component >= 0);
+
+  AnchoredChains chains = BuildAnchoredChains(query, anchor);
+  ChainSuffixCounter left(indexes_, chains.left_patterns,
+                          chains.left_in_vars, chains.left_filters);
+  ChainSuffixCounter right(indexes_, chains.right_patterns,
+                           chains.right_in_vars, chains.right_filters);
+
+  const PatternAccess anchor_access = PatternAccess::Compile(ap, kNoVar);
+  const FilterSet anchor_filter(query.filters(anchor));
+  const Range range = anchor_access.Resolve(indexes_, kInvalidTerm);
+  const TrieIndex& index = indexes_.Index(anchor_access.order());
+
+  GroupedResult result;
+  std::unordered_set<uint64_t> seen_pairs;
+  for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+    const Triple& t = index.TripleAt(pos);
+    if (!anchor_filter.empty() && !anchor_filter.Pass(indexes_, t)) continue;
+    const uint64_t left_count =
+        chains.left_component < 0
+            ? 1
+            : left.CountAll(t[chains.left_component]);
+    if (left_count == 0) continue;
+    const uint64_t right_count =
+        chains.right_component < 0
+            ? 1
+            : right.CountAll(t[chains.right_component]);
+    if (right_count == 0) continue;
+
+    const TermId a = t[alpha_component];
+    if (query.distinct()) {
+      if (seen_pairs.insert(PackPair(a, t[beta_component])).second) {
+        ++result.counts[a];
+      }
+    } else {
+      result.counts[a] += left_count * right_count;
+    }
+  }
+  return result;
+}
+
+}  // namespace kgoa

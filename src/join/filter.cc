@@ -1,0 +1,42 @@
+#include "src/join/filter.h"
+
+namespace kgoa {
+
+namespace {
+
+// Fresh variable id private to the probe pattern.
+constexpr VarId kProbeVar = static_cast<VarId>(-2);
+
+}  // namespace
+
+FilterSet::FilterSet(const std::vector<TypeFilter>& filters) {
+  for (const TypeFilter& filter : filters) {
+    const TriplePattern probe = MakePattern(Slot::MakeVar(kProbeVar),
+                                            Slot::MakeConst(filter.property),
+                                            Slot::MakeConst(filter.value));
+    checks_.push_back(
+        Check{filter.component, PatternAccess::Compile(probe, kProbeVar)});
+  }
+}
+
+bool FilterSet::Pass(const IndexSet& indexes, const Triple& t) const {
+  for (const Check& check : checks_) {
+    if (check.access.Resolve(indexes, t[check.component]).empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FilterSet::PassComponent(const IndexSet& indexes, int component,
+                              TermId value) const {
+  for (const Check& check : checks_) {
+    if (check.component == component &&
+        check.access.Resolve(indexes, value).empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace kgoa

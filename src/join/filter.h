@@ -1,0 +1,57 @@
+// Existence filters on pattern extents.
+//
+// Exploration steps sometimes restrict a variable that already appears in
+// two triple patterns (e.g. Example III.1: out-properties of *Persons* who
+// influenced philosophers — the Person restriction lands on a variable the
+// chain already uses twice). Adding another pattern would break the Fig. 4
+// contract (each variable in at most two patterns), so such restrictions
+// are fused into the adjacent pattern's extent as filters, consistent with
+// the paper's selectivity definition ("each filter sets a variable in a
+// query to a constant").
+//
+// A filter (component, property, value) keeps a triple t iff the graph
+// contains (t[component], property, value). Engines treat filtered-out
+// tuples as absent; random-walk engines keep sampling from the unfiltered
+// range (d_i unchanged) and reject walks that draw a filtered-out tuple,
+// which preserves unbiasedness — filtered-out completions simply carry
+// estimate zero.
+#ifndef KGOA_JOIN_FILTER_H_
+#define KGOA_JOIN_FILTER_H_
+
+#include <vector>
+
+#include "src/index/index_set.h"
+#include "src/join/access.h"
+#include "src/query/pattern.h"
+
+namespace kgoa {
+
+// Compiled filters of a single pattern. Empty sets pass everything.
+class FilterSet {
+ public:
+  FilterSet() = default;
+
+  // Compiles `filters` (see TypeFilter in pattern.h) for one pattern.
+  explicit FilterSet(const std::vector<TypeFilter>& filters);
+
+  bool empty() const { return checks_.empty(); }
+
+  // True iff `t` passes every filter. O(log n) per filter.
+  bool Pass(const IndexSet& indexes, const Triple& t) const;
+
+  // True iff `value` (for the slot `component`) passes the filters bound to
+  // that component; other components' filters are ignored.
+  bool PassComponent(const IndexSet& indexes, int component,
+                     TermId value) const;
+
+ private:
+  struct Check {
+    int component;
+    PatternAccess access;  // existence probe bound on the filtered value
+  };
+  std::vector<Check> checks_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_JOIN_FILTER_H_

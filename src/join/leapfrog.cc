@@ -1,0 +1,311 @@
+#include "src/join/leapfrog.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+bool LeapfrogJoin::TryPlanPattern(const TriplePattern& pattern,
+                                  IndexOrder order, PatternPlan* plan) {
+  PatternPlan candidate;
+  candidate.order = order;
+  std::vector<VarId> appended;
+  int last_pos = -1;
+  for (int level = 0; level < 3; ++level) {
+    const int c = OrderComponent(order, level);
+    LevelPlan& lp = candidate.levels[level];
+    if (!pattern[c].is_var()) {
+      lp.is_var = false;
+      lp.const_value = pattern[c].term();
+      continue;
+    }
+    lp.is_var = true;
+    const VarId v = pattern[c].var();
+    int pos = -1;
+    for (std::size_t i = 0; i < var_order_.size(); ++i) {
+      if (var_order_[i] == v) pos = static_cast<int>(i);
+    }
+    if (pos < 0) {
+      // Tentatively appended; position after everything existing plus any
+      // variables appended earlier in this pattern.
+      pos = static_cast<int>(var_order_.size() + appended.size());
+      appended.push_back(v);
+    }
+    if (pos <= last_pos) return false;  // violates the global order
+    last_pos = pos;
+    lp.var_pos = pos;
+    candidate.last_var_level = level;
+  }
+  for (VarId v : appended) var_order_.push_back(v);
+  *plan = candidate;
+  return true;
+}
+
+LeapfrogJoin::LeapfrogJoin(const IndexSet& indexes,
+                           std::vector<TriplePattern> patterns,
+                           std::vector<VarId> var_order,
+                           std::vector<std::vector<TypeFilter>> filters)
+    : indexes_(indexes),
+      patterns_(std::move(patterns)),
+      var_order_(std::move(var_order)) {
+  const bool fixed_order = !var_order_.empty();
+  for (const TriplePattern& pattern : patterns_) {
+    PatternPlan plan;
+    bool planned = false;
+    for (IndexOrder order : kAllIndexOrders) {
+      if (TryPlanPattern(pattern, order, &plan)) {
+        planned = true;
+        break;
+      }
+    }
+    KGOA_CHECK_MSG(planned, "no index order is consistent with the variable "
+                            "order for some pattern");
+    plans_.push_back(plan);
+  }
+  if (fixed_order) {
+    // Every variable of the query must be covered by the caller's order.
+    for (const TriplePattern& pattern : patterns_) {
+      for (VarId v : pattern.Vars()) {
+        KGOA_CHECK_MSG(
+            std::count(var_order_.begin(), var_order_.end(), v) == 1,
+            "caller-supplied var_order must contain each query variable "
+            "exactly once");
+      }
+    }
+  }
+  participants_.resize(var_order_.size());
+  for (std::size_t pi = 0; pi < plans_.size(); ++pi) {
+    for (int level = 0; level < 3; ++level) {
+      const LevelPlan& lp = plans_[pi].levels[level];
+      if (lp.is_var) {
+        participants_[lp.var_pos].push_back(
+            Participant{static_cast<int>(pi), level});
+      }
+    }
+  }
+
+  // Compile existence filters: per search depth when attached to a
+  // variable, as one-shot checks when attached to a constant.
+  depth_filters_.resize(var_order_.size());
+  constexpr VarId kProbeVar = static_cast<VarId>(-2);
+  for (std::size_t pi = 0; pi < filters.size(); ++pi) {
+    for (const TypeFilter& filter : filters[pi]) {
+      const TriplePattern probe =
+          MakePattern(Slot::MakeVar(kProbeVar), Slot::MakeConst(filter.property),
+                      Slot::MakeConst(filter.value));
+      const PatternAccess access = PatternAccess::Compile(probe, kProbeVar);
+      const Slot& slot = patterns_[pi][filter.component];
+      if (slot.is_var()) {
+        int pos = -1;
+        for (std::size_t i = 0; i < var_order_.size(); ++i) {
+          if (var_order_[i] == slot.var()) pos = static_cast<int>(i);
+        }
+        KGOA_CHECK(pos >= 0);
+        depth_filters_[pos].push_back(access);
+      } else {
+        const_filters_.emplace_back(access, slot.term());
+      }
+    }
+  }
+}
+
+namespace {
+
+// Runtime state for one pattern's iterator during enumeration.
+struct IterState {
+  explicit IterState(const TrieIndex* index) : iter(index) {}
+  TrieIterator iter;
+};
+
+}  // namespace
+
+void LeapfrogJoin::Enumerate(
+    const std::function<void(const std::vector<TermId>&)>& callback) const {
+  // Patterns with no variables are pure existence checks.
+  for (std::size_t pi = 0; pi < patterns_.size(); ++pi) {
+    if (plans_[pi].last_var_level < 0 &&
+        indexes_.CountMatches(patterns_[pi]) == 0) {
+      return;
+    }
+  }
+  // Filters on constant components either always pass or empty the result.
+  for (const auto& [access, value] : const_filters_) {
+    if (access.Resolve(indexes_, value).empty()) return;
+  }
+
+  std::vector<IterState> states;
+  states.reserve(plans_.size());
+  for (const PatternPlan& plan : plans_) {
+    states.emplace_back(&indexes_.Index(plan.order));
+  }
+
+  std::vector<TermId> binding(var_order_.size(), kInvalidTerm);
+
+  // Opens iterator levels of `pat` up to and including `target_level`,
+  // seeking through constant levels. Returns the number of levels opened;
+  // -1 if a constant level has no match (after restoring the iterator).
+  auto descend = [&](int pat, int target_level) -> int {
+    TrieIterator& it = states[pat].iter;
+    int opened = 0;
+    while (it.level() < target_level) {
+      it.Open();
+      ++opened;
+      const LevelPlan& lp = plans_[pat].levels[it.level()];
+      if (!lp.is_var) {
+        it.SeekGE(lp.const_value);
+        if (it.AtEnd() || it.Key() != lp.const_value) {
+          for (int k = 0; k < opened; ++k) it.Up();
+          return -1;
+        }
+      }
+    }
+    return opened;
+  };
+
+  // Checks constant levels below the last variable level of `pat`.
+  auto trailing_ok = [&](int pat) -> bool {
+    const PatternPlan& plan = plans_[pat];
+    TrieIterator& it = states[pat].iter;
+    const int from = it.level();
+    int opened = 0;
+    bool ok = true;
+    for (int level = from + 1; level < 3 && ok; ++level) {
+      const LevelPlan& lp = plan.levels[level];
+      if (lp.is_var) break;  // cannot happen below last_var_level
+      it.Open();
+      ++opened;
+      it.SeekGE(lp.const_value);
+      ok = !it.AtEnd() && it.Key() == lp.const_value;
+    }
+    for (int k = 0; k < opened; ++k) it.Up();
+    return ok;
+  };
+
+  const int num_vars = static_cast<int>(var_order_.size());
+
+  auto search = [&](auto&& self, int depth) -> void {
+    if (depth == num_vars) {
+      callback(binding);
+      return;
+    }
+    const auto& parts = participants_[depth];
+    KGOA_DCHECK(!parts.empty());
+
+    // Descend every participant to this variable's level.
+    std::vector<int> opened(parts.size(), 0);
+    bool dead = false;
+    for (std::size_t i = 0; i < parts.size() && !dead; ++i) {
+      opened[i] = descend(parts[i].pattern, parts[i].var_level);
+      if (opened[i] < 0) {
+        // Roll back participants already descended.
+        for (std::size_t j = 0; j < i; ++j) {
+          TrieIterator& it = states[parts[j].pattern].iter;
+          for (int k = 0; k < opened[j]; ++k) it.Up();
+        }
+        dead = true;
+      }
+    }
+    if (dead) return;
+
+    // Leapfrog intersection over the participants' current levels.
+    while (true) {
+      TermId max_key = 0;
+      bool at_end = false;
+      for (const Participant& part : parts) {
+        TrieIterator& it = states[part.pattern].iter;
+        if (it.AtEnd()) {
+          at_end = true;
+          break;
+        }
+        max_key = std::max(max_key, it.Key());
+      }
+      if (at_end) break;
+
+      bool agree = true;
+      for (const Participant& part : parts) {
+        TrieIterator& it = states[part.pattern].iter;
+        if (it.Key() != max_key) {
+          it.SeekGE(max_key);
+          agree = false;
+        }
+      }
+      if (!agree) continue;
+
+      // All participants sit on max_key: check this variable's existence
+      // filters and the trailing constants of the patterns completing
+      // here, then recurse.
+      bool ok = true;
+      for (const PatternAccess& probe : depth_filters_[depth]) {
+        if (probe.Resolve(indexes_, max_key).empty()) {
+          ok = false;
+          break;
+        }
+      }
+      for (const Participant& part : parts) {
+        if (part.var_level == plans_[part.pattern].last_var_level &&
+            part.var_level < 2 && ok) {
+          ok = trailing_ok(part.pattern);
+        }
+      }
+      if (ok) {
+        binding[depth] = max_key;
+        self(self, depth + 1);
+      }
+      states[parts[0].pattern].iter.Next();
+    }
+
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      TrieIterator& it = states[parts[i].pattern].iter;
+      for (int k = 0; k < opened[i]; ++k) it.Up();
+    }
+  };
+
+  if (num_vars == 0) {
+    callback(binding);  // all patterns constant and non-empty
+    return;
+  }
+  search(search, 0);
+}
+
+uint64_t LeapfrogJoin::Count() const {
+  uint64_t count = 0;
+  Enumerate([&count](const std::vector<TermId>&) { ++count; });
+  return count;
+}
+
+GroupedResult EvaluateWithLftj(const IndexSet& indexes,
+                               const ChainQuery& query) {
+  std::vector<std::vector<TypeFilter>> filters;
+  for (int i = 0; i < query.NumPatterns(); ++i) {
+    filters.push_back(query.filters(i));
+  }
+  LeapfrogJoin join(indexes, query.patterns(), {}, std::move(filters));
+  int alpha_pos = -1;
+  int beta_pos = -1;
+  const auto& order = join.var_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == query.alpha()) alpha_pos = static_cast<int>(i);
+    if (order[i] == query.beta()) beta_pos = static_cast<int>(i);
+  }
+  KGOA_CHECK(alpha_pos >= 0 && beta_pos >= 0);
+
+  GroupedResult result;
+  if (!query.distinct()) {
+    join.Enumerate([&](const std::vector<TermId>& binding) {
+      ++result.counts[binding[alpha_pos]];
+    });
+    return result;
+  }
+  std::unordered_set<uint64_t> seen_pairs;
+  join.Enumerate([&](const std::vector<TermId>& binding) {
+    if (seen_pairs.insert(PackPair(binding[alpha_pos], binding[beta_pos]))
+            .second) {
+      ++result.counts[binding[alpha_pos]];
+    }
+  });
+  return result;
+}
+
+}  // namespace kgoa

@@ -1,0 +1,33 @@
+// Result type shared by the exact engines: exact grouped counts.
+#ifndef KGOA_JOIN_RESULT_H_
+#define KGOA_JOIN_RESULT_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/rdf/types.h"
+
+namespace kgoa {
+
+// Maps each group (value of the query's alpha variable) to its exact
+// count — COUNT(beta) or COUNT(DISTINCT beta) per the query's flag.
+struct GroupedResult {
+  std::unordered_map<TermId, uint64_t> counts;
+
+  uint64_t Total() const {
+    uint64_t sum = 0;
+    for (const auto& [group, count] : counts) sum += count;
+    return sum;
+  }
+
+  uint64_t CountFor(TermId group) const {
+    auto it = counts.find(group);
+    return it == counts.end() ? 0 : it->second;
+  }
+
+  friend bool operator==(const GroupedResult&, const GroupedResult&) = default;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_JOIN_RESULT_H_

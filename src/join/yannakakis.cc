@@ -1,0 +1,129 @@
+#include "src/join/yannakakis.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/join/access.h"
+#include "src/join/filter.h"
+#include "src/util/check.h"
+
+namespace kgoa {
+
+namespace {
+
+// Path counts of one arm, keyed by the join value facing the anchor.
+// `sequence` lists pattern indices from the far end toward the anchor;
+// `toward[i]` / `away[i]` are the join variables of sequence[i] facing the
+// anchor and facing away (kNoVar at the far end).
+std::unordered_map<TermId, uint64_t> ArmCounts(
+    const IndexSet& indexes, const ChainQuery& query,
+    const std::vector<int>& sequence, const std::vector<VarId>& toward,
+    const std::vector<VarId>& away) {
+  std::unordered_map<TermId, uint64_t> counts;
+  bool first = true;
+  for (std::size_t k = 0; k < sequence.size(); ++k) {
+    const int i = sequence[k];
+    const TriplePattern& pattern = query.patterns()[i];
+    const FilterSet filter(query.filters(i));
+    const PatternAccess access = PatternAccess::Compile(pattern, kNoVar);
+    const Range range = access.Resolve(indexes, kInvalidTerm);
+    const TrieIndex& index = indexes.Index(access.order());
+    const int toward_component = pattern.ComponentOf(toward[k]);
+    const int away_component =
+        away[k] == kNoVar ? -1 : pattern.ComponentOf(away[k]);
+    KGOA_CHECK(toward_component >= 0);
+
+    std::unordered_map<TermId, uint64_t> next;
+    for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+      const Triple& t = index.TripleAt(pos);
+      if (!filter.empty() && !filter.Pass(indexes, t)) continue;
+      uint64_t incoming = 1;
+      if (!first) {
+        auto it = counts.find(t[away_component]);
+        if (it == counts.end()) continue;
+        incoming = it->second;
+      }
+      next[t[toward_component]] += incoming;
+    }
+    counts = std::move(next);
+    first = false;
+  }
+  return counts;
+}
+
+}  // namespace
+
+GroupedResult EvaluateWithYannakakis(const IndexSet& indexes,
+                                     const ChainQuery& query) {
+  const int anchor = query.alpha_beta_pattern();
+  const int n = query.NumPatterns();
+  const TriplePattern& ap = query.patterns()[anchor];
+  const int alpha_component = ap.ComponentOf(query.alpha());
+  const int beta_component = ap.ComponentOf(query.beta());
+  KGOA_CHECK(alpha_component >= 0 && beta_component >= 0);
+
+  // Left arm: patterns 0..anchor-1 processed far-end first.
+  std::unordered_map<TermId, uint64_t> left;
+  int left_component = -1;
+  if (anchor > 0) {
+    std::vector<int> sequence;
+    std::vector<VarId> toward, away;
+    for (int i = 0; i < anchor; ++i) {
+      sequence.push_back(i);
+      toward.push_back(query.links()[i]);
+      away.push_back(i > 0 ? query.links()[i - 1] : kNoVar);
+    }
+    left = ArmCounts(indexes, query, sequence, toward, away);
+    left_component = ap.ComponentOf(query.links()[anchor - 1]);
+  }
+
+  // Right arm: patterns n-1..anchor+1.
+  std::unordered_map<TermId, uint64_t> right;
+  int right_component = -1;
+  if (anchor + 1 < n) {
+    std::vector<int> sequence;
+    std::vector<VarId> toward, away;
+    for (int i = n - 1; i > anchor; --i) {
+      sequence.push_back(i);
+      toward.push_back(query.links()[i - 1]);
+      away.push_back(i + 1 < n ? query.links()[i] : kNoVar);
+    }
+    right = ArmCounts(indexes, query, sequence, toward, away);
+    right_component = ap.ComponentOf(query.links()[anchor]);
+  }
+
+  const FilterSet anchor_filter(query.filters(anchor));
+  const PatternAccess access = PatternAccess::Compile(ap, kNoVar);
+  const Range range = access.Resolve(indexes, kInvalidTerm);
+  const TrieIndex& index = indexes.Index(access.order());
+
+  GroupedResult result;
+  std::unordered_set<uint64_t> seen_pairs;
+  for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+    const Triple& t = index.TripleAt(pos);
+    if (!anchor_filter.empty() && !anchor_filter.Pass(indexes, t)) continue;
+    uint64_t left_count = 1;
+    if (left_component >= 0) {
+      auto it = left.find(t[left_component]);
+      if (it == left.end()) continue;
+      left_count = it->second;
+    }
+    uint64_t right_count = 1;
+    if (right_component >= 0) {
+      auto it = right.find(t[right_component]);
+      if (it == right.end()) continue;
+      right_count = it->second;
+    }
+    const TermId a = t[alpha_component];
+    if (query.distinct()) {
+      if (seen_pairs.insert(PackPair(a, t[beta_component])).second) {
+        ++result.counts[a];
+      }
+    } else {
+      result.counts[a] += left_count * right_count;
+    }
+  }
+  return result;
+}
+
+}  // namespace kgoa

@@ -1,0 +1,30 @@
+// Exact grouped evaluation via Yannakakis-style bottom-up dynamic
+// programming over the chain.
+//
+// Exploration queries are acyclic, so a full-reducer pass suffices for the
+// DISTINCT case: a tuple of the anchor pattern (the one containing alpha
+// and beta) contributes the pair (alpha, beta) iff its left join value has
+// a completion among patterns to the left and its right value among
+// patterns to the right — both computable with one linear sweep per arm
+// using hash maps. For the non-distinct case the same sweeps carry counts
+// instead of existence bits.
+//
+// This engine runs in O(|input| + |output|) time and serves as an
+// independent implementation strategy (bottom-up, materialized value maps)
+// against the memoized top-down CtjEngine; the test suite cross-checks all
+// exact engines against each other.
+#ifndef KGOA_JOIN_YANNAKAKIS_H_
+#define KGOA_JOIN_YANNAKAKIS_H_
+
+#include "src/index/index_set.h"
+#include "src/join/result.h"
+#include "src/query/chain_query.h"
+
+namespace kgoa {
+
+GroupedResult EvaluateWithYannakakis(const IndexSet& indexes,
+                                     const ChainQuery& query);
+
+}  // namespace kgoa
+
+#endif  // KGOA_JOIN_YANNAKAKIS_H_

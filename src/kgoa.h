@@ -1,0 +1,61 @@
+// Umbrella header: the public API of the kgoa library in one include.
+//
+//   #include "src/kgoa.h"
+//
+// For finer-grained builds include the individual module headers; every
+// header is self-contained.
+#ifndef KGOA_SRC_KGOA_H_
+#define KGOA_SRC_KGOA_H_
+
+// RDF substrate.
+#include "src/rdf/binary_io.h"
+#include "src/rdf/dictionary.h"
+#include "src/rdf/graph.h"
+#include "src/rdf/ntriples.h"
+#include "src/rdf/schema.h"
+#include "src/rdf/types.h"
+#include "src/rdf/vocab.h"
+
+// Indexes.
+#include "src/index/index_set.h"
+#include "src/index/trie_iterator.h"
+
+// Queries.
+#include "src/query/chain_query.h"
+#include "src/query/pattern.h"
+#include "src/query/sparql.h"
+
+// Exploration model.
+#include "src/explore/cache.h"
+#include "src/explore/chart.h"
+#include "src/explore/session.h"
+
+// Exact engines.
+#include "src/join/baseline.h"
+#include "src/join/ctj.h"
+#include "src/join/leapfrog.h"
+#include "src/join/yannakakis.h"
+
+// Online aggregation.
+#include "src/ola/estimator.h"
+#include "src/ola/parallel.h"
+#include "src/ola/ripple.h"
+#include "src/ola/wander.h"
+
+// Audit Join and the engine facade.
+#include "src/core/audit.h"
+#include "src/core/explain.h"
+#include "src/core/explorer.h"
+
+// Cyclic-query extension.
+#include "src/cyclic/cyclic.h"
+
+// Synthetic data and evaluation harness.
+#include "src/eval/metrics.h"
+#include "src/eval/profile.h"
+#include "src/eval/runner.h"
+#include "src/gen/kg_gen.h"
+#include "src/gen/workload.h"
+#include "src/gen/workload_io.h"
+
+#endif  // KGOA_SRC_KGOA_H_

@@ -1,0 +1,56 @@
+#include "src/ola/estimator.h"
+
+#include <cmath>
+
+namespace kgoa {
+
+void GroupedEstimates::AddContribution(TermId group, double value) {
+  Accumulator& acc = groups_[group];
+  acc.sum += value;
+  acc.sum_squares += value * value;
+}
+
+void GroupedEstimates::EndWalk(bool rejected) {
+  ++walks_;
+  if (rejected) ++rejected_;
+}
+
+double GroupedEstimates::Estimate(TermId group) const {
+  if (walks_ == 0) return 0.0;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return 0.0;
+  return it->second.sum / static_cast<double>(walks_);
+}
+
+double GroupedEstimates::CiHalfWidth(TermId group, double z) const {
+  if (walks_ < 2) return 0.0;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return 0.0;
+  const double n = static_cast<double>(walks_);
+  const double mean = it->second.sum / n;
+  // Per-walk contributions are zero except when the walk reached the
+  // group, so E[X^2] = sum_squares / N over all N walks.
+  double variance = it->second.sum_squares / n - mean * mean;
+  if (variance < 0) variance = 0;  // rounding guard
+  return z * std::sqrt(variance / n);
+}
+
+void GroupedEstimates::Merge(const GroupedEstimates& other) {
+  for (const auto& [group, acc] : other.groups_) {
+    Accumulator& mine = groups_[group];
+    mine.sum += acc.sum;
+    mine.sum_squares += acc.sum_squares;
+  }
+  walks_ += other.walks_;
+  rejected_ += other.rejected_;
+}
+
+std::unordered_map<TermId, double> GroupedEstimates::Estimates() const {
+  std::unordered_map<TermId, double> out;
+  for (const auto& [group, acc] : groups_) {
+    if (walks_ > 0) out[group] = acc.sum / static_cast<double>(walks_);
+  }
+  return out;
+}
+
+}  // namespace kgoa

@@ -1,0 +1,65 @@
+// Per-group online estimators with large-sample confidence intervals.
+//
+// Both Wander Join and Audit Join produce one Horvitz-Thompson style
+// contribution per (walk, group); the grouped estimate after N walks is
+// sum / N per group (Figure 7, line 24), and the 0.95 confidence interval
+// follows Haas's large-sample (CLT) construction used by Wander Join
+// (section IV-C).
+#ifndef KGOA_OLA_ESTIMATOR_H_
+#define KGOA_OLA_ESTIMATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/rdf/types.h"
+
+namespace kgoa {
+
+class GroupedEstimates {
+ public:
+  // Adds this walk's contribution to `group`. Call at most once per group
+  // per walk (a walk that reaches several groups through a partial exact
+  // computation calls it once for each), then call EndWalk exactly once.
+  void AddContribution(TermId group, double value);
+
+  // Finishes a walk. Every walk — including rejected ones, whose
+  // contribution is zero — increments the denominator.
+  void EndWalk(bool rejected);
+
+  uint64_t walks() const { return walks_; }
+  uint64_t rejected_walks() const { return rejected_; }
+  double RejectionRate() const {
+    return walks_ == 0 ? 0.0 : static_cast<double>(rejected_) /
+                                   static_cast<double>(walks_);
+  }
+
+  // Current estimate for `group` (0 when never contributed to).
+  double Estimate(TermId group) const;
+
+  // Half-width of the large-sample confidence interval for `group` at the
+  // z value given (default: 0.95 two-sided).
+  double CiHalfWidth(TermId group, double z = 1.959963984540054) const;
+
+  // Groups with at least one nonzero contribution.
+  std::unordered_map<TermId, double> Estimates() const;
+
+  // Folds another estimator's accumulators into this one. Sound when the
+  // other estimator's walks are independent and identically distributed
+  // with this one's (same query, same walk plan, different seeds) — the
+  // basis of parallel online aggregation (src/ola/parallel.h).
+  void Merge(const GroupedEstimates& other);
+
+ private:
+  struct Accumulator {
+    double sum = 0;
+    double sum_squares = 0;
+  };
+
+  std::unordered_map<TermId, Accumulator> groups_;
+  uint64_t walks_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_OLA_ESTIMATOR_H_

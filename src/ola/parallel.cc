@@ -1,0 +1,63 @@
+#include "src/ola/parallel.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "src/core/audit.h"
+#include "src/ola/wander.h"
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
+
+namespace kgoa {
+
+GroupedEstimates RunParallelOla(const IndexSet& indexes,
+                                const ChainQuery& query,
+                                const ParallelOlaOptions& options,
+                                double seconds) {
+  KGOA_CHECK(options.threads >= 1);
+  std::atomic<bool> stop{false};
+  std::vector<GroupedEstimates> partials(options.threads);
+
+  auto worker = [&](int w) {
+    const uint64_t seed = options.seed + static_cast<uint64_t>(w);
+    if (options.use_audit) {
+      AuditJoin::Options aj;
+      aj.seed = seed;
+      aj.walk_order = options.walk_order;
+      aj.tipping_threshold = options.tipping_threshold;
+      AuditJoin engine(indexes, query, aj);
+      while (!stop.load(std::memory_order_relaxed)) {
+        engine.RunWalks(64);
+      }
+      partials[w] = engine.estimates();
+    } else {
+      WanderJoin::Options wj;
+      wj.seed = seed;
+      wj.walk_order = options.walk_order;
+      WanderJoin engine(indexes, query, wj);
+      while (!stop.load(std::memory_order_relaxed)) {
+        engine.RunWalks(64);
+      }
+      partials[w] = engine.estimates();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(options.threads);
+  for (int w = 0; w < options.threads; ++w) {
+    threads.emplace_back(worker, w);
+  }
+  Stopwatch clock;
+  while (clock.ElapsedSeconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) thread.join();
+
+  GroupedEstimates merged;
+  for (const GroupedEstimates& partial : partials) merged.Merge(partial);
+  return merged;
+}
+
+}  // namespace kgoa

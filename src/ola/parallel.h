@@ -1,0 +1,49 @@
+// Parallel online aggregation.
+//
+// The OLA literature the paper surveys (section II) includes parallel and
+// distributed variants (PF-OLA, online aggregation for MapReduce). Both
+// Wander Join and Audit Join parallelize embarrassingly: walks are i.i.d.,
+// the indexes are immutable, and every engine-local cache (CTJ suffix
+// counts, reach probabilities) is private to its worker — so independent
+// workers with distinct seeds can simply merge their accumulators
+// (GroupedEstimates::Merge) and the combined estimator is the same as one
+// sequential run with the union of the walks.
+//
+// One caveat, worth stating because it is another argument for Audit
+// Join's estimator design: Wander Join's DISTINCT mode is *stateful* (the
+// Ripple-Join seen-set), so parallel workers each keep their own seen-set
+// and duplicates across workers are double-counted — the merged estimate
+// is even more biased than the sequential one. Audit Join's distinct
+// estimator is stateless and merges exactly.
+#ifndef KGOA_OLA_PARALLEL_H_
+#define KGOA_OLA_PARALLEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/index_set.h"
+#include "src/ola/estimator.h"
+#include "src/query/chain_query.h"
+
+namespace kgoa {
+
+struct ParallelOlaOptions {
+  int threads = 2;
+  uint64_t seed = 1;             // worker w uses seed + w
+  bool use_audit = true;         // Audit Join (false: Wander Join)
+  std::vector<int> walk_order;   // empty = engine default
+  double tipping_threshold = 64.0;  // Audit Join only
+};
+
+// Runs `seconds` of wall-clock online aggregation across worker threads
+// and returns the merged estimates. Total walks scale with the number of
+// workers (on real hardware; on a single core the benefit is overlap with
+// other work).
+GroupedEstimates RunParallelOla(const IndexSet& indexes,
+                                const ChainQuery& query,
+                                const ParallelOlaOptions& options,
+                                double seconds);
+
+}  // namespace kgoa
+
+#endif  // KGOA_OLA_PARALLEL_H_

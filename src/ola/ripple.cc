@@ -1,0 +1,182 @@
+#include "src/ola/ripple.h"
+
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+RippleJoin::RippleJoin(const IndexSet& indexes, const ChainQuery& query,
+                       Options options)
+    : indexes_(indexes),
+      query_(query),
+      options_(options),
+      rng_(options.seed) {
+  for (int i = 0; i < query_.NumPatterns(); ++i) {
+    PatternSample sample;
+    sample.access = PatternAccess::Compile(query_.patterns()[i], kNoVar);
+    sample.filter = FilterSet(query_.filters(i));
+    sample.extent = sample.access.Resolve(indexes_, kInvalidTerm);
+    sample.positions.reserve(sample.extent.size());
+    for (uint32_t pos = sample.extent.begin; pos < sample.extent.end;
+         ++pos) {
+      sample.positions.push_back(pos);
+    }
+    samples_.push_back(std::move(sample));
+  }
+}
+
+bool RippleJoin::exhausted() const {
+  for (const PatternSample& sample : samples_) {
+    if (sample.sampled < sample.positions.size()) return false;
+  }
+  return true;
+}
+
+double RippleJoin::MinCoverage() const {
+  double min_coverage = 1.0;
+  for (const PatternSample& sample : samples_) {
+    if (sample.positions.empty()) return 0.0;
+    min_coverage = std::min(
+        min_coverage, static_cast<double>(sample.sampled) /
+                          static_cast<double>(sample.positions.size()));
+  }
+  return min_coverage;
+}
+
+void RippleJoin::RunRound() {
+  // Progressive Fisher-Yates: extend each sample by the batch.
+  for (PatternSample& sample : samples_) {
+    const auto total = static_cast<uint32_t>(sample.positions.size());
+    for (uint32_t k = 0; k < options_.batch_per_round && sample.sampled < total;
+         ++k) {
+      const uint32_t i = sample.sampled;
+      const uint32_t j =
+          i + static_cast<uint32_t>(rng_.Below(total - i));
+      std::swap(sample.positions[i], sample.positions[j]);
+      ++sample.sampled;
+    }
+  }
+  ++rounds_;
+  Recompute();
+}
+
+void RippleJoin::Recompute() {
+  estimates_.clear();
+
+  // Scale factor: product over patterns of extent / sample.
+  double scale = 1.0;
+  for (const PatternSample& sample : samples_) {
+    if (sample.sampled == 0) return;  // some sample still empty
+    scale *= static_cast<double>(sample.positions.size()) /
+             static_cast<double>(sample.sampled);
+  }
+
+  const int anchor = query_.alpha_beta_pattern();
+  const TriplePattern& ap = query_.patterns()[anchor];
+  const int alpha_component = ap.ComponentOf(query_.alpha());
+  const int beta_component = ap.ComponentOf(query_.beta());
+
+  // Dynamic programming over the sampled tuples: arm counts keyed by the
+  // join value facing the anchor.
+  auto arm_counts =
+      [&](int from, int step) -> std::unordered_map<TermId, uint64_t> {
+    std::unordered_map<TermId, uint64_t> counts;  // value -> path count
+    bool first = true;
+    // Walk from the far end of the arm toward the anchor.
+    std::vector<int> order;
+    for (int i = from; i >= 0 && i < query_.NumPatterns() && i != anchor;
+         i += step) {
+      order.push_back(i);
+    }
+    // order currently anchor-adjacent ... far end; reverse to start far.
+    std::vector<int> reversed(order.rbegin(), order.rend());
+    for (int i : reversed) {
+      // Join variable shared with the next pattern toward the anchor.
+      const VarId toward_anchor =
+          step < 0 ? query_.links()[i] : query_.links()[i - 1];
+      const VarId away =
+          step < 0 ? (i > 0 ? query_.links()[i - 1] : kNoVar)
+                   : (i + 1 < query_.NumPatterns() ? query_.links()[i]
+                                                   : kNoVar);
+      const int toward_component =
+          query_.patterns()[i].ComponentOf(toward_anchor);
+      const int away_component =
+          away == kNoVar ? -1 : query_.patterns()[i].ComponentOf(away);
+      std::unordered_map<TermId, uint64_t> next;
+      const PatternSample& sample = samples_[i];
+      const TrieIndex& index = indexes_.Index(sample.access.order());
+      for (uint32_t k = 0; k < sample.sampled; ++k) {
+        const Triple& t = index.TripleAt(sample.positions[k]);
+        if (!sample.filter.empty() && !sample.filter.Pass(indexes_, t)) {
+          continue;
+        }
+        uint64_t incoming = 1;
+        if (!first) {
+          auto it = counts.find(t[away_component]);
+          if (it == counts.end()) continue;
+          incoming = it->second;
+        }
+        next[t[toward_component]] += incoming;
+      }
+      counts = std::move(next);
+      first = false;
+    }
+    return counts;
+  };
+
+  int left_component = -1;
+  int right_component = -1;
+  std::unordered_map<TermId, uint64_t> left;
+  std::unordered_map<TermId, uint64_t> right;
+  if (anchor > 0) {
+    left = arm_counts(anchor - 1, -1);
+    left_component =
+        query_.patterns()[anchor].ComponentOf(query_.links()[anchor - 1]);
+  }
+  if (anchor + 1 < query_.NumPatterns()) {
+    right = arm_counts(anchor + 1, +1);
+    right_component =
+        query_.patterns()[anchor].ComponentOf(query_.links()[anchor]);
+  }
+
+  const PatternSample& anchor_sample = samples_[anchor];
+  const TrieIndex& index = indexes_.Index(anchor_sample.access.order());
+  std::unordered_set<uint64_t> seen_pairs;
+  for (uint32_t k = 0; k < anchor_sample.sampled; ++k) {
+    const Triple& t = index.TripleAt(anchor_sample.positions[k]);
+    if (!anchor_sample.filter.empty() &&
+        !anchor_sample.filter.Pass(indexes_, t)) {
+      continue;
+    }
+    uint64_t left_count = 1;
+    if (left_component >= 0) {
+      auto it = left.find(t[left_component]);
+      if (it == left.end()) continue;
+      left_count = it->second;
+    }
+    uint64_t right_count = 1;
+    if (right_component >= 0) {
+      auto it = right.find(t[right_component]);
+      if (it == right.end()) continue;
+      right_count = it->second;
+    }
+    const TermId a = t[alpha_component];
+    if (query_.distinct()) {
+      if (seen_pairs.insert(PackPair(a, t[beta_component])).second) {
+        estimates_[a] += 1.0;
+      }
+    } else {
+      estimates_[a] +=
+          static_cast<double>(left_count) * static_cast<double>(right_count);
+    }
+  }
+  for (auto& [group, value] : estimates_) value *= scale;
+}
+
+double RippleJoin::Estimate(TermId group) const {
+  auto it = estimates_.find(group);
+  return it == estimates_.end() ? 0.0 : it->second;
+}
+
+}  // namespace kgoa

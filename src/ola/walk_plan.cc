@@ -1,0 +1,114 @@
+#include "src/ola/walk_plan.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+WalkPlan WalkPlan::Compile(const ChainQuery& query,
+                           std::vector<int> pattern_order) {
+  const int n = query.NumPatterns();
+  if (pattern_order.empty()) {
+    for (int i = 0; i < n; ++i) pattern_order.push_back(i);
+  }
+  KGOA_CHECK_MSG(static_cast<int>(pattern_order.size()) == n,
+                 "walk order must cover every pattern");
+
+  WalkPlan plan;
+  plan.query_ = &query;
+  plan.pattern_order_ = pattern_order;
+  plan.step_of_.assign(n, -1);
+
+  // One tracked slot per query variable.
+  plan.slot_vars_ = query.vars();
+  plan.alpha_slot_ = plan.SlotOf(query.alpha());
+  plan.beta_slot_ = plan.SlotOf(query.beta());
+  KGOA_CHECK(plan.alpha_slot_ >= 0 && plan.beta_slot_ >= 0);
+
+  std::vector<bool> var_bound(plan.slot_vars_.size(), false);
+  plan.slot_recorded_at_.assign(plan.slot_vars_.size(), -1);
+  int covered_lo = pattern_order[0];
+  int covered_hi = pattern_order[0];
+
+  for (int step_idx = 0; step_idx < n; ++step_idx) {
+    const int pi = pattern_order[step_idx];
+    KGOA_CHECK_MSG(plan.step_of_[pi] < 0, "pattern repeated in walk order");
+    plan.step_of_[pi] = step_idx;
+
+    WalkStep step;
+    step.pattern_index = pi;
+
+    if (step_idx == 0) {
+      step.in_var = kNoVar;
+    } else if (pi == covered_lo - 1) {
+      step.in_var = query.links()[pi];  // link between pi and pi + 1
+      covered_lo = pi;
+    } else if (pi == covered_hi + 1) {
+      step.in_var = query.links()[pi - 1];  // link between pi - 1 and pi
+      covered_hi = pi;
+    } else {
+      KGOA_CHECK_MSG(false, "walk order is not chain-contiguous");
+    }
+
+    step.access = PatternAccess::Compile(query.patterns()[pi], step.in_var);
+    step.filter = FilterSet(query.filters(pi));
+    if (step.in_var != kNoVar) {
+      step.in_slot = plan.SlotOf(step.in_var);
+      KGOA_DCHECK(step.in_slot >= 0 && var_bound[step.in_slot]);
+    }
+
+    for (VarId v : query.patterns()[pi].Vars()) {
+      const int slot = plan.SlotOf(v);
+      if (v == step.in_var || var_bound[slot]) continue;
+      step.records.push_back(WalkStep::Record{
+          query.patterns()[pi].ComponentOf(v), slot});
+      var_bound[slot] = true;
+      plan.slot_recorded_at_[slot] = step_idx;
+    }
+    plan.steps_.push_back(std::move(step));
+  }
+  plan.parent_step_.assign(n, -1);
+  for (int q = 1; q < n; ++q) {
+    plan.parent_step_[q] =
+        plan.slot_recorded_at_[plan.steps_[q].in_slot];
+    KGOA_CHECK(plan.parent_step_[q] >= 0 && plan.parent_step_[q] < q);
+  }
+  return plan;
+}
+
+bool WalkPlan::SingleSegmentFrom(int q) const {
+  for (int r = q + 1; r < NumSteps(); ++r) {
+    if (parent_step_[r] != r - 1) return false;
+  }
+  return true;
+}
+
+int WalkPlan::SlotOf(VarId v) const {
+  for (std::size_t i = 0; i < slot_vars_.size(); ++i) {
+    if (slot_vars_[i] == v) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::vector<int>> CandidateWalkOrders(int num_patterns) {
+  std::vector<std::vector<int>> orders;
+  for (int start = 0; start < num_patterns; ++start) {
+    std::vector<int> right_first{start};
+    for (int i = start + 1; i < num_patterns; ++i) right_first.push_back(i);
+    for (int i = start - 1; i >= 0; --i) right_first.push_back(i);
+
+    std::vector<int> left_first{start};
+    for (int i = start - 1; i >= 0; --i) left_first.push_back(i);
+    for (int i = start + 1; i < num_patterns; ++i) left_first.push_back(i);
+
+    for (auto* order : {&right_first, &left_first}) {
+      if (std::find(orders.begin(), orders.end(), *order) == orders.end()) {
+        orders.push_back(std::move(*order));
+      }
+    }
+  }
+  return orders;
+}
+
+}  // namespace kgoa

@@ -1,0 +1,95 @@
+// Walk plans: the compiled form of a chain query for random-walk sampling.
+//
+// A walk order visits the query's patterns so that every pattern after the
+// first is chain-adjacent to the span already covered (Wander Join's "walk
+// order" requirement). Each step resolves the range of triples matching the
+// pattern given the value of its in-variable (bound by an earlier step),
+// which gives both the fan-out d_i and O(1) uniform sampling.
+//
+// The paper selects, per query, the Wander Join order with the best error
+// (section V-B); CandidateWalkOrders enumerates the orders that selection
+// considers.
+#ifndef KGOA_OLA_WALK_PLAN_H_
+#define KGOA_OLA_WALK_PLAN_H_
+
+#include <vector>
+
+#include "src/index/index_set.h"
+#include "src/join/access.h"
+#include "src/join/filter.h"
+#include "src/query/chain_query.h"
+
+namespace kgoa {
+
+struct WalkStep {
+  int pattern_index = 0;
+  VarId in_var = kNoVar;  // kNoVar only for the first step
+  PatternAccess access;
+  // Existence filters of this pattern; a sampled tuple failing them rejects
+  // the walk (exact passes skip the tuple).
+  FilterSet filter;
+
+  // After sampling a triple at this step, copy triple[component] into
+  // tracked slot `slot` for each entry (variables first bound here).
+  struct Record {
+    int component;
+    int slot;
+  };
+  std::vector<Record> records;
+
+  int in_slot = -1;  // tracked slot of in_var (-1 for the first step)
+};
+
+class WalkPlan {
+ public:
+  // `pattern_order` is a permutation of 0..n-1 with the contiguity
+  // property; empty means forward order 0,1,...,n-1. Aborts on an invalid
+  // order.
+  static WalkPlan Compile(const ChainQuery& query,
+                          std::vector<int> pattern_order = {});
+
+  const ChainQuery& query() const { return *query_; }
+  const std::vector<WalkStep>& steps() const { return steps_; }
+  int NumSteps() const { return static_cast<int>(steps_.size()); }
+  const std::vector<int>& pattern_order() const { return pattern_order_; }
+
+  // Tracked-value slots: one per query variable.
+  int num_slots() const { return static_cast<int>(slot_vars_.size()); }
+  int SlotOf(VarId v) const;
+  int alpha_slot() const { return alpha_slot_; }
+  int beta_slot() const { return beta_slot_; }
+
+  // Walk step at which `pattern_index` is sampled.
+  int StepOf(int pattern_index) const { return step_of_[pattern_index]; }
+
+  // Step that recorded step q's in-variable (-1 for the first step).
+  int ParentStepOf(int q) const { return parent_step_[q]; }
+
+  // Step whose sampled triple fills tracked slot `slot`.
+  int RecordStepOfSlot(int slot) const { return slot_recorded_at_[slot]; }
+
+  // True when steps q..n-1 form one linear segment: each step's in-variable
+  // is recorded by the step immediately before it. Audit Join's memoized
+  // suffix counting (the CTJ cache) applies exactly in this case.
+  bool SingleSegmentFrom(int q) const;
+
+ private:
+  const ChainQuery* query_ = nullptr;
+  std::vector<int> pattern_order_;
+  std::vector<WalkStep> steps_;
+  std::vector<VarId> slot_vars_;
+  std::vector<int> step_of_;
+  std::vector<int> parent_step_;
+  std::vector<int> slot_recorded_at_;
+  int alpha_slot_ = -1;
+  int beta_slot_ = -1;
+};
+
+// All "directional" contiguous walk orders of an n-pattern chain: for each
+// start s, cover the right side then the left (and vice versa). This is the
+// candidate set used for the paper's per-query order selection.
+std::vector<std::vector<int>> CandidateWalkOrders(int num_patterns);
+
+}  // namespace kgoa
+
+#endif  // KGOA_OLA_WALK_PLAN_H_

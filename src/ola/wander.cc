@@ -1,0 +1,97 @@
+#include "src/ola/wander.h"
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+WanderJoin::WanderJoin(const IndexSet& indexes, const ChainQuery& query,
+                       Options options)
+    : indexes_(indexes),
+      query_(query),
+      plan_(WalkPlan::Compile(query_, options.walk_order)),
+      rng_(options.seed),
+      state_(plan_.num_slots(), kInvalidTerm) {}
+
+void WanderJoin::RunOneWalk() {
+  double weight = 1.0;  // prod d_i = 1 / Pr(walk so far)
+  for (const WalkStep& step : plan_.steps()) {
+    const TermId bound =
+        step.in_slot >= 0 ? state_[step.in_slot] : kInvalidTerm;
+    const Range range = step.access.Resolve(indexes_, bound);
+    if (range.empty()) {
+      estimates_.EndWalk(/*rejected=*/true);
+      return;
+    }
+    weight *= static_cast<double>(range.size());
+    const uint32_t pos =
+        range.begin + static_cast<uint32_t>(rng_.Below(range.size()));
+    const Triple& t = indexes_.Index(step.access.order()).TripleAt(pos);
+    if (!step.filter.empty() && !step.filter.Pass(indexes_, t)) {
+      estimates_.EndWalk(/*rejected=*/true);
+      return;
+    }
+    for (const WalkStep::Record& record : step.records) {
+      state_[record.slot] = t[record.component];
+    }
+  }
+
+  const TermId group = state_[plan_.alpha_slot()];
+  if (query_.distinct()) {
+    // Ripple-Join style: duplicates of an already-seen (group, beta) pair
+    // are rejected (contribute zero).
+    const uint64_t pair = PackPair(group, state_[plan_.beta_slot()]);
+    if (seen_pairs_.insert(pair).second) {
+      estimates_.AddContribution(group, weight);
+    } else {
+      ++duplicates_;
+    }
+  } else {
+    estimates_.AddContribution(group, weight);
+  }
+  estimates_.EndWalk(/*rejected=*/false);
+}
+
+void WanderJoin::RunWalks(uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) RunOneWalk();
+}
+
+void WanderJoin::EnumerateAllWalks(
+    const std::function<void(double, TermId, double)>& callback) const {
+  KGOA_CHECK_MSG(!query_.distinct(),
+                 "exhaustive expectation is defined for the non-distinct "
+                 "estimator only (the distinct seen-set is stateful)");
+  std::vector<TermId> state(plan_.num_slots(), kInvalidTerm);
+
+  auto walk = [&](auto&& self, int step_idx, double probability,
+                  double weight) -> void {
+    if (step_idx == plan_.NumSteps()) {
+      callback(probability, state[plan_.alpha_slot()], weight);
+      return;
+    }
+    const WalkStep& step = plan_.steps()[step_idx];
+    const TermId bound =
+        step.in_slot >= 0 ? state[step.in_slot] : kInvalidTerm;
+    const Range range = step.access.Resolve(indexes_, bound);
+    if (range.empty()) {
+      // Rejected walk: contributes zero with this probability mass.
+      callback(probability, kInvalidTerm, 0.0);
+      return;
+    }
+    const double d = static_cast<double>(range.size());
+    const TrieIndex& index = indexes_.Index(step.access.order());
+    for (uint32_t pos = range.begin; pos < range.end; ++pos) {
+      const Triple& t = index.TripleAt(pos);
+      if (!step.filter.empty() && !step.filter.Pass(indexes_, t)) {
+        callback(probability / d, kInvalidTerm, 0.0);  // rejected branch
+        continue;
+      }
+      for (const WalkStep::Record& record : step.records) {
+        state[record.slot] = t[record.component];
+      }
+      self(self, step_idx + 1, probability / d, weight * d);
+    }
+  };
+  walk(walk, 0, 1.0, 1.0);
+}
+
+}  // namespace kgoa

@@ -1,0 +1,83 @@
+// Wander Join (Li, Wu, Yi & Zhao, SIGMOD 2016) — online aggregation via
+// random walks, section IV-C of the paper.
+//
+// Each walk samples one tuple per pattern along the walk order, uniformly
+// among the tuples consistent with the previously sampled tuple. A
+// completed walk gamma contributes the Horvitz-Thompson estimate
+// C_wj(gamma) = prod d_i = 1 / Pr(gamma) to its group's estimator; a walk
+// that dead-ends is rejected and contributes zero. Grouped estimates divide
+// by the total number of walks.
+//
+// Wander Join has no unbiased estimator for COUNT DISTINCT; following the
+// paper's experimental setup, this implementation augments it with the
+// Ripple Join technique (Haas & Hellerstein): remember the (group, beta)
+// pairs seen so far and reject re-sampled duplicates. That estimator is
+// biased — demonstrating this is part of the paper's motivation for Audit
+// Join.
+#ifndef KGOA_OLA_WANDER_H_
+#define KGOA_OLA_WANDER_H_
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/index/index_set.h"
+#include "src/ola/estimator.h"
+#include "src/ola/walk_plan.h"
+#include "src/query/chain_query.h"
+#include "src/util/rng.h"
+
+namespace kgoa {
+
+class WanderJoin {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    // Walk order over pattern indices; empty = forward. The evaluation
+    // harness selects the best candidate per query like the paper does.
+    std::vector<int> walk_order;
+  };
+
+  WanderJoin(const IndexSet& indexes, const ChainQuery& query)
+      : WanderJoin(indexes, query, Options()) {}
+  WanderJoin(const IndexSet& indexes, const ChainQuery& query,
+             Options options);
+
+  // The walk plan points into the stored query; not copyable or movable.
+  WanderJoin(const WanderJoin&) = delete;
+  WanderJoin& operator=(const WanderJoin&) = delete;
+
+  // Performs one random walk and updates the estimators.
+  void RunOneWalk();
+  void RunWalks(uint64_t count);
+
+  const GroupedEstimates& estimates() const { return estimates_; }
+  const WalkPlan& plan() const { return plan_; }
+
+  // Walks whose sampled (group, beta) pair had been seen before (distinct
+  // mode only). These contribute zero but are not dead-end rejections.
+  uint64_t duplicate_walks() const { return duplicates_; }
+
+  // Verification hook: enumerates every possible walk with its probability
+  // and the contribution it would add (ignoring the distinct seen-set,
+  // which makes walks non-independent). Used by the unbiasedness property
+  // tests: the probability-weighted sum of contributions per group must
+  // equal the exact non-distinct count.
+  void EnumerateAllWalks(
+      const std::function<void(double probability, TermId group,
+                               double contribution)>& callback) const;
+
+ private:
+  const IndexSet& indexes_;
+  ChainQuery query_;
+  WalkPlan plan_;
+  GroupedEstimates estimates_;
+  Rng rng_;
+  std::vector<TermId> state_;
+  std::unordered_set<uint64_t> seen_pairs_;
+  uint64_t duplicates_ = 0;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_OLA_WANDER_H_

@@ -1,0 +1,242 @@
+#include "src/query/chain_query.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace kgoa {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+}  // namespace
+
+std::optional<ChainQuery> ChainQuery::Create(
+    std::vector<TriplePattern> patterns, VarId alpha, VarId beta,
+    bool distinct, std::string* error) {
+  return Create(std::move(patterns), {}, alpha, beta, distinct, error);
+}
+
+std::optional<ChainQuery> ChainQuery::Create(
+    std::vector<TriplePattern> patterns,
+    std::vector<std::vector<TypeFilter>> filters, VarId alpha, VarId beta,
+    bool distinct, std::string* error) {
+  if (!filters.empty() && filters.size() != patterns.size()) {
+    SetError(error, "filters must be empty or parallel to patterns");
+    return std::nullopt;
+  }
+  if (patterns.empty()) {
+    SetError(error, "query must have at least one pattern");
+    return std::nullopt;
+  }
+
+  // Each variable appears at most once per pattern and in at most two
+  // patterns overall (Figure 4 contract).
+  std::unordered_map<VarId, int> occurrences;
+  for (const TriplePattern& p : patterns) {
+    std::vector<VarId> seen_here;
+    for (int c = 0; c < 3; ++c) {
+      if (!p[c].is_var()) continue;
+      const VarId v = p[c].var();
+      if (std::count(seen_here.begin(), seen_here.end(), v) > 0) {
+        SetError(error, "variable repeated within a pattern");
+        return std::nullopt;
+      }
+      seen_here.push_back(v);
+      ++occurrences[v];
+    }
+  }
+  for (const auto& [v, n] : occurrences) {
+    if (n > 2) {
+      SetError(error, "a variable appears in more than two patterns");
+      return std::nullopt;
+    }
+  }
+
+  // Consecutive patterns share exactly one variable; non-consecutive
+  // patterns share none (chain shape; this also excludes cycles).
+  std::vector<VarId> links;
+  for (std::size_t i = 0; i + 1 < patterns.size(); ++i) {
+    VarId link = kNoVar;
+    int shared = 0;
+    for (VarId v : patterns[i].Vars()) {
+      if (patterns[i + 1].HasVar(v)) {
+        link = v;
+        ++shared;
+      }
+    }
+    if (shared != 1) {
+      SetError(error, "consecutive patterns must share exactly one variable");
+      return std::nullopt;
+    }
+    links.push_back(link);
+  }
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    for (std::size_t j = i + 2; j < patterns.size(); ++j) {
+      for (VarId v : patterns[i].Vars()) {
+        if (patterns[j].HasVar(v)) {
+          SetError(error, "non-consecutive patterns share a variable");
+          return std::nullopt;
+        }
+      }
+    }
+  }
+
+  if (occurrences.find(alpha) == occurrences.end()) {
+    SetError(error, "alpha does not occur in the query");
+    return std::nullopt;
+  }
+  if (occurrences.find(beta) == occurrences.end()) {
+    SetError(error, "beta does not occur in the query");
+    return std::nullopt;
+  }
+
+  int ab_pattern = -1;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (patterns[i].HasVar(alpha) && patterns[i].HasVar(beta)) {
+      ab_pattern = static_cast<int>(i);
+      break;
+    }
+  }
+  if (alpha != beta && ab_pattern < 0) {
+    SetError(error, "alpha and beta must co-occur in some pattern");
+    return std::nullopt;
+  }
+  if (alpha == beta) {
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      if (patterns[i].HasVar(alpha)) {
+        ab_pattern = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+
+  ChainQuery q;
+  q.patterns_ = std::move(patterns);
+  q.filters_ = std::move(filters);
+  q.filters_.resize(q.patterns_.size());
+  q.alpha_ = alpha;
+  q.beta_ = beta;
+  q.distinct_ = distinct;
+  q.links_ = std::move(links);
+  q.alpha_beta_pattern_ = ab_pattern;
+  for (const TriplePattern& p : q.patterns_) {
+    for (VarId v : p.Vars()) {
+      if (std::count(q.vars_.begin(), q.vars_.end(), v) == 0) {
+        q.vars_.push_back(v);
+      }
+    }
+  }
+  return q;
+}
+
+std::optional<ChainQuery> ChainQuery::CreateReordering(
+    std::vector<TriplePattern> patterns,
+    std::vector<std::vector<TypeFilter>> filters, VarId alpha, VarId beta,
+    bool distinct, std::string* error) {
+  // Fast path: already a chain.
+  if (auto q = Create(patterns, filters, alpha, beta, distinct, nullptr)) {
+    return q;
+  }
+  if (!filters.empty() && filters.size() != patterns.size()) {
+    SetError(error, "filters must be empty or parallel to patterns");
+    return std::nullopt;
+  }
+  filters.resize(patterns.size());
+
+  // Build the pattern adjacency graph (patterns sharing a variable) and
+  // walk it from an endpoint; a valid chain is a Hamiltonian path, which
+  // for share-degree <= 2 graphs is found greedily.
+  const int n = static_cast<int>(patterns.size());
+  std::vector<std::vector<int>> neighbors(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      for (VarId v : patterns[i].Vars()) {
+        if (patterns[j].HasVar(v)) {
+          neighbors[i].push_back(j);
+          neighbors[j].push_back(i);
+          break;
+        }
+      }
+    }
+  }
+  int start = -1;
+  for (int i = 0; i < n; ++i) {
+    if (neighbors[i].size() <= 1) start = i;
+    if (neighbors[i].size() > 2) {
+      SetError(error, "patterns do not form a chain (a pattern joins with "
+                      "more than two others)");
+      return std::nullopt;
+    }
+  }
+  if (start < 0) {
+    SetError(error, "patterns do not form a chain (cycle)");
+    return std::nullopt;
+  }
+  std::vector<TriplePattern> ordered;
+  std::vector<std::vector<TypeFilter>> ordered_filters;
+  std::vector<bool> used(n, false);
+  int current = start;
+  while (current >= 0) {
+    used[current] = true;
+    ordered.push_back(patterns[current]);
+    ordered_filters.push_back(std::move(filters[current]));
+    int next = -1;
+    for (int neighbor : neighbors[current]) {
+      if (!used[neighbor]) next = neighbor;
+    }
+    current = next;
+  }
+  if (static_cast<int>(ordered.size()) != n) {
+    SetError(error, "patterns do not form a connected chain");
+    return std::nullopt;
+  }
+  return Create(std::move(ordered), std::move(ordered_filters), alpha, beta,
+                distinct, error);
+}
+
+bool ChainQuery::HasAnyFilter() const {
+  for (const auto& fs : filters_) {
+    if (!fs.empty()) return true;
+  }
+  return false;
+}
+
+ChainQuery ChainQuery::WithDistinct(bool distinct) const {
+  ChainQuery q = *this;
+  q.distinct_ = distinct;
+  return q;
+}
+
+std::string ChainQuery::ToSparql(const Dictionary* dict) const {
+  std::ostringstream out;
+  out << "SELECT ?v" << alpha_ << " COUNT(";
+  if (distinct_) out << "DISTINCT ";
+  out << "?v" << beta_ << ") WHERE {\n";
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    const TriplePattern& p = patterns_[i];
+    out << "  " << p.ToString(dict) << " .\n";
+    for (const TypeFilter& f : filters_[i]) {
+      out << "  FILTER EXISTS { ";
+      if (p[f.component].is_var()) {
+        out << "?v" << p[f.component].var();
+      } else {
+        out << '#' << p[f.component].term();
+      }
+      if (dict != nullptr) {
+        out << " <" << dict->Spell(f.property) << "> <" << dict->Spell(f.value)
+            << '>';
+      } else {
+        out << " #" << f.property << " #" << f.value;
+      }
+      out << " } .\n";
+    }
+  }
+  out << "} GROUP BY ?v" << alpha_;
+  return out.str();
+}
+
+}  // namespace kgoa

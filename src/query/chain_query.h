@@ -1,0 +1,89 @@
+// Chain (path-shaped) exploration queries — the query class of the paper
+// (Figure 4):
+//
+//   SELECT alpha, COUNT(DISTINCT beta) WHERE { P_1 . P_2 . ... P_n }
+//   GROUP BY alpha
+//
+// with each variable appearing in at most two triple patterns, consecutive
+// patterns sharing exactly one variable (the chain "links"), and the group
+// variable alpha and counted variable beta co-occurring in at least one
+// pattern (which every exploration expansion guarantees — see
+// src/explore/). Cyclic queries cannot occur (section IV-A).
+#ifndef KGOA_QUERY_CHAIN_QUERY_H_
+#define KGOA_QUERY_CHAIN_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/query/pattern.h"
+
+namespace kgoa {
+
+class ChainQuery {
+ public:
+  // Validates and finalizes a query; returns std::nullopt and fills *error
+  // (if non-null) when the input violates the chain-query contract.
+  static std::optional<ChainQuery> Create(std::vector<TriplePattern> patterns,
+                                          VarId alpha, VarId beta,
+                                          bool distinct,
+                                          std::string* error = nullptr);
+
+  // As above, with per-pattern existence filters (parallel to `patterns`;
+  // see src/join/filter.h). Pass an empty vector for no filters.
+  static std::optional<ChainQuery> Create(
+      std::vector<TriplePattern> patterns,
+      std::vector<std::vector<TypeFilter>> filters, VarId alpha, VarId beta,
+      bool distinct, std::string* error = nullptr);
+
+  // Like Create, but first permutes the patterns into chain order if the
+  // given order is not already a chain (triple patterns have set
+  // semantics; e.g. the paper's Figure 5 lists its patterns out of chain
+  // order). Fails if no permutation forms a chain.
+  static std::optional<ChainQuery> CreateReordering(
+      std::vector<TriplePattern> patterns,
+      std::vector<std::vector<TypeFilter>> filters, VarId alpha, VarId beta,
+      bool distinct, std::string* error = nullptr);
+
+  const std::vector<TriplePattern>& patterns() const { return patterns_; }
+  int NumPatterns() const { return static_cast<int>(patterns_.size()); }
+
+  VarId alpha() const { return alpha_; }
+  VarId beta() const { return beta_; }
+  bool distinct() const { return distinct_; }
+
+  // Returns a copy of this query with the distinct flag replaced.
+  ChainQuery WithDistinct(bool distinct) const;
+
+  // Existence filters of pattern i (possibly empty).
+  const std::vector<TypeFilter>& filters(int i) const { return filters_[i]; }
+  bool HasAnyFilter() const;
+
+  // Variable linking pattern i and pattern i+1 (size NumPatterns() - 1).
+  const std::vector<VarId>& links() const { return links_; }
+
+  // Index of a pattern containing both alpha and beta.
+  int alpha_beta_pattern() const { return alpha_beta_pattern_; }
+
+  // All distinct variables, in first-appearance order.
+  const std::vector<VarId>& vars() const { return vars_; }
+
+  // SPARQL rendering (Figure 4 form) for logging and documentation.
+  std::string ToSparql(const Dictionary* dict = nullptr) const;
+
+ private:
+  ChainQuery() = default;
+
+  std::vector<TriplePattern> patterns_;
+  std::vector<std::vector<TypeFilter>> filters_;
+  VarId alpha_ = kNoVar;
+  VarId beta_ = kNoVar;
+  bool distinct_ = true;
+  std::vector<VarId> links_;
+  std::vector<VarId> vars_;
+  int alpha_beta_pattern_ = -1;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_QUERY_CHAIN_QUERY_H_

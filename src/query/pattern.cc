@@ -1,0 +1,51 @@
+#include "src/query/pattern.h"
+
+#include <sstream>
+
+namespace kgoa {
+
+int TriplePattern::ComponentOf(VarId v) const {
+  for (int c = 0; c < 3; ++c) {
+    if (slots[c].is_var() && slots[c].var() == v) return c;
+  }
+  return -1;
+}
+
+std::vector<VarId> TriplePattern::Vars() const {
+  std::vector<VarId> vars;
+  for (int c = 0; c < 3; ++c) {
+    if (!slots[c].is_var()) continue;
+    bool seen = false;
+    for (VarId v : vars) seen = seen || v == slots[c].var();
+    if (!seen) vars.push_back(slots[c].var());
+  }
+  return vars;
+}
+
+bool TriplePattern::MatchesConstants(const Triple& t) const {
+  for (int c = 0; c < 3; ++c) {
+    if (!slots[c].is_var() && slots[c].term() != t[c]) return false;
+  }
+  return true;
+}
+
+std::string TriplePattern::ToString(const Dictionary* dict) const {
+  std::ostringstream out;
+  for (int c = 0; c < 3; ++c) {
+    if (c > 0) out << ' ';
+    if (slots[c].is_var()) {
+      out << "?v" << slots[c].var();
+    } else if (dict != nullptr) {
+      out << '<' << dict->Spell(slots[c].term()) << '>';
+    } else {
+      out << '#' << slots[c].term();
+    }
+  }
+  return out.str();
+}
+
+TriplePattern MakePattern(Slot s, Slot p, Slot o) {
+  return TriplePattern{{s, p, o}};
+}
+
+}  // namespace kgoa

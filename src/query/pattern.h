@@ -1,0 +1,86 @@
+// Triple patterns: the atoms of exploration queries. Each position
+// (subject, predicate, object) is either a constant term or a variable.
+#ifndef KGOA_QUERY_PATTERN_H_
+#define KGOA_QUERY_PATTERN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/rdf/dictionary.h"
+#include "src/rdf/types.h"
+
+namespace kgoa {
+
+using VarId = uint32_t;
+
+inline constexpr VarId kNoVar = static_cast<VarId>(-1);
+
+inline constexpr int kSubject = 0;
+inline constexpr int kPredicate = 1;
+inline constexpr int kObject = 2;
+
+// One position of a triple pattern.
+class Slot {
+ public:
+  static Slot MakeVar(VarId v) { return Slot(true, v); }
+  static Slot MakeConst(TermId t) { return Slot(false, t); }
+
+  bool is_var() const { return is_var_; }
+  VarId var() const { return id_; }
+  TermId term() const { return id_; }
+
+  friend bool operator==(const Slot&, const Slot&) = default;
+
+ private:
+  Slot(bool is_var, uint32_t id) : is_var_(is_var), id_(id) {}
+
+  bool is_var_;
+  uint32_t id_;
+};
+
+struct TriplePattern {
+  std::array<Slot, 3> slots;
+
+  const Slot& operator[](int component) const { return slots[component]; }
+  Slot& operator[](int component) { return slots[component]; }
+
+  // Component where `v` appears, or -1. Variables appear at most once per
+  // pattern (enforced by ChainQuery validation).
+  int ComponentOf(VarId v) const;
+
+  bool HasVar(VarId v) const { return ComponentOf(v) >= 0; }
+
+  // Distinct variables in component order.
+  std::vector<VarId> Vars() const;
+
+  int NumVars() const { return static_cast<int>(Vars().size()); }
+
+  // True when `t` agrees with this pattern's constants.
+  bool MatchesConstants(const Triple& t) const;
+
+  // Rendering for diagnostics; variables print as ?v<N>.
+  std::string ToString(const Dictionary* dict = nullptr) const;
+
+  friend bool operator==(const TriplePattern&, const TriplePattern&) = default;
+};
+
+// Convenience constructors.
+TriplePattern MakePattern(Slot s, Slot p, Slot o);
+
+// An existence filter on one component of a pattern: a matching triple t is
+// kept iff the graph contains (t[component], property, value). Used to fuse
+// class restrictions into a pattern's extent when the restricted variable
+// is already saturated (see src/join/filter.h).
+struct TypeFilter {
+  int component = 0;
+  TermId property = kInvalidTerm;
+  TermId value = kInvalidTerm;
+
+  friend bool operator==(const TypeFilter&, const TypeFilter&) = default;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_QUERY_PATTERN_H_

@@ -1,0 +1,384 @@
+#include "src/query/sparql.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "src/rdf/vocab.h"
+
+namespace kgoa {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokenKind {
+  kKeyword,   // SELECT, COUNT, DISTINCT, WHERE, GROUP, BY, FILTER, EXISTS
+  kVariable,  // ?name
+  kIri,       // <...> or a resolved built-in prefix form
+  kLiteral,   // "..."
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kDot,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // keyword (uppercased), variable name, IRI, literal
+  std::size_t line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  // Returns false and sets error() on a malformed token.
+  bool Next(Token* token) {
+    SkipSpaceAndComments();
+    token->line = line_;
+    if (pos_ >= text_.size()) {
+      token->kind = TokenKind::kEnd;
+      return true;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '(': ++pos_; token->kind = TokenKind::kLParen; return true;
+      case ')': ++pos_; token->kind = TokenKind::kRParen; return true;
+      case '{': ++pos_; token->kind = TokenKind::kLBrace; return true;
+      case '}': ++pos_; token->kind = TokenKind::kRBrace; return true;
+      case '.': ++pos_; token->kind = TokenKind::kDot; return true;
+      case '?': return LexVariable(token);
+      case '<': return LexIri(token);
+      case '"': return LexLiteral(token);
+      default: return LexWord(token);
+    }
+  }
+
+  const std::string& error() const { return error_; }
+  std::size_t line() const { return line_; }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool LexVariable(Token* token) {
+    ++pos_;  // '?'
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      error_ = "empty variable name";
+      return false;
+    }
+    token->kind = TokenKind::kVariable;
+    token->text = std::string(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool LexIri(Token* token) {
+    const std::size_t end = text_.find('>', pos_);
+    if (end == std::string_view::npos) {
+      error_ = "unterminated IRI";
+      return false;
+    }
+    token->kind = TokenKind::kIri;
+    token->text = std::string(text_.substr(pos_ + 1, end - pos_ - 1));
+    pos_ = end + 1;
+    return true;
+  }
+
+  bool LexLiteral(Token* token) {
+    std::string out = "\"";
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;
+        switch (text_[pos_]) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          default:
+            error_ = "bad literal escape";
+            return false;
+        }
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      error_ = "unterminated literal";
+      return false;
+    }
+    ++pos_;  // closing quote
+    out.push_back('"');
+    token->kind = TokenKind::kLiteral;
+    token->text = std::move(out);
+    return true;
+  }
+
+  bool LexWord(Token* token) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == ':' || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      error_ = std::string("unexpected character '") + text_[pos_] + "'";
+      return false;
+    }
+    std::string word(text_.substr(start, pos_ - start));
+    // Built-in prefixed names resolve to full IRIs.
+    static const std::map<std::string, std::string> kPrefixed = {
+        {"rdf:type", vocab::kRdfType},
+        {"rdfs:subClassOf", vocab::kRdfsSubClassOf},
+        {"owl:Thing", vocab::kOwlThing},
+    };
+    auto it = kPrefixed.find(word);
+    if (it != kPrefixed.end()) {
+      token->kind = TokenKind::kIri;
+      token->text = it->second;
+      return true;
+    }
+    for (char& c : word) c = static_cast<char>(std::toupper(c));
+    token->kind = TokenKind::kKeyword;
+    token->text = std::move(word);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(std::string_view text, const Dictionary& dict)
+      : lexer_(text), dict_(dict) {}
+
+  SparqlParseResult Parse() {
+    if (!Advance()) return Fail(lexer_.error());
+
+    if (!ExpectKeyword("SELECT")) return Fail("expected SELECT");
+    std::string alpha_name;
+    if (!ExpectVariable(&alpha_name)) return Fail("expected group variable");
+    if (!ExpectKeyword("COUNT")) return Fail("expected COUNT");
+    if (!Expect(TokenKind::kLParen)) return Fail("expected '('");
+    bool distinct = false;
+    if (current_.kind == TokenKind::kKeyword &&
+        current_.text == "DISTINCT") {
+      distinct = true;
+      if (!Advance()) return Fail(lexer_.error());
+    }
+    std::string beta_name;
+    if (!ExpectVariable(&beta_name)) return Fail("expected count variable");
+    if (!Expect(TokenKind::kRParen)) return Fail("expected ')'");
+    if (!ExpectKeyword("WHERE")) return Fail("expected WHERE");
+    if (!Expect(TokenKind::kLBrace)) return Fail("expected '{'");
+
+    std::vector<TriplePattern> patterns;
+    std::vector<std::vector<TypeFilter>> filters;
+    while (current_.kind != TokenKind::kRBrace) {
+      if (current_.kind == TokenKind::kKeyword &&
+          current_.text == "FILTER") {
+        if (patterns.empty()) {
+          return Fail("FILTER EXISTS before any triple pattern");
+        }
+        std::string error = ParseFilter(patterns.back(), &filters.back());
+        if (!error.empty()) return Fail(error);
+        continue;
+      }
+      TriplePattern pattern = MakePattern(Slot::MakeConst(0),
+                                          Slot::MakeConst(0),
+                                          Slot::MakeConst(0));
+      std::string error = ParseTriple(&pattern);
+      if (!error.empty()) return Fail(error);
+      patterns.push_back(pattern);
+      filters.emplace_back();
+    }
+    if (!Expect(TokenKind::kRBrace)) return Fail("expected '}'");
+    if (!ExpectKeyword("GROUP")) return Fail("expected GROUP BY");
+    if (!ExpectKeyword("BY")) return Fail("expected GROUP BY");
+    std::string group_name;
+    if (!ExpectVariable(&group_name)) return Fail("expected group variable");
+    if (group_name != alpha_name) {
+      return Fail("GROUP BY variable must match the selected variable");
+    }
+    if (current_.kind != TokenKind::kEnd) {
+      return Fail("trailing input after GROUP BY");
+    }
+
+    auto alpha_it = vars_.find(alpha_name);
+    auto beta_it = vars_.find(beta_name);
+    if (alpha_it == vars_.end()) {
+      return Fail("selected variable ?" + alpha_name +
+                  " does not occur in WHERE");
+    }
+    if (beta_it == vars_.end()) {
+      return Fail("counted variable ?" + beta_name +
+                  " does not occur in WHERE");
+    }
+
+    SparqlParseResult result;
+    std::string error;
+    result.query = ChainQuery::CreateReordering(
+        std::move(patterns), std::move(filters), alpha_it->second,
+        beta_it->second, distinct, &error);
+    if (!result.query.has_value()) return Fail(error);
+    return result;
+  }
+
+ private:
+  bool Advance() {
+    return lexer_.Next(&current_);
+  }
+
+  bool Expect(TokenKind kind) {
+    if (current_.kind != kind) return false;
+    return Advance();
+  }
+
+  bool ExpectKeyword(const std::string& keyword) {
+    if (current_.kind != TokenKind::kKeyword || current_.text != keyword) {
+      return false;
+    }
+    return Advance();
+  }
+
+  bool ExpectVariable(std::string* name) {
+    if (current_.kind != TokenKind::kVariable) return false;
+    *name = current_.text;
+    return Advance();
+  }
+
+  // Resolves the current token as a pattern slot; advances on success.
+  std::string ParseSlot(Slot* slot, bool allow_literal) {
+    switch (current_.kind) {
+      case TokenKind::kVariable: {
+        auto [it, inserted] =
+            vars_.try_emplace(current_.text,
+                              static_cast<VarId>(vars_.size()));
+        *slot = Slot::MakeVar(it->second);
+        break;
+      }
+      case TokenKind::kIri: {
+        const TermId id = dict_.Lookup(current_.text);
+        if (id == kInvalidTerm) {
+          return "unknown term <" + current_.text + ">";
+        }
+        *slot = Slot::MakeConst(id);
+        break;
+      }
+      case TokenKind::kLiteral: {
+        if (!allow_literal) return "literal not allowed here";
+        const TermId id = dict_.Lookup(current_.text);
+        if (id == kInvalidTerm) return "unknown literal " + current_.text;
+        *slot = Slot::MakeConst(id);
+        break;
+      }
+      default:
+        return "expected variable, IRI or literal";
+    }
+    if (!Advance()) return lexer_.error();
+    return "";
+  }
+
+  std::string ParseTriple(TriplePattern* pattern) {
+    for (int c = 0; c < 3; ++c) {
+      std::string error = ParseSlot(&(*pattern)[c], /*allow_literal=*/c == 2);
+      if (!error.empty()) return error;
+    }
+    if (!Expect(TokenKind::kDot)) return "expected '.' after triple";
+    return "";
+  }
+
+  // FILTER EXISTS { ?v <p> <o> } [.]  — ?v must occur in `pattern` (the
+  // preceding triple), producing a fused existence filter on it.
+  std::string ParseFilter(const TriplePattern& pattern,
+                          std::vector<TypeFilter>* filters) {
+    if (!ExpectKeyword("FILTER")) return "expected FILTER";
+    if (!ExpectKeyword("EXISTS")) return "expected EXISTS";
+    if (!Expect(TokenKind::kLBrace)) return "expected '{' after EXISTS";
+
+    if (current_.kind != TokenKind::kVariable) {
+      return "FILTER EXISTS subject must be a variable";
+    }
+    auto it = vars_.find(current_.text);
+    if (it == vars_.end()) {
+      return "FILTER EXISTS variable ?" + current_.text + " is unbound";
+    }
+    const int component = pattern.ComponentOf(it->second);
+    if (component < 0) {
+      return "FILTER EXISTS variable must occur in the preceding pattern";
+    }
+    if (!Advance()) return lexer_.error();
+
+    TypeFilter filter;
+    filter.component = component;
+    for (TermId* field : {&filter.property, &filter.value}) {
+      if (current_.kind != TokenKind::kIri) {
+        return "FILTER EXISTS expects IRIs for predicate and object";
+      }
+      *field = dict_.Lookup(current_.text);
+      if (*field == kInvalidTerm) {
+        return "unknown term <" + current_.text + ">";
+      }
+      if (!Advance()) return lexer_.error();
+    }
+    if (!Expect(TokenKind::kRBrace)) return "expected '}' closing EXISTS";
+    if (current_.kind == TokenKind::kDot) {
+      if (!Advance()) return lexer_.error();
+    }
+    filters->push_back(filter);
+    return "";
+  }
+
+  SparqlParseResult Fail(const std::string& message) {
+    SparqlParseResult result;
+    result.error = message.empty() ? "parse error" : message;
+    result.error_line = current_.line;
+    return result;
+  }
+
+  Lexer lexer_;
+  const Dictionary& dict_;
+  Token current_;
+  std::map<std::string, VarId> vars_;
+};
+
+}  // namespace
+
+SparqlParseResult ParseSparqlCount(std::string_view text,
+                                   const Dictionary& dict) {
+  return Parser(text, dict).Parse();
+}
+
+}  // namespace kgoa

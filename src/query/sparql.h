@@ -1,0 +1,45 @@
+// Parser for the SPARQL fragment of the paper's exploration queries
+// (Figure 4):
+//
+//   SELECT ?g COUNT(DISTINCT ?f) WHERE {
+//     ?s <http://...birthPlace> ?f .
+//     ?s rdf:type <http://...Person> .
+//     FILTER EXISTS { ?f rdf:type <http://...City> } .
+//   } GROUP BY ?g
+//
+// Supported syntax: IRIs in angle brackets, the built-in prefixes rdf:,
+// rdfs: and owl:, quoted literals, variables (?name), optional DISTINCT,
+// '#' comments, and FILTER EXISTS clauses with a (var, IRI, IRI) pattern
+// (the fused class restrictions of src/join/filter.h). Keywords are
+// case-insensitive. The query must satisfy the chain contract enforced by
+// ChainQuery::Create.
+//
+// Constants are resolved against an existing dictionary: a term that was
+// never interned cannot match anything, and is reported as an error rather
+// than silently returning empty results.
+#ifndef KGOA_QUERY_SPARQL_H_
+#define KGOA_QUERY_SPARQL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/query/chain_query.h"
+#include "src/rdf/dictionary.h"
+
+namespace kgoa {
+
+struct SparqlParseResult {
+  std::optional<ChainQuery> query;
+  std::string error;       // empty on success
+  std::size_t error_line = 0;  // 1-based; 0 on success
+
+  bool ok() const { return query.has_value(); }
+};
+
+SparqlParseResult ParseSparqlCount(std::string_view text,
+                                   const Dictionary& dict);
+
+}  // namespace kgoa
+
+#endif  // KGOA_QUERY_SPARQL_H_

@@ -1,0 +1,123 @@
+#include "src/rdf/binary_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace kgoa {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'G', 'O', 'A', 'G', 'R', 'P', 'H'};
+constexpr uint32_t kVersion = 1;
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+bool SaveGraphBinary(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+
+  const auto num_terms = static_cast<uint64_t>(graph.dict().size());
+  WritePod(out, num_terms);
+  for (TermId id = 0; id < num_terms; ++id) {
+    const std::string_view term = graph.dict().Spell(id);
+    WritePod(out, static_cast<uint32_t>(term.size()));
+    out.write(term.data(), static_cast<std::streamsize>(term.size()));
+  }
+
+  const auto num_triples = static_cast<uint64_t>(graph.NumTriples());
+  WritePod(out, num_triples);
+  for (const Triple& t : graph.triples()) {
+    WritePod(out, t.s);
+    WritePod(out, t.p);
+    WritePod(out, t.o);
+  }
+  return out.good();
+}
+
+std::optional<Graph> LoadGraphBinary(const std::string& path,
+                                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    SetError(error, "not a kgoa graph snapshot");
+    return std::nullopt;
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    SetError(error, "unsupported snapshot version");
+    return std::nullopt;
+  }
+
+  GraphBuilder builder;
+  uint64_t num_terms = 0;
+  if (!ReadPod(in, &num_terms)) {
+    SetError(error, "truncated dictionary header");
+    return std::nullopt;
+  }
+  std::string term;
+  for (uint64_t i = 0; i < num_terms; ++i) {
+    uint32_t length = 0;
+    if (!ReadPod(in, &length)) {
+      SetError(error, "truncated dictionary");
+      return std::nullopt;
+    }
+    term.resize(length);
+    in.read(term.data(), length);
+    if (!in.good()) {
+      SetError(error, "truncated dictionary entry");
+      return std::nullopt;
+    }
+    const TermId id = builder.Intern(term);
+    if (id != static_cast<TermId>(i)) {
+      SetError(error, "duplicate term in snapshot dictionary");
+      return std::nullopt;
+    }
+  }
+
+  uint64_t num_triples = 0;
+  if (!ReadPod(in, &num_triples)) {
+    SetError(error, "truncated triple header");
+    return std::nullopt;
+  }
+  for (uint64_t i = 0; i < num_triples; ++i) {
+    Triple t;
+    if (!ReadPod(in, &t.s) || !ReadPod(in, &t.p) || !ReadPod(in, &t.o)) {
+      SetError(error, "truncated triples");
+      return std::nullopt;
+    }
+    if (t.s >= num_terms || t.p >= num_terms || t.o >= num_terms) {
+      SetError(error, "triple references unknown term");
+      return std::nullopt;
+    }
+    builder.Add(t);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace kgoa

@@ -1,0 +1,26 @@
+// Binary graph snapshots: a compact on-disk format for dictionary-encoded
+// graphs, so that large (synthetic or parsed) graphs load in milliseconds
+// instead of re-parsing N-Triples or re-generating. Format (little
+// endian): magic, version, dictionary (length-prefixed UTF-8 terms in id
+// order), then the triple array.
+#ifndef KGOA_RDF_BINARY_IO_H_
+#define KGOA_RDF_BINARY_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/rdf/graph.h"
+
+namespace kgoa {
+
+// Writes `graph` to `path`. Returns false on I/O failure.
+bool SaveGraphBinary(const Graph& graph, const std::string& path);
+
+// Loads a snapshot; returns std::nullopt and fills *error (if non-null) on
+// I/O failure, bad magic, version mismatch, or truncation.
+std::optional<Graph> LoadGraphBinary(const std::string& path,
+                                     std::string* error = nullptr);
+
+}  // namespace kgoa
+
+#endif  // KGOA_RDF_BINARY_IO_H_

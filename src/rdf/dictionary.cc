@@ -1,0 +1,27 @@
+#include "src/rdf/dictionary.h"
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+TermId Dictionary::Intern(std::string_view term) {
+  auto it = ids_.find(term);
+  if (it != ids_.end()) return it->second;
+  KGOA_CHECK_MSG(terms_.size() < kInvalidTerm, "dictionary full");
+  terms_.emplace_back(term);
+  const TermId id = static_cast<TermId>(terms_.size() - 1);
+  ids_.emplace(std::string_view(terms_.back()), id);
+  return id;
+}
+
+TermId Dictionary::Lookup(std::string_view term) const {
+  auto it = ids_.find(term);
+  return it == ids_.end() ? kInvalidTerm : it->second;
+}
+
+std::string_view Dictionary::Spell(TermId id) const {
+  KGOA_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+}  // namespace kgoa

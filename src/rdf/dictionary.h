@@ -1,0 +1,45 @@
+// Bidirectional mapping between RDF term strings (IRIs and literals) and
+// dense integer TermIds. All query processing happens on TermIds; the
+// dictionary is consulted only at load time and when printing results.
+#ifndef KGOA_RDF_DICTIONARY_H_
+#define KGOA_RDF_DICTIONARY_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/rdf/types.h"
+
+namespace kgoa {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  // Returns the id for `term`, interning it if new. Ids are dense and
+  // assigned in first-seen order.
+  TermId Intern(std::string_view term);
+
+  // Returns the id for `term` or kInvalidTerm if it was never interned.
+  TermId Lookup(std::string_view term) const;
+
+  // Returns the string form of `id`. `id` must be valid.
+  std::string_view Spell(TermId id) const;
+
+  std::size_t size() const { return terms_.size(); }
+
+ private:
+  // std::deque gives stable addresses so the map's string_view keys can
+  // point into the stored strings without re-allocation hazards.
+  std::deque<std::string> terms_;
+  std::unordered_map<std::string_view, TermId> ids_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_RDF_DICTIONARY_H_

@@ -1,0 +1,57 @@
+#include "src/rdf/graph.h"
+
+#include <algorithm>
+
+#include "src/rdf/vocab.h"
+#include "src/util/check.h"
+
+namespace kgoa {
+
+std::vector<TermId> Graph::Properties() const {
+  std::vector<TermId> props;
+  for (const Triple& t : triples_) props.push_back(t.p);
+  std::sort(props.begin(), props.end());
+  props.erase(std::unique(props.begin(), props.end()), props.end());
+  return props;
+}
+
+std::vector<TermId> Graph::Classes() const {
+  std::vector<TermId> classes;
+  for (const Triple& t : triples_) {
+    if (t.p == rdf_type_) classes.push_back(t.o);
+  }
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  return classes;
+}
+
+bool Graph::Contains(const Triple& t) const {
+  return std::binary_search(triples_.begin(), triples_.end(), t, SpoLess);
+}
+
+GraphBuilder::GraphBuilder() = default;
+
+void GraphBuilder::Add(TermId s, TermId p, TermId o) {
+  KGOA_DCHECK(s != kInvalidTerm && p != kInvalidTerm && o != kInvalidTerm);
+  triples_.push_back(Triple{s, p, o});
+}
+
+void GraphBuilder::AddSpelled(std::string_view s, std::string_view p,
+                              std::string_view o) {
+  Add(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+}
+
+Graph GraphBuilder::Build() && {
+  Graph g;
+  g.rdf_type_ = dict_.Intern(vocab::kRdfType);
+  g.subclass_of_ = dict_.Intern(vocab::kRdfsSubClassOf);
+  g.owl_thing_ = dict_.Intern(vocab::kOwlThing);
+  g.dict_ = std::move(dict_);
+  std::sort(triples_.begin(), triples_.end(), SpoLess);
+  triples_.erase(std::unique(triples_.begin(), triples_.end()),
+                 triples_.end());
+  g.triples_ = std::move(triples_);
+  return g;
+}
+
+}  // namespace kgoa

@@ -1,0 +1,80 @@
+// Immutable in-memory RDF graph: a deduplicated, dictionary-encoded set of
+// triples plus the well-known vocabulary ids the exploration model needs.
+//
+// Build with GraphBuilder; once built the triple set never changes, which is
+// what lets the indexes in src/index/ use flat sorted arrays (the paper's
+// representation, section V-A).
+#ifndef KGOA_RDF_GRAPH_H_
+#define KGOA_RDF_GRAPH_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "src/rdf/dictionary.h"
+#include "src/rdf/types.h"
+
+namespace kgoa {
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  // Triples sorted by (s, p, o), without duplicates.
+  const std::vector<Triple>& triples() const { return triples_; }
+  std::size_t NumTriples() const { return triples_.size(); }
+
+  const Dictionary& dict() const { return dict_; }
+
+  // Well-known term ids (always interned by GraphBuilder::Build).
+  TermId rdf_type() const { return rdf_type_; }
+  TermId subclass_of() const { return subclass_of_; }
+  TermId owl_thing() const { return owl_thing_; }
+
+  // Distinct predicate ids, ascending.
+  std::vector<TermId> Properties() const;
+  // Distinct objects of rdf:type triples (the classes in use), ascending.
+  std::vector<TermId> Classes() const;
+
+  bool Contains(const Triple& t) const;
+
+ private:
+  friend class GraphBuilder;
+
+  Dictionary dict_;
+  std::vector<Triple> triples_;
+  TermId rdf_type_ = kInvalidTerm;
+  TermId subclass_of_ = kInvalidTerm;
+  TermId owl_thing_ = kInvalidTerm;
+};
+
+// Accumulates triples, then produces an immutable Graph. Duplicate triples
+// are tolerated and removed at Build time.
+class GraphBuilder {
+ public:
+  GraphBuilder();
+
+  TermId Intern(std::string_view term) { return dict_.Intern(term); }
+  const Dictionary& dict() const { return dict_; }
+
+  void Add(TermId s, TermId p, TermId o);
+  void Add(const Triple& t) { Add(t.s, t.p, t.o); }
+  void AddSpelled(std::string_view s, std::string_view p, std::string_view o);
+
+  std::size_t NumPending() const { return triples_.size(); }
+
+  // Consumes the builder.
+  Graph Build() &&;
+
+ private:
+  Dictionary dict_;
+  std::vector<Triple> triples_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_RDF_GRAPH_H_

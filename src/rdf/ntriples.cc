@@ -1,0 +1,163 @@
+#include "src/rdf/ntriples.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace kgoa {
+
+namespace {
+
+void SkipSpace(std::string_view& s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+}
+
+// Parses one term (IRI or literal) from the front of `s` into `out`.
+// Returns false on malformed input. Literals keep their quotes stripped and
+// escapes resolved; a "^^<datatype>" suffix is preserved verbatim in the
+// stored spelling so round-trips keep type information.
+bool ParseTerm(std::string_view& s, std::string& out, bool allow_literal) {
+  SkipSpace(s);
+  if (s.empty()) return false;
+  out.clear();
+  if (s.front() == '<') {
+    const auto end = s.find('>');
+    if (end == std::string_view::npos) return false;
+    out.assign(s.substr(1, end - 1));
+    if (out.empty()) return false;
+    s.remove_prefix(end + 1);
+    return true;
+  }
+  if (s.front() == '"') {
+    if (!allow_literal) return false;
+    s.remove_prefix(1);
+    out.push_back('"');
+    while (!s.empty() && s.front() != '"') {
+      char c = s.front();
+      if (c == '\\') {
+        s.remove_prefix(1);
+        if (s.empty()) return false;
+        switch (s.front()) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          default: return false;
+        }
+      }
+      out.push_back(c);
+      s.remove_prefix(1);
+    }
+    if (s.empty()) return false;  // unterminated literal
+    s.remove_prefix(1);           // closing quote
+    out.push_back('"');
+    // Optional datatype or language tag; keep verbatim.
+    if (!s.empty() && s.front() == '^') {
+      const auto sp = s.find_first_of(" \t.");
+      const auto len = sp == std::string_view::npos ? s.size() : sp;
+      out.append(s.substr(0, len));
+      s.remove_prefix(len);
+    } else if (!s.empty() && s.front() == '@') {
+      const auto sp = s.find_first_of(" \t");
+      const auto len = sp == std::string_view::npos ? s.size() : sp;
+      out.append(s.substr(0, len));
+      s.remove_prefix(len);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool ParseLine(std::string_view line, GraphBuilder& builder,
+               std::string& err) {
+  std::string s, p, o;
+  if (!ParseTerm(line, s, /*allow_literal=*/false)) {
+    err = "malformed subject";
+    return false;
+  }
+  if (!ParseTerm(line, p, /*allow_literal=*/false)) {
+    err = "malformed predicate";
+    return false;
+  }
+  if (!ParseTerm(line, o, /*allow_literal=*/true)) {
+    err = "malformed object";
+    return false;
+  }
+  SkipSpace(line);
+  if (line.empty() || line.front() != '.') {
+    err = "missing terminating '.'";
+    return false;
+  }
+  builder.AddSpelled(s, p, o);
+  return true;
+}
+
+bool IsBlankOrComment(std::string_view line) {
+  SkipSpace(line);
+  return line.empty() || line.front() == '#';
+}
+
+}  // namespace
+
+NtParseResult ParseNTriples(std::istream& in, GraphBuilder& builder) {
+  NtParseResult result;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (IsBlankOrComment(line)) continue;
+    std::string err;
+    if (!ParseLine(line, builder, err)) {
+      result.ok = false;
+      result.error_line = lineno;
+      result.error = err;
+      return result;
+    }
+    ++result.lines_parsed;
+  }
+  return result;
+}
+
+NtParseResult ParseNTriplesString(std::string_view text,
+                                  GraphBuilder& builder) {
+  std::istringstream in{std::string(text)};
+  return ParseNTriples(in, builder);
+}
+
+void WriteNTriples(const Graph& graph, std::ostream& out) {
+  auto write_term = [&](TermId id, bool object_position) {
+    const std::string_view term = graph.dict().Spell(id);
+    if (object_position && !term.empty() && term.front() == '"') {
+      // Stored literal spelling: quoted content plus optional suffix.
+      const auto close = term.rfind('"');
+      out << '"';
+      for (char c : term.substr(1, close - 1)) {
+        switch (c) {
+          case '\n': out << "\\n"; break;
+          case '\t': out << "\\t"; break;
+          case '\r': out << "\\r"; break;
+          case '"': out << "\\\""; break;
+          case '\\': out << "\\\\"; break;
+          default: out << c;
+        }
+      }
+      out << '"' << term.substr(close + 1);
+    } else {
+      out << '<' << term << '>';
+    }
+  };
+  for (const Triple& t : graph.triples()) {
+    write_term(t.s, false);
+    out << ' ';
+    write_term(t.p, false);
+    out << ' ';
+    write_term(t.o, true);
+    out << " .\n";
+  }
+}
+
+}  // namespace kgoa

@@ -1,0 +1,38 @@
+// Reader and writer for a pragmatic subset of the N-Triples format:
+// IRIs in angle brackets, plain/typed string literals, '#' comments, and
+// blank lines. This is the on-disk interchange format for the library
+// (public KG dumps such as DBpedia ship as N-Triples).
+#ifndef KGOA_RDF_NTRIPLES_H_
+#define KGOA_RDF_NTRIPLES_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "src/rdf/graph.h"
+
+namespace kgoa {
+
+struct NtParseResult {
+  bool ok = true;
+  std::size_t lines_parsed = 0;   // triples successfully added
+  std::size_t error_line = 0;     // 1-based; 0 when ok
+  std::string error;
+};
+
+// Parses N-Triples from `in`, adding every triple to `builder`.
+// Stops at the first malformed line and reports it.
+NtParseResult ParseNTriples(std::istream& in, GraphBuilder& builder);
+
+// Convenience: parse from a string.
+NtParseResult ParseNTriplesString(std::string_view text,
+                                  GraphBuilder& builder);
+
+// Serializes `graph` as N-Triples. Terms that look like IRIs (no interior
+// whitespace/quotes) are written in angle brackets; anything else as an
+// escaped literal. Round-trips output of this library exactly.
+void WriteNTriples(const Graph& graph, std::ostream& out);
+
+}  // namespace kgoa
+
+#endif  // KGOA_RDF_NTRIPLES_H_

@@ -1,0 +1,141 @@
+#include "src/rdf/schema.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace kgoa {
+
+ClassHierarchy::ClassHierarchy(const Graph& graph) {
+  std::unordered_set<TermId> classes;
+  for (const Triple& t : graph.triples()) {
+    if (t.p == graph.subclass_of()) {
+      parents_[t.s].push_back(t.o);
+      children_[t.o].push_back(t.s);
+      classes.insert(t.s);
+      classes.insert(t.o);
+    } else if (t.p == graph.rdf_type()) {
+      classes.insert(t.o);
+    }
+  }
+  all_classes_.assign(classes.begin(), classes.end());
+  std::sort(all_classes_.begin(), all_classes_.end());
+  for (auto& [cls, ps] : parents_) {
+    std::sort(ps.begin(), ps.end());
+    ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
+  }
+  for (auto& [cls, cs] : children_) {
+    std::sort(cs.begin(), cs.end());
+    cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+  }
+}
+
+const std::vector<TermId>& ClassHierarchy::Parents(TermId cls) const {
+  auto it = parents_.find(cls);
+  return it == parents_.end() ? empty_ : it->second;
+}
+
+const std::vector<TermId>& ClassHierarchy::Children(TermId cls) const {
+  auto it = children_.find(cls);
+  return it == children_.end() ? empty_ : it->second;
+}
+
+std::vector<TermId> ClassHierarchy::Ancestors(TermId cls) const {
+  std::vector<TermId> out;
+  std::unordered_set<TermId> seen{cls};
+  std::vector<TermId> stack{cls};
+  while (!stack.empty()) {
+    const TermId cur = stack.back();
+    stack.pop_back();
+    for (TermId parent : Parents(cur)) {
+      if (seen.insert(parent).second) {
+        out.push_back(parent);
+        stack.push_back(parent);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TermId> ClassHierarchy::Roots() const {
+  std::vector<TermId> roots;
+  for (TermId cls : all_classes_) {
+    if (Parents(cls).empty()) roots.push_back(cls);
+  }
+  return roots;
+}
+
+Graph MaterializeSubPropertyClosure(const Graph& graph) {
+  const TermId subprop = graph.dict().Lookup(kRdfsSubPropertyOf);
+
+  // Direct super-properties.
+  std::unordered_map<TermId, std::vector<TermId>> parents;
+  if (subprop != kInvalidTerm) {
+    for (const Triple& t : graph.triples()) {
+      if (t.p == subprop) parents[t.s].push_back(t.o);
+    }
+  }
+
+  // Transitive ancestors, memoized, cycle-safe.
+  std::unordered_map<TermId, std::vector<TermId>> ancestors;
+  auto ancestors_of = [&](TermId p) -> const std::vector<TermId>& {
+    auto it = ancestors.find(p);
+    if (it != ancestors.end()) return it->second;
+    std::vector<TermId> out;
+    std::unordered_set<TermId> seen{p};
+    std::vector<TermId> stack{p};
+    while (!stack.empty()) {
+      const TermId cur = stack.back();
+      stack.pop_back();
+      auto pit = parents.find(cur);
+      if (pit == parents.end()) continue;
+      for (TermId parent : pit->second) {
+        if (seen.insert(parent).second) {
+          out.push_back(parent);
+          stack.push_back(parent);
+        }
+      }
+    }
+    return ancestors.emplace(p, std::move(out)).first->second;
+  };
+
+  GraphBuilder builder;
+  for (TermId id = 0; id < graph.dict().size(); ++id) {
+    builder.Intern(graph.dict().Spell(id));
+  }
+  for (const Triple& t : graph.triples()) {
+    builder.Add(t);
+    if (t.p == subprop || parents.find(t.p) == parents.end()) continue;
+    for (TermId super : ancestors_of(t.p)) {
+      builder.Add(t.s, super, t.o);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph MaterializeSubclassClosure(const Graph& graph) {
+  ClassHierarchy hierarchy(graph);
+
+  GraphBuilder builder;
+  // Re-intern every term in id order so ids stay stable.
+  for (TermId id = 0; id < graph.dict().size(); ++id) {
+    builder.Intern(graph.dict().Spell(id));
+  }
+
+  // Memoize ancestor sets per class: type triples vastly outnumber classes.
+  std::unordered_map<TermId, std::vector<TermId>> ancestors;
+  for (const Triple& t : graph.triples()) {
+    builder.Add(t);
+    if (t.p != graph.rdf_type()) continue;
+    auto it = ancestors.find(t.o);
+    if (it == ancestors.end()) {
+      it = ancestors.emplace(t.o, hierarchy.Ancestors(t.o)).first;
+    }
+    for (TermId super : it->second) {
+      builder.Add(t.s, t.p, super);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace kgoa

@@ -1,0 +1,65 @@
+// Class hierarchy utilities.
+//
+// The paper's remark in section IV-A: patterns over rdf:type are joined with
+// the transitive closure of rdfs:subClassOf. Following the paper's setup for
+// CTJ / Wander Join / Audit Join, the closure is computed offline and
+// materialized into the graph: every (x, rdf:type, c) triple is expanded to
+// (x, rdf:type, c') for all (possibly indirect) superclasses c' of c.
+#ifndef KGOA_RDF_SCHEMA_H_
+#define KGOA_RDF_SCHEMA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/rdf/graph.h"
+#include "src/rdf/types.h"
+
+namespace kgoa {
+
+// View over the rdfs:subClassOf edges of a graph. Built once per graph.
+class ClassHierarchy {
+ public:
+  explicit ClassHierarchy(const Graph& graph);
+
+  // Direct superclasses / subclasses (as asserted, no closure).
+  const std::vector<TermId>& Parents(TermId cls) const;
+  const std::vector<TermId>& Children(TermId cls) const;
+
+  // All (possibly indirect) strict superclasses of `cls`, deduplicated.
+  // Cycles in the subclass graph are tolerated (each class visited once).
+  std::vector<TermId> Ancestors(TermId cls) const;
+
+  // Classes with no asserted parent.
+  std::vector<TermId> Roots() const;
+
+  // Every class mentioned in a subClassOf edge or as an rdf:type object.
+  const std::vector<TermId>& AllClasses() const { return all_classes_; }
+
+ private:
+  std::unordered_map<TermId, std::vector<TermId>> parents_;
+  std::unordered_map<TermId, std::vector<TermId>> children_;
+  std::vector<TermId> all_classes_;
+  std::vector<TermId> empty_;
+};
+
+// Returns a new graph equal to `graph` plus the materialized subclass
+// closure on instance typing: for each (x, rdf:type, c) and ancestor c' of
+// c, the triple (x, rdf:type, c'). subClassOf edges themselves are copied
+// as-is. Term ids are stable: the new graph's dictionary assigns every
+// existing term the same id.
+Graph MaterializeSubclassClosure(const Graph& graph);
+
+// The analogous closure for rdfs:subPropertyOf — one of the paper's
+// envisaged extensions ("support for further semantics beyond subclass
+// closure", section VI): for each triple (s, p, o) and super-property p'
+// of p, the triple (s, p', o) is added. Property hierarchy edges are
+// triples (p, rdfs:subPropertyOf, p'); cycles are tolerated. Term ids are
+// stable.
+inline constexpr char kRdfsSubPropertyOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+
+Graph MaterializeSubPropertyClosure(const Graph& graph);
+
+}  // namespace kgoa
+
+#endif  // KGOA_RDF_SCHEMA_H_

@@ -1,0 +1,57 @@
+// Fundamental RDF value types: dictionary-encoded term identifiers and
+// triples. An RDF graph is a set of (subject, predicate, object) triples;
+// all engines in this library operate on the integer-encoded form.
+#ifndef KGOA_RDF_TYPES_H_
+#define KGOA_RDF_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace kgoa {
+
+// Dictionary-encoded term identifier. 32 bits comfortably covers the
+// synthetic graphs used in the reproduction (tens of millions of terms);
+// widen to uint64_t here to scale past 4B terms.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+// A dictionary-encoded RDF triple.
+struct Triple {
+  TermId s = kInvalidTerm;
+  TermId p = kInvalidTerm;
+  TermId o = kInvalidTerm;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+
+  // Component access by position: 0 = subject, 1 = predicate, 2 = object.
+  TermId operator[](int component) const {
+    return component == 0 ? s : (component == 1 ? p : o);
+  }
+};
+
+// Lexicographic (s, p, o) order; index orders use their own comparators.
+inline bool SpoLess(const Triple& a, const Triple& b) {
+  if (a.s != b.s) return a.s < b.s;
+  if (a.p != b.p) return a.p < b.p;
+  return a.o < b.o;
+}
+
+struct TripleHash {
+  std::size_t operator()(const Triple& t) const {
+    uint64_t h = t.s;
+    h = h * 0x9e3779b97f4a7c15ULL + t.p;
+    h = h * 0x9e3779b97f4a7c15ULL + t.o;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h * 0xbf58476d1ce4e5b9ULL);
+  }
+};
+
+// Packs two 32-bit term ids into one 64-bit key (hash-index keys, caches).
+inline uint64_t PackPair(TermId a, TermId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace kgoa
+
+#endif  // KGOA_RDF_TYPES_H_

@@ -1,0 +1,17 @@
+// Well-known vocabulary IRIs used by the exploration model (section III of
+// the paper): rdf:type for class membership, rdfs:subClassOf for the class
+// hierarchy, and owl:Thing as the exploration root.
+#ifndef KGOA_RDF_VOCAB_H_
+#define KGOA_RDF_VOCAB_H_
+
+namespace kgoa::vocab {
+
+inline constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kRdfsSubClassOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr char kOwlThing[] = "http://www.w3.org/2002/07/owl#Thing";
+
+}  // namespace kgoa::vocab
+
+#endif  // KGOA_RDF_VOCAB_H_

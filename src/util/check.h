@@ -1,0 +1,38 @@
+// Lightweight assertion macros used across the library.
+//
+// KGOA_CHECK is active in all build modes: invariant violations in a query
+// engine silently corrupt results, so we prefer a crash with a message.
+// KGOA_DCHECK compiles away in NDEBUG builds and is meant for hot paths.
+#ifndef KGOA_UTIL_CHECK_H_
+#define KGOA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define KGOA_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "KGOA_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define KGOA_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "KGOA_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define KGOA_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define KGOA_DCHECK(cond) KGOA_CHECK(cond)
+#endif
+
+#endif  // KGOA_UTIL_CHECK_H_

@@ -1,0 +1,82 @@
+#include "src/util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+namespace kgoa {
+
+namespace {
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "flag error: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.substr(0, 2) != "--") Die("expected --flag, got: " + std::string(arg));
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') Die("--" + name + " expects an integer");
+  return v;
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') Die("--" + name + " expects a number");
+  return v;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  Die("--" + name + " expects true/false");
+}
+
+void Flags::RestrictTo(const std::string& allowed) const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    const std::string needle = "," + name + ",";
+    const std::string hay = "," + allowed + ",";
+    if (hay.find(needle) == std::string::npos) {
+      Die("unknown flag --" + name + " (allowed: " + allowed + ")");
+    }
+  }
+}
+
+}  // namespace kgoa

@@ -1,0 +1,39 @@
+// Minimal command-line flag parsing for the benchmark and example binaries.
+//
+// Accepts "--name=value" and "--name value" forms. Unknown flags abort with
+// a message so typos in experiment sweeps are caught rather than silently
+// falling back to defaults.
+#ifndef KGOA_UTIL_FLAGS_H_
+#define KGOA_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace kgoa {
+
+class Flags {
+ public:
+  // Parses argv. Aborts on malformed arguments.
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  // Getters return the default when the flag is absent; they abort if the
+  // flag is present but does not parse as the requested type.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  // Aborts unless every provided flag name is in `allowed` (comma-separated
+  // list in the error message helps discoverability).
+  void RestrictTo(const std::string& allowed) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_UTIL_FLAGS_H_

@@ -1,0 +1,65 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  KGOA_CHECK(!xs.empty());
+  KGOA_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+TukeyBox MakeTukeyBox(std::vector<double> xs) {
+  TukeyBox box;
+  if (xs.empty()) return box;
+  std::sort(xs.begin(), xs.end());
+  box.n = xs.size();
+  box.q1 = Quantile(xs, 0.25);
+  box.median = Quantile(xs, 0.5);
+  box.q3 = Quantile(xs, 0.75);
+  const double iqr = box.q3 - box.q1;
+  const double lo_fence = box.q1 - 1.5 * iqr;
+  const double hi_fence = box.q3 + 1.5 * iqr;
+  box.whisker_lo = box.q3;
+  box.whisker_hi = box.q1;
+  // Whiskers: most extreme data points within the fences.
+  for (double x : xs) {
+    if (x >= lo_fence) {
+      box.whisker_lo = x;
+      break;
+    }
+  }
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+    if (*it <= hi_fence) {
+      box.whisker_hi = *it;
+      break;
+    }
+  }
+  return box;
+}
+
+}  // namespace kgoa

@@ -1,0 +1,39 @@
+// Descriptive statistics helpers shared by the evaluation harness:
+// means, quantiles, and Tukey box-plot summaries (Figures 9 and 10 of the
+// paper report Tukey plots of mean absolute error).
+#ifndef KGOA_UTIL_STATS_H_
+#define KGOA_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace kgoa {
+
+// Normal z value for a two-sided 0.95 confidence interval (paper section
+// IV-C uses 0.95 confidence intervals throughout).
+inline constexpr double kZ95 = 1.959963984540054;
+
+double Mean(const std::vector<double>& xs);
+
+// Sample variance (divides by n - 1); returns 0 for fewer than two points.
+double SampleVariance(const std::vector<double>& xs);
+
+// Linear-interpolation quantile, q in [0, 1]. Input need not be sorted.
+double Quantile(std::vector<double> xs, double q);
+
+// Five-number Tukey summary: quartiles plus whiskers at the most extreme
+// data points within 1.5 * IQR of the box (the paper's plot convention).
+struct TukeyBox {
+  double whisker_lo = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double whisker_hi = 0;
+  std::size_t n = 0;
+};
+
+TukeyBox MakeTukeyBox(std::vector<double> xs);
+
+}  // namespace kgoa
+
+#endif  // KGOA_UTIL_STATS_H_

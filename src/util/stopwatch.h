@@ -1,0 +1,29 @@
+// Monotonic wall-clock stopwatch used by the online-aggregation runners.
+#ifndef KGOA_UTIL_STOPWATCH_H_
+#define KGOA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace kgoa {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_UTIL_STOPWATCH_H_

@@ -1,0 +1,32 @@
+// Plain-text table rendering for benchmark output. The figure/table benches
+// print the same rows/series the paper reports; this keeps that output
+// aligned and diff-friendly.
+#ifndef KGOA_UTIL_TABLE_H_
+#define KGOA_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace kgoa {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column alignment and a header separator.
+  std::string ToString() const;
+
+  // Convenience formatting helpers for cells.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string FmtPercent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_UTIL_TABLE_H_

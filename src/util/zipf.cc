@@ -1,0 +1,34 @@
+#include "src/util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) {
+  KGOA_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Mass(uint64_t r) const {
+  KGOA_CHECK(r < cdf_.size());
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace kgoa

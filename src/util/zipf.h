@@ -1,0 +1,36 @@
+// Zipf-distributed sampling over {0, ..., n-1}.
+//
+// Knowledge-graph degree, class-size, and property-usage distributions are
+// heavy tailed; the synthetic generators use this sampler to reproduce the
+// distributional shape of DBpedia / LinkedGeoData (see DESIGN.md section 4).
+#ifndef KGOA_UTIL_ZIPF_H_
+#define KGOA_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace kgoa {
+
+// Samples rank r in {0..n-1} with probability proportional to 1/(r+1)^s.
+// Uses a precomputed CDF and binary search: O(n) memory, O(log n) sampling.
+// This is fine for the generator's n (classes/properties, up to ~1e6).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t size() const { return cdf_.size(); }
+
+  // Probability mass of rank r (for tests).
+  double Mass(uint64_t r) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_UTIL_ZIPF_H_

@@ -1,0 +1,90 @@
+// Contract (death) tests: programming errors guarded by KGOA_CHECK must
+// abort with a diagnostic rather than corrupt results silently — the
+// database-engine convention for invariants that cannot be recovered.
+// Also compiles the umbrella header to keep it self-contained.
+#include <gtest/gtest.h>
+
+#include "src/kgoa.h"
+#include "src/util/table.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+Slot V(VarId v) { return Slot::MakeVar(v); }
+Slot C(TermId t) { return Slot::MakeConst(t); }
+
+using ContractDeathTest = ::testing::Test;
+
+ChainQuery ThreeChain() {
+  auto q = ChainQuery::Create({MakePattern(V(0), C(1), V(1)),
+                               MakePattern(V(1), C(2), V(2)),
+                               MakePattern(V(2), C(3), V(3))},
+                              3, 2, false);
+  EXPECT_TRUE(q.has_value());
+  return *q;
+}
+
+TEST(ContractDeathTest, WalkPlanRejectsNonContiguousOrder) {
+  const ChainQuery query = ThreeChain();
+  EXPECT_DEATH(WalkPlan::Compile(query, {0, 2, 1}), "contiguous");
+}
+
+TEST(ContractDeathTest, WalkPlanRejectsShortOrder) {
+  const ChainQuery query = ThreeChain();
+  EXPECT_DEATH(WalkPlan::Compile(query, {0, 1}), "cover");
+}
+
+TEST(ContractDeathTest, WalkPlanRejectsRepeatedPattern) {
+  const ChainQuery query = ThreeChain();
+  EXPECT_DEATH(WalkPlan::Compile(query, {0, 1, 1}), "");
+}
+
+TEST(ContractDeathTest, PatternAccessRejectsSubjectObjectPrefix) {
+  const TriplePattern pattern = MakePattern(C(1), V(0), C(2));
+  EXPECT_DEATH(PatternAccess::Compile(pattern, kNoVar), "no index order");
+}
+
+TEST(ContractDeathTest, PatternAccessRejectsForeignBoundVar) {
+  const TriplePattern pattern = MakePattern(V(0), C(1), V(1));
+  EXPECT_DEATH(PatternAccess::Compile(pattern, 7),
+               "bound variable not in pattern");
+}
+
+TEST(ContractDeathTest, DictionarySpellBoundsChecked) {
+  Dictionary dict;
+  dict.Intern("only");
+  EXPECT_DEATH(dict.Spell(5), "");
+}
+
+TEST(ContractDeathTest, TextTableRowArity) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "");
+}
+
+TEST(ContractDeathTest, WanderJoinRejectsDistinctExhaustiveEnumeration) {
+  Graph graph = testing::PaperExampleGraph();
+  IndexSet indexes(graph);
+  auto q = ChainQuery::Create(
+      {MakePattern(V(0), C(graph.rdf_type()), V(1))}, 1, 0, true);
+  ASSERT_TRUE(q.has_value());
+  WanderJoin wj(indexes, *q);
+  EXPECT_DEATH(wj.EnumerateAllWalks([](double, TermId, double) {}),
+               "non-distinct");
+}
+
+// The umbrella header exposes everything needed to run the quickstart
+// flow; this is a compile-and-smoke check of the public API surface.
+TEST(UmbrellaHeader, QuickstartFlowCompilesAndRuns) {
+  Explorer explorer(
+      MaterializeSubclassClosure(testing::PaperExampleGraph()));
+  ExplorationSession session = explorer.NewSession();
+  const ChainQuery query = session.BuildQuery(ExpansionKind::kSubclass);
+  EXPECT_FALSE(explorer.Evaluate(query).counts.empty());
+  EXPECT_FALSE(
+      ExplainPlan(explorer.indexes(), query, &explorer.graph().dict())
+          .empty());
+}
+
+}  // namespace
+}  // namespace kgoa

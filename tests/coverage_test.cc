@@ -1,0 +1,147 @@
+// Statistical tests: confidence-interval coverage of the online
+// estimators, chart-cache behaviour, and estimator variance reduction.
+#include <gtest/gtest.h>
+
+#include "src/core/audit.h"
+#include "src/explore/cache.h"
+#include "src/ola/wander.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+Slot V(VarId v) { return Slot::MakeVar(v); }
+Slot C(TermId t) { return Slot::MakeConst(t); }
+
+class CoverageTest : public ::testing::Test {
+ protected:
+  CoverageTest() : graph_(testing::PaperExampleGraph()), indexes_(graph_) {}
+
+  TermId Id(const char* term) { return graph_.dict().Lookup(term); }
+
+  ChainQuery Fig5(bool distinct) {
+    auto q = ChainQuery::Create(
+        {MakePattern(V(0), C(graph_.rdf_type()), C(Id("Person"))),
+         MakePattern(V(0), C(Id("birthPlace")), V(1)),
+         MakePattern(V(1), C(graph_.rdf_type()), V(2))},
+        2, 1, distinct);
+    EXPECT_TRUE(q.has_value());
+    return *q;
+  }
+
+  Graph graph_;
+  IndexSet indexes_;
+};
+
+// The 0.95 confidence interval of the (unbiased, non-distinct) Wander
+// Join estimator should cover the true count in roughly 95% of
+// independent runs. We check >= 88% to keep the test robust while still
+// catching broken variance accounting (an off-by-sqrt bug drops coverage
+// far below that).
+TEST_F(CoverageTest, WanderCiCoversTruth) {
+  const ChainQuery query = Fig5(false);
+  const GroupedResult exact = testing::BruteForce(graph_, query);
+  const TermId city = Id("City");
+  const auto truth = static_cast<double>(exact.CountFor(city));
+
+  int covered = 0;
+  const int runs = 300;
+  for (int seed = 1; seed <= runs; ++seed) {
+    WanderJoin::Options options;
+    options.seed = static_cast<uint64_t>(seed) * 7919;
+    WanderJoin wj(indexes_, query, options);
+    wj.RunWalks(2000);
+    const double estimate = wj.estimates().Estimate(city);
+    const double half_width = wj.estimates().CiHalfWidth(city);
+    if (std::abs(estimate - truth) <= half_width) ++covered;
+  }
+  EXPECT_GE(covered, static_cast<int>(runs * 0.88));
+  // And the interval is not uselessly wide: it should also MISS sometimes
+  // over so many runs unless it is grossly conservative.
+  EXPECT_LE(covered, runs);
+}
+
+TEST_F(CoverageTest, AuditCiCoversTruthInDistinctMode) {
+  const ChainQuery query = Fig5(true);
+  const GroupedResult exact = testing::BruteForce(graph_, query);
+  const TermId city = Id("City");
+  const auto truth = static_cast<double>(exact.CountFor(city));
+
+  int covered = 0;
+  const int runs = 300;
+  for (int seed = 1; seed <= runs; ++seed) {
+    AuditJoin::Options options;
+    options.seed = static_cast<uint64_t>(seed) * 104729;
+    options.tipping_threshold = 2.0;  // keep it stochastic
+    AuditJoin audit(indexes_, query, options);
+    audit.RunWalks(2000);
+    const double estimate = audit.estimates().Estimate(city);
+    const double half_width = audit.estimates().CiHalfWidth(city);
+    if (std::abs(estimate - truth) <= half_width) ++covered;
+  }
+  EXPECT_GE(covered, static_cast<int>(runs * 0.88));
+}
+
+// Audit Join's estimator variance (hence CI width) at a fixed walk count
+// should not exceed Wander Join's on the same non-distinct query when
+// tipping converts deep suffixes into exact counts.
+TEST_F(CoverageTest, TippingNarrowsConfidenceIntervals) {
+  const ChainQuery query = Fig5(false);
+  const TermId city = Id("City");
+
+  WanderJoin wander(indexes_, query);
+  wander.RunWalks(20000);
+
+  AuditJoin::Options options;
+  options.tipping_threshold = 1e6;  // tip aggressively
+  AuditJoin audit(indexes_, query, options);
+  audit.RunWalks(20000);
+
+  EXPECT_LE(audit.estimates().CiHalfWidth(city),
+            wander.estimates().CiHalfWidth(city) + 1e-9);
+}
+
+TEST(ChartCacheTest, HitMissAndEviction) {
+  Graph graph = testing::PaperExampleGraph();
+  auto q1 = ChainQuery::Create(
+      {MakePattern(V(0), C(graph.rdf_type()), V(1))}, 1, 0, true);
+  auto q2 = ChainQuery::Create(
+      {MakePattern(V(0), C(graph.subclass_of()), V(1))}, 1, 0, true);
+  auto q3 = ChainQuery::Create(
+      {MakePattern(V(0), V(1), V(2))}, 1, 0, true);
+  ASSERT_TRUE(q1 && q2 && q3);
+
+  ChartCache cache(/*max_entries=*/2);
+  EXPECT_EQ(cache.Lookup(*q1), nullptr);
+  GroupedResult r1;
+  r1.counts[7] = 42;
+  cache.Insert(*q1, r1);
+  const GroupedResult* hit = cache.Lookup(*q1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->CountFor(7), 42u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_GT(cache.ApproxMemoryBytes(), 0u);
+
+  cache.Insert(*q2, GroupedResult{});
+  cache.Insert(*q3, GroupedResult{});  // evicts q1 (FIFO)
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.Lookup(*q1), nullptr);
+  EXPECT_NE(cache.Lookup(*q3), nullptr);
+  EXPECT_GT(cache.HitRate(), 0.0);
+}
+
+TEST(ChartCacheTest, DuplicateInsertIsNoop) {
+  Graph graph = testing::PaperExampleGraph();
+  auto q = ChainQuery::Create(
+      {MakePattern(V(0), C(graph.rdf_type()), V(1))}, 1, 0, true);
+  ChartCache cache;
+  cache.Insert(*q, GroupedResult{});
+  const uint64_t bytes = cache.ApproxMemoryBytes();
+  cache.Insert(*q, GroupedResult{});
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.ApproxMemoryBytes(), bytes);
+}
+
+}  // namespace
+}  // namespace kgoa

@@ -1,0 +1,222 @@
+// Tests for the cyclic-query extension (src/cyclic/cyclic.h): validation,
+// multi-bound access paths, and the unbiasedness of the cyclic Wander
+// Join / Audit Join estimators verified exhaustively against LFTJ.
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "src/cyclic/cyclic.h"
+#include "src/join/leapfrog.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+Slot V(VarId v) { return Slot::MakeVar(v); }
+Slot C(TermId t) { return Slot::MakeConst(t); }
+
+// Directed random graph over one "edge" property.
+Graph EdgeGraph(Rng& rng, int nodes, int edges) {
+  GraphBuilder b;
+  const TermId edge = b.Intern("edge");
+  std::vector<TermId> ids;
+  for (int i = 0; i < nodes; ++i) {
+    ids.push_back(b.Intern("n" + std::to_string(i)));
+  }
+  for (int i = 0; i < edges; ++i) {
+    b.Add(ids[rng.Below(ids.size())], edge, ids[rng.Below(ids.size())]);
+  }
+  (void)edge;
+  return std::move(b).Build();
+}
+
+CyclicQuery TriangleQuery(const Graph& g) {
+  const TermId edge = g.dict().Lookup("edge");
+  auto q = CyclicQuery::Create({MakePattern(V(0), C(edge), V(1)),
+                                MakePattern(V(1), C(edge), V(2)),
+                                MakePattern(V(2), C(edge), V(0))},
+                               /*alpha=*/0);
+  EXPECT_TRUE(q.has_value());
+  return *q;
+}
+
+// Exact per-group triangle counts via generic LFTJ.
+std::unordered_map<TermId, uint64_t> ExactTriangles(const Graph& g,
+                                                    const IndexSet& indexes) {
+  const TermId edge = g.dict().Lookup("edge");
+  LeapfrogJoin join(indexes, {MakePattern(V(0), C(edge), V(1)),
+                              MakePattern(V(1), C(edge), V(2)),
+                              MakePattern(V(2), C(edge), V(0))});
+  int alpha_pos = -1;
+  for (std::size_t i = 0; i < join.var_order().size(); ++i) {
+    if (join.var_order()[i] == 0) alpha_pos = static_cast<int>(i);
+  }
+  std::unordered_map<TermId, uint64_t> exact;
+  join.Enumerate([&](const std::vector<TermId>& binding) {
+    ++exact[binding[alpha_pos]];
+  });
+  return exact;
+}
+
+TEST(CyclicQuery, ValidationRules) {
+  std::string error;
+  // Disconnected.
+  EXPECT_FALSE(CyclicQuery::Create({MakePattern(V(0), C(1), V(1)),
+                                    MakePattern(V(2), C(1), V(3))},
+                                   0, &error)
+                   .has_value());
+  // Variable in three patterns.
+  EXPECT_FALSE(CyclicQuery::Create({MakePattern(V(0), C(1), V(1)),
+                                    MakePattern(V(0), C(2), V(2)),
+                                    MakePattern(V(0), C(3), V(3))},
+                                   0, &error)
+                   .has_value());
+  // Alpha must occur.
+  EXPECT_FALSE(CyclicQuery::Create({MakePattern(V(0), C(1), V(1))}, 9,
+                                   &error)
+                   .has_value());
+  // A triangle is accepted.
+  EXPECT_TRUE(CyclicQuery::Create({MakePattern(V(0), C(1), V(1)),
+                                   MakePattern(V(1), C(1), V(2)),
+                                   MakePattern(V(2), C(1), V(0))},
+                                  0, &error)
+                  .has_value())
+      << error;
+}
+
+TEST(MultiBound, ResolvesFullyBoundExistence) {
+  Rng rng(11);
+  Graph g = EdgeGraph(rng, 8, 25);
+  IndexSet indexes(g);
+  const TermId edge = g.dict().Lookup("edge");
+
+  const TriplePattern pattern = MakePattern(V(0), C(edge), V(1));
+  MultiBoundAccess access;
+  ASSERT_TRUE(MultiBoundAccess::TryCompile(pattern, {0, 1}, &access));
+  // Every existing edge resolves to exactly one triple; absent pairs to 0.
+  for (const Triple& t : g.triples()) {
+    EXPECT_EQ(access.Resolve(indexes, {t.s, t.o, 0}).size(), 1u);
+  }
+  const TermId n0 = g.dict().Lookup("n0");
+  uint64_t present = 0;
+  for (const Triple& t : g.triples()) present += t.s == n0 && t.o == n0;
+  EXPECT_EQ(access.Resolve(indexes, {n0, n0, 0}).size(), present);
+}
+
+TEST(MultiBound, RejectsUncoverableMask) {
+  // Bound subject+object with a free predicate has no covering order.
+  const TriplePattern pattern = MakePattern(V(0), V(2), V(1));
+  MultiBoundAccess access;
+  EXPECT_FALSE(MultiBoundAccess::TryCompile(pattern, {0, 1}, &access));
+}
+
+class CyclicTriangles : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CyclicTriangles, WanderExpectationEqualsExact) {
+  Rng rng(GetParam());
+  Graph g = EdgeGraph(rng, 10, 35);
+  IndexSet indexes(g);
+  const auto exact = ExactTriangles(g, indexes);
+
+  CyclicWanderJoin wander(indexes, TriangleQuery(g));
+  std::unordered_map<TermId, double> expectation;
+  double total = 0;
+  wander.EnumerateAllWalks([&](double prob, TermId group, double contrib) {
+    total += prob;
+    if (contrib > 0) expectation[group] += prob * contrib;
+  });
+  ASSERT_NEAR(total, 1.0, 1e-9);
+  for (const auto& [group, count] : exact) {
+    ASSERT_NEAR(expectation[group], static_cast<double>(count),
+                1e-6 * (1 + count));
+  }
+  ASSERT_EQ(expectation.size(), exact.size());
+}
+
+TEST_P(CyclicTriangles, AuditExpectationEqualsExact) {
+  Rng rng(GetParam() + 1000);
+  Graph g = EdgeGraph(rng, 10, 35);
+  IndexSet indexes(g);
+  const auto exact = ExactTriangles(g, indexes);
+
+  for (double threshold : {0.0, 4.0, 1e18}) {
+    CyclicAuditJoin::Options options;
+    options.tipping_threshold = threshold;
+    options.enable_tipping = threshold > 0;
+    CyclicAuditJoin audit(indexes, TriangleQuery(g), options);
+    std::unordered_map<TermId, double> expectation;
+    audit.EnumerateAllWalks(
+        [&](double prob, const std::unordered_map<TermId, double>& cm) {
+          for (const auto& [group, contribution] : cm) {
+            expectation[group] += prob * contribution;
+          }
+        });
+    for (const auto& [group, count] : exact) {
+      ASSERT_NEAR(expectation[group], static_cast<double>(count),
+                  1e-6 * (1 + count))
+          << "threshold " << threshold;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CyclicTriangles,
+                         ::testing::Range<uint64_t>(400, 408));
+
+TEST(CyclicConvergence, TriangleCountsStochastic) {
+  Rng rng(2024);
+  Graph g = EdgeGraph(rng, 14, 80);
+  IndexSet indexes(g);
+  const auto exact = ExactTriangles(g, indexes);
+  uint64_t total_exact = 0;
+  for (const auto& [group, count] : exact) total_exact += count;
+  if (total_exact == 0) GTEST_SKIP() << "no triangles in this seed";
+
+  CyclicAuditJoin::Options options;
+  options.tipping_threshold = 8;
+  CyclicAuditJoin audit(indexes, TriangleQuery(g), options);
+  audit.RunWalks(200000);
+  double total_estimate = 0;
+  for (const auto& [group, estimate] : audit.estimates().Estimates()) {
+    total_estimate += estimate;
+  }
+  EXPECT_NEAR(total_estimate, static_cast<double>(total_exact),
+              0.1 * static_cast<double>(total_exact));
+}
+
+TEST(CyclicConvergence, FourCycleExpectation) {
+  // Squares: a 4-cycle query, two closing constraints along the walk.
+  Rng rng(31);
+  Graph g = EdgeGraph(rng, 8, 30);
+  IndexSet indexes(g);
+  const TermId edge = g.dict().Lookup("edge");
+
+  auto q = CyclicQuery::Create({MakePattern(V(0), C(edge), V(1)),
+                                MakePattern(V(1), C(edge), V(2)),
+                                MakePattern(V(2), C(edge), V(3)),
+                                MakePattern(V(3), C(edge), V(0))},
+                               0);
+  ASSERT_TRUE(q.has_value());
+
+  LeapfrogJoin join(indexes, q->patterns());
+  int alpha_pos = -1;
+  for (std::size_t i = 0; i < join.var_order().size(); ++i) {
+    if (join.var_order()[i] == 0) alpha_pos = static_cast<int>(i);
+  }
+  std::unordered_map<TermId, uint64_t> exact;
+  join.Enumerate([&](const std::vector<TermId>& binding) {
+    ++exact[binding[alpha_pos]];
+  });
+
+  CyclicWanderJoin wander(indexes, *q);
+  std::unordered_map<TermId, double> expectation;
+  wander.EnumerateAllWalks([&](double prob, TermId group, double contrib) {
+    if (contrib > 0) expectation[group] += prob * contrib;
+  });
+  for (const auto& [group, count] : exact) {
+    ASSERT_NEAR(expectation[group], static_cast<double>(count),
+                1e-6 * (1 + count));
+  }
+}
+
+}  // namespace
+}  // namespace kgoa

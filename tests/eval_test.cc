@@ -1,0 +1,187 @@
+// Tests for src/eval: error metrics, selectivity, and the time-series
+// runner, plus the Explorer facade.
+#include <gtest/gtest.h>
+
+#include "src/core/explain.h"
+#include "src/core/explorer.h"
+#include "src/eval/metrics.h"
+#include "src/eval/runner.h"
+#include "src/gen/kg_gen.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+Slot V(VarId v) { return Slot::MakeVar(v); }
+Slot C(TermId t) { return Slot::MakeConst(t); }
+
+TEST(Metrics, MaeDefinition) {
+  GroupedResult exact;
+  exact.counts[1] = 10;
+  exact.counts[2] = 100;
+
+  GroupedEstimates est;
+  est.AddContribution(1, 11.0);   // estimate 11 after one walk
+  est.AddContribution(2, 150.0);  // estimate 150
+  est.EndWalk(false);
+
+  // errors: |11-10|/10 = 0.1, |150-100|/100 = 0.5 -> mean 0.3.
+  EXPECT_NEAR(MeanAbsoluteError(exact, est), 0.3, 1e-12);
+}
+
+TEST(Metrics, MissingGroupCountsAsFullError) {
+  GroupedResult exact;
+  exact.counts[1] = 10;
+  GroupedEstimates est;
+  est.EndWalk(true);
+  EXPECT_NEAR(MeanAbsoluteError(exact, est), 1.0, 1e-12);
+  EXPECT_NEAR(MeanRelativeCi(exact, est), 0.0, 1e-12);
+}
+
+TEST(Metrics, EmptyExactIsZeroError) {
+  GroupedResult exact;
+  GroupedEstimates est;
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(exact, est), 0.0);
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest() : graph_(testing::PaperExampleGraph()), indexes_(graph_) {}
+
+  TermId Id(const char* term) { return graph_.dict().Lookup(term); }
+
+  ChainQuery Fig5(bool distinct) {
+    auto q = ChainQuery::Create(
+        {MakePattern(V(0), C(graph_.rdf_type()), C(Id("Person"))),
+         MakePattern(V(0), C(Id("birthPlace")), V(1)),
+         MakePattern(V(1), C(graph_.rdf_type()), V(2))},
+        2, 1, distinct);
+    EXPECT_TRUE(q.has_value());
+    return *q;
+  }
+
+  Graph graph_;
+  IndexSet indexes_;
+};
+
+TEST_F(EvalTest, SelectivityInUnitRange) {
+  const double sel = QuerySelectivity(indexes_, Fig5(true));
+  EXPECT_GE(sel, 0.0);
+  EXPECT_LE(sel, 1.0);
+  // Constants genuinely restrict this query, so selectivity is nonzero.
+  EXPECT_GT(sel, 0.1);
+}
+
+TEST_F(EvalTest, RunOlaProducesCheckpointsAndConverges) {
+  const ChainQuery query = Fig5(true);
+  const GroupedResult exact = testing::BruteForce(graph_, query);
+
+  for (OlaAlgo algo : {OlaAlgo::kWander, OlaAlgo::kAudit}) {
+    OlaRunOptions options;
+    options.algo = algo;
+    options.duration_seconds = 0.2;
+    options.checkpoints = 4;
+    const OlaRunResult run = RunOla(indexes_, query, exact, options);
+    ASSERT_EQ(run.points.size(), 4u);
+    EXPECT_GT(run.walks, 0u);
+    for (std::size_t i = 1; i < run.points.size(); ++i) {
+      EXPECT_GT(run.points[i].seconds, run.points[i - 1].seconds);
+      EXPECT_GE(run.points[i].walks, run.points[i - 1].walks);
+    }
+    // On this tiny graph both algorithms converge quickly; AJ tips.
+    if (algo == OlaAlgo::kAudit) {
+      EXPECT_LT(run.final_mae, 0.05);
+      EXPECT_GT(run.tipped, 0u);
+    }
+  }
+}
+
+TEST_F(EvalTest, RunUntilCiConvergesOrTimesOut) {
+  const ChainQuery query = Fig5(true);
+  OlaRunOptions options;
+  options.tipping_threshold = 1e6;  // tip immediately -> zero-width CIs
+  const CiTerminationResult tight =
+      RunUntilCi(indexes_, query, 0.01, 2.0, options);
+  EXPECT_TRUE(tight.converged);
+  EXPECT_LE(tight.mean_relative_ci, 0.01);
+  EXPECT_FALSE(tight.estimates.empty());
+
+  // An unreachable epsilon under a tiny budget times out.
+  options.tipping_threshold = 0.5;
+  const CiTerminationResult loose =
+      RunUntilCi(indexes_, query, 1e-9, 0.05, options);
+  EXPECT_FALSE(loose.converged);
+  EXPECT_GE(loose.seconds, 0.05);
+}
+
+TEST_F(EvalTest, DefaultAuditOrderStartsAtAnchor) {
+  const ChainQuery query = Fig5(true);
+  const auto order = DefaultAuditOrder(query);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], query.alpha_beta_pattern());
+}
+
+TEST_F(EvalTest, SelectBestWalkOrderReturnsValidOrder) {
+  const ChainQuery query = Fig5(false);
+  const GroupedResult exact = testing::BruteForce(graph_, query);
+  const auto order = SelectBestWalkOrder(indexes_, query, exact,
+                                         OlaAlgo::kWander, 0.01, 3);
+  ASSERT_EQ(order.size(), 3u);
+  // Must be a permutation of {0,1,2}.
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(EvalTest, ExplainPlanRendersSteps) {
+  const ChainQuery query = Fig5(true);
+  const std::string plan = ExplainPlan(indexes_, query, &graph_.dict());
+  EXPECT_NE(plan.find("AuditJoin plan (COUNT DISTINCT"), std::string::npos);
+  EXPECT_NE(plan.find("step 0"), std::string::npos);
+  EXPECT_NE(plan.find("step 2"), std::string::npos);
+  EXPECT_NE(plan.find("birthPlace"), std::string::npos);
+  EXPECT_NE(plan.find("anchor pattern 2"), std::string::npos);
+  // The paper-example graph is tiny: the default threshold tips at step 0.
+  EXPECT_NE(plan.find("tipping point"), std::string::npos);
+
+  AuditJoin::Options no_tipping;
+  no_tipping.enable_tipping = false;
+  const std::string untipped =
+      ExplainPlan(indexes_, query, nullptr, no_tipping);
+  EXPECT_EQ(untipped.find("<== tipping point"), std::string::npos);
+}
+
+TEST(Explorer, FacadeEndToEnd) {
+  Explorer explorer(testing::PaperExampleGraph());
+  ExplorationSession session = explorer.NewSession();
+  const ChainQuery q = session.BuildQuery(ExpansionKind::kSubclass);
+
+  const Chart exact = explorer.EvaluateChart(q, BarKind::kClass);
+  ASSERT_EQ(exact.bars.size(), 2u);
+  EXPECT_GE(exact.bars[0].count, exact.bars[1].count);  // sorted desc
+  EXPECT_EQ(exact.bars[0].ci_half_width, 0.0);
+
+  const Chart approx = explorer.ApproximateChart(q, 0.05, BarKind::kClass);
+  ASSERT_FALSE(approx.bars.empty());
+  // On this tiny graph Audit Join tips to exact values.
+  EXPECT_NEAR(approx.bars[0].count, exact.bars[0].count, 1e-6);
+}
+
+TEST(Explorer, ZeroBudgetStillSamples) {
+  Explorer explorer(testing::PaperExampleGraph());
+  ExplorationSession session = explorer.NewSession();
+  const ChainQuery q = session.BuildQuery(ExpansionKind::kSubclass);
+  const Chart chart = explorer.ApproximateChart(q, 0.0, BarKind::kClass);
+  EXPECT_FALSE(chart.bars.empty());
+}
+
+TEST(Explorer, EvaluateMatchesBruteForce) {
+  Graph reference = testing::PaperExampleGraph();
+  Explorer explorer(testing::PaperExampleGraph());
+  ExplorationSession session = explorer.NewSession();
+  const ChainQuery q = session.BuildQuery(ExpansionKind::kOutProperty);
+  EXPECT_EQ(explorer.Evaluate(q), testing::BruteForce(reference, q));
+}
+
+}  // namespace
+}  // namespace kgoa

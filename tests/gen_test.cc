@@ -1,0 +1,186 @@
+// Tests for src/gen: synthetic KG generation and the random exploration
+// workload generator.
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "src/gen/kg_gen.h"
+#include "src/gen/workload.h"
+#include "src/gen/workload_io.h"
+#include "src/join/ctj.h"
+#include "src/rdf/schema.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+KgSpec TinySpec(uint64_t seed = 1) {
+  KgSpec spec;
+  spec.seed = seed;
+  spec.num_classes = 12;
+  spec.num_properties = 6;
+  spec.num_entities = 300;
+  spec.num_property_triples = 1500;
+  spec.num_literals = 40;
+  return spec;
+}
+
+TEST(KgGen, Deterministic) {
+  Graph a = GenerateKg(TinySpec());
+  Graph b = GenerateKg(TinySpec());
+  EXPECT_EQ(a.NumTriples(), b.NumTriples());
+  EXPECT_EQ(a.triples(), b.triples());
+}
+
+TEST(KgGen, DifferentSeedsDiffer) {
+  Graph a = GenerateKg(TinySpec(1));
+  Graph b = GenerateKg(TinySpec(2));
+  EXPECT_NE(a.triples(), b.triples());
+}
+
+TEST(KgGen, TaxonomyIsRootedAtThing) {
+  Graph g = GenerateKg(TinySpec());
+  ClassHierarchy hierarchy(g);
+  const auto roots = hierarchy.Roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], g.owl_thing());
+}
+
+TEST(KgGen, TypesAreClosedUnderSubclass) {
+  // The generator materializes the closure: re-materializing must not add
+  // any triple.
+  Graph g = GenerateKg(TinySpec());
+  Graph closed = MaterializeSubclassClosure(g);
+  EXPECT_EQ(g.NumTriples(), closed.NumTriples());
+}
+
+TEST(KgGen, EveryEntityIsAThing) {
+  Graph g = GenerateKg(TinySpec());
+  std::unordered_set<TermId> subjects, things;
+  for (const Triple& t : g.triples()) {
+    if (t.p == g.rdf_type()) {
+      subjects.insert(t.s);
+      if (t.o == g.owl_thing()) things.insert(t.s);
+    }
+  }
+  EXPECT_EQ(subjects, things);
+}
+
+TEST(KgGen, ClassSizesAreSkewed) {
+  Graph g = GenerateKg(TinySpec());
+  std::unordered_map<TermId, int> sizes;
+  for (const Triple& t : g.triples()) {
+    if (t.p == g.rdf_type()) ++sizes[t.o];
+  }
+  int max_size = 0, min_size = 1 << 30;
+  for (const auto& [cls, size] : sizes) {
+    max_size = std::max(max_size, size);
+    if (cls != g.owl_thing()) min_size = std::min(min_size, size);
+  }
+  EXPECT_GT(max_size, 4 * std::max(min_size, 1));
+}
+
+TEST(KgGen, PresetsHaveDocumentedShape) {
+  const KgSpec dbp = DbpediaLikeSpec(0.01);
+  const KgSpec lgd = LgdLikeSpec(0.01);
+  EXPECT_GT(dbp.num_classes, lgd.num_classes);      // DBpedia: many classes
+  EXPECT_GT(lgd.num_property_triples, 2 * dbp.num_property_triples);
+  Graph g = GenerateKg(dbp);
+  EXPECT_GT(g.NumTriples(), 10000u);
+}
+
+TEST(Workload, GeneratesNonEmptyDedupedQueries) {
+  Graph g = GenerateKg(TinySpec());
+  IndexSet indexes(g);
+  WorkloadOptions options;
+  options.num_paths = 10;
+  options.max_steps = 4;
+  const auto workload = GenerateWorkload(g, indexes, options);
+  ASSERT_FALSE(workload.empty());
+
+  std::set<std::string> rendered;
+  CtjEngine engine(indexes);
+  for (const auto& eq : workload) {
+    EXPECT_GE(eq.step, 1);
+    EXPECT_LE(eq.step, 4);
+    EXPECT_TRUE(eq.query.distinct());
+    EXPECT_FALSE(eq.exact.counts.empty());
+    // Stored ground truth matches a fresh evaluation.
+    EXPECT_EQ(engine.Evaluate(eq.query), eq.exact);
+    EXPECT_TRUE(rendered.insert(eq.query.ToSparql()).second)
+        << "duplicate query in workload";
+  }
+}
+
+TEST(Workload, DeterministicGivenSeed) {
+  Graph g = GenerateKg(TinySpec());
+  IndexSet indexes(g);
+  WorkloadOptions options;
+  options.num_paths = 5;
+  const auto a = GenerateWorkload(g, indexes, options);
+  const auto b = GenerateWorkload(g, indexes, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].query.ToSparql(), b[i].query.ToSparql());
+  }
+}
+
+TEST(WorkloadIo, RoundTripsThroughSparqlText) {
+  Graph g = GenerateKg(TinySpec());
+  IndexSet indexes(g);
+  WorkloadOptions options;
+  options.num_paths = 6;
+  const auto workload = GenerateWorkload(g, indexes, options);
+  ASSERT_FALSE(workload.empty());
+
+  std::ostringstream out;
+  WriteWorkload(workload, g, out);
+
+  std::istringstream in(out.str());
+  std::string error;
+  const auto reloaded = ReadWorkload(in, g, indexes, &error);
+  ASSERT_EQ(reloaded.size(), workload.size()) << error;
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_EQ(reloaded[i].step, workload[i].step);
+    EXPECT_EQ(reloaded[i].exact, workload[i].exact)
+        << workload[i].query.ToSparql(&g.dict());
+    EXPECT_EQ(reloaded[i].query.distinct(), workload[i].query.distinct());
+    EXPECT_EQ(reloaded[i].query.NumPatterns(),
+              workload[i].query.NumPatterns());
+  }
+}
+
+TEST(WorkloadIo, ReportsMalformedBlocks) {
+  Graph g = GenerateKg(TinySpec());
+  IndexSet indexes(g);
+  std::istringstream in("SELECT ?x COUNT(?x) WHERE { broken } GROUP BY ?x\n");
+  std::string error;
+  const auto reloaded = ReadWorkload(in, g, indexes, &error);
+  EXPECT_TRUE(reloaded.empty());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WorkloadIo, EmptyInputIsEmptyWorkload) {
+  Graph g = GenerateKg(TinySpec());
+  IndexSet indexes(g);
+  std::istringstream in("# kgoa workload v1\n\n");
+  std::string error;
+  EXPECT_TRUE(ReadWorkload(in, g, indexes, &error).empty());
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(Workload, StepsReachDepthGreaterThanOne) {
+  Graph g = GenerateKg(TinySpec());
+  IndexSet indexes(g);
+  WorkloadOptions options;
+  options.num_paths = 15;
+  const auto workload = GenerateWorkload(g, indexes, options);
+  int max_step = 0;
+  for (const auto& eq : workload) max_step = std::max(max_step, eq.step);
+  EXPECT_GE(max_step, 2);
+}
+
+}  // namespace
+}  // namespace kgoa

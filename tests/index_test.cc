@@ -1,0 +1,286 @@
+// Unit tests for src/index: trie indexes, trie iterators, hash ranges, and
+// the IndexSet facade, validated against brute-force scans.
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "src/index/index_set.h"
+#include "src/index/trie_iterator.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() : graph_(testing::PaperExampleGraph()), indexes_(graph_) {}
+  Graph graph_;
+  IndexSet indexes_;
+};
+
+TEST_F(IndexTest, OrdersAreSorted) {
+  for (IndexOrder order : kAllIndexOrders) {
+    const TrieIndex& index = indexes_.Index(order);
+    ASSERT_EQ(index.size(), graph_.NumTriples());
+    for (uint32_t i = 1; i < index.size(); ++i) {
+      EXPECT_FALSE(OrderLess{order}(index.TripleAt(i), index.TripleAt(i - 1)))
+          << OrderName(order) << " not sorted at " << i;
+    }
+  }
+}
+
+TEST_F(IndexTest, NarrowMatchesBruteForce) {
+  const TrieIndex& pso = indexes_.Index(IndexOrder::kPso);
+  const TermId type = graph_.rdf_type();
+  const Range r = pso.Narrow(pso.Root(), 0, type);
+  uint64_t expected = 0;
+  for (const Triple& t : graph_.triples()) expected += t.p == type;
+  EXPECT_EQ(r.size(), expected);
+  // All triples in the range have the predicate.
+  for (uint32_t pos = r.begin; pos < r.end; ++pos) {
+    EXPECT_EQ(pso.TripleAt(pos).p, type);
+  }
+}
+
+TEST_F(IndexTest, NarrowMissingValueIsEmpty) {
+  const TrieIndex& spo = indexes_.Index(IndexOrder::kSpo);
+  const Range r = spo.Narrow(spo.Root(), 0, kInvalidTerm - 1);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST_F(IndexTest, CountDistinctMatchesSet) {
+  for (IndexOrder order : kAllIndexOrders) {
+    const TrieIndex& index = indexes_.Index(order);
+    std::set<TermId> level0;
+    for (const Triple& t : graph_.triples()) {
+      level0.insert(t[OrderComponent(order, 0)]);
+    }
+    EXPECT_EQ(index.CountDistinct(index.Root(), 0), level0.size());
+  }
+}
+
+TEST_F(IndexTest, TrieIteratorEnumeratesDistinctSortedKeys) {
+  const TrieIndex& pso = indexes_.Index(IndexOrder::kPso);
+  TrieIterator it(&pso);
+  it.Open();
+  std::vector<TermId> keys;
+  while (!it.AtEnd()) {
+    keys.push_back(it.Key());
+    it.Next();
+  }
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+  EXPECT_EQ(keys.size(), indexes_.Hash(IndexOrder::kPso).Ndv1());
+}
+
+TEST_F(IndexTest, TrieIteratorOpenUpRestoresPosition) {
+  const TrieIndex& spo = indexes_.Index(IndexOrder::kSpo);
+  TrieIterator it(&spo);
+  it.Open();
+  const TermId first = it.Key();
+  it.Next();
+  ASSERT_FALSE(it.AtEnd());
+  const TermId second = it.Key();
+  it.Open();  // descend under `second`
+  ASSERT_FALSE(it.AtEnd());
+  it.Up();
+  EXPECT_EQ(it.Key(), second);
+  it.Up();
+  EXPECT_EQ(it.level(), -1);
+  it.Open();
+  EXPECT_EQ(it.Key(), first);
+}
+
+TEST_F(IndexTest, TrieIteratorSeek) {
+  const TrieIndex& spo = indexes_.Index(IndexOrder::kSpo);
+  TrieIterator it(&spo);
+  it.Open();
+  std::vector<TermId> keys;
+  while (!it.AtEnd()) {
+    keys.push_back(it.Key());
+    it.Next();
+  }
+  ASSERT_GE(keys.size(), 3u);
+  // Seek to each key and one past it.
+  for (TermId key : keys) {
+    TrieIterator seeker(&spo);
+    seeker.Open();
+    seeker.SeekGE(key);
+    ASSERT_FALSE(seeker.AtEnd());
+    EXPECT_EQ(seeker.Key(), key);
+  }
+  TrieIterator seeker(&spo);
+  seeker.Open();
+  seeker.SeekGE(keys.back() + 1);
+  EXPECT_TRUE(seeker.AtEnd());
+}
+
+TEST_F(IndexTest, TrieIteratorThreeLevelWalkReconstructsTriples) {
+  const TrieIndex& ops = indexes_.Index(IndexOrder::kOps);
+  TrieIterator it(&ops);
+  std::unordered_set<uint64_t> seen;
+  std::size_t count = 0;
+  it.Open();
+  while (!it.AtEnd()) {
+    const TermId o = it.Key();
+    it.Open();
+    while (!it.AtEnd()) {
+      const TermId p = it.Key();
+      it.Open();
+      while (!it.AtEnd()) {
+        const TermId s = it.Key();
+        EXPECT_TRUE(graph_.Contains(Triple{s, p, o}));
+        ++count;
+        it.Next();
+      }
+      it.Up();
+      it.Next();
+    }
+    it.Up();
+    it.Next();
+  }
+  EXPECT_EQ(count, graph_.NumTriples());
+  (void)seen;
+}
+
+TEST_F(IndexTest, HashRangesAgreeWithNarrow) {
+  for (IndexOrder order : kAllIndexOrders) {
+    const TrieIndex& index = indexes_.Index(order);
+    const HashRangeIndex& hash = indexes_.Hash(order);
+    std::set<TermId> level0;
+    for (const Triple& t : graph_.triples()) {
+      level0.insert(t[OrderComponent(order, 0)]);
+    }
+    for (TermId v : level0) {
+      const Range expected = index.Narrow(index.Root(), 0, v);
+      EXPECT_EQ(hash.Depth1(v), expected) << OrderName(order);
+      EXPECT_EQ(hash.Ndv2(v), index.CountDistinct(expected, 1));
+      // Depth-2 spot check: first (v, w) pair in the range.
+      const TermId w = index.KeyAt(expected.begin, 1);
+      EXPECT_EQ(hash.Depth2(v, w), index.Narrow(expected, 1, w));
+    }
+  }
+}
+
+TEST_F(IndexTest, HashRangeMissingKeysEmpty) {
+  const HashRangeIndex& hash = indexes_.Hash(IndexOrder::kSpo);
+  EXPECT_TRUE(hash.Depth1(kInvalidTerm - 1).empty());
+  EXPECT_TRUE(hash.Depth2(kInvalidTerm - 1, 0).empty());
+  EXPECT_EQ(hash.Ndv2(kInvalidTerm - 1), 0u);
+}
+
+TEST(ChooseOrder, CoversAllPrefixMasks) {
+  IndexOrder order;
+  int depth;
+  // Every mask except {s,o} has a covering order.
+  for (uint32_t mask : {0b000u, 0b001u, 0b010u, 0b100u, 0b011u, 0b110u,
+                        0b111u}) {
+    EXPECT_TRUE(IndexSet::ChooseOrder(mask, &order, &depth)) << mask;
+    EXPECT_EQ(depth, std::popcount(mask));
+  }
+  EXPECT_FALSE(IndexSet::ChooseOrder(0b101u, &order, &depth));
+}
+
+TEST_F(IndexTest, CountMatchesAgainstBruteForce) {
+  const TermId type = graph_.rdf_type();
+  const TermId person = graph_.dict().Lookup("Person");
+  const TermId plato = graph_.dict().Lookup("plato");
+
+  struct Case {
+    TriplePattern pattern;
+    const char* label;
+  };
+  const std::vector<Case> cases = {
+      {MakePattern(Slot::MakeVar(0), Slot::MakeConst(type),
+                   Slot::MakeConst(person)),
+       "?x type Person"},
+      {MakePattern(Slot::MakeVar(0), Slot::MakeVar(1), Slot::MakeVar(2)),
+       "?x ?p ?y"},
+      {MakePattern(Slot::MakeConst(plato), Slot::MakeVar(0),
+                   Slot::MakeVar(1)),
+       "plato ?p ?y"},
+      {MakePattern(Slot::MakeConst(plato), Slot::MakeVar(0),
+                   Slot::MakeConst(person)),
+       "plato ?p Person ({s,o} fallback)"},
+      {MakePattern(Slot::MakeConst(plato), Slot::MakeConst(type),
+                   Slot::MakeConst(person)),
+       "plato type Person (existence)"},
+  };
+  for (const Case& c : cases) {
+    uint64_t expected = 0;
+    for (const Triple& t : graph_.triples()) {
+      expected += c.pattern.MatchesConstants(t);
+    }
+    EXPECT_EQ(indexes_.CountMatches(c.pattern), expected) << c.label;
+  }
+}
+
+TEST_F(IndexTest, CountDistinctVarAgainstBruteForce) {
+  const TermId type = graph_.rdf_type();
+  const TermId person = graph_.dict().Lookup("Person");
+  const TermId influenced = graph_.dict().Lookup("influencedBy");
+
+  struct Case {
+    TriplePattern pattern;
+    VarId var;
+    int component;
+  };
+  const std::vector<Case> cases = {
+      // Adjacent level (fast path).
+      {MakePattern(Slot::MakeVar(0), Slot::MakeConst(type),
+                   Slot::MakeConst(person)),
+       0, kSubject},
+      {MakePattern(Slot::MakeVar(0), Slot::MakeConst(influenced),
+                   Slot::MakeVar(1)),
+       0, kSubject},
+      // Non-adjacent: distinct objects given predicate.
+      {MakePattern(Slot::MakeVar(0), Slot::MakeConst(influenced),
+                   Slot::MakeVar(1)),
+       1, kObject},
+      // No constants at all.
+      {MakePattern(Slot::MakeVar(0), Slot::MakeVar(1), Slot::MakeVar(2)), 1,
+       kPredicate},
+  };
+  for (const Case& c : cases) {
+    std::set<TermId> values;
+    for (const Triple& t : graph_.triples()) {
+      if (c.pattern.MatchesConstants(t)) values.insert(t[c.component]);
+    }
+    EXPECT_EQ(indexes_.CountDistinctVar(c.pattern, c.var), values.size());
+  }
+}
+
+// Randomized agreement between index structures and scans.
+TEST(IndexRandom, RangesAgreeWithScans) {
+  Rng rng(99);
+  for (int round = 0; round < 10; ++round) {
+    Graph g = testing::RandomGraph(rng);
+    IndexSet indexes(g);
+    for (IndexOrder order : kAllIndexOrders) {
+      const TrieIndex& index = indexes.Index(order);
+      const HashRangeIndex& hash = indexes.Hash(order);
+      uint64_t total = 0;
+      std::set<TermId> level0;
+      for (const Triple& t : g.triples()) {
+        level0.insert(t[OrderComponent(order, 0)]);
+      }
+      for (TermId v : level0) {
+        const Range r = hash.Depth1(v);
+        total += r.size();
+        uint64_t expected = 0;
+        for (const Triple& t : g.triples()) {
+          expected += t[OrderComponent(order, 0)] == v;
+        }
+        ASSERT_EQ(r.size(), expected);
+      }
+      ASSERT_EQ(total, g.NumTriples());
+      ASSERT_EQ(hash.Ndv1(), level0.size());
+      ASSERT_EQ(index.CountDistinct(index.Root(), 0), level0.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgoa

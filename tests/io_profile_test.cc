@@ -1,0 +1,128 @@
+// Tests for binary graph snapshots (src/rdf/binary_io.h) and graph
+// profiling (src/eval/profile.h).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/profile.h"
+#include "src/gen/kg_gen.h"
+#include "src/rdf/binary_io.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(BinaryIo, RoundTripsPaperGraph) {
+  Graph original = testing::PaperExampleGraph();
+  const std::string path = TempPath("kgoa_binio_paper.bin");
+  ASSERT_TRUE(SaveGraphBinary(original, path));
+
+  std::string error;
+  auto loaded = LoadGraphBinary(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->NumTriples(), original.NumTriples());
+  EXPECT_EQ(loaded->triples(), original.triples());
+  EXPECT_EQ(loaded->dict().size(), original.dict().size());
+  for (TermId id = 0; id < original.dict().size(); ++id) {
+    EXPECT_EQ(loaded->dict().Spell(id), original.dict().Spell(id));
+  }
+  EXPECT_EQ(loaded->rdf_type(), original.rdf_type());
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, RoundTripsSyntheticGraph) {
+  KgSpec spec;
+  spec.num_entities = 500;
+  spec.num_property_triples = 2000;
+  spec.num_classes = 15;
+  spec.num_properties = 8;
+  Graph original = GenerateKg(spec);
+  const std::string path = TempPath("kgoa_binio_synth.bin");
+  ASSERT_TRUE(SaveGraphBinary(original, path));
+  auto loaded = LoadGraphBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->triples(), original.triples());
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, RejectsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(LoadGraphBinary("/nonexistent/kgoa.bin", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  const std::string path = TempPath("kgoa_binio_bad.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a snapshot at all";
+  }
+  std::string error;
+  EXPECT_FALSE(LoadGraphBinary(path, &error).has_value());
+  EXPECT_NE(error.find("not a kgoa"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, RejectsTruncation) {
+  Graph original = testing::PaperExampleGraph();
+  const std::string path = TempPath("kgoa_binio_trunc.bin");
+  ASSERT_TRUE(SaveGraphBinary(original, path));
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 7);
+  std::string error;
+  EXPECT_FALSE(LoadGraphBinary(path, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Profile, PaperGraphNumbers) {
+  Graph graph = testing::PaperExampleGraph();
+  const GraphProfile profile = ProfileGraph(graph);
+  EXPECT_EQ(profile.triples, graph.NumTriples());
+  EXPECT_EQ(profile.classes, 6u);       // Thing, Agent, Person, ...
+  EXPECT_EQ(profile.properties, 2u);    // influencedBy, birthPlace
+  EXPECT_EQ(profile.typed_entities, 6u);
+  EXPECT_EQ(profile.subclass_triples, 5u);
+  EXPECT_DOUBLE_EQ(profile.literal_object_fraction, 0.0);
+  // plato: influencedBy x2 + birthPlace = 3 outgoing property edges.
+  EXPECT_EQ(profile.max_out_degree, 3u);
+  ASSERT_FALSE(profile.top_classes.empty());
+  // owl:Thing has every entity.
+  EXPECT_EQ(profile.top_classes[0].term, graph.owl_thing());
+  EXPECT_EQ(profile.top_classes[0].count, 6u);
+}
+
+TEST(Profile, CountsLiterals) {
+  GraphBuilder b;
+  b.AddSpelled("s1", "p", "\"42\"");
+  b.AddSpelled("s2", "p", "o");
+  Graph g = std::move(b).Build();
+  const GraphProfile profile = ProfileGraph(g);
+  EXPECT_DOUBLE_EQ(profile.literal_object_fraction, 0.5);
+}
+
+TEST(Profile, TopKLimitsAndSorts) {
+  KgSpec spec;
+  spec.num_entities = 400;
+  spec.num_property_triples = 1500;
+  spec.num_classes = 30;
+  spec.num_properties = 20;
+  Graph g = GenerateKg(spec);
+  const GraphProfile profile = ProfileGraph(g, 5);
+  ASSERT_EQ(profile.top_classes.size(), 5u);
+  for (std::size_t i = 1; i < profile.top_classes.size(); ++i) {
+    EXPECT_GE(profile.top_classes[i - 1].count,
+              profile.top_classes[i].count);
+  }
+  const std::string rendered = RenderProfile(g, profile);
+  EXPECT_NE(rendered.find("top classes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgoa

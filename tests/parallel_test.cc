@@ -1,0 +1,104 @@
+// Tests for estimator merging and the parallel OLA runner.
+#include <gtest/gtest.h>
+
+#include "src/ola/parallel.h"
+#include "src/ola/wander.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+Slot V(VarId v) { return Slot::MakeVar(v); }
+Slot C(TermId t) { return Slot::MakeConst(t); }
+
+TEST(EstimatorMerge, EqualsSequentialAccumulation) {
+  GroupedEstimates a, b, whole;
+  const double values_a[] = {3, 0, 7};
+  const double values_b[] = {5, 11};
+  for (double v : values_a) {
+    if (v > 0) {
+      a.AddContribution(1, v);
+      whole.AddContribution(1, v);
+    }
+    a.EndWalk(v == 0);
+    whole.EndWalk(v == 0);
+  }
+  for (double v : values_b) {
+    b.AddContribution(1, v);
+    whole.AddContribution(1, v);
+    b.EndWalk(false);
+    whole.EndWalk(false);
+  }
+  GroupedEstimates merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_EQ(merged.walks(), whole.walks());
+  EXPECT_EQ(merged.rejected_walks(), whole.rejected_walks());
+  EXPECT_DOUBLE_EQ(merged.Estimate(1), whole.Estimate(1));
+  EXPECT_DOUBLE_EQ(merged.CiHalfWidth(1), whole.CiHalfWidth(1));
+}
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  ParallelTest() : graph_(testing::PaperExampleGraph()), indexes_(graph_) {}
+
+  TermId Id(const char* term) { return graph_.dict().Lookup(term); }
+
+  ChainQuery Fig5(bool distinct) {
+    auto q = ChainQuery::Create(
+        {MakePattern(V(0), C(graph_.rdf_type()), C(Id("Person"))),
+         MakePattern(V(0), C(Id("birthPlace")), V(1)),
+         MakePattern(V(1), C(graph_.rdf_type()), V(2))},
+        2, 1, distinct);
+    EXPECT_TRUE(q.has_value());
+    return *q;
+  }
+
+  Graph graph_;
+  IndexSet indexes_;
+};
+
+TEST_F(ParallelTest, AuditWorkersConvergeMerged) {
+  const ChainQuery query = Fig5(true);
+  const GroupedResult exact = testing::BruteForce(graph_, query);
+
+  ParallelOlaOptions options;
+  options.threads = 3;
+  options.use_audit = true;
+  options.tipping_threshold = 2.0;  // stochastic mode
+  const GroupedEstimates merged =
+      RunParallelOla(indexes_, query, options, 0.15);
+
+  EXPECT_GT(merged.walks(), 1000u);
+  for (const auto& [group, count] : exact.counts) {
+    EXPECT_NEAR(merged.Estimate(group), static_cast<double>(count),
+                0.1 * static_cast<double>(count) + 0.1);
+  }
+}
+
+TEST_F(ParallelTest, WanderWorkersConvergeOnNonDistinct) {
+  const ChainQuery query = Fig5(false);
+  const GroupedResult exact = testing::BruteForce(graph_, query);
+
+  ParallelOlaOptions options;
+  options.threads = 2;
+  options.use_audit = false;
+  const GroupedEstimates merged =
+      RunParallelOla(indexes_, query, options, 0.15);
+  for (const auto& [group, count] : exact.counts) {
+    EXPECT_NEAR(merged.Estimate(group), static_cast<double>(count),
+                0.1 * static_cast<double>(count) + 0.1);
+  }
+}
+
+TEST_F(ParallelTest, SingleThreadWorks) {
+  const ChainQuery query = Fig5(true);
+  ParallelOlaOptions options;
+  options.threads = 1;
+  const GroupedEstimates merged =
+      RunParallelOla(indexes_, query, options, 0.05);
+  EXPECT_GT(merged.walks(), 0u);
+}
+
+}  // namespace
+}  // namespace kgoa

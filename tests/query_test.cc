@@ -1,0 +1,196 @@
+// Unit tests for src/query: triple patterns and chain-query validation.
+#include <gtest/gtest.h>
+
+#include "src/query/chain_query.h"
+#include "src/query/pattern.h"
+
+namespace kgoa {
+namespace {
+
+TriplePattern Pat(Slot s, Slot p, Slot o) { return MakePattern(s, p, o); }
+Slot V(VarId v) { return Slot::MakeVar(v); }
+Slot C(TermId t) { return Slot::MakeConst(t); }
+
+TEST(Pattern, ComponentOfAndVars) {
+  const TriplePattern p = Pat(V(3), C(7), V(5));
+  EXPECT_EQ(p.ComponentOf(3), kSubject);
+  EXPECT_EQ(p.ComponentOf(5), kObject);
+  EXPECT_EQ(p.ComponentOf(9), -1);
+  EXPECT_TRUE(p.HasVar(3));
+  EXPECT_FALSE(p.HasVar(7));  // 7 is a constant, not a variable
+  EXPECT_EQ(p.Vars(), (std::vector<VarId>{3, 5}));
+  EXPECT_EQ(p.NumVars(), 2);
+}
+
+TEST(Pattern, MatchesConstants) {
+  const TriplePattern p = Pat(V(0), C(7), C(9));
+  EXPECT_TRUE(p.MatchesConstants(Triple{1, 7, 9}));
+  EXPECT_FALSE(p.MatchesConstants(Triple{1, 8, 9}));
+  EXPECT_FALSE(p.MatchesConstants(Triple{1, 7, 8}));
+}
+
+TEST(Pattern, ToStringWithoutDict) {
+  const TriplePattern p = Pat(V(0), C(7), V(1));
+  EXPECT_EQ(p.ToString(), "?v0 #7 ?v1");
+}
+
+TEST(ChainQuery, AcceptsValidChain) {
+  // (?0 c1 ?1) (?1 c2 ?2), alpha=2, beta=1.
+  std::string error;
+  auto q = ChainQuery::Create(
+      {Pat(V(0), C(1), V(1)), Pat(V(1), C(2), V(2))}, 2, 1, true, &error);
+  ASSERT_TRUE(q.has_value()) << error;
+  EXPECT_EQ(q->links(), std::vector<VarId>{1});
+  EXPECT_EQ(q->alpha_beta_pattern(), 1);
+  EXPECT_EQ(q->vars(), (std::vector<VarId>{0, 1, 2}));
+  EXPECT_TRUE(q->distinct());
+  EXPECT_FALSE(q->WithDistinct(false).distinct());
+}
+
+TEST(ChainQuery, SinglePattern) {
+  auto q = ChainQuery::Create({Pat(V(0), V(1), V(2))}, 1, 0, true);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_TRUE(q->links().empty());
+  EXPECT_EQ(q->alpha_beta_pattern(), 0);
+}
+
+TEST(ChainQuery, AlphaEqualsBeta) {
+  auto q = ChainQuery::Create({Pat(V(0), C(1), V(1))}, 0, 0, true);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->alpha_beta_pattern(), 0);
+}
+
+TEST(ChainQuery, RejectsEmpty) {
+  std::string error;
+  EXPECT_FALSE(ChainQuery::Create({}, 0, 0, true, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ChainQuery, RejectsRepeatedVarInPattern) {
+  EXPECT_FALSE(
+      ChainQuery::Create({Pat(V(0), C(1), V(0))}, 0, 0, true).has_value());
+}
+
+TEST(ChainQuery, RejectsVarInThreePatterns) {
+  EXPECT_FALSE(ChainQuery::Create({Pat(V(0), C(1), V(1)),
+                                   Pat(V(0), C(2), V(1))},
+                                  0, 1, true)
+                   .has_value());  // both vars shared twice
+  EXPECT_FALSE(ChainQuery::Create(
+                   {Pat(V(0), C(1), V(1)), Pat(V(1), C(2), V(2)),
+                    Pat(V(1), C(3), V(3))},
+                   1, 2, true)
+                   .has_value());  // v1 in three patterns
+}
+
+TEST(ChainQuery, RejectsDisconnectedPatterns) {
+  EXPECT_FALSE(ChainQuery::Create(
+                   {Pat(V(0), C(1), V(1)), Pat(V(2), C(2), V(3))}, 0, 1,
+                   true)
+                   .has_value());
+}
+
+TEST(ChainQuery, RejectsNonConsecutiveSharing) {
+  EXPECT_FALSE(ChainQuery::Create(
+                   {Pat(V(0), C(1), V(1)), Pat(V(1), C(2), V(2)),
+                    Pat(V(2), C(3), V(0))},
+                   0, 1, true)
+                   .has_value());  // cycle: v0 shared by patterns 0 and 2
+}
+
+TEST(ChainQuery, RejectsUnknownAlphaBeta) {
+  EXPECT_FALSE(
+      ChainQuery::Create({Pat(V(0), C(1), V(1))}, 5, 0, true).has_value());
+  EXPECT_FALSE(
+      ChainQuery::Create({Pat(V(0), C(1), V(1))}, 0, 5, true).has_value());
+}
+
+TEST(ChainQuery, RejectsAlphaBetaNotCooccurring) {
+  // alpha in pattern 0 only, beta in pattern 2 only.
+  EXPECT_FALSE(ChainQuery::Create(
+                   {Pat(V(0), C(1), V(1)), Pat(V(1), C(2), V(2)),
+                    Pat(V(2), C(3), V(3))},
+                   0, 3, true)
+                   .has_value());
+}
+
+TEST(ChainQuery, RejectsMismatchedFilters) {
+  std::vector<std::vector<TypeFilter>> filters(3);  // wrong length
+  EXPECT_FALSE(ChainQuery::Create({Pat(V(0), C(1), V(1))}, filters, 0, 1,
+                                  true)
+                   .has_value());
+}
+
+TEST(ChainQuery, CarriesFilters) {
+  std::vector<std::vector<TypeFilter>> filters(1);
+  filters[0].push_back(TypeFilter{kSubject, 10, 11});
+  auto q = ChainQuery::Create({Pat(V(0), C(1), V(1))}, filters, 0, 1, true);
+  ASSERT_TRUE(q.has_value());
+  ASSERT_EQ(q->filters(0).size(), 1u);
+  EXPECT_EQ(q->filters(0)[0].value, 11u);
+  EXPECT_TRUE(q->HasAnyFilter());
+  EXPECT_TRUE(q->WithDistinct(false).HasAnyFilter());
+}
+
+TEST(ChainQuery, CreateReorderingFixesFigure5Order) {
+  // The paper's Figure 5 lists its patterns out of chain order:
+  // (?s bp ?o) (?s type P) (?o type ?c). Reordering must recover the
+  // chain (?s type P) (?s bp ?o) (?o type ?c) or its reverse.
+  std::string error;
+  auto q = ChainQuery::CreateReordering(
+      {Pat(V(0), C(10), V(1)),   // ?s bp ?o
+       Pat(V(0), C(11), C(12)),  // ?s type Person
+       Pat(V(1), C(11), V(2))},  // ?o type ?c
+      {}, 2, 1, true, &error);
+  ASSERT_TRUE(q.has_value()) << error;
+  EXPECT_EQ(q->NumPatterns(), 3);
+  // Ends are the degree-1 patterns.
+  EXPECT_EQ(q->links().size(), 2u);
+}
+
+TEST(ChainQuery, CreateReorderingKeepsFiltersWithTheirPatterns) {
+  std::vector<std::vector<TypeFilter>> filters(3);
+  filters[0].push_back(TypeFilter{kSubject, 99, 98});  // on (?s bp ?o)
+  auto q = ChainQuery::CreateReordering(
+      {Pat(V(0), C(10), V(1)), Pat(V(0), C(11), C(12)),
+       Pat(V(1), C(11), V(2))},
+      filters, 2, 1, true);
+  ASSERT_TRUE(q.has_value());
+  int with_filter = -1;
+  for (int i = 0; i < q->NumPatterns(); ++i) {
+    if (!q->filters(i).empty()) with_filter = i;
+  }
+  ASSERT_GE(with_filter, 0);
+  // The filtered pattern is still the (?s #10 ?o) one.
+  EXPECT_EQ(q->patterns()[with_filter][kPredicate].term(), 10u);
+}
+
+TEST(ChainQuery, CreateReorderingRejectsStarAndCycle) {
+  std::string error;
+  // Star: center variable in three patterns.
+  EXPECT_FALSE(ChainQuery::CreateReordering(
+                   {Pat(V(0), C(1), V(1)), Pat(V(0), C(2), V(2)),
+                    Pat(V(0), C(3), V(3))},
+                   {}, 0, 1, true, &error)
+                   .has_value());
+  // Cycle: triangle.
+  EXPECT_FALSE(ChainQuery::CreateReordering(
+                   {Pat(V(0), C(1), V(1)), Pat(V(1), C(1), V(2)),
+                    Pat(V(2), C(1), V(0))},
+                   {}, 0, 1, true, &error)
+                   .has_value());
+  EXPECT_NE(error.find("cycle"), std::string::npos);
+}
+
+TEST(ChainQuery, ToSparqlRendersTemplate) {
+  auto q = ChainQuery::Create(
+      {Pat(V(0), C(1), V(1)), Pat(V(1), C(2), V(2))}, 2, 1, true);
+  ASSERT_TRUE(q.has_value());
+  const std::string sparql = q->ToSparql();
+  EXPECT_NE(sparql.find("SELECT ?v2 COUNT(DISTINCT ?v1)"),
+            std::string::npos);
+  EXPECT_NE(sparql.find("GROUP BY ?v2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgoa

@@ -1,0 +1,296 @@
+// Unit tests for src/rdf: dictionary, graph, N-Triples I/O, schema/closure.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/rdf/dictionary.h"
+#include "src/rdf/graph.h"
+#include "src/rdf/ntriples.h"
+#include "src/rdf/schema.h"
+#include "src/rdf/vocab.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+TEST(Dictionary, InternIsIdempotent) {
+  Dictionary dict;
+  const TermId a = dict.Intern("http://example.org/a");
+  EXPECT_EQ(dict.Intern("http://example.org/a"), a);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(Dictionary, RoundTrips) {
+  Dictionary dict;
+  const TermId a = dict.Intern("alpha");
+  const TermId b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Spell(a), "alpha");
+  EXPECT_EQ(dict.Spell(b), "beta");
+  EXPECT_EQ(dict.Lookup("alpha"), a);
+  EXPECT_EQ(dict.Lookup("missing"), kInvalidTerm);
+}
+
+TEST(Dictionary, IdsAreDense) {
+  Dictionary dict;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dict.Intern("t" + std::to_string(i)),
+              static_cast<TermId>(i));
+  }
+}
+
+TEST(Dictionary, SurvivesRehash) {
+  Dictionary dict;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(dict.Intern("term-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(dict.Lookup("term-" + std::to_string(i)), ids[i]);
+  }
+}
+
+TEST(Graph, DeduplicatesAndSorts) {
+  GraphBuilder b;
+  b.AddSpelled("s", "p", "o");
+  b.AddSpelled("s", "p", "o");
+  b.AddSpelled("a", "p", "o");
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumTriples(), 2u);
+  EXPECT_TRUE(std::is_sorted(g.triples().begin(), g.triples().end(),
+                             SpoLess));
+}
+
+TEST(Graph, WellKnownIdsAlwaysInterned) {
+  Graph g = std::move(GraphBuilder()).Build();
+  EXPECT_NE(g.rdf_type(), kInvalidTerm);
+  EXPECT_NE(g.subclass_of(), kInvalidTerm);
+  EXPECT_NE(g.owl_thing(), kInvalidTerm);
+  EXPECT_EQ(g.NumTriples(), 0u);
+}
+
+TEST(Graph, PropertiesAndClasses) {
+  Graph g = testing::PaperExampleGraph();
+  const auto props = g.Properties();
+  const auto classes = g.Classes();
+  // influencedBy, birthPlace, rdf:type, rdfs:subClassOf.
+  EXPECT_EQ(props.size(), 4u);
+  // Thing, Agent, Person, Philosopher, Place, City.
+  EXPECT_EQ(classes.size(), 6u);
+}
+
+TEST(Graph, Contains) {
+  Graph g = testing::PaperExampleGraph();
+  const TermId plato = g.dict().Lookup("plato");
+  const TermId influenced = g.dict().Lookup("influencedBy");
+  const TermId socrates = g.dict().Lookup("socrates");
+  ASSERT_NE(plato, kInvalidTerm);
+  EXPECT_TRUE(g.Contains(Triple{plato, influenced, socrates}));
+  EXPECT_FALSE(g.Contains(Triple{socrates, influenced, plato}));
+}
+
+TEST(NTriples, ParsesBasicForms) {
+  const std::string text =
+      "<http://a> <http://p> <http://b> .\n"
+      "# a comment\n"
+      "\n"
+      "<http://a> <http://q> \"hello world\" .\n"
+      "<http://a> <http://q> \"esc\\\"aped\\n\" .\n"
+      "<http://a> <http://q> \"1.5\"^^<http://www.w3.org/2001/XMLSchema#double> .\n";
+  GraphBuilder b;
+  const NtParseResult result = ParseNTriplesString(text, b);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.lines_parsed, 4u);
+  EXPECT_EQ(std::move(b).Build().NumTriples(), 4u);
+}
+
+TEST(NTriples, ReportsMalformedLine) {
+  GraphBuilder b;
+  const NtParseResult result =
+      ParseNTriplesString("<http://a> <http://p> <http://b> .\n"
+                          "<http://a> nonsense <http://b> .\n",
+                          b);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error_line, 2u);
+}
+
+TEST(NTriples, RejectsLiteralSubject) {
+  GraphBuilder b;
+  EXPECT_FALSE(ParseNTriplesString("\"lit\" <http://p> <http://o> .", b).ok);
+}
+
+TEST(NTriples, RejectsMissingDot) {
+  GraphBuilder b;
+  EXPECT_FALSE(ParseNTriplesString("<http://a> <http://p> <http://o>", b).ok);
+}
+
+TEST(NTriples, RejectsUnterminatedLiteral) {
+  GraphBuilder b;
+  EXPECT_FALSE(ParseNTriplesString("<a> <p> \"open .", b).ok);
+}
+
+TEST(NTriples, RoundTrip) {
+  GraphBuilder b;
+  b.AddSpelled("http://a", "http://p", "http://b");
+  b.AddSpelled("http://a", "http://q", "\"a \\\"quoted\\\" literal\"");
+  Graph g = std::move(b).Build();
+
+  std::ostringstream out;
+  WriteNTriples(g, out);
+
+  GraphBuilder b2;
+  const NtParseResult result = ParseNTriplesString(out.str(), b2);
+  ASSERT_TRUE(result.ok) << result.error;
+  Graph g2 = std::move(b2).Build();
+  EXPECT_EQ(g2.NumTriples(), g.NumTriples());
+}
+
+TEST(NTriples, FuzzedInputNeverCrashes) {
+  // Random byte soup must either parse or fail cleanly — never crash or
+  // hang. Seeds fixed for reproducibility.
+  Rng rng(0xf22);
+  const std::string alphabet =
+      "<>\"\\.#abc \t?_:\n^@";
+  for (int round = 0; round < 200; ++round) {
+    std::string text;
+    const std::size_t length = rng.Below(200);
+    for (std::size_t i = 0; i < length; ++i) {
+      text.push_back(alphabet[rng.Below(alphabet.size())]);
+    }
+    GraphBuilder b;
+    const NtParseResult result = ParseNTriplesString(text, b);
+    if (!result.ok) {
+      EXPECT_GT(result.error_line, 0u);
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+TEST(NTriples, FuzzedValidTriplesRoundTrip) {
+  // Random graphs with hostile term spellings survive a write/parse cycle.
+  Rng rng(777);
+  const std::string weird[] = {"a b", "line\nbreak", "tab\there",
+                               "quote\"inside", "back\\slash", "plain"};
+  GraphBuilder b;
+  for (int i = 0; i < 30; ++i) {
+    // Subjects/predicates are IRIs (no whitespace); objects may be weird
+    // literals.
+    b.AddSpelled("s" + std::to_string(rng.Below(5)),
+                 "p" + std::to_string(rng.Below(3)),
+                 "\"" + weird[rng.Below(6)] + "\"");
+  }
+  Graph g = std::move(b).Build();
+  std::ostringstream out;
+  WriteNTriples(g, out);
+  GraphBuilder b2;
+  const NtParseResult result = ParseNTriplesString(out.str(), b2);
+  ASSERT_TRUE(result.ok) << result.error << "\n" << out.str();
+  EXPECT_EQ(std::move(b2).Build().NumTriples(), g.NumTriples());
+}
+
+TEST(Schema, HierarchyAndAncestors) {
+  Graph g = testing::PaperExampleGraph();
+  ClassHierarchy h(g);
+  const TermId philosopher = g.dict().Lookup("Philosopher");
+  const TermId person = g.dict().Lookup("Person");
+  const TermId agent = g.dict().Lookup("Agent");
+  const TermId thing = g.owl_thing();
+
+  EXPECT_EQ(h.Parents(philosopher), std::vector<TermId>{person});
+  EXPECT_EQ(h.Children(person), std::vector<TermId>{philosopher});
+
+  auto ancestors = h.Ancestors(philosopher);
+  EXPECT_EQ(ancestors.size(), 3u);
+  EXPECT_TRUE(std::count(ancestors.begin(), ancestors.end(), agent));
+  EXPECT_TRUE(std::count(ancestors.begin(), ancestors.end(), thing));
+
+  const auto roots = h.Roots();
+  EXPECT_EQ(roots, std::vector<TermId>{thing});
+}
+
+TEST(Schema, AncestorsTolerateCycles) {
+  GraphBuilder b;
+  const TermId a = b.Intern("A");
+  const TermId c = b.Intern("C");
+  const TermId sub = b.Intern(vocab::kRdfsSubClassOf);
+  b.Add(a, sub, c);
+  b.Add(c, sub, a);
+  Graph g = std::move(b).Build();
+  ClassHierarchy h(g);
+  // No infinite loop; the other class is the only strict ancestor.
+  EXPECT_EQ(h.Ancestors(a), std::vector<TermId>{c});
+  EXPECT_EQ(h.Ancestors(c), std::vector<TermId>{a});
+}
+
+TEST(Schema, MaterializeClosureAddsAncestorTypes) {
+  GraphBuilder b;
+  b.AddSpelled("Dog", vocab::kRdfsSubClassOf, "Animal");
+  b.AddSpelled("Animal", vocab::kRdfsSubClassOf, vocab::kOwlThing);
+  b.AddSpelled("rex", vocab::kRdfType, "Dog");
+  Graph g = std::move(b).Build();
+
+  Graph closed = MaterializeSubclassClosure(g);
+  const TermId rex = closed.dict().Lookup("rex");
+  const TermId animal = closed.dict().Lookup("Animal");
+  ASSERT_NE(rex, kInvalidTerm);
+  EXPECT_TRUE(closed.Contains(Triple{rex, closed.rdf_type(), animal}));
+  EXPECT_TRUE(
+      closed.Contains(Triple{rex, closed.rdf_type(), closed.owl_thing()}));
+  // 2 subclass + 3 type triples.
+  EXPECT_EQ(closed.NumTriples(), 5u);
+  // Term ids are stable across materialization.
+  EXPECT_EQ(closed.dict().Lookup("rex"), g.dict().Lookup("rex"));
+}
+
+TEST(Schema, MaterializeSubPropertyClosure) {
+  GraphBuilder b;
+  b.AddSpelled("mother", kRdfsSubPropertyOf, "parent");
+  b.AddSpelled("parent", kRdfsSubPropertyOf, "relative");
+  b.AddSpelled("alice", "mother", "bob");
+  b.AddSpelled("carol", "parent", "dave");
+  Graph g = std::move(b).Build();
+
+  Graph closed = MaterializeSubPropertyClosure(g);
+  auto id = [&](const char* t) { return closed.dict().Lookup(t); };
+  // alice mother bob => alice parent bob, alice relative bob.
+  EXPECT_TRUE(closed.Contains(Triple{id("alice"), id("parent"), id("bob")}));
+  EXPECT_TRUE(
+      closed.Contains(Triple{id("alice"), id("relative"), id("bob")}));
+  EXPECT_TRUE(
+      closed.Contains(Triple{id("carol"), id("relative"), id("dave")}));
+  // 2 hierarchy edges + 2 original + 3 derived.
+  EXPECT_EQ(closed.NumTriples(), 7u);
+  // Idempotent.
+  EXPECT_EQ(MaterializeSubPropertyClosure(closed).NumTriples(), 7u);
+  // Term ids stable.
+  EXPECT_EQ(closed.dict().Lookup("alice"), g.dict().Lookup("alice"));
+}
+
+TEST(Schema, SubPropertyClosureToleratesCycles) {
+  GraphBuilder b;
+  b.AddSpelled("a", kRdfsSubPropertyOf, "b");
+  b.AddSpelled("b", kRdfsSubPropertyOf, "a");
+  b.AddSpelled("x", "a", "y");
+  Graph g = std::move(b).Build();
+  Graph closed = MaterializeSubPropertyClosure(g);
+  const TermId x = closed.dict().Lookup("x");
+  const TermId bp = closed.dict().Lookup("b");
+  const TermId y = closed.dict().Lookup("y");
+  EXPECT_TRUE(closed.Contains(Triple{x, bp, y}));
+}
+
+TEST(Schema, SubPropertyClosureNoopWithoutHierarchy) {
+  Graph g = testing::PaperExampleGraph();
+  Graph closed = MaterializeSubPropertyClosure(g);
+  EXPECT_EQ(closed.NumTriples(), g.NumTriples());
+}
+
+TEST(Schema, MaterializeClosureIdempotent) {
+  Graph g = testing::PaperExampleGraph();
+  Graph once = MaterializeSubclassClosure(g);
+  Graph twice = MaterializeSubclassClosure(once);
+  EXPECT_EQ(once.NumTriples(), twice.NumTriples());
+}
+
+}  // namespace
+}  // namespace kgoa

@@ -1,0 +1,208 @@
+// Tests for src/explore: the exploration state machine (Figure 3) and its
+// translation to chain queries (Figure 4), including the paper's own
+// Example III.1 walk.
+#include <gtest/gtest.h>
+
+#include "src/explore/session.h"
+#include "src/join/ctj.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : graph_(testing::PaperExampleGraph()), indexes_(graph_) {}
+
+  TermId Id(const char* term) {
+    const TermId id = graph_.dict().Lookup(term);
+    EXPECT_NE(id, kInvalidTerm) << term;
+    return id;
+  }
+
+  GroupedResult Eval(const ChainQuery& q) {
+    return CtjEngine(indexes_).Evaluate(q);
+  }
+
+  Graph graph_;
+  IndexSet indexes_;
+};
+
+TEST_F(SessionTest, StartsAtRootClassBar) {
+  ExplorationSession session(graph_);
+  EXPECT_EQ(session.current_kind(), BarKind::kClass);
+  EXPECT_EQ(session.current_category(), graph_.owl_thing());
+  EXPECT_EQ(session.depth(), 0);
+  const auto legal = session.LegalExpansions();
+  EXPECT_EQ(legal.size(), 3u);
+  EXPECT_TRUE(session.IsLegal(ExpansionKind::kSubclass));
+  EXPECT_FALSE(session.IsLegal(ExpansionKind::kObject));
+}
+
+TEST_F(SessionTest, SubclassExpansionCountsDirectSubclasses) {
+  ExplorationSession session(graph_);
+  const ChainQuery q = session.BuildQuery(ExpansionKind::kSubclass);
+  const GroupedResult result = Eval(q);
+  // Direct subclasses of Thing with instances: Agent (4), Place (2).
+  EXPECT_EQ(result.counts.size(), 2u);
+  EXPECT_EQ(result.CountFor(Id("Agent")), 4u);
+  EXPECT_EQ(result.CountFor(Id("Place")), 2u);
+  // Verified independently.
+  EXPECT_EQ(result, testing::BruteForce(graph_, q));
+}
+
+TEST_F(SessionTest, SubclassRefinementReplacesTypePattern) {
+  ExplorationSession session(graph_);
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Agent"));
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Person"));
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Philosopher"));
+  // The chain stays a single type pattern (Figure 6 shape), not three.
+  EXPECT_EQ(session.patterns().size(), 1u);
+  EXPECT_EQ(session.depth(), 3);
+  EXPECT_EQ(session.current_category(), Id("Philosopher"));
+}
+
+TEST_F(SessionTest, OutPropertyExpansionFromClassBar) {
+  ExplorationSession session(graph_);
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Agent"));
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Person"));
+  const ChainQuery q = session.BuildQuery(ExpansionKind::kOutProperty);
+  const GroupedResult result = Eval(q);
+  EXPECT_EQ(result, testing::BruteForce(graph_, q));
+  // Persons have outgoing rdf:type, influencedBy, birthPlace.
+  EXPECT_EQ(result.CountFor(Id("birthPlace")), 3u);   // plato, socrates, aristotle
+  EXPECT_EQ(result.CountFor(Id("influencedBy")), 2u); // plato, aristotle
+  EXPECT_EQ(result.CountFor(graph_.rdf_type()), 4u);
+}
+
+TEST_F(SessionTest, ObjectExpansionClassifiesObjects) {
+  // Person --birthPlace--> objects, grouped by class (the Fig. 5 query).
+  ExplorationSession session(graph_);
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Agent"));
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Person"));
+  session.ExpandAndSelect(ExpansionKind::kOutProperty, Id("birthPlace"));
+  EXPECT_EQ(session.current_kind(), BarKind::kOutProperty);
+  EXPECT_EQ(session.LegalExpansions(),
+            std::vector<ExpansionKind>{ExpansionKind::kObject});
+
+  const ChainQuery q = session.BuildQuery(ExpansionKind::kObject);
+  const GroupedResult result = Eval(q);
+  EXPECT_EQ(result, testing::BruteForce(graph_, q));
+  // Birth places: athens, stagira — each a City, Place, Thing.
+  EXPECT_EQ(result.CountFor(Id("City")), 2u);
+  EXPECT_EQ(result.CountFor(Id("Place")), 2u);
+  EXPECT_EQ(result.CountFor(graph_.owl_thing()), 2u);
+}
+
+TEST_F(SessionTest, InPropertyAndSubjectExpansions) {
+  ExplorationSession session(graph_);
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Place"));
+  const ChainQuery in_q = session.BuildQuery(ExpansionKind::kInProperty);
+  const GroupedResult in_result = Eval(in_q);
+  EXPECT_EQ(in_result, testing::BruteForce(graph_, in_q));
+  EXPECT_EQ(in_result.CountFor(Id("birthPlace")), 2u);  // athens, stagira
+
+  session.ExpandAndSelect(ExpansionKind::kInProperty, Id("birthPlace"));
+  EXPECT_EQ(session.current_kind(), BarKind::kInProperty);
+  const ChainQuery subj_q = session.BuildQuery(ExpansionKind::kSubject);
+  const GroupedResult subj = Eval(subj_q);
+  EXPECT_EQ(subj, testing::BruteForce(graph_, subj_q));
+  // Subjects born somewhere: plato, socrates, aristotle — Persons.
+  EXPECT_EQ(subj.CountFor(Id("Person")), 3u);
+  EXPECT_EQ(subj.CountFor(Id("Philosopher")), 2u);
+}
+
+// The paper's Example III.1: Thing -> Agent -> Person -> Philosopher ->
+// influencedBy -> Person -> out-properties (Figure 2's chart).
+TEST_F(SessionTest, ExampleIII1PhilosopherWalk) {
+  ExplorationSession session(graph_);
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Agent"));
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Person"));
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Philosopher"));
+  session.ExpandAndSelect(ExpansionKind::kOutProperty, Id("influencedBy"));
+  session.ExpandAndSelect(ExpansionKind::kObject, Id("Person"));
+
+  // Out-property expansion on a saturated focus: must fuse the Person
+  // restriction as a filter and stay a valid chain query.
+  ASSERT_TRUE(session.IsLegal(ExpansionKind::kOutProperty));
+  const ChainQuery q = session.BuildQuery(ExpansionKind::kOutProperty);
+  EXPECT_TRUE(q.HasAnyFilter());
+
+  const GroupedResult result = Eval(q);
+  EXPECT_EQ(result, testing::BruteForce(graph_, q));
+  // People who influenced philosophers: socrates, parmenides, plato. All
+  // have rdf:type out-edges; socrates and plato have birthPlace; plato has
+  // influencedBy.
+  EXPECT_EQ(result.CountFor(graph_.rdf_type()), 3u);
+  EXPECT_EQ(result.CountFor(Id("birthPlace")), 2u);
+  EXPECT_EQ(result.CountFor(Id("influencedBy")), 1u);
+}
+
+TEST_F(SessionTest, SubclassAfterObjectSelectionStaysLegal) {
+  ExplorationSession session(graph_);
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Person"));
+  session.ExpandAndSelect(ExpansionKind::kOutProperty, Id("birthPlace"));
+  session.ExpandAndSelect(ExpansionKind::kObject, Id("Place"));
+  // Subclass refinement of "Place" within birth places.
+  const ChainQuery q = session.BuildQuery(ExpansionKind::kSubclass);
+  const GroupedResult result = Eval(q);
+  EXPECT_EQ(result, testing::BruteForce(graph_, q));
+  EXPECT_EQ(result.CountFor(Id("City")), 2u);
+}
+
+TEST_F(SessionTest, GoBackRestoresPreviousState) {
+  ExplorationSession session(graph_);
+  EXPECT_FALSE(session.CanGoBack());
+  EXPECT_FALSE(session.GoBack());
+
+  const std::string at_root = session.Describe();
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Agent"));
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Person"));
+  session.ExpandAndSelect(ExpansionKind::kOutProperty, Id("birthPlace"));
+  EXPECT_EQ(session.depth(), 3);
+  EXPECT_TRUE(session.CanGoBack());
+
+  ASSERT_TRUE(session.GoBack());
+  EXPECT_EQ(session.depth(), 2);
+  EXPECT_EQ(session.current_category(), Id("Person"));
+  EXPECT_EQ(session.current_kind(), BarKind::kClass);
+  // Forward again works (the state machine is fully restored).
+  const ChainQuery q = session.BuildQuery(ExpansionKind::kOutProperty);
+  EXPECT_EQ(Eval(q), testing::BruteForce(graph_, q));
+
+  ASSERT_TRUE(session.GoBack());
+  ASSERT_TRUE(session.GoBack());
+  EXPECT_EQ(session.depth(), 0);
+  EXPECT_EQ(session.Describe(), at_root);
+  EXPECT_FALSE(session.GoBack());
+}
+
+TEST_F(SessionTest, DescribeMentionsCategory) {
+  ExplorationSession session(graph_);
+  const std::string desc = session.Describe();
+  EXPECT_NE(desc.find("owl#Thing"), std::string::npos);
+}
+
+// Random exploration smoke test: every chart query along random sessions
+// is valid and all engines agree on it.
+TEST_F(SessionTest, RandomWalksProduceValidQueries) {
+  Rng rng(4242);
+  for (int run = 0; run < 10; ++run) {
+    ExplorationSession session(graph_);
+    for (int step = 0; step < 5; ++step) {
+      const auto legal = session.LegalExpansions();
+      const ExpansionKind expansion = legal[rng.Below(legal.size())];
+      const ChainQuery q = session.BuildQuery(expansion);
+      const GroupedResult exact = testing::BruteForce(graph_, q);
+      ASSERT_EQ(Eval(q), exact) << session.Describe();
+      if (exact.counts.empty()) break;
+      // Pick a random bar.
+      auto it = exact.counts.begin();
+      std::advance(it, rng.Below(exact.counts.size()));
+      session.ExpandAndSelect(expansion, it->first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgoa

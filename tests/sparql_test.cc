@@ -1,0 +1,140 @@
+// Tests for the SPARQL-fragment parser (src/query/sparql.h).
+#include <gtest/gtest.h>
+
+#include "src/join/ctj.h"
+#include "src/query/sparql.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+class SparqlTest : public ::testing::Test {
+ protected:
+  SparqlTest() : graph_(testing::PaperExampleGraph()), indexes_(graph_) {}
+  Graph graph_;
+  IndexSet indexes_;
+};
+
+TEST_F(SparqlTest, ParsesFigure5Query) {
+  const auto result = ParseSparqlCount(R"(
+    SELECT ?c COUNT(DISTINCT ?o) WHERE {
+      ?s <birthPlace> ?o .
+      ?s rdf:type <Person> .
+      ?o rdf:type ?c .
+    } GROUP BY ?c
+  )",
+                                       graph_.dict());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_TRUE(result.query->distinct());
+  EXPECT_EQ(result.query->NumPatterns(), 3);
+
+  const GroupedResult counts = CtjEngine(indexes_).Evaluate(*result.query);
+  EXPECT_EQ(counts, testing::BruteForce(graph_, *result.query));
+  EXPECT_EQ(counts.CountFor(graph_.dict().Lookup("City")), 2u);
+}
+
+TEST_F(SparqlTest, ParsesWithoutDistinctAndCaseInsensitive) {
+  const auto result = ParseSparqlCount(
+      "select ?p count(?s) where { ?s ?p ?o . } group by ?p",
+      graph_.dict());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_FALSE(result.query->distinct());
+  EXPECT_EQ(result.query->NumPatterns(), 1);
+}
+
+TEST_F(SparqlTest, ParsesCommentsAndLiterals) {
+  GraphBuilder b;
+  b.AddSpelled("s", "p", "\"hello\"");
+  Graph g = std::move(b).Build();
+  const auto result = ParseSparqlCount(R"(
+    # which subjects have the literal?
+    SELECT ?s COUNT(DISTINCT ?s) WHERE {
+      ?s <p> "hello" .
+    } GROUP BY ?s
+  )",
+                                       g.dict());
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(SparqlTest, ParsesFilterExists) {
+  const auto result = ParseSparqlCount(R"(
+    SELECT ?p COUNT(DISTINCT ?o) WHERE {
+      ?x rdf:type <Philosopher> .
+      ?x <influencedBy> ?o .
+      ?o ?p ?z .
+      FILTER EXISTS { ?o rdf:type <Person> } .
+    } GROUP BY ?p
+  )",
+                                       graph_.dict());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_TRUE(result.query->HasAnyFilter());
+  const GroupedResult counts = CtjEngine(indexes_).Evaluate(*result.query);
+  EXPECT_EQ(counts, testing::BruteForce(graph_, *result.query));
+}
+
+TEST_F(SparqlTest, RoundTripsToSparqlOutput) {
+  // Queries rendered by ChainQuery::ToSparql(dict) reparse to a
+  // semantically identical query.
+  auto original = ParseSparqlCount(R"(
+    SELECT ?c COUNT(DISTINCT ?o) WHERE {
+      ?s <birthPlace> ?o .
+      ?o rdf:type ?c .
+    } GROUP BY ?c
+  )",
+                                   graph_.dict());
+  ASSERT_TRUE(original.ok());
+  const std::string rendered = original.query->ToSparql(&graph_.dict());
+  const auto reparsed = ParseSparqlCount(rendered, graph_.dict());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error << "\n" << rendered;
+  CtjEngine engine(indexes_);
+  EXPECT_EQ(engine.Evaluate(*original.query),
+            engine.Evaluate(*reparsed.query));
+}
+
+TEST_F(SparqlTest, ErrorsAreDescriptive) {
+  struct Case {
+    const char* text;
+    const char* expect_substring;
+  };
+  const Case cases[] = {
+      {"FOO ?x", "SELECT"},
+      {"SELECT ?c COUNT(?x WHERE { ?x ?p ?o . } GROUP BY ?c", ")"},
+      {"SELECT ?c COUNT(?c) WHERE { ?x <nosuchterm> ?c . } GROUP BY ?c",
+       "unknown term"},
+      {"SELECT ?c COUNT(?c) WHERE { ?x ?p ?c . } GROUP BY ?other",
+       "GROUP BY"},
+      {"SELECT ?c COUNT(?z) WHERE { ?x ?p ?c . } GROUP BY ?c",
+       "does not occur"},
+      {"SELECT ?c COUNT(?c) WHERE { ?x ?p ?c } GROUP BY ?c", "'.'"},
+      {"SELECT ?c COUNT(?c) WHERE { \"lit\" ?p ?c . } GROUP BY ?c",
+       "literal"},
+  };
+  for (const Case& c : cases) {
+    const auto result = ParseSparqlCount(c.text, graph_.dict());
+    EXPECT_FALSE(result.ok()) << c.text;
+    EXPECT_NE(result.error.find(c.expect_substring), std::string::npos)
+        << "got: " << result.error;
+  }
+}
+
+TEST_F(SparqlTest, RejectsNonChainQueries) {
+  const auto result = ParseSparqlCount(R"(
+    SELECT ?a COUNT(?a) WHERE {
+      ?a <birthPlace> ?b .
+      ?c <birthPlace> ?d .
+    } GROUP BY ?a
+  )",
+                                       graph_.dict());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SparqlTest, ReportsErrorLine) {
+  const auto result = ParseSparqlCount(
+      "SELECT ?c COUNT(?c)\nWHERE {\n  ?x <nosuch> ?c .\n} GROUP BY ?c",
+      graph_.dict());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error_line, 3u);
+}
+
+}  // namespace
+}  // namespace kgoa

@@ -1,0 +1,163 @@
+// Unit tests for src/util: rng, zipf, stats, flags, table.
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/zipf.h"
+
+namespace kgoa {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Below(5);
+    ASSERT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.Below(10)];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 10, n / 100);  // within 10% of expectation
+  }
+}
+
+TEST(Zipf, MassesSumToOne) {
+  ZipfSampler zipf(100, 1.1);
+  double total = 0;
+  for (uint64_t r = 0; r < zipf.size(); ++r) total += zipf.Mass(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroIsHeaviest) {
+  ZipfSampler zipf(50, 1.0);
+  for (uint64_t r = 1; r < 50; ++r) EXPECT_GT(zipf.Mass(0), zipf.Mass(r));
+}
+
+TEST(Zipf, EmpiricalMatchesMass) {
+  ZipfSampler zipf(10, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (uint64_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, zipf.Mass(r), 0.01);
+  }
+}
+
+TEST(Zipf, SingleElement) {
+  ZipfSampler zipf(1, 2.0);
+  Rng rng(1);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_NEAR(zipf.Mass(0), 1.0, 1e-12);
+}
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(SampleVariance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({42.0}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 25.0);
+}
+
+TEST(Stats, TukeyBoxBasics) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const TukeyBox box = MakeTukeyBox(xs);
+  EXPECT_DOUBLE_EQ(box.median, 50.5);
+  EXPECT_NEAR(box.q1, 25.75, 1e-9);
+  EXPECT_NEAR(box.q3, 75.25, 1e-9);
+  EXPECT_DOUBLE_EQ(box.whisker_lo, 1);
+  EXPECT_DOUBLE_EQ(box.whisker_hi, 100);
+  EXPECT_EQ(box.n, 100u);
+}
+
+TEST(Stats, TukeyBoxExcludesOutliersFromWhiskers) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 1000};
+  const TukeyBox box = MakeTukeyBox(xs);
+  EXPECT_LT(box.whisker_hi, 1000);
+}
+
+TEST(Stats, TukeyBoxEmpty) {
+  const TukeyBox box = MakeTukeyBox({});
+  EXPECT_EQ(box.n, 0u);
+}
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "2.5", "--gamma",
+                        "--name", "hello"};
+  Flags flags(7, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0), 2.5);
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_EQ(flags.GetString("name", ""), "hello");
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_TRUE(flags.Has("alpha"));
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "2.5"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(TextTable::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::FmtPercent(0.123, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace kgoa
