@@ -46,6 +46,14 @@ void ThresholdSweep(const bench::Dataset& ds, const ChainQuery& query,
                     TextTable::FmtPercent(run.rejection_rate),
                     TextTable::FmtPercent(tipped_fraction),
                     std::to_string(run.walks)});
+      std::printf(
+          "trace %s\n",
+          OlaTraceJson("AJ threshold=" +
+                           (threshold > 1e17 ? std::string("inf")
+                                             : TextTable::Fmt(threshold, 0)) +
+                           (adaptive ? " adaptive" : " static"),
+                       run)
+              .c_str());
     }
     std::printf("%s tipping:\n%s", adaptive ? "adaptive" : "static (paper)",
                 table.ToString().c_str());

@@ -174,6 +174,12 @@ void RunDataset(const KgSpec& spec, double seconds, int checkpoints) {
         static_cast<unsigned long long>(wj_run.walks),
         static_cast<unsigned long long>(aj_run.walks),
         static_cast<unsigned long long>(aj_run.tipped));
+    std::printf("trace %s\n",
+                OlaTraceJson("WJ " + ds.name + " " + sq.label, wj_run)
+                    .c_str());
+    std::printf("trace %s\n",
+                OlaTraceJson("AJ " + ds.name + " " + sq.label, aj_run)
+                    .c_str());
     std::fflush(stdout);
   }
 }

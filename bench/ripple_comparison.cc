@@ -40,7 +40,8 @@ double RippleMae(const IndexSet& indexes, const ChainQuery& query,
 }
 
 double OlaMae(const IndexSet& indexes, const ChainQuery& query,
-              const GroupedResult& exact, OlaAlgo algo, double seconds) {
+              const GroupedResult& exact, OlaAlgo algo, double seconds,
+              const std::string& trace_label) {
   OlaRunOptions options;
   options.algo = algo;
   options.duration_seconds = seconds;
@@ -49,7 +50,12 @@ double OlaMae(const IndexSet& indexes, const ChainQuery& query,
     options.walk_order = SelectBestWalkOrder(indexes, query, exact, algo,
                                              seconds / 6, 3);
   }
-  return RunOla(indexes, query, exact, options).final_mae;
+  const OlaRunResult run = RunOla(indexes, query, exact, options);
+  std::printf("trace %s\n",
+              OlaTraceJson(std::string(OlaAlgoName(algo)) + " " + trace_label,
+                           run)
+                  .c_str());
+  return run.final_mae;
 }
 
 }  // namespace
@@ -110,10 +116,12 @@ int main(int argc, char** argv) {
           {label, std::to_string(exact.counts.size()),
            kgoa::TextTable::FmtPercent(rj),
            kgoa::TextTable::FmtPercent(coverage),
-           kgoa::TextTable::FmtPercent(kgoa::OlaMae(
-               *ds.indexes, query, exact, kgoa::OlaAlgo::kWander, seconds)),
-           kgoa::TextTable::FmtPercent(kgoa::OlaMae(
-               *ds.indexes, query, exact, kgoa::OlaAlgo::kAudit, seconds))});
+           kgoa::TextTable::FmtPercent(
+               kgoa::OlaMae(*ds.indexes, query, exact, kgoa::OlaAlgo::kWander,
+                            seconds, label)),
+           kgoa::TextTable::FmtPercent(
+               kgoa::OlaMae(*ds.indexes, query, exact, kgoa::OlaAlgo::kAudit,
+                            seconds, label))});
     }
     std::printf("%s", table.ToString().c_str());
   }

@@ -72,6 +72,16 @@ inline std::vector<QueryRun> RunWorkloadExperiment(
     aj.walk_order = SelectBestWalkOrder(*ds.indexes, query, exact,
                                         OlaAlgo::kAudit, select_budget, 5);
     run.audit = RunOla(*ds.indexes, query, exact, aj);
+
+    // Machine-readable convergence trace per query and algorithm.
+    std::printf("trace %s\n",
+                OlaTraceJson("WJ " + ds.name + " " + run.description,
+                             run.wander)
+                    .c_str());
+    std::printf("trace %s\n",
+                OlaTraceJson("AJ " + ds.name + " " + run.description,
+                             run.audit)
+                    .c_str());
     runs.push_back(std::move(run));
   }
   return runs;

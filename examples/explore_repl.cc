@@ -3,6 +3,10 @@
 // interactive budget, driven by keyboard commands.
 //
 //   ./explore_repl [graph.nt|graph.bin] [--scale=0.1] [--budget_ms=150]
+//                  [--threads=1]
+//
+// With --threads=N > 1, charts are served by the parallel worker-pool
+// executor (deadline mode) instead of a single Audit Join engine.
 //
 // Commands (read from stdin; EOF exits, so the binary also terminates
 // cleanly when run non-interactively):
@@ -11,6 +15,7 @@
 //   back                          undo the last selection
 //   plan                          EXPLAIN the last chart query
 //   show                          describe the current selection
+//   metrics [json]                dump the serving metrics registry
 //   quit
 #include <cstdio>
 #include <fstream>
@@ -33,11 +38,15 @@ struct Repl {
   kgoa::Explorer* explorer;
   kgoa::ExplorationSession session;
   double budget;
+  int threads;
   std::optional<kgoa::ExpansionKind> last_expansion;
   kgoa::Chart last_chart;
 
-  explicit Repl(kgoa::Explorer* e, double budget_seconds)
-      : explorer(e), session(e->NewSession()), budget(budget_seconds) {}
+  Repl(kgoa::Explorer* e, double budget_seconds, int serving_threads)
+      : explorer(e),
+        session(e->NewSession()),
+        budget(budget_seconds),
+        threads(serving_threads) {}
 
   void ShowChart(kgoa::ExpansionKind expansion) {
     if (!session.IsLegal(expansion)) {
@@ -47,8 +56,15 @@ struct Repl {
       return;
     }
     const kgoa::ChainQuery query = session.BuildQuery(expansion);
-    last_chart = explorer->ApproximateChart(query, budget,
-                                            ResultBarKind(expansion));
+    if (threads > 1) {
+      kgoa::ParallelOlaOptions options;
+      options.threads = threads;
+      last_chart = explorer->ApproximateChartParallel(
+          query, budget, ResultBarKind(expansion), options);
+    } else {
+      last_chart = explorer->ApproximateChart(query, budget,
+                                              ResultBarKind(expansion));
+    }
     last_expansion = expansion;
     if (last_chart.bars.empty()) {
       std::printf("  (empty chart)\n");
@@ -79,6 +95,22 @@ struct Repl {
     last_expansion.reset();
     std::printf("  -> %s\n", session.Describe().c_str());
   }
+
+  // Serving metrics (engine counters accumulated by the explorer) plus
+  // this session's interaction counters, as text or JSON.
+  void DumpMetrics(bool as_json) {
+    kgoa::MetricsRegistry registry = explorer->metrics();
+    registry.SetCounter("session.queries_built", session.queries_built());
+    registry.SetCounter("session.expansions", session.expansions_applied());
+    registry.SetCounter("session.back_navigations",
+                        session.back_navigations());
+    registry.SetGauge("session.depth", session.depth());
+    if (as_json) {
+      std::printf("%s\n", registry.ToJson().c_str());
+    } else {
+      std::printf("%s", registry.ToText().c_str());
+    }
+  }
 };
 
 }  // namespace
@@ -91,9 +123,10 @@ int main(int argc, char** argv) {
     ++argv;
   }
   kgoa::Flags flags(argc, argv);
-  flags.RestrictTo("scale,budget_ms");
+  flags.RestrictTo("scale,budget_ms,threads");
   const double scale = flags.GetDouble("scale", 0.1);
   const double budget = flags.GetDouble("budget_ms", 150) / 1000.0;
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
 
   kgoa::Graph graph;
   if (path.empty()) {
@@ -121,9 +154,9 @@ int main(int argc, char** argv) {
   }
 
   kgoa::Explorer explorer(std::move(graph));
-  Repl repl(&explorer, budget);
+  Repl repl(&explorer, budget, threads);
   std::printf("%zu triples. commands: sub out in obj subj pick <n> back "
-              "plan show quit\n",
+              "plan show metrics quit\n",
               explorer.graph().NumTriples());
 
   std::string line;
@@ -147,6 +180,10 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", repl.session.GoBack() ? "ok" : "(at root)");
     } else if (command == "show") {
       std::printf("  %s\n", repl.session.Describe().c_str());
+    } else if (command == "metrics") {
+      std::string mode;
+      words >> mode;
+      repl.DumpMetrics(mode == "json");
     } else if (command == "plan") {
       if (repl.last_expansion.has_value()) {
         std::printf("%s",

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the parallel OLA test
+# under ThreadSanitizer (the snapshot-publishing path is the only
+# multi-threaded code in the repo, so that one binary is the race check).
+#
+# Usage: scripts/tier1.sh   (from the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier-1: build + ctest ==="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+echo
+echo "=== tier-1: parallel_test under ThreadSanitizer ==="
+cmake -B build-tsan -S . -DKGOA_SANITIZE=thread
+cmake --build build-tsan -j --target parallel_test
+./build-tsan/tests/parallel_test
+
+echo
+echo "tier-1 OK"

@@ -29,8 +29,7 @@ AuditJoin::AuditJoin(const IndexSet& indexes, const ChainQuery& query,
 
 uint64_t AuditJoin::CountFrom(int q, TermId value) {
   KGOA_DCHECK(q < plan_.NumSteps());
-  auto [it, inserted] = count_memo_[q].try_emplace(value, 0);
-  if (!inserted) {
+  if (auto it = count_memo_[q].find(value); it != count_memo_[q].end()) {
     ++count_cache_hits_;
     return it->second;
   }
@@ -49,7 +48,10 @@ uint64_t AuditJoin::CountFrom(int q, TermId value) {
                    : CountFrom(q + 1, t[next_in_component_[q]]);
     }
   }
-  count_memo_[q][value] = count;
+  // Compute-then-insert: the memo only ever holds finished counts, so an
+  // abort mid-computation cannot leave a poisoned zero behind, and the
+  // miss path pays a single insertion instead of a second lookup.
+  count_memo_[q].emplace(value, count);
   return count;
 }
 

@@ -26,6 +26,18 @@ void SortBars(Chart& chart) {
             });
 }
 
+Chart ChartFromEstimates(const GroupedEstimates& estimates, BarKind kind) {
+  Chart chart;
+  chart.kind = kind;
+  for (const auto& [group, estimate] : estimates.Estimates()) {
+    if (estimate <= 0) continue;
+    chart.bars.push_back(
+        Bar{group, estimate, estimates.CiHalfWidth(group)});
+  }
+  SortBars(chart);
+  return chart;
+}
+
 }  // namespace
 
 Chart Explorer::EvaluateChart(const ChainQuery& query, BarKind kind) const {
@@ -49,15 +61,33 @@ Chart Explorer::ApproximateChart(const ChainQuery& query, double seconds,
   do {
     audit.RunWalks(64);
   } while (clock.ElapsedSeconds() < seconds);
-  Chart chart;
-  chart.kind = kind;
-  for (const auto& [group, estimate] : audit.estimates().Estimates()) {
-    if (estimate <= 0) continue;
-    chart.bars.push_back(
-        Bar{group, estimate, audit.estimates().CiHalfWidth(group)});
+  ExportMetrics(audit, "aj.", &metrics_);
+  metrics_.Add("explorer.charts", 1);
+  metrics_.SetGauge("explorer.last_chart_seconds", clock.ElapsedSeconds());
+  return ChartFromEstimates(audit.estimates(), kind);
+}
+
+Chart Explorer::ApproximateChartParallel(const ChainQuery& query,
+                                         double seconds, BarKind kind,
+                                         ParallelOlaOptions options) const {
+  if (options.use_audit && options.walk_order.empty()) {
+    options.walk_order = DefaultAuditOrder(query);
   }
-  SortBars(chart);
-  return chart;
+  const ParallelOlaResult run =
+      ParallelOlaExecutor(*indexes_, query, options).RunForDuration(seconds);
+  ExportMetrics(run.counters, options.use_audit ? "aj." : "wj.", &metrics_);
+  metrics_.Add(options.use_audit ? "aj.walks" : "wj.walks",
+               run.estimates.walks());
+  metrics_.Add(options.use_audit ? "aj.rejected_walks" : "wj.rejected_walks",
+               run.estimates.rejected_walks());
+  metrics_.Add("explorer.charts", 1);
+  metrics_.SetGauge("explorer.last_chart_seconds", run.elapsed_seconds);
+  metrics_.SetGauge("explorer.last_chart_walks_per_second",
+                    run.elapsed_seconds > 0
+                        ? static_cast<double>(run.estimates.walks()) /
+                              run.elapsed_seconds
+                        : 0.0);
+  return ChartFromEstimates(run.estimates, kind);
 }
 
 }  // namespace kgoa

@@ -16,10 +16,12 @@
 #include <memory>
 
 #include "src/core/audit.h"
+#include "src/eval/registry.h"
 #include "src/explore/chart.h"
 #include "src/explore/session.h"
 #include "src/index/index_set.h"
 #include "src/join/result.h"
+#include "src/ola/parallel.h"
 #include "src/query/chain_query.h"
 #include "src/rdf/graph.h"
 
@@ -54,9 +56,23 @@ class Explorer {
                          AuditJoin::Options options = AuditJoin::Options())
       const;
 
+  // Approximate chart served by the parallel worker-pool executor
+  // (deadline mode): same contract as ApproximateChart, with walks split
+  // across options.threads workers.
+  Chart ApproximateChartParallel(
+      const ChainQuery& query, double seconds, BarKind kind,
+      ParallelOlaOptions options = ParallelOlaOptions()) const;
+
+  // Cumulative engine counters over every approximate chart served by
+  // this explorer ("aj.walks", "aj.tipped_walks", "explorer.charts", ...).
+  const MetricsRegistry& metrics() const { return metrics_; }
+  void ClearMetrics() { metrics_.Clear(); }
+
  private:
   Graph graph_;
   std::unique_ptr<IndexSet> indexes_;
+  // Serving statistics; mutated by the const serving calls.
+  mutable MetricsRegistry metrics_;
 };
 
 }  // namespace kgoa

@@ -1,0 +1,174 @@
+#include "src/eval/registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/audit.h"
+#include "src/ola/wander.h"
+
+namespace kgoa {
+
+namespace {
+
+std::string FmtDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string FmtCounter(uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return buffer;
+}
+
+}  // namespace
+
+void MetricsRegistry::Add(std::string_view name, uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::SetCounter(std::string_view name, uint64_t value) {
+  counters_.insert_or_assign(std::string(name), value);
+}
+
+uint64_t MetricsRegistry::Counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  gauges_.insert_or_assign(std::string(name), value);
+}
+
+double MetricsRegistry::Gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += name;
+    out += ' ';
+    out += FmtCounter(value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : gauges_) {
+    out += name;
+    out += ' ';
+    out += FmtDouble(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += FmtCounter(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += FmtDouble(value);
+  }
+  out += "}}";
+  return out;
+}
+
+void ExportMetrics(const AuditJoin& engine, std::string_view prefix,
+                   MetricsRegistry* registry) {
+  const std::string p(prefix);
+  registry->Add(p + "walks", engine.estimates().walks());
+  registry->Add(p + "rejected_walks", engine.estimates().rejected_walks());
+  registry->Add(p + "tipped_walks", engine.tipped_walks());
+  registry->Add(p + "full_walks", engine.full_walks());
+  registry->Add(p + "tip_aborts", engine.tip_aborts());
+  registry->Add(p + "ctj_cache_hits", engine.suffix_cache_hits());
+}
+
+void ExportMetrics(const WanderJoin& engine, std::string_view prefix,
+                   MetricsRegistry* registry) {
+  const std::string p(prefix);
+  registry->Add(p + "walks", engine.estimates().walks());
+  registry->Add(p + "rejected_walks", engine.estimates().rejected_walks());
+  registry->Add(p + "full_walks", engine.estimates().walks() -
+                                      engine.estimates().rejected_walks());
+  registry->Add(p + "duplicate_walks", engine.duplicate_walks());
+}
+
+void ExportMetrics(const OlaCounters& counters, std::string_view prefix,
+                   MetricsRegistry* registry) {
+  const std::string p(prefix);
+  registry->Add(p + "tipped_walks", counters.tipped_walks);
+  registry->Add(p + "full_walks", counters.full_walks);
+  registry->Add(p + "tip_aborts", counters.tip_aborts);
+  registry->Add(p + "ctj_cache_hits", counters.ctj_cache_hits);
+  registry->Add(p + "duplicate_walks", counters.duplicate_walks);
+}
+
+std::string SnapshotJson(const OlaSnapshot& snapshot) {
+  std::string out = "{";
+  out += "\"elapsed_seconds\":" + FmtDouble(snapshot.elapsed_seconds);
+  out += ",\"final\":" + std::string(snapshot.final_snapshot ? "true"
+                                                             : "false");
+  out += ",\"walks\":" + FmtCounter(snapshot.walks);
+  out += ",\"rejected_walks\":" + FmtCounter(snapshot.rejected_walks);
+  out += ",\"walks_per_second\":" + FmtDouble(snapshot.walks_per_second);
+  out += ",\"rejection_rate\":" + FmtDouble(snapshot.rejection_rate);
+  out += ",\"tipped_walks\":" + FmtCounter(snapshot.counters.tipped_walks);
+  out += ",\"full_walks\":" + FmtCounter(snapshot.counters.full_walks);
+  out += ",\"tip_aborts\":" + FmtCounter(snapshot.counters.tip_aborts);
+  out +=
+      ",\"ctj_cache_hits\":" + FmtCounter(snapshot.counters.ctj_cache_hits);
+  out += ",\"duplicate_walks\":" +
+         FmtCounter(snapshot.counters.duplicate_walks);
+  out += ",\"groups\":{";
+  if (snapshot.estimates != nullptr) {
+    std::vector<std::pair<TermId, double>> groups;
+    for (const auto& [group, estimate] : snapshot.estimates->Estimates()) {
+      groups.emplace_back(group, estimate);
+    }
+    std::sort(groups.begin(), groups.end());
+    bool first = true;
+    for (const auto& [group, estimate] : groups) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += FmtCounter(group);
+      out += "\":{\"estimate\":";
+      out += FmtDouble(estimate);
+      out += ",\"ci\":";
+      out += FmtDouble(snapshot.estimates->CiHalfWidth(group));
+      out += '}';
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace kgoa

@@ -1,6 +1,8 @@
 #include "src/eval/runner.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <memory>
 
 #include "src/core/audit.h"
@@ -53,6 +55,20 @@ OlaRunResult RunOla(const IndexSet& indexes, const ChainQuery& query,
       audit->RunWalks(n);
     }
   };
+  auto counters = [&]() {
+    OlaCounters c;
+    if (audit) {
+      c.tipped_walks = audit->tipped_walks();
+      c.full_walks = audit->full_walks();
+      c.tip_aborts = audit->tip_aborts();
+      c.ctj_cache_hits = audit->suffix_cache_hits();
+    } else {
+      c.full_walks =
+          wander->estimates().walks() - wander->estimates().rejected_walks();
+      c.duplicate_walks = wander->duplicate_walks();
+    }
+    return c;
+  };
 
   KGOA_CHECK(options.checkpoints >= 1);
   const double interval =
@@ -67,15 +83,47 @@ OlaRunResult RunOla(const IndexSet& indexes, const ChainQuery& query,
     point.mae = MeanAbsoluteError(exact, estimates());
     point.mean_ci = MeanRelativeCi(exact, estimates());
     point.walks = estimates().walks();
+    point.rejected = estimates().rejected_walks();
+    point.counters = counters();
     result.points.push_back(point);
   }
 
   result.walks = estimates().walks();
   result.rejection_rate = estimates().RejectionRate();
   result.final_mae = result.points.back().mae;
+  result.counters = counters();
   if (wander) result.duplicates = wander->duplicate_walks();
   if (audit) result.tipped = audit->tipped_walks();
   return result;
+}
+
+std::string OlaTraceJson(std::string_view label, const OlaRunResult& run) {
+  std::string out = "{\"label\":\"";
+  for (char c : label) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\",\"points\":[";
+  char buffer[352];
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const TimePoint& p = run.points[i];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "%s{\"t\":%.4f,\"mae\":%.6g,\"mean_ci\":%.6g,\"walks\":%" PRIu64
+        ",\"rejected\":%" PRIu64 ",\"tipped\":%" PRIu64
+        ",\"tip_aborts\":%" PRIu64 ",\"ctj_cache_hits\":%" PRIu64
+        ",\"full\":%" PRIu64 ",\"duplicates\":%" PRIu64 "}",
+        i == 0 ? "" : ",", p.seconds, p.mae, p.mean_ci, p.walks, p.rejected,
+        p.counters.tipped_walks, p.counters.tip_aborts,
+        p.counters.ctj_cache_hits, p.counters.full_walks,
+        p.counters.duplicate_walks);
+    out += buffer;
+  }
+  std::snprintf(buffer, sizeof(buffer),
+                "],\"walks\":%" PRIu64 ",\"rejection_rate\":%.6g}", run.walks,
+                run.rejection_rate);
+  out += buffer;
+  return out;
 }
 
 CiTerminationResult RunUntilCi(const IndexSet& indexes,

@@ -7,10 +7,13 @@
 #define KGOA_EVAL_RUNNER_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/index/index_set.h"
 #include "src/join/result.h"
+#include "src/ola/parallel.h"
 #include "src/query/chain_query.h"
 
 namespace kgoa {
@@ -39,6 +42,10 @@ struct TimePoint {
   double mae = 0;
   double mean_ci = 0;
   uint64_t walks = 0;
+  uint64_t rejected = 0;
+  // Cumulative engine counters at this checkpoint (zero for counters the
+  // running engine does not track).
+  OlaCounters counters;
 };
 
 struct OlaRunResult {
@@ -47,8 +54,15 @@ struct OlaRunResult {
   double rejection_rate = 0;
   uint64_t duplicates = 0;  // Wander Join distinct mode only
   uint64_t tipped = 0;      // Audit Join only
+  OlaCounters counters;     // final cumulative engine counters
   double final_mae = 0;
 };
+
+// One-line JSON convergence trace of a finished run: the checkpoint
+// series with error, CI and the cumulative engine counters at each point.
+// The benches print one such line per (query, algorithm), prefixed with
+// "trace ", so runs can be scraped into time-vs-error curves.
+std::string OlaTraceJson(std::string_view label, const OlaRunResult& run);
 
 // Runs the chosen algorithm against `query` for the configured duration;
 // errors are measured against `exact` (which must match query.distinct()).

@@ -143,6 +143,7 @@ ChainQuery ExplorationSession::BuildQuery(ExpansionKind expansion) const {
       ChainQuery::Create(std::move(parts.patterns), std::move(parts.filters),
                          parts.alpha, parts.beta, /*distinct=*/true, &error);
   KGOA_CHECK_MSG(query.has_value(), error.c_str());
+  ++queries_built_;
   return *query;
 }
 
@@ -158,6 +159,7 @@ bool ExplorationSession::GoBack() {
   tail_type_pattern_ = snapshot.tail_type_pattern;
   depth_ = snapshot.depth;
   history_.pop_back();
+  ++back_navigations_;
   return true;
 }
 
@@ -205,6 +207,7 @@ void ExplorationSession::ExpandAndSelect(ExpansionKind expansion,
   category_ = category;
   next_var_ += 2;
   ++depth_;
+  ++expansions_applied_;
 }
 
 std::string ExplorationSession::Describe() const {

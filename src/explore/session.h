@@ -18,6 +18,7 @@
 #ifndef KGOA_EXPLORE_SESSION_H_
 #define KGOA_EXPLORE_SESSION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,12 @@ class ExplorationSession {
   const std::vector<TriplePattern>& patterns() const { return patterns_; }
   std::string Describe() const;
 
+  // Monotonic interaction counters (exported into the serving metrics by
+  // the REPL; never reset by GoBack).
+  uint64_t queries_built() const { return queries_built_; }
+  uint64_t expansions_applied() const { return expansions_applied_; }
+  uint64_t back_navigations() const { return back_navigations_; }
+
  private:
   struct QueryParts {
     std::vector<TriplePattern> patterns;
@@ -87,6 +94,11 @@ class ExplorationSession {
   // class restriction lives in a filter (or the bar is a property bar).
   int tail_type_pattern_ = -1;
   int depth_ = 0;
+
+  // Interaction counters; queries_built_ is mutated by const BuildQuery.
+  mutable uint64_t queries_built_ = 0;
+  uint64_t expansions_applied_ = 0;
+  uint64_t back_navigations_ = 0;
 
   // Saved states for GoBack (everything except graph_).
   struct Snapshot {

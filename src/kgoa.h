@@ -53,6 +53,7 @@
 // Synthetic data and evaluation harness.
 #include "src/eval/metrics.h"
 #include "src/eval/profile.h"
+#include "src/eval/registry.h"
 #include "src/eval/runner.h"
 #include "src/gen/kg_gen.h"
 #include "src/gen/workload.h"

@@ -1,8 +1,13 @@
 #include "src/ola/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "src/core/audit.h"
 #include "src/ola/wander.h"
@@ -10,54 +15,302 @@
 #include "src/util/stopwatch.h"
 
 namespace kgoa {
+namespace {
 
-GroupedEstimates RunParallelOla(const IndexSet& indexes,
-                                const ChainQuery& query,
-                                const ParallelOlaOptions& options,
-                                double seconds) {
-  KGOA_CHECK(options.threads >= 1);
-  std::atomic<bool> stop{false};
-  std::vector<GroupedEstimates> partials(options.threads);
+using SteadyClock = std::chrono::steady_clock;
 
-  auto worker = [&](int w) {
-    const uint64_t seed = options.seed + static_cast<uint64_t>(w);
+// Walks run between deadline checks in deadline mode.
+constexpr uint64_t kDeadlineBatch = 64;
+
+SteadyClock::duration SecondsToDuration(double seconds) {
+  return std::chrono::duration_cast<SteadyClock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+// Uniform worker-local view over the two engines.
+class WorkerEngine {
+ public:
+  WorkerEngine(const IndexSet& indexes, const ChainQuery& query,
+               const ParallelOlaOptions& options, uint64_t seed) {
     if (options.use_audit) {
       AuditJoin::Options aj;
       aj.seed = seed;
       aj.walk_order = options.walk_order;
       aj.tipping_threshold = options.tipping_threshold;
-      AuditJoin engine(indexes, query, aj);
-      while (!stop.load(std::memory_order_relaxed)) {
-        engine.RunWalks(64);
-      }
-      partials[w] = engine.estimates();
+      audit_ = std::make_unique<AuditJoin>(indexes, query, aj);
     } else {
       WanderJoin::Options wj;
       wj.seed = seed;
       wj.walk_order = options.walk_order;
-      WanderJoin engine(indexes, query, wj);
-      while (!stop.load(std::memory_order_relaxed)) {
-        engine.RunWalks(64);
-      }
-      partials[w] = engine.estimates();
+      wander_ = std::make_unique<WanderJoin>(indexes, query, wj);
     }
+  }
+
+  void RunWalks(uint64_t count) {
+    if (audit_) {
+      audit_->RunWalks(count);
+    } else {
+      wander_->RunWalks(count);
+    }
+  }
+
+  const GroupedEstimates& estimates() const {
+    return audit_ ? audit_->estimates() : wander_->estimates();
+  }
+
+  OlaCounters counters() const {
+    OlaCounters c;
+    if (audit_) {
+      c.tipped_walks = audit_->tipped_walks();
+      c.full_walks = audit_->full_walks();
+      c.tip_aborts = audit_->tip_aborts();
+      c.ctj_cache_hits = audit_->suffix_cache_hits();
+    } else {
+      c.full_walks = wander_->estimates().walks() -
+                     wander_->estimates().rejected_walks();
+      c.duplicate_walks = wander_->duplicate_walks();
+    }
+    return c;
+  }
+
+ private:
+  std::unique_ptr<AuditJoin> audit_;
+  std::unique_ptr<WanderJoin> wander_;
+};
+
+// One publication slot per logical worker: the worker copies its partial
+// accumulators in under the mutex; the snapshot loop merges them out.
+struct PublishSlot {
+  std::mutex mutex;
+  GroupedEstimates partial;
+  OlaCounters counters;
+};
+
+// Coordination between the workers and the snapshot loop running on the
+// calling thread.
+struct RunState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int active = 0;  // threads still running
+};
+
+void Publish(PublishSlot& slot, const WorkerEngine& engine) {
+  // The copy reads only worker-private engine state; only the handoff
+  // into the slot needs the lock.
+  GroupedEstimates partial = engine.estimates();
+  const OlaCounters counters = engine.counters();
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.partial = std::move(partial);
+  slot.counters = counters;
+}
+
+void FillRates(const Stopwatch& clock, OlaSnapshot& snapshot) {
+  snapshot.elapsed_seconds = clock.ElapsedSeconds();
+  snapshot.walks_per_second =
+      snapshot.elapsed_seconds > 0
+          ? static_cast<double>(snapshot.walks) / snapshot.elapsed_seconds
+          : 0.0;
+}
+
+// Merges the published partials into `merged` and describes them.
+OlaSnapshot MergeSnapshot(std::vector<PublishSlot>& slots,
+                          const Stopwatch& clock, GroupedEstimates* merged) {
+  OlaSnapshot snapshot;
+  *merged = GroupedEstimates();
+  for (PublishSlot& slot : slots) {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    merged->Merge(slot.partial);
+    snapshot.counters.Merge(slot.counters);
+  }
+  snapshot.walks = merged->walks();
+  snapshot.rejected_walks = merged->rejected_walks();
+  snapshot.rejection_rate = merged->RejectionRate();
+  snapshot.estimates = merged;
+  FillRates(clock, snapshot);
+  return snapshot;
+}
+
+// Blocks until every worker finished, delivering snapshots at the
+// configured cadence meanwhile. No busy-sleep: the thread sleeps on the
+// condition variable until the next snapshot tick or worker completion.
+void SnapshotLoop(RunState& state, std::vector<PublishSlot>& slots,
+                  const Stopwatch& clock, const ParallelOlaOptions& options,
+                  const OlaSnapshotCallback& callback) {
+  std::unique_lock<std::mutex> lock(state.mutex);
+  if (!callback) {
+    state.cv.wait(lock, [&] { return state.active == 0; });
+    return;
+  }
+  const auto period =
+      SecondsToDuration(std::max(options.snapshot_period, 1e-4));
+  auto next_tick = SteadyClock::now() + period;
+  while (state.active > 0) {
+    state.cv.wait_until(lock, next_tick);
+    if (state.active == 0) break;
+    if (SteadyClock::now() < next_tick) continue;  // spurious wakeup
+    lock.unlock();
+    GroupedEstimates merged;
+    callback(MergeSnapshot(slots, clock, &merged));
+    lock.lock();
+    next_tick = SteadyClock::now() + period;
+  }
+}
+
+void FinishThread(RunState& state) {
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    --state.active;
+  }
+  state.cv.notify_all();
+}
+
+OlaSnapshot FinalSnapshot(const ParallelOlaResult& result) {
+  OlaSnapshot snapshot;
+  snapshot.elapsed_seconds = result.elapsed_seconds;
+  snapshot.walks = result.estimates.walks();
+  snapshot.rejected_walks = result.estimates.rejected_walks();
+  snapshot.rejection_rate = result.estimates.RejectionRate();
+  snapshot.walks_per_second =
+      result.elapsed_seconds > 0
+          ? static_cast<double>(snapshot.walks) / result.elapsed_seconds
+          : 0.0;
+  snapshot.counters = result.counters;
+  snapshot.estimates = &result.estimates;
+  snapshot.final_snapshot = true;
+  return snapshot;
+}
+
+}  // namespace
+
+ParallelOlaExecutor::ParallelOlaExecutor(const IndexSet& indexes,
+                                         ChainQuery query,
+                                         ParallelOlaOptions options)
+    : indexes_(indexes),
+      query_(std::move(query)),
+      options_(std::move(options)) {
+  KGOA_CHECK(options_.threads >= 1);
+  KGOA_CHECK(options_.workers >= 1);
+}
+
+ParallelOlaResult ParallelOlaExecutor::RunForDuration(
+    double seconds, const OlaSnapshotCallback& callback) const {
+  const int threads = std::max(1, options_.threads);
+  const uint64_t publish_every = std::max<uint64_t>(1, options_.publish_every);
+
+  std::vector<PublishSlot> slots(threads);
+  std::vector<GroupedEstimates> finals(threads);
+  std::vector<OlaCounters> final_counters(threads);
+  RunState state;
+  state.active = threads;
+
+  // The clock starts before any thread is spawned: spawn latency and
+  // engine construction spend the budget rather than silently extending
+  // it, and every worker checks this one shared deadline.
+  Stopwatch clock;
+  const auto deadline = SteadyClock::now() + SecondsToDuration(seconds);
+
+  auto thread_main = [&](int w) {
+    WorkerEngine engine(indexes_, query_, options_,
+                        options_.seed + static_cast<uint64_t>(w));
+    uint64_t since_publish = 0;
+    while (SteadyClock::now() < deadline) {
+      engine.RunWalks(kDeadlineBatch);
+      since_publish += kDeadlineBatch;
+      if (callback && since_publish >= publish_every) {
+        Publish(slots[w], engine);
+        since_publish = 0;
+      }
+    }
+    finals[w] = engine.estimates();
+    final_counters[w] = engine.counters();
+    FinishThread(state);
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(options.threads);
-  for (int w = 0; w < options.threads; ++w) {
-    threads.emplace_back(worker, w);
-  }
-  Stopwatch clock;
-  while (clock.ElapsedSeconds() < seconds) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  stop.store(true, std::memory_order_relaxed);
-  for (std::thread& thread : threads) thread.join();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int w = 0; w < threads; ++w) pool.emplace_back(thread_main, w);
+  SnapshotLoop(state, slots, clock, options_, callback);
+  for (std::thread& thread : pool) thread.join();
 
-  GroupedEstimates merged;
-  for (const GroupedEstimates& partial : partials) merged.Merge(partial);
-  return merged;
+  ParallelOlaResult result;
+  result.workers = threads;
+  for (int w = 0; w < threads; ++w) {
+    result.estimates.Merge(finals[w]);
+    result.counters.Merge(final_counters[w]);
+  }
+  result.elapsed_seconds = clock.ElapsedSeconds();
+  if (callback) callback(FinalSnapshot(result));
+  return result;
+}
+
+ParallelOlaResult ParallelOlaExecutor::RunWalkBudget(
+    uint64_t total_walks, const OlaSnapshotCallback& callback) const {
+  const int workers = std::max(1, options_.workers);
+  const int threads = std::clamp(options_.threads, 1, workers);
+  const uint64_t publish_every = std::max<uint64_t>(1, options_.publish_every);
+  const uint64_t base_share = total_walks / static_cast<uint64_t>(workers);
+  const uint64_t remainder = total_walks % static_cast<uint64_t>(workers);
+
+  std::vector<PublishSlot> slots(workers);
+  std::vector<GroupedEstimates> finals(workers);
+  std::vector<OlaCounters> final_counters(workers);
+  RunState state;
+  state.active = threads;
+  std::atomic<int> next_worker{0};
+  Stopwatch clock;
+
+  // Threads pull logical workers off a shared counter; which thread runs
+  // which worker is scheduling-dependent, but every worker's walks are a
+  // pure function of its own seed and share, so the ordered merge below
+  // is not.
+  auto thread_main = [&]() {
+    for (int w = next_worker.fetch_add(1, std::memory_order_relaxed);
+         w < workers;
+         w = next_worker.fetch_add(1, std::memory_order_relaxed)) {
+      const uint64_t share =
+          base_share + (static_cast<uint64_t>(w) < remainder ? 1 : 0);
+      WorkerEngine engine(indexes_, query_, options_,
+                          options_.seed + static_cast<uint64_t>(w));
+      uint64_t done = 0;
+      while (done < share) {
+        const uint64_t batch = std::min(publish_every, share - done);
+        engine.RunWalks(batch);
+        done += batch;
+        if (callback) Publish(slots[w], engine);
+      }
+      finals[w] = engine.estimates();
+      final_counters[w] = engine.counters();
+    }
+    FinishThread(state);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) pool.emplace_back(thread_main);
+  SnapshotLoop(state, slots, clock, options_, callback);
+  for (std::thread& thread : pool) thread.join();
+
+  ParallelOlaResult result;
+  result.workers = workers;
+  // Ordered merge over logical workers: the double summation happens in
+  // the same order no matter how many threads ran, so the result is
+  // bit-identical across runs and thread counts.
+  for (int w = 0; w < workers; ++w) {
+    result.estimates.Merge(finals[w]);
+    result.counters.Merge(final_counters[w]);
+  }
+  result.elapsed_seconds = clock.ElapsedSeconds();
+  if (callback) callback(FinalSnapshot(result));
+  return result;
+}
+
+GroupedEstimates RunParallelOla(const IndexSet& indexes,
+                                const ChainQuery& query,
+                                const ParallelOlaOptions& options,
+                                double seconds) {
+  return ParallelOlaExecutor(indexes, query, options)
+      .RunForDuration(seconds)
+      .estimates;
 }
 
 }  // namespace kgoa

@@ -1,4 +1,4 @@
-// Parallel online aggregation.
+// Parallel online aggregation: a reusable worker-pool executor.
 //
 // The OLA literature the paper surveys (section II) includes parallel and
 // distributed variants (PF-OLA, online aggregation for MapReduce). Both
@@ -15,10 +15,34 @@
 // and duplicates across workers are double-counted — the merged estimate
 // is even more biased than the sequential one. Audit Join's distinct
 // estimator is stateless and merges exactly.
+//
+// The executor supports two run modes:
+//
+//  * Walk-budget mode (RunWalkBudget): the total budget is split across a
+//    fixed number of *logical workers*, each with its own engine seeded
+//    seed + w, and the final partials are merged in worker order. The
+//    result is a deterministic function of (query, seed, budget,
+//    options.workers) — bit-identical across runs and across `threads`
+//    values, because `threads` only controls how many logical workers run
+//    concurrently, never how the walks are partitioned or merged.
+//
+//  * Deadline mode (RunForDuration): workers run until a shared deadline
+//    computed *before* the threads are spawned (so spawn latency counts
+//    against the budget, not on top of it). Walk counts — and therefore
+//    estimates — vary run to run; this is the interactive serving mode.
+//
+// In both modes, workers publish partial accumulators under a per-worker
+// mutex every `publish_every` walks, and the calling thread (woken by
+// condition_variable::wait_until, no busy-sleep) merges the published
+// partials and hands a live snapshot — merged estimates with per-group CI
+// half-widths, walks/sec, rejection rate, engine counters — to an optional
+// callback at `snapshot_period` cadence, without stopping the run. This is
+// the "watch the bars converge" interaction online aggregation exists for.
 #ifndef KGOA_OLA_PARALLEL_H_
 #define KGOA_OLA_PARALLEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/index/index_set.h"
@@ -27,18 +51,100 @@
 
 namespace kgoa {
 
+// Per-engine work counters, merged across workers. Counters an engine does
+// not track stay zero (e.g. tipping counters under Wander Join).
+struct OlaCounters {
+  uint64_t tipped_walks = 0;     // Audit Join: walks finished by tipping
+  uint64_t full_walks = 0;       // walks sampled to completion
+  uint64_t tip_aborts = 0;       // Audit Join: enumeration-cap aborts
+  uint64_t ctj_cache_hits = 0;   // Audit Join: suffix-count memo hits
+  uint64_t duplicate_walks = 0;  // Wander Join distinct mode
+
+  void Merge(const OlaCounters& other) {
+    tipped_walks += other.tipped_walks;
+    full_walks += other.full_walks;
+    tip_aborts += other.tip_aborts;
+    ctj_cache_hits += other.ctj_cache_hits;
+    duplicate_walks += other.duplicate_walks;
+  }
+};
+
 struct ParallelOlaOptions {
+  // OS threads actually running workers. Never affects budget-mode
+  // results; clamped to [1, workers] in budget mode.
   int threads = 2;
-  uint64_t seed = 1;             // worker w uses seed + w
+  uint64_t seed = 1;             // logical worker w uses seed + w
   bool use_audit = true;         // Audit Join (false: Wander Join)
   std::vector<int> walk_order;   // empty = engine default
   double tipping_threshold = 64.0;  // Audit Join only
+
+  // Budget mode: number of logical workers the budget is split across.
+  // Part of the deterministic run identity — changing it changes the
+  // estimate (like changing the seed), whereas changing `threads` never
+  // does.
+  int workers = 4;
+
+  // Walks a worker runs between partial publications (and between
+  // deadline checks in deadline mode).
+  uint64_t publish_every = 256;
+
+  // Seconds between snapshot callbacks (when a callback is given).
+  double snapshot_period = 0.05;
 };
 
-// Runs `seconds` of wall-clock online aggregation across worker threads
-// and returns the merged estimates. Total walks scale with the number of
-// workers (on real hardware; on a single core the benefit is overlap with
-// other work).
+// A live view of the merged run state, valid only during the callback.
+struct OlaSnapshot {
+  double elapsed_seconds = 0;
+  uint64_t walks = 0;
+  uint64_t rejected_walks = 0;
+  double walks_per_second = 0;
+  double rejection_rate = 0;
+  OlaCounters counters;
+  // Merged partial estimates: per-group Estimate() / CiHalfWidth().
+  // Owned by the executor; do not retain past the callback.
+  const GroupedEstimates* estimates = nullptr;
+  // True for the one snapshot emitted after all workers finished.
+  bool final_snapshot = false;
+};
+
+// Called on the thread that invoked the run, never concurrently.
+using OlaSnapshotCallback = std::function<void(const OlaSnapshot&)>;
+
+struct ParallelOlaResult {
+  GroupedEstimates estimates;
+  OlaCounters counters;
+  double elapsed_seconds = 0;
+  int workers = 0;  // logical workers that ran
+};
+
+class ParallelOlaExecutor {
+ public:
+  // The indexes must outlive the executor; the query is copied.
+  ParallelOlaExecutor(const IndexSet& indexes, ChainQuery query,
+                      ParallelOlaOptions options);
+
+  // Deadline mode: runs until `seconds` of wall clock elapse, measured
+  // from before the workers are spawned. One logical worker per thread.
+  ParallelOlaResult RunForDuration(
+      double seconds, const OlaSnapshotCallback& callback = nullptr) const;
+
+  // Deterministic walk-budget mode: exactly `total_walks` walks split
+  // across options.workers logical workers (worker w runs
+  // total/workers walks, +1 for the first total%workers workers, with
+  // seed seed + w), merged in worker order.
+  ParallelOlaResult RunWalkBudget(
+      uint64_t total_walks,
+      const OlaSnapshotCallback& callback = nullptr) const;
+
+  const ParallelOlaOptions& options() const { return options_; }
+
+ private:
+  const IndexSet& indexes_;
+  ChainQuery query_;
+  ParallelOlaOptions options_;
+};
+
+// Legacy wrapper: deadline mode, estimates only.
 GroupedEstimates RunParallelOla(const IndexSet& indexes,
                                 const ChainQuery& query,
                                 const ParallelOlaOptions& options,

@@ -1,6 +1,17 @@
-// Tests for estimator merging and the parallel OLA runner.
+// Tests for estimator merging and the parallel OLA executor.
+//
+// The convergence tests use the deterministic walk-budget mode rather than
+// wall-clock deadlines, so they are reproducible and independent of machine
+// load — and they double as the tier-1 check of the executor's core
+// guarantee: a budgeted run is a pure function of (query, seed, budget,
+// workers), bit-identical across thread counts and equal to a sequential
+// run over the union of the per-worker seeds.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
+#include "src/core/audit.h"
 #include "src/ola/parallel.h"
 #include "src/ola/wander.h"
 #include "tests/test_util.h"
@@ -38,6 +49,38 @@ TEST(EstimatorMerge, EqualsSequentialAccumulation) {
   EXPECT_DOUBLE_EQ(merged.CiHalfWidth(1), whole.CiHalfWidth(1));
 }
 
+// Regression for the CI half-width against the closed form, with rejected
+// walks counted as zero contributions in the denominator: contributions
+// {10, 0 (rejected), 20, 0 (rejected)} give mean 30/4 = 7.5,
+// E[X^2] = 500/4 = 125, variance 125 - 7.5^2 = 68.75, and half-width
+// z * sqrt(variance / n).
+TEST(EstimatorCi, ClosedFormIncludesRejectedWalks) {
+  GroupedEstimates est;
+  est.AddContribution(1, 10.0);
+  est.EndWalk(false);
+  est.EndWalk(true);  // rejected: zero contribution, still a walk
+  est.AddContribution(1, 20.0);
+  est.EndWalk(false);
+  est.EndWalk(true);
+
+  EXPECT_EQ(est.walks(), 4u);
+  EXPECT_EQ(est.rejected_walks(), 2u);
+  EXPECT_DOUBLE_EQ(est.RejectionRate(), 0.5);
+  EXPECT_DOUBLE_EQ(est.Estimate(1), 7.5);
+
+  const double z = 1.959963984540054;
+  const double variance = 125.0 - 7.5 * 7.5;  // 68.75
+  EXPECT_DOUBLE_EQ(est.CiHalfWidth(1), z * std::sqrt(variance / 4.0));
+  // Custom z values scale linearly.
+  EXPECT_DOUBLE_EQ(est.CiHalfWidth(1, 1.0), std::sqrt(variance / 4.0));
+  // Unknown group and tiny samples report no interval.
+  EXPECT_DOUBLE_EQ(est.CiHalfWidth(99), 0.0);
+  GroupedEstimates one_walk;
+  one_walk.AddContribution(1, 5.0);
+  one_walk.EndWalk(false);
+  EXPECT_DOUBLE_EQ(one_walk.CiHalfWidth(1), 0.0);
+}
+
 class ParallelTest : public ::testing::Test {
  protected:
   ParallelTest() : graph_(testing::PaperExampleGraph()), indexes_(graph_) {}
@@ -58,20 +101,88 @@ class ParallelTest : public ::testing::Test {
   IndexSet indexes_;
 };
 
+void ExpectBitIdentical(const GroupedEstimates& a, const GroupedEstimates& b) {
+  EXPECT_EQ(a.walks(), b.walks());
+  EXPECT_EQ(a.rejected_walks(), b.rejected_walks());
+  const auto ea = a.Estimates();
+  const auto eb = b.Estimates();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (const auto& [group, estimate] : ea) {
+    const auto it = eb.find(group);
+    ASSERT_NE(it, eb.end());
+    EXPECT_EQ(estimate, it->second) << "group " << group;
+    EXPECT_EQ(a.CiHalfWidth(group), b.CiHalfWidth(group)) << "group "
+                                                          << group;
+  }
+}
+
+// The satellite check: a 4-worker budgeted parallel run merges to exactly
+// the same estimate as one sequential pass over the union of the per-worker
+// seeds — GroupedEstimates::Merge is exact, not approximate.
+TEST_F(ParallelTest, WalkBudgetEqualsSequentialUnionOfSeeds) {
+  const ChainQuery query = Fig5(true);
+  constexpr uint64_t kBudget = 2002;  // not divisible by 4: remainder path
+
+  ParallelOlaOptions options;
+  options.workers = 4;
+  options.threads = 2;
+  options.seed = 17;
+  options.tipping_threshold = 2.0;
+  const ParallelOlaResult parallel =
+      ParallelOlaExecutor(indexes_, query, options).RunWalkBudget(kBudget);
+  EXPECT_EQ(parallel.workers, 4);
+  EXPECT_EQ(parallel.estimates.walks(), kBudget);
+
+  // Sequential reference: the same logical workers, run one after another
+  // on this thread and merged in the same order.
+  GroupedEstimates sequential;
+  for (uint64_t w = 0; w < 4; ++w) {
+    AuditJoin::Options aj;
+    aj.seed = options.seed + w;
+    aj.tipping_threshold = options.tipping_threshold;
+    AuditJoin engine(indexes_, query, aj);
+    engine.RunWalks(kBudget / 4 + (w < kBudget % 4 ? 1 : 0));
+    sequential.Merge(engine.estimates());
+  }
+  ExpectBitIdentical(parallel.estimates, sequential);
+}
+
+TEST_F(ParallelTest, WalkBudgetBitIdenticalAcrossThreadCounts) {
+  const ChainQuery query = Fig5(true);
+  constexpr uint64_t kBudget = 3000;
+
+  ParallelOlaOptions options;
+  options.workers = 4;
+  options.tipping_threshold = 2.0;
+  GroupedEstimates reference;
+  for (int threads : {1, 2, 4}) {
+    options.threads = threads;
+    const ParallelOlaResult run =
+        ParallelOlaExecutor(indexes_, query, options).RunWalkBudget(kBudget);
+    EXPECT_EQ(run.estimates.walks(), kBudget);
+    if (threads == 1) {
+      reference = run.estimates;
+    } else {
+      ExpectBitIdentical(reference, run.estimates);
+    }
+  }
+}
+
 TEST_F(ParallelTest, AuditWorkersConvergeMerged) {
   const ChainQuery query = Fig5(true);
   const GroupedResult exact = testing::BruteForce(graph_, query);
 
   ParallelOlaOptions options;
   options.threads = 3;
+  options.workers = 3;
   options.use_audit = true;
   options.tipping_threshold = 2.0;  // stochastic mode
-  const GroupedEstimates merged =
-      RunParallelOla(indexes_, query, options, 0.15);
+  const ParallelOlaResult run =
+      ParallelOlaExecutor(indexes_, query, options).RunWalkBudget(30000);
 
-  EXPECT_GT(merged.walks(), 1000u);
+  EXPECT_EQ(run.estimates.walks(), 30000u);
   for (const auto& [group, count] : exact.counts) {
-    EXPECT_NEAR(merged.Estimate(group), static_cast<double>(count),
+    EXPECT_NEAR(run.estimates.Estimate(group), static_cast<double>(count),
                 0.1 * static_cast<double>(count) + 0.1);
   }
 }
@@ -82,21 +193,68 @@ TEST_F(ParallelTest, WanderWorkersConvergeOnNonDistinct) {
 
   ParallelOlaOptions options;
   options.threads = 2;
+  options.workers = 2;
   options.use_audit = false;
-  const GroupedEstimates merged =
-      RunParallelOla(indexes_, query, options, 0.15);
+  const ParallelOlaResult run =
+      ParallelOlaExecutor(indexes_, query, options).RunWalkBudget(30000);
   for (const auto& [group, count] : exact.counts) {
-    EXPECT_NEAR(merged.Estimate(group), static_cast<double>(count),
+    EXPECT_NEAR(run.estimates.Estimate(group), static_cast<double>(count),
                 0.1 * static_cast<double>(count) + 0.1);
   }
 }
 
-TEST_F(ParallelTest, SingleThreadWorks) {
+// Snapshot publishing: the callback observes monotonically growing partial
+// merges while workers run, and one final snapshot with the exact budget.
+TEST_F(ParallelTest, WalkBudgetSnapshotsPublishPartials) {
+  const ChainQuery query = Fig5(true);
+  constexpr uint64_t kBudget = 20000;
+
+  ParallelOlaOptions options;
+  options.workers = 4;
+  options.threads = 4;
+  options.tipping_threshold = 2.0;
+  options.publish_every = 64;
+  options.snapshot_period = 1e-4;  // as fast as the loop allows
+
+  int snapshots = 0;
+  int finals = 0;
+  uint64_t last_walks = 0;
+  const ParallelOlaResult run =
+      ParallelOlaExecutor(indexes_, query, options)
+          .RunWalkBudget(kBudget, [&](const OlaSnapshot& snapshot) {
+            ++snapshots;
+            ASSERT_NE(snapshot.estimates, nullptr);
+            EXPECT_GE(snapshot.walks, last_walks);
+            EXPECT_LE(snapshot.walks, kBudget);
+            EXPECT_EQ(snapshot.walks, snapshot.estimates->walks());
+            last_walks = snapshot.walks;
+            if (snapshot.final_snapshot) {
+              ++finals;
+              EXPECT_EQ(snapshot.walks, kBudget);
+            }
+          });
+  EXPECT_GE(snapshots, 1);
+  EXPECT_EQ(finals, 1);
+  EXPECT_EQ(run.estimates.walks(), kBudget);
+}
+
+TEST_F(ParallelTest, DeadlineModeAndLegacyWrapperWork) {
   const ChainQuery query = Fig5(true);
   ParallelOlaOptions options;
+  options.threads = 2;
+  int finals = 0;
+  const ParallelOlaResult run =
+      ParallelOlaExecutor(indexes_, query, options)
+          .RunForDuration(0.05, [&](const OlaSnapshot& snapshot) {
+            if (snapshot.final_snapshot) ++finals;
+          });
+  EXPECT_GT(run.estimates.walks(), 0u);
+  EXPECT_EQ(finals, 1);
+  EXPECT_GE(run.elapsed_seconds, 0.05);
+
   options.threads = 1;
   const GroupedEstimates merged =
-      RunParallelOla(indexes_, query, options, 0.05);
+      RunParallelOla(indexes_, query, options, 0.02);
   EXPECT_GT(merged.walks(), 0u);
 }
 
