@@ -1,17 +1,30 @@
 // Micro-benchmarks for the claims of sections IV-D and V-C: per-walk
 // sample time of Wander Join and Audit Join (paper: ~2.5us average for
 // both), the amortized cost of the online Pr(a, b) computation (paper:
-// ~2.5us average thanks to caching), and the underlying index operations.
+// ~2.5us average thanks to caching), and the underlying index operations
+// (flat-table hash-range probes, CSR level-0 narrow, galloping seeks).
+//
+// Besides the google-benchmark table, the binary ends with one
+// machine-readable `trace {...}` JSON line (the PR 1 convention; scrape
+// with `grep '^trace '`) carrying ns/op for the Depth1/Depth2/Ndv2 probe
+// and SeekGE paths, the per-order index build times, resident bytes, and
+// the thread's probe counters.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
 #include <benchmark/benchmark.h>
 
 #include "src/core/audit.h"
 #include "src/core/reach.h"
+#include "src/eval/registry.h"
 #include "src/explore/session.h"
 #include "src/gen/kg_gen.h"
 #include "src/index/index_set.h"
 #include "src/join/ctj.h"
 #include "src/ola/wander.h"
 #include "src/util/rng.h"
+#include "src/util/stopwatch.h"
 
 namespace kgoa {
 namespace {
@@ -97,6 +110,125 @@ void BM_HashRangeResolve(benchmark::State& state) {
 }
 BENCHMARK(BM_HashRangeResolve);
 
+// Pre-drawn random probe keys, so the benches below measure the table
+// lookup itself rather than the rng + triple fetch used to draw keys.
+constexpr std::size_t kProbeKeys = 1 << 20;
+
+std::vector<TermId>& SubjectKeys() {
+  static std::vector<TermId>* keys = [] {
+    Fixture& f = GetFixture();
+    Rng rng(5);
+    const auto& triples = f.graph.triples();
+    auto* v = new std::vector<TermId>(kProbeKeys);
+    for (TermId& k : *v) k = triples[rng.Below(triples.size())].s;
+    return v;
+  }();
+  return *keys;
+}
+
+std::vector<uint64_t>& PairKeys() {
+  static std::vector<uint64_t>* keys = [] {
+    Fixture& f = GetFixture();
+    Rng rng(6);
+    const auto& triples = f.graph.triples();
+    auto* v = new std::vector<uint64_t>(kProbeKeys);
+    for (uint64_t& k : *v) {
+      const Triple& t = triples[rng.Below(triples.size())];
+      k = (static_cast<uint64_t>(t.s) << 32) | static_cast<uint64_t>(t.p);
+    }
+    return v;
+  }();
+  return *keys;
+}
+
+// Raw flat-table probes, without the access-path dispatch above them.
+void BM_HashDepth1(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const HashRangeIndex& hash = f.indexes.Hash(IndexOrder::kSpo);
+  const auto& keys = SubjectKeys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash.Depth1(keys[i++ & (kProbeKeys - 1)]));
+  }
+}
+BENCHMARK(BM_HashDepth1);
+
+void BM_HashDepth2(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const HashRangeIndex& hash = f.indexes.Hash(IndexOrder::kSpo);
+  const auto& keys = PairKeys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const uint64_t key = keys[i++ & (kProbeKeys - 1)];
+    benchmark::DoNotOptimize(hash.Depth2(static_cast<TermId>(key >> 32),
+                                         static_cast<TermId>(key)));
+  }
+}
+BENCHMARK(BM_HashDepth2);
+
+void BM_HashNdv2(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const HashRangeIndex& hash = f.indexes.Hash(IndexOrder::kSpo);
+  const auto& keys = SubjectKeys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash.Ndv2(keys[i++ & (kProbeKeys - 1)]));
+  }
+}
+BENCHMARK(BM_HashNdv2);
+
+// Reference probes against the pre-flat-table representation (one
+// std::unordered_map per depth, as HashRangeIndex used before the open
+// addressing rewrite) — the head-to-head baseline for the flat probes.
+struct RefMaps {
+  RefMaps() {
+    Fixture& f = GetFixture();
+    const HashRangeIndex& hash = f.indexes.Hash(IndexOrder::kSpo);
+    const TrieIndex& spo = f.indexes.Index(IndexOrder::kSpo);
+    const Range root = spo.Root();
+    uint32_t pos = root.begin;
+    while (pos < root.end) {
+      const TermId s = spo.KeyAt(pos, 0);
+      depth1[s] = hash.Depth1(s);
+      pos = spo.BlockEnd(root, 0, pos);
+    }
+    for (const Triple& t : f.graph.triples()) {
+      const uint64_t key =
+          (static_cast<uint64_t>(t.s) << 32) | static_cast<uint64_t>(t.p);
+      if (depth2.find(key) == depth2.end()) depth2[key] = hash.Depth2(t.s, t.p);
+    }
+  }
+  std::unordered_map<TermId, Range> depth1;
+  std::unordered_map<uint64_t, Range> depth2;
+};
+
+RefMaps& GetRefMaps() {
+  static RefMaps* maps = new RefMaps();
+  return *maps;
+}
+
+void BM_RefMapDepth1(benchmark::State& state) {
+  const auto& map = GetRefMaps().depth1;
+  const auto& keys = SubjectKeys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto it = map.find(keys[i++ & (kProbeKeys - 1)]);
+    benchmark::DoNotOptimize(it == map.end() ? Range{} : it->second);
+  }
+}
+BENCHMARK(BM_RefMapDepth1);
+
+void BM_RefMapDepth2(benchmark::State& state) {
+  const auto& map = GetRefMaps().depth2;
+  const auto& keys = PairKeys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto it = map.find(keys[i++ & (kProbeKeys - 1)]);
+    benchmark::DoNotOptimize(it == map.end() ? Range{} : it->second);
+  }
+}
+BENCHMARK(BM_RefMapDepth2);
+
 void BM_TrieNarrow(benchmark::State& state) {
   Fixture& f = GetFixture();
   const TrieIndex& spo = f.indexes.Index(IndexOrder::kSpo);
@@ -108,6 +240,39 @@ void BM_TrieNarrow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrieNarrow);
+
+// Every 3rd distinct level-0 value of the SPO order, ascending: the
+// leapfrog access shape (short forward hops from the previous hit) that
+// the galloping SeekGE is built for.
+std::vector<TermId> SeekTargets(const TrieIndex& index) {
+  std::vector<TermId> targets;
+  const Range root = index.Root();
+  uint32_t pos = root.begin;
+  uint64_t i = 0;
+  while (pos < root.end) {
+    if (i++ % 3 == 0) targets.push_back(index.KeyAt(pos, 0));
+    pos = index.BlockEnd(root, 0, pos);
+  }
+  return targets;
+}
+
+void BM_TrieSeekGEShortHops(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const TrieIndex& spo = f.indexes.Index(IndexOrder::kSpo);
+  const std::vector<TermId> targets = SeekTargets(spo);
+  const Range root = spo.Root();
+  uint32_t from = root.begin;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i >= targets.size()) {
+      i = 0;
+      from = root.begin;
+    }
+    from = spo.SeekGE(root, 0, targets[i++], from);
+    benchmark::DoNotOptimize(from);
+  }
+}
+BENCHMARK(BM_TrieSeekGEShortHops);
 
 void BM_SuffixCountCached(benchmark::State& state) {
   Fixture& f = GetFixture();
@@ -127,7 +292,87 @@ void BM_SuffixCountCached(benchmark::State& state) {
 }
 BENCHMARK(BM_SuffixCountCached);
 
+// Hand-timed ns/op for the index primitives, exported as one
+// machine-readable trace line through the PR 1 metrics registry.
+double NsPerOp(uint64_t iterations, const Stopwatch& clock) {
+  return clock.ElapsedSeconds() * 1e9 / static_cast<double>(iterations);
+}
+
+void EmitIndexTrace() {
+  Fixture& f = GetFixture();
+  const HashRangeIndex& hash = f.indexes.Hash(IndexOrder::kSpo);
+  const TrieIndex& spo = f.indexes.Index(IndexOrder::kSpo);
+  constexpr uint64_t kOps = 2'000'000;
+
+  MetricsRegistry registry;
+  ExportMetrics(f.indexes, "index.", &registry);
+  t_index_probes.Reset();
+
+  const auto& subjects = SubjectKeys();
+  const auto& pairs = PairKeys();
+  {
+    Stopwatch clock;
+    Range sink{};
+    for (uint64_t i = 0; i < kOps; ++i) {
+      const Range r = hash.Depth1(subjects[i & (kProbeKeys - 1)]);
+      sink.begin ^= r.begin;
+      sink.end ^= r.end;
+    }
+    benchmark::DoNotOptimize(sink);
+    registry.SetGauge("index.depth1_ns", NsPerOp(kOps, clock));
+  }
+  {
+    Stopwatch clock;
+    Range sink{};
+    for (uint64_t i = 0; i < kOps; ++i) {
+      const uint64_t key = pairs[i & (kProbeKeys - 1)];
+      const Range r = hash.Depth2(static_cast<TermId>(key >> 32),
+                                  static_cast<TermId>(key));
+      sink.begin ^= r.begin;
+      sink.end ^= r.end;
+    }
+    benchmark::DoNotOptimize(sink);
+    registry.SetGauge("index.depth2_ns", NsPerOp(kOps, clock));
+  }
+  {
+    Stopwatch clock;
+    uint64_t sink = 0;
+    for (uint64_t i = 0; i < kOps; ++i) {
+      sink ^= hash.Ndv2(subjects[i & (kProbeKeys - 1)]);
+    }
+    benchmark::DoNotOptimize(sink);
+    registry.SetGauge("index.ndv2_ns", NsPerOp(kOps, clock));
+  }
+  {
+    const std::vector<TermId> targets = SeekTargets(spo);
+    const Range root = spo.Root();
+    Stopwatch clock;
+    uint64_t ops = 0;
+    uint32_t sink = 0;
+    while (ops < kOps) {
+      uint32_t from = root.begin;
+      for (const TermId target : targets) {
+        from = spo.SeekGE(root, 0, target, from);
+        sink ^= from;
+      }
+      ops += targets.size();
+    }
+    benchmark::DoNotOptimize(sink);
+    registry.SetGauge("index.seekge_ns", NsPerOp(ops, clock));
+  }
+  ExportIndexProbeCounters("index.", &registry);
+  std::printf("trace %s\n", registry.ToJson().c_str());
+  std::fflush(stdout);
+}
+
 }  // namespace
 }  // namespace kgoa
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  kgoa::EmitIndexTrace();
+  return 0;
+}

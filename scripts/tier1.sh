@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the parallel OLA test
-# under ThreadSanitizer (the snapshot-publishing path is the only
-# multi-threaded code in the repo, so that one binary is the race check).
+# Tier-1 verification: full build + test suite, then sanitizer passes:
+#  - parallel_test under ThreadSanitizer (the snapshot-publishing path is
+#    the only multi-threaded code in the repo, so that one binary is the
+#    race check; the parallel index build rides along),
+#  - index_test + join_test under AddressSanitizer and UBSan (the index
+#    layer does raw flat-table slot arithmetic and galloping seeks; these
+#    two binaries exercise every probe and seek path).
 #
 # Usage: scripts/tier1.sh   (from the repo root)
 set -euo pipefail
@@ -17,6 +21,15 @@ echo "=== tier-1: parallel_test under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DKGOA_SANITIZE=thread
 cmake --build build-tsan -j --target parallel_test
 ./build-tsan/tests/parallel_test
+
+for san in address undefined; do
+  echo
+  echo "=== tier-1: index_test + join_test under ${san} sanitizer ==="
+  cmake -B "build-${san}" -S . -DKGOA_SANITIZE="${san}"
+  cmake --build "build-${san}" -j --target index_test --target join_test
+  "./build-${san}/tests/index_test"
+  "./build-${san}/tests/join_test"
+done
 
 echo
 echo "tier-1 OK"

@@ -1,11 +1,13 @@
 #include "src/eval/registry.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
 #include <vector>
 
 #include "src/core/audit.h"
+#include "src/index/index_set.h"
 #include "src/ola/wander.h"
 
 namespace kgoa {
@@ -129,6 +131,37 @@ void ExportMetrics(const OlaCounters& counters, std::string_view prefix,
   registry->Add(p + "tip_aborts", counters.tip_aborts);
   registry->Add(p + "ctj_cache_hits", counters.ctj_cache_hits);
   registry->Add(p + "duplicate_walks", counters.duplicate_walks);
+}
+
+void ExportMetrics(const IndexSet& indexes, std::string_view prefix,
+                   MetricsRegistry* registry) {
+  const std::string p(prefix);
+  const IndexBuildStats& stats = indexes.build_stats();
+  registry->SetCounter(p + "triples", indexes.NumTriples());
+  registry->SetCounter(p + "memory_bytes", indexes.ApproxMemoryBytes());
+  registry->SetGauge(p + "build_ms", stats.total_ms);
+  uint64_t depth1_entries = 0;
+  uint64_t depth2_entries = 0;
+  for (IndexOrder order : kAllIndexOrders) {
+    const int o = static_cast<int>(order);
+    std::string name(OrderName(order));
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    registry->SetGauge(p + "sort_ms." + name, stats.sort_ms[o]);
+    registry->SetGauge(p + "hash_ms." + name, stats.hash_ms[o]);
+    depth1_entries += indexes.Hash(order).Depth1Entries();
+    depth2_entries += indexes.Hash(order).Depth2Entries();
+  }
+  registry->SetCounter(p + "depth1_entries", depth1_entries);
+  registry->SetCounter(p + "depth2_entries", depth2_entries);
+}
+
+void ExportIndexProbeCounters(std::string_view prefix,
+                              MetricsRegistry* registry) {
+  const std::string p(prefix);
+  const IndexProbeCounters& probes = t_index_probes;
+  registry->SetCounter(p + "depth1_probes", probes.depth1_probes);
+  registry->SetCounter(p + "depth2_probes", probes.depth2_probes);
+  registry->SetCounter(p + "ndv_probes", probes.ndv_probes);
 }
 
 std::string SnapshotJson(const OlaSnapshot& snapshot) {

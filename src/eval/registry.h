@@ -24,6 +24,7 @@
 namespace kgoa {
 
 class AuditJoin;
+class IndexSet;
 class WanderJoin;
 
 class MetricsRegistry {
@@ -58,6 +59,18 @@ void ExportMetrics(const WanderJoin& engine, std::string_view prefix,
                    MetricsRegistry* registry);
 void ExportMetrics(const OlaCounters& counters, std::string_view prefix,
                    MetricsRegistry* registry);
+
+// Index-layer export: per-order build times (sort + CSR offsets, flat hash
+// tables) as gauges, entry counts / triples / resident bytes as counters.
+void ExportMetrics(const IndexSet& indexes, std::string_view prefix,
+                   MetricsRegistry* registry);
+
+// Exports the calling thread's flat-table probe counters
+// (src/index/hash_range.h) — Depth1/Depth2/Ndv2 lookups issued since the
+// thread's last Reset. Counters are thread-local so the sampling hot path
+// never touches a shared cache line.
+void ExportIndexProbeCounters(std::string_view prefix,
+                              MetricsRegistry* registry);
 
 // One-line JSON form of a live parallel-run snapshot — one line per
 // snapshot makes a convergence trace (the benches prefix each line with

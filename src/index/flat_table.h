@@ -1,0 +1,92 @@
+// Minimal open-addressing hash table for the index hot path: power-of-two
+// capacity in a single contiguous slot array, Fibonacci multiplicative
+// hashing, linear probing. The table is sized once for an exact key count
+// (load factor <= 0.5, so probes terminate and stay short) and never grows
+// or deletes — HashRangeIndex knows its entry counts up front. A lookup is
+// one multiply, one shift and a forward scan that stays within one or two
+// cache lines, replacing the node chase of std::unordered_map.
+#ifndef KGOA_INDEX_FLAT_TABLE_H_
+#define KGOA_INDEX_FLAT_TABLE_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace kgoa {
+
+// Key is an unsigned integer type; `empty_key` must never be inserted.
+template <typename Key, typename Value>
+class FlatTable {
+ public:
+  explicit FlatTable(Key empty_key) : empty_key_(empty_key) {
+    slots_.assign(2, Slot{empty_key_, Value{}});  // Find is safe pre-Reset
+  }
+
+  FlatTable(const FlatTable&) = delete;
+  FlatTable& operator=(const FlatTable&) = delete;
+  FlatTable(FlatTable&&) = default;
+  FlatTable& operator=(FlatTable&&) = default;
+
+  // Clears the table and sizes it for exactly `expected` InsertUnique
+  // calls: capacity is the smallest power of two >= 2 * expected.
+  void Reset(std::size_t expected) {
+    std::size_t capacity = 2;
+    while (capacity < expected * 2) capacity <<= 1;
+    shift_ = 64 - std::countr_zero(capacity);
+    size_ = 0;
+    slots_.assign(capacity, Slot{empty_key_, Value{}});
+  }
+
+  // Inserts `key` (which must not be present) and returns its value slot.
+  Value& InsertUnique(Key key) {
+    KGOA_DCHECK(key != empty_key_);
+    KGOA_DCHECK(size_ * 2 < slots_.size());
+    ++size_;
+    for (std::size_t i = Bucket(key);; i = (i + 1) & (slots_.size() - 1)) {
+      Slot& slot = slots_[i];
+      if (slot.key == empty_key_) {
+        slot.key = key;
+        return slot.value;
+      }
+      KGOA_DCHECK(slot.key != key);
+    }
+  }
+
+  // Returns the value for `key`, or nullptr if absent.
+  const Value* Find(Key key) const {
+    for (std::size_t i = Bucket(key);; i = (i + 1) & (slots_.size() - 1)) {
+      const Slot& slot = slots_[i];
+      if (slot.key == key) return &slot.value;
+      if (slot.key == empty_key_) return nullptr;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+
+  uint64_t MemoryBytes() const {
+    return static_cast<uint64_t>(slots_.size()) * sizeof(Slot);
+  }
+
+ private:
+  struct Slot {
+    Key key;
+    Value value;
+  };
+
+  std::size_t Bucket(Key key) const {
+    return static_cast<std::size_t>(
+        (static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+  Key empty_key_;
+  int shift_ = 63;
+  std::size_t size_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_INDEX_FLAT_TABLE_H_

@@ -3,39 +3,43 @@
 namespace kgoa {
 
 HashRangeIndex::HashRangeIndex(const TrieIndex& index) {
+  const uint32_t n = index.size();
+  // Pass 1: exact key counts, so each flat table is one right-sized
+  // allocation. Boundaries fall where the level-0 (or level-0/1) prefix
+  // changes in the sorted array.
+  uint64_t depth1_keys = 0;
+  uint64_t depth2_keys = 0;
+  for (uint32_t pos = 0; pos < n; ++pos) {
+    const bool new0 = pos == 0 || index.KeyAt(pos, 0) != index.KeyAt(pos - 1, 0);
+    depth1_keys += new0;
+    depth2_keys += new0 || index.KeyAt(pos, 1) != index.KeyAt(pos - 1, 1);
+  }
+  // The depth-1 table is small (<= one entry per term), so size it for a
+  // 0.25 load factor: the walk hot path probes it on every step and the
+  // extra headroom keeps probe chains at ~1 slot. Depth 2 dominates table
+  // memory and stays at load 0.5.
+  depth1_.Reset(depth1_keys * 2);
+  depth2_.Reset(depth2_keys);
+
+  // Pass 2: emit one range per prefix block.
   const Range root = index.Root();
   uint32_t pos = root.begin;
   while (pos < root.end) {
     const TermId v0 = index.KeyAt(pos, 0);
-    const uint32_t end0 = index.BlockEnd(root, 0, pos);
+    const uint32_t end0 = index.BlockEnd(root, 0, pos);  // O(1): CSR offsets
     const Range node0{pos, end0};
     uint32_t child_count = 0;
     uint32_t p1 = pos;
     while (p1 < end0) {
       const TermId v1 = index.KeyAt(p1, 1);
       const uint32_t end1 = index.BlockEnd(node0, 1, p1);
-      depth2_.emplace(PackPair(v0, v1), Range{p1, end1});
+      depth2_.InsertUnique(PackPair(v0, v1)) = Range{p1, end1};
       ++child_count;
       p1 = end1;
     }
-    depth1_.emplace(v0, Entry{node0, child_count});
+    depth1_.InsertUnique(v0) = Entry{node0, child_count};
     pos = end0;
   }
-}
-
-Range HashRangeIndex::Depth1(TermId v0) const {
-  auto it = depth1_.find(v0);
-  return it == depth1_.end() ? Range{} : it->second.range;
-}
-
-Range HashRangeIndex::Depth2(TermId v0, TermId v1) const {
-  auto it = depth2_.find(PackPair(v0, v1));
-  return it == depth2_.end() ? Range{} : it->second;
-}
-
-uint64_t HashRangeIndex::Ndv2(TermId v0) const {
-  auto it = depth1_.find(v0);
-  return it == depth1_.end() ? 0 : it->second.child_count;
 }
 
 }  // namespace kgoa

@@ -1,27 +1,99 @@
 #include "src/index/index_set.h"
 
 #include <bit>
+#include <thread>
 #include <unordered_set>
 
+#include "src/index/radix.h"
 #include "src/util/check.h"
+#include "src/util/stopwatch.h"
 
 namespace kgoa {
 
+// The four orders derive from the graph's (s,p,o)-sorted triples without a
+// single comparison sort. A stable counting-sort pass on one component
+// reorders blocks of that component while preserving the source order
+// inside each block, so sorting source order (x,y,z) on component c yields
+// (c, then x,y,z minus c) — each maintained order is one pass away from
+// another:
+//
+//   SPO = the base itself (Graph sorts and dedups on (s,p,o))
+//   PSO = base sorted by p   (within p: (s,o) from the base)
+//   OPS = PSO  sorted by o   (within o: (p,s) from PSO)
+//   POS = OPS  sorted by p   (within p: (o,s) from OPS)
+//
+// The chain runs on the constructing thread; the SPO copy and every hash
+// range index build run concurrently as their sorted array lands. No
+// temporary triple buffers: each pass scatters straight into the
+// destination order's final array, so peak memory stays at the base plus
+// the four resident copies.
 IndexSet::IndexSet(const Graph& graph) : num_triples_(graph.NumTriples()) {
-  for (IndexOrder order : kAllIndexOrders) {
-    indexes_.push_back(std::make_unique<TrieIndex>(order, graph.triples()));
-    hashes_.push_back(std::make_unique<HashRangeIndex>(*indexes_.back()));
+  const uint32_t num_terms = static_cast<uint32_t>(graph.dict().size());
+  const std::vector<Triple>& base = graph.triples();
+  const uint32_t n = static_cast<uint32_t>(base.size());
+  indexes_.resize(kNumIndexOrders);
+  hashes_.resize(kNumIndexOrders);
+  Stopwatch total;
+
+  // Each task writes a distinct slot of indexes_/hashes_/stats_, so the
+  // only synchronization needed is the joins at the end.
+  auto build_hash = [this](IndexOrder order) {
+    const int o = static_cast<int>(order);
+    Stopwatch clock;
+    hashes_[o] = std::make_unique<HashRangeIndex>(*indexes_[o]);
+    stats_.hash_ms[o] = clock.ElapsedMillis();
+  };
+  auto adopt = [&](IndexOrder order, std::vector<Triple> sorted,
+                   const Stopwatch& clock) {
+    const int o = static_cast<int>(order);
+    indexes_[o] = std::make_unique<TrieIndex>(order, std::move(sorted),
+                                              num_terms);
+    stats_.sort_ms[o] = clock.ElapsedMillis();
+  };
+  // One stable counting pass: `source` sorted by the level-0 component of
+  // `order` lands directly in that order's final array.
+  std::vector<uint32_t> scratch;
+  auto derive = [&](IndexOrder order, const TrieIndex& source) {
+    Stopwatch clock;
+    std::vector<Triple> sorted(n);
+    radix::CountingSortByComponent(source.data(), n, sorted.data(),
+                                   OrderComponent(order, 0), num_terms,
+                                   scratch);
+    adopt(order, std::move(sorted), clock);
+  };
+
+  std::vector<std::thread> workers;
+  workers.emplace_back([&] {
+    Stopwatch clock;
+    adopt(IndexOrder::kSpo, base, clock);
+    build_hash(IndexOrder::kSpo);
+  });
+
+  {
+    Stopwatch clock;
+    std::vector<Triple> pso(n);
+    radix::CountingSortByComponent(base.data(), n, pso.data(),
+                                   OrderComponent(IndexOrder::kPso, 0),
+                                   num_terms, scratch);
+    adopt(IndexOrder::kPso, std::move(pso), clock);
   }
+  workers.emplace_back([&] { build_hash(IndexOrder::kPso); });
+
+  derive(IndexOrder::kOps, Index(IndexOrder::kPso));
+  workers.emplace_back([&] { build_hash(IndexOrder::kOps); });
+
+  derive(IndexOrder::kPos, Index(IndexOrder::kOps));
+  build_hash(IndexOrder::kPos);
+
+  for (std::thread& worker : workers) worker.join();
+  stats_.total_ms = total.ElapsedMillis();
 }
 
 uint64_t IndexSet::ApproxMemoryBytes() const {
   uint64_t bytes = 0;
   for (IndexOrder order : kAllIndexOrders) {
-    bytes += static_cast<uint64_t>(Index(order).size()) * sizeof(Triple);
-    // unordered_map overhead: key + value + bucket/bookkeeping, roughly
-    // 48 bytes per entry on libstdc++.
-    bytes += Hash(order).Depth1Entries() * 48;
-    bytes += Hash(order).Depth2Entries() * 48;
+    bytes += Index(order).MemoryBytes();
+    bytes += Hash(order).MemoryBytes();
   }
   return bytes;
 }

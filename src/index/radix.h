@@ -1,0 +1,53 @@
+// Stable counting-sort passes over triple arrays, keyed on a single
+// component. TermIds are dictionary-dense (every id < dictionary size), so
+// one O(n + num_terms) scatter replaces an O(n log n) comparison sort per
+// key column. IndexSet chains these passes to derive each maintained order
+// from an already-sorted one (see index_set.cc); TrieIndex uses the full
+// 3-pass LSD form when handed triples in arbitrary order.
+#ifndef KGOA_INDEX_RADIX_H_
+#define KGOA_INDEX_RADIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/order.h"
+#include "src/rdf/types.h"
+
+namespace kgoa::radix {
+
+// Stable-scatters src[0..n) into dst[0..n) ordered by component
+// `component`. Every src[i][component] must be < num_terms. `counts` is
+// scratch, reused across passes; after the call counts[v] is the end
+// offset of value v's block in dst (counts[v-1], or 0, is its start).
+inline void CountingSortByComponent(const Triple* src, uint32_t n,
+                                    Triple* dst, int component,
+                                    uint32_t num_terms,
+                                    std::vector<uint32_t>& counts) {
+  counts.assign(static_cast<std::size_t>(num_terms) + 1, 0);
+  for (uint32_t i = 0; i < n; ++i) ++counts[src[i][component] + 1];
+  for (uint32_t v = 1; v <= num_terms; ++v) counts[v] += counts[v - 1];
+  for (uint32_t i = 0; i < n; ++i) {
+    dst[counts[src[i][component]]++] = src[i];
+  }
+}
+
+// Sorts `triples` under `order` with a 3-pass LSD radix sort (level 2,
+// then 1, then 0; each pass is stable, so earlier levels dominate).
+// O(3(n + num_terms)) time, one n-sized temporary.
+inline void LsdRadixSort(IndexOrder order, std::vector<Triple>& triples,
+                         uint32_t num_terms) {
+  const uint32_t n = static_cast<uint32_t>(triples.size());
+  std::vector<Triple> tmp(triples.size());
+  std::vector<uint32_t> counts;
+  CountingSortByComponent(triples.data(), n, tmp.data(),
+                          OrderComponent(order, 2), num_terms, counts);
+  CountingSortByComponent(tmp.data(), n, triples.data(),
+                          OrderComponent(order, 1), num_terms, counts);
+  CountingSortByComponent(triples.data(), n, tmp.data(),
+                          OrderComponent(order, 0), num_terms, counts);
+  triples.swap(tmp);
+}
+
+}  // namespace kgoa::radix
+
+#endif  // KGOA_INDEX_RADIX_H_

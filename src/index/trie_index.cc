@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/index/radix.h"
 #include "src/util/check.h"
 
 namespace kgoa {
@@ -20,15 +21,51 @@ struct LevelLess {
   }
 };
 
+uint32_t MaxTermBound(const std::vector<Triple>& triples) {
+  TermId max_id = 0;
+  for (const Triple& t : triples) {
+    max_id = std::max({max_id, t.s, t.p, t.o});
+  }
+  return triples.empty() ? 0 : max_id + 1;
+}
+
 }  // namespace
 
 TrieIndex::TrieIndex(IndexOrder order, const std::vector<Triple>& triples)
-    : order_(order), triples_(triples) {
-  std::sort(triples_.begin(), triples_.end(), OrderLess{order_});
+    : order_(order), triples_(triples), num_terms_(MaxTermBound(triples)) {
+  radix::LsdRadixSort(order_, triples_, num_terms_);
+  BuildLevel0Offsets();
+}
+
+TrieIndex::TrieIndex(IndexOrder order, std::vector<Triple> sorted,
+                     uint32_t num_terms)
+    : order_(order), triples_(std::move(sorted)), num_terms_(num_terms) {
+  KGOA_DCHECK(std::is_sorted(triples_.begin(), triples_.end(),
+                             OrderLess{order_}));
+  BuildLevel0Offsets();
+}
+
+void TrieIndex::BuildLevel0Offsets() {
+  const int c0 = OrderComponent(order_, 0);
+  offsets_.assign(static_cast<std::size_t>(num_terms_) + 1, 0);
+  for (const Triple& t : triples_) {
+    KGOA_DCHECK(t[c0] < num_terms_);
+    ++offsets_[t[c0] + 1];
+  }
+  ndv1_ = 0;
+  for (uint32_t v = 0; v < num_terms_; ++v) {
+    ndv1_ += offsets_[v + 1] != 0;
+    offsets_[v + 1] += offsets_[v];
+  }
 }
 
 Range TrieIndex::Narrow(Range range, int level, TermId value) const {
   KGOA_DCHECK(level >= 0 && level < 3);
+  if (level == 0) {
+    // The only depth-0 trie node is the root, covered by the CSR offsets.
+    KGOA_DCHECK(range == Root());
+    return Level0Range(value);
+  }
   const auto first = triples_.begin() + range.begin;
   const auto last = triples_.begin() + range.end;
   const auto [lo, hi] =
@@ -40,31 +77,52 @@ Range TrieIndex::Narrow(Range range, int level, TermId value) const {
 uint32_t TrieIndex::SeekGE(Range range, int level, TermId value,
                            uint32_t from) const {
   KGOA_DCHECK(from >= range.begin);
-  const auto first = triples_.begin() + from;
-  const auto last = triples_.begin() + range.end;
+  if (from >= range.end) return range.end;
+  const int c = OrderComponent(order_, level);
+  if (triples_[from][c] >= value) return from;
+  // Gallop forward: leapfrog hops are usually short relative to the
+  // enclosing range, so doubling steps from `from` beat a full binary
+  // search over [from, range.end). Invariant: key(lo) < value.
+  uint64_t lo = from;
+  uint64_t step = 1;
+  while (lo + step < range.end && triples_[lo + step][c] < value) {
+    lo += step;
+    step <<= 1;
+  }
+  const uint64_t hi = std::min<uint64_t>(range.end, lo + step);
+  const auto first = triples_.begin() + static_cast<uint32_t>(lo) + 1;
+  const auto last = triples_.begin() + static_cast<uint32_t>(hi);
   const auto it = std::lower_bound(first, last, value, LevelLess{order_, level});
   return static_cast<uint32_t>(it - triples_.begin());
 }
 
 uint32_t TrieIndex::BlockEnd(Range range, int level, uint32_t pos) const {
   KGOA_DCHECK(pos >= range.begin && pos < range.end);
+  if (level == 0) {
+    KGOA_DCHECK(range == Root());
+    return offsets_[KeyAt(pos, 0) + 1];
+  }
   const TermId value = KeyAt(pos, level);
   // Exponential (galloping) search: blocks are usually short relative to
   // the enclosing range, so this beats a full binary search in practice.
-  uint32_t step = 1;
-  uint32_t lo = pos;
+  uint64_t step = 1;
+  uint64_t lo = pos;
   while (lo + step < range.end && KeyAt(lo + step, level) == value) {
     lo += step;
     step <<= 1;
   }
-  const uint32_t hi = std::min<uint64_t>(range.end, static_cast<uint64_t>(lo) + step);
-  const auto first = triples_.begin() + lo;
+  const uint32_t hi = std::min<uint64_t>(range.end, lo + step);
+  const auto first = triples_.begin() + static_cast<uint32_t>(lo);
   const auto last = triples_.begin() + hi;
   const auto it = std::upper_bound(first, last, value, LevelLess{order_, level});
   return static_cast<uint32_t>(it - triples_.begin());
 }
 
 uint64_t TrieIndex::CountDistinct(Range range, int level) const {
+  if (level == 0) {
+    KGOA_DCHECK(range == Root());
+    return ndv1_;
+  }
   uint64_t count = 0;
   uint32_t pos = range.begin;
   while (pos < range.end) {

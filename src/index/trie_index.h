@@ -1,7 +1,11 @@
 // Sorted-array trie index over the triples of a graph, for one component
 // order. This is the paper's index representation for CTJ and Audit Join
 // (section V-A): a flat std::vector sorted lexicographically, where each
-// trie "node" is a contiguous range and each search is O(log n).
+// trie "node" is a contiguous range. On top of the sorted array the index
+// keeps a CSR-style level-0 offset array (one slot per dictionary term),
+// so level-0 Narrow/BlockEnd and the distinct level-0 count are O(1);
+// deeper levels use galloping seeks that cost O(log d) for a hop of
+// distance d instead of O(log |range|).
 #ifndef KGOA_INDEX_TRIE_INDEX_H_
 #define KGOA_INDEX_TRIE_INDEX_H_
 
@@ -26,9 +30,15 @@ struct Range {
 
 class TrieIndex {
  public:
-  // Copies and sorts `triples` under `order`. Input must be duplicate-free
-  // (Graph guarantees this).
+  // Copies and radix-sorts `triples` under `order`. Input may be in any
+  // order but must be duplicate-free (Graph guarantees this).
   TrieIndex(IndexOrder order, const std::vector<Triple>& triples);
+
+  // Adopts `sorted`, which must already be sorted under `order`, and
+  // builds the level-0 offsets. `num_terms` must exceed every TermId in
+  // `sorted` (the dictionary size). O(n + num_terms); used by IndexSet's
+  // chained radix build, which derives each order with one counting pass.
+  TrieIndex(IndexOrder order, std::vector<Triple> sorted, uint32_t num_terms);
 
   TrieIndex(const TrieIndex&) = delete;
   TrieIndex& operator=(const TrieIndex&) = delete;
@@ -39,31 +49,62 @@ class TrieIndex {
   Range Root() const { return Range{0, size()}; }
 
   const Triple& TripleAt(uint32_t pos) const { return triples_[pos]; }
+  const Triple* data() const { return triples_.data(); }
 
   // Value stored at trie `level` for the triple at `pos`.
   TermId KeyAt(uint32_t pos, int level) const {
     return triples_[pos][OrderComponent(order_, level)];
   }
 
+  // Range of triples whose level-0 value is `value` (empty if absent).
+  // O(1) via the CSR offsets.
+  Range Level0Range(TermId value) const {
+    if (value >= num_terms_) return Range{};
+    return Range{offsets_[value], offsets_[value + 1]};
+  }
+
+  // Number of distinct level-0 values. O(1).
+  uint64_t Ndv1() const { return ndv1_; }
+
+  // Upper bound (exclusive) on the TermIds appearing in the triples.
+  uint32_t num_terms() const { return num_terms_; }
+
   // Sub-range of `range` whose `level` value equals `value`. `range` must
   // be a trie node at depth `level` (root or the result of narrowing levels
-  // 0..level-1). O(log |range|).
+  // 0..level-1). O(1) at level 0, O(log |range|) deeper.
   Range Narrow(Range range, int level, TermId value) const;
 
   // First position in [from, range.end) whose `level` value is >= `value`.
-  // Positions before `from` are assumed already consumed (leapfrog seek).
+  // Positions before `from` are assumed already consumed (leapfrog seek);
+  // the search gallops from `from`, so a hop of distance d costs O(log d).
   uint32_t SeekGE(Range range, int level, TermId value, uint32_t from) const;
 
-  // End of the block of equal `level` values starting at `pos`.
+  // End of the block of equal `level` values starting at `pos`. O(1) at
+  // level 0 via the CSR offsets.
   uint32_t BlockEnd(Range range, int level, uint32_t pos) const;
 
   // Number of distinct `level` values in `range` (a depth-`level` node).
-  // O(d log n) for d distinct values.
+  // O(1) at level 0 (the root node); O(d log n) for d distinct values
+  // deeper.
   uint64_t CountDistinct(Range range, int level) const;
 
+  // Resident bytes: the sorted triples plus the CSR offset array.
+  uint64_t MemoryBytes() const {
+    return static_cast<uint64_t>(triples_.size()) * sizeof(Triple) +
+           static_cast<uint64_t>(offsets_.size()) * sizeof(uint32_t);
+  }
+
  private:
+  // Builds offsets_ / ndv1_ from the sorted triples_ in one pass.
+  void BuildLevel0Offsets();
+
   IndexOrder order_;
   std::vector<Triple> triples_;
+  // offsets_[v] .. offsets_[v + 1]: the level-0 block of term v
+  // (CSR layout over the dictionary-dense TermId space).
+  std::vector<uint32_t> offsets_;
+  uint32_t num_terms_ = 0;
+  uint64_t ndv1_ = 0;
 };
 
 }  // namespace kgoa

@@ -2,6 +2,7 @@
 // the IndexSet facade, validated against brute-force scans.
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 #include <gtest/gtest.h>
@@ -249,6 +250,181 @@ TEST_F(IndexTest, CountDistinctVarAgainstBruteForce) {
       if (c.pattern.MatchesConstants(t)) values.insert(t[c.component]);
     }
     EXPECT_EQ(indexes_.CountDistinctVar(c.pattern, c.var), values.size());
+  }
+}
+
+TEST_F(IndexTest, SeekGEGallopingEdgeCases) {
+  const TrieIndex& spo = indexes_.Index(IndexOrder::kSpo);
+  const Range root = spo.Root();
+  ASSERT_FALSE(root.empty());
+  const TermId first = spo.KeyAt(root.begin, 0);
+  const TermId last = spo.KeyAt(root.end - 1, 0);
+
+  // `from` already at the end: nothing left to seek.
+  EXPECT_EQ(spo.SeekGE(root, 0, first, root.end), root.end);
+  // Value past everything in the range.
+  EXPECT_EQ(spo.SeekGE(root, 0, last + 1, root.begin), root.end);
+  // `from` already at (or past) the target value: position is unchanged.
+  EXPECT_EQ(spo.SeekGE(root, 0, first, root.begin), root.begin);
+  const uint32_t at_last = spo.Narrow(root, 0, last).begin;
+  EXPECT_EQ(spo.SeekGE(root, 0, last, at_last), at_last);
+  // Seek to the exact last value from the front.
+  EXPECT_EQ(spo.SeekGE(root, 0, last, root.begin), at_last);
+
+  // Leapfrog sweep: seeking every distinct value in ascending order from
+  // the previous hit never moves backwards and lands exactly where a
+  // from-scratch Narrow would.
+  uint32_t from = root.begin;
+  uint32_t pos = root.begin;
+  while (pos < root.end) {
+    const TermId v = spo.KeyAt(pos, 0);
+    const uint32_t hit = spo.SeekGE(root, 0, v, from);
+    EXPECT_GE(hit, from);
+    EXPECT_EQ(hit, spo.Narrow(root, 0, v).begin);
+    from = hit;
+    pos = spo.BlockEnd(root, 0, pos);
+  }
+  // A repeated seek to the last value from its own hit stays put.
+  EXPECT_EQ(spo.SeekGE(root, 0, last, from), from);
+}
+
+TEST_F(IndexTest, SeekGEDeepLevels) {
+  // Same invariants one level down, where SeekGE gallops instead of using
+  // the CSR offsets.
+  const TrieIndex& pso = indexes_.Index(IndexOrder::kPso);
+  const Range root = pso.Root();
+  uint32_t pos0 = root.begin;
+  while (pos0 < root.end) {
+    const Range node = Range{pos0, pso.BlockEnd(root, 0, pos0)};
+    uint32_t from = node.begin;
+    uint32_t pos = node.begin;
+    while (pos < node.end) {
+      const TermId v = pso.KeyAt(pos, 1);
+      const uint32_t hit = pso.SeekGE(node, 1, v, from);
+      EXPECT_GE(hit, from);
+      EXPECT_EQ(hit, pso.Narrow(node, 1, v).begin);
+      from = pso.BlockEnd(node, 1, hit);  // consume the block, keep moving
+      pos = from;
+    }
+    EXPECT_EQ(pso.SeekGE(node, 1, pso.KeyAt(node.end - 1, 1) + 1, node.begin),
+              node.end);
+    pos0 = node.end;
+  }
+}
+
+TEST_F(IndexTest, Level0RangeMatchesNarrowForAllTerms) {
+  for (IndexOrder order : kAllIndexOrders) {
+    const TrieIndex& index = indexes_.Index(order);
+    for (TermId v = 0; v < index.num_terms(); ++v) {
+      EXPECT_EQ(index.Level0Range(v), index.Narrow(index.Root(), 0, v))
+          << OrderName(order) << " term " << v;
+    }
+    // Out-of-dictionary values are empty, not out-of-bounds.
+    EXPECT_TRUE(index.Level0Range(index.num_terms()).empty());
+    EXPECT_TRUE(index.Level0Range(kInvalidTerm - 1).empty());
+  }
+}
+
+TEST(TrieIndexRadix, SortingCtorMatchesStdSort) {
+  // The copying constructor radix-sorts arbitrary input; std::sort with
+  // OrderLess is the reference. Duplicate-free input => unique sorted
+  // array, so the two must be bit-identical.
+  Rng rng(7);
+  for (int round = 0; round < 5; ++round) {
+    Graph g = testing::RandomGraph(rng);
+    std::vector<Triple> shuffled = g.triples();
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.Below(i)]);
+    }
+    for (IndexOrder order : kAllIndexOrders) {
+      TrieIndex index(order, shuffled);
+      std::vector<Triple> expected = shuffled;
+      std::sort(expected.begin(), expected.end(), OrderLess{order});
+      ASSERT_EQ(index.size(), expected.size());
+      for (uint32_t i = 0; i < index.size(); ++i) {
+        ASSERT_EQ(index.TripleAt(i), expected[i])
+            << OrderName(order) << " pos " << i;
+      }
+    }
+  }
+}
+
+TEST_F(IndexTest, BuildStatsAndMemoryAreSane) {
+  const IndexBuildStats& stats = indexes_.build_stats();
+  EXPECT_GT(stats.total_ms, 0.0);
+  for (int o = 0; o < kNumIndexOrders; ++o) {
+    EXPECT_GE(stats.sort_ms[o], 0.0);
+    EXPECT_GE(stats.hash_ms[o], 0.0);
+  }
+  // Memory at least covers the four resident triple arrays.
+  EXPECT_GE(indexes_.ApproxMemoryBytes(),
+            4 * graph_.NumTriples() * sizeof(Triple));
+}
+
+// Differential test: the flat-table hash ranges must answer exactly like
+// the pre-rewrite representation — one std::unordered_map per depth,
+// populated by the same nested block walk the old constructor used.
+TEST(IndexRandom, FlatTablesMatchReferenceMaps) {
+  Rng rng(4242);
+  for (int round = 0; round < 10; ++round) {
+    Graph g = testing::RandomGraph(rng);
+    IndexSet indexes(g);
+    for (IndexOrder order : kAllIndexOrders) {
+      const TrieIndex& index = indexes.Index(order);
+      const HashRangeIndex& hash = indexes.Hash(order);
+
+      struct RefEntry {
+        Range range;
+        uint32_t child_count = 0;
+      };
+      std::unordered_map<TermId, RefEntry> ref1;
+      std::unordered_map<uint64_t, Range> ref2;
+      const Range root = index.Root();
+      uint32_t pos = root.begin;
+      while (pos < root.end) {
+        const TermId v0 = index.KeyAt(pos, 0);
+        const uint32_t end0 = index.BlockEnd(root, 0, pos);
+        RefEntry entry{Range{pos, end0}, 0};
+        uint32_t p1 = pos;
+        while (p1 < end0) {
+          const TermId v1 = index.KeyAt(p1, 1);
+          const uint32_t end1 = index.BlockEnd(Range{pos, end0}, 1, p1);
+          ref2[(static_cast<uint64_t>(v0) << 32) | v1] = Range{p1, end1};
+          ++entry.child_count;
+          p1 = end1;
+        }
+        ref1[v0] = entry;
+        pos = end0;
+      }
+
+      ASSERT_EQ(hash.Depth1Entries(), ref1.size()) << OrderName(order);
+      ASSERT_EQ(hash.Depth2Entries(), ref2.size()) << OrderName(order);
+      ASSERT_EQ(hash.Ndv1(), ref1.size()) << OrderName(order);
+      // Present keys agree; a few shifted keys miss on both sides.
+      for (const auto& [v0, entry] : ref1) {
+        ASSERT_EQ(hash.Depth1(v0), entry.range) << OrderName(order);
+        ASSERT_EQ(hash.Ndv2(v0), entry.child_count) << OrderName(order);
+      }
+      for (const auto& [key, range] : ref2) {
+        ASSERT_EQ(hash.Depth2(static_cast<TermId>(key >> 32),
+                              static_cast<TermId>(key)),
+                  range)
+            << OrderName(order);
+      }
+      for (int probe = 0; probe < 64; ++probe) {
+        const TermId v0 = static_cast<TermId>(rng.Below(2 * g.dict().size()));
+        const TermId v1 = static_cast<TermId>(rng.Below(2 * g.dict().size()));
+        const auto it1 = ref1.find(v0);
+        ASSERT_EQ(hash.Depth1(v0),
+                  it1 == ref1.end() ? Range{} : it1->second.range);
+        ASSERT_EQ(hash.Ndv2(v0),
+                  it1 == ref1.end() ? 0u : it1->second.child_count);
+        const uint64_t key = (static_cast<uint64_t>(v0) << 32) | v1;
+        const auto it2 = ref2.find(key);
+        ASSERT_EQ(hash.Depth2(v0, v1),
+                  it2 == ref2.end() ? Range{} : it2->second);
+      }
+    }
   }
 }
 
