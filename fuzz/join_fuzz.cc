@@ -1,0 +1,85 @@
+// Differential fuzz harness for the three exact join engines.
+//
+// Decodes the input bytes into a small random graph plus a valid chain
+// query (patterns formed along a fresh variable chain, so the ChainQuery
+// contract holds by construction), then evaluates it with Leapfrog
+// TrieJoin, the memoized Cached Trie Join, and the bottom-up Yannakakis
+// engine. Any disagreement between the engines aborts via KGOA_CHECK.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/index/index_set.h"
+#include "src/join/ctj.h"
+#include "src/join/leapfrog.h"
+#include "src/join/yannakakis.h"
+#include "src/query/chain_query.h"
+#include "src/rdf/graph.h"
+#include "src/util/contract.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
+  if (size < 8) return 0;
+  std::size_t pos = 0;
+  auto byte = [&]() -> uint32_t {
+    return pos < size ? static_cast<uint32_t>(data[pos++]) : 0u;
+  };
+
+  const uint32_t num_entities = 2 + byte() % 14;
+  const uint32_t num_preds = 1 + byte() % 4;
+  const uint32_t num_triples = 1 + byte() % 60;
+
+  kgoa::GraphBuilder builder;
+  std::vector<kgoa::TermId> entities;
+  std::vector<kgoa::TermId> preds;
+  for (uint32_t i = 0; i < num_entities; ++i) {
+    entities.push_back(builder.Intern("<e" + std::to_string(i) + ">"));
+  }
+  for (uint32_t i = 0; i < num_preds; ++i) {
+    preds.push_back(builder.Intern("<p" + std::to_string(i) + ">"));
+  }
+  for (uint32_t i = 0; i < num_triples; ++i) {
+    const kgoa::TermId s = entities[byte() % num_entities];
+    const kgoa::TermId p = preds[byte() % num_preds];
+    const kgoa::TermId o = entities[byte() % num_entities];
+    builder.Add(s, p, o);
+  }
+  const kgoa::Graph graph = std::move(builder).Build();
+  const kgoa::IndexSet indexes(graph);
+
+  // A chain over fresh variables v0..vn; each pattern joins v_i to
+  // v_{i+1} through a constant predicate, in either direction.
+  const uint32_t num_patterns = 1 + byte() % 3;
+  std::vector<kgoa::TriplePattern> patterns;
+  for (uint32_t i = 0; i < num_patterns; ++i) {
+    const kgoa::Slot in = kgoa::Slot::MakeVar(i);
+    const kgoa::Slot out = kgoa::Slot::MakeVar(i + 1);
+    const kgoa::Slot pred =
+        kgoa::Slot::MakeConst(preds[byte() % num_preds]);
+    patterns.push_back(byte() & 1 ? kgoa::MakePattern(out, pred, in)
+                                  : kgoa::MakePattern(in, pred, out));
+  }
+  // alpha and beta are the two variables of one pattern, so they always
+  // co-occur as the chain-query contract requires.
+  const uint32_t anchor = byte() % num_patterns;
+  const bool swap = (byte() & 1) != 0;
+  const kgoa::VarId alpha = swap ? anchor + 1 : anchor;
+  const kgoa::VarId beta = swap ? anchor : anchor + 1;
+  const bool distinct = (byte() & 1) != 0;
+
+  std::string error;
+  const auto query = kgoa::ChainQuery::Create(std::move(patterns), alpha,
+                                              beta, distinct, &error);
+  KGOA_CHECK_MSG(query.has_value(), "harness built an invalid chain query");
+
+  const kgoa::GroupedResult lftj = kgoa::EvaluateWithLftj(indexes, *query);
+  const kgoa::GroupedResult ctj =
+      kgoa::CtjEngine(indexes).Evaluate(*query);
+  const kgoa::GroupedResult yan =
+      kgoa::EvaluateWithYannakakis(indexes, *query);
+  KGOA_CHECK_MSG(lftj == ctj, "LFTJ and CTJ disagree on a chain query");
+  KGOA_CHECK_MSG(lftj == yan,
+                 "LFTJ and Yannakakis disagree on a chain query");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fuzz harness for the N-Triples reader/writer and the index build.
+//
+// Feeds arbitrary bytes to ParseNTriplesString. Rejected inputs must carry
+// a diagnostic; accepted inputs must survive the whole downstream
+// pipeline: Graph build (sort + dedup), IndexSet construction, full
+// structural validation of every trie order, and a serialize/reparse
+// round trip that reaches a fixed point after one write.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+
+#include "src/index/index_set.h"
+#include "src/rdf/graph.h"
+#include "src/rdf/ntriples.h"
+#include "src/util/contract.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
+  if (size > (1u << 16)) return 0;  // keep index builds cheap
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  kgoa::GraphBuilder builder;
+  const kgoa::NtParseResult parsed =
+      kgoa::ParseNTriplesString(text, builder);
+  if (!parsed.ok) {
+    KGOA_CHECK_MSG(!parsed.error.empty(),
+                   "rejected input must carry a diagnostic");
+    KGOA_CHECK_GE(parsed.error_line, std::size_t{1});
+    return 0;
+  }
+  KGOA_CHECK_EQ(parsed.lines_parsed, builder.NumPending());
+
+  kgoa::Graph graph = std::move(builder).Build();
+  KGOA_CHECK_LE(graph.NumTriples(), parsed.lines_parsed);
+  if (graph.NumTriples() == 0) return 0;
+
+  const kgoa::IndexSet indexes(graph);
+  for (const kgoa::IndexOrder order : kgoa::kAllIndexOrders) {
+    indexes.Index(order).CheckInvariants();
+  }
+
+  // Writer/reader fixed point: one serialization pass must round-trip
+  // exactly (same triples, byte-identical re-serialization).
+  std::ostringstream first;
+  kgoa::WriteNTriples(graph, first);
+  kgoa::GraphBuilder reread;
+  const kgoa::NtParseResult reparsed =
+      kgoa::ParseNTriplesString(first.str(), reread);
+  KGOA_CHECK_MSG(reparsed.ok, "writer output must reparse");
+  const kgoa::Graph graph2 = std::move(reread).Build();
+  KGOA_CHECK_EQ(graph2.NumTriples(), graph.NumTriples());
+  std::ostringstream second;
+  kgoa::WriteNTriples(graph2, second);
+  KGOA_CHECK_MSG(first.str() == second.str(),
+                 "serialization is not a fixed point");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Driver for the fuzz harnesses when the compiler has no libFuzzer
+// runtime (gcc). Mimics the libFuzzer command line the scripts use:
+//
+//   <harness> [corpus file or dir]... [-runs=N] [-max_total_time=SECONDS]
+//             [-seed=N]
+//
+// Every corpus input runs once, then a seeded mutation loop (kgoa::Rng,
+// fixed default seed — identical byte streams on every run) keeps
+// exercising the target until the run or time budget is exhausted. Exits
+// non-zero only if the target aborts, exactly like libFuzzer.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size);
+
+namespace {
+
+constexpr std::size_t kMaxInputBytes = 1u << 16;
+
+std::vector<uint8_t> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void CollectCorpus(const std::filesystem::path& path,
+                   std::vector<std::vector<uint8_t>>* corpus) {
+  if (std::filesystem::is_directory(path)) {
+    std::vector<std::filesystem::path> entries;
+    for (const auto& entry : std::filesystem::directory_iterator(path)) {
+      if (entry.is_regular_file()) entries.push_back(entry.path());
+    }
+    std::sort(entries.begin(), entries.end());  // determinism
+    for (const auto& entry : entries) corpus->push_back(ReadFile(entry));
+  } else if (std::filesystem::is_regular_file(path)) {
+    corpus->push_back(ReadFile(path));
+  } else {
+    std::fprintf(stderr, "standalone fuzzer: no such corpus path: %s\n",
+                 path.string().c_str());
+    std::exit(2);
+  }
+}
+
+std::vector<uint8_t> Mutate(std::vector<uint8_t> input, kgoa::Rng& rng) {
+  const uint64_t rounds = 1 + rng.Below(4);
+  for (uint64_t r = 0; r < rounds; ++r) {
+    switch (rng.Below(5)) {
+      case 0:  // flip bits in one byte
+        if (!input.empty()) {
+          input[rng.Below(input.size())] ^=
+              static_cast<uint8_t>(1u << rng.Below(8));
+        }
+        break;
+      case 1:  // overwrite a byte
+        if (!input.empty()) {
+          input[rng.Below(input.size())] =
+              static_cast<uint8_t>(rng.Below(256));
+        }
+        break;
+      case 2:  // insert a byte
+        if (input.size() < kMaxInputBytes) {
+          input.insert(input.begin() +
+                           static_cast<std::ptrdiff_t>(
+                               rng.Below(input.size() + 1)),
+                       static_cast<uint8_t>(rng.Below(256)));
+        }
+        break;
+      case 3:  // erase a byte
+        if (!input.empty()) {
+          input.erase(input.begin() +
+                      static_cast<std::ptrdiff_t>(rng.Below(input.size())));
+        }
+        break;
+      default:  // truncate
+        if (!input.empty()) input.resize(rng.Below(input.size() + 1));
+        break;
+    }
+  }
+  return input;
+}
+
+bool ParseUint(const char* arg, const char* name, uint64_t* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = std::strtoull(arg + len, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 0;
+  uint64_t max_total_time = 0;
+  uint64_t seed = 1;
+  std::vector<std::vector<uint8_t>> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (arg[0] == '-') {
+      if (!ParseUint(arg, "-runs=", &runs) &&
+          !ParseUint(arg, "-max_total_time=", &max_total_time) &&
+          !ParseUint(arg, "-seed=", &seed)) {
+        std::fprintf(stderr, "standalone fuzzer: ignoring flag %s\n", arg);
+      }
+      continue;
+    }
+    CollectCorpus(arg, &corpus);
+  }
+
+  uint64_t executed = 0;
+  for (const auto& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+  }
+  std::fprintf(stderr, "standalone fuzzer: %llu corpus inputs OK\n",
+               static_cast<unsigned long long>(executed));
+
+  if (runs == 0 && max_total_time == 0) return 0;
+
+  kgoa::Rng rng(seed);
+  if (corpus.empty()) corpus.push_back({});  // mutate from the empty input
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(max_total_time);
+  const std::string artifact =
+      std::filesystem::path(argv[0]).filename().string() + ".crash";
+  uint64_t mutated = 0;
+  while (true) {
+    if (runs != 0 && mutated >= runs) break;
+    if (max_total_time != 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    const std::vector<uint8_t> input =
+        Mutate(corpus[rng.Below(corpus.size())], rng);
+    // Persisted before the call so that if the target aborts, the file
+    // left behind is the crashing input (libFuzzer's artifact behavior);
+    // removed again after a clean pass.
+    std::ofstream(artifact, std::ios::binary)
+        .write(reinterpret_cast<const char*>(input.data()),
+               static_cast<std::streamsize>(input.size()));
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++mutated;
+  }
+  std::filesystem::remove(artifact);
+  std::fprintf(stderr, "standalone fuzzer: %llu mutated inputs OK\n",
+               static_cast<unsigned long long>(mutated));
+  return 0;
+}

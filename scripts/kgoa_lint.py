@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules for the KGOA codebase.
+
+Rules (see DESIGN.md, "Correctness tooling"):
+
+  bare-assert            No assert()/cassert outside src/util/contract.h —
+                         invariants go through the leveled KGOA_CHECK /
+                         KGOA_DCHECK contract macros so they print operands
+                         and a backtrace, and stay active per build level.
+  legacy-check-include   src/util/check.h is gone; nothing may include it.
+  unordered-in-hot-path  No std::unordered_map / std::unordered_set inside
+                         src/index or src/join: node-based hashing is what
+                         FlatTable exists to replace. Deliberate uses
+                         (reference baselines, result containers) carry a
+                         `kgoa-lint: allow(unordered-in-hot-path)` note.
+  raw-rand               No rand()/srand()/std::mt19937/std::random_device
+                         anywhere in src/: all randomness flows through the
+                         seedable kgoa::Rng so runs stay reproducible.
+  discarded-index-seek   A TrieIndex::SeekGE/Narrow/BlockEnd/Level0Range
+                         result must not be discarded: these return the
+                         new position/range, and dropping it means the
+                         caller kept an unbounded cursor.
+  seek-without-bounds-check
+                         A TrieIterator::SeekGE (single-argument seek)
+                         must have an AtEnd()/Key() bounds check within
+                         +/-15 lines: the seek can exhaust the level, and
+                         reading Key() at the end is undefined.
+
+Suppression: append `// kgoa-lint: allow(<rule>[, <rule>...])` on the
+offending line or the line directly above, with a reason. Exits 1 when any
+finding is reported, 0 on a clean tree.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+ALLOW_RE = re.compile(r"kgoa-lint:\s*allow\(([^)]*)\)")
+
+# TrieIndex seeks take (range, level, value[, from]): >= 2 top-level commas.
+INDEX_SEEK_STMT_RE = re.compile(
+    r"^\s*[A-Za-z_][\w.\->()\[\]]*[.\->]+(SeekGE|Narrow|BlockEnd|Level0Range)\s*\("
+)
+ITER_SEEK_RE = re.compile(r"[.\->]SeekGE\s*\(")
+BOUNDS_RE = re.compile(r"AtEnd\s*\(|Key\s*\(")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments and string literals, keeping line
+    structure so reported line numbers stay valid."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def top_level_commas(line: str, start: int) -> int:
+    """Counts commas at paren depth 1 from the '(' at/after `start`;
+    best-effort within one line."""
+    depth = 0
+    commas = 0
+    for ch in line[start:]:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+            if depth <= 0:
+                break
+        elif ch == "," and depth == 1:
+            commas += 1
+    return commas
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[str] = []
+
+    def report(self, path: Path, lineno: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(REPO)
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    def allowed(self, rule: str, raw_lines: list[str], lineno: int) -> bool:
+        for ln in (lineno, lineno - 1):
+            if 1 <= ln <= len(raw_lines):
+                m = ALLOW_RE.search(raw_lines[ln - 1])
+                if m and rule in [r.strip() for r in m.group(1).split(",")]:
+                    return True
+        return False
+
+    def lint_file(self, path: Path) -> None:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        code = strip_comments(raw)
+        code_lines = code.splitlines()
+        rel = path.relative_to(REPO).as_posix()
+        in_src = rel.startswith("src/")
+        in_hot = rel.startswith(("src/index/", "src/join/"))
+        is_contract = rel == "src/util/contract.h"
+        is_index_impl = rel in (
+            "src/index/trie_index.h",
+            "src/index/trie_index.cc",
+            "src/index/trie_iterator.cc",
+        )
+
+        def check(rule: str, lineno: int, msg: str) -> None:
+            if not self.allowed(rule, raw_lines, lineno):
+                self.report(path, lineno, rule, msg)
+
+        for i, line in enumerate(code_lines, start=1):
+            # legacy-check-include: everywhere, including comments is fine
+            # to skip — only a real include can resurrect the header.
+            if re.search(r'#\s*include\s*[<"].*util/check\.h', line):
+                check("legacy-check-include", i,
+                      "src/util/check.h was replaced by src/util/contract.h")
+
+            if in_src and not is_contract:
+                if re.search(r"(?<![\w.])assert\s*\(", line) and \
+                        "static_assert" not in line:
+                    check("bare-assert", i,
+                          "use KGOA_CHECK/KGOA_DCHECK from "
+                          "src/util/contract.h instead of assert()")
+                if re.search(r'#\s*include\s*<(cassert|assert\.h)>', line):
+                    check("bare-assert", i,
+                          "do not include <cassert>; use src/util/contract.h")
+                if re.search(r"(?<![\w.])s?rand\s*\(|std::mt19937|"
+                             r"std::random_device|std::default_random_engine",
+                             line):
+                    check("raw-rand", i,
+                          "use the seedable kgoa::Rng (src/util/rng.h); "
+                          "unseeded/global RNGs break reproducibility")
+
+            if in_hot:
+                if re.search(r"\bunordered_(map|set)\b", line):
+                    check("unordered-in-hot-path", i,
+                          "node-based hash containers are banned in "
+                          "src/index and src/join; use FlatTable or "
+                          "annotate the deliberate exception")
+
+            if in_src and not is_index_impl:
+                m = INDEX_SEEK_STMT_RE.match(line)
+                if m and top_level_commas(line, m.end() - 1) >= 2:
+                    check("discarded-index-seek", i,
+                          f"result of TrieIndex::{m.group(1)} is discarded; "
+                          "the returned position/range is the seek's only "
+                          "output")
+                sm = ITER_SEEK_RE.search(line)
+                if sm and top_level_commas(line, sm.end() - 1) == 0:
+                    lo = max(0, i - 16)
+                    hi = min(len(code_lines), i + 15)
+                    window = "\n".join(code_lines[lo:hi])
+                    if not BOUNDS_RE.search(window):
+                        check("seek-without-bounds-check", i,
+                              "TrieIterator::SeekGE can exhaust the level; "
+                              "check AtEnd()/Key() near the seek")
+
+    def run(self) -> int:
+        roots = ["src", "fuzz", "tests", "bench", "examples"]
+        for root in roots:
+            base = REPO / root
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in (".h", ".cc"):
+                    self.lint_file(path)
+        for finding in self.findings:
+            print(finding)
+        n = len(self.findings)
+        print(f"kgoa_lint: {n} finding{'s' if n != 1 else ''}")
+        return 1 if self.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(Linter().run())

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Static-analysis driver for the KGOA tree. Three stages, each fatal:
+#
+#   1. -Werror build      the whole tree compiles warning-clean, and the
+#                         configure step exports compile_commands.json
+#   2. kgoa_lint.py       repo-specific rules (contract-macro usage, hot
+#                         path containers, RNG discipline, seek hygiene)
+#   3. clang-tidy         curated .clang-tidy check set over every
+#                         translation unit; skipped with a notice when
+#                         clang-tidy is not installed
+#
+# Usage: scripts/lint.sh [build-dir]   (default: build-lint)
+# Exits non-zero on any finding. scripts/tier1.sh invokes this.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-lint}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+status=0
+
+echo "== lint stage 1: -Werror build (${BUILD_DIR}) =="
+if ! cmake -B "${BUILD_DIR}" -S . \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON -DKGOA_WERROR=ON \
+      >"${BUILD_DIR}.configure.log" 2>&1; then
+  cat "${BUILD_DIR}.configure.log"
+  echo "lint.sh: configure failed" >&2
+  exit 1
+fi
+if ! cmake --build "${BUILD_DIR}" -j "${JOBS}"; then
+  echo "lint.sh: -Werror build failed" >&2
+  status=1
+fi
+
+echo "== lint stage 2: kgoa_lint.py =="
+if ! python3 scripts/kgoa_lint.py; then
+  status=1
+fi
+
+echo "== lint stage 3: clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # run-clang-tidy parallelises over compile_commands.json when present.
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    if ! run-clang-tidy -p "${BUILD_DIR}" -quiet -j "${JOBS}" \
+          "src/.*" "tests/.*" "bench/.*" "fuzz/.*"; then
+      status=1
+    fi
+  else
+    mapfile -t tus < <(git ls-files 'src/**/*.cc' 'tests/*.cc' \
+                                     'bench/*.cc' 'fuzz/*.cc')
+    if ! clang-tidy -p "${BUILD_DIR}" -quiet "${tus[@]}"; then
+      status=1
+    fi
+  fi
+else
+  echo "lint.sh: clang-tidy not installed; skipping stage 3" >&2
+fi
+
+if [ "${status}" -ne 0 ]; then
+  echo "lint.sh: FINDINGS (see above)" >&2
+else
+  echo "lint.sh: clean"
+fi
+exit "${status}"

@@ -1,35 +1,61 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then sanitizer passes:
-#  - parallel_test under ThreadSanitizer (the snapshot-publishing path is
-#    the only multi-threaded code in the repo, so that one binary is the
-#    race check; the parallel index build rides along),
-#  - index_test + join_test under AddressSanitizer and UBSan (the index
-#    layer does raw flat-table slot arithmetic and galloping seeks; these
-#    two binaries exercise every probe and seek path).
+# Tier-1 verification. Stages, all fatal:
+#
+#  1. build + full ctest suite (warnings are errors: KGOA_WERROR=ON)
+#  2. scripts/lint.sh — -Werror rebuild, repo lint rules, clang-tidy
+#  3. parallel_test under ThreadSanitizer (the snapshot-publishing path
+#     is the only multi-threaded code in the repo; the parallel index
+#     build rides along)
+#  4. the ENTIRE ctest suite under AddressSanitizer and UBSan
+#  5. the entire suite again with -DKGOA_CONTRACTS=ON, so every
+#     KGOA_DCHECK contract (sortedness, cursor monotonicity, memo
+#     poisoning, probability ranges, probe-chain bounds) runs in an
+#     otherwise-release build
+#  6. both fuzz harnesses (-DKGOA_FUZZ=ON) replay their corpus and fuzz
+#     for KGOA_FUZZ_SECONDS (default 60) each
 #
 # Usage: scripts/tier1.sh   (from the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FUZZ_SECONDS="${KGOA_FUZZ_SECONDS:-60}"
 
 echo "=== tier-1: build + ctest ==="
-cmake -B build -S .
-cmake --build build -j
-ctest --test-dir build --output-on-failure -j
+cmake -B build -S . -DKGOA_WERROR=ON
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo
+echo "=== tier-1: static analysis (scripts/lint.sh) ==="
+scripts/lint.sh build-lint
 
 echo
 echo "=== tier-1: parallel_test under ThreadSanitizer ==="
-cmake -B build-tsan -S . -DKGOA_SANITIZE=thread
-cmake --build build-tsan -j --target parallel_test
+cmake -B build-tsan -S . -DKGOA_SANITIZE=thread -DKGOA_WERROR=ON
+cmake --build build-tsan -j "${JOBS}" --target parallel_test
 ./build-tsan/tests/parallel_test
 
 for san in address undefined; do
   echo
-  echo "=== tier-1: index_test + join_test under ${san} sanitizer ==="
-  cmake -B "build-${san}" -S . -DKGOA_SANITIZE="${san}"
-  cmake --build "build-${san}" -j --target index_test --target join_test
-  "./build-${san}/tests/index_test"
-  "./build-${san}/tests/join_test"
+  echo "=== tier-1: full suite under ${san} sanitizer ==="
+  cmake -B "build-${san}" -S . -DKGOA_SANITIZE="${san}" -DKGOA_WERROR=ON
+  cmake --build "build-${san}" -j "${JOBS}"
+  ctest --test-dir "build-${san}" --output-on-failure -j "${JOBS}"
 done
+
+echo
+echo "=== tier-1: full suite with KGOA_CONTRACTS=ON ==="
+cmake -B build-contracts -S . -DKGOA_CONTRACTS=ON -DKGOA_WERROR=ON \
+      -DKGOA_FUZZ=ON
+cmake --build build-contracts -j "${JOBS}"
+ctest --test-dir build-contracts --output-on-failure -j "${JOBS}"
+
+echo
+echo "=== tier-1: fuzz harnesses (${FUZZ_SECONDS}s each) ==="
+./build-contracts/fuzz/ntriples_fuzz fuzz/corpus/ntriples \
+    "-max_total_time=${FUZZ_SECONDS}"
+./build-contracts/fuzz/join_fuzz fuzz/corpus/join \
+    "-max_total_time=${FUZZ_SECONDS}"
 
 echo
 echo "tier-1 OK"

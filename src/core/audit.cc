@@ -1,6 +1,6 @@
 #include "src/core/audit.h"
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 
@@ -51,7 +51,8 @@ uint64_t AuditJoin::CountFrom(int q, TermId value) {
   // Compute-then-insert: the memo only ever holds finished counts, so an
   // abort mid-computation cannot leave a poisoned zero behind, and the
   // miss path pays a single insertion instead of a second lookup.
-  count_memo_[q].emplace(value, count);
+  const bool inserted = count_memo_[q].emplace(value, count).second;
+  KGOA_DCHECK_MSG(inserted, "count memo entry overwritten");
   return count;
 }
 
@@ -119,7 +120,7 @@ bool AuditJoin::TippedContributions(int q0, std::vector<TermId>& state,
       const TermId a = static_cast<TermId>(key >> 32);
       const TermId b = static_cast<TermId>(key & 0xffffffffu);
       const double pr = reach_.PrAB(a, b);
-      KGOA_DCHECK(pr > 0);
+      KGOA_DCHECK_PROB_POS(pr);
       (*out)[a] += walk_mass / pr;
     }
   } else {
@@ -191,7 +192,7 @@ void AuditJoin::RunOneWalk() {
   const TermId a = state_[plan_.alpha_slot()];
   if (query_.distinct()) {
     const double pr = reach_.PrAB(a, state_[plan_.beta_slot()]);
-    KGOA_DCHECK(pr > 0);
+    KGOA_DCHECK_PROB_POS(pr);
     estimates_.AddContribution(a, 1.0 / pr);
   } else {
     estimates_.AddContribution(a, weight);

@@ -1,7 +1,7 @@
 #include "src/core/reach.h"
 
 #include "src/join/filter.h"
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 
@@ -60,6 +60,9 @@ double ReachProbability::S(int step, TermId value) {
     sum += product;
   }
   const double result = sum / static_cast<double>(range.size());
+  // S is the probability that a uniform draw from this range completes
+  // the subtree below `step` (section IV-C): always inside [0, 1].
+  KGOA_DCHECK_PROB(result);
   s_memo_[step][value] = result;  // iterator may have been invalidated
   return result;
 }
@@ -93,6 +96,8 @@ double ReachProbability::U(int step, TermId value) {
     }
     sum += base;
   }
+  // U is a probability mass over the walks reaching this step's parent.
+  KGOA_DCHECK_PROB(sum);
   u_memo_[step][value] = sum;
   return sum;
 }
@@ -157,6 +162,9 @@ double ReachProbability::PrAB(TermId a, TermId b) {
     }
   }
 
+  // Pr[(a, b) reached] is the unbiasedness linchpin of the distinct
+  // estimator (Theorem IV.2): it must be a genuine probability.
+  KGOA_DCHECK_PROB(sum);
   pr_memo_[key] = sum;
   return sum;
 }

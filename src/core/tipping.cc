@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 
@@ -34,7 +34,10 @@ TippingEstimator::TippingEstimator(const IndexSet& indexes,
     fanout[q] = ndv == 0 ? 0.0 : matches / static_cast<double>(ndv);
   }
   suffix_.assign(n + 1, 1.0);
-  for (int q = n - 1; q >= 0; --q) suffix_[q] = suffix_[q + 1] * fanout[q];
+  for (int q = n - 1; q >= 0; --q) {
+    KGOA_DCHECK_GE(fanout[q], 0.0);
+    suffix_[q] = suffix_[q + 1] * fanout[q];
+  }
 }
 
 }  // namespace kgoa

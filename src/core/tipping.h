@@ -11,10 +11,12 @@
 #ifndef KGOA_CORE_TIPPING_H_
 #define KGOA_CORE_TIPPING_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "src/index/index_set.h"
 #include "src/ola/walk_plan.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 
@@ -26,7 +28,13 @@ class TippingEstimator {
   // q..n-1 per value entering step q: the product of the per-step expected
   // fan-outs |G_r| / max(ndv of the join variable on either side).
   // StaticSuffixEstimate(n) == 1.
-  double StaticSuffixEstimate(int q) const { return suffix_[q]; }
+  double StaticSuffixEstimate(int q) const {
+    // Tipping-decision precondition: q indexes a step or the one-past-end
+    // sentinel, and the composed estimate is a non-negative cardinality.
+    KGOA_DCHECK(q >= 0 && static_cast<std::size_t>(q) < suffix_.size());
+    KGOA_DCHECK_GE(suffix_[q], 0.0);
+    return suffix_[q];
+  }
 
   // Per-walk estimate once step q's actual fan-out d_q is known.
   double Estimate(uint64_t d_q, int q) const {

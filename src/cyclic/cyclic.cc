@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "src/join/ctj.h"
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 

@@ -9,7 +9,7 @@
 #include "src/eval/metrics.h"
 #include "src/ola/walk_plan.h"
 #include "src/ola/wander.h"
-#include "src/util/check.h"
+#include "src/util/contract.h"
 #include "src/util/stopwatch.h"
 
 namespace kgoa {

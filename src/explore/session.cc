@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "src/rdf/vocab.h"
-#include "src/util/check.h"
+#include "src/util/contract.h"
 #include "src/util/rng.h"
 #include "src/util/zipf.h"
 

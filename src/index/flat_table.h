@@ -8,12 +8,29 @@
 #ifndef KGOA_INDEX_FLAT_TABLE_H_
 #define KGOA_INDEX_FLAT_TABLE_H_
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
+
+// Probe-chain bound contract: with power-of-two capacity and load factor
+// <= 0.5 every probe chain terminates within `capacity` steps, so a chain
+// that exceeds it can only mean slot-array corruption. Zero cost unless
+// the KGOA_DCHECK level is active.
+#if KGOA_CONTRACTS_ENABLED
+#define KGOA_PROBE_GUARD(name) std::size_t name = 0
+#define KGOA_PROBE_STEP(name) KGOA_DCHECK_LE(++(name), slots_.size())
+#else
+#define KGOA_PROBE_GUARD(name) \
+  do {                         \
+  } while (0)
+#define KGOA_PROBE_STEP(name) \
+  do {                        \
+  } while (0)
+#endif
 
 namespace kgoa {
 
@@ -40,24 +57,63 @@ class FlatTable {
     slots_.assign(capacity, Slot{empty_key_, Value{}});
   }
 
+  // Empties the table, keeping the current capacity.
+  void Clear() {
+    size_ = 0;
+    std::fill(slots_.begin(), slots_.end(), Slot{empty_key_, Value{}});
+  }
+
   // Inserts `key` (which must not be present) and returns its value slot.
+  // The caller sized the table via Reset; capacity never grows here, so
+  // the load-factor contract is what keeps probe chains bounded.
   Value& InsertUnique(Key key) {
-    KGOA_DCHECK(key != empty_key_);
-    KGOA_DCHECK(size_ * 2 < slots_.size());
+    KGOA_DCHECK_NE(key, empty_key_);
+    KGOA_DCHECK_LT(size_ * 2, slots_.size());  // load factor <= 0.5
     ++size_;
+    KGOA_PROBE_GUARD(probes);
     for (std::size_t i = Bucket(key);; i = (i + 1) & (slots_.size() - 1)) {
+      KGOA_PROBE_STEP(probes);
       Slot& slot = slots_[i];
       if (slot.key == empty_key_) {
         slot.key = key;
         return slot.value;
       }
-      KGOA_DCHECK(slot.key != key);
+      KGOA_DCHECK_NE(slot.key, key);
+    }
+  }
+
+  // Returns the value for `key`, inserting a default-constructed one if
+  // absent (growing to keep the load factor <= 0.5). For dynamically
+  // sized memo tables (CTJ suffix caches) where the key population is
+  // not known up front.
+  Value& FindOrInsert(Key key, bool* inserted) {
+    KGOA_DCHECK_NE(key, empty_key_);
+    KGOA_PROBE_GUARD(probes);
+    for (std::size_t i = Bucket(key);; i = (i + 1) & (slots_.size() - 1)) {
+      KGOA_PROBE_STEP(probes);
+      Slot& slot = slots_[i];
+      if (slot.key == key) {
+        *inserted = false;
+        return slot.value;
+      }
+      if (slot.key == empty_key_) {
+        *inserted = true;
+        if ((size_ + 1) * 2 > slots_.size()) {
+          Grow();
+          return FindOrInsert(key, inserted);  // slot moved; re-probe
+        }
+        ++size_;
+        slot.key = key;
+        return slot.value;
+      }
     }
   }
 
   // Returns the value for `key`, or nullptr if absent.
   const Value* Find(Key key) const {
+    KGOA_PROBE_GUARD(probes);
     for (std::size_t i = Bucket(key);; i = (i + 1) & (slots_.size() - 1)) {
+      KGOA_PROBE_STEP(probes);
       const Slot& slot = slots_[i];
       if (slot.key == key) return &slot.value;
       if (slot.key == empty_key_) return nullptr;
@@ -79,6 +135,22 @@ class FlatTable {
   std::size_t Bucket(Key key) const {
     return static_cast<std::size_t>(
         (static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+  // Doubles capacity and rehashes every resident entry. Only reached from
+  // FindOrInsert; Reset-sized tables never grow.
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    const std::size_t capacity = old.size() * 2;
+    shift_ = 64 - std::countr_zero(capacity);
+    slots_.assign(capacity, Slot{empty_key_, Value{}});
+    const std::size_t resident = size_;
+    size_ = 0;
+    for (Slot& slot : old) {
+      if (slot.key == empty_key_) continue;
+      InsertUnique(slot.key) = slot.value;
+    }
+    KGOA_DCHECK_EQ(size_, resident);  // rehash must not lose or dup keys
   }
 
   Key empty_key_;

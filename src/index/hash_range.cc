@@ -40,6 +40,12 @@ HashRangeIndex::HashRangeIndex(const TrieIndex& index) {
     depth1_.InsertUnique(v0) = Entry{node0, child_count};
     pos = end0;
   }
+
+  // Build postconditions: pass 2 emitted exactly the prefix blocks pass 1
+  // counted, and depth-1 coverage matches the trie's own distinct count.
+  KGOA_DCHECK_EQ(depth1_.size(), depth1_keys);
+  KGOA_DCHECK_EQ(depth2_.size(), depth2_keys);
+  KGOA_DCHECK_EQ(depth1_.size(), index.Ndv1());
 }
 
 }  // namespace kgoa

@@ -2,10 +2,10 @@
 
 #include <bit>
 #include <thread>
-#include <unordered_set>
+#include <unordered_set>  // kgoa-lint: allow(unordered-in-hot-path) — cold ndv fallback below
 
 #include "src/index/radix.h"
-#include "src/util/check.h"
+#include "src/util/contract.h"
 #include "src/util/stopwatch.h"
 
 namespace kgoa {
@@ -87,6 +87,15 @@ IndexSet::IndexSet(const Graph& graph) : num_triples_(graph.NumTriples()) {
 
   for (std::thread& worker : workers) worker.join();
   stats_.total_ms = total.ElapsedMillis();
+
+  // Build postconditions: every order holds the whole graph, and each
+  // hash-range index agrees with its trie about the distinct level-0
+  // population. Sortedness of each order is contracted inside the
+  // TrieIndex constructor itself.
+  for (IndexOrder order : kAllIndexOrders) {
+    KGOA_DCHECK_EQ(Index(order).size(), n);
+    KGOA_DCHECK_EQ(Hash(order).Ndv1(), Index(order).Ndv1());
+  }
 }
 
 uint64_t IndexSet::ApproxMemoryBytes() const {
@@ -208,6 +217,8 @@ uint64_t IndexSet::CountDistinctVar(const TriplePattern& pattern,
     }
   }
   // Fallback: scan the constant range (or everything) and collect values.
+  // Cold fallback: runs once per planner statistic when no index order
+  // fits, never per probe. kgoa-lint: allow(unordered-in-hot-path)
   std::unordered_set<TermId> values;
   if (ChooseOrder(mask, &order, &depth)) {
     const Range r = ConstantRange(pattern, &order, &depth);

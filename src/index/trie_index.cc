@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "src/index/radix.h"
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 
@@ -34,14 +34,14 @@ uint32_t MaxTermBound(const std::vector<Triple>& triples) {
 TrieIndex::TrieIndex(IndexOrder order, const std::vector<Triple>& triples)
     : order_(order), triples_(triples), num_terms_(MaxTermBound(triples)) {
   radix::LsdRadixSort(order_, triples_, num_terms_);
+  KGOA_DCHECK_SORTED_BY(triples_.begin(), triples_.end(), OrderLess{order_});
   BuildLevel0Offsets();
 }
 
 TrieIndex::TrieIndex(IndexOrder order, std::vector<Triple> sorted,
                      uint32_t num_terms)
     : order_(order), triples_(std::move(sorted)), num_terms_(num_terms) {
-  KGOA_DCHECK(std::is_sorted(triples_.begin(), triples_.end(),
-                             OrderLess{order_}));
+  KGOA_DCHECK_SORTED_BY(triples_.begin(), triples_.end(), OrderLess{order_});
   BuildLevel0Offsets();
 }
 
@@ -49,13 +49,42 @@ void TrieIndex::BuildLevel0Offsets() {
   const int c0 = OrderComponent(order_, 0);
   offsets_.assign(static_cast<std::size_t>(num_terms_) + 1, 0);
   for (const Triple& t : triples_) {
-    KGOA_DCHECK(t[c0] < num_terms_);
+    KGOA_DCHECK_LT(t[c0], num_terms_);
     ++offsets_[t[c0] + 1];
   }
   ndv1_ = 0;
   for (uint32_t v = 0; v < num_terms_; ++v) {
     ndv1_ += offsets_[v + 1] != 0;
     offsets_[v + 1] += offsets_[v];
+  }
+  // CSR closure: the last offset must account for every triple.
+  KGOA_DCHECK_EQ(offsets_[num_terms_], size());
+}
+
+void TrieIndex::CheckInvariants() const {
+  KGOA_CHECK_EQ(offsets_.size(), static_cast<std::size_t>(num_terms_) + 1);
+  KGOA_CHECK_EQ(offsets_[0], 0u);
+  KGOA_CHECK_EQ(offsets_[num_terms_], size());
+  uint64_t nonempty = 0;
+  for (uint32_t v = 0; v < num_terms_; ++v) {
+    KGOA_CHECK_LE(offsets_[v], offsets_[v + 1]);  // CSR monotonicity
+    nonempty += offsets_[v + 1] != offsets_[v];
+  }
+  KGOA_CHECK_EQ(nonempty, ndv1_);
+  const OrderLess less{order_};
+  const int c0 = OrderComponent(order_, 0);
+  for (uint32_t pos = 0; pos < size(); ++pos) {
+    const Triple& t = triples_[pos];
+    KGOA_CHECK_LT(t.s, num_terms_);
+    KGOA_CHECK_LT(t.p, num_terms_);
+    KGOA_CHECK_LT(t.o, num_terms_);
+    if (pos > 0) {
+      KGOA_CHECK_MSG(!less(t, triples_[pos - 1]),
+                     "trie level out of sorted order");
+    }
+    // Each triple must sit inside its own level-0 CSR block.
+    KGOA_CHECK_GE(pos, offsets_[t[c0]]);
+    KGOA_CHECK_LT(pos, offsets_[t[c0] + 1]);
   }
 }
 
@@ -66,6 +95,7 @@ Range TrieIndex::Narrow(Range range, int level, TermId value) const {
     KGOA_DCHECK(range == Root());
     return Level0Range(value);
   }
+  KGOA_DCHECK_LE(range.end, size());
   const auto first = triples_.begin() + range.begin;
   const auto last = triples_.begin() + range.end;
   const auto [lo, hi] =
@@ -93,7 +123,14 @@ uint32_t TrieIndex::SeekGE(Range range, int level, TermId value,
   const auto first = triples_.begin() + static_cast<uint32_t>(lo) + 1;
   const auto last = triples_.begin() + static_cast<uint32_t>(hi);
   const auto it = std::lower_bound(first, last, value, LevelLess{order_, level});
-  return static_cast<uint32_t>(it - triples_.begin());
+  const auto result = static_cast<uint32_t>(it - triples_.begin());
+  // Seek postconditions: the cursor never moves backwards, lands on the
+  // first key >= value, and skips only keys < value.
+  KGOA_DCHECK_GE(result, from);
+  KGOA_DCHECK_LE(result, range.end);
+  KGOA_DCHECK(result == range.end || KeyAt(result, level) >= value);
+  KGOA_DCHECK(result == from || KeyAt(result - 1, level) < value);
+  return result;
 }
 
 uint32_t TrieIndex::BlockEnd(Range range, int level, uint32_t pos) const {
@@ -115,7 +152,13 @@ uint32_t TrieIndex::BlockEnd(Range range, int level, uint32_t pos) const {
   const auto first = triples_.begin() + static_cast<uint32_t>(lo);
   const auto last = triples_.begin() + hi;
   const auto it = std::upper_bound(first, last, value, LevelLess{order_, level});
-  return static_cast<uint32_t>(it - triples_.begin());
+  const auto result = static_cast<uint32_t>(it - triples_.begin());
+  // Block postconditions: non-empty, within the node, value-homogeneous.
+  KGOA_DCHECK_GT(result, pos);
+  KGOA_DCHECK_LE(result, range.end);
+  KGOA_DCHECK(KeyAt(result - 1, level) == value);
+  KGOA_DCHECK(result == range.end || KeyAt(result, level) != value);
+  return result;
 }
 
 uint64_t TrieIndex::CountDistinct(Range range, int level) const {

@@ -94,6 +94,13 @@ class TrieIndex {
            static_cast<uint64_t>(offsets_.size()) * sizeof(uint32_t);
   }
 
+  // Full structural validation at KGOA_CHECK strength (active in every
+  // build mode): lexicographic sortedness under the order, TermIds inside
+  // the dictionary bound, CSR offset monotonicity and closure, and the
+  // distinct level-0 count. O(n + num_terms); for tests, the fuzz
+  // harnesses and post-build audits — never on a query path.
+  void CheckInvariants() const;
+
  private:
   // Builds offsets_ / ndv1_ from the sorted triples_ in one pass.
   void BuildLevel0Offsets();

@@ -1,6 +1,6 @@
 #include "src/index/trie_iterator.h"
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 
@@ -30,13 +30,22 @@ void TrieIterator::Up() {
 
 void TrieIterator::Next() {
   KGOA_DCHECK(level_ >= 0 && !AtEnd());
+  const uint32_t before = pos_;
   pos_ = index_->BlockEnd(NodeRange(), level_, pos_);
+  // Cursor monotonicity: a leapfrog cursor only ever moves forward.
+  KGOA_DCHECK_GT(pos_, before);
 }
 
 void TrieIterator::SeekGE(TermId value) {
   KGOA_DCHECK(level_ >= 0);
   if (AtEnd() || Key() >= value) return;
+  const uint32_t before = pos_;
   pos_ = index_->SeekGE(NodeRange(), level_, value, pos_);
+  // Cursor monotonicity plus the seek's own postcondition: the cursor
+  // moved forward and either exhausted the level or landed on a key that
+  // satisfies the caller's lower bound.
+  KGOA_DCHECK_GE(pos_, before);
+  KGOA_DCHECK(AtEnd() || Key() >= value);
 }
 
 uint64_t TrieIterator::CountRemaining() const {

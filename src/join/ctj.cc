@@ -1,8 +1,8 @@
 #include "src/join/ctj.h"
 
-#include <unordered_set>
+#include <unordered_set>  // kgoa-lint: allow(unordered-in-hot-path) — result-side dedup below
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 
@@ -14,9 +14,12 @@ ChainSuffixCounter::ChainSuffixCounter(const IndexSet& indexes,
       patterns_(std::move(patterns)),
       in_vars_(std::move(in_vars)),
       filters_(std::move(filters)) {
-  KGOA_CHECK(in_vars_.size() == patterns_.size());
+  KGOA_CHECK_EQ(in_vars_.size(), patterns_.size());
   filters_.resize(patterns_.size());
-  caches_.resize(patterns_.size());
+  caches_.reserve(patterns_.size());
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    caches_.emplace_back(kInvalidTerm);
+  }
   for (std::size_t i = 0; i < patterns_.size(); ++i) {
     accesses_.push_back(PatternAccess::Compile(patterns_[i], in_vars_[i]));
     int out_component = -1;
@@ -35,10 +38,12 @@ uint64_t ChainSuffixCounter::Count(int step, TermId value) {
 
   const bool cacheable = caching_enabled_ && in_vars_[step] != kNoVar;
   if (cacheable) {
-    auto it = caches_[step].find(value);
-    if (it != caches_[step].end()) {
+    // Cache key/level agreement: a memoized step is entered through its
+    // in-variable, so the key must be a real binding for that level.
+    KGOA_DCHECK_NE(value, kInvalidTerm);
+    if (const uint64_t* hit = caches_[step].Find(value)) {
       ++hits_;
-      return it->second;
+      return *hit;
     }
     ++misses_;
   }
@@ -60,12 +65,19 @@ uint64_t ChainSuffixCounter::Count(int step, TermId value) {
     }
   }
 
-  if (cacheable) caches_[step].emplace(value, count);
+  if (cacheable) {
+    // Compute-then-insert, and only ever into an absent slot: a finished
+    // count is immutable, so the memo can never be poisoned by a partial
+    // or repeated computation.
+    bool inserted = false;
+    caches_[step].FindOrInsert(value, &inserted) = count;
+    KGOA_DCHECK_MSG(inserted, "suffix memo entry overwritten");
+  }
   return count;
 }
 
 void ChainSuffixCounter::ClearCache() {
-  for (auto& cache : caches_) cache.clear();
+  for (auto& cache : caches_) cache.Clear();
   hits_ = 0;
   misses_ = 0;
 }
@@ -130,6 +142,8 @@ GroupedResult CtjEngine::Evaluate(const ChainQuery& query) const {
   const TrieIndex& index = indexes_.Index(anchor_access.order());
 
   GroupedResult result;
+  // Distinct-pair dedup is result-side (one insert per output pair,
+  // not per index probe). kgoa-lint: allow(unordered-in-hot-path)
   std::unordered_set<uint64_t> seen_pairs;
   for (uint32_t pos = range.begin; pos < range.end; ++pos) {
     const Triple& t = index.TripleAt(pos);

@@ -6,7 +6,9 @@
 // are chains, so the decomposition degenerates to per-level suffix caches:
 // the number of ways to complete the chain below a join value depends only
 // on that value. The cache structure is the paper's "array of hashtables"
-// (one unordered_map per chain position).
+// (one per chain position) — realized as growing open-addressing
+// FlatTables, so a memo probe on the counting hot path is one multiply
+// and a short linear scan rather than a node chase.
 //
 // Two components live here:
 //  * ChainSuffixCounter — memoized counting of chain completions from a
@@ -19,9 +21,9 @@
 #define KGOA_JOIN_CTJ_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "src/index/flat_table.h"
 #include "src/index/index_set.h"
 #include "src/join/access.h"
 #include "src/join/filter.h"
@@ -68,7 +70,10 @@ class ChainSuffixCounter {
   // Component of the triple carrying the *outgoing* join variable at each
   // step (-1 for the last step).
   std::vector<int> out_components_;
-  std::vector<std::unordered_map<TermId, uint64_t>> caches_;
+  // Suffix-count memos, one per chain position, keyed by the incoming
+  // join value. kInvalidTerm is never a legal key: cacheable steps always
+  // enter through a real binding (contracted in Count).
+  std::vector<FlatTable<TermId, uint64_t>> caches_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   bool caching_enabled_ = true;

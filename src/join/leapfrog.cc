@@ -1,9 +1,9 @@
 #include "src/join/leapfrog.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <unordered_set>  // kgoa-lint: allow(unordered-in-hot-path) — result-side dedup below
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 
@@ -210,6 +210,7 @@ void LeapfrogJoin::Enumerate(
     if (dead) return;
 
     // Leapfrog intersection over the participants' current levels.
+    TermId last_max_key = 0;
     while (true) {
       TermId max_key = 0;
       bool at_end = false;
@@ -222,12 +223,17 @@ void LeapfrogJoin::Enumerate(
         max_key = std::max(max_key, it.Key());
       }
       if (at_end) break;
+      // Intersection frontier monotonicity: every cursor only seeks
+      // forward, so the candidate key can never regress across rounds.
+      KGOA_DCHECK_GE(max_key, last_max_key);
+      last_max_key = max_key;
 
       bool agree = true;
       for (const Participant& part : parts) {
         TrieIterator& it = states[part.pattern].iter;
         if (it.Key() != max_key) {
           it.SeekGE(max_key);
+          KGOA_DCHECK(it.AtEnd() || it.Key() >= max_key);
           agree = false;
         }
       }
@@ -298,6 +304,8 @@ GroupedResult EvaluateWithLftj(const IndexSet& indexes,
     });
     return result;
   }
+  // Distinct-pair dedup is result-side (one insert per output pair,
+  // not per index probe). kgoa-lint: allow(unordered-in-hot-path)
   std::unordered_set<uint64_t> seen_pairs;
   join.Enumerate([&](const std::vector<TermId>& binding) {
     if (seen_pairs.insert(PackPair(binding[alpha_pos], binding[beta_pos]))

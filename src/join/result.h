@@ -3,7 +3,7 @@
 #define KGOA_JOIN_RESULT_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <unordered_map>  // kgoa-lint: allow(unordered-in-hot-path) — result container
 
 #include "src/rdf/types.h"
 
@@ -12,6 +12,8 @@ namespace kgoa {
 // Maps each group (value of the query's alpha variable) to its exact
 // count — COUNT(beta) or COUNT(DISTINCT beta) per the query's flag.
 struct GroupedResult {
+  // Public result container, sized by output groups; callers iterate
+  // it, engines fill it once. kgoa-lint: allow(unordered-in-hot-path)
   std::unordered_map<TermId, uint64_t> counts;
 
   uint64_t Total() const {

@@ -1,11 +1,15 @@
 #include "src/join/yannakakis.h"
 
-#include <unordered_map>
-#include <unordered_set>
+// kgoa-lint: allow(unordered-in-hot-path) on this file's uses — the
+// Yannakakis evaluator is the exact reference engine the samplers are
+// verified against; it runs once per differential check, never on the
+// per-walk sampling hot path.
+#include <unordered_map>  // kgoa-lint: allow(unordered-in-hot-path)
+#include <unordered_set>  // kgoa-lint: allow(unordered-in-hot-path)
 
 #include "src/join/access.h"
 #include "src/join/filter.h"
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 
@@ -15,11 +19,12 @@ namespace {
 // `sequence` lists pattern indices from the far end toward the anchor;
 // `toward[i]` / `away[i]` are the join variables of sequence[i] facing the
 // anchor and facing away (kNoVar at the far end).
+// kgoa-lint: allow(unordered-in-hot-path) — reference-engine arm counts
 std::unordered_map<TermId, uint64_t> ArmCounts(
     const IndexSet& indexes, const ChainQuery& query,
     const std::vector<int>& sequence, const std::vector<VarId>& toward,
     const std::vector<VarId>& away) {
-  std::unordered_map<TermId, uint64_t> counts;
+  std::unordered_map<TermId, uint64_t> counts;  // kgoa-lint: allow(unordered-in-hot-path)
   bool first = true;
   for (std::size_t k = 0; k < sequence.size(); ++k) {
     const int i = sequence[k];
@@ -33,7 +38,7 @@ std::unordered_map<TermId, uint64_t> ArmCounts(
         away[k] == kNoVar ? -1 : pattern.ComponentOf(away[k]);
     KGOA_CHECK(toward_component >= 0);
 
-    std::unordered_map<TermId, uint64_t> next;
+    std::unordered_map<TermId, uint64_t> next;  // kgoa-lint: allow(unordered-in-hot-path)
     for (uint32_t pos = range.begin; pos < range.end; ++pos) {
       const Triple& t = index.TripleAt(pos);
       if (!filter.empty() && !filter.Pass(indexes, t)) continue;
@@ -63,7 +68,7 @@ GroupedResult EvaluateWithYannakakis(const IndexSet& indexes,
   KGOA_CHECK(alpha_component >= 0 && beta_component >= 0);
 
   // Left arm: patterns 0..anchor-1 processed far-end first.
-  std::unordered_map<TermId, uint64_t> left;
+  std::unordered_map<TermId, uint64_t> left;  // kgoa-lint: allow(unordered-in-hot-path)
   int left_component = -1;
   if (anchor > 0) {
     std::vector<int> sequence;
@@ -78,7 +83,7 @@ GroupedResult EvaluateWithYannakakis(const IndexSet& indexes,
   }
 
   // Right arm: patterns n-1..anchor+1.
-  std::unordered_map<TermId, uint64_t> right;
+  std::unordered_map<TermId, uint64_t> right;  // kgoa-lint: allow(unordered-in-hot-path)
   int right_component = -1;
   if (anchor + 1 < n) {
     std::vector<int> sequence;
@@ -98,7 +103,7 @@ GroupedResult EvaluateWithYannakakis(const IndexSet& indexes,
   const TrieIndex& index = indexes.Index(access.order());
 
   GroupedResult result;
-  std::unordered_set<uint64_t> seen_pairs;
+  std::unordered_set<uint64_t> seen_pairs;  // kgoa-lint: allow(unordered-in-hot-path)
   for (uint32_t pos = range.begin; pos < range.end; ++pos) {
     const Triple& t = index.TripleAt(pos);
     if (!anchor_filter.empty() && !anchor_filter.Pass(indexes, t)) continue;

@@ -2,9 +2,15 @@
 
 #include <cmath>
 
+#include "src/util/contract.h"
+
 namespace kgoa {
 
 void GroupedEstimates::AddContribution(TermId group, double value) {
+  // Estimator non-negativity: every contribution is a Horvitz-Thompson
+  // weight (count / probability), so a negative or non-finite value can
+  // only come from a corrupted walk.
+  KGOA_DCHECK(std::isfinite(value) && value >= 0.0);
   Accumulator& acc = groups_[group];
   acc.sum += value;
   acc.sum_squares += value * value;
@@ -19,7 +25,9 @@ double GroupedEstimates::Estimate(TermId group) const {
   if (walks_ == 0) return 0.0;
   auto it = groups_.find(group);
   if (it == groups_.end()) return 0.0;
-  return it->second.sum / static_cast<double>(walks_);
+  const double estimate = it->second.sum / static_cast<double>(walks_);
+  KGOA_DCHECK_GE(estimate, 0.0);  // a count estimate can never be negative
+  return estimate;
 }
 
 double GroupedEstimates::CiHalfWidth(TermId group, double z) const {

@@ -11,7 +11,7 @@
 
 #include "src/core/audit.h"
 #include "src/ola/wander.h"
-#include "src/util/check.h"
+#include "src/util/contract.h"
 #include "src/util/stopwatch.h"
 
 namespace kgoa {
@@ -299,6 +299,10 @@ ParallelOlaResult ParallelOlaExecutor::RunWalkBudget(
     result.estimates.Merge(finals[w]);
     result.counters.Merge(final_counters[w]);
   }
+  // Walk-budget determinism: every logical worker ran exactly its share,
+  // so the merged walk count must equal the requested budget regardless
+  // of how the workers were scheduled onto threads.
+  KGOA_DCHECK_EQ(result.estimates.walks(), total_walks);
   result.elapsed_seconds = clock.ElapsedSeconds();
   if (callback) callback(FinalSnapshot(result));
   return result;

@@ -2,7 +2,7 @@
 
 #include <unordered_set>
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 

@@ -1,6 +1,6 @@
 #include "src/ola/wander.h"
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 
@@ -35,6 +35,9 @@ void WanderJoin::RunOneWalk() {
     }
   }
 
+  // A completed walk's weight is a product of non-empty fan-outs, so the
+  // inverse sampling probability is at least one.
+  KGOA_DCHECK_GE(weight, 1.0);
   const TermId group = state_[plan_.alpha_slot()];
   if (query_.distinct()) {
     // Ripple-Join style: duplicates of an already-seen (group, beta) pair
@@ -64,6 +67,7 @@ void WanderJoin::EnumerateAllWalks(
 
   auto walk = [&](auto&& self, int step_idx, double probability,
                   double weight) -> void {
+    KGOA_DCHECK_PROB_POS(probability);
     if (step_idx == plan_.NumSteps()) {
       callback(probability, state[plan_.alpha_slot()], weight);
       return;

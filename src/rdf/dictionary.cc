@@ -1,6 +1,6 @@
 #include "src/rdf/dictionary.h"
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "src/rdf/vocab.h"
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 
@@ -50,6 +50,9 @@ Graph GraphBuilder::Build() && {
   std::sort(triples_.begin(), triples_.end(), SpoLess);
   triples_.erase(std::unique(triples_.begin(), triples_.end()),
                  triples_.end());
+  // Everything downstream (index builds, the chained radix derivation)
+  // assumes the base is (s,p,o)-sorted and duplicate-free.
+  KGOA_DCHECK_SORTED_BY(triples_.begin(), triples_.end(), SpoLess);
   g.triples_ = std::move(triples_);
   return g;
 }

@@ -1,8 +1,11 @@
 #include "src/rdf/ntriples.h"
 
+#include <algorithm>
+#include <cctype>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 namespace kgoa {
 
@@ -18,6 +21,17 @@ void SkipSpace(std::string_view& s) {
 // Returns false on malformed input. Literals keep their quotes stripped and
 // escapes resolved; a "^^<datatype>" suffix is preserved verbatim in the
 // stored spelling so round-trips keep type information.
+// IRIREF content per the N-Triples grammar: no whitespace, quotes or
+// nested angle brackets. Rejecting these here is what lets WriteNTriples
+// locate a stored literal's closing quote with rfind('"') — suffixes
+// appended after the closing quote can never contain one.
+bool ValidIriContent(std::string_view iri) {
+  for (const char c : iri) {
+    if (c == '"' || c == '<' || c == ' ' || c == '\t') return false;
+  }
+  return true;
+}
+
 bool ParseTerm(std::string_view& s, std::string& out, bool allow_literal) {
   SkipSpace(s);
   if (s.empty()) return false;
@@ -26,7 +40,7 @@ bool ParseTerm(std::string_view& s, std::string& out, bool allow_literal) {
     const auto end = s.find('>');
     if (end == std::string_view::npos) return false;
     out.assign(s.substr(1, end - 1));
-    if (out.empty()) return false;
+    if (out.empty() || !ValidIriContent(out)) return false;
     s.remove_prefix(end + 1);
     return true;
   }
@@ -54,15 +68,24 @@ bool ParseTerm(std::string_view& s, std::string& out, bool allow_literal) {
     if (s.empty()) return false;  // unterminated literal
     s.remove_prefix(1);           // closing quote
     out.push_back('"');
-    // Optional datatype or language tag; keep verbatim.
+    // Optional datatype ("^^<iri>") or language tag ("@tag"), validated
+    // and kept verbatim in the spelling.
     if (!s.empty() && s.front() == '^') {
-      const auto sp = s.find_first_of(" \t.");
-      const auto len = sp == std::string_view::npos ? s.size() : sp;
-      out.append(s.substr(0, len));
-      s.remove_prefix(len);
+      if (s.size() < 4 || s[1] != '^' || s[2] != '<') return false;
+      const auto end = s.find('>', 3);
+      if (end == std::string_view::npos) return false;
+      const std::string_view iri = s.substr(3, end - 3);
+      if (iri.empty() || !ValidIriContent(iri)) return false;
+      out.append(s.substr(0, end + 1));
+      s.remove_prefix(end + 1);
     } else if (!s.empty() && s.front() == '@') {
-      const auto sp = s.find_first_of(" \t");
-      const auto len = sp == std::string_view::npos ? s.size() : sp;
+      std::size_t len = 1;
+      while (len < s.size() &&
+             (std::isalnum(static_cast<unsigned char>(s[len])) != 0 ||
+              s[len] == '-')) {
+        ++len;
+      }
+      if (len == 1) return false;  // bare '@'
       out.append(s.substr(0, len));
       s.remove_prefix(len);
     }
@@ -150,7 +173,20 @@ void WriteNTriples(const Graph& graph, std::ostream& out) {
       out << '<' << term << '>';
     }
   };
-  for (const Triple& t : graph.triples()) {
+  // Canonical output order: sort by spelling, not by TermId. Ids depend on
+  // intern history, so id order would change across a write/reparse cycle
+  // (found by fuzz/ntriples_fuzz.cc); spelling order makes serialization a
+  // fixed point regardless of how the graph was assembled.
+  std::vector<Triple> sorted = graph.triples();
+  const Dictionary& dict = graph.dict();
+  std::sort(sorted.begin(), sorted.end(),
+            [&dict](const Triple& a, const Triple& b) {
+              for (int c = 0; c < 3; ++c) {
+                if (a[c] != b[c]) return dict.Spell(a[c]) < dict.Spell(b[c]);
+              }
+              return false;
+            });
+  for (const Triple& t : sorted) {
     write_term(t.s, false);
     out << ' ';
     write_term(t.p, false);

@@ -1,0 +1,33 @@
+#include "src/util/contract.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define KGOA_CONTRACT_HAVE_EXECINFO 1
+#endif
+#endif
+
+namespace kgoa::contract {
+
+[[noreturn]] void Fail(const char* file, int line, const char* macro,
+                       const char* expr, const std::string& detail) {
+  if (detail.empty()) {
+    std::fprintf(stderr, "%s failed at %s:%d: %s\n", macro, file, line, expr);
+  } else {
+    std::fprintf(stderr, "%s failed at %s:%d: %s (%s)\n", macro, file, line,
+                 expr, detail.c_str());
+  }
+#ifdef KGOA_CONTRACT_HAVE_EXECINFO
+  void* frames[64];
+  const int depth = ::backtrace(frames, 64);
+  std::fputs("backtrace:\n", stderr);
+  ::backtrace_symbols_fd(frames, depth, /*fd=*/2);
+#endif
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace kgoa::contract

@@ -1,0 +1,221 @@
+// Leveled runtime-contract macros used across the library.
+//
+// A query engine that violates a structural invariant (an unsorted trie
+// level, a non-monotone leapfrog cursor, a poisoned memo entry, a reach
+// probability outside (0, 1]) does not crash — it silently returns wrong
+// counts. Every contract here therefore aborts with the failing
+// expression, the formatted operand values and a backtrace, so a
+// violation is debuggable from the first report.
+//
+// Levels:
+//   KGOA_CHECK / KGOA_CHECK_MSG / KGOA_CHECK_EQ..GE
+//     Always on, in every build mode. For contracts whose cost is
+//     negligible next to the work they guard (constructor validation,
+//     per-query preconditions).
+//   KGOA_DCHECK / KGOA_DCHECK_MSG / KGOA_DCHECK_EQ..GE /
+//   KGOA_DCHECK_SORTED[_BY] / KGOA_DCHECK_PROB[_POS]
+//     On when NDEBUG is unset (debug builds) or when the build defines
+//     KGOA_CONTRACTS (cmake -DKGOA_CONTRACTS=ON). For hot-path contracts:
+//     per-probe, per-seek, per-walk. Compiled to nothing otherwise; the
+//     operands are still parsed (inside sizeof) so release builds cannot
+//     bit-rot, but they are never evaluated.
+//
+// The old src/util/check.h grew into this header; scripts/kgoa_lint.py
+// rejects bare assert() and any resurrected include of util/check.h.
+#ifndef KGOA_UTIL_CONTRACT_H_
+#define KGOA_UTIL_CONTRACT_H_
+
+#include <cmath>
+#include <cstddef>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+// ---------------------------------------------------------------------------
+// Contract level selection
+// ---------------------------------------------------------------------------
+#if !defined(NDEBUG) || defined(KGOA_CONTRACTS)
+#define KGOA_CONTRACTS_ENABLED 1
+#else
+#define KGOA_CONTRACTS_ENABLED 0
+#endif
+
+namespace kgoa::contract {
+
+// True when the KGOA_DCHECK family is active in this build.
+inline constexpr bool kEnabled = KGOA_CONTRACTS_ENABLED != 0;
+
+// Prints "<macro> failed at file:line: expr (detail)" plus a backtrace to
+// stderr and aborts. Never returns. Defined in contract.cc.
+[[noreturn]] void Fail(const char* file, int line, const char* macro,
+                       const char* expr, const std::string& detail);
+
+// Declared, never defined: referenced only inside sizeof() so disabled
+// contracts keep their operands type-checked (and "used" for -Werror)
+// without evaluating them.
+template <typename... Ts>
+bool Unevaluated(Ts&&...);
+
+// Best-effort operand formatting: streamable types print their value,
+// anything else prints a placeholder so Fail still reports the expression.
+template <typename T>
+std::string Describe(const T& value) {
+  if constexpr (requires(std::ostream& os) { os << value; }) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+template <typename A, typename B>
+std::string DescribeOp(const A& a, const B& b) {
+  return "lhs = " + Describe(a) + ", rhs = " + Describe(b);
+}
+
+struct DefaultLess {
+  template <typename T, typename U>
+  bool operator()(const T& a, const U& b) const {
+    return a < b;
+  }
+};
+
+// Walks [first, last) and aborts at the first out-of-order neighbour,
+// reporting its offset. Linear; only ever called from enabled contracts.
+template <typename It, typename Cmp>
+void CheckSortedRange(const char* file, int line, const char* expr, It first,
+                      It last, Cmp cmp) {
+  if (first == last) return;
+  std::size_t offset = 0;
+  for (It next = std::next(first); next != last; ++first, ++next, ++offset) {
+    if (cmp(*next, *first)) {
+      std::ostringstream os;
+      os << "range unsorted: element at offset " << offset + 1
+         << " precedes its neighbour";
+      Fail(file, line, "KGOA_DCHECK_SORTED", expr, os.str());
+    }
+  }
+}
+
+inline void CheckProb(const char* file, int line, const char* macro,
+                      const char* expr, double p, bool require_positive) {
+  const bool ok = std::isfinite(p) && p <= 1.0 &&
+                  (require_positive ? p > 0.0 : p >= 0.0);
+  if (!ok) {
+    std::ostringstream os;
+    os << "value = " << p << ", expected "
+       << (require_positive ? "(0, 1]" : "[0, 1]");
+    Fail(file, line, macro, expr, os.str());
+  }
+}
+
+}  // namespace kgoa::contract
+
+// ---------------------------------------------------------------------------
+// Always-on contracts
+// ---------------------------------------------------------------------------
+#define KGOA_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::kgoa::contract::Fail(__FILE__, __LINE__, "KGOA_CHECK", #cond, "");  \
+    }                                                                       \
+  } while (0)
+
+#define KGOA_CHECK_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::kgoa::contract::Fail(__FILE__, __LINE__, "KGOA_CHECK", #cond,       \
+                             (msg));                                        \
+    }                                                                       \
+  } while (0)
+
+// Shared comparison body: evaluates each operand once, reports both values.
+#define KGOA_CONTRACT_OP_(macro, op, a, b)                                  \
+  do {                                                                      \
+    const auto& kgoa_lhs_ = (a);                                            \
+    const auto& kgoa_rhs_ = (b);                                            \
+    if (!(kgoa_lhs_ op kgoa_rhs_)) [[unlikely]] {                           \
+      ::kgoa::contract::Fail(                                               \
+          __FILE__, __LINE__, macro, #a " " #op " " #b,                     \
+          ::kgoa::contract::DescribeOp(kgoa_lhs_, kgoa_rhs_));              \
+    }                                                                       \
+  } while (0)
+
+#define KGOA_CHECK_EQ(a, b) KGOA_CONTRACT_OP_("KGOA_CHECK_EQ", ==, a, b)
+#define KGOA_CHECK_NE(a, b) KGOA_CONTRACT_OP_("KGOA_CHECK_NE", !=, a, b)
+#define KGOA_CHECK_LT(a, b) KGOA_CONTRACT_OP_("KGOA_CHECK_LT", <, a, b)
+#define KGOA_CHECK_LE(a, b) KGOA_CONTRACT_OP_("KGOA_CHECK_LE", <=, a, b)
+#define KGOA_CHECK_GT(a, b) KGOA_CONTRACT_OP_("KGOA_CHECK_GT", >, a, b)
+#define KGOA_CHECK_GE(a, b) KGOA_CONTRACT_OP_("KGOA_CHECK_GE", >=, a, b)
+
+// ---------------------------------------------------------------------------
+// Debug / KGOA_CONTRACTS=ON contracts
+// ---------------------------------------------------------------------------
+#if KGOA_CONTRACTS_ENABLED
+
+#define KGOA_DCHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::kgoa::contract::Fail(__FILE__, __LINE__, "KGOA_DCHECK", #cond, ""); \
+    }                                                                       \
+  } while (0)
+
+#define KGOA_DCHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::kgoa::contract::Fail(__FILE__, __LINE__, "KGOA_DCHECK", #cond,      \
+                             (msg));                                        \
+    }                                                                       \
+  } while (0)
+
+#define KGOA_DCHECK_EQ(a, b) KGOA_CONTRACT_OP_("KGOA_DCHECK_EQ", ==, a, b)
+#define KGOA_DCHECK_NE(a, b) KGOA_CONTRACT_OP_("KGOA_DCHECK_NE", !=, a, b)
+#define KGOA_DCHECK_LT(a, b) KGOA_CONTRACT_OP_("KGOA_DCHECK_LT", <, a, b)
+#define KGOA_DCHECK_LE(a, b) KGOA_CONTRACT_OP_("KGOA_DCHECK_LE", <=, a, b)
+#define KGOA_DCHECK_GT(a, b) KGOA_CONTRACT_OP_("KGOA_DCHECK_GT", >, a, b)
+#define KGOA_DCHECK_GE(a, b) KGOA_CONTRACT_OP_("KGOA_DCHECK_GE", >=, a, b)
+
+// Range [first, last) must be sorted (non-decreasing) under < / `cmp`.
+#define KGOA_DCHECK_SORTED(first, last)                                     \
+  ::kgoa::contract::CheckSortedRange(__FILE__, __LINE__, #first ", " #last, \
+                                     (first), (last),                       \
+                                     ::kgoa::contract::DefaultLess{})
+#define KGOA_DCHECK_SORTED_BY(first, last, cmp)                             \
+  ::kgoa::contract::CheckSortedRange(__FILE__, __LINE__, #first ", " #last, \
+                                     (first), (last), (cmp))
+
+// `p` must be a finite probability in [0, 1] (or strictly (0, 1] for the
+// _POS variant — the paper's reach probabilities, section IV-C).
+#define KGOA_DCHECK_PROB(p)                                                 \
+  ::kgoa::contract::CheckProb(__FILE__, __LINE__, "KGOA_DCHECK_PROB", #p,   \
+                              static_cast<double>(p), false)
+#define KGOA_DCHECK_PROB_POS(p)                                             \
+  ::kgoa::contract::CheckProb(__FILE__, __LINE__, "KGOA_DCHECK_PROB_POS",   \
+                              #p, static_cast<double>(p), true)
+
+#else  // !KGOA_CONTRACTS_ENABLED
+
+// Operands stay inside an unevaluated sizeof: type-checked, never run.
+#define KGOA_CONTRACT_IGNORE_(...)                                          \
+  do {                                                                      \
+    (void)sizeof(::kgoa::contract::Unevaluated(__VA_ARGS__));               \
+  } while (0)
+
+#define KGOA_DCHECK(cond) KGOA_CONTRACT_IGNORE_(cond)
+#define KGOA_DCHECK_MSG(cond, msg) KGOA_CONTRACT_IGNORE_(cond, msg)
+#define KGOA_DCHECK_EQ(a, b) KGOA_CONTRACT_IGNORE_(a, b)
+#define KGOA_DCHECK_NE(a, b) KGOA_CONTRACT_IGNORE_(a, b)
+#define KGOA_DCHECK_LT(a, b) KGOA_CONTRACT_IGNORE_(a, b)
+#define KGOA_DCHECK_LE(a, b) KGOA_CONTRACT_IGNORE_(a, b)
+#define KGOA_DCHECK_GT(a, b) KGOA_CONTRACT_IGNORE_(a, b)
+#define KGOA_DCHECK_GE(a, b) KGOA_CONTRACT_IGNORE_(a, b)
+#define KGOA_DCHECK_SORTED(first, last) KGOA_CONTRACT_IGNORE_(first, last)
+#define KGOA_DCHECK_SORTED_BY(first, last, cmp) \
+  KGOA_CONTRACT_IGNORE_(first, last, cmp)
+#define KGOA_DCHECK_PROB(p) KGOA_CONTRACT_IGNORE_(p)
+#define KGOA_DCHECK_PROB_POS(p) KGOA_CONTRACT_IGNORE_(p)
+
+#endif  // KGOA_CONTRACTS_ENABLED
+
+#endif  // KGOA_UTIL_CONTRACT_H_

@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 

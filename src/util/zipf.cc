@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/util/check.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 

@@ -2,6 +2,9 @@
 // abort with a diagnostic rather than corrupt results silently — the
 // database-engine convention for invariants that cannot be recovered.
 // Also compiles the umbrella header to keep it self-contained.
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/kgoa.h"
@@ -15,6 +18,89 @@ Slot V(VarId v) { return Slot::MakeVar(v); }
 Slot C(TermId t) { return Slot::MakeConst(t); }
 
 using ContractDeathTest = ::testing::Test;
+
+// --- The macro layer itself (src/util/contract.h) -------------------------
+
+TEST(ContractMacros, CheckPrintsExpressionAndBacktrace) {
+  const int value = 3;
+  EXPECT_DEATH(KGOA_CHECK(value == 4),
+               "KGOA_CHECK failed at .*contract_test.cc.*value == 4");
+#ifdef __GLIBC__
+  EXPECT_DEATH(KGOA_CHECK(value == 4), "backtrace:");
+#endif
+}
+
+TEST(ContractMacros, CheckMsgCarriesDetail) {
+  EXPECT_DEATH(KGOA_CHECK_MSG(false, "the detail string"),
+               "KGOA_CHECK failed at .*the detail string");
+}
+
+TEST(ContractMacros, ComparisonChecksFormatBothOperands) {
+  const int lhs = 2;
+  const int rhs = 3;
+  EXPECT_DEATH(KGOA_CHECK_EQ(lhs, rhs),
+               "KGOA_CHECK_EQ failed at .*lhs == rhs .lhs = 2, rhs = 3");
+  EXPECT_DEATH(KGOA_CHECK_NE(lhs, lhs), "lhs = 2, rhs = 2");
+  EXPECT_DEATH(KGOA_CHECK_LT(rhs, lhs), "lhs = 3, rhs = 2");
+  EXPECT_DEATH(KGOA_CHECK_LE(rhs, lhs), "lhs = 3, rhs = 2");
+  EXPECT_DEATH(KGOA_CHECK_GT(lhs, rhs), "lhs = 2, rhs = 3");
+  EXPECT_DEATH(KGOA_CHECK_GE(lhs, rhs), "lhs = 2, rhs = 3");
+}
+
+TEST(ContractMacros, ComparisonChecksEvaluateOperandsOnce) {
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  KGOA_CHECK_LE(next(), 10);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ContractMacros, DcheckFiresOnlyWhenContractsEnabled) {
+  if (!contract::kEnabled) GTEST_SKIP() << "KGOA_DCHECK compiled out";
+  EXPECT_DEATH(KGOA_DCHECK(1 + 1 == 3), "KGOA_DCHECK failed");
+  EXPECT_DEATH(KGOA_DCHECK_MSG(false, "memo poisoned"), "memo poisoned");
+  const uint32_t small = 1;
+  const uint32_t big = 2;
+  EXPECT_DEATH(KGOA_DCHECK_EQ(small, big),
+               "KGOA_DCHECK_EQ failed at .*lhs = 1, rhs = 2");
+  EXPECT_DEATH(KGOA_DCHECK_GE(small, big), "lhs = 1, rhs = 2");
+}
+
+TEST(ContractMacros, DcheckSortedReportsFirstViolationOffset) {
+  if (!contract::kEnabled) GTEST_SKIP() << "KGOA_DCHECK compiled out";
+  const std::vector<int> sorted = {1, 2, 2, 5};
+  KGOA_DCHECK_SORTED(sorted.begin(), sorted.end());  // must not fire
+  const std::vector<int> broken = {1, 3, 2, 5};
+  EXPECT_DEATH(
+      KGOA_DCHECK_SORTED(broken.begin(), broken.end()),
+      "KGOA_DCHECK_SORTED failed at .*element at offset 2 precedes");
+  EXPECT_DEATH(KGOA_DCHECK_SORTED_BY(sorted.begin(), sorted.end(),
+                                     [](int a, int b) { return a > b; }),
+               "element at offset 1 precedes");
+}
+
+TEST(ContractMacros, DcheckProbEnforcesUnitInterval) {
+  if (!contract::kEnabled) GTEST_SKIP() << "KGOA_DCHECK compiled out";
+  KGOA_DCHECK_PROB(0.0);
+  KGOA_DCHECK_PROB(1.0);
+  KGOA_DCHECK_PROB_POS(1e-12);
+  EXPECT_DEATH(KGOA_DCHECK_PROB(1.5),
+               "KGOA_DCHECK_PROB failed at .*value = 1.5");
+  EXPECT_DEATH(KGOA_DCHECK_PROB(-0.25), "value = -0.25");
+  EXPECT_DEATH(KGOA_DCHECK_PROB_POS(0.0),
+               "KGOA_DCHECK_PROB_POS failed at .*value = 0");
+  const double nan = std::nan("");
+  EXPECT_DEATH(KGOA_DCHECK_PROB(nan), "KGOA_DCHECK_PROB failed");
+}
+
+TEST(ContractMacros, DisabledDchecksNeverEvaluateOperands) {
+  if (contract::kEnabled) GTEST_SKIP() << "KGOA_DCHECK active";
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  KGOA_DCHECK(next() == 0);
+  KGOA_DCHECK_EQ(next(), 7);
+  KGOA_DCHECK_PROB(static_cast<double>(next()));
+  EXPECT_EQ(calls, 0);
+}
 
 ChainQuery ThreeChain() {
   auto q = ChainQuery::Create({MakePattern(V(0), C(1), V(1)),

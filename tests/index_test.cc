@@ -9,6 +9,7 @@
 
 #include "src/index/index_set.h"
 #include "src/index/trie_iterator.h"
+#include "src/util/contract.h"
 #include "tests/test_util.h"
 
 namespace kgoa {
@@ -364,6 +365,30 @@ TEST_F(IndexTest, BuildStatsAndMemoryAreSane) {
 // Differential test: the flat-table hash ranges must answer exactly like
 // the pre-rewrite representation — one std::unordered_map per depth,
 // populated by the same nested block walk the old constructor used.
+// --- Structural contracts on deliberately corrupted inputs ----------------
+
+TEST(TrieIndexContracts, AdoptCtorRejectsCorruptedSortedLevel) {
+  if (!contract::kEnabled) GTEST_SKIP() << "KGOA_DCHECK compiled out";
+  // Level 0 of an SPO trie must be non-decreasing; subject 5 precedes 2.
+  std::vector<Triple> corrupted = {{5, 1, 1}, {2, 1, 1}, {3, 1, 1}};
+  EXPECT_DEATH(
+      TrieIndex(IndexOrder::kSpo, std::move(corrupted), /*num_terms=*/6),
+      "KGOA_DCHECK_SORTED failed at .*precedes");
+}
+
+TEST(TrieIndexContracts, CheckInvariantsCatchesCorruptedTrie) {
+  // Always-on validation: whichever contract layer is active, adopting an
+  // unsorted array and auditing the index must abort, never return wrong
+  // ranges silently.
+  const auto adopt_and_audit = [] {
+    std::vector<Triple> corrupted = {{5, 1, 1}, {2, 1, 1}, {3, 1, 1}};
+    const TrieIndex index(IndexOrder::kSpo, std::move(corrupted),
+                          /*num_terms=*/6);
+    index.CheckInvariants();
+  };
+  EXPECT_DEATH(adopt_and_audit(), "failed at");
+}
+
 TEST(IndexRandom, FlatTablesMatchReferenceMaps) {
   Rng rng(4242);
   for (int round = 0; round < 10; ++round) {
