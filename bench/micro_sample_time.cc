@@ -4,13 +4,23 @@
 // ~2.5us average thanks to caching), and the underlying index operations
 // (flat-table hash-range probes, CSR level-0 narrow, galloping seeks).
 //
-// Besides the google-benchmark table, the binary ends with one
-// machine-readable `trace {...}` JSON line (the PR 1 convention; scrape
-// with `grep '^trace '`) carrying ns/op for the Depth1/Depth2/Ndv2 probe
-// and SeekGE paths, the per-order index build times, resident bytes, and
-// the thread's probe counters.
+// Besides the google-benchmark table, the binary ends with two
+// machine-readable JSON lines (the PR 1 convention):
+//
+//  * `trace {...}` — ns/op for the Depth1/Depth2/Ndv2 probe and SeekGE
+//    paths, the per-order index build times, resident bytes, and the
+//    thread's probe counters (scrape with `grep '^trace '`);
+//  * `reach_trace {...}` — the reach-probability cache ablation: cold
+//    first-touch cost, warm shared-cache probe cost (with and without
+//    concurrent readers), the per-thread private-memo path the shared
+//    cache replaced, and the cache's own counters (scrape with
+//    `grep '^reach_trace '`; scripts/bench_json.sh turns it into
+//    BENCH_reach.json). Set KGOA_BENCH_QUICK=1 for a smoke-sized run.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
 #include <unordered_map>
 
 #include <benchmark/benchmark.h>
@@ -298,6 +308,251 @@ double NsPerOp(uint64_t iterations, const Stopwatch& clock) {
   return clock.ElapsedSeconds() * 1e9 / static_cast<double>(iterations);
 }
 
+// --------------------------------------------------------------------------
+// Reach-probability cache benches (the Audit Join distinct hot path).
+
+bool BenchQuick() { return std::getenv("KGOA_BENCH_QUICK") != nullptr; }
+
+// A fixed worklist of distinct (a, b) pairs drawn the way the amortized
+// bench above draws them (group x random subject), plus one shared cache
+// pre-warmed over the whole worklist.
+struct ReachBenchFixture {
+  ReachBenchFixture()
+      : plan(WalkPlan::Compile(*GetFixture().root_out_property)),
+        reach(GetFixture().indexes, plan) {
+    Fixture& f = GetFixture();
+    const GroupedResult exact =
+        CtjEngine(f.indexes).Evaluate(*f.root_out_property);
+    std::vector<TermId> groups;
+    for (const auto& [group, count] : exact.counts) groups.push_back(group);
+    const auto& triples = f.graph.triples();
+    Rng rng(7);
+    const std::size_t target = BenchQuick() ? 1000 : 8000;
+    FlatAccumulator<uint64_t, uint8_t> seen;
+    while (pairs.size() < target) {
+      const uint64_t key =
+          PackPair(groups[rng.Below(groups.size())],
+                   triples[rng.Below(triples.size())].s);
+      if (!seen.Contains(key)) {
+        seen.FindOrAdd(key) = 1;
+        pairs.push_back(key);
+      }
+    }
+    double sink = 0;
+    for (const uint64_t key : pairs) sink += Probe(reach, key);
+    benchmark::DoNotOptimize(sink);
+  }
+
+  static double Probe(ReachProbability& cache, uint64_t key) {
+    return cache.PrAB(static_cast<TermId>(key >> 32),
+                      static_cast<TermId>(key & 0xffffffffu));
+  }
+
+  WalkPlan plan;
+  ReachProbability reach;  // warm after construction
+  std::vector<uint64_t> pairs;
+};
+
+ReachBenchFixture& GetReachFixture() {
+  static ReachBenchFixture* fixture = new ReachBenchFixture();
+  return *fixture;
+}
+
+// Warm lookups against the run-shared cache — the steady state of the
+// audit hot path once the working set has been audited.
+void BM_ReachWarmSharedProbe(benchmark::State& state) {
+  ReachBenchFixture& f = GetReachFixture();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const uint64_t key = f.pairs[i];
+    if (++i == f.pairs.size()) i = 0;
+    benchmark::DoNotOptimize(ReachBenchFixture::Probe(f.reach, key));
+  }
+}
+BENCHMARK(BM_ReachWarmSharedProbe);
+
+// The pre-shared-cache design: every engine owns a private memo and pays
+// its own first-touch DP computes. One fresh cache per pass over the
+// worklist, so the per-op figure is the amortized cold cost.
+void BM_ReachColdPrivateMemo(benchmark::State& state) {
+  ReachBenchFixture& f = GetReachFixture();
+  Fixture& base = GetFixture();
+  std::unique_ptr<ReachProbability> cache;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i == 0) {
+      cache = std::make_unique<ReachProbability>(base.indexes, f.plan);
+    }
+    const uint64_t key = f.pairs[i];
+    if (++i == f.pairs.size()) i = 0;
+    benchmark::DoNotOptimize(ReachBenchFixture::Probe(*cache, key));
+  }
+}
+BENCHMARK(BM_ReachColdPrivateMemo);
+
+// Concurrent readers on the one shared cache — the executor's worker
+// threads probing while the memo is warm.
+void BM_ReachSharedAcrossThreads(benchmark::State& state) {
+  ReachBenchFixture& f = GetReachFixture();
+  std::size_t i = (static_cast<std::size_t>(state.thread_index()) * 97) %
+                  f.pairs.size();
+  for (auto _ : state) {
+    const uint64_t key = f.pairs[i];
+    if (++i == f.pairs.size()) i = 0;
+    benchmark::DoNotOptimize(ReachBenchFixture::Probe(f.reach, key));
+  }
+}
+BENCHMARK(BM_ReachSharedAcrossThreads)->Threads(8);
+
+// The reach-cache ablation, hand-timed and emitted as the stable-keyed
+// `reach_trace` JSON line that scripts/bench_json.sh captures.
+void EmitReachTrace() {
+  Fixture& base = GetFixture();
+  ReachBenchFixture& f = GetReachFixture();
+  const bool quick = BenchQuick();
+  const int threads = quick ? 4 : 8;
+  const uint64_t passes = quick ? 4 : 16;
+  const std::size_t n = f.pairs.size();
+  MetricsRegistry registry;
+
+  // Seed path: `threads` engines, each with its own private memo — every
+  // engine recomputes every pair (the behaviour the shared cache
+  // replaces).
+  double seed_path_ns;
+  {
+    Stopwatch clock;
+    for (int t = 0; t < threads; ++t) {
+      ReachProbability private_cache(base.indexes, f.plan);
+      double sink = 0;
+      for (const uint64_t key : f.pairs) {
+        sink += ReachBenchFixture::Probe(private_cache, key);
+      }
+      benchmark::DoNotOptimize(sink);
+    }
+    seed_path_ns = NsPerOp(static_cast<uint64_t>(threads) * n, clock);
+  }
+
+  // Shared path: the same lookups against ONE run-shared cache — the
+  // first engine computes, the rest hit.
+  double shared_path_ns;
+  {
+    Stopwatch clock;
+    ReachProbability shared(base.indexes, f.plan);
+    for (int t = 0; t < threads; ++t) {
+      double sink = 0;
+      for (const uint64_t key : f.pairs) {
+        sink += ReachBenchFixture::Probe(shared, key);
+      }
+      benchmark::DoNotOptimize(sink);
+    }
+    shared_path_ns = NsPerOp(static_cast<uint64_t>(threads) * n, clock);
+  }
+
+  // Amortized cold first-touch (one fresh cache, one pass).
+  double cold_ns;
+  {
+    Stopwatch clock;
+    ReachProbability fresh(base.indexes, f.plan);
+    double sink = 0;
+    for (const uint64_t key : f.pairs) {
+      sink += ReachBenchFixture::Probe(fresh, key);
+    }
+    benchmark::DoNotOptimize(sink);
+    cold_ns = NsPerOp(n, clock);
+  }
+
+  // Warm shared probes, batched the way AuditJoin flushes contributions:
+  // prefetch the batch's memo slots, then probe them in order.
+  double warm_shared_ns;
+  {
+    constexpr std::size_t kBatch = 128;
+    Stopwatch clock;
+    double sink = 0;
+    for (uint64_t pass = 0; pass < passes; ++pass) {
+      for (std::size_t begin = 0; begin < n; begin += kBatch) {
+        const std::size_t end = std::min(begin + kBatch, n);
+        for (std::size_t j = begin; j < end; ++j) {
+          f.reach.PrefetchPrAB(static_cast<TermId>(f.pairs[j] >> 32),
+                               static_cast<TermId>(f.pairs[j] & 0xffffffffu));
+        }
+        for (std::size_t j = begin; j < end; ++j) {
+          sink += ReachBenchFixture::Probe(f.reach, f.pairs[j]);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+    warm_shared_ns = NsPerOp(passes * n, clock);
+  }
+
+  // Steady-state lookups from the node-based memo the flat cache
+  // replaced (a per-engine std::unordered_map).
+  double warm_refmap_ns;
+  {
+    std::unordered_map<uint64_t, double> ref;
+    ref.reserve(n);
+    for (const uint64_t key : f.pairs) {
+      ref.emplace(key, ReachBenchFixture::Probe(f.reach, key));
+    }
+    Stopwatch clock;
+    double sink = 0;
+    for (uint64_t pass = 0; pass < passes; ++pass) {
+      for (const uint64_t key : f.pairs) sink += ref.find(key)->second;
+    }
+    benchmark::DoNotOptimize(sink);
+    warm_refmap_ns = NsPerOp(passes * n, clock);
+  }
+
+  // Concurrent warm readers: wall-clock ns per lookup with every thread
+  // probing the one shared cache.
+  double warm_shared_mt_ns;
+  {
+    Stopwatch clock;
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&f, t, passes, n] {
+        std::size_t i = (static_cast<std::size_t>(t) * 131) % n;
+        double sink = 0;
+        for (uint64_t pass = 0; pass < passes; ++pass) {
+          for (std::size_t k = 0; k < n; ++k) {
+            sink += ReachBenchFixture::Probe(f.reach, f.pairs[i]);
+            if (++i == n) i = 0;
+          }
+        }
+        benchmark::DoNotOptimize(sink);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    warm_shared_mt_ns =
+        NsPerOp(static_cast<uint64_t>(threads) * passes * n, clock);
+  }
+
+  const ShardedTableStats stats = f.reach.stats();
+  registry.SetCounter("reach.pairs", n);
+  registry.SetCounter("reach.threads", static_cast<uint64_t>(threads));
+  registry.SetCounter("reach.hits", stats.hits);
+  registry.SetCounter("reach.misses", stats.misses);
+  registry.SetCounter("reach.contention", stats.insert_contention);
+  registry.SetCounter("reach.entries", stats.entries);
+  registry.SetCounter("reach.memory_bytes", stats.memory_bytes);
+  registry.SetGauge("reach.cold_ns", cold_ns);
+  registry.SetGauge("reach.warm_shared_ns", warm_shared_ns);
+  registry.SetGauge("reach.warm_refmap_ns", warm_refmap_ns);
+  registry.SetGauge("reach.warm_shared_mt_ns", warm_shared_mt_ns);
+  registry.SetGauge("reach.seed_path_ns", seed_path_ns);
+  registry.SetGauge("reach.shared_path_ns", shared_path_ns);
+  registry.SetGauge("reach.speedup_shared_vs_seed",
+                    seed_path_ns / shared_path_ns);
+  // The acceptance headline: warm shared-cache lookups vs the seed's
+  // recompute-per-thread path.
+  registry.SetGauge("reach.speedup_warm_vs_seed",
+                    seed_path_ns / warm_shared_ns);
+  registry.SetGauge("reach.speedup_warm_vs_refmap",
+                    warm_refmap_ns / warm_shared_ns);
+  std::printf("reach_trace %s\n", registry.ToJson().c_str());
+  std::fflush(stdout);
+}
+
 void EmitIndexTrace() {
   Fixture& f = GetFixture();
   const HashRangeIndex& hash = f.indexes.Hash(IndexOrder::kSpo);
@@ -374,5 +629,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   kgoa::EmitIndexTrace();
+  kgoa::EmitReachTrace();
   return 0;
 }

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Runs the reach-probability cache benches and captures their
+# machine-readable `reach_trace` line as BENCH_reach.json.
+#
+# Usage: scripts/bench_json.sh [--quick] [out.json]
+#
+#   --quick    Smoke-sized run (KGOA_BENCH_QUICK=1: 1000 pairs, 4 threads)
+#              and only the hand-timed ablation — what tier1.sh runs.
+#   out.json   Output path; defaults to BENCH_reach.json in the repo root.
+#
+# The build directory defaults to ./build; override with KGOA_BENCH_BUILD.
+# The emitted JSON has the stable key set checked at the bottom of this
+# script — downstream tooling (EXPERIMENTS.md tables, regression diffs)
+# may rely on those keys existing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+OUT="BENCH_reach.json"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) OUT="$arg" ;;
+  esac
+done
+
+BUILD="${KGOA_BENCH_BUILD:-build}"
+BIN="$BUILD/bench/micro_sample_time"
+if [[ ! -x "$BIN" ]]; then
+  cmake --build "$BUILD" --target micro_sample_time -j "$(nproc)"
+fi
+
+if [[ "$QUICK" == "1" ]]; then
+  # Filter that matches nothing: skip the google-benchmark loops and run
+  # only the hand-timed EmitReachTrace ablation.
+  RAW=$(KGOA_BENCH_QUICK=1 "$BIN" --benchmark_filter='^$' 2>/dev/null)
+else
+  RAW=$("$BIN" --benchmark_filter='^BM_Reach' 2>/dev/null)
+fi
+
+echo "$RAW" | grep '^reach_trace ' | sed 's/^reach_trace //' > "$OUT"
+
+python3 - "$OUT" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path, encoding="utf-8") as f:
+    trace = json.load(f)
+
+COUNTERS = {
+    "reach.pairs", "reach.threads", "reach.hits", "reach.misses",
+    "reach.contention", "reach.entries", "reach.memory_bytes",
+}
+GAUGES = {
+    "reach.cold_ns", "reach.warm_shared_ns", "reach.warm_refmap_ns",
+    "reach.warm_shared_mt_ns", "reach.seed_path_ns", "reach.shared_path_ns",
+    "reach.speedup_shared_vs_seed", "reach.speedup_warm_vs_seed",
+    "reach.speedup_warm_vs_refmap",
+}
+missing = sorted(COUNTERS - trace.get("counters", {}).keys())
+missing += sorted(GAUGES - trace.get("gauges", {}).keys())
+if missing:
+    sys.exit(f"bench_json.sh: {path} is missing stable keys: {missing}")
+print(f"bench_json.sh: wrote {path} "
+      f"(warm_shared={trace['gauges']['reach.warm_shared_ns']:.1f} ns/op, "
+      f"speedup_warm_vs_seed="
+      f"{trace['gauges']['reach.speedup_warm_vs_seed']:.2f}x)")
+EOF

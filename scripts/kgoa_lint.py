@@ -9,9 +9,11 @@ Rules (see DESIGN.md, "Correctness tooling"):
                          and a backtrace, and stay active per build level.
   legacy-check-include   src/util/check.h is gone; nothing may include it.
   unordered-in-hot-path  No std::unordered_map / std::unordered_set inside
-                         src/index or src/join: node-based hashing is what
-                         FlatTable exists to replace. Deliberate uses
-                         (reference baselines, result containers) carry a
+                         the hot-path dirs (src/index, src/join, src/core,
+                         src/ola): node-based hashing is what FlatTable,
+                         FlatAccumulator and ShardedFlatTable exist to
+                         replace. Deliberate uses (reference baselines,
+                         result containers) carry a
                          `kgoa-lint: allow(unordered-in-hot-path)` note.
   raw-rand               No rand()/srand()/std::mt19937/std::random_device
                          anywhere in src/: all randomness flows through the
@@ -148,7 +150,8 @@ class Linter:
         code_lines = code.splitlines()
         rel = path.relative_to(REPO).as_posix()
         in_src = rel.startswith("src/")
-        in_hot = rel.startswith(("src/index/", "src/join/"))
+        in_hot = rel.startswith(
+            ("src/index/", "src/join/", "src/core/", "src/ola/"))
         is_contract = rel == "src/util/contract.h"
         is_index_impl = rel in (
             "src/index/trie_index.h",
@@ -186,9 +189,11 @@ class Linter:
             if in_hot:
                 if re.search(r"\bunordered_(map|set)\b", line):
                     check("unordered-in-hot-path", i,
-                          "node-based hash containers are banned in "
-                          "src/index and src/join; use FlatTable or "
-                          "annotate the deliberate exception")
+                          "node-based hash containers are banned in the "
+                          "hot-path dirs (src/index, src/join, src/core, "
+                          "src/ola); use FlatTable/FlatAccumulator/"
+                          "ShardedFlatTable or annotate the deliberate "
+                          "exception")
 
             if in_src and not is_index_impl:
                 m = INDEX_SEEK_STMT_RE.match(line)

@@ -3,9 +3,10 @@
 #
 #  1. build + full ctest suite (warnings are errors: KGOA_WERROR=ON)
 #  2. scripts/lint.sh — -Werror rebuild, repo lint rules, clang-tidy
-#  3. parallel_test under ThreadSanitizer (the snapshot-publishing path
-#     is the only multi-threaded code in the repo; the parallel index
-#     build rides along)
+#  3. parallel_test + reach_concurrent_test under ThreadSanitizer (the
+#     snapshot-publishing path and the shared sharded reach cache are
+#     the repo's multi-threaded code; the parallel index build rides
+#     along)
 #  4. the ENTIRE ctest suite under AddressSanitizer and UBSan
 #  5. the entire suite again with -DKGOA_CONTRACTS=ON, so every
 #     KGOA_DCHECK contract (sortedness, cursor monotonicity, memo
@@ -13,6 +14,8 @@
 #     otherwise-release build
 #  6. both fuzz harnesses (-DKGOA_FUZZ=ON) replay their corpus and fuzz
 #     for KGOA_FUZZ_SECONDS (default 60) each
+#  7. reach-cache bench smoke: scripts/bench_json.sh --quick must emit a
+#     BENCH_reach.json with the stable key set
 #
 # Usage: scripts/tier1.sh   (from the repo root)
 set -euo pipefail
@@ -30,10 +33,12 @@ echo "=== tier-1: static analysis (scripts/lint.sh) ==="
 scripts/lint.sh build-lint
 
 echo
-echo "=== tier-1: parallel_test under ThreadSanitizer ==="
+echo "=== tier-1: concurrency tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DKGOA_SANITIZE=thread -DKGOA_WERROR=ON
-cmake --build build-tsan -j "${JOBS}" --target parallel_test
+cmake --build build-tsan -j "${JOBS}" --target parallel_test \
+      --target reach_concurrent_test
 ./build-tsan/tests/parallel_test
+./build-tsan/tests/reach_concurrent_test
 
 for san in address undefined; do
   echo
@@ -56,6 +61,10 @@ echo "=== tier-1: fuzz harnesses (${FUZZ_SECONDS}s each) ==="
     "-max_total_time=${FUZZ_SECONDS}"
 ./build-contracts/fuzz/join_fuzz fuzz/corpus/join \
     "-max_total_time=${FUZZ_SECONDS}"
+
+echo
+echo "=== tier-1: reach-cache bench smoke (scripts/bench_json.sh) ==="
+scripts/bench_json.sh --quick
 
 echo
 echo "tier-1 OK"

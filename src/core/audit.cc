@@ -3,6 +3,15 @@
 #include "src/util/contract.h"
 
 namespace kgoa {
+namespace {
+
+// Pending contributions are flushed once this many accumulate (and at the
+// end of every public entry point). The value only affects when the
+// prefetch pass runs, never the accumulation order, so it is not part of
+// the determinism contract.
+constexpr std::size_t kReachFlushBatch = 128;
+
+}  // namespace
 
 AuditJoin::AuditJoin(const IndexSet& indexes, const ChainQuery& query,
                      Options options)
@@ -11,9 +20,18 @@ AuditJoin::AuditJoin(const IndexSet& indexes, const ChainQuery& query,
       options_(options),
       plan_(WalkPlan::Compile(query_, options_.walk_order)),
       tipping_(indexes_, plan_),
-      reach_(indexes_, plan_),
       rng_(options_.seed),
       state_(plan_.num_slots(), kInvalidTerm) {
+  if (options_.shared_reach != nullptr) {
+    // A shared cache memoizes pure functions of its walk plan; serving a
+    // different plan would silently corrupt the distinct estimator.
+    KGOA_CHECK_MSG(options_.shared_reach->CompatibleWith(plan_),
+                   "shared reach cache built for a different walk plan");
+    reach_ = options_.shared_reach;
+  } else {
+    owned_reach_ = std::make_unique<ReachProbability>(indexes_, plan_);
+    reach_ = owned_reach_.get();
+  }
   const int n = plan_.NumSteps();
   next_in_component_.assign(n, -1);
   count_memo_.resize(n);
@@ -25,13 +43,14 @@ AuditJoin::AuditJoin(const IndexSet& indexes, const ChainQuery& query,
     next_in_component_[q] = pattern.ComponentOf(plan_.steps()[q + 1].in_var);
     KGOA_DCHECK(next_in_component_[q] >= 0);
   }
+  pending_.reserve(kReachFlushBatch);
 }
 
 uint64_t AuditJoin::CountFrom(int q, TermId value) {
   KGOA_DCHECK(q < plan_.NumSteps());
-  if (auto it = count_memo_[q].find(value); it != count_memo_[q].end()) {
+  if (const uint64_t* found = count_memo_[q].Find(value)) {
     ++count_cache_hits_;
-    return it->second;
+    return *found;
   }
   const WalkStep& step = plan_.steps()[q];
   const Range range = step.access.Resolve(indexes_, value);
@@ -49,22 +68,23 @@ uint64_t AuditJoin::CountFrom(int q, TermId value) {
     }
   }
   // Compute-then-insert: the memo only ever holds finished counts, so an
-  // abort mid-computation cannot leave a poisoned zero behind, and the
-  // miss path pays a single insertion instead of a second lookup.
-  const bool inserted = count_memo_[q].emplace(value, count).second;
-  KGOA_DCHECK_MSG(inserted, "count memo entry overwritten");
+  // abort mid-computation cannot leave a poisoned zero behind. The
+  // recursion above only touches deeper steps, so this (step, value) slot
+  // is still vacant.
+  KGOA_DCHECK(!count_memo_[q].Contains(value));
+  count_memo_[q].FindOrAdd(value) = count;
   return count;
 }
 
 bool AuditJoin::EnumerateRemaining(int q, std::vector<TermId>& state,
                                    double mass, uint64_t* budget,
-                                   std::unordered_map<uint64_t, double>* acc) {
+                                   FlatAccumulator<uint64_t, double>* acc) {
   if (q == plan_.NumSteps()) {
     if (query_.distinct()) {
-      (*acc)[PackPair(state[plan_.alpha_slot()], state[plan_.beta_slot()])] +=
-          mass;
+      acc->FindOrAdd(PackPair(state[plan_.alpha_slot()],
+                              state[plan_.beta_slot()])) += mass;
     } else {
-      (*acc)[state[plan_.alpha_slot()]] += 1.0;
+      acc->FindOrAdd(state[plan_.alpha_slot()]) += 1.0;
     }
     return true;
   }
@@ -106,32 +126,56 @@ bool AuditJoin::TippedContributions(int q0, std::vector<TermId>& state,
 
   const int in_slot = plan_.steps()[q0].in_slot;
   const TermId in_value = in_slot >= 0 ? state[in_slot] : kInvalidTerm;
-  if (abort_memo_[q0].count(in_value) > 0) return false;
+  if (abort_memo_[q0].Contains(in_value)) return false;
 
-  std::unordered_map<uint64_t, double> acc;
+  tip_acc_.Clear();
   uint64_t budget = options_.max_tip_enumeration;
-  if (!EnumerateRemaining(q0, state, 1.0, &budget, &acc)) {
-    abort_memo_[q0].insert(in_value);
+  if (!EnumerateRemaining(q0, state, 1.0, &budget, &tip_acc_)) {
+    abort_memo_[q0].FindOrAdd(in_value) = 1;
     return false;
   }
 
+  // The arena iterates in insertion (enumeration) order, so the per-group
+  // summation below is deterministic.
   if (query_.distinct()) {
-    for (const auto& [key, walk_mass] : acc) {
-      const TermId a = static_cast<TermId>(key >> 32);
-      const TermId b = static_cast<TermId>(key & 0xffffffffu);
-      const double pr = reach_.PrAB(a, b);
+    for (const auto& item : tip_acc_.items()) {
+      const TermId a = static_cast<TermId>(item.key >> 32);
+      const TermId b = static_cast<TermId>(item.key & 0xffffffffu);
+      const double pr = reach_->PrAB(a, b);
       KGOA_DCHECK_PROB_POS(pr);
-      (*out)[a] += walk_mass / pr;
+      (*out)[a] += item.value / pr;
     }
   } else {
-    for (const auto& [a, count] : acc) {
-      (*out)[static_cast<TermId>(a)] += weight * count;
+    for (const auto& item : tip_acc_.items()) {
+      (*out)[static_cast<TermId>(item.key)] += weight * item.value;
     }
   }
   return true;
 }
 
-void AuditJoin::RunOneWalk() {
+void AuditJoin::FlushContributions() {
+  // Prefetch pass: pull the Pr memo slots of every pending pair toward
+  // the cache before the in-order probe loop below touches them.
+  for (const PendingContribution& p : pending_) {
+    if (p.needs_pr) {
+      reach_->PrefetchPrAB(static_cast<TermId>(p.pair_key >> 32),
+                           static_cast<TermId>(p.pair_key & 0xffffffffu));
+    }
+  }
+  for (const PendingContribution& p : pending_) {
+    double value = p.value;
+    if (p.needs_pr) {
+      const double pr = reach_->PrAB(static_cast<TermId>(p.pair_key >> 32),
+                                     static_cast<TermId>(p.pair_key));
+      KGOA_DCHECK_PROB_POS(pr);
+      value = 1.0 / pr;
+    }
+    estimates_.AddContribution(p.group, value);
+  }
+  pending_.clear();
+}
+
+void AuditJoin::RunOneWalkInternal() {
   double weight = 1.0;  // 1 / Pr(delta) for the sampled prefix
   for (int q = 0; q < plan_.NumSteps(); ++q) {
     const WalkStep& step = plan_.steps()[q];
@@ -146,7 +190,9 @@ void AuditJoin::RunOneWalk() {
       ContributionMap contributions;
       if (TippedContributions(q, state_, weight, &contributions)) {
         for (const auto& [group, value] : contributions) {
-          if (value > 0) estimates_.AddContribution(group, value);
+          if (value > 0) {
+            pending_.push_back({group, value, 0, /*needs_pr=*/false});
+          }
         }
         ++tipped_;
         estimates_.EndWalk(/*rejected=*/false);
@@ -163,7 +209,9 @@ void AuditJoin::RunOneWalk() {
       ContributionMap contributions;
       if (TippedContributions(q, state_, weight, &contributions)) {
         for (const auto& [group, value] : contributions) {
-          if (value > 0) estimates_.AddContribution(group, value);
+          if (value > 0) {
+            pending_.push_back({group, value, 0, /*needs_pr=*/false});
+          }
         }
         ++tipped_;
         estimates_.EndWalk(/*rejected=*/false);
@@ -191,18 +239,28 @@ void AuditJoin::RunOneWalk() {
 
   const TermId a = state_[plan_.alpha_slot()];
   if (query_.distinct()) {
-    const double pr = reach_.PrAB(a, state_[plan_.beta_slot()]);
-    KGOA_DCHECK_PROB_POS(pr);
-    estimates_.AddContribution(a, 1.0 / pr);
+    // The Pr(a, b) division is deferred to the flush's batched probe
+    // loop; the walk itself only records the audited pair.
+    pending_.push_back(
+        {a, 0.0, PackPair(a, state_[plan_.beta_slot()]), /*needs_pr=*/true});
   } else {
-    estimates_.AddContribution(a, weight);
+    pending_.push_back({a, weight, 0, /*needs_pr=*/false});
   }
   ++full_;
   estimates_.EndWalk(/*rejected=*/false);
 }
 
+void AuditJoin::RunOneWalk() {
+  RunOneWalkInternal();
+  FlushContributions();
+}
+
 void AuditJoin::RunWalks(uint64_t count) {
-  for (uint64_t i = 0; i < count; ++i) RunOneWalk();
+  for (uint64_t i = 0; i < count; ++i) {
+    RunOneWalkInternal();
+    if (pending_.size() >= kReachFlushBatch) FlushContributions();
+  }
+  FlushContributions();
 }
 
 void AuditJoin::EnumerateAllWalks(
@@ -216,7 +274,7 @@ void AuditJoin::EnumerateAllWalks(
       ContributionMap contributions;
       const TermId a = state[plan_.alpha_slot()];
       if (query_.distinct()) {
-        contributions[a] = 1.0 / reach_.PrAB(a, state[plan_.beta_slot()]);
+        contributions[a] = 1.0 / reach_->PrAB(a, state[plan_.beta_slot()]);
       } else {
         contributions[a] = weight;
       }

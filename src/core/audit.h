@@ -19,16 +19,25 @@
 //
 // Estimates for every group divide by the total number of walks, rejected
 // walks included (Figure 7, line 24).
+//
+// Contribution batching: per-walk contributions are buffered and flushed
+// in walk order — distinct full walks defer their Pr(a, b) division to the
+// flush, where the pending pairs run as a tight prefetch-then-probe loop
+// over the reach cache's shard arrays. Because the flush preserves walk
+// order, the per-group floating-point accumulation sequence is a function
+// of the walk sequence alone, independent of batch boundaries — which is
+// what keeps parallel walk-budget runs bit-identical across thread counts.
 #ifndef KGOA_CORE_AUDIT_H_
 #define KGOA_CORE_AUDIT_H_
 
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
+#include <unordered_map>  // kgoa-lint: allow(unordered-in-hot-path) verification hook only
 #include <vector>
 
 #include "src/core/reach.h"
 #include "src/core/tipping.h"
+#include "src/index/flat_table.h"
 #include "src/index/index_set.h"
 #include "src/ola/estimator.h"
 #include "src/ola/walk_plan.h"
@@ -62,6 +71,15 @@ class AuditJoin {
     // sampling instead (a deterministic function of the prefix, so
     // unbiasedness is preserved).
     uint64_t max_tip_enumeration = 4096;
+    // When set, this engine audits against the given shared
+    // reach-probability cache instead of building a private one. The cache
+    // must have been built for an equivalent walk plan (same query, same
+    // pattern order — contract-checked) and must outlive the engine.
+    // Sharing one cache across the workers of a parallel run is what
+    // makes each distinct (a, b) pair cost one audit per run instead of
+    // one per thread; see src/core/reach.h for why it preserves
+    // bit-identical estimates.
+    ReachProbability* shared_reach = nullptr;
   };
 
   AuditJoin(const IndexSet& indexes, const ChainQuery& query)
@@ -83,13 +101,17 @@ class AuditJoin {
   uint64_t full_walks() const { return full_; }
   uint64_t tip_aborts() const { return tip_aborts_; }
   uint64_t suffix_cache_hits() const { return count_cache_hits_; }
-  const ReachProbability& reach() const { return reach_; }
+  const ReachProbability& reach() const { return *reach_; }
+  bool owns_reach() const { return owned_reach_ != nullptr; }
 
   // Verification hook mirroring RunOneWalk's decisions exactly: enumerates
   // every stoppable prefix delta with its probability and the contribution
   // map the estimator would add. The probability-weighted sum per group
   // must equal the exact (distinct or non-distinct) count — the
   // deterministic form of Propositions IV.1 / IV.2 used by the tests.
+  // Node-based map is deliberate: this is a verification interface whose
+  // callers index by arbitrary group, never a per-walk hot path.
+  // kgoa-lint: allow(unordered-in-hot-path) verification hook result type
   using ContributionMap = std::unordered_map<TermId, double>;
   void EnumerateAllWalks(
       const std::function<void(double probability,
@@ -111,17 +133,27 @@ class AuditJoin {
 
   // Recursive exact enumeration of the remaining steps; returns false on
   // budget exhaustion. Accumulates either per-alpha counts (non-distinct)
-  // or per-(a, b) walk mass (distinct).
+  // or per-(a, b) walk mass (distinct) into the insertion-ordered arena.
   bool EnumerateRemaining(int q, std::vector<TermId>& state, double mass,
                           uint64_t* budget,
-                          std::unordered_map<uint64_t, double>* acc);
+                          FlatAccumulator<uint64_t, double>* acc);
+
+  // One walk, with contributions deferred into pending_ (flushed by the
+  // public entry points).
+  void RunOneWalkInternal();
+
+  // Drains pending_ in walk order: one prefetch pass over the reach
+  // cache's shards for the pairs still owing their Pr division, then one
+  // in-order probe-and-accumulate pass.
+  void FlushContributions();
 
   const IndexSet& indexes_;
   ChainQuery query_;
   Options options_;
   WalkPlan plan_;
   TippingEstimator tipping_;
-  ReachProbability reach_;
+  std::unique_ptr<ReachProbability> owned_reach_;  // null when shared
+  ReachProbability* reach_;
   GroupedEstimates estimates_;
   Rng rng_;
   std::vector<TermId> state_;
@@ -129,13 +161,25 @@ class AuditJoin {
   // next_in_component_[q]: component of step q's pattern carrying step
   // q+1's in-value, when steps q, q+1 chain directly (-1 otherwise).
   std::vector<int> next_in_component_;
-  std::vector<std::unordered_map<TermId, uint64_t>> count_memo_;
+  std::vector<FlatAccumulator<TermId, uint64_t>> count_memo_;
   // In-values whose tip enumeration at a step exceeded the budget once;
   // later walks skip the attempt. The decision stays a deterministic
   // function of the prefix (and of earlier, independent walks), so the
   // estimator stays unbiased.
-  std::vector<std::unordered_set<TermId>> abort_memo_;
+  std::vector<FlatAccumulator<TermId, uint8_t>> abort_memo_;
   uint64_t count_cache_hits_ = 0;
+
+  // Scratch arena reused by TippedContributions across walks.
+  FlatAccumulator<uint64_t, double> tip_acc_;
+
+  // Deferred per-walk contributions, in walk order.
+  struct PendingContribution {
+    TermId group;
+    double value;       // final contribution, unless needs_pr
+    uint64_t pair_key;  // PackPair(a, b) when needs_pr
+    bool needs_pr;      // true: contribution is 1 / PrAB(a, b)
+  };
+  std::vector<PendingContribution> pending_;
 
   uint64_t tipped_ = 0;
   uint64_t full_ = 0;

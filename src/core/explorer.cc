@@ -56,12 +56,19 @@ Chart Explorer::ApproximateChart(const ChainQuery& query, double seconds,
   if (options.walk_order.empty()) {
     options.walk_order = DefaultAuditOrder(query);
   }
+  // Serve distinct charts against the session's warm reach cache so a
+  // revisited (query, walk order) never re-audits a pair (the memos are
+  // exact across servings — src/explore/cache.h).
+  if (query.distinct() && options.shared_reach == nullptr) {
+    options.shared_reach = reach_caches_.Acquire(query, options.walk_order);
+  }
   Stopwatch clock;
   AuditJoin audit(*indexes_, query, options);
   do {
     audit.RunWalks(64);
   } while (clock.ElapsedSeconds() < seconds);
   ExportMetrics(audit, "aj.", &metrics_);
+  ExportReachMetrics();
   metrics_.Add("explorer.charts", 1);
   metrics_.SetGauge("explorer.last_chart_seconds", clock.ElapsedSeconds());
   return ChartFromEstimates(audit.estimates(), kind);
@@ -73,9 +80,14 @@ Chart Explorer::ApproximateChartParallel(const ChainQuery& query,
   if (options.use_audit && options.walk_order.empty()) {
     options.walk_order = DefaultAuditOrder(query);
   }
+  if (options.use_audit && query.distinct() &&
+      options.shared_reach == nullptr) {
+    options.shared_reach = reach_caches_.Acquire(query, options.walk_order);
+  }
   const ParallelOlaResult run =
       ParallelOlaExecutor(*indexes_, query, options).RunForDuration(seconds);
   ExportMetrics(run.counters, options.use_audit ? "aj." : "wj.", &metrics_);
+  if (options.use_audit) ExportReachMetrics();
   metrics_.Add(options.use_audit ? "aj.walks" : "wj.walks",
                run.estimates.walks());
   metrics_.Add(options.use_audit ? "aj.rejected_walks" : "wj.rejected_walks",
@@ -88,6 +100,21 @@ Chart Explorer::ApproximateChartParallel(const ChainQuery& query,
                               run.elapsed_seconds
                         : 0.0);
   return ChartFromEstimates(run.estimates, kind);
+}
+
+void Explorer::ExportReachMetrics() const {
+  // Session-cumulative values, so SetCounter (not Add): each serving
+  // republishes the registry's current totals.
+  metrics_.SetCounter("explorer.reach.plans", reach_caches_.plans());
+  metrics_.SetCounter("explorer.reach.plan_hits", reach_caches_.plan_hits());
+  metrics_.SetCounter("explorer.reach.plan_misses",
+                      reach_caches_.plan_misses());
+  const ShardedTableStats stats = reach_caches_.stats();
+  metrics_.SetCounter("explorer.reach.hits", stats.hits);
+  metrics_.SetCounter("explorer.reach.misses", stats.misses);
+  metrics_.SetCounter("explorer.reach.contention", stats.insert_contention);
+  metrics_.SetCounter("explorer.reach.entries", stats.entries);
+  metrics_.SetCounter("explorer.reach.memory_bytes", stats.memory_bytes);
 }
 
 }  // namespace kgoa

@@ -17,6 +17,7 @@
 
 #include "src/core/audit.h"
 #include "src/eval/registry.h"
+#include "src/explore/cache.h"
 #include "src/explore/chart.h"
 #include "src/explore/session.h"
 #include "src/index/index_set.h"
@@ -69,10 +70,18 @@ class Explorer {
   void ClearMetrics() { metrics_.Clear(); }
 
  private:
+  // Publishes the session-wide reach-cache state ("explorer.reach.*")
+  // into metrics_ after a chart is served.
+  void ExportReachMetrics() const;
+
   Graph graph_;
   std::unique_ptr<IndexSet> indexes_;
   // Serving statistics; mutated by the const serving calls.
   mutable MetricsRegistry metrics_;
+  // Warm reach-probability caches reused across every approximate chart
+  // this explorer serves on the same (query, walk order) — see
+  // src/explore/cache.h. Mutated by the const serving calls.
+  mutable ReachCacheRegistry reach_caches_{*indexes_};
 };
 
 }  // namespace kgoa

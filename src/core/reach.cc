@@ -13,8 +13,6 @@ ReachProbability::ReachProbability(const IndexSet& indexes,
   parent_.assign(n, -1);
   in_component_.assign(n, -1);
   reverse_access_.resize(n);
-  s_memo_.resize(n);
-  u_memo_.resize(n);
 
   const ChainQuery& query = plan.query();
   for (int q = 0; q < n; ++q) {
@@ -32,21 +30,37 @@ ReachProbability::ReachProbability(const IndexSet& indexes,
   }
 }
 
+ShardedTableStats ReachProbability::stats() const {
+  ShardedTableStats total = s_memo_.stats();
+  for (const ShardedTableStats& layer : {u_memo_.stats(), pr_memo_.stats()}) {
+    total.hits += layer.hits;
+    total.misses += layer.misses;
+    total.insert_contention += layer.insert_contention;
+    total.duplicate_inserts += layer.duplicate_inserts;
+    total.entries += layer.entries;
+    total.memory_bytes += layer.memory_bytes;
+  }
+  return total;
+}
+
 double ReachProbability::Fanout(int step, TermId in_value) const {
   return static_cast<double>(
       plan_.steps()[step].access.Resolve(indexes_, in_value).size());
 }
 
 double ReachProbability::S(int step, TermId value) {
-  auto [it, inserted] = s_memo_[step].try_emplace(value, 0.0);
-  if (!inserted) {
-    ++hits_;
-    return it->second;
-  }
-  ++misses_;
+  const uint64_t key = StepKey(step, value);
+  if (const double* found = s_memo_.Find(key)) return *found;
+  // Compute outside the shard lock; a racing thread computes the same
+  // bits (pure function of immutable inputs), so the insert race is
+  // benign and Insert returns the canonical resident value.
+  return s_memo_.Insert(key, ComputeS(step, value));
+}
+
+double ReachProbability::ComputeS(int step, TermId value) {
   const WalkStep& ws = plan_.steps()[step];
   const Range range = ws.access.Resolve(indexes_, value);
-  if (range.empty()) return 0.0;  // memoized zero already in place
+  if (range.empty()) return 0.0;
   const TrieIndex& index = indexes_.Index(ws.access.order());
   double sum = 0.0;
   for (uint32_t pos = range.begin; pos < range.end; ++pos) {
@@ -63,17 +77,16 @@ double ReachProbability::S(int step, TermId value) {
   // S is the probability that a uniform draw from this range completes
   // the subtree below `step` (section IV-C): always inside [0, 1].
   KGOA_DCHECK_PROB(result);
-  s_memo_[step][value] = result;  // iterator may have been invalidated
   return result;
 }
 
 double ReachProbability::U(int step, TermId value) {
-  auto [it, inserted] = u_memo_[step].try_emplace(value, 0.0);
-  if (!inserted) {
-    ++hits_;
-    return it->second;
-  }
-  ++misses_;
+  const uint64_t key = StepKey(step, value);
+  if (const double* found = u_memo_.Find(key)) return *found;
+  return u_memo_.Insert(key, ComputeU(step, value));
+}
+
+double ReachProbability::ComputeU(int step, TermId value) {
   const int par = parent_[step];
   KGOA_DCHECK(par >= 0);
   const Range range = reverse_access_[step].Resolve(indexes_, value);
@@ -98,19 +111,16 @@ double ReachProbability::U(int step, TermId value) {
   }
   // U is a probability mass over the walks reaching this step's parent.
   KGOA_DCHECK_PROB(sum);
-  u_memo_[step][value] = sum;
   return sum;
 }
 
 double ReachProbability::PrAB(TermId a, TermId b) {
   const uint64_t key = PackPair(a, b);
-  auto [it, inserted] = pr_memo_.try_emplace(key, 0.0);
-  if (!inserted) {
-    ++hits_;
-    return it->second;
-  }
-  ++misses_;
+  if (const double* found = pr_memo_.Find(key)) return *found;
+  return pr_memo_.Insert(key, ComputePrAB(a, b));
+}
 
+double ReachProbability::ComputePrAB(TermId a, TermId b) {
   const ChainQuery& query = plan_.query();
   const int anchor = query.alpha_beta_pattern();
   const int m = plan_.StepOf(anchor);
@@ -165,7 +175,6 @@ double ReachProbability::PrAB(TermId a, TermId b) {
   // Pr[(a, b) reached] is the unbiasedness linchpin of the distinct
   // estimator (Theorem IV.2): it must be a genuine probability.
   KGOA_DCHECK_PROB(sum);
-  pr_memo_[key] = sum;
   return sum;
 }
 

@@ -19,12 +19,22 @@
 //     U(anchor, in(t)) / d(in(t)) * prod of S over the anchor's children.
 // All three layers are memoized, which is what makes the amortized cost per
 // queried (a, b) small (the paper reports ~2.5us average).
+//
+// The memos live in sharded concurrent flat tables
+// (src/index/concurrent_flat_table.h), so ONE instance can be shared by
+// every worker thread of a parallel run: each distinct (a, b) is audited
+// once per run instead of once per thread. Sharing is sound because every
+// memo value is a pure function of (immutable indexes, walk plan, key) —
+// threads racing on a miss insert bit-identical values, which the table
+// contract-checks. Estimates computed from a shared cache are therefore
+// bit-identical to the private-cache ones; only the hit/miss/contention
+// counters are scheduling-dependent (see DESIGN.md, "Shared reach cache").
 #ifndef KGOA_CORE_REACH_H_
 #define KGOA_CORE_REACH_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "src/index/concurrent_flat_table.h"
 #include "src/index/index_set.h"
 #include "src/join/access.h"
 #include "src/ola/walk_plan.h"
@@ -38,15 +48,47 @@ class ReachProbability {
   ReachProbability(const ReachProbability&) = delete;
   ReachProbability& operator=(const ReachProbability&) = delete;
 
-  // Pr[walk completes with alpha = a and beta = b]. Memoized.
+  // Pr[walk completes with alpha = a and beta = b]. Memoized; safe to call
+  // from multiple threads concurrently.
   double PrAB(TermId a, TermId b);
+
+  // Software-prefetches the memo slot for (a, b) so a batched probe loop
+  // (prefetch all pending pairs, then PrAB each) overlaps memory latency.
+  void PrefetchPrAB(TermId a, TermId b) const {
+    pr_memo_.Prefetch(PackPair(a, b));
+  }
 
   // Exposed for tests: acceptance probability of the sub-walk rooted at
   // step q given in-value v.
   double AcceptFrom(int step, TermId value) { return S(step, value); }
 
-  uint64_t cache_hits() const { return hits_; }
-  uint64_t cache_misses() const { return misses_; }
+  // The plan this cache was built for. A shared cache may only serve
+  // engines whose plan is equivalent (same query, same pattern order) —
+  // see CompatibleWith.
+  const WalkPlan& plan() const { return plan_; }
+
+  // True when `other` describes the same walk distribution as plan(), so
+  // memo entries computed under one are valid under the other.
+  bool CompatibleWith(const WalkPlan& other) const {
+    return plan_.pattern_order() == other.pattern_order() &&
+           plan_.query().ToSparql() == other.query().ToSparql();
+  }
+
+  // Lookups that found / did not find a memoized entry, summed over the
+  // S, U and Pr layers. Backed by the tables' atomic shard counters, so
+  // reads are safe (and exact) while other threads probe — the fix for
+  // the racy plain-uint64 counters the private-cache version carried.
+  uint64_t cache_hits() const { return stats().hits; }
+  uint64_t cache_misses() const { return stats().misses; }
+
+  // Aggregated concurrent-table statistics over all three memo layers
+  // (hits, misses, insert contention, benign duplicate inserts, resident
+  // entries, memory).
+  ShardedTableStats stats() const;
+
+  // Statistics of the Pr(a, b) layer alone — the per-audited-pair view
+  // used by the amortized-cost accounting (paper's ~2.5us figure).
+  ShardedTableStats pr_stats() const { return pr_memo_.stats(); }
 
  private:
   struct ChildEdge {
@@ -56,9 +98,19 @@ class ReachProbability {
 
   double S(int step, TermId value);
   double U(int step, TermId value);
+  double ComputeS(int step, TermId value);
+  double ComputeU(int step, TermId value);
+  double ComputePrAB(TermId a, TermId b);
 
   // d of `step` given in-value (root range size for the start step).
   double Fanout(int step, TermId in_value) const;
+
+  // Memo key for the per-step S/U layers. `value` may be any TermId
+  // (including kInvalidTerm), and step indexes are small, so the packed
+  // key never equals the tables' ~0 empty sentinel.
+  static uint64_t StepKey(int step, TermId value) {
+    return (static_cast<uint64_t>(step) << 32) | value;
+  }
 
   const IndexSet& indexes_;
   const WalkPlan& plan_;
@@ -70,11 +122,12 @@ class ReachProbability {
   // q's in-variable.
   std::vector<PatternAccess> reverse_access_;
 
-  std::vector<std::unordered_map<TermId, double>> s_memo_;
-  std::vector<std::unordered_map<TermId, double>> u_memo_;
-  std::unordered_map<uint64_t, double> pr_memo_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  // Empty sentinel ~0: StepKey never reaches step 2^32 - 1, and
+  // PackPair(a, b) = ~0 would need a = b = kInvalidTerm, which no
+  // completed walk produces.
+  ShardedFlatTable<uint64_t, double> s_memo_{~0ull};
+  ShardedFlatTable<uint64_t, double> u_memo_{~0ull};
+  ShardedFlatTable<uint64_t, double> pr_memo_{~0ull, /*shard_bits=*/6};
 };
 
 }  // namespace kgoa

@@ -111,6 +111,15 @@ void ExportMetrics(const AuditJoin& engine, std::string_view prefix,
   registry->Add(p + "full_walks", engine.full_walks());
   registry->Add(p + "tip_aborts", engine.tip_aborts());
   registry->Add(p + "ctj_cache_hits", engine.suffix_cache_hits());
+  if (engine.owns_reach()) {
+    // A shared cache is exported once by its owner (executor or
+    // session registry), not per engine.
+    const ShardedTableStats reach = engine.reach().stats();
+    registry->Add(p + "reach_hits", reach.hits);
+    registry->Add(p + "reach_misses", reach.misses);
+    registry->Add(p + "reach_contention", reach.insert_contention);
+    registry->SetCounter(p + "reach_entries", reach.entries);
+  }
 }
 
 void ExportMetrics(const WanderJoin& engine, std::string_view prefix,
@@ -131,6 +140,10 @@ void ExportMetrics(const OlaCounters& counters, std::string_view prefix,
   registry->Add(p + "tip_aborts", counters.tip_aborts);
   registry->Add(p + "ctj_cache_hits", counters.ctj_cache_hits);
   registry->Add(p + "duplicate_walks", counters.duplicate_walks);
+  registry->Add(p + "reach_hits", counters.reach_hits);
+  registry->Add(p + "reach_misses", counters.reach_misses);
+  registry->Add(p + "reach_contention", counters.reach_contention);
+  registry->SetCounter(p + "reach_entries", counters.reach_entries);
 }
 
 void ExportMetrics(const IndexSet& indexes, std::string_view prefix,
@@ -180,6 +193,11 @@ std::string SnapshotJson(const OlaSnapshot& snapshot) {
       ",\"ctj_cache_hits\":" + FmtCounter(snapshot.counters.ctj_cache_hits);
   out += ",\"duplicate_walks\":" +
          FmtCounter(snapshot.counters.duplicate_walks);
+  out += ",\"reach_hits\":" + FmtCounter(snapshot.counters.reach_hits);
+  out += ",\"reach_misses\":" + FmtCounter(snapshot.counters.reach_misses);
+  out += ",\"reach_contention\":" +
+         FmtCounter(snapshot.counters.reach_contention);
+  out += ",\"reach_entries\":" + FmtCounter(snapshot.counters.reach_entries);
   out += ",\"groups\":{";
   if (snapshot.estimates != nullptr) {
     std::vector<std::pair<TermId, double>> groups;

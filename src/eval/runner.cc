@@ -62,6 +62,11 @@ OlaRunResult RunOla(const IndexSet& indexes, const ChainQuery& query,
       c.full_walks = audit->full_walks();
       c.tip_aborts = audit->tip_aborts();
       c.ctj_cache_hits = audit->suffix_cache_hits();
+      const ShardedTableStats reach = audit->reach().stats();
+      c.reach_hits = reach.hits;
+      c.reach_misses = reach.misses;
+      c.reach_contention = reach.insert_contention;
+      c.reach_entries = reach.entries;
     } else {
       c.full_walks =
           wander->estimates().walks() - wander->estimates().rejected_walks();
@@ -104,7 +109,7 @@ std::string OlaTraceJson(std::string_view label, const OlaRunResult& run) {
     out += c;
   }
   out += "\",\"points\":[";
-  char buffer[352];
+  char buffer[448];
   for (std::size_t i = 0; i < run.points.size(); ++i) {
     const TimePoint& p = run.points[i];
     std::snprintf(
@@ -112,11 +117,13 @@ std::string OlaTraceJson(std::string_view label, const OlaRunResult& run) {
         "%s{\"t\":%.4f,\"mae\":%.6g,\"mean_ci\":%.6g,\"walks\":%" PRIu64
         ",\"rejected\":%" PRIu64 ",\"tipped\":%" PRIu64
         ",\"tip_aborts\":%" PRIu64 ",\"ctj_cache_hits\":%" PRIu64
-        ",\"full\":%" PRIu64 ",\"duplicates\":%" PRIu64 "}",
+        ",\"full\":%" PRIu64 ",\"duplicates\":%" PRIu64
+        ",\"reach_hits\":%" PRIu64 ",\"reach_misses\":%" PRIu64 "}",
         i == 0 ? "" : ",", p.seconds, p.mae, p.mean_ci, p.walks, p.rejected,
         p.counters.tipped_walks, p.counters.tip_aborts,
         p.counters.ctj_cache_hits, p.counters.full_walks,
-        p.counters.duplicate_walks);
+        p.counters.duplicate_walks, p.counters.reach_hits,
+        p.counters.reach_misses);
     out += buffer;
   }
   std::snprintf(buffer, sizeof(buffer),

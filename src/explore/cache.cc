@@ -29,4 +29,42 @@ void ChartCache::Insert(const ChainQuery& query, GroupedResult result) {
   cache_.emplace(std::move(key), std::move(result));
 }
 
+ReachProbability* ReachCacheRegistry::Acquire(
+    const ChainQuery& query, const std::vector<int>& walk_order) {
+  std::string key = query.ToSparql();
+  key += '|';
+  for (int pattern : walk_order) {
+    key += std::to_string(pattern);
+    key += ',';
+  }
+  auto it = caches_.find(key);
+  if (it != caches_.end()) {
+    ++hits_;
+    return it->second.reach.get();
+  }
+  ++misses_;
+  Entry entry;
+  entry.query = std::make_unique<ChainQuery>(query);
+  entry.plan = std::make_unique<WalkPlan>(
+      WalkPlan::Compile(*entry.query, walk_order));
+  entry.reach = std::make_unique<ReachProbability>(indexes_, *entry.plan);
+  ReachProbability* reach = entry.reach.get();
+  caches_.emplace(std::move(key), std::move(entry));
+  return reach;
+}
+
+ShardedTableStats ReachCacheRegistry::stats() const {
+  ShardedTableStats total;
+  for (const auto& [key, entry] : caches_) {
+    const ShardedTableStats s = entry.reach->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.insert_contention += s.insert_contention;
+    total.duplicate_inserts += s.duplicate_inserts;
+    total.entries += s.entries;
+    total.memory_bytes += s.memory_bytes;
+  }
+  return total;
+}
+
 }  // namespace kgoa

@@ -12,9 +12,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "src/core/reach.h"
 #include "src/join/result.h"
 #include "src/query/chain_query.h"
 
@@ -54,6 +57,52 @@ class ChartCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t approx_bytes_ = 0;
+};
+
+// Session-scoped reach-probability caches, one warm ReachProbability per
+// (query, walk order). Exploration revisits charts — back navigation,
+// toggling bar kinds, re-serving the same expansion with a fresh budget —
+// and every such revisit runs walks over the same plan. Because the reach
+// memos are pure functions of (indexes, plan) (src/core/reach.h), the
+// cache from the previous serving is still exact, so each distinct (a, b)
+// pair is audited once per *session* rather than once per chart.
+//
+// Unlike ChartCache this holds derived per-plan state, not results, so
+// entries are never evicted: a session touches a handful of plans and each
+// cache is bounded by the number of reachable (a, b) pairs.
+class ReachCacheRegistry {
+ public:
+  // The indexes must outlive the registry.
+  explicit ReachCacheRegistry(const IndexSet& indexes) : indexes_(indexes) {}
+
+  // Handed-out ReachProbability pointers must stay stable.
+  ReachCacheRegistry(const ReachCacheRegistry&) = delete;
+  ReachCacheRegistry& operator=(const ReachCacheRegistry&) = delete;
+
+  // The cache for (query, walk_order), built on first use. The pointer
+  // (and its accumulated memo) stays valid for the registry's lifetime.
+  ReachProbability* Acquire(const ChainQuery& query,
+                            const std::vector<int>& walk_order);
+
+  std::size_t plans() const { return caches_.size(); }
+  uint64_t plan_hits() const { return hits_; }
+  uint64_t plan_misses() const { return misses_; }
+
+  // Memo-table stats aggregated across every cached plan.
+  ShardedTableStats stats() const;
+
+ private:
+  struct Entry {
+    // The plan (and through it, the memo keys) points into this copy.
+    std::unique_ptr<ChainQuery> query;
+    std::unique_ptr<WalkPlan> plan;
+    std::unique_ptr<ReachProbability> reach;
+  };
+
+  const IndexSet& indexes_;
+  std::unordered_map<std::string, Entry> caches_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
 };
 
 }  // namespace kgoa

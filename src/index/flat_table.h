@@ -159,6 +159,107 @@ class FlatTable {
   std::vector<Slot> slots_;
 };
 
+// Flat accumulation map: open-addressing index over a dense, insertion-
+// ordered item array. Built for hot accumulator loops (per-group walk
+// contributions, per-pair audit masses) that FlatTable cannot serve
+// because they need (a) no reserved sentinel key — kInvalidTerm is a
+// legitimate group key on the audit path — and (b) deterministic
+// iteration for ordered merges. A slot stores `item index + 1` (0 =
+// empty), so clearing is O(live entries), not O(capacity), and copying
+// the whole structure (snapshot publication) is two vector copies.
+template <typename Key, typename Value>
+class FlatAccumulator {
+ public:
+  struct Item {
+    Key key;
+    uint32_t slot;  // home slot in slots_, kept in sync across Grow
+    Value value;
+  };
+
+  FlatAccumulator() { slots_.assign(8, 0); }
+
+  // Returns the value for `key`, default-constructing it if absent. The
+  // reference is invalidated by the next FindOrAdd (dense array growth).
+  Value& FindOrAdd(Key key) {
+    KGOA_PROBE_GUARD(probes);
+    for (std::size_t i = Bucket(key);; i = (i + 1) & (slots_.size() - 1)) {
+      KGOA_PROBE_STEP(probes);
+      const uint32_t slot = slots_[i];
+      if (slot == 0) {
+        if ((items_.size() + 1) * 2 > slots_.size()) {
+          Grow();
+          return FindOrAdd(key);  // slot moved; re-probe
+        }
+        KGOA_DCHECK_LT(items_.size(), UINT32_MAX);
+        slots_[i] = static_cast<uint32_t>(items_.size()) + 1;
+        items_.push_back(Item{key, static_cast<uint32_t>(i), Value{}});
+        return items_.back().value;
+      }
+      if (items_[slot - 1].key == key) return items_[slot - 1].value;
+    }
+  }
+
+  const Value* Find(Key key) const {
+    KGOA_PROBE_GUARD(probes);
+    for (std::size_t i = Bucket(key);; i = (i + 1) & (slots_.size() - 1)) {
+      KGOA_PROBE_STEP(probes);
+      const uint32_t slot = slots_[i];
+      if (slot == 0) return nullptr;
+      if (items_[slot - 1].key == key) return &items_[slot - 1].value;
+    }
+  }
+
+  bool Contains(Key key) const { return Find(key) != nullptr; }
+
+  // Entries in insertion order — deterministic, which is what keeps
+  // merges and FP summations bit-stable across runs.
+  const std::vector<Item>& items() const { return items_; }
+
+  // In-place update while iterating items() by index (the slot index is
+  // not exposed, so the table invariants cannot be broken this way).
+  Value& ValueAt(std::size_t index) { return items_[index].value; }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  // O(live entries): only the slots the items occupy are reset.
+  void Clear() {
+    for (const Item& item : items_) slots_[item.slot] = 0;
+    items_.clear();
+  }
+
+  uint64_t MemoryBytes() const {
+    return static_cast<uint64_t>(slots_.size()) * sizeof(uint32_t) +
+           static_cast<uint64_t>(items_.capacity()) * sizeof(Item);
+  }
+
+ private:
+  std::size_t Bucket(Key key) const {
+    const int shift = 64 - std::countr_zero(slots_.size());
+    return static_cast<std::size_t>(
+        (static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull) >> shift);
+  }
+
+  // Doubles the slot index and re-homes every item (items_ is untouched,
+  // so iteration order and value references by index survive).
+  void Grow() {
+    slots_.assign(slots_.size() * 2, 0);
+    for (std::size_t k = 0; k < items_.size(); ++k) {
+      std::size_t i = Bucket(items_[k].key);
+      KGOA_PROBE_GUARD(probes);
+      while (slots_[i] != 0) {
+        KGOA_PROBE_STEP(probes);
+        i = (i + 1) & (slots_.size() - 1);
+      }
+      slots_[i] = static_cast<uint32_t>(k) + 1;
+      items_[k].slot = static_cast<uint32_t>(i);
+    }
+  }
+
+  std::vector<uint32_t> slots_;  // item index + 1; 0 = empty
+  std::vector<Item> items_;      // dense, insertion order
+};
+
 }  // namespace kgoa
 
 #endif  // KGOA_INDEX_FLAT_TABLE_H_

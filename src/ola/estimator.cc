@@ -11,7 +11,7 @@ void GroupedEstimates::AddContribution(TermId group, double value) {
   // weight (count / probability), so a negative or non-finite value can
   // only come from a corrupted walk.
   KGOA_DCHECK(std::isfinite(value) && value >= 0.0);
-  Accumulator& acc = groups_[group];
+  Accumulator& acc = groups_.FindOrAdd(group);
   acc.sum += value;
   acc.sum_squares += value * value;
 }
@@ -23,40 +23,42 @@ void GroupedEstimates::EndWalk(bool rejected) {
 
 double GroupedEstimates::Estimate(TermId group) const {
   if (walks_ == 0) return 0.0;
-  auto it = groups_.find(group);
-  if (it == groups_.end()) return 0.0;
-  const double estimate = it->second.sum / static_cast<double>(walks_);
+  const Accumulator* acc = groups_.Find(group);
+  if (acc == nullptr) return 0.0;
+  const double estimate = acc->sum / static_cast<double>(walks_);
   KGOA_DCHECK_GE(estimate, 0.0);  // a count estimate can never be negative
   return estimate;
 }
 
 double GroupedEstimates::CiHalfWidth(TermId group, double z) const {
   if (walks_ < 2) return 0.0;
-  auto it = groups_.find(group);
-  if (it == groups_.end()) return 0.0;
+  const Accumulator* acc = groups_.Find(group);
+  if (acc == nullptr) return 0.0;
   const double n = static_cast<double>(walks_);
-  const double mean = it->second.sum / n;
+  const double mean = acc->sum / n;
   // Per-walk contributions are zero except when the walk reached the
   // group, so E[X^2] = sum_squares / N over all N walks.
-  double variance = it->second.sum_squares / n - mean * mean;
+  double variance = acc->sum_squares / n - mean * mean;
   if (variance < 0) variance = 0;  // rounding guard
   return z * std::sqrt(variance / n);
 }
 
 void GroupedEstimates::Merge(const GroupedEstimates& other) {
-  for (const auto& [group, acc] : other.groups_) {
-    Accumulator& mine = groups_[group];
-    mine.sum += acc.sum;
-    mine.sum_squares += acc.sum_squares;
+  for (const auto& item : other.groups_.items()) {
+    Accumulator& mine = groups_.FindOrAdd(item.key);
+    mine.sum += item.value.sum;
+    mine.sum_squares += item.value.sum_squares;
   }
   walks_ += other.walks_;
   rejected_ += other.rejected_;
 }
 
+// kgoa-lint: allow(unordered-in-hot-path) result type only
 std::unordered_map<TermId, double> GroupedEstimates::Estimates() const {
-  std::unordered_map<TermId, double> out;
-  for (const auto& [group, acc] : groups_) {
-    if (walks_ > 0) out[group] = acc.sum / static_cast<double>(walks_);
+  std::unordered_map<TermId, double> out;  // kgoa-lint: allow(unordered-in-hot-path)
+  if (walks_ == 0) return out;
+  for (const auto& item : groups_.items()) {
+    out[item.key] = item.value.sum / static_cast<double>(walks_);
   }
   return out;
 }

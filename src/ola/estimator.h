@@ -5,12 +5,18 @@
 // sum / N per group (Figure 7, line 24), and the 0.95 confidence interval
 // follows Haas's large-sample (CLT) construction used by Wander Join
 // (section IV-C).
+//
+// The per-group accumulators live in an insertion-ordered flat arena
+// (FlatAccumulator): AddContribution is on every walk's hot path, and the
+// deterministic iteration order keeps Merge's floating-point folds
+// bit-stable across runs.
 #ifndef KGOA_OLA_ESTIMATOR_H_
 #define KGOA_OLA_ESTIMATOR_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <unordered_map>  // kgoa-lint: allow(unordered-in-hot-path) result type only
 
+#include "src/index/flat_table.h"
 #include "src/rdf/types.h"
 
 namespace kgoa {
@@ -40,13 +46,18 @@ class GroupedEstimates {
   // z value given (default: 0.95 two-sided).
   double CiHalfWidth(TermId group, double z = 1.959963984540054) const;
 
-  // Groups with at least one nonzero contribution.
+  // Groups with at least one nonzero contribution. Node-based map is the
+  // deliberate result-container exception: callers index the snapshot by
+  // arbitrary group, off the walk hot path.
+  // kgoa-lint: allow(unordered-in-hot-path) result container
   std::unordered_map<TermId, double> Estimates() const;
 
   // Folds another estimator's accumulators into this one. Sound when the
   // other estimator's walks are independent and identically distributed
   // with this one's (same query, same walk plan, different seeds) — the
-  // basis of parallel online aggregation (src/ola/parallel.h).
+  // basis of parallel online aggregation (src/ola/parallel.h). Folds in
+  // the other estimator's insertion order, so merging the same sequence
+  // of partials always produces bit-identical sums.
   void Merge(const GroupedEstimates& other);
 
  private:
@@ -55,7 +66,7 @@ class GroupedEstimates {
     double sum_squares = 0;
   };
 
-  std::unordered_map<TermId, Accumulator> groups_;
+  FlatAccumulator<TermId, Accumulator> groups_;
   uint64_t walks_ = 0;
   uint64_t rejected_ = 0;
 };

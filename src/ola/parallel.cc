@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "src/core/audit.h"
+#include "src/core/reach.h"
 #include "src/ola/wander.h"
 #include "src/util/contract.h"
 #include "src/util/stopwatch.h"
@@ -31,12 +32,14 @@ SteadyClock::duration SecondsToDuration(double seconds) {
 class WorkerEngine {
  public:
   WorkerEngine(const IndexSet& indexes, const ChainQuery& query,
-               const ParallelOlaOptions& options, uint64_t seed) {
+               const ParallelOlaOptions& options, uint64_t seed,
+               ReachProbability* shared_reach) {
     if (options.use_audit) {
       AuditJoin::Options aj;
       aj.seed = seed;
       aj.walk_order = options.walk_order;
       aj.tipping_threshold = options.tipping_threshold;
+      aj.shared_reach = shared_reach;
       audit_ = std::make_unique<AuditJoin>(indexes, query, aj);
     } else {
       WanderJoin::Options wj;
@@ -65,6 +68,16 @@ class WorkerEngine {
       c.full_walks = audit_->full_walks();
       c.tip_aborts = audit_->tip_aborts();
       c.ctj_cache_hits = audit_->suffix_cache_hits();
+      if (audit_->owns_reach()) {
+        // Private cache: this worker's stats are its own to report. A
+        // shared cache is reported once by the executor instead, so the
+        // worker merge cannot multiply it.
+        const ShardedTableStats reach = audit_->reach().stats();
+        c.reach_hits = reach.hits;
+        c.reach_misses = reach.misses;
+        c.reach_contention = reach.insert_contention;
+        c.reach_entries = reach.entries;
+      }
     } else {
       c.full_walks = wander_->estimates().walks() -
                      wander_->estimates().rejected_walks();
@@ -76,6 +89,32 @@ class WorkerEngine {
  private:
   std::unique_ptr<AuditJoin> audit_;
   std::unique_ptr<WanderJoin> wander_;
+};
+
+// This run's view of a shared reach cache: counters are reported as the
+// delta over the cache's totals at run start, so a session-owned cache
+// that stays warm across runs does not leak earlier runs' activity into
+// this run's counters.
+struct ReachWindow {
+  const ReachProbability* cache = nullptr;
+  ShardedTableStats baseline;
+
+  static ReachWindow Open(const ReachProbability* cache) {
+    ReachWindow window;
+    window.cache = cache;
+    if (cache != nullptr) window.baseline = cache->stats();
+    return window;
+  }
+
+  void AddDelta(OlaCounters& counters) const {
+    if (cache == nullptr) return;
+    const ShardedTableStats now = cache->stats();
+    counters.reach_hits += now.hits - baseline.hits;
+    counters.reach_misses += now.misses - baseline.misses;
+    counters.reach_contention +=
+        now.insert_contention - baseline.insert_contention;
+    counters.reach_entries = now.entries;
+  }
 };
 
 // One publication slot per logical worker: the worker copies its partial
@@ -114,7 +153,8 @@ void FillRates(const Stopwatch& clock, OlaSnapshot& snapshot) {
 
 // Merges the published partials into `merged` and describes them.
 OlaSnapshot MergeSnapshot(std::vector<PublishSlot>& slots,
-                          const Stopwatch& clock, GroupedEstimates* merged) {
+                          const Stopwatch& clock, const ReachWindow& reach,
+                          GroupedEstimates* merged) {
   OlaSnapshot snapshot;
   *merged = GroupedEstimates();
   for (PublishSlot& slot : slots) {
@@ -122,6 +162,7 @@ OlaSnapshot MergeSnapshot(std::vector<PublishSlot>& slots,
     merged->Merge(slot.partial);
     snapshot.counters.Merge(slot.counters);
   }
+  reach.AddDelta(snapshot.counters);
   snapshot.walks = merged->walks();
   snapshot.rejected_walks = merged->rejected_walks();
   snapshot.rejection_rate = merged->RejectionRate();
@@ -135,6 +176,7 @@ OlaSnapshot MergeSnapshot(std::vector<PublishSlot>& slots,
 // condition variable until the next snapshot tick or worker completion.
 void SnapshotLoop(RunState& state, std::vector<PublishSlot>& slots,
                   const Stopwatch& clock, const ParallelOlaOptions& options,
+                  const ReachWindow& reach,
                   const OlaSnapshotCallback& callback) {
   std::unique_lock<std::mutex> lock(state.mutex);
   if (!callback) {
@@ -150,7 +192,7 @@ void SnapshotLoop(RunState& state, std::vector<PublishSlot>& slots,
     if (SteadyClock::now() < next_tick) continue;  // spurious wakeup
     lock.unlock();
     GroupedEstimates merged;
-    callback(MergeSnapshot(slots, clock, &merged));
+    callback(MergeSnapshot(slots, clock, reach, &merged));
     lock.lock();
     next_tick = SteadyClock::now() + period;
   }
@@ -190,7 +232,22 @@ ParallelOlaExecutor::ParallelOlaExecutor(const IndexSet& indexes,
       options_(std::move(options)) {
   KGOA_CHECK(options_.threads >= 1);
   KGOA_CHECK(options_.workers >= 1);
+  // Only the audit engine's distinct estimator audits reach
+  // probabilities; everything else runs cache-less.
+  if (options_.use_audit && query_.distinct()) {
+    if (options_.shared_reach != nullptr) {
+      shared_reach_ = options_.shared_reach;
+    } else if (options_.share_reach) {
+      shared_plan_ = std::make_unique<WalkPlan>(
+          WalkPlan::Compile(query_, options_.walk_order));
+      owned_shared_reach_ =
+          std::make_unique<ReachProbability>(indexes_, *shared_plan_);
+      shared_reach_ = owned_shared_reach_.get();
+    }
+  }
 }
+
+ParallelOlaExecutor::~ParallelOlaExecutor() = default;
 
 ParallelOlaResult ParallelOlaExecutor::RunForDuration(
     double seconds, const OlaSnapshotCallback& callback) const {
@@ -208,10 +265,12 @@ ParallelOlaResult ParallelOlaExecutor::RunForDuration(
   // it, and every worker checks this one shared deadline.
   Stopwatch clock;
   const auto deadline = SteadyClock::now() + SecondsToDuration(seconds);
+  const ReachWindow reach = ReachWindow::Open(shared_reach_);
 
   auto thread_main = [&](int w) {
     WorkerEngine engine(indexes_, query_, options_,
-                        options_.seed + static_cast<uint64_t>(w));
+                        options_.seed + static_cast<uint64_t>(w),
+                        shared_reach_);
     uint64_t since_publish = 0;
     while (SteadyClock::now() < deadline) {
       engine.RunWalks(kDeadlineBatch);
@@ -229,7 +288,7 @@ ParallelOlaResult ParallelOlaExecutor::RunForDuration(
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (int w = 0; w < threads; ++w) pool.emplace_back(thread_main, w);
-  SnapshotLoop(state, slots, clock, options_, callback);
+  SnapshotLoop(state, slots, clock, options_, reach, callback);
   for (std::thread& thread : pool) thread.join();
 
   ParallelOlaResult result;
@@ -238,6 +297,7 @@ ParallelOlaResult ParallelOlaExecutor::RunForDuration(
     result.estimates.Merge(finals[w]);
     result.counters.Merge(final_counters[w]);
   }
+  reach.AddDelta(result.counters);
   result.elapsed_seconds = clock.ElapsedSeconds();
   if (callback) callback(FinalSnapshot(result));
   return result;
@@ -258,11 +318,15 @@ ParallelOlaResult ParallelOlaExecutor::RunWalkBudget(
   state.active = threads;
   std::atomic<int> next_worker{0};
   Stopwatch clock;
+  const ReachWindow reach = ReachWindow::Open(shared_reach_);
 
   // Threads pull logical workers off a shared counter; which thread runs
   // which worker is scheduling-dependent, but every worker's walks are a
   // pure function of its own seed and share, so the ordered merge below
-  // is not.
+  // is not. The shared reach cache does not break this: its memo values
+  // are pure functions of the plan, so whether a worker computes an entry
+  // itself or reads one computed by a racing peer, it divides by the same
+  // bits (contract-checked in ShardedFlatTable::Insert).
   auto thread_main = [&]() {
     for (int w = next_worker.fetch_add(1, std::memory_order_relaxed);
          w < workers;
@@ -270,7 +334,8 @@ ParallelOlaResult ParallelOlaExecutor::RunWalkBudget(
       const uint64_t share =
           base_share + (static_cast<uint64_t>(w) < remainder ? 1 : 0);
       WorkerEngine engine(indexes_, query_, options_,
-                          options_.seed + static_cast<uint64_t>(w));
+                          options_.seed + static_cast<uint64_t>(w),
+                          shared_reach_);
       uint64_t done = 0;
       while (done < share) {
         const uint64_t batch = std::min(publish_every, share - done);
@@ -287,7 +352,7 @@ ParallelOlaResult ParallelOlaExecutor::RunWalkBudget(
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (int t = 0; t < threads; ++t) pool.emplace_back(thread_main);
-  SnapshotLoop(state, slots, clock, options_, callback);
+  SnapshotLoop(state, slots, clock, options_, reach, callback);
   for (std::thread& thread : pool) thread.join();
 
   ParallelOlaResult result;
@@ -299,6 +364,7 @@ ParallelOlaResult ParallelOlaExecutor::RunWalkBudget(
     result.estimates.Merge(finals[w]);
     result.counters.Merge(final_counters[w]);
   }
+  reach.AddDelta(result.counters);
   // Walk-budget determinism: every logical worker ran exactly its share,
   // so the merged walk count must equal the requested budget regardless
   // of how the workers were scheduled onto threads.

@@ -43,6 +43,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/index/index_set.h"
@@ -51,14 +52,28 @@
 
 namespace kgoa {
 
+class ReachProbability;
+class WalkPlan;
+
 // Per-engine work counters, merged across workers. Counters an engine does
 // not track stay zero (e.g. tipping counters under Wander Join).
+//
+// The reach_* counters describe the reach-probability cache of the
+// distinct estimator. With a shared cache they are filled once per run by
+// the executor (as this run's delta over the cache's atomic shard
+// counters) rather than per worker; they are exact totals but
+// scheduling-dependent — see src/core/reach.h — so they are excluded from
+// the walk-budget determinism contract.
 struct OlaCounters {
   uint64_t tipped_walks = 0;     // Audit Join: walks finished by tipping
   uint64_t full_walks = 0;       // walks sampled to completion
   uint64_t tip_aborts = 0;       // Audit Join: enumeration-cap aborts
   uint64_t ctj_cache_hits = 0;   // Audit Join: suffix-count memo hits
   uint64_t duplicate_walks = 0;  // Wander Join distinct mode
+  uint64_t reach_hits = 0;       // reach cache: memoized lookups served
+  uint64_t reach_misses = 0;     // reach cache: entries computed
+  uint64_t reach_contention = 0;  // reach cache: contended shard inserts
+  uint64_t reach_entries = 0;     // reach cache: resident entries (gauge)
 
   void Merge(const OlaCounters& other) {
     tipped_walks += other.tipped_walks;
@@ -66,6 +81,14 @@ struct OlaCounters {
     tip_aborts += other.tip_aborts;
     ctj_cache_hits += other.ctj_cache_hits;
     duplicate_walks += other.duplicate_walks;
+    reach_hits += other.reach_hits;
+    reach_misses += other.reach_misses;
+    reach_contention += other.reach_contention;
+    // A gauge, not a rate: max keeps the merged value meaningful whether
+    // the workers shared one cache or owned private ones.
+    reach_entries = reach_entries > other.reach_entries
+                        ? reach_entries
+                        : other.reach_entries;
   }
 };
 
@@ -90,6 +113,20 @@ struct ParallelOlaOptions {
 
   // Seconds between snapshot callbacks (when a callback is given).
   double snapshot_period = 0.05;
+
+  // Audit Join distinct mode: share ONE reach-probability cache across
+  // every worker of a run, so each distinct (a, b) pair is audited once
+  // per run instead of once per thread. Sharing preserves the
+  // walk-budget bit-identity guarantee (memo values are pure functions of
+  // the plan, so insert races are benign — src/core/reach.h); only the
+  // cache counters become scheduling-dependent.
+  bool share_reach = true;
+
+  // Optional externally owned cache (e.g. an exploration session reusing
+  // audits across queries on the same walk plan — src/explore/cache.h).
+  // Must match this run's (query, walk order) and outlive the executor;
+  // takes precedence over share_reach's per-run cache.
+  ReachProbability* shared_reach = nullptr;
 };
 
 // A live view of the merged run state, valid only during the callback.
@@ -122,6 +159,7 @@ class ParallelOlaExecutor {
   // The indexes must outlive the executor; the query is copied.
   ParallelOlaExecutor(const IndexSet& indexes, ChainQuery query,
                       ParallelOlaOptions options);
+  ~ParallelOlaExecutor();
 
   // Deadline mode: runs until `seconds` of wall clock elapse, measured
   // from before the workers are spawned. One logical worker per thread.
@@ -142,6 +180,13 @@ class ParallelOlaExecutor {
   const IndexSet& indexes_;
   ChainQuery query_;
   ParallelOlaOptions options_;
+  // Run-shared reach cache (audit + distinct + share_reach): the plan is
+  // compiled against query_ so the cache's memo keys stay valid for the
+  // executor's whole lifetime — it stays warm across successive Run calls.
+  // Null when options_.shared_reach supplies an external cache instead.
+  std::unique_ptr<WalkPlan> shared_plan_;
+  std::unique_ptr<ReachProbability> owned_shared_reach_;
+  ReachProbability* shared_reach_ = nullptr;  // effective cache, may be null
 };
 
 // Legacy wrapper: deadline mode, estimates only.

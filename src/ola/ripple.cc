@@ -1,7 +1,5 @@
 #include "src/ola/ripple.h"
 
-#include <unordered_set>
-
 #include "src/util/contract.h"
 
 namespace kgoa {
@@ -62,7 +60,7 @@ void RippleJoin::RunRound() {
 }
 
 void RippleJoin::Recompute() {
-  estimates_.clear();
+  estimates_.Clear();
 
   // Scale factor: product over patterns of extent / sample.
   double scale = 1.0;
@@ -78,10 +76,10 @@ void RippleJoin::Recompute() {
   const int beta_component = ap.ComponentOf(query_.beta());
 
   // Dynamic programming over the sampled tuples: arm counts keyed by the
-  // join value facing the anchor.
+  // join value facing the anchor, accumulated in flat arenas.
   auto arm_counts =
-      [&](int from, int step) -> std::unordered_map<TermId, uint64_t> {
-    std::unordered_map<TermId, uint64_t> counts;  // value -> path count
+      [&](int from, int step) -> FlatAccumulator<TermId, uint64_t> {
+    FlatAccumulator<TermId, uint64_t> counts;  // value -> path count
     bool first = true;
     // Walk from the far end of the arm toward the anchor.
     std::vector<int> order;
@@ -103,7 +101,7 @@ void RippleJoin::Recompute() {
           query_.patterns()[i].ComponentOf(toward_anchor);
       const int away_component =
           away == kNoVar ? -1 : query_.patterns()[i].ComponentOf(away);
-      std::unordered_map<TermId, uint64_t> next;
+      FlatAccumulator<TermId, uint64_t> next;
       const PatternSample& sample = samples_[i];
       const TrieIndex& index = indexes_.Index(sample.access.order());
       for (uint32_t k = 0; k < sample.sampled; ++k) {
@@ -113,11 +111,11 @@ void RippleJoin::Recompute() {
         }
         uint64_t incoming = 1;
         if (!first) {
-          auto it = counts.find(t[away_component]);
-          if (it == counts.end()) continue;
-          incoming = it->second;
+          const uint64_t* it = counts.Find(t[away_component]);
+          if (it == nullptr) continue;
+          incoming = *it;
         }
-        next[t[toward_component]] += incoming;
+        next.FindOrAdd(t[toward_component]) += incoming;
       }
       counts = std::move(next);
       first = false;
@@ -127,8 +125,8 @@ void RippleJoin::Recompute() {
 
   int left_component = -1;
   int right_component = -1;
-  std::unordered_map<TermId, uint64_t> left;
-  std::unordered_map<TermId, uint64_t> right;
+  FlatAccumulator<TermId, uint64_t> left;
+  FlatAccumulator<TermId, uint64_t> right;
   if (anchor > 0) {
     left = arm_counts(anchor - 1, -1);
     left_component =
@@ -142,7 +140,7 @@ void RippleJoin::Recompute() {
 
   const PatternSample& anchor_sample = samples_[anchor];
   const TrieIndex& index = indexes_.Index(anchor_sample.access.order());
-  std::unordered_set<uint64_t> seen_pairs;
+  FlatAccumulator<uint64_t, uint8_t> seen_pairs;
   for (uint32_t k = 0; k < anchor_sample.sampled; ++k) {
     const Triple& t = index.TripleAt(anchor_sample.positions[k]);
     if (!anchor_sample.filter.empty() &&
@@ -151,32 +149,44 @@ void RippleJoin::Recompute() {
     }
     uint64_t left_count = 1;
     if (left_component >= 0) {
-      auto it = left.find(t[left_component]);
-      if (it == left.end()) continue;
-      left_count = it->second;
+      const uint64_t* it = left.Find(t[left_component]);
+      if (it == nullptr) continue;
+      left_count = *it;
     }
     uint64_t right_count = 1;
     if (right_component >= 0) {
-      auto it = right.find(t[right_component]);
-      if (it == right.end()) continue;
-      right_count = it->second;
+      const uint64_t* it = right.Find(t[right_component]);
+      if (it == nullptr) continue;
+      right_count = *it;
     }
     const TermId a = t[alpha_component];
     if (query_.distinct()) {
-      if (seen_pairs.insert(PackPair(a, t[beta_component])).second) {
-        estimates_[a] += 1.0;
+      const uint64_t pair = PackPair(a, t[beta_component]);
+      if (!seen_pairs.Contains(pair)) {
+        seen_pairs.FindOrAdd(pair) = 1;
+        estimates_.FindOrAdd(a) += 1.0;
       }
     } else {
-      estimates_[a] +=
+      estimates_.FindOrAdd(a) +=
           static_cast<double>(left_count) * static_cast<double>(right_count);
     }
   }
-  for (auto& [group, value] : estimates_) value *= scale;
+  for (std::size_t i = 0; i < estimates_.size(); ++i) {
+    estimates_.ValueAt(i) *= scale;
+  }
 }
 
 double RippleJoin::Estimate(TermId group) const {
-  auto it = estimates_.find(group);
-  return it == estimates_.end() ? 0.0 : it->second;
+  const double* found = estimates_.Find(group);
+  return found == nullptr ? 0.0 : *found;
+}
+
+// kgoa-lint: allow(unordered-in-hot-path) result type only
+std::unordered_map<TermId, double> RippleJoin::Estimates() const {
+  std::unordered_map<TermId, double> out;  // kgoa-lint: allow(unordered-in-hot-path)
+  out.reserve(estimates_.size());
+  for (const auto& item : estimates_.items()) out[item.key] = item.value;
+  return out;
 }
 
 }  // namespace kgoa

@@ -12,16 +12,18 @@
 // which is precisely the gap Audit Join's estimator closes.
 //
 // This implementation exploits the chain shape to evaluate each round in
-// time linear in the total sample size (hash-map dynamic programming along
-// the chain), so its per-round cost grows linearly rather than
-// quadratically; convergence behaviour is the classic one.
+// time linear in the total sample size (dynamic programming over flat
+// open-addressing arenas along the chain), so its per-round cost grows
+// linearly rather than quadratically; convergence behaviour is the
+// classic one.
 #ifndef KGOA_OLA_RIPPLE_H_
 #define KGOA_OLA_RIPPLE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <unordered_map>  // kgoa-lint: allow(unordered-in-hot-path) result type only
 #include <vector>
 
+#include "src/index/flat_table.h"
 #include "src/index/index_set.h"
 #include "src/join/access.h"
 #include "src/join/filter.h"
@@ -56,9 +58,10 @@ class RippleJoin {
 
   // Current estimate for `group` (0 when never seen).
   double Estimate(TermId group) const;
-  const std::unordered_map<TermId, double>& Estimates() const {
-    return estimates_;
-  }
+  // Materialized copy for callers and tests; the hot per-round loops work
+  // on the flat arena.
+  // kgoa-lint: allow(unordered-in-hot-path) result type only
+  std::unordered_map<TermId, double> Estimates() const;
 
   // Fraction of the smallest-coverage extent that has been sampled.
   double MinCoverage() const;
@@ -80,7 +83,9 @@ class RippleJoin {
   std::vector<PatternSample> samples_;
   Rng rng_;
   uint64_t rounds_ = 0;
-  std::unordered_map<TermId, double> estimates_;
+  // Per-group scaled counts of the latest round, rebuilt by Recompute
+  // (Clear is O(live entries), so round-over-round reuse is cheap).
+  FlatAccumulator<TermId, double> estimates_;
 };
 
 }  // namespace kgoa

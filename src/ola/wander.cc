@@ -43,7 +43,9 @@ void WanderJoin::RunOneWalk() {
     // Ripple-Join style: duplicates of an already-seen (group, beta) pair
     // are rejected (contribute zero).
     const uint64_t pair = PackPair(group, state_[plan_.beta_slot()]);
-    if (seen_pairs_.insert(pair).second) {
+    bool inserted = false;
+    seen_pairs_.FindOrInsert(pair, &inserted);
+    if (inserted) {
       estimates_.AddContribution(group, weight);
     } else {
       ++duplicates_;

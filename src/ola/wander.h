@@ -18,9 +18,9 @@
 #define KGOA_OLA_WANDER_H_
 
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "src/index/flat_table.h"
 #include "src/index/index_set.h"
 #include "src/ola/estimator.h"
 #include "src/ola/walk_plan.h"
@@ -74,7 +74,11 @@ class WanderJoin {
   GroupedEstimates estimates_;
   Rng rng_;
   std::vector<TermId> state_;
-  std::unordered_set<uint64_t> seen_pairs_;
+  // Ripple seen-set, probed once per completed distinct walk. Flat table
+  // keyed by PackPair(group, beta); the ~0 sentinel is unreachable (it
+  // would need group = beta = kInvalidTerm, impossible for a completed
+  // walk).
+  FlatTable<uint64_t, uint8_t> seen_pairs_{~0ull};
   uint64_t duplicates_ = 0;
 };
 
