@@ -507,6 +507,7 @@ void EmitReachTrace() {
   double warm_shared_mt_ns;
   {
     Stopwatch clock;
+    // kgoa-lint: allow(raw-thread) bench harness simulating clients
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) {

@@ -15,14 +15,23 @@
 //   back                          undo the last selection
 //   plan                          EXPLAIN the last chart query
 //   show                          describe the current selection
+//   submit <exp> [seconds]        serve an expansion's chart asynchronously
+//                                 on the shared worker pool (deadline mode,
+//                                 default the --budget_ms budget)
+//   jobs                          list submitted jobs with live snapshots
+//   cancel <id>                   cancel a submitted job
 //   metrics [json]                dump the serving metrics registry
 //   quit
+//
+// Submitted jobs are tracked by the session: `pick` and `back` supersede
+// them and auto-cancel the unfinished ones.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/core/explain.h"
 #include "src/core/explorer.h"
@@ -34,6 +43,15 @@
 
 namespace {
 
+std::optional<kgoa::ExpansionKind> ParseExpansion(const std::string& word) {
+  if (word == "sub") return kgoa::ExpansionKind::kSubclass;
+  if (word == "out") return kgoa::ExpansionKind::kOutProperty;
+  if (word == "in") return kgoa::ExpansionKind::kInProperty;
+  if (word == "obj") return kgoa::ExpansionKind::kObject;
+  if (word == "subj") return kgoa::ExpansionKind::kSubject;
+  return std::nullopt;
+}
+
 struct Repl {
   kgoa::Explorer* explorer;
   kgoa::ExplorationSession session;
@@ -41,6 +59,15 @@ struct Repl {
   int threads;
   std::optional<kgoa::ExpansionKind> last_expansion;
   kgoa::Chart last_chart;
+
+  // Jobs submitted via the async API, in submit order. The session tracks
+  // the same handles and auto-cancels unfinished ones on navigation; this
+  // list keeps finished/cancelled ones listable.
+  struct SubmittedJob {
+    kgoa::ChartHandle handle;
+    kgoa::BarKind kind;
+  };
+  std::vector<SubmittedJob> submitted;
 
   Repl(kgoa::Explorer* e, double budget_seconds, int serving_threads)
       : explorer(e),
@@ -96,6 +123,70 @@ struct Repl {
     std::printf("  -> %s\n", session.Describe().c_str());
   }
 
+  void Submit(kgoa::ExpansionKind expansion, double seconds) {
+    if (!session.IsLegal(expansion)) {
+      std::printf("  (%s expansion not legal from a %s bar)\n",
+                  kgoa::ExpansionName(expansion),
+                  kgoa::BarKindName(session.current_kind()));
+      return;
+    }
+    kgoa::ChartJobOptions job;
+    job.deadline_seconds = seconds;
+    job.workers = threads > 1 ? threads : 1;
+    kgoa::ChartHandle handle =
+        explorer->SubmitChart(session.BuildQuery(expansion), job);
+    session.TrackJob(handle);
+    submitted.push_back({handle, ResultBarKind(expansion)});
+    std::printf("  job %llu submitted (%s, %.0f ms deadline) — 'jobs' to "
+                "watch, 'cancel %llu' to stop\n",
+                static_cast<unsigned long long>(handle.id()),
+                kgoa::ExpansionName(expansion), seconds * 1000.0,
+                static_cast<unsigned long long>(handle.id()));
+  }
+
+  void ListJobs() {
+    if (submitted.empty()) {
+      std::printf("  (no jobs submitted)\n");
+      return;
+    }
+    for (const SubmittedJob& job : submitted) {
+      const kgoa::ParallelOlaResult snapshot = job.handle.Snapshot();
+      const kgoa::Chart chart =
+          kgoa::Explorer::ChartFromEstimates(snapshot.estimates, job.kind);
+      std::printf("  job %llu  %-9s  %llu walks  %zu bars",
+                  static_cast<unsigned long long>(job.handle.id()),
+                  kgoa::ChartJobStateName(job.handle.state()),
+                  static_cast<unsigned long long>(snapshot.estimates.walks()),
+                  chart.bars.size());
+      if (!chart.bars.empty()) {
+        const kgoa::Bar& top = chart.bars.front();
+        std::printf("  top: %s ~%.0f (+/- %.0f)",
+                    std::string(explorer->graph().dict().Spell(top.category))
+                        .c_str(),
+                    top.count, top.ci_half_width);
+      }
+      std::printf("\n");
+    }
+  }
+
+  void CancelJob(uint64_t id) {
+    for (const SubmittedJob& job : submitted) {
+      if (job.handle.id() != id) continue;
+      if (job.handle.finished()) {
+        std::printf("  job %llu already %s\n",
+                    static_cast<unsigned long long>(id),
+                    kgoa::ChartJobStateName(job.handle.state()));
+        return;
+      }
+      job.handle.Cancel();
+      std::printf("  job %llu cancel requested\n",
+                  static_cast<unsigned long long>(id));
+      return;
+    }
+    std::printf("  (no such job %llu)\n",
+                static_cast<unsigned long long>(id));
+  }
+
   // Serving metrics (engine counters accumulated by the explorer) plus
   // this session's interaction counters, as text or JSON.
   void DumpMetrics(bool as_json) {
@@ -104,6 +195,8 @@ struct Repl {
     registry.SetCounter("session.expansions", session.expansions_applied());
     registry.SetCounter("session.back_navigations",
                         session.back_navigations());
+    registry.SetCounter("session.jobs_auto_cancelled",
+                        session.jobs_auto_cancelled());
     registry.SetGauge("session.depth", session.depth());
     if (as_json) {
       std::printf("%s\n", registry.ToJson().c_str());
@@ -156,7 +249,7 @@ int main(int argc, char** argv) {
   kgoa::Explorer explorer(std::move(graph));
   Repl repl(&explorer, budget, threads);
   std::printf("%zu triples. commands: sub out in obj subj pick <n> back "
-              "plan show metrics quit\n",
+              "plan show submit <exp> [s] jobs cancel <id> metrics quit\n",
               explorer.graph().NumTriples());
 
   std::string line;
@@ -180,6 +273,26 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", repl.session.GoBack() ? "ok" : "(at root)");
     } else if (command == "show") {
       std::printf("  %s\n", repl.session.Describe().c_str());
+    } else if (command == "submit") {
+      std::string what;
+      words >> what;
+      double seconds = repl.budget;
+      if (double given = 0; words >> given) seconds = given;
+      const auto expansion = ParseExpansion(what);
+      if (expansion.has_value() && seconds > 0) {
+        repl.Submit(*expansion, seconds);
+      } else {
+        std::printf("  usage: submit <sub|out|in|obj|subj> [seconds]\n");
+      }
+    } else if (command == "jobs") {
+      repl.ListJobs();
+    } else if (command == "cancel") {
+      unsigned long long id = 0;
+      if (words >> id) {
+        repl.CancelJob(id);
+      } else {
+        std::printf("  usage: cancel <job id>\n");
+      }
     } else if (command == "metrics") {
       std::string mode;
       words >> mode;

@@ -1,69 +1,106 @@
 #!/usr/bin/env bash
-# Runs the reach-probability cache benches and captures their
-# machine-readable `reach_trace` line as BENCH_reach.json.
+# Runs the machine-readable benches and captures their trace lines as
+# versioned JSON artifacts:
 #
-# Usage: scripts/bench_json.sh [--quick] [out.json]
+#   BENCH_reach.json  `reach_trace` from micro_sample_time — the
+#                     reach-probability cache ablation.
+#   BENCH_serve.json  `serve_trace` from serve_concurrency — serving-core
+#                     time-to-CI under concurrency and cancellation
+#                     latency.
 #
-#   --quick    Smoke-sized run (KGOA_BENCH_QUICK=1: 1000 pairs, 4 threads)
-#              and only the hand-timed ablation — what tier1.sh runs.
-#   out.json   Output path; defaults to BENCH_reach.json in the repo root.
+# Usage: scripts/bench_json.sh [--quick] [reach_out.json] [serve_out.json]
+#
+#   --quick    Smoke-sized runs (KGOA_BENCH_QUICK=1) — what tier1.sh runs.
+#   outputs    Default to BENCH_reach.json / BENCH_serve.json in the repo
+#              root (the tracked copies).
 #
 # The build directory defaults to ./build; override with KGOA_BENCH_BUILD.
-# The emitted JSON has the stable key set checked at the bottom of this
+# Each emitted JSON has the stable key set checked at the bottom of this
 # script — downstream tooling (EXPERIMENTS.md tables, regression diffs)
 # may rely on those keys existing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-OUT="BENCH_reach.json"
+OUTS=()
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
-    *) OUT="$arg" ;;
+    *) OUTS+=("$arg") ;;
   esac
 done
+REACH_OUT="${OUTS[0]:-BENCH_reach.json}"
+SERVE_OUT="${OUTS[1]:-BENCH_serve.json}"
 
 BUILD="${KGOA_BENCH_BUILD:-build}"
-BIN="$BUILD/bench/micro_sample_time"
-if [[ ! -x "$BIN" ]]; then
-  cmake --build "$BUILD" --target micro_sample_time -j "$(nproc)"
-fi
+for bin in micro_sample_time serve_concurrency; do
+  if [[ ! -x "$BUILD/bench/$bin" ]]; then
+    cmake --build "$BUILD" --target "$bin" -j "$(nproc)"
+  fi
+done
 
 if [[ "$QUICK" == "1" ]]; then
   # Filter that matches nothing: skip the google-benchmark loops and run
   # only the hand-timed EmitReachTrace ablation.
-  RAW=$(KGOA_BENCH_QUICK=1 "$BIN" --benchmark_filter='^$' 2>/dev/null)
+  RAW=$(KGOA_BENCH_QUICK=1 "$BUILD/bench/micro_sample_time" \
+        --benchmark_filter='^$' 2>/dev/null)
+  SERVE_RAW=$(KGOA_BENCH_QUICK=1 "$BUILD/bench/serve_concurrency" \
+              2>/dev/null)
 else
-  RAW=$("$BIN" --benchmark_filter='^BM_Reach' 2>/dev/null)
+  RAW=$("$BUILD/bench/micro_sample_time" --benchmark_filter='^BM_Reach' \
+        2>/dev/null)
+  SERVE_RAW=$("$BUILD/bench/serve_concurrency" 2>/dev/null)
 fi
 
-echo "$RAW" | grep '^reach_trace ' | sed 's/^reach_trace //' > "$OUT"
+echo "$RAW" | grep '^reach_trace ' | sed 's/^reach_trace //' > "$REACH_OUT"
+echo "$SERVE_RAW" | grep '^serve_trace ' | sed 's/^serve_trace //' \
+    > "$SERVE_OUT"
 
-python3 - "$OUT" <<'EOF'
+python3 - "$REACH_OUT" "$SERVE_OUT" <<'EOF'
 import json
 import sys
 
-path = sys.argv[1]
-with open(path, encoding="utf-8") as f:
-    trace = json.load(f)
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
 
-COUNTERS = {
+def require(path, trace, counters, gauges):
+    missing = sorted(counters - trace.get("counters", {}).keys())
+    missing += sorted(gauges - trace.get("gauges", {}).keys())
+    if missing:
+        sys.exit(f"bench_json.sh: {path} is missing stable keys: {missing}")
+
+reach_path, serve_path = sys.argv[1], sys.argv[2]
+
+reach = load(reach_path)
+require(reach_path, reach, {
     "reach.pairs", "reach.threads", "reach.hits", "reach.misses",
     "reach.contention", "reach.entries", "reach.memory_bytes",
-}
-GAUGES = {
+}, {
     "reach.cold_ns", "reach.warm_shared_ns", "reach.warm_refmap_ns",
     "reach.warm_shared_mt_ns", "reach.seed_path_ns", "reach.shared_path_ns",
     "reach.speedup_shared_vs_seed", "reach.speedup_warm_vs_seed",
     "reach.speedup_warm_vs_refmap",
-}
-missing = sorted(COUNTERS - trace.get("counters", {}).keys())
-missing += sorted(GAUGES - trace.get("gauges", {}).keys())
-if missing:
-    sys.exit(f"bench_json.sh: {path} is missing stable keys: {missing}")
-print(f"bench_json.sh: wrote {path} "
-      f"(warm_shared={trace['gauges']['reach.warm_shared_ns']:.1f} ns/op, "
+})
+print(f"bench_json.sh: wrote {reach_path} "
+      f"(warm_shared={reach['gauges']['reach.warm_shared_ns']:.1f} ns/op, "
       f"speedup_warm_vs_seed="
-      f"{trace['gauges']['reach.speedup_warm_vs_seed']:.2f}x)")
+      f"{reach['gauges']['reach.speedup_warm_vs_seed']:.2f}x)")
+
+serve = load(serve_path)
+require(serve_path, serve, {
+    "serve.threads", "serve.jobs_submitted", "serve.jobs_completed",
+    "serve.jobs_cancelled", "serve.quanta", "serve.preemptions",
+    "serve.walks", "serve.live_jobs", "serve.max_live_jobs",
+}, {
+    "serve.ci_target", "serve.solo_seconds_to_ci", "serve.solo_walks_to_ci",
+    "serve.concurrent_jobs", "serve.concurrent_seconds_to_ci",
+    "serve.concurrent_slowdown", "serve.cancel_latency_mean_seconds",
+    "serve.cancel_latency_max_seconds", "serve.last_cancel_latency_seconds",
+})
+print(f"bench_json.sh: wrote {serve_path} "
+      f"(solo={serve['gauges']['serve.solo_seconds_to_ci']*1e3:.0f} ms, "
+      f"4-way={serve['gauges']['serve.concurrent_seconds_to_ci']*1e3:.0f} ms,"
+      f" cancel="
+      f"{serve['gauges']['serve.cancel_latency_mean_seconds']*1e3:.2f} ms)")
 EOF

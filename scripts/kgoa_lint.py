@@ -27,6 +27,13 @@ Rules (see DESIGN.md, "Correctness tooling"):
                          must have an AtEnd()/Key() bounds check within
                          +/-15 lines: the seek can exhaust the level, and
                          reading Key() at the end is undefined.
+  raw-thread             No std::thread construction outside
+                         src/ola/parallel.cc: every serve goes through the
+                         persistent ServingCore worker pool, never a
+                         thread-per-request. Deliberate uses (the parallel
+                         index build, test/bench harnesses driving the
+                         pool from multiple clients) carry a
+                         `kgoa-lint: allow(raw-thread)` note.
 
 Suppression: append `// kgoa-lint: allow(<rule>[, <rule>...])` on the
 offending line or the line directly above, with a reason. Exits 1 when any
@@ -153,6 +160,7 @@ class Linter:
         in_hot = rel.startswith(
             ("src/index/", "src/join/", "src/core/", "src/ola/"))
         is_contract = rel == "src/util/contract.h"
+        is_serving_core = rel == "src/ola/parallel.cc"
         is_index_impl = rel in (
             "src/index/trie_index.h",
             "src/index/trie_index.cc",
@@ -185,6 +193,19 @@ class Linter:
                     check("raw-rand", i,
                           "use the seedable kgoa::Rng (src/util/rng.h); "
                           "unseeded/global RNGs break reproducibility")
+
+            # raw-thread: applies to every root (src, tests, bench,
+            # examples, fuzz) — the serving core owns the only pool.
+            # `std::thread` followed by (, {, or an identifier is a
+            # construction; `std::thread::` (e.g. hardware_concurrency)
+            # and std::this_thread are fine.
+            if not is_serving_core:
+                if re.search(r"\bstd::thread\s*(?![:])", line):
+                    check("raw-thread", i,
+                          "std::thread construction is reserved for the "
+                          "ServingCore pool (src/ola/parallel.cc); submit "
+                          "jobs to the pool or annotate the deliberate "
+                          "exception")
 
             if in_hot:
                 if re.search(r"\bunordered_(map|set)\b", line):

@@ -3,7 +3,8 @@
 #
 #  1. build + full ctest suite (warnings are errors: KGOA_WERROR=ON)
 #  2. scripts/lint.sh — -Werror rebuild, repo lint rules, clang-tidy
-#  3. parallel_test + reach_concurrent_test under ThreadSanitizer (the
+#  3. parallel_test + serve_test + reach_concurrent_test under
+#     ThreadSanitizer (the serving-core scheduler, the
 #     snapshot-publishing path and the shared sharded reach cache are
 #     the repo's multi-threaded code; the parallel index build rides
 #     along)
@@ -14,8 +15,10 @@
 #     otherwise-release build
 #  6. both fuzz harnesses (-DKGOA_FUZZ=ON) replay their corpus and fuzz
 #     for KGOA_FUZZ_SECONDS (default 60) each
-#  7. reach-cache bench smoke: scripts/bench_json.sh --quick must emit a
-#     BENCH_reach.json with the stable key set
+#  7. bench smoke: scripts/bench_json.sh --quick must emit both BENCH
+#     JSONs with their stable key sets (written to a temp dir so the
+#     checked-in full-mode BENCH_reach.json / BENCH_serve.json are not
+#     clobbered with quick-mode numbers)
 #
 # Usage: scripts/tier1.sh   (from the repo root)
 set -euo pipefail
@@ -36,8 +39,9 @@ echo
 echo "=== tier-1: concurrency tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DKGOA_SANITIZE=thread -DKGOA_WERROR=ON
 cmake --build build-tsan -j "${JOBS}" --target parallel_test \
-      --target reach_concurrent_test
+      --target serve_test --target reach_concurrent_test
 ./build-tsan/tests/parallel_test
+./build-tsan/tests/serve_test
 ./build-tsan/tests/reach_concurrent_test
 
 for san in address undefined; do
@@ -63,8 +67,11 @@ echo "=== tier-1: fuzz harnesses (${FUZZ_SECONDS}s each) ==="
     "-max_total_time=${FUZZ_SECONDS}"
 
 echo
-echo "=== tier-1: reach-cache bench smoke (scripts/bench_json.sh) ==="
-scripts/bench_json.sh --quick
+echo "=== tier-1: bench smoke (scripts/bench_json.sh) ==="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+scripts/bench_json.sh --quick "${SMOKE_DIR}/BENCH_reach.json" \
+    "${SMOKE_DIR}/BENCH_serve.json"
 
 echo
 echo "tier-1 OK"

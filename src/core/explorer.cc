@@ -26,7 +26,23 @@ void SortBars(Chart& chart) {
             });
 }
 
-Chart ChartFromEstimates(const GroupedEstimates& estimates, BarKind kind) {
+// Metric prefix per engine kind ("aj.walks", "wj.walks", "rj.walks").
+const char* EngineMetricPrefix(OlaEngineKind engine) {
+  switch (engine) {
+    case OlaEngineKind::kAudit:
+      return "aj.";
+    case OlaEngineKind::kWander:
+      return "wj.";
+    case OlaEngineKind::kRipple:
+      return "rj.";
+  }
+  return "ola.";
+}
+
+}  // namespace
+
+Chart Explorer::ChartFromEstimates(const GroupedEstimates& estimates,
+                                   BarKind kind) {
   Chart chart;
   chart.kind = kind;
   for (const auto& [group, estimate] : estimates.Estimates()) {
@@ -37,8 +53,6 @@ Chart ChartFromEstimates(const GroupedEstimates& estimates, BarKind kind) {
   SortBars(chart);
   return chart;
 }
-
-}  // namespace
 
 Chart Explorer::EvaluateChart(const ChainQuery& query, BarKind kind) const {
   Chart chart;
@@ -77,20 +91,32 @@ Chart Explorer::ApproximateChart(const ChainQuery& query, double seconds,
 Chart Explorer::ApproximateChartParallel(const ChainQuery& query,
                                          double seconds, BarKind kind,
                                          ParallelOlaOptions options) const {
-  if (options.use_audit && options.walk_order.empty()) {
-    options.walk_order = DefaultAuditOrder(query);
+  // Grow the pool-to-be if the caller wants more concurrency than the
+  // default and no pool exists yet; an existing pool keeps its size (it
+  // may be running other jobs) and simply caps this job's concurrency.
+  if (serving_core_ == nullptr) {
+    serving_options_.threads =
+        std::max(serving_options_.threads, options.threads);
   }
-  if (options.use_audit && query.distinct() &&
-      options.shared_reach == nullptr) {
-    options.shared_reach = reach_caches_.Acquire(query, options.walk_order);
-  }
-  const ParallelOlaResult run =
-      ParallelOlaExecutor(*indexes_, query, options).RunForDuration(seconds);
-  ExportMetrics(run.counters, options.use_audit ? "aj." : "wj.", &metrics_);
-  if (options.use_audit) ExportReachMetrics();
-  metrics_.Add(options.use_audit ? "aj.walks" : "wj.walks",
-               run.estimates.walks());
-  metrics_.Add(options.use_audit ? "aj.rejected_walks" : "wj.rejected_walks",
+  ChartJobOptions job;
+  job.walk_budget = 0;
+  job.deadline_seconds = seconds;
+  job.workers = std::max(1, options.threads);
+  job.max_concurrency = options.threads;
+  job.seed = options.seed;
+  job.engine = options.engine;
+  job.walk_order = std::move(options.walk_order);
+  job.tipping_threshold = options.tipping_threshold;
+  job.share_reach = options.share_reach;
+  job.shared_reach = options.shared_reach;
+  job.snapshot_period = options.snapshot_period;
+  const ParallelOlaResult run = SubmitChart(query, std::move(job)).Await();
+
+  const char* prefix = EngineMetricPrefix(options.engine);
+  ExportMetrics(run.counters, prefix, &metrics_);
+  if (options.engine == OlaEngineKind::kAudit) ExportReachMetrics();
+  metrics_.Add(std::string(prefix) + "walks", run.estimates.walks());
+  metrics_.Add(std::string(prefix) + "rejected_walks",
                run.estimates.rejected_walks());
   metrics_.Add("explorer.charts", 1);
   metrics_.SetGauge("explorer.last_chart_seconds", run.elapsed_seconds);
@@ -99,7 +125,46 @@ Chart Explorer::ApproximateChartParallel(const ChainQuery& query,
                         ? static_cast<double>(run.estimates.walks()) /
                               run.elapsed_seconds
                         : 0.0);
+  ExportMetrics(serve_stats(), "serve.", &metrics_);
   return ChartFromEstimates(run.estimates, kind);
+}
+
+ServingCore& Explorer::Core() const {
+  if (serving_core_ == nullptr) {
+    serving_core_ =
+        std::make_unique<ServingCore>(*indexes_, serving_options_);
+  }
+  return *serving_core_;
+}
+
+ChartHandle Explorer::SubmitChart(const ChainQuery& query,
+                                  ChartJobOptions options) const {
+  if (options.engine == OlaEngineKind::kAudit) {
+    if (options.walk_order.empty()) {
+      options.walk_order = DefaultAuditOrder(query);
+    }
+    // Serve distinct jobs against the explorer's warm reach caches so
+    // concurrent and repeated jobs on the same (query, walk order) share
+    // audits instead of redoing them per job.
+    if (query.distinct() && options.shared_reach == nullptr &&
+        options.share_reach) {
+      options.shared_reach =
+          reach_caches_.Acquire(query, options.walk_order);
+    }
+  }
+  ChartHandle handle = Core().Submit(query, std::move(options));
+  metrics_.Add("explorer.jobs_submitted", 1);
+  ExportMetrics(serve_stats(), "serve.", &metrics_);
+  return handle;
+}
+
+void Explorer::ConfigureServing(ServingCore::Options options) const {
+  serving_core_.reset();  // joins the pool; cancels any live jobs
+  serving_options_ = options;
+}
+
+ServeStats Explorer::serve_stats() const {
+  return serving_core_ == nullptr ? ServeStats() : serving_core_->stats();
 }
 
 void Explorer::ExportReachMetrics() const {

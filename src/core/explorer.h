@@ -57,12 +57,37 @@ class Explorer {
                          AuditJoin::Options options = AuditJoin::Options())
       const;
 
-  // Approximate chart served by the parallel worker-pool executor
-  // (deadline mode): same contract as ApproximateChart, with walks split
-  // across options.threads workers.
+  // Approximate chart served by the shared serving core (deadline mode):
+  // same contract as ApproximateChart, with walks split across
+  // options.threads logical workers time-sliced over the pool. No threads
+  // are constructed per call — the pool persists across charts.
   Chart ApproximateChartParallel(
       const ChainQuery& query, double seconds, BarKind kind,
       ParallelOlaOptions options = ParallelOlaOptions()) const;
+
+  // Async serving: enqueue a chart job on the shared worker pool and
+  // return immediately. The handle exposes Snapshot() / Cancel() /
+  // Await(); convert a result with ChartFromEstimates. Audit-distinct
+  // jobs are automatically wired to this explorer's warm reach caches, so
+  // concurrent and repeated jobs on the same (query, walk order) share
+  // audits. Thread-compatible with other const serving calls on this
+  // explorer from the same thread; the returned handle itself is usable
+  // from any thread.
+  ChartHandle SubmitChart(const ChainQuery& query,
+                          ChartJobOptions options = ChartJobOptions()) const;
+
+  // Replaces the serving pool (cancelling any live jobs) so the next
+  // serve runs with `options`. Cheap when no pool exists yet.
+  void ConfigureServing(ServingCore::Options options) const;
+
+  // Cumulative scheduler statistics of the shared pool (zeros before the
+  // first serve).
+  ServeStats serve_stats() const;
+
+  // Bars (estimate, 0.95 CI half-width) from merged estimates, positive
+  // groups only, sorted by estimate descending.
+  static Chart ChartFromEstimates(const GroupedEstimates& estimates,
+                                  BarKind kind);
 
   // Cumulative engine counters over every approximate chart served by
   // this explorer ("aj.walks", "aj.tipped_walks", "explorer.charts", ...).
@@ -74,6 +99,9 @@ class Explorer {
   // into metrics_ after a chart is served.
   void ExportReachMetrics() const;
 
+  // The shared serving pool, spawned on first use with serving_options_.
+  ServingCore& Core() const;
+
   Graph graph_;
   std::unique_ptr<IndexSet> indexes_;
   // Serving statistics; mutated by the const serving calls.
@@ -82,6 +110,11 @@ class Explorer {
   // this explorer serves on the same (query, walk order) — see
   // src/explore/cache.h. Mutated by the const serving calls.
   mutable ReachCacheRegistry reach_caches_{*indexes_};
+  // One long-lived worker pool for every chart this explorer serves
+  // (sync or async); created lazily so explorers used purely for exact
+  // evaluation never spawn threads.
+  mutable ServingCore::Options serving_options_;
+  mutable std::unique_ptr<ServingCore> serving_core_;
 };
 
 }  // namespace kgoa

@@ -146,6 +146,22 @@ void ExportMetrics(const OlaCounters& counters, std::string_view prefix,
   registry->SetCounter(p + "reach_entries", counters.reach_entries);
 }
 
+void ExportMetrics(const ServeStats& stats, std::string_view prefix,
+                   MetricsRegistry* registry) {
+  const std::string p(prefix);
+  registry->SetCounter(p + "threads", stats.threads);
+  registry->SetCounter(p + "jobs_submitted", stats.jobs_submitted);
+  registry->SetCounter(p + "jobs_completed", stats.jobs_completed);
+  registry->SetCounter(p + "jobs_cancelled", stats.jobs_cancelled);
+  registry->SetCounter(p + "quanta", stats.quanta);
+  registry->SetCounter(p + "preemptions", stats.preemptions);
+  registry->SetCounter(p + "walks", stats.walks);
+  registry->SetCounter(p + "live_jobs", stats.live_jobs);
+  registry->SetCounter(p + "max_live_jobs", stats.max_live_jobs);
+  registry->SetGauge(p + "last_cancel_latency_seconds",
+                     stats.last_cancel_latency_seconds);
+}
+
 void ExportMetrics(const IndexSet& indexes, std::string_view prefix,
                    MetricsRegistry* registry) {
   const std::string p(prefix);

@@ -60,6 +60,13 @@ void ExportMetrics(const WanderJoin& engine, std::string_view prefix,
 void ExportMetrics(const OlaCounters& counters, std::string_view prefix,
                    MetricsRegistry* registry);
 
+// Serving-core export ("serve." by convention): queue depth and job
+// lifecycle as counters, cancellation latency as a gauge. Cumulative
+// values are republished with SetCounter, so repeated exports of the same
+// core do not double-count.
+void ExportMetrics(const ServeStats& stats, std::string_view prefix,
+                   MetricsRegistry* registry);
+
 // Index-layer export: per-order build times (sort + CSR offsets, flat hash
 // tables) as gauges, entry counts / triples / resident bytes as counters.
 void ExportMetrics(const IndexSet& indexes, std::string_view prefix,

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +71,11 @@ class ChartCache {
 // Unlike ChartCache this holds derived per-plan state, not results, so
 // entries are never evicted: a session touches a handful of plans and each
 // cache is bounded by the number of reachable (a, b) pairs.
+//
+// Acquire and stats are thread-safe (a mutex guards the registry map);
+// the handed-out caches themselves are concurrency-safe by design
+// (sharded tables, value-pure memos — src/core/reach.h), so async chart
+// jobs submitted from different threads can share warm caches.
 class ReachCacheRegistry {
  public:
   // The indexes must outlive the registry.
@@ -84,9 +90,18 @@ class ReachCacheRegistry {
   ReachProbability* Acquire(const ChainQuery& query,
                             const std::vector<int>& walk_order);
 
-  std::size_t plans() const { return caches_.size(); }
-  uint64_t plan_hits() const { return hits_; }
-  uint64_t plan_misses() const { return misses_; }
+  std::size_t plans() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return caches_.size();
+  }
+  uint64_t plan_hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  uint64_t plan_misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
 
   // Memo-table stats aggregated across every cached plan.
   ShardedTableStats stats() const;
@@ -100,6 +115,7 @@ class ReachCacheRegistry {
   };
 
   const IndexSet& indexes_;
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, Entry> caches_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

@@ -147,8 +147,28 @@ ChainQuery ExplorationSession::BuildQuery(ExpansionKind expansion) const {
   return *query;
 }
 
+void ExplorationSession::TrackJob(ChartHandle handle) {
+  if (handle.valid()) jobs_.push_back(std::move(handle));
+}
+
+int ExplorationSession::CancelLiveJobs() {
+  int cancelled = 0;
+  for (const ChartHandle& job : jobs_) {
+    if (!job.finished()) {
+      job.Cancel();
+      ++cancelled;
+    }
+  }
+  jobs_.clear();
+  jobs_auto_cancelled_ += static_cast<uint64_t>(cancelled);
+  return cancelled;
+}
+
 bool ExplorationSession::GoBack() {
   if (history_.empty()) return false;
+  // The selection changes: any chart still converging for the old
+  // selection is superseded.
+  CancelLiveJobs();
   Snapshot& snapshot = history_.back();
   patterns_ = std::move(snapshot.patterns);
   filters_ = std::move(snapshot.filters);
@@ -165,6 +185,9 @@ bool ExplorationSession::GoBack() {
 
 void ExplorationSession::ExpandAndSelect(ExpansionKind expansion,
                                          TermId category) {
+  // The selection changes: any chart still converging for the old
+  // selection is superseded.
+  CancelLiveJobs();
   history_.push_back(Snapshot{patterns_, filters_, focus_, next_var_, kind_,
                               category_, tail_type_pattern_, depth_});
   QueryParts parts = BuildParts(expansion);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/explore/chart.h"
+#include "src/ola/parallel.h"
 #include "src/query/chain_query.h"
 #include "src/rdf/graph.h"
 
@@ -67,6 +68,19 @@ class ExplorationSession {
   uint64_t queries_built() const { return queries_built_; }
   uint64_t expansions_applied() const { return expansions_applied_; }
   uint64_t back_navigations() const { return back_navigations_; }
+  uint64_t jobs_auto_cancelled() const { return jobs_auto_cancelled_; }
+
+  // Async serving integration: register a chart job serving the CURRENT
+  // selection (Explorer::SubmitChart). Navigating away — ExpandAndSelect
+  // or GoBack — supersedes every tracked job and auto-cancels the
+  // unfinished ones, so the pool never keeps converging charts the user
+  // has already left behind.
+  void TrackJob(ChartHandle handle);
+  const std::vector<ChartHandle>& tracked_jobs() const { return jobs_; }
+
+  // Cancels all tracked unfinished jobs and clears the tracked set;
+  // returns how many were still running.
+  int CancelLiveJobs();
 
  private:
   struct QueryParts {
@@ -99,6 +113,10 @@ class ExplorationSession {
   mutable uint64_t queries_built_ = 0;
   uint64_t expansions_applied_ = 0;
   uint64_t back_navigations_ = 0;
+  uint64_t jobs_auto_cancelled_ = 0;
+
+  // Jobs serving the current selection; superseded on navigation.
+  std::vector<ChartHandle> jobs_;
 
   // Saved states for GoBack (everything except graph_).
   struct Snapshot {

@@ -62,6 +62,7 @@ IndexSet::IndexSet(const Graph& graph) : num_triples_(graph.NumTriples()) {
     adopt(order, std::move(sorted), clock);
   };
 
+  // kgoa-lint: allow(raw-thread) parallel index build, not a serve
   std::vector<std::thread> workers;
   workers.emplace_back([&] {
     Stopwatch clock;
@@ -85,6 +86,7 @@ IndexSet::IndexSet(const Graph& graph) : num_triples_(graph.NumTriples()) {
   derive(IndexOrder::kPos, Index(IndexOrder::kOps));
   build_hash(IndexOrder::kPos);
 
+  // kgoa-lint: allow(raw-thread) parallel index build, not a serve
   for (std::thread& worker : workers) worker.join();
   stats_.total_ms = total.ElapsedMillis();
 

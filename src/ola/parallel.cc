@@ -4,225 +4,709 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
-#include "src/core/audit.h"
 #include "src/core/reach.h"
-#include "src/ola/wander.h"
+#include "src/ola/walk_plan.h"
 #include "src/util/contract.h"
 #include "src/util/stopwatch.h"
 
 namespace kgoa {
-namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
-// Walks run between deadline checks in deadline mode.
-constexpr uint64_t kDeadlineBatch = 64;
+namespace {
 
 SteadyClock::duration SecondsToDuration(double seconds) {
   return std::chrono::duration_cast<SteadyClock::duration>(
       std::chrono::duration<double>(seconds));
 }
 
-// Uniform worker-local view over the two engines.
-class WorkerEngine {
- public:
-  WorkerEngine(const IndexSet& indexes, const ChainQuery& query,
-               const ParallelOlaOptions& options, uint64_t seed,
-               ReachProbability* shared_reach) {
-    if (options.use_audit) {
-      AuditJoin::Options aj;
-      aj.seed = seed;
-      aj.walk_order = options.walk_order;
-      aj.tipping_threshold = options.tipping_threshold;
-      aj.shared_reach = shared_reach;
-      audit_ = std::make_unique<AuditJoin>(indexes, query, aj);
-    } else {
-      WanderJoin::Options wj;
-      wj.seed = seed;
-      wj.walk_order = options.walk_order;
-      wander_ = std::make_unique<WanderJoin>(indexes, query, wj);
-    }
-  }
-
-  void RunWalks(uint64_t count) {
-    if (audit_) {
-      audit_->RunWalks(count);
-    } else {
-      wander_->RunWalks(count);
-    }
-  }
-
-  const GroupedEstimates& estimates() const {
-    return audit_ ? audit_->estimates() : wander_->estimates();
-  }
-
-  OlaCounters counters() const {
-    OlaCounters c;
-    if (audit_) {
-      c.tipped_walks = audit_->tipped_walks();
-      c.full_walks = audit_->full_walks();
-      c.tip_aborts = audit_->tip_aborts();
-      c.ctj_cache_hits = audit_->suffix_cache_hits();
-      if (audit_->owns_reach()) {
-        // Private cache: this worker's stats are its own to report. A
-        // shared cache is reported once by the executor instead, so the
-        // worker merge cannot multiply it.
-        const ShardedTableStats reach = audit_->reach().stats();
-        c.reach_hits = reach.hits;
-        c.reach_misses = reach.misses;
-        c.reach_contention = reach.insert_contention;
-        c.reach_entries = reach.entries;
-      }
-    } else {
-      c.full_walks = wander_->estimates().walks() -
-                     wander_->estimates().rejected_walks();
-      c.duplicate_walks = wander_->duplicate_walks();
-    }
-    return c;
-  }
-
- private:
-  std::unique_ptr<AuditJoin> audit_;
-  std::unique_ptr<WanderJoin> wander_;
-};
-
-// This run's view of a shared reach cache: counters are reported as the
-// delta over the cache's totals at run start, so a session-owned cache
-// that stays warm across runs does not leak earlier runs' activity into
-// this run's counters.
-struct ReachWindow {
-  const ReachProbability* cache = nullptr;
-  ShardedTableStats baseline;
-
-  static ReachWindow Open(const ReachProbability* cache) {
-    ReachWindow window;
-    window.cache = cache;
-    if (cache != nullptr) window.baseline = cache->stats();
-    return window;
-  }
-
-  void AddDelta(OlaCounters& counters) const {
-    if (cache == nullptr) return;
-    const ShardedTableStats now = cache->stats();
-    counters.reach_hits += now.hits - baseline.hits;
-    counters.reach_misses += now.misses - baseline.misses;
-    counters.reach_contention +=
-        now.insert_contention - baseline.insert_contention;
-    counters.reach_entries = now.entries;
-  }
-};
-
-// One publication slot per logical worker: the worker copies its partial
-// accumulators in under the mutex; the snapshot loop merges them out.
-struct PublishSlot {
-  std::mutex mutex;
-  GroupedEstimates partial;
-  OlaCounters counters;
-};
-
-// Coordination between the workers and the snapshot loop running on the
-// calling thread.
-struct RunState {
-  std::mutex mutex;
-  std::condition_variable cv;
-  int active = 0;  // threads still running
-};
-
-void Publish(PublishSlot& slot, const WorkerEngine& engine) {
-  // The copy reads only worker-private engine state; only the handoff
-  // into the slot needs the lock.
-  GroupedEstimates partial = engine.estimates();
-  const OlaCounters counters = engine.counters();
-  std::lock_guard<std::mutex> lock(slot.mutex);
-  slot.partial = std::move(partial);
-  slot.counters = counters;
+double DurationSeconds(SteadyClock::duration d) {
+  return std::chrono::duration<double>(d).count();
 }
 
-void FillRates(const Stopwatch& clock, OlaSnapshot& snapshot) {
-  snapshot.elapsed_seconds = clock.ElapsedSeconds();
+void FillRates(double elapsed_seconds, OlaSnapshot& snapshot) {
+  snapshot.elapsed_seconds = elapsed_seconds;
   snapshot.walks_per_second =
-      snapshot.elapsed_seconds > 0
-          ? static_cast<double>(snapshot.walks) / snapshot.elapsed_seconds
+      elapsed_seconds > 0
+          ? static_cast<double>(snapshot.walks) / elapsed_seconds
           : 0.0;
-}
-
-// Merges the published partials into `merged` and describes them.
-OlaSnapshot MergeSnapshot(std::vector<PublishSlot>& slots,
-                          const Stopwatch& clock, const ReachWindow& reach,
-                          GroupedEstimates* merged) {
-  OlaSnapshot snapshot;
-  *merged = GroupedEstimates();
-  for (PublishSlot& slot : slots) {
-    std::lock_guard<std::mutex> lock(slot.mutex);
-    merged->Merge(slot.partial);
-    snapshot.counters.Merge(slot.counters);
-  }
-  reach.AddDelta(snapshot.counters);
-  snapshot.walks = merged->walks();
-  snapshot.rejected_walks = merged->rejected_walks();
-  snapshot.rejection_rate = merged->RejectionRate();
-  snapshot.estimates = merged;
-  FillRates(clock, snapshot);
-  return snapshot;
-}
-
-// Blocks until every worker finished, delivering snapshots at the
-// configured cadence meanwhile. No busy-sleep: the thread sleeps on the
-// condition variable until the next snapshot tick or worker completion.
-void SnapshotLoop(RunState& state, std::vector<PublishSlot>& slots,
-                  const Stopwatch& clock, const ParallelOlaOptions& options,
-                  const ReachWindow& reach,
-                  const OlaSnapshotCallback& callback) {
-  std::unique_lock<std::mutex> lock(state.mutex);
-  if (!callback) {
-    state.cv.wait(lock, [&] { return state.active == 0; });
-    return;
-  }
-  const auto period =
-      SecondsToDuration(std::max(options.snapshot_period, 1e-4));
-  auto next_tick = SteadyClock::now() + period;
-  while (state.active > 0) {
-    state.cv.wait_until(lock, next_tick);
-    if (state.active == 0) break;
-    if (SteadyClock::now() < next_tick) continue;  // spurious wakeup
-    lock.unlock();
-    GroupedEstimates merged;
-    callback(MergeSnapshot(slots, clock, reach, &merged));
-    lock.lock();
-    next_tick = SteadyClock::now() + period;
-  }
-}
-
-void FinishThread(RunState& state) {
-  {
-    std::lock_guard<std::mutex> lock(state.mutex);
-    --state.active;
-  }
-  state.cv.notify_all();
 }
 
 OlaSnapshot FinalSnapshot(const ParallelOlaResult& result) {
   OlaSnapshot snapshot;
-  snapshot.elapsed_seconds = result.elapsed_seconds;
   snapshot.walks = result.estimates.walks();
   snapshot.rejected_walks = result.estimates.rejected_walks();
   snapshot.rejection_rate = result.estimates.RejectionRate();
-  snapshot.walks_per_second =
-      result.elapsed_seconds > 0
-          ? static_cast<double>(snapshot.walks) / result.elapsed_seconds
-          : 0.0;
   snapshot.counters = result.counters;
   snapshot.estimates = &result.estimates;
   snapshot.final_snapshot = true;
+  FillRates(result.elapsed_seconds, snapshot);
   return snapshot;
 }
 
 }  // namespace
+
+const char* ChartJobStateName(ChartJobState state) {
+  switch (state) {
+    case ChartJobState::kQueued:
+      return "queued";
+    case ChartJobState::kRunning:
+      return "running";
+    case ChartJobState::kDone:
+      return "done";
+    case ChartJobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state (shared between the core, its workers, and every job, so
+// a ChartHandle stays functional even after the core is destroyed).
+// ---------------------------------------------------------------------------
+
+struct ServingCore::State {
+  State(const IndexSet& idx, Options opts) : indexes(idx), options(opts) {}
+
+  const IndexSet& indexes;
+  const Options options;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stopping = false;
+  // Jobs with at least one slot a worker could pick up right now. A job is
+  // re-pushed to the back after every quantum, so equal-priority jobs
+  // share the pool round-robin.
+  std::deque<std::shared_ptr<ChartJob>> queue;
+  // Every unretired job (queued, running, or fully checked out).
+  std::vector<std::shared_ptr<ChartJob>> live;
+
+  uint64_t next_job_id = 1;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t cancelled = 0;
+  uint64_t quanta = 0;
+  uint64_t preemptions = 0;
+  uint64_t walks = 0;
+  uint64_t max_live = 0;
+  double last_cancel_latency = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ChartJob
+// ---------------------------------------------------------------------------
+
+// All scheduling fields (slots' checked_out/exhausted, counts, queue
+// membership, retire claim) are guarded by the core State mutex. Engines
+// are only touched by the single worker that checked the slot out, and by
+// the one retiring thread after every slot is exhausted and returned.
+class ChartJob {
+ public:
+  // This run's view of a shared reach cache: counters are reported as the
+  // delta over the cache's totals at submit, so a session-owned cache that
+  // stays warm across jobs does not leak earlier jobs' activity into this
+  // job's counters.
+  struct ReachWindow {
+    const ReachProbability* cache = nullptr;
+    ShardedTableStats baseline;
+
+    void Open(const ReachProbability* c) {
+      cache = c;
+      if (cache != nullptr) baseline = cache->stats();
+    }
+
+    void AddDelta(OlaCounters& counters) const {
+      if (cache == nullptr) return;
+      const ShardedTableStats now = cache->stats();
+      counters.reach_hits += now.hits - baseline.hits;
+      counters.reach_misses += now.misses - baseline.misses;
+      counters.reach_contention +=
+          now.insert_contention - baseline.insert_contention;
+      counters.reach_entries = now.entries;
+    }
+  };
+
+  // One logical worker: private engine, deterministic walk share.
+  struct Slot {
+    uint64_t share = 0;  // budget mode: walks this slot must run
+    uint64_t done = 0;
+    bool checked_out = false;
+    bool exhausted = false;
+    std::unique_ptr<OlaEngine> engine;  // built on first quantum
+    // Published partials for live snapshots, refreshed every quantum.
+    std::mutex publish_mutex;
+    GroupedEstimates partial;
+    OlaCounters counters;
+  };
+
+  ChartJob(std::shared_ptr<ServingCore::State> core_state,
+           const IndexSet& index_set, const ChainQuery& chart_query,
+           ChartJobOptions job_options)
+      : core(std::move(core_state)),
+        indexes(index_set),
+        query(chart_query),
+        options(std::move(job_options)),
+        budget_mode(options.walk_budget > 0),
+        quantum(std::max<uint64_t>(1, core->options.quantum_walks)) {
+    engine_template.kind = options.engine;
+    engine_template.walk_order = options.walk_order;
+    engine_template.tipping_threshold = options.tipping_threshold;
+
+    // Non-mergeable engines (Ripple) run on exactly one logical worker:
+    // their partials cannot be folded across independently seeded
+    // instances (src/ola/engine.h).
+    const bool mergeable = OlaEngineKindMergeable(options.engine);
+    int workers = std::max(1, options.workers);
+    if (!mergeable) workers = 1;
+
+    // Only the audit engine's distinct estimator audits reach
+    // probabilities; everything else runs cache-less.
+    if (options.engine == OlaEngineKind::kAudit && query.distinct()) {
+      if (options.shared_reach != nullptr) {
+        shared_reach = options.shared_reach;
+      } else if (options.share_reach) {
+        owned_plan = std::make_unique<WalkPlan>(
+            WalkPlan::Compile(query, options.walk_order));
+        owned_reach =
+            std::make_unique<ReachProbability>(indexes, *owned_plan);
+        shared_reach = owned_reach.get();
+      }
+    }
+    reach_window.Open(shared_reach);
+
+    slots.resize(static_cast<std::size_t>(workers));
+    if (budget_mode) {
+      const uint64_t base = options.walk_budget /
+                            static_cast<uint64_t>(workers);
+      const uint64_t remainder = options.walk_budget %
+                                 static_cast<uint64_t>(workers);
+      for (int w = 0; w < workers; ++w) {
+        Slot& slot = slots[static_cast<std::size_t>(w)];
+        slot.share =
+            base + (static_cast<uint64_t>(w) < remainder ? 1 : 0);
+        if (slot.share == 0) slot.exhausted = true;  // never scheduled
+      }
+    }
+    for (const Slot& slot : slots) {
+      if (!slot.exhausted) ++active_slots;
+    }
+    KGOA_CHECK(active_slots > 0);
+    deadline = SteadyClock::now() +
+               SecondsToDuration(std::max(options.deadline_seconds, 0.0));
+    next_tick = SteadyClock::now() +
+                SecondsToDuration(std::max(options.snapshot_period, 1e-4));
+  }
+
+  int ConcurrencyCap() const {
+    const int n = static_cast<int>(slots.size());
+    return options.max_concurrency > 0
+               ? std::min(options.max_concurrency, n)
+               : n;
+  }
+
+  // Core-mutex-guarded: is there a slot a worker could pick up?
+  bool HasAvailableSlot() const {
+    if (cancel_requested.load(std::memory_order_relaxed)) return false;
+    if (checked_out >= ConcurrencyCap()) return false;
+    for (const Slot& slot : slots) {
+      if (!slot.exhausted && !slot.checked_out) return true;
+    }
+    return false;
+  }
+
+  int FirstAvailableSlot() const {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].exhausted && !slots[i].checked_out) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  std::shared_ptr<ServingCore::State> core;
+  const IndexSet& indexes;
+  const ChainQuery query;
+  // Fixed at submit, except on_snapshot: FinalizeJob clears the closure
+  // after its last invocation so captured state (often the job's own
+  // handle) is released with the retirement.
+  ChartJobOptions options;
+  const bool budget_mode;
+  const uint64_t quantum;
+  OlaEngineOptions engine_template;  // per-slot seed filled at checkout
+
+  uint64_t id = 0;  // assigned under the core mutex at submit
+  SteadyClock::time_point deadline{};
+  Stopwatch clock;  // started at submit (construction)
+
+  // Effective shared reach cache (may be null); owned when built per-job.
+  std::unique_ptr<WalkPlan> owned_plan;
+  std::unique_ptr<ReachProbability> owned_reach;
+  ReachProbability* shared_reach = nullptr;
+  ReachWindow reach_window;
+
+  // Slots are fixed at construction; deque keeps Slot's mutex immovable.
+  std::deque<Slot> slots;
+  int active_slots = 0;  // slots not yet exhausted
+  int checked_out = 0;
+  bool in_queue = false;
+  bool retire_claimed = false;
+
+  // The cancellation token: set once by Cancel(), observed by workers at
+  // quantum boundaries without any lock.
+  std::atomic<bool> cancel_requested{false};
+  SteadyClock::time_point cancel_time{};  // written under the core mutex
+
+  // Completion signalling; `result` is written once under done_mutex
+  // before `state` advances to kDone/kCancelled.
+  mutable std::mutex done_mutex;
+  mutable std::condition_variable done_cv;
+  std::atomic<int> state{static_cast<int>(ChartJobState::kQueued)};
+  ParallelOlaResult result;
+
+  // Snapshot-subscription pacing; callbacks are serialized per job.
+  std::mutex callback_mutex;
+  SteadyClock::time_point next_tick{};
+};
+
+namespace {
+
+ChartJobState JobState(const ChartJob& job) {
+  return static_cast<ChartJobState>(
+      job.state.load(std::memory_order_acquire));
+}
+
+bool JobFinished(const ChartJob& job) {
+  const ChartJobState s = JobState(job);
+  return s == ChartJobState::kDone || s == ChartJobState::kCancelled;
+}
+
+// Merges the published slot partials (slot order, so repeated snapshots of
+// a quiescent job are bit-stable) and describes them.
+OlaSnapshot MergeJobSnapshot(ChartJob& job, GroupedEstimates* merged) {
+  OlaSnapshot snapshot;
+  *merged = GroupedEstimates();
+  for (ChartJob::Slot& slot : job.slots) {
+    std::lock_guard<std::mutex> lock(slot.publish_mutex);
+    merged->Merge(slot.partial);
+    snapshot.counters.Merge(slot.counters);
+  }
+  job.reach_window.AddDelta(snapshot.counters);
+  snapshot.walks = merged->walks();
+  snapshot.rejected_walks = merged->rejected_walks();
+  snapshot.rejection_rate = merged->RejectionRate();
+  snapshot.estimates = merged;
+  FillRates(job.clock.ElapsedSeconds(), snapshot);
+  return snapshot;
+}
+
+// Delivers a paced live snapshot if the job subscribed and the period
+// elapsed. try_lock: if another worker is mid-callback, skip rather than
+// queue up — snapshots are a sampled view, not a log.
+void MaybeSnapshotCallback(ChartJob& job) {
+  if (!job.options.on_snapshot) return;
+  std::unique_lock<std::mutex> lock(job.callback_mutex, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  if (SteadyClock::now() < job.next_tick) return;
+  GroupedEstimates merged;
+  const OlaSnapshot snapshot = MergeJobSnapshot(job, &merged);
+  job.options.on_snapshot(snapshot);
+  job.next_tick = SteadyClock::now() +
+                  SecondsToDuration(std::max(job.options.snapshot_period,
+                                             1e-4));
+}
+
+// Runs one time slice of `slot`: builds the engine on first touch, walks
+// one quantum (clipped to the slot's remaining budget share), publishes
+// the partial. Returns the walks run; 0 means the slot produced no work
+// (cancelled, or the deadline passed) and should be exhausted.
+uint64_t RunQuantum(ChartJob& job, int slot_index) {
+  ChartJob::Slot& slot = job.slots[static_cast<std::size_t>(slot_index)];
+  if (job.cancel_requested.load(std::memory_order_acquire)) return 0;
+  if (!job.budget_mode && SteadyClock::now() >= job.deadline) return 0;
+
+  if (slot.engine == nullptr) {
+    OlaEngineOptions engine_options = job.engine_template;
+    engine_options.seed =
+        job.options.seed + static_cast<uint64_t>(slot_index);
+    engine_options.shared_reach = job.shared_reach;
+    slot.engine = MakeOlaEngine(job.indexes, job.query, engine_options);
+  }
+
+  uint64_t walks = job.quantum;
+  if (job.budget_mode) {
+    KGOA_DCHECK(slot.done < slot.share);
+    walks = std::min(walks, slot.share - slot.done);
+  }
+  slot.engine->RunWalks(walks);
+
+  // The copy reads only slot-private engine state; only the handoff into
+  // the publish slot needs the lock.
+  GroupedEstimates partial = slot.engine->estimates();
+  OlaCounters counters;
+  slot.engine->FillCounters(&counters);
+  {
+    std::lock_guard<std::mutex> lock(slot.publish_mutex);
+    slot.partial = std::move(partial);
+    slot.counters = counters;
+  }
+  MaybeSnapshotCallback(job);
+  return walks;
+}
+
+// Builds the final result (slot-order merge — the determinism contract),
+// frees the engines, publishes the result, and wakes Await-ers. Runs
+// outside the core mutex; the caller claimed the retire.
+void FinalizeJob(ChartJob& job, bool cancelled) {
+  ParallelOlaResult result;
+  result.workers = static_cast<int>(job.slots.size());
+  bool mergeable = true;
+  // Ordered merge over logical slots: the double summation happens in the
+  // same order no matter how quanta were interleaved with other jobs or
+  // scheduled onto threads, so the result is bit-identical across pool
+  // sizes and across solo vs. concurrent serving.
+  for (ChartJob::Slot& slot : job.slots) {
+    if (slot.engine == nullptr) continue;
+    result.estimates.Merge(slot.engine->estimates());
+    slot.engine->FillCounters(&result.counters);
+    mergeable = mergeable && slot.engine->mergeable();
+  }
+  job.reach_window.AddDelta(result.counters);
+  result.elapsed_seconds = job.clock.ElapsedSeconds();
+  if (job.budget_mode && !cancelled && mergeable) {
+    // Walk-budget determinism: every slot ran exactly its share, so the
+    // merged walk count must equal the requested budget regardless of how
+    // the quanta were scheduled.
+    KGOA_DCHECK_EQ(result.estimates.walks(), job.options.walk_budget);
+  }
+  // Release the heavy engine state (estimator arenas, CTJ memos, private
+  // reach caches) eagerly: a cancelled job must not keep partial engines
+  // alive for as long as some handle holds the job.
+  for (ChartJob::Slot& slot : job.slots) slot.engine.reset();
+
+  // The final snapshot is delivered BEFORE the result is published and
+  // Await-ers are woken: Await() returning guarantees the callback will
+  // not fire again, so callers may tear down captured state right after.
+  if (job.options.on_snapshot) {
+    std::lock_guard<std::mutex> lock(job.callback_mutex);
+    job.options.on_snapshot(FinalSnapshot(result));
+    // Drop the subscription once it can never fire again. Callbacks
+    // routinely capture the job's own handle (e.g. to Cancel() from inside
+    // a snapshot); keeping the closure alive would cycle
+    // job -> callback -> handle -> job and leak the retired job.
+    job.options.on_snapshot = nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(job.done_mutex);
+    job.result = std::move(result);
+    job.state.store(static_cast<int>(cancelled ? ChartJobState::kCancelled
+                                               : ChartJobState::kDone),
+                    std::memory_order_release);
+  }
+  job.done_cv.notify_all();
+}
+
+// Removes the job from the live set and finalizes it. The caller holds
+// `lock` (the core mutex) and has set job->retire_claimed; the mutex is
+// released around the merge.
+void RetireJob(ServingCore::State& state,
+               const std::shared_ptr<ChartJob>& job,
+               std::unique_lock<std::mutex>& lock) {
+  KGOA_DCHECK(job->retire_claimed);
+  KGOA_DCHECK_EQ(job->checked_out, 0);
+  state.live.erase(std::remove(state.live.begin(), state.live.end(), job),
+                   state.live.end());
+  const bool cancelled = job->cancel_requested.load();
+  // Stats are settled BEFORE the finalize wakes Await-ers, so a stats()
+  // call racing an Await() return sees the job counted. The cancellation
+  // latency is request -> pool freed (this claim), the quantity the
+  // serving story cares about; the off-pool final merge is excluded.
+  if (cancelled) {
+    ++state.cancelled;
+    state.last_cancel_latency =
+        DurationSeconds(SteadyClock::now() - job->cancel_time);
+  } else {
+    ++state.completed;
+  }
+  lock.unlock();
+  FinalizeJob(*job, cancelled);
+  lock.lock();
+}
+
+// Picks the next (job, slot) to run: highest priority first, round-robin
+// among equals (jobs are re-pushed to the back after each pick). Called
+// with the core mutex held. Returns false when no work is available.
+bool PickWork(ServingCore::State& state, std::shared_ptr<ChartJob>* out_job,
+              int* out_slot) {
+  std::size_t best = state.queue.size();
+  for (std::size_t i = 0; i < state.queue.size();) {
+    ChartJob& job = *state.queue[i];
+    if (!job.HasAvailableSlot()) {
+      // Stale entry (fully checked out, exhausted, or cancelled since it
+      // was queued): drop it — workers returning slots re-queue jobs that
+      // regain available work.
+      job.in_queue = false;
+      state.queue.erase(state.queue.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    if (best == state.queue.size() ||
+        job.options.priority > state.queue[best]->options.priority) {
+      best = i;
+    }
+    ++i;
+  }
+  if (best == state.queue.size()) return false;
+
+  std::shared_ptr<ChartJob> job = state.queue[best];
+  const int slot = job->FirstAvailableSlot();
+  KGOA_DCHECK(slot >= 0);
+  job->slots[static_cast<std::size_t>(slot)].checked_out = true;
+  ++job->checked_out;
+  job->state.store(static_cast<int>(ChartJobState::kRunning),
+                   std::memory_order_release);
+  // Rotate: whatever happens to this job, it goes to the back (or out) of
+  // the queue, so its peers get the next slices.
+  state.queue.erase(state.queue.begin() +
+                    static_cast<std::ptrdiff_t>(best));
+  if (job->HasAvailableSlot()) {
+    state.queue.push_back(job);
+  } else {
+    job->in_queue = false;
+  }
+  *out_job = std::move(job);
+  *out_slot = slot;
+  return true;
+}
+
+// Returns a slot after a quantum: updates progress, exhausts finished
+// slots, and either retires the job or re-queues it. Core mutex held.
+void ReturnSlot(ServingCore::State& state,
+                const std::shared_ptr<ChartJob>& job, int slot_index,
+                uint64_t ran, std::unique_lock<std::mutex>& lock) {
+  ChartJob::Slot& slot = job->slots[static_cast<std::size_t>(slot_index)];
+  slot.checked_out = false;
+  --job->checked_out;
+  slot.done += ran;
+
+  auto exhaust = [&](ChartJob::Slot& s) {
+    if (!s.exhausted) {
+      s.exhausted = true;
+      --job->active_slots;
+    }
+  };
+  if (job->cancel_requested.load(std::memory_order_relaxed)) {
+    // The token was observed: everything not currently running stops now;
+    // running slots stop as their quanta return.
+    for (ChartJob::Slot& s : job->slots) {
+      if (!s.checked_out) exhaust(s);
+    }
+  } else if (job->budget_mode) {
+    if (slot.done >= slot.share) exhaust(slot);
+  } else if (ran == 0) {
+    // Deadline passed: this slot is done; its siblings notice on their own
+    // next quantum.
+    exhaust(slot);
+  }
+
+  if (job->active_slots == 0 && job->checked_out == 0) {
+    if (!job->retire_claimed) {
+      job->retire_claimed = true;
+      RetireJob(state, job, lock);
+    }
+  } else if (!job->in_queue && job->HasAvailableSlot()) {
+    job->in_queue = true;
+    state.queue.push_back(job);
+    state.cv.notify_all();
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ChartHandle
+// ---------------------------------------------------------------------------
+
+ChartHandle::ChartHandle(std::shared_ptr<ChartJob> job)
+    : job_(std::move(job)) {}
+
+uint64_t ChartHandle::id() const { return job_ == nullptr ? 0 : job_->id; }
+
+ChartJobState ChartHandle::state() const {
+  KGOA_CHECK(job_ != nullptr);
+  return JobState(*job_);
+}
+
+bool ChartHandle::finished() const {
+  return job_ != nullptr && JobFinished(*job_);
+}
+
+ParallelOlaResult ChartHandle::Snapshot() const {
+  KGOA_CHECK(job_ != nullptr);
+  if (JobFinished(*job_)) {
+    std::lock_guard<std::mutex> lock(job_->done_mutex);
+    return job_->result;
+  }
+  ParallelOlaResult live;
+  live.workers = static_cast<int>(job_->slots.size());
+  GroupedEstimates merged;
+  const OlaSnapshot snapshot = MergeJobSnapshot(*job_, &merged);
+  live.estimates = std::move(merged);
+  live.counters = snapshot.counters;
+  live.elapsed_seconds = snapshot.elapsed_seconds;
+  return live;
+}
+
+void ChartHandle::Cancel() const {
+  KGOA_CHECK(job_ != nullptr);
+  const std::shared_ptr<ServingCore::State> state = job_->core;
+  std::unique_lock<std::mutex> lock(state->mutex);
+  if (JobFinished(*job_) || job_->retire_claimed) return;
+  if (!job_->cancel_requested.exchange(true, std::memory_order_acq_rel)) {
+    job_->cancel_time = SteadyClock::now();
+  }
+  if (job_->in_queue) {
+    job_->in_queue = false;
+    state->queue.erase(std::remove(state->queue.begin(),
+                                   state->queue.end(), job_),
+                       state->queue.end());
+  }
+  for (ChartJob::Slot& slot : job_->slots) {
+    if (!slot.checked_out && !slot.exhausted) {
+      slot.exhausted = true;
+      --job_->active_slots;
+    }
+  }
+  if (job_->checked_out == 0) {
+    // Nothing of this job is running: retire it inline; the pool never
+    // even has to wake up. Otherwise the workers holding its slots observe
+    // the token within one quantum and the last one to return retires it.
+    job_->retire_claimed = true;
+    RetireJob(*state, job_, lock);
+  }
+}
+
+ParallelOlaResult ChartHandle::Await() const {
+  KGOA_CHECK(job_ != nullptr);
+  std::unique_lock<std::mutex> lock(job_->done_mutex);
+  job_->done_cv.wait(lock, [&] { return JobFinished(*job_); });
+  return job_->result;
+}
+
+// ---------------------------------------------------------------------------
+// ServingCore
+// ---------------------------------------------------------------------------
+
+ServingCore::ServingCore(const IndexSet& indexes)
+    : ServingCore(indexes, Options()) {}
+
+ServingCore::ServingCore(const IndexSet& indexes, Options options)
+    : indexes_(indexes), options_(options) {
+  KGOA_CHECK(options_.threads >= 1);
+  KGOA_CHECK(options_.quantum_walks >= 1);
+  state_ = std::make_shared<State>(indexes_, options_);
+  // The one place in the repo that constructs OS threads (lint rule
+  // raw-thread): the pool outlives every chart served through it.
+  pool_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int t = 0; t < options_.threads; ++t) {
+    pool_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ServingCore::~ServingCore() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stopping = true;
+  }
+  state_->cv.notify_all();
+  for (std::thread& thread : pool_) thread.join();
+  // The workers are gone, so nothing is checked out: flush every live job
+  // as cancelled so Await-ers (possibly on other threads, holding handles
+  // that outlive this core) wake with a well-formed partial result.
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  while (!state_->live.empty()) {
+    std::shared_ptr<ChartJob> job = state_->live.back();
+    if (!job->cancel_requested.exchange(true)) {
+      job->cancel_time = SteadyClock::now();
+    }
+    job->in_queue = false;
+    for (ChartJob::Slot& slot : job->slots) {
+      if (!slot.exhausted) {
+        slot.exhausted = true;
+        --job->active_slots;
+      }
+    }
+    KGOA_CHECK(!job->retire_claimed);
+    job->retire_claimed = true;
+    RetireJob(*state_, job, lock);
+  }
+  state_->queue.clear();
+}
+
+ChartHandle ServingCore::Submit(const ChainQuery& query,
+                                ChartJobOptions options) {
+  auto job = std::make_shared<ChartJob>(state_, indexes_, query,
+                                        std::move(options));
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  KGOA_CHECK_MSG(!state_->stopping, "Submit on a stopping ServingCore");
+  job->id = state_->next_job_id++;
+  ++state_->submitted;
+  state_->live.push_back(job);
+  job->in_queue = true;
+  state_->queue.push_back(job);
+  state_->max_live =
+      std::max<uint64_t>(state_->max_live, state_->live.size());
+  state_->cv.notify_all();
+  return ChartHandle(std::move(job));
+}
+
+ServeStats ServingCore::stats() const {
+  ServeStats stats;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  stats.threads = pool_.size();
+  stats.jobs_submitted = state_->submitted;
+  stats.jobs_completed = state_->completed;
+  stats.jobs_cancelled = state_->cancelled;
+  stats.quanta = state_->quanta;
+  stats.preemptions = state_->preemptions;
+  stats.walks = state_->walks;
+  stats.live_jobs = state_->live.size();
+  stats.max_live_jobs = state_->max_live;
+  stats.last_cancel_latency_seconds = state_->last_cancel_latency;
+  return stats;
+}
+
+void ServingCore::WorkerMain() {
+  const std::shared_ptr<State> state = state_;
+  uint64_t last_job_id = 0;
+  std::unique_lock<std::mutex> lock(state->mutex);
+  for (;;) {
+    if (state->stopping) return;
+    std::shared_ptr<ChartJob> job;
+    int slot = -1;
+    if (!PickWork(*state, &job, &slot)) {
+      state->cv.wait(lock);
+      continue;
+    }
+    ++state->quanta;
+    if (last_job_id != 0 && last_job_id != job->id) ++state->preemptions;
+    last_job_id = job->id;
+    lock.unlock();
+    const uint64_t ran = RunQuantum(*job, slot);
+    lock.lock();
+    state->walks += ran;
+    ReturnSlot(*state, job, slot, ran, lock);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous executor on top of the serving core
+// ---------------------------------------------------------------------------
 
 ParallelOlaExecutor::ParallelOlaExecutor(const IndexSet& indexes,
                                          ChainQuery query,
@@ -234,7 +718,7 @@ ParallelOlaExecutor::ParallelOlaExecutor(const IndexSet& indexes,
   KGOA_CHECK(options_.workers >= 1);
   // Only the audit engine's distinct estimator audits reach
   // probabilities; everything else runs cache-less.
-  if (options_.use_audit && query_.distinct()) {
+  if (options_.engine == OlaEngineKind::kAudit && query_.distinct()) {
     if (options_.shared_reach != nullptr) {
       shared_reach_ = options_.shared_reach;
     } else if (options_.share_reach) {
@@ -249,129 +733,51 @@ ParallelOlaExecutor::ParallelOlaExecutor(const IndexSet& indexes,
 
 ParallelOlaExecutor::~ParallelOlaExecutor() = default;
 
+ServingCore& ParallelOlaExecutor::Core() const {
+  if (core_ == nullptr) {
+    ServingCore::Options core_options;
+    core_options.threads = std::max(1, options_.threads);
+    core_options.quantum_walks =
+        std::max<uint64_t>(1, options_.publish_every);
+    core_ = std::make_unique<ServingCore>(indexes_, core_options);
+  }
+  return *core_;
+}
+
+ChartJobOptions ParallelOlaExecutor::BaseJobOptions() const {
+  ChartJobOptions job;
+  job.seed = options_.seed;
+  job.engine = options_.engine;
+  job.walk_order = options_.walk_order;
+  job.tipping_threshold = options_.tipping_threshold;
+  // The executor resolved reach sharing at construction (so the cache
+  // stays warm across Run calls); the job must not build its own.
+  job.share_reach = false;
+  job.shared_reach = shared_reach_;
+  job.snapshot_period = options_.snapshot_period;
+  return job;
+}
+
 ParallelOlaResult ParallelOlaExecutor::RunForDuration(
     double seconds, const OlaSnapshotCallback& callback) const {
-  const int threads = std::max(1, options_.threads);
-  const uint64_t publish_every = std::max<uint64_t>(1, options_.publish_every);
-
-  std::vector<PublishSlot> slots(threads);
-  std::vector<GroupedEstimates> finals(threads);
-  std::vector<OlaCounters> final_counters(threads);
-  RunState state;
-  state.active = threads;
-
-  // The clock starts before any thread is spawned: spawn latency and
-  // engine construction spend the budget rather than silently extending
-  // it, and every worker checks this one shared deadline.
-  Stopwatch clock;
-  const auto deadline = SteadyClock::now() + SecondsToDuration(seconds);
-  const ReachWindow reach = ReachWindow::Open(shared_reach_);
-
-  auto thread_main = [&](int w) {
-    WorkerEngine engine(indexes_, query_, options_,
-                        options_.seed + static_cast<uint64_t>(w),
-                        shared_reach_);
-    uint64_t since_publish = 0;
-    while (SteadyClock::now() < deadline) {
-      engine.RunWalks(kDeadlineBatch);
-      since_publish += kDeadlineBatch;
-      if (callback && since_publish >= publish_every) {
-        Publish(slots[w], engine);
-        since_publish = 0;
-      }
-    }
-    finals[w] = engine.estimates();
-    final_counters[w] = engine.counters();
-    FinishThread(state);
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (int w = 0; w < threads; ++w) pool.emplace_back(thread_main, w);
-  SnapshotLoop(state, slots, clock, options_, reach, callback);
-  for (std::thread& thread : pool) thread.join();
-
-  ParallelOlaResult result;
-  result.workers = threads;
-  for (int w = 0; w < threads; ++w) {
-    result.estimates.Merge(finals[w]);
-    result.counters.Merge(final_counters[w]);
-  }
-  reach.AddDelta(result.counters);
-  result.elapsed_seconds = clock.ElapsedSeconds();
-  if (callback) callback(FinalSnapshot(result));
-  return result;
+  ChartJobOptions job = BaseJobOptions();
+  job.walk_budget = 0;
+  job.deadline_seconds = seconds;
+  // One logical worker per pool thread, like the original deadline mode.
+  job.workers = std::max(1, options_.threads);
+  job.max_concurrency = options_.threads;
+  job.on_snapshot = callback;
+  return Core().Submit(query_, std::move(job)).Await();
 }
 
 ParallelOlaResult ParallelOlaExecutor::RunWalkBudget(
     uint64_t total_walks, const OlaSnapshotCallback& callback) const {
-  const int workers = std::max(1, options_.workers);
-  const int threads = std::clamp(options_.threads, 1, workers);
-  const uint64_t publish_every = std::max<uint64_t>(1, options_.publish_every);
-  const uint64_t base_share = total_walks / static_cast<uint64_t>(workers);
-  const uint64_t remainder = total_walks % static_cast<uint64_t>(workers);
-
-  std::vector<PublishSlot> slots(workers);
-  std::vector<GroupedEstimates> finals(workers);
-  std::vector<OlaCounters> final_counters(workers);
-  RunState state;
-  state.active = threads;
-  std::atomic<int> next_worker{0};
-  Stopwatch clock;
-  const ReachWindow reach = ReachWindow::Open(shared_reach_);
-
-  // Threads pull logical workers off a shared counter; which thread runs
-  // which worker is scheduling-dependent, but every worker's walks are a
-  // pure function of its own seed and share, so the ordered merge below
-  // is not. The shared reach cache does not break this: its memo values
-  // are pure functions of the plan, so whether a worker computes an entry
-  // itself or reads one computed by a racing peer, it divides by the same
-  // bits (contract-checked in ShardedFlatTable::Insert).
-  auto thread_main = [&]() {
-    for (int w = next_worker.fetch_add(1, std::memory_order_relaxed);
-         w < workers;
-         w = next_worker.fetch_add(1, std::memory_order_relaxed)) {
-      const uint64_t share =
-          base_share + (static_cast<uint64_t>(w) < remainder ? 1 : 0);
-      WorkerEngine engine(indexes_, query_, options_,
-                          options_.seed + static_cast<uint64_t>(w),
-                          shared_reach_);
-      uint64_t done = 0;
-      while (done < share) {
-        const uint64_t batch = std::min(publish_every, share - done);
-        engine.RunWalks(batch);
-        done += batch;
-        if (callback) Publish(slots[w], engine);
-      }
-      finals[w] = engine.estimates();
-      final_counters[w] = engine.counters();
-    }
-    FinishThread(state);
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (int t = 0; t < threads; ++t) pool.emplace_back(thread_main);
-  SnapshotLoop(state, slots, clock, options_, reach, callback);
-  for (std::thread& thread : pool) thread.join();
-
-  ParallelOlaResult result;
-  result.workers = workers;
-  // Ordered merge over logical workers: the double summation happens in
-  // the same order no matter how many threads ran, so the result is
-  // bit-identical across runs and thread counts.
-  for (int w = 0; w < workers; ++w) {
-    result.estimates.Merge(finals[w]);
-    result.counters.Merge(final_counters[w]);
-  }
-  reach.AddDelta(result.counters);
-  // Walk-budget determinism: every logical worker ran exactly its share,
-  // so the merged walk count must equal the requested budget regardless
-  // of how the workers were scheduled onto threads.
-  KGOA_DCHECK_EQ(result.estimates.walks(), total_walks);
-  result.elapsed_seconds = clock.ElapsedSeconds();
-  if (callback) callback(FinalSnapshot(result));
-  return result;
+  ChartJobOptions job = BaseJobOptions();
+  job.walk_budget = total_walks;
+  job.workers = std::max(1, options_.workers);
+  job.max_concurrency = options_.threads;
+  job.on_snapshot = callback;
+  return Core().Submit(query_, std::move(job)).Await();
 }
 
 GroupedEstimates RunParallelOla(const IndexSet& indexes,

@@ -1,4 +1,4 @@
-// Parallel online aggregation: a reusable worker-pool executor.
+// Persistent serving core for parallel online aggregation.
 //
 // The OLA literature the paper surveys (section II) includes parallel and
 // distributed variants (PF-OLA, online aggregation for MapReduce). Both
@@ -9,44 +9,49 @@
 // (GroupedEstimates::Merge) and the combined estimator is the same as one
 // sequential run with the union of the walks.
 //
-// One caveat, worth stating because it is another argument for Audit
-// Join's estimator design: Wander Join's DISTINCT mode is *stateful* (the
-// Ripple-Join seen-set), so parallel workers each keep their own seen-set
-// and duplicates across workers are double-counted — the merged estimate
-// is even more biased than the sequential one. Audit Join's distinct
-// estimator is stateless and merges exactly.
+// Interactive exploration adds a second dimension: a user clicks a bar,
+// watches the chart converge, and clicks again — often before the previous
+// chart finishes. Spawning a fresh thread pool per chart (the pre-serving
+// design) cannot express that; this layer can:
 //
-// The executor supports two run modes:
+//  * ServingCore — one long-lived worker pool (the only place in the repo
+//    allowed to construct std::thread; lint-enforced). Workers time-slice
+//    across all live jobs in fixed walk quanta, so k concurrent charts all
+//    make visible progress instead of running head-of-line.
 //
-//  * Walk-budget mode (RunWalkBudget): the total budget is split across a
-//    fixed number of *logical workers*, each with its own engine seeded
-//    seed + w, and the final partials are merged in worker order. The
-//    result is a deterministic function of (query, seed, budget,
-//    options.workers) — bit-identical across runs and across `threads`
-//    values, because `threads` only controls how many logical workers run
-//    concurrently, never how the walks are partitioned or merged.
+//  * ChartJob / ChartHandle — a submitted chart query. Each job carries a
+//    cancellation token (observed between quanta, so Cancel() returns the
+//    pool to other jobs within one quantum, never joining or respawning
+//    threads), a priority, a deadline or walk budget, and an optional
+//    snapshot-subscription callback. Handles expose Snapshot() (live
+//    merged partials), Cancel() and Await().
 //
-//  * Deadline mode (RunForDuration): workers run until a shared deadline
-//    computed *before* the threads are spawned (so spawn latency counts
-//    against the budget, not on top of it). Walk counts — and therefore
-//    estimates — vary run to run; this is the interactive serving mode.
+//  * ParallelOlaExecutor — the original synchronous API, now a thin
+//    wrapper that owns a private ServingCore and submits one job per Run
+//    call; the pool persists across calls.
 //
-// In both modes, workers publish partial accumulators under a per-worker
-// mutex every `publish_every` walks, and the calling thread (woken by
-// condition_variable::wait_until, no busy-sleep) merges the published
-// partials and hands a live snapshot — merged estimates with per-group CI
-// half-widths, walks/sec, rejection rate, engine counters — to an optional
-// callback at `snapshot_period` cadence, without stopping the run. This is
-// the "watch the bars converge" interaction online aggregation exists for.
+// Scheduling never touches estimator semantics. A job in walk-budget mode
+// splits its budget over `workers` logical slots (slot w runs exactly its
+// share with seed seed + w, engines are slot-private, shared reach-cache
+// entries are value-pure), and the final merge folds slot estimates in
+// slot order — so a budgeted job's estimate is a pure function of
+// (query, seed, budget, workers): bit-identical across pool sizes AND
+// across running solo vs. alongside any number of competing jobs.
+//
+// Deadline mode (walk_budget == 0) runs every slot until a wall-clock
+// deadline fixed at submit time; walk counts — and therefore estimates —
+// vary run to run. This is the interactive serving mode.
 #ifndef KGOA_OLA_PARALLEL_H_
 #define KGOA_OLA_PARALLEL_H_
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "src/index/index_set.h"
+#include "src/ola/engine.h"
 #include "src/ola/estimator.h"
 #include "src/query/chain_query.h"
 
@@ -55,49 +60,12 @@ namespace kgoa {
 class ReachProbability;
 class WalkPlan;
 
-// Per-engine work counters, merged across workers. Counters an engine does
-// not track stay zero (e.g. tipping counters under Wander Join).
-//
-// The reach_* counters describe the reach-probability cache of the
-// distinct estimator. With a shared cache they are filled once per run by
-// the executor (as this run's delta over the cache's atomic shard
-// counters) rather than per worker; they are exact totals but
-// scheduling-dependent — see src/core/reach.h — so they are excluded from
-// the walk-budget determinism contract.
-struct OlaCounters {
-  uint64_t tipped_walks = 0;     // Audit Join: walks finished by tipping
-  uint64_t full_walks = 0;       // walks sampled to completion
-  uint64_t tip_aborts = 0;       // Audit Join: enumeration-cap aborts
-  uint64_t ctj_cache_hits = 0;   // Audit Join: suffix-count memo hits
-  uint64_t duplicate_walks = 0;  // Wander Join distinct mode
-  uint64_t reach_hits = 0;       // reach cache: memoized lookups served
-  uint64_t reach_misses = 0;     // reach cache: entries computed
-  uint64_t reach_contention = 0;  // reach cache: contended shard inserts
-  uint64_t reach_entries = 0;     // reach cache: resident entries (gauge)
-
-  void Merge(const OlaCounters& other) {
-    tipped_walks += other.tipped_walks;
-    full_walks += other.full_walks;
-    tip_aborts += other.tip_aborts;
-    ctj_cache_hits += other.ctj_cache_hits;
-    duplicate_walks += other.duplicate_walks;
-    reach_hits += other.reach_hits;
-    reach_misses += other.reach_misses;
-    reach_contention += other.reach_contention;
-    // A gauge, not a rate: max keeps the merged value meaningful whether
-    // the workers shared one cache or owned private ones.
-    reach_entries = reach_entries > other.reach_entries
-                        ? reach_entries
-                        : other.reach_entries;
-  }
-};
-
 struct ParallelOlaOptions {
-  // OS threads actually running workers. Never affects budget-mode
-  // results; clamped to [1, workers] in budget mode.
+  // OS threads in the executor's pool. Never affects budget-mode results;
+  // budget-mode concurrency is additionally capped by `workers`.
   int threads = 2;
   uint64_t seed = 1;             // logical worker w uses seed + w
-  bool use_audit = true;         // Audit Join (false: Wander Join)
+  OlaEngineKind engine = OlaEngineKind::kAudit;
   std::vector<int> walk_order;   // empty = engine default
   double tipping_threshold = 64.0;  // Audit Join only
 
@@ -107,8 +75,8 @@ struct ParallelOlaOptions {
   // does.
   int workers = 4;
 
-  // Walks a worker runs between partial publications (and between
-  // deadline checks in deadline mode).
+  // Walks a worker runs per time slice (and between partial publications
+  // and cancellation checks).
   uint64_t publish_every = 256;
 
   // Seconds between snapshot callbacks (when a callback is given).
@@ -138,13 +106,14 @@ struct OlaSnapshot {
   double rejection_rate = 0;
   OlaCounters counters;
   // Merged partial estimates: per-group Estimate() / CiHalfWidth().
-  // Owned by the executor; do not retain past the callback.
+  // Owned by the caller of the callback; do not retain past the callback.
   const GroupedEstimates* estimates = nullptr;
-  // True for the one snapshot emitted after all workers finished.
+  // True for the one snapshot emitted after the job finished.
   bool final_snapshot = false;
 };
 
-// Called on the thread that invoked the run, never concurrently.
+// Snapshot callbacks are invoked from pool worker threads, but never
+// concurrently for the same job (serialized per job).
 using OlaSnapshotCallback = std::function<void(const OlaSnapshot&)>;
 
 struct ParallelOlaResult {
@@ -154,6 +123,150 @@ struct ParallelOlaResult {
   int workers = 0;  // logical workers that ran
 };
 
+// ---------------------------------------------------------------------------
+// Async serving API
+// ---------------------------------------------------------------------------
+
+enum class ChartJobState : int { kQueued, kRunning, kDone, kCancelled };
+
+const char* ChartJobStateName(ChartJobState state);
+
+struct ChartJobOptions {
+  // > 0: deterministic walk-budget mode — exactly this many walks, split
+  // across `workers` logical slots, merged in slot order.
+  uint64_t walk_budget = 0;
+  // Budget == 0: deadline mode — every slot walks until this many seconds
+  // after submission.
+  double deadline_seconds = 0.1;
+
+  // Higher-priority jobs are always scheduled first; ties share the pool
+  // round-robin, one quantum at a time.
+  int priority = 0;
+
+  // Logical workers (budget-run identity, see ParallelOlaOptions). Jobs
+  // whose engine is not mergeable (Ripple) are clamped to 1.
+  int workers = 4;
+  // Max slots of this job running concurrently; 0 = no per-job cap (the
+  // pool size is the cap).
+  int max_concurrency = 0;
+
+  uint64_t seed = 1;
+  OlaEngineKind engine = OlaEngineKind::kAudit;
+  std::vector<int> walk_order;  // empty = engine default
+  double tipping_threshold = 64.0;
+
+  // Reach-cache sharing across the job's slots; same semantics as
+  // ParallelOlaOptions. `shared_reach` (e.g. from the session's
+  // ReachCacheRegistry) lets concurrent jobs on the same query share one
+  // warm cache; it must outlive the job.
+  bool share_reach = true;
+  ReachProbability* shared_reach = nullptr;
+
+  // Live snapshot subscription: called from pool threads at
+  // `snapshot_period` cadence (serialized per job), plus one final
+  // snapshot when the job retires — delivered before any Await() on the
+  // job returns, so an Await-er may tear down state the callback uses.
+  // The closure itself is released right after the final snapshot, so a
+  // callback may safely capture the job's own ChartHandle (e.g. to
+  // Cancel() from inside a snapshot) without keeping the job alive.
+  OlaSnapshotCallback on_snapshot;
+  double snapshot_period = 0.05;
+};
+
+class ChartJob;  // internal to the serving core
+
+// Shared-ownership view of a submitted job; copyable, outlives the core.
+class ChartHandle {
+ public:
+  ChartHandle() = default;
+
+  bool valid() const { return job_ != nullptr; }
+  uint64_t id() const;
+  ChartJobState state() const;
+  bool finished() const;  // kDone or kCancelled
+
+  // Merged live partials (published at quantum boundaries). Callable from
+  // any thread, any number of times, also after the job finished.
+  ParallelOlaResult Snapshot() const;
+
+  // Requests cancellation. Running slots observe the token within one
+  // walk quantum; the pool moves on to other jobs without joining or
+  // respawning any thread. Idempotent; no-op on finished jobs.
+  void Cancel() const;
+
+  // Blocks until the job is done or cancelled; returns the final merged
+  // result (partial up to the cancellation point for cancelled jobs).
+  // Returned by value so `core.Submit(...).Await()` stays safe when the
+  // temporary handle is the job's last owner.
+  ParallelOlaResult Await() const;
+
+ private:
+  friend class ServingCore;
+  explicit ChartHandle(std::shared_ptr<ChartJob> job);
+  std::shared_ptr<ChartJob> job_;
+};
+
+// Point-in-time serving statistics (cumulative since core construction).
+struct ServeStats {
+  uint64_t threads = 0;          // pool size; fixed for the core's lifetime
+  uint64_t jobs_submitted = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t jobs_cancelled = 0;
+  uint64_t quanta = 0;           // time slices executed
+  uint64_t preemptions = 0;      // quanta where a worker switched jobs
+  uint64_t walks = 0;            // walk-quanta executed across all jobs
+  uint64_t live_jobs = 0;        // queued + running right now
+  uint64_t max_live_jobs = 0;
+  // Cancel() -> job-retired latency of the most recent cancellation.
+  double last_cancel_latency_seconds = 0;
+};
+
+// The long-lived worker pool. Threads are spawned once in the constructor
+// and joined once in the destructor; every chart served in between is a
+// job on the shared queue.
+class ServingCore {
+ public:
+  struct Options {
+    int threads = 2;
+    // Walk-quanta per time slice: the preemption and cancellation
+    // granularity. Smaller = fairer + faster cancel, larger = less
+    // scheduling overhead.
+    uint64_t quantum_walks = 256;
+  };
+
+  // The indexes must outlive the core AND every outstanding job.
+  explicit ServingCore(const IndexSet& indexes);
+  ServingCore(const IndexSet& indexes, Options options);
+  // Cancels all live jobs (waking their Await-ers) and joins the pool.
+  ~ServingCore();
+
+  ServingCore(const ServingCore&) = delete;
+  ServingCore& operator=(const ServingCore&) = delete;
+
+  // Enqueues a job; the query is copied. Thread-safe.
+  ChartHandle Submit(const ChainQuery& query, ChartJobOptions options);
+
+  ServeStats stats() const;
+  const Options& options() const { return options_; }
+
+  struct State;  // opaque scheduler state, defined in parallel.cc
+
+ private:
+  void WorkerMain();
+
+  const IndexSet& indexes_;
+  Options options_;
+  // Scheduler state shared with jobs (kept alive by outstanding handles,
+  // so a handle may outlive the core).
+  std::shared_ptr<State> state_;
+  // kgoa-lint: allow(raw-thread) the serving pool itself
+  std::vector<std::thread> pool_;
+};
+
+// ---------------------------------------------------------------------------
+// Synchronous executor API (one job at a time on a private pool)
+// ---------------------------------------------------------------------------
+
 class ParallelOlaExecutor {
  public:
   // The indexes must outlive the executor; the query is copied.
@@ -162,7 +275,7 @@ class ParallelOlaExecutor {
   ~ParallelOlaExecutor();
 
   // Deadline mode: runs until `seconds` of wall clock elapse, measured
-  // from before the workers are spawned. One logical worker per thread.
+  // from the submit. One logical worker per pool thread.
   ParallelOlaResult RunForDuration(
       double seconds, const OlaSnapshotCallback& callback = nullptr) const;
 
@@ -177,6 +290,9 @@ class ParallelOlaExecutor {
   const ParallelOlaOptions& options() const { return options_; }
 
  private:
+  ChartJobOptions BaseJobOptions() const;
+  ServingCore& Core() const;
+
   const IndexSet& indexes_;
   ChainQuery query_;
   ParallelOlaOptions options_;
@@ -187,6 +303,9 @@ class ParallelOlaExecutor {
   std::unique_ptr<WalkPlan> shared_plan_;
   std::unique_ptr<ReachProbability> owned_shared_reach_;
   ReachProbability* shared_reach_ = nullptr;  // effective cache, may be null
+  // The private pool, spawned on the first Run call and reused by every
+  // later one — no per-serve thread construction.
+  mutable std::unique_ptr<ServingCore> core_;
 };
 
 // Legacy wrapper: deadline mode, estimates only.

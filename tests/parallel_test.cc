@@ -175,7 +175,7 @@ TEST_F(ParallelTest, AuditWorkersConvergeMerged) {
   ParallelOlaOptions options;
   options.threads = 3;
   options.workers = 3;
-  options.use_audit = true;
+  options.engine = OlaEngineKind::kAudit;
   options.tipping_threshold = 2.0;  // stochastic mode
   const ParallelOlaResult run =
       ParallelOlaExecutor(indexes_, query, options).RunWalkBudget(30000);
@@ -194,7 +194,7 @@ TEST_F(ParallelTest, WanderWorkersConvergeOnNonDistinct) {
   ParallelOlaOptions options;
   options.threads = 2;
   options.workers = 2;
-  options.use_audit = false;
+  options.engine = OlaEngineKind::kWander;
   const ParallelOlaResult run =
       ParallelOlaExecutor(indexes_, query, options).RunWalkBudget(30000);
   for (const auto& [group, count] : exact.counts) {

@@ -109,6 +109,7 @@ TEST(ShardedFlatTable, ConcurrentInsertsAgreeOnValues) {
   constexpr uint64_t kKeys = 4096;
   constexpr int kThreads = 8;
   std::atomic<int> ready{0};
+  // kgoa-lint: allow(raw-thread) test drives the cache from raw threads
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
@@ -263,6 +264,7 @@ TEST_F(ReachConcurrentTest, SharedCacheConcurrentProbesAgree) {
   constexpr int kThreads = 8;
   constexpr int kRounds = 200;
   std::atomic<int> mismatches{0};
+  // kgoa-lint: allow(raw-thread) test drives the cache from raw threads
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {

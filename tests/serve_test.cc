@@ -1,0 +1,407 @@
+// Tests for the persistent serving core: cancellation latency, multi-job
+// fairness, priority scheduling, session auto-cancel, and — the load-bearing
+// guarantee — walk-budget bit-identity of a job run solo vs. run alongside
+// competing jobs on pools of 1, 2, and 8 threads.
+//
+// Runs under TSan in tier-1 (scripts/tier1.sh): the scheduler state, the
+// per-slot publish handoff, and the callback serialization are all exercised
+// with real concurrency here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/core/explorer.h"
+#include "src/ola/parallel.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+Slot V(VarId v) { return Slot::MakeVar(v); }
+Slot C(TermId t) { return Slot::MakeConst(t); }
+
+constexpr uint64_t kHugeBudget = 1ull << 40;  // never finishes on its own
+
+class ServeTest : public ::testing::Test {
+ protected:
+  ServeTest() : graph_(testing::PaperExampleGraph()), indexes_(graph_) {}
+
+  TermId Id(const char* term) { return graph_.dict().Lookup(term); }
+
+  ChainQuery Fig5(bool distinct) {
+    auto q = ChainQuery::Create(
+        {MakePattern(V(0), C(graph_.rdf_type()), C(Id("Person"))),
+         MakePattern(V(0), C(Id("birthPlace")), V(1)),
+         MakePattern(V(1), C(graph_.rdf_type()), V(2))},
+        2, 1, distinct);
+    EXPECT_TRUE(q.has_value());
+    return *q;
+  }
+
+  Graph graph_;
+  IndexSet indexes_;
+};
+
+void ExpectBitIdentical(const GroupedEstimates& a,
+                        const GroupedEstimates& b) {
+  EXPECT_EQ(a.walks(), b.walks());
+  EXPECT_EQ(a.rejected_walks(), b.rejected_walks());
+  const auto ea = a.Estimates();
+  const auto eb = b.Estimates();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (const auto& [group, estimate] : ea) {
+    const auto it = eb.find(group);
+    ASSERT_NE(it, eb.end());
+    EXPECT_EQ(estimate, it->second) << "group " << group;
+    EXPECT_EQ(a.CiHalfWidth(group), b.CiHalfWidth(group))
+        << "group " << group;
+  }
+}
+
+// Cancellation is observed within ONE walk quantum. The job cancels itself
+// from its own snapshot callback (which runs at a quantum boundary, right
+// after that quantum's partial was published); on a 1-thread pool nothing
+// else of the job can be in flight, so the final result must contain
+// exactly the walks the cancelling snapshot saw — not one walk more.
+TEST_F(ServeTest, CancelObservedWithinOneQuantumNoLeakedPartials) {
+  ServingCore::Options core_options;
+  core_options.threads = 1;
+  core_options.quantum_walks = 128;
+  ServingCore core(indexes_, core_options);
+
+  struct Shared {
+    std::mutex mutex;
+    ChartHandle handle;
+    std::atomic<bool> armed{false};
+    std::atomic<bool> fired{false};
+    std::atomic<uint64_t> walks_at_cancel{0};
+  };
+  auto shared = std::make_shared<Shared>();
+
+  ChartJobOptions options;
+  options.walk_budget = kHugeBudget;
+  options.workers = 4;
+  options.seed = 11;
+  options.snapshot_period = 0.0;  // every quantum
+  options.on_snapshot = [shared](const OlaSnapshot& snapshot) {
+    if (snapshot.final_snapshot) return;
+    if (!shared->armed.load(std::memory_order_acquire)) return;
+    if (shared->fired.exchange(true)) return;
+    shared->walks_at_cancel.store(snapshot.walks);
+    ChartHandle handle;
+    {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      handle = shared->handle;
+    }
+    handle.Cancel();
+  };
+
+  ChartHandle handle = core.Submit(Fig5(true), options);
+  {
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    shared->handle = handle;
+  }
+  shared->armed.store(true, std::memory_order_release);
+
+  const ParallelOlaResult& result = handle.Await();
+  EXPECT_EQ(handle.state(), ChartJobState::kCancelled);
+  EXPECT_TRUE(handle.finished());
+  const uint64_t at_cancel = shared->walks_at_cancel.load();
+  EXPECT_GT(at_cancel, 0u);
+  // No partials leak past the token: the retired result IS the partial at
+  // the cancellation quantum, and nothing ran after it.
+  EXPECT_EQ(result.estimates.walks(), at_cancel);
+  EXPECT_LT(result.estimates.walks(), kHugeBudget);
+
+  // The pool survives the cancellation without joining/respawning: the
+  // same core immediately serves another job to completion.
+  ChartJobOptions follow_up;
+  follow_up.walk_budget = 1024;
+  follow_up.workers = 2;
+  const ParallelOlaResult& done = core.Submit(Fig5(true), follow_up).Await();
+  EXPECT_EQ(done.estimates.walks(), 1024u);
+
+  const ServeStats stats = core.stats();
+  EXPECT_EQ(stats.threads, 1u);
+  EXPECT_EQ(stats.jobs_submitted, 2u);
+  EXPECT_EQ(stats.jobs_cancelled, 1u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_EQ(stats.live_jobs, 0u);
+  EXPECT_GE(stats.last_cancel_latency_seconds, 0.0);
+  // Cancel is idempotent and a no-op on finished jobs.
+  handle.Cancel();
+  EXPECT_EQ(handle.state(), ChartJobState::kCancelled);
+}
+
+// Two equal-priority jobs share a 1-thread pool round-robin: when the
+// finite job completes, the competing job must have advanced to within a
+// comparable walk count — not been starved behind it.
+TEST_F(ServeTest, TwoJobsShareThePoolFairly) {
+  ServingCore::Options core_options;
+  core_options.threads = 1;
+  core_options.quantum_walks = 256;
+  ServingCore core(indexes_, core_options);
+
+  constexpr uint64_t kBudget = 40 * 256;
+
+  ChartJobOptions finite;
+  finite.walk_budget = kBudget;
+  finite.workers = 1;
+  finite.seed = 3;
+  ChartJobOptions competing;
+  competing.walk_budget = kHugeBudget;
+  competing.workers = 1;
+  competing.seed = 4;
+
+  const ChainQuery query = Fig5(true);
+  // The unbounded competitor is submitted FIRST: the finite job then
+  // joins a busy pool, and every one of its quanta is interleaved with
+  // the competitor's. (Submitting the competitor second would race its
+  // construction — plan compilation, reach-cache setup — against the
+  // finite job's entire 40-quantum run.)
+  ChartHandle b = core.Submit(query, competing);
+  ChartHandle a = core.Submit(query, finite);
+  const ParallelOlaResult& done = a.Await();
+  EXPECT_EQ(done.estimates.walks(), kBudget);
+
+  b.Cancel();
+  const ParallelOlaResult& partial = b.Await();
+  // Strict alternation keeps b at least abreast of a (it started first);
+  // allow half as slack for in-flight quanta around the probes.
+  EXPECT_GE(partial.estimates.walks(), kBudget / 2);
+
+  const ServeStats stats = core.stats();
+  EXPECT_GE(stats.preemptions, 10u);  // the worker really time-sliced
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_EQ(stats.jobs_cancelled, 1u);
+}
+
+// The acceptance criterion: a budgeted job's estimate is a pure function
+// of (query, seed, budget, workers) — bit-identical across pool sizes
+// {1, 2, 8} AND across running solo vs. alongside a competing job.
+TEST_F(ServeTest, WalkBudgetBitIdenticalSoloVsConcurrentAcrossPools) {
+  const ChainQuery query = Fig5(true);
+  constexpr uint64_t kBudget = 2002;  // not divisible by 4: remainder path
+
+  ChartJobOptions measured;
+  measured.walk_budget = kBudget;
+  measured.workers = 4;
+  measured.seed = 17;
+  measured.tipping_threshold = 2.0;  // stochastic mode
+
+  // Reference: the synchronous executor on one thread (the pre-serving
+  // sequential-union semantics, locked in by parallel_test).
+  ParallelOlaOptions reference_options;
+  reference_options.threads = 1;
+  reference_options.workers = 4;
+  reference_options.seed = 17;
+  reference_options.tipping_threshold = 2.0;
+  const ParallelOlaResult reference =
+      ParallelOlaExecutor(indexes_, query, reference_options)
+          .RunWalkBudget(kBudget);
+  ASSERT_EQ(reference.estimates.walks(), kBudget);
+
+  for (int threads : {1, 2, 8}) {
+    ServingCore::Options core_options;
+    core_options.threads = threads;
+    ServingCore core(indexes_, core_options);
+
+    // Solo.
+    const ParallelOlaResult solo = core.Submit(query, measured).Await();
+    ExpectBitIdentical(reference.estimates, solo.estimates);
+
+    // Alongside a competing job contending for every worker.
+    ChartJobOptions competing;
+    competing.walk_budget = kHugeBudget;
+    competing.workers = threads;
+    competing.seed = 99;
+    ChartHandle competitor = core.Submit(query, competing);
+    const ParallelOlaResult crowded = core.Submit(query, measured).Await();
+    ExpectBitIdentical(reference.estimates, crowded.estimates);
+    competitor.Cancel();
+  }
+}
+
+// Priority: a high-priority job submitted while a low-priority job is
+// running takes over the (single) worker until it completes; the
+// low-priority job makes no progress beyond in-flight quanta.
+TEST_F(ServeTest, HigherPriorityJobPreemptsLowerPriority) {
+  ServingCore::Options core_options;
+  core_options.threads = 1;
+  core_options.quantum_walks = 256;
+  ServingCore core(indexes_, core_options);
+
+  const ChainQuery query = Fig5(true);
+  ChartJobOptions low;
+  low.walk_budget = kHugeBudget;
+  low.workers = 1;
+  low.priority = 0;
+  low.seed = 5;
+  ChartHandle background = core.Submit(query, low);
+
+  ChartJobOptions high;
+  high.walk_budget = 80 * 256;
+  high.workers = 1;
+  high.priority = 10;
+  high.seed = 7;
+  // Probe the low-priority job's progress from inside the high-priority
+  // job's FINAL snapshot callback: it runs on the pool's only worker
+  // thread before that worker can go back to the background job, so it
+  // observes the background walk count exactly at high-job completion.
+  // (Probing from this thread after Await() would also count everything
+  // the freed worker runs during our wake-up latency.)
+  std::atomic<uint64_t> low_walks_at_high_done{0};
+  high.on_snapshot = [&](const OlaSnapshot& snapshot) {
+    if (snapshot.final_snapshot) {
+      low_walks_at_high_done.store(background.Snapshot().estimates.walks());
+    }
+  };
+  const ChartHandle urgent_handle = core.Submit(query, high);
+  // From here on the scheduler must prefer the high-priority job, so the
+  // background job can at most finish quanta already in flight. (The
+  // baseline is read only now: everything run while Submit itself built
+  // the job — plan compilation, reach-cache setup — is real time on a
+  // 1-thread pool and not the scheduler's doing.)
+  const uint64_t before = background.Snapshot().estimates.walks();
+  const ParallelOlaResult urgent = urgent_handle.Await();
+  EXPECT_EQ(urgent.estimates.walks(), 80u * 256u);
+
+  const uint64_t after = low_walks_at_high_done.load();
+  // The low-priority job may finish quanta that were in flight around the
+  // two probes, but must not have shared the pool while the high-priority
+  // job was live (a round-robin scheduler would give it ~80 quanta here).
+  EXPECT_LE(after, before + 16 * 256);
+  background.Cancel();
+  background.Await();
+}
+
+// Deadline mode through the core: the job retires on its own once the
+// wall clock passes the deadline fixed at submit.
+TEST_F(ServeTest, DeadlineJobRetiresOnItsOwn) {
+  ServingCore::Options core_options;
+  core_options.threads = 2;
+  ServingCore core(indexes_, core_options);
+
+  ChartJobOptions options;
+  options.walk_budget = 0;
+  options.deadline_seconds = 0.05;
+  options.workers = 2;
+  ChartHandle handle = core.Submit(Fig5(true), options);
+  const ParallelOlaResult& result = handle.Await();
+  EXPECT_EQ(handle.state(), ChartJobState::kDone);
+  EXPECT_GE(result.elapsed_seconds, 0.05);
+  EXPECT_GT(result.estimates.walks(), 0u);
+  EXPECT_EQ(core.stats().jobs_completed, 1u);
+}
+
+// Engine-agnostic scheduling: a Ripple job runs through the same pool.
+// Ripple's without-replacement samples don't merge across engines, so the
+// scheduler clamps it to one logical worker; on this graph the budget
+// exhausts the extents and the estimates become exact.
+TEST_F(ServeTest, RippleJobClampsToOneWorkerAndConverges) {
+  ServingCore::Options core_options;
+  core_options.threads = 2;
+  ServingCore core(indexes_, core_options);
+
+  const ChainQuery query = Fig5(false);
+  const GroupedResult exact = testing::BruteForce(graph_, query);
+
+  ChartJobOptions options;
+  options.engine = OlaEngineKind::kRipple;
+  options.walk_budget = 20000;
+  options.workers = 4;  // requested, but clamped
+  const ParallelOlaResult& result = core.Submit(query, options).Await();
+  EXPECT_EQ(result.workers, 1);
+  for (const auto& [group, count] : exact.counts) {
+    EXPECT_NEAR(result.estimates.Estimate(group),
+                static_cast<double>(count),
+                1e-6 * static_cast<double>(count) + 1e-6);
+  }
+}
+
+// The Explorer/session wiring: SubmitChart returns a live handle wired to
+// the explorer's warm reach caches, and navigating away from the current
+// selection (ExpandAndSelect / GoBack) auto-cancels superseded jobs.
+TEST_F(ServeTest, SessionAutoCancelsSupersededJobs) {
+  Explorer explorer(testing::PaperExampleGraph());
+  ExplorationSession session = explorer.NewSession();
+  const TermId birth_place =
+      explorer.graph().dict().Lookup("birthPlace");
+  ASSERT_NE(birth_place, kInvalidTerm);
+
+  ChartJobOptions options;
+  options.walk_budget = kHugeBudget;
+  options.workers = 2;
+
+  ChartHandle first =
+      explorer.SubmitChart(session.BuildQuery(ExpansionKind::kOutProperty),
+                           options);
+  session.TrackJob(first);
+  EXPECT_EQ(session.tracked_jobs().size(), 1u);
+
+  session.ExpandAndSelect(ExpansionKind::kOutProperty, birth_place);
+  first.Await();  // cancellation is observed within one quantum
+  EXPECT_EQ(first.state(), ChartJobState::kCancelled);
+  EXPECT_EQ(session.jobs_auto_cancelled(), 1u);
+  EXPECT_TRUE(session.tracked_jobs().empty());
+
+  ChartHandle second =
+      explorer.SubmitChart(session.BuildQuery(ExpansionKind::kObject),
+                           options);
+  session.TrackJob(second);
+  ASSERT_TRUE(session.GoBack());
+  second.Await();
+  EXPECT_EQ(second.state(), ChartJobState::kCancelled);
+  EXPECT_EQ(session.jobs_auto_cancelled(), 2u);
+
+  // Finished jobs are not counted as auto-cancelled.
+  ChartJobOptions small;
+  small.walk_budget = 512;
+  small.workers = 2;
+  ChartHandle done =
+      explorer.SubmitChart(session.BuildQuery(ExpansionKind::kOutProperty),
+                           small);
+  done.Await();
+  session.TrackJob(done);
+  session.ExpandAndSelect(ExpansionKind::kOutProperty, birth_place);
+  EXPECT_EQ(session.jobs_auto_cancelled(), 2u);
+
+  // The explorer's shared pool served everything without respawning.
+  const ServeStats stats = explorer.serve_stats();
+  EXPECT_EQ(stats.jobs_submitted, 3u);
+  EXPECT_EQ(stats.jobs_cancelled, 2u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_GT(explorer.metrics().Counter("serve.jobs_submitted"), 0u);
+}
+
+// Destroying a core with live jobs cancels them and wakes Await-ers with
+// well-formed partial results (handles outlive the core).
+TEST_F(ServeTest, CoreDestructionCancelsLiveJobs) {
+  ChartHandle orphan;
+  {
+    ServingCore core(indexes_);
+    ChartJobOptions options;
+    options.walk_budget = kHugeBudget;
+    options.workers = 2;
+    orphan = core.Submit(Fig5(true), options);
+  }
+  EXPECT_TRUE(orphan.finished());
+  EXPECT_EQ(orphan.state(), ChartJobState::kCancelled);
+  const ParallelOlaResult& result = orphan.Await();
+  EXPECT_LT(result.estimates.walks(), kHugeBudget);
+  orphan.Snapshot();  // still answerable after the core is gone
+}
+
+TEST(ChartJobStateNames, AreStable) {
+  EXPECT_STREQ(ChartJobStateName(ChartJobState::kQueued), "queued");
+  EXPECT_STREQ(ChartJobStateName(ChartJobState::kRunning), "running");
+  EXPECT_STREQ(ChartJobStateName(ChartJobState::kDone), "done");
+  EXPECT_STREQ(ChartJobStateName(ChartJobState::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace kgoa
