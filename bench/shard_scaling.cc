@@ -1,0 +1,146 @@
+// Shard scaling: time-to-CI-width of the scatter-gather coordinator at
+// 1 / 2 / 4 shards (src/shard/coordinator.h).
+//
+// Each configuration builds a ShardCoordinator over the same graph and
+// indexes with a fixed TOTAL thread count (threads / shards pool threads
+// per shard core), submits one deadline-mode chart job scattered across
+// the shards, and polls the combined Snapshot() until the top group's
+// 0.95 CI half-width drops below a relative target. The 1-shard case is
+// the unsharded baseline (one core, one pool); the 2- and 4-shard
+// speedups quantify what the scatter buys — with in-process shards over
+// the global indexes this isolates the coordination overhead, the number
+// a real multi-process deployment would pay on top of its RPC cost.
+//
+// The machine-readable result is one `shard_trace {json}` line (scraped
+// by scripts/bench_json.sh into BENCH_shard.json). Set KGOA_BENCH_QUICK=1
+// for a smoke-sized run.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/eval/registry.h"
+#include "src/eval/runner.h"
+#include "src/explore/session.h"
+#include "src/shard/coordinator.h"
+#include "src/util/flags.h"
+#include "src/util/stopwatch.h"
+
+namespace kgoa {
+namespace {
+
+bool BenchQuick() { return std::getenv("KGOA_BENCH_QUICK") != nullptr; }
+
+// True once the snapshot's largest group has a relative CI half-width at
+// or below `target` (with enough walks for the interval to mean
+// something). Tipped-to-exact groups (CI 0) satisfy any target.
+bool CiTargetReached(const GroupedEstimates& estimates, double target) {
+  if (estimates.walks() < 1000) return false;
+  double top_estimate = 0;
+  uint64_t top_group = 0;
+  for (const auto& [group, estimate] : estimates.Estimates()) {
+    if (estimate > top_estimate) {
+      top_estimate = estimate;
+      top_group = group;
+    }
+  }
+  if (top_estimate <= 0) return false;
+  return estimates.CiHalfWidth(top_group) <= target * top_estimate;
+}
+
+// Scatters one deadline-mode job across the coordinator's shards, polls
+// the combined snapshot until the CI target is reached, cancels the
+// fan-out, and returns the time-to-target in seconds (the give-up horizon
+// when never reached). Walks at the target time are returned via `walks`.
+double TimeToCiTarget(ShardCoordinator& coordinator, const ChainQuery& query,
+                      const std::vector<int>& walk_order,
+                      int workers_per_shard, double target,
+                      double give_up_seconds, uint64_t* walks) {
+  ShardChartOptions options;
+  options.deadline_seconds = give_up_seconds;
+  options.workers_per_shard = workers_per_shard;
+  options.walk_order = walk_order;
+  Stopwatch clock;
+  const ShardChartHandle handle = coordinator.Submit(query, options);
+  double reached = 0;
+  while (clock.ElapsedSeconds() < give_up_seconds) {
+    const ParallelOlaResult snapshot = handle.Snapshot();
+    if (CiTargetReached(snapshot.estimates, target)) {
+      reached = clock.ElapsedSeconds();
+      if (walks != nullptr) *walks = snapshot.estimates.walks();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  handle.Cancel();
+  handle.Await();
+  return reached > 0 ? reached : give_up_seconds;
+}
+
+}  // namespace
+}  // namespace kgoa
+
+int main(int argc, char** argv) {
+  kgoa::Flags flags(argc, argv);
+  flags.RestrictTo("scale,threads,ci_target");
+  const bool quick = kgoa::BenchQuick();
+  const double scale = flags.GetDouble("scale", quick ? 0.05 : 0.2);
+  const int threads = static_cast<int>(flags.GetInt("threads", 4));
+  const double ci_target =
+      flags.GetDouble("ci_target", quick ? 0.25 : 0.05);
+  const double give_up = quick ? 20.0 : 60.0;
+  const int shard_counts[] = {1, 2, 4};
+
+  std::printf("=== Shard scaling: time-to-CI at 1/2/4 shards ===\n");
+  kgoa::bench::Dataset ds =
+      kgoa::bench::BuildDataset(kgoa::DbpediaLikeSpec(scale));
+
+  // Root out-property expansion: the paper's hardest interactive shape
+  // (thousands of groups, distinct), same query as serve_concurrency.
+  kgoa::ExplorationSession session(ds.graph);
+  const kgoa::ChainQuery query =
+      session.BuildQuery(kgoa::ExpansionKind::kOutProperty);
+  const std::vector<int> walk_order = kgoa::DefaultAuditOrder(query);
+
+  kgoa::MetricsRegistry registry;
+  registry.SetGauge("shard.ci_target", ci_target);
+  double baseline_seconds = 0;
+  for (const int shards : shard_counts) {
+    kgoa::ShardCoordinator::Options options;
+    options.num_shards = shards;
+    // Fixed total thread count so the comparison isolates the scatter,
+    // not extra hardware.
+    options.threads_per_shard = std::max(1, threads / shards);
+    options.build_slices = false;  // serving-path benchmark
+    kgoa::ShardCoordinator coordinator(ds.graph, *ds.indexes, options);
+
+    uint64_t walks = 0;
+    const double seconds = kgoa::TimeToCiTarget(
+        coordinator, query, walk_order, options.threads_per_shard,
+        ci_target, give_up, &walks);
+    if (shards == 1) baseline_seconds = seconds;
+    const double speedup = seconds > 0 ? baseline_seconds / seconds : 0.0;
+    std::printf("%d shard(s) x %d threads: %.3fs to %.0f%% CI "
+                "(%llu walks, %.2fx vs 1 shard)\n",
+                shards, options.threads_per_shard, seconds,
+                100.0 * ci_target,
+                static_cast<unsigned long long>(walks), speedup);
+
+    const std::string key = "shard.s" + std::to_string(shards);
+    registry.SetGauge(key + "_seconds_to_ci", seconds);
+    registry.SetGauge(key + "_walks_to_ci", static_cast<double>(walks));
+    if (shards > 1) registry.SetGauge(key + "_speedup", speedup);
+    if (shards == 4) {
+      // Export the coordinator-level metrics once, from the widest
+      // fan-out (the shard.* key set validated by bench_json.sh).
+      kgoa::ExportMetrics(coordinator, "shard.", &registry);
+    }
+  }
+
+  std::printf("shard_trace %s\n", registry.ToJson().c_str());
+  return 0;
+}

@@ -3,11 +3,11 @@
 #
 #  1. build + full ctest suite (warnings are errors: KGOA_WERROR=ON)
 #  2. scripts/lint.sh — -Werror rebuild, repo lint rules, clang-tidy
-#  3. parallel_test + serve_test + reach_concurrent_test under
-#     ThreadSanitizer (the serving-core scheduler, the
-#     snapshot-publishing path and the shared sharded reach cache are
-#     the repo's multi-threaded code; the parallel index build rides
-#     along)
+#  3. parallel_test + serve_test + reach_concurrent_test + shard_test
+#     under ThreadSanitizer (the serving-core scheduler, the
+#     snapshot-publishing path, the shared sharded reach cache and the
+#     scatter-gather coordinator are the repo's multi-threaded code; the
+#     parallel index build rides along)
 #  4. the ENTIRE ctest suite under AddressSanitizer and UBSan
 #  5. the entire suite again with -DKGOA_CONTRACTS=ON, so every
 #     KGOA_DCHECK contract (sortedness, cursor monotonicity, memo
@@ -15,10 +15,10 @@
 #     otherwise-release build
 #  6. both fuzz harnesses (-DKGOA_FUZZ=ON) replay their corpus and fuzz
 #     for KGOA_FUZZ_SECONDS (default 60) each
-#  7. bench smoke: scripts/bench_json.sh --quick must emit both BENCH
-#     JSONs with their stable key sets (written to a temp dir so the
-#     checked-in full-mode BENCH_reach.json / BENCH_serve.json are not
-#     clobbered with quick-mode numbers)
+#  7. bench smoke: scripts/bench_json.sh --quick must emit all three
+#     BENCH JSONs with their stable key sets (written to a temp dir so
+#     the checked-in full-mode BENCH_reach.json / BENCH_serve.json /
+#     BENCH_shard.json are not clobbered with quick-mode numbers)
 #
 # Usage: scripts/tier1.sh   (from the repo root)
 set -euo pipefail
@@ -39,10 +39,12 @@ echo
 echo "=== tier-1: concurrency tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DKGOA_SANITIZE=thread -DKGOA_WERROR=ON
 cmake --build build-tsan -j "${JOBS}" --target parallel_test \
-      --target serve_test --target reach_concurrent_test
+      --target serve_test --target reach_concurrent_test \
+      --target shard_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/serve_test
 ./build-tsan/tests/reach_concurrent_test
+./build-tsan/tests/shard_test
 
 for san in address undefined; do
   echo
@@ -71,7 +73,7 @@ echo "=== tier-1: bench smoke (scripts/bench_json.sh) ==="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
 scripts/bench_json.sh --quick "${SMOKE_DIR}/BENCH_reach.json" \
-    "${SMOKE_DIR}/BENCH_serve.json"
+    "${SMOKE_DIR}/BENCH_serve.json" "${SMOKE_DIR}/BENCH_shard.json"
 
 echo
 echo "tier-1 OK"

@@ -4,6 +4,7 @@
 
 #include "src/eval/runner.h"
 #include "src/join/ctj.h"
+#include "src/util/contract.h"
 #include "src/util/stopwatch.h"
 
 namespace kgoa {
@@ -161,6 +162,54 @@ ChartHandle Explorer::SubmitChart(const ChainQuery& query,
 void Explorer::ConfigureServing(ServingCore::Options options) const {
   serving_core_.reset();  // joins the pool; cancels any live jobs
   serving_options_ = options;
+}
+
+void Explorer::EnableSharding(ShardCoordinator::Options options) const {
+  shard_coordinator_.reset();  // joins the shard pools first
+  shard_coordinator_ =
+      std::make_unique<ShardCoordinator>(graph_, *indexes_, options);
+  ExportMetrics(*shard_coordinator_, "shard.", &metrics_);
+}
+
+ShardCoordinator& Explorer::shard_coordinator() const {
+  KGOA_CHECK_MSG(shard_coordinator_ != nullptr,
+                 "call EnableSharding before sharded serving");
+  return *shard_coordinator_;
+}
+
+ShardChartHandle Explorer::SubmitChartSharded(const ChainQuery& query,
+                                              ShardChartOptions options)
+    const {
+  ShardChartHandle handle =
+      shard_coordinator().Submit(query, std::move(options));
+  metrics_.Add("explorer.sharded_jobs_submitted", 1);
+  ExportMetrics(*shard_coordinator_, "shard.", &metrics_);
+  return handle;
+}
+
+Chart Explorer::ApproximateChartSharded(const ChainQuery& query,
+                                        double seconds, BarKind kind,
+                                        ShardChartOptions options) const {
+  options.walk_budget = 0;
+  options.deadline_seconds = seconds;
+  const OlaEngineKind engine = options.engine;
+  const ParallelOlaResult run =
+      SubmitChartSharded(query, std::move(options)).Await();
+
+  const char* prefix = EngineMetricPrefix(engine);
+  ExportMetrics(run.counters, prefix, &metrics_);
+  metrics_.Add(std::string(prefix) + "walks", run.estimates.walks());
+  metrics_.Add(std::string(prefix) + "rejected_walks",
+               run.estimates.rejected_walks());
+  metrics_.Add("explorer.charts", 1);
+  metrics_.SetGauge("explorer.last_chart_seconds", run.elapsed_seconds);
+  metrics_.SetGauge("explorer.last_chart_walks_per_second",
+                    run.elapsed_seconds > 0
+                        ? static_cast<double>(run.estimates.walks()) /
+                              run.elapsed_seconds
+                        : 0.0);
+  ExportMetrics(*shard_coordinator_, "shard.", &metrics_);
+  return ChartFromEstimates(run.estimates, kind);
 }
 
 ServeStats Explorer::serve_stats() const {

@@ -25,6 +25,7 @@
 #include "src/ola/parallel.h"
 #include "src/query/chain_query.h"
 #include "src/rdf/graph.h"
+#include "src/shard/coordinator.h"
 
 namespace kgoa {
 
@@ -80,6 +81,28 @@ class Explorer {
   // serve runs with `options`. Cheap when no pool exists yet.
   void ConfigureServing(ServingCore::Options options) const;
 
+  // Builds (or rebuilds) the in-process sharded deployment: a
+  // ShardCoordinator with one serving core per shard. Rebuilding cancels
+  // any live sharded jobs. See src/shard/coordinator.h for the
+  // determinism contract sharded serving honors.
+  void EnableSharding(ShardCoordinator::Options options) const;
+  bool sharding_enabled() const { return shard_coordinator_ != nullptr; }
+  // Requires sharding_enabled().
+  ShardCoordinator& shard_coordinator() const;
+
+  // Async sharded serving: scatters the chart query across the shard
+  // cores and returns the combined handle. Requires sharding_enabled().
+  ShardChartHandle SubmitChartSharded(
+      const ChainQuery& query,
+      ShardChartOptions options = ShardChartOptions()) const;
+
+  // Synchronous sharded chart (deadline mode): fan out, await, convert.
+  // Exports the shard.* metrics alongside the engine counters. Requires
+  // sharding_enabled().
+  Chart ApproximateChartSharded(
+      const ChainQuery& query, double seconds, BarKind kind,
+      ShardChartOptions options = ShardChartOptions()) const;
+
   // Cumulative scheduler statistics of the shared pool (zeros before the
   // first serve).
   ServeStats serve_stats() const;
@@ -115,6 +138,9 @@ class Explorer {
   // evaluation never spawn threads.
   mutable ServingCore::Options serving_options_;
   mutable std::unique_ptr<ServingCore> serving_core_;
+  // The sharded deployment; null until EnableSharding. Owns its own
+  // per-shard cores and reach caches, independent of the unsharded pool.
+  mutable std::unique_ptr<ShardCoordinator> shard_coordinator_;
 };
 
 }  // namespace kgoa

@@ -9,6 +9,7 @@
 #include "src/core/audit.h"
 #include "src/index/index_set.h"
 #include "src/ola/wander.h"
+#include "src/shard/coordinator.h"
 
 namespace kgoa {
 
@@ -182,6 +183,30 @@ void ExportMetrics(const IndexSet& indexes, std::string_view prefix,
   }
   registry->SetCounter(p + "depth1_entries", depth1_entries);
   registry->SetCounter(p + "depth2_entries", depth2_entries);
+}
+
+void ExportMetrics(const ShardCoordinator& coordinator,
+                   std::string_view prefix, MetricsRegistry* registry) {
+  const std::string p(prefix);
+  const ShardServeStats stats = coordinator.stats();
+  registry->SetCounter(p + "count", static_cast<uint64_t>(stats.shards));
+  registry->SetCounter(p + "jobs_submitted", stats.jobs_submitted);
+  registry->SetCounter(p + "shard_jobs_submitted",
+                       stats.shard_jobs_submitted);
+  registry->SetCounter(p + "threads", stats.cores.threads);
+  registry->SetCounter(p + "core_jobs_submitted",
+                       stats.cores.jobs_submitted);
+  registry->SetCounter(p + "core_jobs_completed",
+                       stats.cores.jobs_completed);
+  registry->SetCounter(p + "core_jobs_cancelled",
+                       stats.cores.jobs_cancelled);
+  registry->SetCounter(p + "quanta", stats.cores.quanta);
+  registry->SetCounter(p + "walks", stats.cores.walks);
+  const ShardPartitionStats& partition = coordinator.partition_stats();
+  registry->SetCounter(p + "triples_min", partition.min_triples);
+  registry->SetCounter(p + "triples_max", partition.max_triples);
+  registry->SetCounter(p + "triples_total", partition.total_triples);
+  registry->SetGauge(p + "balance", partition.balance);
 }
 
 void ExportIndexProbeCounters(std::string_view prefix,

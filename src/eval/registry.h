@@ -25,6 +25,7 @@ namespace kgoa {
 
 class AuditJoin;
 class IndexSet;
+class ShardCoordinator;
 class WanderJoin;
 
 class MetricsRegistry {
@@ -71,6 +72,13 @@ void ExportMetrics(const ServeStats& stats, std::string_view prefix,
 // tables) as gauges, entry counts / triples / resident bytes as counters.
 void ExportMetrics(const IndexSet& indexes, std::string_view prefix,
                    MetricsRegistry* registry);
+
+// Sharded-serving export ("shard." by convention): shard count, scatter
+// and per-shard job counts, aggregated core scheduler totals, and the
+// partition's triple placement (min/max/total + balance gauge).
+// Cumulative values are republished with SetCounter.
+void ExportMetrics(const ShardCoordinator& coordinator,
+                   std::string_view prefix, MetricsRegistry* registry);
 
 // Exports the calling thread's flat-table probe counters
 // (src/index/hash_range.h) — Depth1/Depth2/Ndv2 lookups issued since the

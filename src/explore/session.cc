@@ -151,6 +151,10 @@ void ExplorationSession::TrackJob(ChartHandle handle) {
   if (handle.valid()) jobs_.push_back(std::move(handle));
 }
 
+void ExplorationSession::TrackJobs(const std::vector<ChartHandle>& handles) {
+  for (const ChartHandle& handle : handles) TrackJob(handle);
+}
+
 int ExplorationSession::CancelLiveJobs() {
   int cancelled = 0;
   for (const ChartHandle& job : jobs_) {
@@ -191,6 +195,11 @@ void ExplorationSession::ExpandAndSelect(ExpansionKind expansion,
   history_.push_back(Snapshot{patterns_, filters_, focus_, next_var_, kind_,
                               category_, tail_type_pattern_, depth_});
   QueryParts parts = BuildParts(expansion);
+  // Fresh variables BuildParts drew from next_var_ for this expansion:
+  // property expansions bind two (the property variable and the new ?z
+  // endpoint); subclass/object/subject expansions bind one. Advancing by
+  // a flat 2 leaked an id on every one-variable step of a deep session.
+  int fresh_vars_used = 1;
   switch (expansion) {
     case ExpansionKind::kSubclass: {
       // Drop the grounded (category subClassOf parent) pattern and fix the
@@ -206,6 +215,7 @@ void ExplorationSession::ExpandAndSelect(ExpansionKind expansion,
     case ExpansionKind::kOutProperty:
     case ExpansionKind::kInProperty: {
       // Fix the property variable to the selected property.
+      fresh_vars_used = 2;
       TriplePattern& tail = parts.patterns.back();
       tail[kPredicate] = Slot::MakeConst(category);
       tail_type_pattern_ = -1;
@@ -228,7 +238,7 @@ void ExplorationSession::ExpandAndSelect(ExpansionKind expansion,
   patterns_ = std::move(parts.patterns);
   filters_ = std::move(parts.filters);
   category_ = category;
-  next_var_ += 2;
+  next_var_ += static_cast<VarId>(fresh_vars_used);
   ++depth_;
   ++expansions_applied_;
 }

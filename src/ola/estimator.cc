@@ -37,8 +37,11 @@ double GroupedEstimates::CiHalfWidth(TermId group, double z) const {
   const double n = static_cast<double>(walks_);
   const double mean = acc->sum / n;
   // Per-walk contributions are zero except when the walk reached the
-  // group, so E[X^2] = sum_squares / N over all N walks.
-  double variance = acc->sum_squares / n - mean * mean;
+  // group, so sum_squares already sums X^2 over all N walks. Haas's
+  // large-sample interval uses the SAMPLE variance (n - 1 denominator):
+  // the population form is biased low and makes the CI systematically
+  // too tight at small walk counts.
+  double variance = (acc->sum_squares - n * mean * mean) / (n - 1.0);
   if (variance < 0) variance = 0;  // rounding guard
   return z * std::sqrt(variance / n);
 }

@@ -262,12 +262,16 @@ class ChartJob {
   std::atomic<bool> cancel_requested{false};
   SteadyClock::time_point cancel_time{};  // written under the core mutex
 
-  // Completion signalling; `result` is written once under done_mutex
-  // before `state` advances to kDone/kCancelled.
+  // Completion signalling; `result` and `final_partials` are written once
+  // under done_mutex before `state` advances to kDone/kCancelled.
   mutable std::mutex done_mutex;
   mutable std::condition_variable done_cv;
   std::atomic<int> state{static_cast<int>(ChartJobState::kQueued)};
   ParallelOlaResult result;
+  // Per-slot final estimates in slot order (empty estimates for slots
+  // that never built an engine), kept for scatter-gather slot-order folds
+  // (ChartHandle::SlotPartials).
+  std::vector<GroupedEstimates> final_partials;
 
   // Snapshot-subscription pacing; callbacks are serialized per job.
   std::mutex callback_mutex;
@@ -369,10 +373,15 @@ void FinalizeJob(ChartJob& job, bool cancelled) {
   // Ordered merge over logical slots: the double summation happens in the
   // same order no matter how quanta were interleaved with other jobs or
   // scheduled onto threads, so the result is bit-identical across pool
-  // sizes and across solo vs. concurrent serving.
-  for (ChartJob::Slot& slot : job.slots) {
+  // sizes and across solo vs. concurrent serving. The per-slot finals are
+  // retained (empty for never-run slots, keeping slot alignment) so a
+  // scatter-gather across jobs can redo this fold in global slot order.
+  std::vector<GroupedEstimates> final_partials(job.slots.size());
+  for (std::size_t s = 0; s < job.slots.size(); ++s) {
+    ChartJob::Slot& slot = job.slots[s];
     if (slot.engine == nullptr) continue;
-    result.estimates.Merge(slot.engine->estimates());
+    final_partials[s] = slot.engine->estimates();
+    result.estimates.Merge(final_partials[s]);
     slot.engine->FillCounters(&result.counters);
     mergeable = mergeable && slot.engine->mergeable();
   }
@@ -404,6 +413,7 @@ void FinalizeJob(ChartJob& job, bool cancelled) {
   {
     std::lock_guard<std::mutex> lock(job.done_mutex);
     job.result = std::move(result);
+    job.final_partials = std::move(final_partials);
     job.state.store(static_cast<int>(cancelled ? ChartJobState::kCancelled
                                                : ChartJobState::kDone),
                     std::memory_order_release);
@@ -596,6 +606,14 @@ ParallelOlaResult ChartHandle::Await() const {
   std::unique_lock<std::mutex> lock(job_->done_mutex);
   job_->done_cv.wait(lock, [&] { return JobFinished(*job_); });
   return job_->result;
+}
+
+std::vector<GroupedEstimates> ChartHandle::SlotPartials() const {
+  KGOA_CHECK(job_ != nullptr);
+  KGOA_CHECK_MSG(JobFinished(*job_),
+                 "SlotPartials is only valid once the job finished");
+  std::lock_guard<std::mutex> lock(job_->done_mutex);
+  return job_->final_partials;
 }
 
 // ---------------------------------------------------------------------------

@@ -200,6 +200,15 @@ class ChartHandle {
   // temporary handle is the job's last owner.
   ParallelOlaResult Await() const;
 
+  // Final per-slot estimates in slot order, retained at retirement. A
+  // scatter-gather over several jobs (src/shard/coordinator.h) must fold
+  // ALL logical slots of the combined run in global slot order — folding
+  // pre-merged per-job results would re-associate the floating-point
+  // summation and break budget-mode bit-identity. Slots that never ran
+  // (zero budget share) yield empty estimates, so the fold skips them
+  // exactly. Only callable once finished().
+  std::vector<GroupedEstimates> SlotPartials() const;
+
  private:
   friend class ServingCore;
   explicit ChartHandle(std::shared_ptr<ChartJob> job);

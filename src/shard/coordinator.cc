@@ -1,0 +1,245 @@
+#include "src/shard/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/eval/runner.h"
+#include "src/util/contract.h"
+
+namespace kgoa {
+
+// ---------------------------------------------------------------------------
+// ShardChartHandle
+// ---------------------------------------------------------------------------
+
+ShardChartHandle::ShardChartHandle(uint64_t id, int total_workers,
+                                   uint64_t walk_budget,
+                                   std::vector<ChartHandle> handles)
+    : id_(id),
+      total_workers_(total_workers),
+      walk_budget_(walk_budget),
+      handles_(std::move(handles)) {}
+
+ChartJobState ShardChartHandle::state() const {
+  KGOA_CHECK(valid());
+  bool all_queued = true;
+  bool all_finished = true;
+  bool any_cancelled = false;
+  for (const ChartHandle& handle : handles_) {
+    switch (handle.state()) {
+      case ChartJobState::kQueued:
+        all_finished = false;
+        break;
+      case ChartJobState::kRunning:
+        all_queued = false;
+        all_finished = false;
+        break;
+      case ChartJobState::kDone:
+        all_queued = false;
+        break;
+      case ChartJobState::kCancelled:
+        all_queued = false;
+        any_cancelled = true;
+        break;
+    }
+  }
+  if (all_queued) return ChartJobState::kQueued;
+  if (!all_finished) return ChartJobState::kRunning;
+  return any_cancelled ? ChartJobState::kCancelled : ChartJobState::kDone;
+}
+
+bool ShardChartHandle::finished() const {
+  KGOA_CHECK(valid());
+  for (const ChartHandle& handle : handles_) {
+    if (!handle.finished()) return false;
+  }
+  return true;
+}
+
+ParallelOlaResult ShardChartHandle::Snapshot() const {
+  KGOA_CHECK(valid());
+  // Finished jobs take the deterministic slot-order gather so a snapshot
+  // taken after completion equals Await() exactly.
+  if (finished()) return GatherFinal();
+  ParallelOlaResult combined;
+  for (const ChartHandle& handle : handles_) {
+    const ParallelOlaResult shard = handle.Snapshot();
+    combined.estimates.Merge(shard.estimates);
+    combined.counters.Merge(shard.counters);
+    combined.elapsed_seconds =
+        std::max(combined.elapsed_seconds, shard.elapsed_seconds);
+    combined.workers += shard.workers;
+  }
+  return combined;
+}
+
+void ShardChartHandle::Cancel() const {
+  KGOA_CHECK(valid());
+  for (const ChartHandle& handle : handles_) handle.Cancel();
+}
+
+ParallelOlaResult ShardChartHandle::Await() const {
+  KGOA_CHECK(valid());
+  for (const ChartHandle& handle : handles_) handle.Await();
+  return GatherFinal();
+}
+
+ParallelOlaResult ShardChartHandle::GatherFinal() const {
+  ParallelOlaResult combined;
+  for (const ChartHandle& handle : handles_) {
+    const ParallelOlaResult shard = handle.Await();
+    // Fold the per-slot finals, NOT the shard's pre-merged estimates:
+    // shard k holds the contiguous global slot block [k*W, (k+1)*W), so
+    // this loop visits every logical slot of the combined run in global
+    // slot order — the same fold an unsharded run performs. Slots that
+    // never ran (zero budget share) are empty and merge as exact no-ops.
+    for (const GroupedEstimates& slot : handle.SlotPartials()) {
+      combined.estimates.Merge(slot);
+    }
+    combined.counters.Merge(shard.counters);
+    combined.elapsed_seconds =
+        std::max(combined.elapsed_seconds, shard.elapsed_seconds);
+    combined.workers += shard.workers;
+  }
+  if (walk_budget_ > 0 && state() == ChartJobState::kDone) {
+    KGOA_DCHECK_EQ(combined.estimates.walks(), walk_budget_);
+  }
+  return combined;
+}
+
+// ---------------------------------------------------------------------------
+// ShardCoordinator
+// ---------------------------------------------------------------------------
+
+ShardCoordinator::ShardCoordinator(const Graph& graph, const IndexSet& indexes,
+                                   Options options)
+    : graph_(graph),
+      indexes_(indexes),
+      options_(options),
+      partition_(options.num_shards),
+      stats_(SummarizePartition(graph, partition_)),
+      reach_caches_(indexes) {
+  KGOA_CHECK_MSG(options_.num_shards >= 1,
+                 "a coordinator needs at least one shard");
+  KGOA_CHECK(options_.threads_per_shard >= 1);
+  if (options_.build_slices) {
+    sliced_ = std::make_unique<ShardedGraph>(graph_, partition_,
+                                             /*build_indexes=*/true);
+  }
+  ServingCore::Options core_options;
+  core_options.threads = options_.threads_per_shard;
+  core_options.quantum_walks = options_.quantum_walks;
+  cores_.reserve(static_cast<std::size_t>(options_.num_shards));
+  for (int k = 0; k < options_.num_shards; ++k) {
+    // Every core serves the GLOBAL index set (see file comment in
+    // coordinator.h): walks must sample the whole graph's distribution
+    // for the merged estimate to match an unsharded run.
+    cores_.push_back(std::make_unique<ServingCore>(indexes_, core_options));
+  }
+}
+
+ShardChartHandle ShardCoordinator::Submit(const ChainQuery& query,
+                                          ShardChartOptions options) {
+  int shards = options_.num_shards;
+  int workers = std::max(1, options.workers_per_shard);
+  // Non-mergeable engines (Ripple) cannot scatter: partials from
+  // independently seeded instances do not merge. Serve on shard 0 alone,
+  // matching the serving core's own single-worker clamp.
+  if (!OlaEngineKindMergeable(options.engine)) {
+    shards = 1;
+    workers = 1;
+  }
+
+  if (options.engine == OlaEngineKind::kAudit) {
+    if (options.walk_order.empty()) {
+      options.walk_order = DefaultAuditOrder(query);
+    }
+  }
+  // One reach cache across all shards of the job (and across jobs on the
+  // same plan): a pair audited by one shard is warm for every other.
+  ReachProbability* shared_reach = nullptr;
+  if (options.engine == OlaEngineKind::kAudit && query.distinct() &&
+      options.share_reach) {
+    shared_reach = reach_caches_.Acquire(query, options.walk_order);
+  }
+
+  const bool budget_mode = options.walk_budget > 0;
+  const uint64_t total_slots =
+      static_cast<uint64_t>(shards) * static_cast<uint64_t>(workers);
+  const uint64_t base = budget_mode ? options.walk_budget / total_slots : 0;
+  const uint64_t remainder =
+      budget_mode ? options.walk_budget % total_slots : 0;
+
+  std::vector<ChartHandle> handles;
+  handles.reserve(static_cast<std::size_t>(shards));
+  for (int k = 0; k < shards; ++k) {
+    ChartJobOptions job;
+    if (budget_mode) {
+      // Shard k owns global slots [k*W, (k+1)*W). Its budget is the sum
+      // of the global per-slot shares over that block; the job's internal
+      // front-loaded re-split then reproduces the global shares exactly.
+      const uint64_t block_start =
+          static_cast<uint64_t>(k) * static_cast<uint64_t>(workers);
+      const uint64_t block_remainder =
+          remainder > block_start
+              ? std::min<uint64_t>(remainder - block_start,
+                                   static_cast<uint64_t>(workers))
+              : 0;
+      const uint64_t shard_budget =
+          base * static_cast<uint64_t>(workers) + block_remainder;
+      // Zero-share blocks form a suffix under the front-loaded split;
+      // submitting one would trip the job's active-slot contract.
+      if (shard_budget == 0) break;
+      job.walk_budget = shard_budget;
+    } else {
+      job.walk_budget = 0;
+      job.deadline_seconds = options.deadline_seconds;
+    }
+    job.priority = options.priority;
+    job.workers = workers;
+    // Slot s of shard k runs with seed seed + k*W + s — the global slot's
+    // seed in the unsharded run.
+    job.seed = options.seed +
+               static_cast<uint64_t>(k) * static_cast<uint64_t>(workers);
+    job.engine = options.engine;
+    job.walk_order = options.walk_order;
+    job.tipping_threshold = options.tipping_threshold;
+    if (shared_reach != nullptr) {
+      job.share_reach = false;
+      job.shared_reach = shared_reach;
+    } else {
+      job.share_reach = options.share_reach;
+    }
+    handles.push_back(cores_[static_cast<std::size_t>(k)]->Submit(
+        query, std::move(job)));
+  }
+  ++jobs_submitted_;
+  shard_jobs_submitted_ += handles.size();
+  return ShardChartHandle(next_id_++, shards * workers, options.walk_budget,
+                          std::move(handles));
+}
+
+ShardServeStats ShardCoordinator::stats() const {
+  ShardServeStats stats;
+  stats.shards = options_.num_shards;
+  stats.jobs_submitted = jobs_submitted_;
+  stats.shard_jobs_submitted = shard_jobs_submitted_;
+  for (const auto& core : cores_) {
+    const ServeStats cs = core->stats();
+    stats.cores.threads += cs.threads;
+    stats.cores.jobs_submitted += cs.jobs_submitted;
+    stats.cores.jobs_completed += cs.jobs_completed;
+    stats.cores.jobs_cancelled += cs.jobs_cancelled;
+    stats.cores.quanta += cs.quanta;
+    stats.cores.preemptions += cs.preemptions;
+    stats.cores.walks += cs.walks;
+    stats.cores.live_jobs += cs.live_jobs;
+    stats.cores.max_live_jobs += cs.max_live_jobs;
+    stats.cores.last_cancel_latency_seconds =
+        std::max(stats.cores.last_cancel_latency_seconds,
+                 cs.last_cancel_latency_seconds);
+  }
+  return stats;
+}
+
+}  // namespace kgoa

@@ -1,0 +1,202 @@
+// Scatter-gather chart serving over an in-process sharded deployment.
+//
+// The paper's system serves one knowledge graph from one specialized
+// engine; scaling past a single pool means partitioning the graph and
+// fanning each chart query out to per-shard serving cores. This layer
+// builds that deployment in-process: a ShardPartition assigns every triple
+// to a shard by subject, each shard gets its own ServingCore (and
+// optionally a physical Graph slice + IndexSet), and a ShardCoordinator
+// scatters a chart query as one ChartJob per shard, gathering the per-shard
+// partials into one combined estimate behind a single ShardChartHandle.
+//
+// Determinism contract (the reason the scatter looks the way it does):
+// a budget-mode sharded run must be BIT-IDENTICAL to an unsharded run with
+// the same (query, seed, total budget, total workers). The serving core
+// already guarantees a budget job's estimate is a pure function of
+// (query, seed, budget, workers) via its logical-slot split — slot w runs
+// share(w) = B/G + (w < B mod G) walks with seed seed + w, merged in slot
+// order. The coordinator extends that by giving shard k the CONTIGUOUS
+// slot block [k*W, (k+1)*W) of the same global slot space:
+//
+//   * shard k's budget is the sum of the global shares over its block,
+//     which the job's internal front-loaded re-split reproduces exactly;
+//   * shard k's job seed is seed + k*W, so its slots run with the global
+//     slots' seeds;
+//   * the gather folds the per-SLOT final partials (ChartHandle::
+//     SlotPartials) across shards in global slot order — folding
+//     pre-merged per-shard results would re-associate the floating-point
+//     summation and silently break bit-identity;
+//   * shards whose block's total share is zero (budget < total slots) are
+//     never submitted — zero-share blocks form a suffix under the
+//     front-loaded split.
+//
+// To honor that contract, every shard core serves against the GLOBAL
+// IndexSet (in-process replication): a walk engine confined to a slice
+// would sample a different distribution and no merge could reproduce the
+// unsharded estimate. The per-shard Graph slices + IndexSets exist for
+// partition and memory accounting and as the data plane a future
+// multi-process (RPC) deployment would ship to each shard server; the
+// coordinator is the process-local stand-in for that server's scatter
+// path.
+//
+// Distinct-mode audits share ONE coordinator-level reach cache across all
+// shards of a job (value-pure memos — src/core/reach.h — keep this inside
+// the determinism contract), so a pair audited by shard 0 is never
+// re-audited by shard 3.
+//
+// Like Explorer's serving calls, the coordinator is thread-compatible but
+// not internally synchronized: submit from one thread at a time. Returned
+// handles are usable from any thread.
+#ifndef KGOA_SHARD_COORDINATOR_H_
+#define KGOA_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/explore/cache.h"
+#include "src/index/index_set.h"
+#include "src/ola/parallel.h"
+#include "src/query/chain_query.h"
+#include "src/rdf/graph.h"
+#include "src/shard/partition.h"
+#include "src/shard/sharded_graph.h"
+
+namespace kgoa {
+
+struct ShardChartOptions {
+  // > 0: deterministic walk-budget mode — exactly this many walks total
+  // across all shards, bit-identical to an unsharded budget run with
+  // workers = num_shards * workers_per_shard and the same seed.
+  uint64_t walk_budget = 0;
+  // Budget == 0: deadline mode — every shard walks until this many
+  // seconds after submission.
+  double deadline_seconds = 0.1;
+
+  int priority = 0;
+
+  // Logical slots per shard. Part of the deterministic run identity: a
+  // sharded budget run matches the unsharded run whose workers equal the
+  // TOTAL slot count (shards * workers_per_shard).
+  int workers_per_shard = 2;
+
+  uint64_t seed = 1;
+  OlaEngineKind engine = OlaEngineKind::kAudit;
+  std::vector<int> walk_order;  // empty = engine default
+  double tipping_threshold = 64.0;
+
+  // Audit-distinct: share one coordinator-owned reach cache across every
+  // shard of this job (and across jobs on the same (query, walk order)).
+  bool share_reach = true;
+};
+
+// Combined handle over one job per shard. Copyable; outlives the
+// coordinator's cores the same way ChartHandle outlives a ServingCore.
+class ShardChartHandle {
+ public:
+  ShardChartHandle() = default;
+
+  bool valid() const { return !handles_.empty(); }
+  uint64_t id() const { return id_; }
+  // Shards that actually received a job (zero-budget shards are skipped).
+  int num_shards() const { return static_cast<int>(handles_.size()); }
+  int total_workers() const { return total_workers_; }
+
+  // Aggregate state: kRunning while any shard is in flight; once every
+  // shard finished, kCancelled if any shard was cancelled, else kDone.
+  ChartJobState state() const;
+  bool finished() const;  // every shard finished
+
+  // Combined live view: per-shard snapshots merged in shard order. Once
+  // finished() this folds the final per-slot partials instead, so it is
+  // exactly Await()'s result.
+  ParallelOlaResult Snapshot() const;
+
+  // Fans the cancellation out to every shard. Idempotent.
+  void Cancel() const;
+
+  // Blocks until every shard finished, then folds all logical slots in
+  // global slot order (see file comment) — the bit-identity gather.
+  ParallelOlaResult Await() const;
+
+  // Per-shard handles, in shard order (e.g. for per-shard progress UIs or
+  // session job tracking).
+  const std::vector<ChartHandle>& shard_handles() const { return handles_; }
+
+ private:
+  friend class ShardCoordinator;
+  ShardChartHandle(uint64_t id, int total_workers, uint64_t walk_budget,
+                   std::vector<ChartHandle> handles);
+
+  // The slot-order fold over finished shards.
+  ParallelOlaResult GatherFinal() const;
+
+  uint64_t id_ = 0;
+  int total_workers_ = 0;
+  uint64_t walk_budget_ = 0;  // 0 = deadline mode
+  std::vector<ChartHandle> handles_;
+};
+
+// Aggregated scheduler statistics across the per-shard cores, plus the
+// coordinator's own scatter counters.
+struct ShardServeStats {
+  int shards = 0;
+  uint64_t jobs_submitted = 0;       // scatter-gather jobs (fan-outs)
+  uint64_t shard_jobs_submitted = 0; // per-shard ChartJobs dispatched
+  ServeStats cores;                  // summed over shards (latency: max)
+};
+
+class ShardCoordinator {
+ public:
+  struct Options {
+    int num_shards = 2;
+    // Pool threads per shard core.
+    int threads_per_shard = 2;
+    uint64_t quantum_walks = 256;
+    // Build the physical per-shard Graph slices + IndexSets (partition
+    // memory accounting / RPC data-plane scaffolding). Serving never
+    // reads them; turn off to make coordinator construction O(1) in the
+    // graph size beyond the partition scan.
+    bool build_slices = true;
+  };
+
+  // The graph and indexes must outlive the coordinator and every
+  // outstanding handle.
+  ShardCoordinator(const Graph& graph, const IndexSet& indexes,
+                   Options options);
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  int num_shards() const { return options_.num_shards; }
+  const Options& options() const { return options_; }
+  const ShardPartition& partition() const { return partition_; }
+  const ShardPartitionStats& partition_stats() const { return stats_; }
+  // Null when built with build_slices = false.
+  const ShardedGraph* sliced() const { return sliced_.get(); }
+
+  // Scatters `query` as one ChartJob per shard (skipping zero-budget
+  // shards) and returns the combined handle. Thread-compatible.
+  ShardChartHandle Submit(const ChainQuery& query, ShardChartOptions options);
+
+  ShardServeStats stats() const;
+
+ private:
+  const Graph& graph_;
+  const IndexSet& indexes_;
+  Options options_;
+  ShardPartition partition_;
+  ShardPartitionStats stats_;
+  std::unique_ptr<ShardedGraph> sliced_;
+  // Declared before the cores so it outlives their jobs' teardown: shard
+  // jobs hold pointers into these caches.
+  ReachCacheRegistry reach_caches_;
+  std::vector<std::unique_ptr<ServingCore>> cores_;
+  uint64_t next_id_ = 1;
+  uint64_t jobs_submitted_ = 0;
+  uint64_t shard_jobs_submitted_ = 0;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_SHARD_COORDINATOR_H_

@@ -1,0 +1,53 @@
+#include "src/shard/partition.h"
+
+#include <algorithm>
+
+#include "src/util/contract.h"
+#include "src/util/rng.h"
+
+namespace kgoa {
+
+ShardPartition::ShardPartition(int num_shards) : num_shards_(num_shards) {
+  KGOA_CHECK_MSG(num_shards >= 1, "a partition needs at least one shard");
+}
+
+uint64_t ShardPartition::Mix(uint64_t id) {
+  // One splitmix64 step (full avalanche), so dense dictionary ids spread
+  // uniformly across shards.
+  uint64_t state = id;
+  return SplitMix64(state);
+}
+
+ShardPartitionStats SummarizePartition(const Graph& graph,
+                                       const ShardPartition& partition) {
+  ShardPartitionStats stats;
+  const int shards = partition.num_shards();
+  stats.triples.assign(static_cast<std::size_t>(shards), 0);
+  stats.subjects.assign(static_cast<std::size_t>(shards), 0);
+
+  // Triples are (s, p, o)-sorted, so each subject's run is contiguous:
+  // count distinct subjects by watching for run boundaries.
+  TermId prev_subject = kInvalidTerm;
+  for (const Triple& t : graph.triples()) {
+    const int shard = partition.ShardOf(t.s);
+    ++stats.triples[static_cast<std::size_t>(shard)];
+    if (t.s != prev_subject) {
+      ++stats.subjects[static_cast<std::size_t>(shard)];
+      prev_subject = t.s;
+    }
+  }
+
+  stats.total_triples = graph.NumTriples();
+  stats.min_triples =
+      *std::min_element(stats.triples.begin(), stats.triples.end());
+  stats.max_triples =
+      *std::max_element(stats.triples.begin(), stats.triples.end());
+  if (stats.total_triples > 0) {
+    const double mean = static_cast<double>(stats.total_triples) /
+                        static_cast<double>(shards);
+    stats.balance = static_cast<double>(stats.max_triples) / mean;
+  }
+  return stats;
+}
+
+}  // namespace kgoa

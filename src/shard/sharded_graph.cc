@@ -1,0 +1,43 @@
+#include "src/shard/sharded_graph.h"
+
+#include <utility>
+
+#include "src/util/contract.h"
+
+namespace kgoa {
+
+ShardedGraph::ShardedGraph(const Graph& graph, const ShardPartition& partition,
+                           bool build_indexes) {
+  const int shards = partition.num_shards();
+  std::vector<GraphBuilder> builders(static_cast<std::size_t>(shards));
+  const Dictionary& dict = graph.dict();
+  for (const Triple& t : graph.triples()) {
+    builders[static_cast<std::size_t>(partition.ShardOf(t.s))].AddSpelled(
+        dict.Spell(t.s), dict.Spell(t.p), dict.Spell(t.o));
+  }
+  slices_.reserve(static_cast<std::size_t>(shards));
+  for (GraphBuilder& builder : builders) {
+    slices_.push_back(std::make_unique<Graph>(std::move(builder).Build()));
+  }
+  if (build_indexes) {
+    indexes_.reserve(static_cast<std::size_t>(shards));
+    for (const auto& slice : slices_) {
+      indexes_.push_back(std::make_unique<IndexSet>(*slice));
+    }
+  }
+  KGOA_DCHECK_EQ(TotalSliceTriples(), graph.NumTriples());
+}
+
+uint64_t ShardedGraph::TotalSliceTriples() const {
+  uint64_t total = 0;
+  for (const auto& slice : slices_) total += slice->NumTriples();
+  return total;
+}
+
+uint64_t ShardedGraph::ApproxIndexMemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& indexes : indexes_) total += indexes->ApproxMemoryBytes();
+  return total;
+}
+
+}  // namespace kgoa

@@ -1,0 +1,58 @@
+// Per-shard physical slices of a graph under a ShardPartition.
+//
+// Each slice is a self-contained Graph (own dictionary, own dense ids)
+// holding exactly the triples whose subject the partition assigns to that
+// shard, optionally with its own IndexSet. Slices are rebuilt by
+// re-spelling through the global dictionary, so a slice-local id maps back
+// to the global id via the term's spelling — the hand-off a multi-process
+// data plane would serialize.
+//
+// NOTE: the in-process ShardCoordinator serves queries against the GLOBAL
+// IndexSet (see coordinator.h for why); slices exist for partition/memory
+// accounting and as the data plane of the future RPC boundary.
+#ifndef KGOA_SHARD_SHARDED_GRAPH_H_
+#define KGOA_SHARD_SHARDED_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/index/index_set.h"
+#include "src/rdf/graph.h"
+#include "src/shard/partition.h"
+
+namespace kgoa {
+
+class ShardedGraph {
+ public:
+  // Slices `graph` under `partition`; builds a per-shard IndexSet when
+  // `build_indexes` is set.
+  ShardedGraph(const Graph& graph, const ShardPartition& partition,
+               bool build_indexes);
+
+  ShardedGraph(const ShardedGraph&) = delete;
+  ShardedGraph& operator=(const ShardedGraph&) = delete;
+
+  int num_shards() const { return static_cast<int>(slices_.size()); }
+
+  const Graph& slice(int shard) const { return *slices_[shard]; }
+
+  bool has_indexes() const { return !indexes_.empty(); }
+  const IndexSet& indexes(int shard) const { return *indexes_[shard]; }
+
+  // Sum of slice triple counts; equals the source graph's NumTriples()
+  // (every triple has exactly one subject, hence one owner).
+  uint64_t TotalSliceTriples() const;
+
+  // Rough resident size of the slices' index structures (0 when built
+  // without indexes).
+  uint64_t ApproxIndexMemoryBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<Graph>> slices_;
+  std::vector<std::unique_ptr<IndexSet>> indexes_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_SHARD_SHARDED_GRAPH_H_

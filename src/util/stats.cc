@@ -23,24 +23,31 @@ double SampleVariance(const std::vector<double>& xs) {
 }
 
 double Quantile(std::vector<double> xs, double q) {
-  KGOA_CHECK(!xs.empty());
-  KGOA_CHECK(q >= 0.0 && q <= 1.0);
   std::sort(xs.begin(), xs.end());
-  const double pos = q * static_cast<double>(xs.size() - 1);
+  return QuantileSorted(xs, q);
+}
+
+double QuantileSorted(const std::vector<double>& sorted_xs, double q) {
+  KGOA_CHECK(!sorted_xs.empty());
+  KGOA_CHECK(q >= 0.0 && q <= 1.0);
+  KGOA_DCHECK_SORTED(sorted_xs.begin(), sorted_xs.end());
+  const double pos = q * static_cast<double>(sorted_xs.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(pos));
   const auto hi = static_cast<std::size_t>(std::ceil(pos));
   const double frac = pos - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  return sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac;
 }
 
 TukeyBox MakeTukeyBox(std::vector<double> xs) {
   TukeyBox box;
   if (xs.empty()) return box;
+  // One sort for the whole box: the quartiles read the sorted data in
+  // place instead of copying and re-sorting it three times.
   std::sort(xs.begin(), xs.end());
   box.n = xs.size();
-  box.q1 = Quantile(xs, 0.25);
-  box.median = Quantile(xs, 0.5);
-  box.q3 = Quantile(xs, 0.75);
+  box.q1 = QuantileSorted(xs, 0.25);
+  box.median = QuantileSorted(xs, 0.5);
+  box.q3 = QuantileSorted(xs, 0.75);
   const double iqr = box.q3 - box.q1;
   const double lo_fence = box.q1 - 1.5 * iqr;
   const double hi_fence = box.q3 + 1.5 * iqr;

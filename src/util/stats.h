@@ -21,6 +21,10 @@ double SampleVariance(const std::vector<double>& xs);
 // Linear-interpolation quantile, q in [0, 1]. Input need not be sorted.
 double Quantile(std::vector<double> xs, double q);
 
+// Same quantile on an ALREADY ascending-sorted input, without copying or
+// re-sorting. Bit-identical to Quantile on the sorted data.
+double QuantileSorted(const std::vector<double>& sorted_xs, double q);
+
 // Five-number Tukey summary: quartiles plus whiskers at the most extreme
 // data points within 1.5 * IQR of the box (the paper's plot convention).
 struct TukeyBox {

@@ -1,4 +1,5 @@
 // Tests for src/ola: walk plans, grouped estimators, Wander Join.
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -57,23 +58,59 @@ TEST(WalkPlan, MiddleStartBindsBothSides) {
   EXPECT_TRUE(plan.SingleSegmentFrom(2));
 }
 
-TEST(WalkPlan, CandidateOrdersAreContiguousAndDistinct) {
-  for (int n = 1; n <= 5; ++n) {
+// Property test over n = 1..6: every candidate order is a complete
+// permutation of 0..n-1, every prefix covers a contiguous span of the
+// chain (the Wander Join walk-order requirement), no order repeats, and
+// the count matches the directional-order closed form (2n - 2 for n >= 2).
+TEST(WalkPlan, CandidateOrdersAreContiguousCompleteAndUnique) {
+  for (int n = 1; n <= 6; ++n) {
     const auto orders = CandidateWalkOrders(n);
-    EXPECT_GE(orders.size(), static_cast<std::size_t>(n));
+    const std::size_t expected =
+        n == 1 ? 1 : static_cast<std::size_t>(2 * n - 2);
+    EXPECT_EQ(orders.size(), expected) << "n=" << n;
     for (const auto& order : orders) {
       ASSERT_EQ(static_cast<int>(order.size()), n);
-      // Contiguity: compiling must not abort.
-      const ChainQuery q = ThreeChain();
-      if (n == 3) WalkPlan::Compile(q, order);
+      // Complete permutation: each pattern exactly once.
+      std::vector<bool> seen(static_cast<std::size_t>(n), false);
+      for (int p : order) {
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, n);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(p)]);
+        seen[static_cast<std::size_t>(p)] = true;
+      }
+      // Chain contiguity: every prefix covers an interval [lo, hi] of the
+      // chain, so each new pattern is adjacent to the span walked so far.
+      int lo = order[0];
+      int hi = order[0];
+      for (std::size_t i = 1; i < order.size(); ++i) {
+        const int p = order[i];
+        EXPECT_TRUE(p == lo - 1 || p == hi + 1)
+            << "order step " << i << " (pattern " << p
+            << ") not adjacent to span [" << lo << ", " << hi << "]";
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+      }
     }
-    // Dedup.
+    // Uniqueness.
     for (std::size_t i = 0; i < orders.size(); ++i) {
       for (std::size_t j = i + 1; j < orders.size(); ++j) {
         EXPECT_NE(orders[i], orders[j]);
       }
     }
   }
+  // Every n=3 candidate compiles against a real chain without aborting.
+  const ChainQuery q = ThreeChain();
+  for (const auto& order : CandidateWalkOrders(3)) {
+    WalkPlan::Compile(q, order);
+  }
+}
+
+// Compile must reject a pattern order that is a permutation but not
+// chain-contiguous: after {0} the pattern 2 is not adjacent to the span.
+TEST(WalkPlanDeathTest, RejectsNonChainContiguousOrder) {
+  const ChainQuery q = ThreeChain();
+  EXPECT_DEATH(WalkPlan::Compile(q, {0, 2, 1}), "contiguous");
+  EXPECT_DEATH(WalkPlan::Compile(q, {2, 0, 1}), "contiguous");
 }
 
 TEST(Estimator, MeanOverAllWalks) {

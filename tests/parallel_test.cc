@@ -52,8 +52,10 @@ TEST(EstimatorMerge, EqualsSequentialAccumulation) {
 // Regression for the CI half-width against the closed form, with rejected
 // walks counted as zero contributions in the denominator: contributions
 // {10, 0 (rejected), 20, 0 (rejected)} give mean 30/4 = 7.5,
-// E[X^2] = 500/4 = 125, variance 125 - 7.5^2 = 68.75, and half-width
-// z * sqrt(variance / n).
+// sum of squares 500, SAMPLE variance (500 - 4 * 7.5^2) / (4 - 1)
+// = 275/3, and half-width z * sqrt(variance / n). (The population form —
+// dividing by n — was a bug: it made the interval systematically too
+// tight at low walk counts.)
 TEST(EstimatorCi, ClosedFormIncludesRejectedWalks) {
   GroupedEstimates est;
   est.AddContribution(1, 10.0);
@@ -69,7 +71,7 @@ TEST(EstimatorCi, ClosedFormIncludesRejectedWalks) {
   EXPECT_DOUBLE_EQ(est.Estimate(1), 7.5);
 
   const double z = 1.959963984540054;
-  const double variance = 125.0 - 7.5 * 7.5;  // 68.75
+  const double variance = (500.0 - 4.0 * 7.5 * 7.5) / 3.0;  // 275/3
   EXPECT_DOUBLE_EQ(est.CiHalfWidth(1), z * std::sqrt(variance / 4.0));
   // Custom z values scale linearly.
   EXPECT_DOUBLE_EQ(est.CiHalfWidth(1, 1.0), std::sqrt(variance / 4.0));
@@ -79,6 +81,26 @@ TEST(EstimatorCi, ClosedFormIncludesRejectedWalks) {
   one_walk.AddContribution(1, 5.0);
   one_walk.EndWalk(false);
   EXPECT_DOUBLE_EQ(one_walk.CiHalfWidth(1), 0.0);
+}
+
+// A second hand-computed sequence without rejections: {2, 4, 9} gives
+// mean 5, sum of squares 101, sample variance (101 - 3 * 25) / 2 = 13,
+// half-width z * sqrt(13 / 3) — and the sample variance must agree with
+// the textbook sum-of-squared-deviations form.
+TEST(EstimatorCi, ClosedFormSampleVariance) {
+  GroupedEstimates est;
+  for (double v : {2.0, 4.0, 9.0}) {
+    est.AddContribution(7, v);
+    est.EndWalk(false);
+  }
+  EXPECT_DOUBLE_EQ(est.Estimate(7), 5.0);
+  const double deviations =
+      (2.0 - 5.0) * (2.0 - 5.0) + (4.0 - 5.0) * (4.0 - 5.0) +
+      (9.0 - 5.0) * (9.0 - 5.0);  // 26
+  const double variance = deviations / 2.0;  // 13
+  EXPECT_DOUBLE_EQ(est.CiHalfWidth(7, 1.0), std::sqrt(variance / 3.0));
+  EXPECT_DOUBLE_EQ(est.CiHalfWidth(7),
+                   1.959963984540054 * std::sqrt(variance / 3.0));
 }
 
 class ParallelTest : public ::testing::Test {

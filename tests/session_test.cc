@@ -1,6 +1,8 @@
 // Tests for src/explore: the exploration state machine (Figure 3) and its
 // translation to chain queries (Figure 4), including the paper's own
 // Example III.1 walk.
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "src/explore/session.h"
@@ -136,6 +138,50 @@ TEST_F(SessionTest, ExampleIII1PhilosopherWalk) {
   EXPECT_EQ(result.CountFor(graph_.rdf_type()), 3u);
   EXPECT_EQ(result.CountFor(Id("birthPlace")), 2u);
   EXPECT_EQ(result.CountFor(Id("influencedBy")), 1u);
+}
+
+// Regression: ExpandAndSelect used to advance next_var_ by a flat 2 even
+// though subclass/object/subject expansions bind only one fresh variable,
+// so variable ids leaked on every step of a deep session. The ids in the
+// chain are pinned: the Example III.1 walk must end at ?5, and each
+// further out+object hop adds exactly 3 fresh ids (two for the property
+// expansion, one for the object classification).
+TEST_F(SessionTest, DeepSessionVariableIdsDoNotLeak) {
+  const auto max_var = [](const std::vector<TriplePattern>& patterns) {
+    VarId max_seen = 0;
+    for (const TriplePattern& p : patterns) {
+      for (int c = 0; c < 3; ++c) {
+        if (p[c].is_var()) max_seen = std::max(max_seen, p[c].var());
+      }
+    }
+    return max_seen;
+  };
+
+  ExplorationSession session(graph_);
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Agent"));
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Person"));
+  session.ExpandAndSelect(ExpansionKind::kSubclass, Id("Philosopher"));
+  // Three subclass refinements bind one fresh variable each; the chain is
+  // still the single pattern (?0 type Philosopher).
+  EXPECT_EQ(max_var(session.patterns()), 0u);
+  session.ExpandAndSelect(ExpansionKind::kOutProperty, Id("influencedBy"));
+  session.ExpandAndSelect(ExpansionKind::kObject, Id("Person"));
+  // (?0 type Philosopher)(?0 influencedBy ?5)(?5 type Person): the object
+  // endpoint is ?5, not the ?8 the leaking counter produced.
+  EXPECT_EQ(max_var(session.patterns()), 5u);
+
+  // Deep chain: every out+object round adds exactly 3 fresh ids.
+  for (VarId round = 1; round <= 5; ++round) {
+    session.ExpandAndSelect(ExpansionKind::kOutProperty, graph_.rdf_type());
+    session.ExpandAndSelect(ExpansionKind::kObject, Id("Person"));
+    EXPECT_EQ(max_var(session.patterns()), 5u + 3u * round);
+  }
+
+  // The deep chain still builds a valid chain query that all engines
+  // agree on (the Figure 4 contract holds at depth 15).
+  EXPECT_EQ(session.depth(), 15);
+  const ChainQuery q = session.BuildQuery(ExpansionKind::kOutProperty);
+  EXPECT_EQ(Eval(q), testing::BruteForce(graph_, q));
 }
 
 TEST_F(SessionTest, SubclassAfterObjectSelectionStaysLegal) {

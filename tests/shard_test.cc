@@ -1,0 +1,348 @@
+// Tests for the in-process sharded deployment (src/shard/).
+//
+// The keystone is the scatter-gather determinism contract: a budget-mode
+// sharded run must be BIT-IDENTICAL to an unsharded budgeted run with the
+// same (query, seed, total budget) and workers equal to the total slot
+// count — the coordinator's slot-block scatter and slot-order gather exist
+// for exactly this property, so the matrix below checks it across shard
+// and worker counts rather than spot-checking one configuration.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/core/explorer.h"
+#include "src/eval/runner.h"
+#include "src/ola/parallel.h"
+#include "src/shard/coordinator.h"
+#include "src/shard/partition.h"
+#include "src/shard/sharded_graph.h"
+#include "tests/test_util.h"
+
+namespace kgoa {
+namespace {
+
+Slot V(VarId v) { return Slot::MakeVar(v); }
+Slot C(TermId t) { return Slot::MakeConst(t); }
+
+void ExpectBitIdentical(const GroupedEstimates& a, const GroupedEstimates& b) {
+  EXPECT_EQ(a.walks(), b.walks());
+  EXPECT_EQ(a.rejected_walks(), b.rejected_walks());
+  const auto ea = a.Estimates();
+  const auto eb = b.Estimates();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (const auto& [group, estimate] : ea) {
+    const auto it = eb.find(group);
+    ASSERT_NE(it, eb.end());
+    EXPECT_EQ(estimate, it->second) << "group " << group;
+    EXPECT_EQ(a.CiHalfWidth(group), b.CiHalfWidth(group)) << "group "
+                                                          << group;
+  }
+}
+
+class ShardTest : public ::testing::Test {
+ protected:
+  ShardTest() : graph_(testing::PaperExampleGraph()), indexes_(graph_) {}
+
+  TermId Id(const char* term) { return graph_.dict().Lookup(term); }
+
+  ChainQuery Fig5(bool distinct) {
+    auto q = ChainQuery::Create(
+        {MakePattern(V(0), C(graph_.rdf_type()), C(Id("Person"))),
+         MakePattern(V(0), C(Id("birthPlace")), V(1)),
+         MakePattern(V(1), C(graph_.rdf_type()), V(2))},
+        2, 1, distinct);
+    EXPECT_TRUE(q.has_value());
+    return *q;
+  }
+
+  // The unsharded reference: one budgeted executor run with the total
+  // slot count as its logical worker count.
+  GroupedEstimates Reference(const ChainQuery& query, OlaEngineKind engine,
+                             uint64_t budget, int total_workers) {
+    ParallelOlaOptions options;
+    options.workers = total_workers;
+    options.threads = 2;
+    options.seed = 17;
+    options.engine = engine;
+    options.tipping_threshold = 2.0;  // exercise the tipping path
+    // The coordinator serves audit jobs with the planner's default order
+    // (like Explorer::SubmitChart); give the reference the same plan.
+    if (engine == OlaEngineKind::kAudit) {
+      options.walk_order = DefaultAuditOrder(query);
+    }
+    ParallelOlaExecutor executor(indexes_, query, options);
+    return executor.RunWalkBudget(budget).estimates;
+  }
+
+  GroupedEstimates Sharded(const ChainQuery& query, OlaEngineKind engine,
+                           uint64_t budget, int shards,
+                           int workers_per_shard) {
+    ShardCoordinator::Options options;
+    options.num_shards = shards;
+    options.threads_per_shard = 2;
+    options.build_slices = false;  // serving only; slices tested separately
+    ShardCoordinator coordinator(graph_, indexes_, options);
+    ShardChartOptions chart;
+    chart.walk_budget = budget;
+    chart.workers_per_shard = workers_per_shard;
+    chart.seed = 17;
+    chart.engine = engine;
+    chart.tipping_threshold = 2.0;
+    return coordinator.Submit(query, chart).Await().estimates;
+  }
+
+  Graph graph_;
+  IndexSet indexes_;
+};
+
+// The acceptance matrix: 1/2/4 shards x 1/2/8 workers per shard, audit
+// (distinct, with a shared reach cache across shards) and wander engines.
+// Every cell must reproduce the unsharded executor bit for bit.
+TEST_F(ShardTest, BudgetModeBitIdenticalToUnshardedAcrossMatrix) {
+  constexpr uint64_t kBudget = 3001;  // odd: exercises the remainder path
+  for (const bool distinct : {true, false}) {
+    const ChainQuery query = Fig5(distinct);
+    const OlaEngineKind engine =
+        distinct ? OlaEngineKind::kAudit : OlaEngineKind::kWander;
+    for (const int shards : {1, 2, 4}) {
+      for (const int workers : {1, 2, 8}) {
+        SCOPED_TRACE(::testing::Message()
+                     << (distinct ? "audit" : "wander") << " shards="
+                     << shards << " workers_per_shard=" << workers);
+        const GroupedEstimates reference =
+            Reference(query, engine, kBudget, shards * workers);
+        const GroupedEstimates sharded =
+            Sharded(query, engine, kBudget, shards, workers);
+        ExpectBitIdentical(sharded, reference);
+      }
+    }
+  }
+}
+
+// Different shard topologies with the same total slot count are the same
+// run: (2 shards x 4 workers) == (4 x 2) == (1 x 8) == (8 x 1).
+TEST_F(ShardTest, TopologyWithSameTotalSlotsIsInvariant) {
+  const ChainQuery query = Fig5(true);
+  constexpr uint64_t kBudget = 1003;
+  const GroupedEstimates reference =
+      Sharded(query, OlaEngineKind::kAudit, kBudget, 1, 8);
+  for (const auto& [shards, workers] :
+       std::vector<std::pair<int, int>>{{2, 4}, {4, 2}, {8, 1}}) {
+    SCOPED_TRACE(::testing::Message() << shards << "x" << workers);
+    ExpectBitIdentical(
+        Sharded(query, OlaEngineKind::kAudit, kBudget, shards, workers),
+        reference);
+  }
+}
+
+// A budget smaller than the total slot count leaves whole shards with a
+// zero share; those shards must be skipped (never submitted), and the
+// tiny run still matches the unsharded reference exactly.
+TEST_F(ShardTest, TinyBudgetSkipsZeroShareShards) {
+  const ChainQuery query = Fig5(true);
+  constexpr uint64_t kBudget = 3;  // 8 total slots: only slots 0-2 run
+  ShardCoordinator::Options options;
+  options.num_shards = 4;
+  options.threads_per_shard = 1;
+  options.build_slices = false;
+  ShardCoordinator coordinator(graph_, indexes_, options);
+  ShardChartOptions chart;
+  chart.walk_budget = kBudget;
+  chart.workers_per_shard = 2;
+  chart.seed = 17;
+  chart.tipping_threshold = 2.0;
+  ShardChartHandle handle = coordinator.Submit(query, chart);
+  // Shard 0 owns 2 walks, shard 1 owns 1, shards 2 and 3 own none.
+  EXPECT_EQ(handle.num_shards(), 2);
+  const ParallelOlaResult run = handle.Await();
+  EXPECT_EQ(run.estimates.walks(), kBudget);
+  ExpectBitIdentical(run.estimates,
+                     Reference(query, OlaEngineKind::kAudit, kBudget, 8));
+}
+
+// Ripple does not merge across seeds, so the scatter clamps to one shard
+// with one worker instead of silently changing the estimator's semantics.
+TEST_F(ShardTest, NonMergeableEngineClampsToOneShard) {
+  const ChainQuery query = Fig5(false);
+  ShardCoordinator::Options options;
+  options.num_shards = 4;
+  options.build_slices = false;
+  ShardCoordinator coordinator(graph_, indexes_, options);
+  ShardChartOptions chart;
+  chart.walk_budget = 64;
+  chart.workers_per_shard = 4;
+  chart.engine = OlaEngineKind::kRipple;
+  ShardChartHandle handle = coordinator.Submit(query, chart);
+  EXPECT_EQ(handle.num_shards(), 1);
+  EXPECT_EQ(handle.total_workers(), 1);
+  const ParallelOlaResult run = handle.Await();
+  EXPECT_EQ(run.workers, 1);
+}
+
+// Cancel fans out: every per-shard job observes the cancellation, the
+// aggregate state reports kCancelled, and Await returns the partial
+// gather instead of blocking until the (far) deadline.
+TEST_F(ShardTest, CancelFansOutToEveryShard) {
+  const ChainQuery query = Fig5(true);
+  ShardCoordinator::Options options;
+  options.num_shards = 4;
+  options.threads_per_shard = 1;
+  options.build_slices = false;
+  ShardCoordinator coordinator(graph_, indexes_, options);
+  ShardChartOptions chart;
+  chart.walk_budget = 0;
+  chart.deadline_seconds = 60.0;  // would block for a minute if not cancelled
+  ShardChartHandle handle = coordinator.Submit(query, chart);
+  EXPECT_EQ(handle.num_shards(), 4);
+  handle.Cancel();
+  handle.Await();
+  EXPECT_TRUE(handle.finished());
+  EXPECT_EQ(handle.state(), ChartJobState::kCancelled);
+  for (const ChartHandle& shard : handle.shard_handles()) {
+    EXPECT_EQ(shard.state(), ChartJobState::kCancelled);
+  }
+  const ShardServeStats stats = coordinator.stats();
+  EXPECT_EQ(stats.cores.jobs_cancelled, 4u);
+  EXPECT_EQ(stats.jobs_submitted, 1u);
+  EXPECT_EQ(stats.shard_jobs_submitted, 4u);
+}
+
+// A combined snapshot taken after completion is exactly the gathered
+// final result (the deterministic slot-order fold), and the deadline
+// fan-out reports the total logical worker count.
+TEST_F(ShardTest, FinishedSnapshotEqualsAwait) {
+  const ChainQuery query = Fig5(true);
+  ShardCoordinator::Options options;
+  options.num_shards = 2;
+  options.build_slices = false;
+  ShardCoordinator coordinator(graph_, indexes_, options);
+  ShardChartOptions chart;
+  chart.walk_budget = 0;
+  chart.deadline_seconds = 0.05;
+  chart.workers_per_shard = 2;
+  ShardChartHandle handle = coordinator.Submit(query, chart);
+  const ParallelOlaResult awaited = handle.Await();
+  EXPECT_GT(awaited.estimates.walks(), 0u);
+  EXPECT_EQ(awaited.workers, 4);
+  const ParallelOlaResult snapshot = handle.Snapshot();
+  ExpectBitIdentical(snapshot.estimates, awaited.estimates);
+  EXPECT_EQ(handle.state(), ChartJobState::kDone);
+}
+
+// The physical partition: slices cover the graph exactly once, every
+// sliced triple's subject hashes to its own shard, and the per-shard
+// index sets index exactly their slice.
+TEST_F(ShardTest, SlicesPartitionTheGraphExactly) {
+  const ShardPartition partition(4);
+  const ShardedGraph sliced(graph_, partition, /*build_indexes=*/true);
+  ASSERT_EQ(sliced.num_shards(), 4);
+  EXPECT_EQ(sliced.TotalSliceTriples(), graph_.NumTriples());
+  EXPECT_GT(sliced.ApproxIndexMemoryBytes(), 0u);
+  for (int k = 0; k < sliced.num_shards(); ++k) {
+    const Graph& slice = sliced.slice(k);
+    EXPECT_EQ(sliced.indexes(k).NumTriples(), slice.NumTriples());
+    for (const Triple& t : slice.triples()) {
+      // Slice-local ids map back to global ids through the spelling.
+      const TermId global_subject =
+          graph_.dict().Lookup(slice.dict().Spell(t.s));
+      ASSERT_NE(global_subject, kInvalidTerm);
+      EXPECT_EQ(partition.ShardOf(global_subject), k);
+      // The slice's triple exists in the source graph.
+      const Triple global{
+          global_subject, graph_.dict().Lookup(slice.dict().Spell(t.p)),
+          graph_.dict().Lookup(slice.dict().Spell(t.o))};
+      EXPECT_TRUE(graph_.Contains(global));
+    }
+  }
+
+  const ShardPartitionStats stats = SummarizePartition(graph_, partition);
+  uint64_t total = 0;
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(stats.triples[static_cast<std::size_t>(k)],
+              sliced.slice(k).NumTriples());
+    total += stats.triples[static_cast<std::size_t>(k)];
+  }
+  EXPECT_EQ(total, stats.total_triples);
+  EXPECT_EQ(stats.total_triples, graph_.NumTriples());
+  EXPECT_GE(stats.balance, 1.0);
+  EXPECT_LE(stats.min_triples, stats.max_triples);
+}
+
+// Explorer facade + session integration: sharded submission goes through
+// EnableSharding, exports shard.* metrics, matches the unsharded serve
+// bit for bit, and tracked per-shard handles are auto-cancelled on
+// navigation like any other chart job.
+TEST(ShardExplorerTest, ExplorerServesShardedChartsAndSessionCancels) {
+  Explorer explorer(testing::PaperExampleGraph());
+  const Graph& graph = explorer.graph();
+  const TermId person = graph.dict().Lookup("Person");
+  const TermId birth_place = graph.dict().Lookup("birthPlace");
+  auto q = ChainQuery::Create(
+      {MakePattern(V(0), C(graph.rdf_type()), C(person)),
+       MakePattern(V(0), C(birth_place), V(1)),
+       MakePattern(V(1), C(graph.rdf_type()), V(2))},
+      2, 1, true);
+  ASSERT_TRUE(q.has_value());
+
+  ShardCoordinator::Options options;
+  options.num_shards = 2;
+  options.threads_per_shard = 1;
+  explorer.EnableSharding(options);
+  ASSERT_TRUE(explorer.sharding_enabled());
+  EXPECT_EQ(explorer.metrics().Counter("shard.count"), 2u);
+  EXPECT_EQ(explorer.metrics().Counter("shard.triples_total"),
+            graph.NumTriples());
+
+  // Budget-mode sharded serve == unsharded serve with the same identity.
+  ShardChartOptions sharded_chart;
+  sharded_chart.walk_budget = 501;
+  sharded_chart.workers_per_shard = 2;
+  sharded_chart.seed = 17;
+  const ParallelOlaResult sharded =
+      explorer.SubmitChartSharded(*q, sharded_chart).Await();
+  ChartJobOptions unsharded_chart;
+  unsharded_chart.walk_budget = 501;
+  unsharded_chart.workers = 4;
+  unsharded_chart.seed = 17;
+  const ParallelOlaResult unsharded =
+      explorer.SubmitChart(*q, unsharded_chart).Await();
+  ExpectBitIdentical(sharded.estimates, unsharded.estimates);
+  EXPECT_GE(explorer.metrics().Counter("explorer.sharded_jobs_submitted"),
+            1u);
+  // The registry snapshot is taken at submit time; the live coordinator
+  // stats see the completions.
+  EXPECT_GE(explorer.shard_coordinator().stats().cores.jobs_completed, 2u);
+
+  // Session auto-cancel covers scatter-gather jobs via their per-shard
+  // handles.
+  ExplorationSession session = explorer.NewSession();
+  ShardChartOptions deadline_chart;
+  deadline_chart.walk_budget = 0;
+  deadline_chart.deadline_seconds = 60.0;
+  ShardChartHandle live = explorer.SubmitChartSharded(*q, deadline_chart);
+  session.TrackJobs(live.shard_handles());
+  EXPECT_EQ(session.tracked_jobs().size(), 2u);
+  EXPECT_EQ(session.CancelLiveJobs(), 2);
+  live.Await();
+  EXPECT_EQ(live.state(), ChartJobState::kCancelled);
+}
+
+// Placement is a pure function of (id, shard count): pin a few mixed ids
+// so an accidental change to the mixer (which would silently re-partition
+// every deployment) fails loudly.
+TEST(ShardPartitionTest, PlacementIsStable) {
+  const ShardPartition two(2);
+  const ShardPartition four(4);
+  for (const TermId id : {0u, 1u, 7u, 12345u}) {
+    EXPECT_EQ(two.ShardOf(id),
+              static_cast<int>(ShardPartition::Mix(id) % 2));
+    EXPECT_EQ(four.ShardOf(id),
+              static_cast<int>(ShardPartition::Mix(id) % 4));
+  }
+  // splitmix64(0) — the published constant for the zero input.
+  EXPECT_EQ(ShardPartition::Mix(0), 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace kgoa

@@ -1,4 +1,5 @@
 // Unit tests for src/util: rng, zipf, stats, flags, table.
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <set>
@@ -105,6 +106,41 @@ TEST(Stats, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 10.0);
   EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 40.0);
   EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 25.0);
+}
+
+// The sorted-input path must be bit-identical to the copy-and-sort path
+// (MakeTukeyBox relies on that to compute a box with one sort).
+TEST(Stats, QuantileSortedMatchesQuantileBitExact) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs;
+    const int n = 1 + static_cast<int>(rng.Below(50));
+    for (int i = 0; i < n; ++i) {
+      xs.push_back(static_cast<double>(rng.Below(1000)) / 7.0);
+    }
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      EXPECT_EQ(QuantileSorted(sorted, q), Quantile(xs, q)) << "q=" << q;
+    }
+  }
+}
+
+// MakeTukeyBox computes quartiles via QuantileSorted on its one sorted
+// pass; the result must be bit-identical to the old path that re-sorted a
+// copy inside each Quantile call.
+TEST(Stats, TukeyBoxMatchesRepeatedSortPathBitExact) {
+  Rng rng(22);
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) {
+    xs.push_back(static_cast<double>(rng.Below(10000)) / 13.0);
+  }
+  const TukeyBox box = MakeTukeyBox(xs);
+  // The pre-optimization reference: each quartile sorts its own copy.
+  EXPECT_EQ(box.q1, Quantile(xs, 0.25));
+  EXPECT_EQ(box.median, Quantile(xs, 0.5));
+  EXPECT_EQ(box.q3, Quantile(xs, 0.75));
+  EXPECT_EQ(box.n, xs.size());
 }
 
 TEST(Stats, TukeyBoxBasics) {
