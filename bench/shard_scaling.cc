@@ -53,9 +53,12 @@ bool CiTargetReached(const GroupedEstimates& estimates, double target) {
 }
 
 // Scatters one deadline-mode job across the coordinator's shards, polls
-// the combined snapshot until the CI target is reached, cancels the
-// fan-out, and returns the time-to-target in seconds (the give-up horizon
-// when never reached). Walks at the target time are returned via `walks`.
+// the combined snapshot until the CI target is reached, gracefully
+// finishes the fan-out, and returns the time-to-target in seconds (the
+// give-up horizon when never reached). Walks at the target time are
+// returned via `walks`. Finish (not Cancel) so the jobs retire as
+// COMPLETED — a served-to-target chart is a success, and the shard.*
+// job-lifecycle counters should say so.
 double TimeToCiTarget(ShardCoordinator& coordinator, const ChainQuery& query,
                       const std::vector<int>& walk_order,
                       int workers_per_shard, double target,
@@ -76,7 +79,7 @@ double TimeToCiTarget(ShardCoordinator& coordinator, const ChainQuery& query,
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  handle.Cancel();
+  handle.Finish();
   handle.Await();
   return reached > 0 ? reached : give_up_seconds;
 }

@@ -9,13 +9,16 @@
 #                     latency.
 #   BENCH_shard.json  `shard_trace` from shard_scaling — scatter-gather
 #                     time-to-CI at 1/2/4 shards.
+#   BENCH_index.json  `index_trace` from index_memory — raw vs block
+#                     storage-tier bytes and top-K time-to-displayed-chart.
 #
 # Usage: scripts/bench_json.sh [--quick] [reach_out.json] [serve_out.json]
-#                              [shard_out.json]
+#                              [shard_out.json] [index_out.json]
 #
 #   --quick    Smoke-sized runs (KGOA_BENCH_QUICK=1) — what tier1.sh runs.
 #   outputs    Default to BENCH_reach.json / BENCH_serve.json /
-#              BENCH_shard.json in the repo root (the tracked copies).
+#              BENCH_shard.json / BENCH_index.json in the repo root (the
+#              tracked copies).
 #
 # The build directory defaults to ./build; override with KGOA_BENCH_BUILD.
 # Each emitted JSON has the stable key set checked at the bottom of this
@@ -35,9 +38,10 @@ done
 REACH_OUT="${OUTS[0]:-BENCH_reach.json}"
 SERVE_OUT="${OUTS[1]:-BENCH_serve.json}"
 SHARD_OUT="${OUTS[2]:-BENCH_shard.json}"
+INDEX_OUT="${OUTS[3]:-BENCH_index.json}"
 
 BUILD="${KGOA_BENCH_BUILD:-build}"
-for bin in micro_sample_time serve_concurrency shard_scaling; do
+for bin in micro_sample_time serve_concurrency shard_scaling index_memory; do
   if [[ ! -x "$BUILD/bench/$bin" ]]; then
     cmake --build "$BUILD" --target "$bin" -j "$(nproc)"
   fi
@@ -51,11 +55,13 @@ if [[ "$QUICK" == "1" ]]; then
   SERVE_RAW=$(KGOA_BENCH_QUICK=1 "$BUILD/bench/serve_concurrency" \
               2>/dev/null)
   SHARD_RAW=$(KGOA_BENCH_QUICK=1 "$BUILD/bench/shard_scaling" 2>/dev/null)
+  INDEX_RAW=$(KGOA_BENCH_QUICK=1 "$BUILD/bench/index_memory" 2>/dev/null)
 else
   RAW=$("$BUILD/bench/micro_sample_time" --benchmark_filter='^BM_Reach' \
         2>/dev/null)
   SERVE_RAW=$("$BUILD/bench/serve_concurrency" 2>/dev/null)
   SHARD_RAW=$("$BUILD/bench/shard_scaling" 2>/dev/null)
+  INDEX_RAW=$("$BUILD/bench/index_memory" 2>/dev/null)
 fi
 
 echo "$RAW" | grep '^reach_trace ' | sed 's/^reach_trace //' > "$REACH_OUT"
@@ -63,8 +69,10 @@ echo "$SERVE_RAW" | grep '^serve_trace ' | sed 's/^serve_trace //' \
     > "$SERVE_OUT"
 echo "$SHARD_RAW" | grep '^shard_trace ' | sed 's/^shard_trace //' \
     > "$SHARD_OUT"
+echo "$INDEX_RAW" | grep '^index_trace ' | sed 's/^index_trace //' \
+    > "$INDEX_OUT"
 
-python3 - "$REACH_OUT" "$SERVE_OUT" "$SHARD_OUT" <<'EOF'
+python3 - "$REACH_OUT" "$SERVE_OUT" "$SHARD_OUT" "$INDEX_OUT" <<'EOF'
 import json
 import sys
 
@@ -78,7 +86,8 @@ def require(path, trace, counters, gauges):
     if missing:
         sys.exit(f"bench_json.sh: {path} is missing stable keys: {missing}")
 
-reach_path, serve_path, shard_path = sys.argv[1], sys.argv[2], sys.argv[3]
+reach_path, serve_path, shard_path, index_path = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4])
 
 reach = load(reach_path)
 require(reach_path, reach, {
@@ -129,4 +138,22 @@ print(f"bench_json.sh: wrote {shard_path} "
       f"(1 shard={shard['gauges']['shard.s1_seconds_to_ci']*1e3:.0f} ms, "
       f"4 shards={shard['gauges']['shard.s4_seconds_to_ci']*1e3:.0f} ms, "
       f"s4 speedup={shard['gauges']['shard.s4_speedup']:.2f}x)")
+
+index = load(index_path)
+require(index_path, index, {
+    "index.dbpedia-like.raw_bytes", "index.dbpedia-like.block_bytes",
+    "index.lgd-like.raw_bytes", "index.lgd-like.block_bytes",
+    "index.topk_pruned_walks",
+}, {
+    "index.ci_target",
+    "index.dbpedia-like.memory_ratio", "index.dbpedia-like.compress_ms",
+    "index.lgd-like.memory_ratio", "index.lgd-like.compress_ms",
+    "index.memory_ratio_min", "index.full_seconds_to_converged",
+    "index.topk_seconds_to_displayed", "index.topk_speedup",
+})
+print(f"bench_json.sh: wrote {index_path} "
+      f"(block tier "
+      f"{index['gauges']['index.memory_ratio_min']:.2f}x smaller, "
+      f"top-K displayed chart "
+      f"{index['gauges']['index.topk_speedup']:.2f}x faster than full)")
 EOF

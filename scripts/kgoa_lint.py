@@ -34,6 +34,14 @@ Rules (see DESIGN.md, "Correctness tooling"):
                          index build, test/bench harnesses driving the
                          pool from multiple clients) carry a
                          `kgoa-lint: allow(raw-thread)` note.
+  raw-level-array        No TrieIndex::RawTriplesForDerive() calls outside
+                         src/index: the raw triple array only exists on the
+                         raw storage tier (the block tier frees it), so any
+                         caller bypassing the tier-agnostic accessors
+                         (TripleAt/KeyAt/Narrow/SeekGE/BlockEnd) breaks as
+                         soon as an IndexSet is built with
+                         StorageTier::kBlock. Only IndexSet's chained radix
+                         derivation may touch it.
 
 Suppression: append `// kgoa-lint: allow(<rule>[, <rule>...])` on the
 offending line or the line directly above, with a reason. Exits 1 when any
@@ -206,6 +214,17 @@ class Linter:
                           "ServingCore pool (src/ola/parallel.cc); submit "
                           "jobs to the pool or annotate the deliberate "
                           "exception")
+
+            # raw-level-array: everywhere outside src/index — the raw
+            # triple array is a tier-private detail (absent on the block
+            # tier); readers must stay behind the iterator contract.
+            if not rel.startswith("src/index/"):
+                if re.search(r"\bRawTriplesForDerive\s*\(", line):
+                    check("raw-level-array", i,
+                          "RawTriplesForDerive() bypasses the storage-tier "
+                          "abstraction and is empty on the block tier; use "
+                          "the tier-agnostic TripleAt/KeyAt/Narrow/SeekGE/"
+                          "BlockEnd accessors")
 
             if in_hot:
                 if re.search(r"\bunordered_(map|set)\b", line):

@@ -13,12 +13,13 @@
 #     KGOA_DCHECK contract (sortedness, cursor monotonicity, memo
 #     poisoning, probability ranges, probe-chain bounds) runs in an
 #     otherwise-release build
-#  6. both fuzz harnesses (-DKGOA_FUZZ=ON) replay their corpus and fuzz
-#     for KGOA_FUZZ_SECONDS (default 60) each
-#  7. bench smoke: scripts/bench_json.sh --quick must emit all three
+#  6. all three fuzz harnesses (-DKGOA_FUZZ=ON) replay their corpus and
+#     fuzz for KGOA_FUZZ_SECONDS (default 60) each
+#  7. bench smoke: scripts/bench_json.sh --quick must emit all four
 #     BENCH JSONs with their stable key sets (written to a temp dir so
 #     the checked-in full-mode BENCH_reach.json / BENCH_serve.json /
-#     BENCH_shard.json are not clobbered with quick-mode numbers)
+#     BENCH_shard.json / BENCH_index.json are not clobbered with
+#     quick-mode numbers)
 #
 # Usage: scripts/tier1.sh   (from the repo root)
 set -euo pipefail
@@ -67,13 +68,16 @@ echo "=== tier-1: fuzz harnesses (${FUZZ_SECONDS}s each) ==="
     "-max_total_time=${FUZZ_SECONDS}"
 ./build-contracts/fuzz/join_fuzz fuzz/corpus/join \
     "-max_total_time=${FUZZ_SECONDS}"
+./build-contracts/fuzz/block_codec_fuzz fuzz/corpus/block_codec \
+    "-max_total_time=${FUZZ_SECONDS}"
 
 echo
 echo "=== tier-1: bench smoke (scripts/bench_json.sh) ==="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
 scripts/bench_json.sh --quick "${SMOKE_DIR}/BENCH_reach.json" \
-    "${SMOKE_DIR}/BENCH_serve.json" "${SMOKE_DIR}/BENCH_shard.json"
+    "${SMOKE_DIR}/BENCH_serve.json" "${SMOKE_DIR}/BENCH_shard.json" \
+    "${SMOKE_DIR}/BENCH_index.json"
 
 echo
 echo "tier-1 OK"

@@ -43,6 +43,19 @@ AuditJoin::AuditJoin(const IndexSet& indexes, const ChainQuery& query,
     next_in_component_[q] = pattern.ComponentOf(plan_.steps()[q + 1].in_var);
     KGOA_DCHECK(next_in_component_[q] >= 0);
   }
+  alpha_record_step_ = plan_.RecordStepOfSlot(plan_.alpha_slot());
+  const WalkStep& alpha_step = plan_.steps()[alpha_record_step_];
+  for (const WalkStep::Record& record : alpha_step.records) {
+    if (record.slot != plan_.alpha_slot()) continue;
+    const int level = alpha_step.access.depth();
+    if (level < 3 &&
+        OrderComponent(alpha_step.access.order(), level) == record.component) {
+      // The group value is the first free trie level of this step's
+      // access path: equal-group positions form contiguous runs in the
+      // resolved range, so pruned groups can be skipped run-at-a-time.
+      alpha_enum_level_ = level;
+    }
+  }
   pending_.reserve(kReachFlushBatch);
 }
 
@@ -97,10 +110,21 @@ bool AuditJoin::EnumerateRemaining(int q, std::vector<TermId>& state,
   for (uint32_t pos = range.begin; pos < range.end; ++pos) {
     if (*budget == 0) return false;
     --*budget;
-    const Triple& t = index.TripleAt(pos);
+    const Triple t = index.TripleAt(pos);
     if (!step.filter.empty() && !step.filter.Pass(indexes_, t)) continue;
     for (const WalkStep::Record& record : step.records) {
       state[record.slot] = t[record.component];
+    }
+    if (q == alpha_record_step_ && group_filter_ != nullptr &&
+        group_filter_->Pruned(state[plan_.alpha_slot()])) {
+      // Pruned group: none of its completions can enter the displayed
+      // chart. When the group value is the first free trie level, hop
+      // over the whole equal-group run (block-max skips in the block
+      // tier); otherwise just drop this position's subtree.
+      if (alpha_enum_level_ >= 0) {
+        pos = index.BlockEnd(range, alpha_enum_level_, pos) - 1;
+      }
+      continue;
     }
     if (!EnumerateRemaining(q + 1, state, mass / d, budget, acc)) return false;
   }
@@ -182,6 +206,18 @@ void AuditJoin::RunOneWalkInternal() {
     const TermId bound =
         step.in_slot >= 0 ? state_[step.in_slot] : kInvalidTerm;
 
+    // Top-K prune: the group-by value was bound by the previous step, and
+    // the tracker has ruled its group out of the displayed chart — finish
+    // the walk with a zero contribution before any tip or index work.
+    // (Counted as a pruned, not rejected, walk: the denominator grows
+    // either way, which is what decays pruned groups' estimates.)
+    if (group_filter_ != nullptr && q == alpha_record_step_ + 1 &&
+        group_filter_->Pruned(state_[plan_.alpha_slot()])) {
+      ++pruned_;
+      estimates_.EndWalk(/*rejected=*/false);
+      return;
+    }
+
     // Static tipping decision: the remaining suffix looks cheap, so
     // switch to exact computation before even resolving this step (a
     // tipped walk never dead-ends; it yields an exact count, possibly 0).
@@ -238,6 +274,16 @@ void AuditJoin::RunOneWalkInternal() {
   }
 
   const TermId a = state_[plan_.alpha_slot()];
+  // Group bound only by the final step: the in-loop prune check above
+  // never saw it, so filter here before paying for the contribution (the
+  // distinct path's Pr(a, b) probe is the expensive part).
+  if (group_filter_ != nullptr &&
+      alpha_record_step_ + 1 == plan_.NumSteps() &&
+      group_filter_->Pruned(a)) {
+    ++pruned_;
+    estimates_.EndWalk(/*rejected=*/false);
+    return;
+  }
   if (query_.distinct()) {
     // The Pr(a, b) division is deferred to the flush's batched probe
     // loop; the walk itself only records the audited pair.

@@ -40,6 +40,7 @@
 #include "src/index/flat_table.h"
 #include "src/index/index_set.h"
 #include "src/ola/estimator.h"
+#include "src/ola/topk.h"
 #include "src/ola/walk_plan.h"
 #include "src/query/chain_query.h"
 #include "src/util/rng.h"
@@ -100,9 +101,21 @@ class AuditJoin {
   uint64_t tipped_walks() const { return tipped_; }
   uint64_t full_walks() const { return full_; }
   uint64_t tip_aborts() const { return tip_aborts_; }
+  uint64_t pruned_walks() const { return pruned_; }
   uint64_t suffix_cache_hits() const { return count_cache_hits_; }
   const ReachProbability& reach() const { return *reach_; }
   bool owns_reach() const { return owned_reach_ != nullptr; }
+
+  // Installs (nullptr: clears) a top-K group filter. Walks whose group-by
+  // value is bound to a pruned group end immediately with a zero
+  // contribution, and tipped enumerations skip whole equal-group runs
+  // when the group component is the first free trie level of the
+  // recording step's access path (block-max hops in the block tier).
+  // Estimates for pruned groups decay — callers only enable this when
+  // those groups can no longer enter the displayed chart.
+  void SetGroupFilter(std::shared_ptr<const GroupFilter> filter) {
+    group_filter_ = std::move(filter);
+  }
 
   // Verification hook mirroring RunOneWalk's decisions exactly: enumerates
   // every stoppable prefix delta with its probability and the contribution
@@ -171,6 +184,16 @@ class AuditJoin {
 
   // Scratch arena reused by TippedContributions across walks.
   FlatAccumulator<uint64_t, double> tip_acc_;
+
+  // Top-K prune state. alpha_record_step_: the step whose sampled triple
+  // binds the group-by slot. alpha_enum_level_: the trie level of the
+  // group component at that step when it is the first free level of the
+  // access path (equal-group positions are then contiguous runs the
+  // enumeration can skip via BlockEnd); -1 otherwise.
+  std::shared_ptr<const GroupFilter> group_filter_;
+  int alpha_record_step_ = -1;
+  int alpha_enum_level_ = -1;
+  uint64_t pruned_ = 0;
 
   // Deferred per-walk contributions, in walk order.
   struct PendingContribution {

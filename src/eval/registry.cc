@@ -144,6 +144,7 @@ void ExportMetrics(const OlaCounters& counters, std::string_view prefix,
   registry->Add(p + "reach_hits", counters.reach_hits);
   registry->Add(p + "reach_misses", counters.reach_misses);
   registry->Add(p + "reach_contention", counters.reach_contention);
+  registry->Add(p + "pruned_walks", counters.pruned_walks);
   registry->SetCounter(p + "reach_entries", counters.reach_entries);
 }
 
@@ -169,7 +170,13 @@ void ExportMetrics(const IndexSet& indexes, std::string_view prefix,
   const IndexBuildStats& stats = indexes.build_stats();
   registry->SetCounter(p + "triples", indexes.NumTriples());
   registry->SetCounter(p + "memory_bytes", indexes.ApproxMemoryBytes());
+  // Per-tier resident bytes (exactly one is nonzero — the four orders
+  // share a storage tier). The raw/block split is what the memory-ratio
+  // bench and ShardedGraph accounting read back.
+  registry->SetCounter(p + "memory_bytes.raw", indexes.RawStorageBytes());
+  registry->SetCounter(p + "memory_bytes.block", indexes.BlockStorageBytes());
   registry->SetGauge(p + "build_ms", stats.total_ms);
+  registry->SetGauge(p + "compress_ms", stats.compress_ms);
   uint64_t depth1_entries = 0;
   uint64_t depth2_entries = 0;
   for (IndexOrder order : kAllIndexOrders) {
@@ -239,6 +246,9 @@ std::string SnapshotJson(const OlaSnapshot& snapshot) {
   out += ",\"reach_contention\":" +
          FmtCounter(snapshot.counters.reach_contention);
   out += ",\"reach_entries\":" + FmtCounter(snapshot.counters.reach_entries);
+  out += ",\"pruned_walks\":" + FmtCounter(snapshot.counters.pruned_walks);
+  out += ",\"displayed_converged\":" +
+         std::string(snapshot.displayed_converged ? "true" : "false");
   out += ",\"groups\":{";
   if (snapshot.estimates != nullptr) {
     std::vector<std::pair<TermId, double>> groups;

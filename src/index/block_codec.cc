@@ -1,0 +1,268 @@
+#include "src/index/block_codec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+
+#include "src/util/contract.h"
+
+namespace kgoa {
+
+namespace {
+
+// Process-wide monotonic column id: never reused, so a stale decode-cache
+// entry can never be mistaken for a block of a newer column.
+std::atomic<uint64_t> g_next_column_id{1};
+
+// Column ids occupy the key bits above the block index; 2^26 blocks cover
+// the largest column a 32-bit position space can address.
+constexpr uint32_t kBlockIndexBits = 26;
+
+constexpr uint32_t kDecodeCacheSlots = 16;  // power of two
+
+struct DecodeCacheEntry {
+  uint64_t key = ~0ull;
+  uint32_t vals[kCodecBlockSize];
+};
+
+thread_local DecodeCacheEntry g_decode_cache[kDecodeCacheSlots];
+
+uint32_t CacheSlot(uint64_t key) {
+  return static_cast<uint32_t>((key * 0x9e3779b97f4a7c15ULL) >>
+                               (64 - std::bit_width(kDecodeCacheSlots - 1)));
+}
+
+// Zigzag maps signed deltas onto small unsigned ints (0,-1,1,-2,... ->
+// 0,1,2,3,...) so LEB128 stays short for deltas of either sign.
+uint64_t ZigzagEncode(int64_t d) {
+  return (static_cast<uint64_t>(d) << 1) ^ static_cast<uint64_t>(d >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t z) {
+  return static_cast<int64_t>(z >> 1) ^ -static_cast<int64_t>(z & 1);
+}
+
+uint32_t VarintLength(uint64_t z) {
+  return 1 + (63 - static_cast<uint32_t>(std::countl_zero(z | 1))) / 7;
+}
+
+void AppendVarint(uint64_t z, std::vector<uint8_t>& out) {
+  while (z >= 0x80) {
+    out.push_back(static_cast<uint8_t>(z) | 0x80);
+    z >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(z));
+}
+
+uint64_t ReadVarint(const uint8_t*& p) {
+  uint64_t z = 0;
+  int shift = 0;
+  while (*p & 0x80) {
+    z |= static_cast<uint64_t>(*p & 0x7f) << shift;
+    shift += 7;
+    ++p;
+  }
+  z |= static_cast<uint64_t>(*p) << shift;
+  ++p;
+  return z;
+}
+
+// Encoded size of `count` values as zigzag varint deltas seeded at `min`.
+uint64_t VarintDeltaBytes(const uint32_t* v, uint32_t count, uint32_t min) {
+  uint64_t bytes = 0;
+  int64_t prev = min;
+  for (uint32_t i = 0; i < count; ++i) {
+    bytes += VarintLength(ZigzagEncode(static_cast<int64_t>(v[i]) - prev));
+    prev = v[i];
+  }
+  return bytes;
+}
+
+void AppendBitPacked(const uint32_t* v, uint32_t count, uint32_t base,
+                     uint8_t width, std::vector<uint8_t>& out) {
+  uint64_t acc = 0;
+  int bits = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    acc |= static_cast<uint64_t>(v[i] - base) << bits;
+    bits += width;
+    while (bits >= 8) {
+      out.push_back(static_cast<uint8_t>(acc));
+      acc >>= 8;
+      bits -= 8;
+    }
+  }
+  if (bits > 0) out.push_back(static_cast<uint8_t>(acc));
+}
+
+void AppendVarintDelta(const uint32_t* v, uint32_t count, uint32_t min,
+                       std::vector<uint8_t>& out) {
+  int64_t prev = min;
+  for (uint32_t i = 0; i < count; ++i) {
+    AppendVarint(ZigzagEncode(static_cast<int64_t>(v[i]) - prev), out);
+    prev = v[i];
+  }
+}
+
+}  // namespace
+
+BlockedColumn::BlockedColumn(const uint32_t* values, uint32_t n)
+    : column_id_(g_next_column_id.fetch_add(1, std::memory_order_relaxed)),
+      size_(n) {
+  directory_.reserve((n + kCodecBlockSize - 1) / kCodecBlockSize);
+  for (uint32_t begin = 0; begin < n; begin += kCodecBlockSize) {
+    const uint32_t count = std::min(kCodecBlockSize, n - begin);
+    const uint32_t* block = values + begin;
+    const auto [min_it, max_it] =
+        std::minmax_element(block, block + count);
+    BlockMeta meta;
+    meta.byte_offset = payload_.size();
+    meta.min = *min_it;
+    meta.max = *max_it;
+    meta.count = static_cast<uint16_t>(count);
+    meta.bit_width = static_cast<uint8_t>(std::bit_width(meta.max - meta.min));
+    const uint64_t packed_bytes =
+        (static_cast<uint64_t>(count) * meta.bit_width + 7) / 8;
+    const uint64_t varint_bytes = VarintDeltaBytes(block, count, meta.min);
+    if (varint_bytes < packed_bytes) {
+      meta.encoding = BlockEncoding::kVarintDelta;
+      AppendVarintDelta(block, count, meta.min, payload_);
+    } else {
+      // Ties go to bit-packing: fixed-stride decode is branch-free.
+      meta.encoding = BlockEncoding::kBitPacked;
+      AppendBitPacked(block, count, meta.min, meta.bit_width, payload_);
+    }
+    directory_.push_back(meta);
+  }
+  payload_.shrink_to_fit();
+}
+
+uint32_t BlockedColumn::DecodeBlock(uint32_t block, uint32_t* out) const {
+  KGOA_DCHECK_LT(block, num_blocks());
+  const BlockMeta& meta = directory_[block];
+  const uint8_t* p = payload_.data() + meta.byte_offset;
+  const uint32_t count = meta.count;
+  if (meta.encoding == BlockEncoding::kBitPacked) {
+    const uint32_t width = meta.bit_width;
+    const uint64_t mask =
+        width >= 32 ? 0xffffffffULL : ((1ULL << width) - 1);
+    uint64_t acc = 0;
+    int bits = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      while (bits < static_cast<int>(width)) {
+        acc |= static_cast<uint64_t>(*p++) << bits;
+        bits += 8;
+      }
+      out[i] = meta.min + static_cast<uint32_t>(acc & mask);
+      acc >>= width;
+      bits -= width;
+    }
+  } else {
+    int64_t prev = meta.min;
+    for (uint32_t i = 0; i < count; ++i) {
+      prev += ZigzagDecode(ReadVarint(p));
+      out[i] = static_cast<uint32_t>(prev);
+    }
+  }
+  return count;
+}
+
+const uint32_t* BlockedColumn::CachedBlock(uint32_t block) const {
+  KGOA_DCHECK_LT(block, 1u << kBlockIndexBits);
+  const uint64_t key = (column_id_ << kBlockIndexBits) | block;
+  DecodeCacheEntry& entry = g_decode_cache[CacheSlot(key)];
+  if (entry.key != key) {
+    DecodeBlock(block, entry.vals);
+    entry.key = key;
+  }
+  return entry.vals;
+}
+
+uint32_t BlockedColumn::Get(uint32_t pos) const {
+  KGOA_DCHECK_LT(pos, size_);
+  return CachedBlock(pos / kCodecBlockSize)[pos % kCodecBlockSize];
+}
+
+uint32_t BlockedColumn::SeekGE(uint32_t from, uint32_t end, uint32_t v) const {
+  KGOA_DCHECK_LE(from, end);
+  KGOA_DCHECK_LE(end, size_);
+  while (from < end) {
+    const uint32_t block = from / kCodecBlockSize;
+    const BlockMeta& meta = directory_[block];
+    const uint32_t block_begin = block * kCodecBlockSize;
+    const uint32_t block_end =
+        std::min<uint32_t>(block_begin + meta.count, end);
+    if (meta.max < v) {
+      // Block-max skip: the bound covers every value in the block, so no
+      // in-window value can reach v regardless of trie-node straddling.
+      from = block_end;
+      continue;
+    }
+    const uint32_t* vals = CachedBlock(block);
+    const uint32_t* it = std::lower_bound(vals + (from - block_begin),
+                                          vals + (block_end - block_begin), v);
+    const uint32_t offset = static_cast<uint32_t>(it - vals);
+    if (offset < block_end - block_begin) return block_begin + offset;
+    from = block_end;
+  }
+  return end;
+}
+
+uint32_t BlockedColumn::SeekGT(uint32_t from, uint32_t end, uint32_t v) const {
+  KGOA_DCHECK_LE(from, end);
+  KGOA_DCHECK_LE(end, size_);
+  while (from < end) {
+    const uint32_t block = from / kCodecBlockSize;
+    const BlockMeta& meta = directory_[block];
+    const uint32_t block_begin = block * kCodecBlockSize;
+    const uint32_t block_end =
+        std::min<uint32_t>(block_begin + meta.count, end);
+    if (meta.max <= v) {
+      from = block_end;
+      continue;
+    }
+    const uint32_t* vals = CachedBlock(block);
+    const uint32_t* it = std::upper_bound(vals + (from - block_begin),
+                                          vals + (block_end - block_begin), v);
+    const uint32_t offset = static_cast<uint32_t>(it - vals);
+    if (offset < block_end - block_begin) return block_begin + offset;
+    from = block_end;
+  }
+  return end;
+}
+
+void BlockedColumn::CheckInvariants(const uint32_t* expected) const {
+  uint64_t total = 0;
+  uint64_t next_offset = 0;
+  uint32_t vals[kCodecBlockSize];
+  for (uint32_t b = 0; b < num_blocks(); ++b) {
+    const BlockMeta& meta = directory_[b];
+    KGOA_CHECK_EQ(meta.byte_offset, next_offset);
+    KGOA_CHECK_GT(meta.count, 0u);
+    KGOA_CHECK_LE(meta.count, kCodecBlockSize);
+    KGOA_CHECK_LE(meta.min, meta.max);
+    const uint32_t count = DecodeBlock(b, vals);
+    KGOA_CHECK_EQ(count, meta.count);
+    uint32_t lo = vals[0];
+    uint32_t hi = vals[0];
+    for (uint32_t i = 0; i < count; ++i) {
+      lo = std::min(lo, vals[i]);
+      hi = std::max(hi, vals[i]);
+      if (expected != nullptr) {
+        KGOA_CHECK_EQ(vals[i], expected[b * kCodecBlockSize + i]);
+      }
+    }
+    KGOA_CHECK_EQ(lo, meta.min);
+    KGOA_CHECK_EQ(hi, meta.max);
+    if (meta.encoding == BlockEncoding::kBitPacked) {
+      next_offset +=
+          (static_cast<uint64_t>(count) * meta.bit_width + 7) / 8;
+    } else {
+      next_offset += VarintDeltaBytes(vals, count, meta.min);
+    }
+    total += count;
+  }
+  KGOA_CHECK_EQ(total, size_);
+  KGOA_CHECK_EQ(next_offset, payload_.size());
+}
+
+}  // namespace kgoa

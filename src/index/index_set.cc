@@ -27,7 +27,8 @@ namespace kgoa {
 // temporary triple buffers: each pass scatters straight into the
 // destination order's final array, so peak memory stays at the base plus
 // the four resident copies.
-IndexSet::IndexSet(const Graph& graph) : num_triples_(graph.NumTriples()) {
+IndexSet::IndexSet(const Graph& graph, const IndexSetOptions& options)
+    : num_triples_(graph.NumTriples()), tier_(options.tier) {
   const uint32_t num_terms = static_cast<uint32_t>(graph.dict().size());
   const std::vector<Triple>& base = graph.triples();
   const uint32_t n = static_cast<uint32_t>(base.size());
@@ -56,9 +57,9 @@ IndexSet::IndexSet(const Graph& graph) : num_triples_(graph.NumTriples()) {
   auto derive = [&](IndexOrder order, const TrieIndex& source) {
     Stopwatch clock;
     std::vector<Triple> sorted(n);
-    radix::CountingSortByComponent(source.data(), n, sorted.data(),
-                                   OrderComponent(order, 0), num_terms,
-                                   scratch);
+    radix::CountingSortByComponent(source.RawTriplesForDerive(), n,
+                                   sorted.data(), OrderComponent(order, 0),
+                                   num_terms, scratch);
     adopt(order, std::move(sorted), clock);
   };
 
@@ -88,6 +89,23 @@ IndexSet::IndexSet(const Graph& graph) : num_triples_(graph.NumTriples()) {
 
   // kgoa-lint: allow(raw-thread) parallel index build, not a serve
   for (std::thread& worker : workers) worker.join();
+
+  if (tier_ == StorageTier::kBlock) {
+    // Compress every order after the chain and the hash builds land: the
+    // derivation chain needs the raw arrays, and the hash builds scan
+    // far cheaper against them. Each order compresses independently.
+    Stopwatch compress_clock;
+    // kgoa-lint: allow(raw-thread) parallel index build, not a serve
+    std::vector<std::thread> compressors;
+    for (IndexOrder order : kAllIndexOrders) {
+      compressors.emplace_back(
+          [this, order] { indexes_[static_cast<int>(order)]
+                              ->CompressToBlockTier(); });
+    }
+    // kgoa-lint: allow(raw-thread) parallel index build, not a serve
+    for (std::thread& worker : compressors) worker.join();
+    stats_.compress_ms = compress_clock.ElapsedMillis();
+  }
   stats_.total_ms = total.ElapsedMillis();
 
   // Build postconditions: every order holds the whole graph, and each
@@ -97,16 +115,44 @@ IndexSet::IndexSet(const Graph& graph) : num_triples_(graph.NumTriples()) {
   for (IndexOrder order : kAllIndexOrders) {
     KGOA_DCHECK_EQ(Index(order).size(), n);
     KGOA_DCHECK_EQ(Hash(order).Ndv1(), Index(order).Ndv1());
+    KGOA_DCHECK(Index(order).tier() == tier_);
   }
 }
 
-uint64_t IndexSet::ApproxMemoryBytes() const {
+uint64_t IndexSet::RawStorageBytes() const {
+  uint64_t bytes = 0;
+  for (IndexOrder order : kAllIndexOrders) {
+    bytes += Index(order).RawStorageBytes();
+  }
+  return bytes;
+}
+
+uint64_t IndexSet::BlockStorageBytes() const {
+  uint64_t bytes = 0;
+  for (IndexOrder order : kAllIndexOrders) {
+    bytes += Index(order).BlockStorageBytes();
+  }
+  return bytes;
+}
+
+uint64_t IndexSet::TrieMemoryBytes() const {
   uint64_t bytes = 0;
   for (IndexOrder order : kAllIndexOrders) {
     bytes += Index(order).MemoryBytes();
+  }
+  return bytes;
+}
+
+uint64_t IndexSet::HashMemoryBytes() const {
+  uint64_t bytes = 0;
+  for (IndexOrder order : kAllIndexOrders) {
     bytes += Hash(order).MemoryBytes();
   }
   return bytes;
+}
+
+uint64_t IndexSet::ApproxMemoryBytes() const {
+  return TrieMemoryBytes() + HashMemoryBytes();
 }
 
 bool IndexSet::ChooseOrder(uint32_t fixed_mask, IndexOrder* order,

@@ -26,15 +26,26 @@ namespace kgoa {
 struct IndexBuildStats {
   std::array<double, kNumIndexOrders> sort_ms{};  // sort + CSR offsets
   std::array<double, kNumIndexOrders> hash_ms{};  // flat hash tables
-  double total_ms = 0;                            // end-to-end, all orders
+  double compress_ms = 0;  // block-tier encode, all orders (parallel)
+  double total_ms = 0;     // end-to-end, all orders
+};
+
+// Build-time knobs. The storage tier selects the physical representation
+// of the four trie orders; every query result and every estimate is
+// bit-identical across tiers (the position space is shared).
+struct IndexSetOptions {
+  StorageTier tier = StorageTier::kRaw;
 };
 
 class IndexSet {
  public:
   // Builds all four orders. O(n) time (counting passes), 4x triple
-  // storage — matching the paper's memory accounting (all engines share
-  // this structure).
-  explicit IndexSet(const Graph& graph);
+  // storage for the raw tier — matching the paper's memory accounting
+  // (all engines share this structure). With options.tier == kBlock the
+  // orders are block-compressed in parallel after the chained build (the
+  // derivation chain needs the raw arrays), typically cutting trie
+  // memory by well over 2x.
+  explicit IndexSet(const Graph& graph, const IndexSetOptions& options = {});
 
   IndexSet(const IndexSet&) = delete;
   IndexSet& operator=(const IndexSet&) = delete;
@@ -48,12 +59,27 @@ class IndexSet {
 
   uint64_t NumTriples() const { return num_triples_; }
 
+  StorageTier tier() const { return tier_; }
+
   const IndexBuildStats& build_stats() const { return stats_; }
 
-  // Rough resident size of the index structure: 4 sorted triple arrays,
-  // their CSR level-0 offset arrays, and the flat hash slot arrays (the
-  // analogue of the paper's reported index memory — 72 GB / 194 GB for
-  // its two graphs).
+  // Bytes resident in each storage tier across the four orders (exactly
+  // one is nonzero: the orders share a tier). The registry's
+  // index.memory_bytes.raw / index.memory_bytes.block gauges and
+  // ShardedGraph's memory accounting read these.
+  uint64_t RawStorageBytes() const;
+  uint64_t BlockStorageBytes() const;
+
+  // Resident size of the four trie orders (active tier + CSR offsets).
+  uint64_t TrieMemoryBytes() const;
+
+  // Resident size of the flat hash range tables.
+  uint64_t HashMemoryBytes() const;
+
+  // Rough resident size of the whole index structure: the four trie
+  // orders in their active tier, their CSR level-0 offset arrays, and
+  // the flat hash slot arrays (the analogue of the paper's reported
+  // index memory — 72 GB / 194 GB for its two graphs).
   uint64_t ApproxMemoryBytes() const;
 
   // Chooses an order whose first popcount(fixed_mask) levels are exactly
@@ -84,6 +110,7 @@ class IndexSet {
   uint32_t ConstantMask(const TriplePattern& pattern) const;
 
   uint64_t num_triples_ = 0;
+  StorageTier tier_ = StorageTier::kRaw;
   std::vector<std::unique_ptr<TrieIndex>> indexes_;
   std::vector<std::unique_ptr<HashRangeIndex>> hashes_;
   IndexBuildStats stats_;

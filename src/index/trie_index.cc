@@ -32,7 +32,10 @@ uint32_t MaxTermBound(const std::vector<Triple>& triples) {
 }  // namespace
 
 TrieIndex::TrieIndex(IndexOrder order, const std::vector<Triple>& triples)
-    : order_(order), triples_(triples), num_terms_(MaxTermBound(triples)) {
+    : order_(order),
+      size_(static_cast<uint32_t>(triples.size())),
+      triples_(triples),
+      num_terms_(MaxTermBound(triples)) {
   radix::LsdRadixSort(order_, triples_, num_terms_);
   KGOA_DCHECK_SORTED_BY(triples_.begin(), triples_.end(), OrderLess{order_});
   BuildLevel0Offsets();
@@ -40,7 +43,10 @@ TrieIndex::TrieIndex(IndexOrder order, const std::vector<Triple>& triples)
 
 TrieIndex::TrieIndex(IndexOrder order, std::vector<Triple> sorted,
                      uint32_t num_terms)
-    : order_(order), triples_(std::move(sorted)), num_terms_(num_terms) {
+    : order_(order),
+      size_(static_cast<uint32_t>(sorted.size())),
+      triples_(std::move(sorted)),
+      num_terms_(num_terms) {
   KGOA_DCHECK_SORTED_BY(triples_.begin(), triples_.end(), OrderLess{order_});
   BuildLevel0Offsets();
 }
@@ -61,6 +67,22 @@ void TrieIndex::BuildLevel0Offsets() {
   KGOA_DCHECK_EQ(offsets_[num_terms_], size());
 }
 
+void TrieIndex::CompressToBlockTier() {
+  KGOA_CHECK_MSG(tier_ == StorageTier::kRaw,
+                 "index is already block-compressed");
+  const uint32_t n = size();
+  std::vector<uint32_t> column(n);
+  for (int level = 0; level < 3; ++level) {
+    const int c = OrderComponent(order_, level);
+    for (uint32_t pos = 0; pos < n; ++pos) column[pos] = triples_[pos][c];
+    cols_[level] = BlockedColumn(column.data(), n);
+  }
+  tier_ = StorageTier::kBlock;
+  // Release the raw array: from here on, every read goes through the
+  // columns (the position space is unchanged).
+  std::vector<Triple>().swap(triples_);
+}
+
 void TrieIndex::CheckInvariants() const {
   KGOA_CHECK_EQ(offsets_.size(), static_cast<std::size_t>(num_terms_) + 1);
   KGOA_CHECK_EQ(offsets_[0], 0u);
@@ -71,17 +93,27 @@ void TrieIndex::CheckInvariants() const {
     nonempty += offsets_[v + 1] != offsets_[v];
   }
   KGOA_CHECK_EQ(nonempty, ndv1_);
+  if (tier_ == StorageTier::kRaw) {
+    KGOA_CHECK_EQ(triples_.size(), static_cast<std::size_t>(size_));
+  } else {
+    KGOA_CHECK(triples_.empty());
+    for (const BlockedColumn& col : cols_) {
+      KGOA_CHECK_EQ(col.size(), size_);
+      col.CheckInvariants();
+    }
+  }
   const OrderLess less{order_};
   const int c0 = OrderComponent(order_, 0);
+  Triple prev{};
   for (uint32_t pos = 0; pos < size(); ++pos) {
-    const Triple& t = triples_[pos];
+    const Triple t = TripleAt(pos);
     KGOA_CHECK_LT(t.s, num_terms_);
     KGOA_CHECK_LT(t.p, num_terms_);
     KGOA_CHECK_LT(t.o, num_terms_);
     if (pos > 0) {
-      KGOA_CHECK_MSG(!less(t, triples_[pos - 1]),
-                     "trie level out of sorted order");
+      KGOA_CHECK_MSG(!less(t, prev), "trie level out of sorted order");
     }
+    prev = t;
     // Each triple must sit inside its own level-0 CSR block.
     KGOA_CHECK_GE(pos, offsets_[t[c0]]);
     KGOA_CHECK_LT(pos, offsets_[t[c0] + 1]);
@@ -96,6 +128,15 @@ Range TrieIndex::Narrow(Range range, int level, TermId value) const {
     return Level0Range(value);
   }
   KGOA_DCHECK_LE(range.end, size());
+  if (tier_ == StorageTier::kBlock) {
+    // SeekGE lands on the first key >= value — the same insertion point
+    // std::equal_range yields, so empty results match the raw tier
+    // position-for-position.
+    const BlockedColumn& col = cols_[level];
+    const uint32_t lo = col.SeekGE(range.begin, range.end, value);
+    if (lo == range.end || col.Get(lo) != value) return Range{lo, lo};
+    return Range{lo, col.SeekGT(lo, range.end, value)};
+  }
   const auto first = triples_.begin() + range.begin;
   const auto last = triples_.begin() + range.end;
   const auto [lo, hi] =
@@ -108,6 +149,14 @@ uint32_t TrieIndex::SeekGE(Range range, int level, TermId value,
                            uint32_t from) const {
   KGOA_DCHECK(from >= range.begin);
   if (from >= range.end) return range.end;
+  if (tier_ == StorageTier::kBlock) {
+    const uint32_t result = cols_[level].SeekGE(from, range.end, value);
+    KGOA_DCHECK_GE(result, from);
+    KGOA_DCHECK_LE(result, range.end);
+    KGOA_DCHECK(result == range.end || KeyAt(result, level) >= value);
+    KGOA_DCHECK(result == from || KeyAt(result - 1, level) < value);
+    return result;
+  }
   const int c = OrderComponent(order_, level);
   if (triples_[from][c] >= value) return from;
   // Gallop forward: leapfrog hops are usually short relative to the
@@ -140,6 +189,14 @@ uint32_t TrieIndex::BlockEnd(Range range, int level, uint32_t pos) const {
     return offsets_[KeyAt(pos, 0) + 1];
   }
   const TermId value = KeyAt(pos, level);
+  if (tier_ == StorageTier::kBlock) {
+    const uint32_t result = cols_[level].SeekGT(pos, range.end, value);
+    KGOA_DCHECK_GT(result, pos);
+    KGOA_DCHECK_LE(result, range.end);
+    KGOA_DCHECK(KeyAt(result - 1, level) == value);
+    KGOA_DCHECK(result == range.end || KeyAt(result, level) != value);
+    return result;
+  }
   // Exponential (galloping) search: blocks are usually short relative to
   // the enclosing range, so this beats a full binary search in practice.
   uint64_t step = 1;

@@ -6,14 +6,27 @@
 // so level-0 Narrow/BlockEnd and the distinct level-0 count are O(1);
 // deeper levels use galloping seeks that cost O(log d) for a hop of
 // distance d instead of O(log |range|).
+//
+// The index has two storage tiers behind the same position-space
+// contract. The raw tier keeps the sorted Triple array itself. The block
+// tier (CompressToBlockTier) re-stores each level as an independently
+// compressed BlockedColumn of 128-entry blocks (frame-of-reference
+// bit-packing or zigzag varint-delta, chosen per block) and frees the
+// raw array; Narrow/SeekGE/BlockEnd then run on the block directory
+// (block-max skipping in place of galloping) and return the exact same
+// positions, so every engine above — and the estimates they produce —
+// is bit-identical across tiers.
 #ifndef KGOA_INDEX_TRIE_INDEX_H_
 #define KGOA_INDEX_TRIE_INDEX_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "src/index/block_codec.h"
 #include "src/index/order.h"
 #include "src/rdf/types.h"
+#include "src/util/contract.h"
 
 namespace kgoa {
 
@@ -27,6 +40,13 @@ struct Range {
 
   friend bool operator==(const Range&, const Range&) = default;
 };
+
+// Which physical representation backs the sorted position space.
+enum class StorageTier : uint8_t { kRaw = 0, kBlock = 1 };
+
+inline constexpr const char* StorageTierName(StorageTier tier) {
+  return tier == StorageTier::kRaw ? "raw" : "block";
+}
 
 class TrieIndex {
  public:
@@ -45,15 +65,41 @@ class TrieIndex {
   TrieIndex(TrieIndex&&) = default;
 
   IndexOrder order() const { return order_; }
-  uint32_t size() const { return static_cast<uint32_t>(triples_.size()); }
+  StorageTier tier() const { return tier_; }
+  uint32_t size() const { return size_; }
   Range Root() const { return Range{0, size()}; }
 
-  const Triple& TripleAt(uint32_t pos) const { return triples_[pos]; }
-  const Triple* data() const { return triples_.data(); }
+  // Re-stores the three level columns as compressed BlockedColumns and
+  // frees the raw triple array. Positions, ranges and every query result
+  // are unchanged; only the physical bytes (and MemoryBytes) move.
+  void CompressToBlockTier();
+
+  // The triple at `pos` (by value: the block tier reassembles it from the
+  // three level columns).
+  Triple TripleAt(uint32_t pos) const {
+    if (tier_ == StorageTier::kRaw) return triples_[pos];
+    TermId c[3];
+    c[OrderComponent(order_, 0)] = cols_[0].Get(pos);
+    c[OrderComponent(order_, 1)] = cols_[1].Get(pos);
+    c[OrderComponent(order_, 2)] = cols_[2].Get(pos);
+    return Triple{c[0], c[1], c[2]};
+  }
+
+  // The raw sorted array, for IndexSet's chained radix derivation only
+  // (each order is one counting pass from another). Raw tier only —
+  // everything else must go through the tier-agnostic accessors above
+  // (enforced by the kgoa_lint raw-level-array rule).
+  const Triple* RawTriplesForDerive() const {
+    KGOA_DCHECK(tier_ == StorageTier::kRaw);
+    return triples_.data();
+  }
 
   // Value stored at trie `level` for the triple at `pos`.
   TermId KeyAt(uint32_t pos, int level) const {
-    return triples_[pos][OrderComponent(order_, level)];
+    if (tier_ == StorageTier::kRaw) {
+      return triples_[pos][OrderComponent(order_, level)];
+    }
+    return cols_[level].Get(pos);
   }
 
   // Range of triples whose level-0 value is `value` (empty if absent).
@@ -76,7 +122,9 @@ class TrieIndex {
 
   // First position in [from, range.end) whose `level` value is >= `value`.
   // Positions before `from` are assumed already consumed (leapfrog seek);
-  // the search gallops from `from`, so a hop of distance d costs O(log d).
+  // the search gallops from `from` (raw tier) or skips directory blocks
+  // whose max is below `value` (block tier), so a hop of distance d costs
+  // O(log d) / O(d / 128) instead of O(log |range|).
   uint32_t SeekGE(Range range, int level, TermId value, uint32_t from) const;
 
   // End of the block of equal `level` values starting at `pos`. O(1) at
@@ -88,17 +136,32 @@ class TrieIndex {
   // deeper.
   uint64_t CountDistinct(Range range, int level) const;
 
-  // Resident bytes: the sorted triples plus the CSR offset array.
+  // Bytes resident in the raw tier (the sorted Triple array). Zero after
+  // CompressToBlockTier.
+  uint64_t RawStorageBytes() const {
+    return static_cast<uint64_t>(triples_.size()) * sizeof(Triple);
+  }
+
+  // Bytes resident in the block tier (encoded payloads + directories).
+  // Zero before CompressToBlockTier.
+  uint64_t BlockStorageBytes() const {
+    uint64_t bytes = 0;
+    for (const BlockedColumn& col : cols_) bytes += col.MemoryBytes();
+    return bytes;
+  }
+
+  // Resident bytes: the active tier's storage plus the CSR offset array.
   uint64_t MemoryBytes() const {
-    return static_cast<uint64_t>(triples_.size()) * sizeof(Triple) +
+    return RawStorageBytes() + BlockStorageBytes() +
            static_cast<uint64_t>(offsets_.size()) * sizeof(uint32_t);
   }
 
   // Full structural validation at KGOA_CHECK strength (active in every
   // build mode): lexicographic sortedness under the order, TermIds inside
-  // the dictionary bound, CSR offset monotonicity and closure, and the
-  // distinct level-0 count. O(n + num_terms); for tests, the fuzz
-  // harnesses and post-build audits — never on a query path.
+  // the dictionary bound, CSR offset monotonicity and closure, the
+  // distinct level-0 count, and (block tier) the codec's directory
+  // round-trip audit. O(n + num_terms); for tests, the fuzz harnesses and
+  // post-build audits — never on a query path.
   void CheckInvariants() const;
 
  private:
@@ -106,7 +169,10 @@ class TrieIndex {
   void BuildLevel0Offsets();
 
   IndexOrder order_;
-  std::vector<Triple> triples_;
+  StorageTier tier_ = StorageTier::kRaw;
+  uint32_t size_ = 0;
+  std::vector<Triple> triples_;           // raw tier (empty after compress)
+  std::array<BlockedColumn, 3> cols_;     // block tier, one column per level
   // offsets_[v] .. offsets_[v + 1]: the level-0 block of term v
   // (CSR layout over the dictionary-dense TermId space).
   std::vector<uint32_t> offsets_;

@@ -34,6 +34,7 @@ class AuditEngine final : public OlaEngine {
     out->full_walks += audit_->full_walks();
     out->tip_aborts += audit_->tip_aborts();
     out->ctj_cache_hits += audit_->suffix_cache_hits();
+    out->pruned_walks += audit_->pruned_walks();
     if (audit_->owns_reach()) {
       // Private cache: this engine's stats are its own to report. A
       // shared cache is reported once by the executor instead (as a
@@ -48,6 +49,10 @@ class AuditEngine final : public OlaEngine {
 
   bool mergeable() const override { return true; }
   OlaEngineKind kind() const override { return OlaEngineKind::kAudit; }
+
+  void SetGroupFilter(std::shared_ptr<const GroupFilter> filter) override {
+    audit_->SetGroupFilter(std::move(filter));
+  }
 
  private:
   std::unique_ptr<AuditJoin> audit_;
@@ -73,6 +78,11 @@ class WanderEngine final : public OlaEngine {
     out->full_walks += wander_->estimates().walks() -
                        wander_->estimates().rejected_walks();
     out->duplicate_walks += wander_->duplicate_walks();
+    out->pruned_walks += wander_->pruned_walks();
+  }
+
+  void SetGroupFilter(std::shared_ptr<const GroupFilter> filter) override {
+    wander_->SetGroupFilter(std::move(filter));
   }
 
   // Caveat, worth keeping in the merge-capable bucket with eyes open: the

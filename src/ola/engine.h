@@ -33,6 +33,7 @@
 
 namespace kgoa {
 
+class GroupFilter;
 class ReachProbability;
 
 // Per-engine work counters, merged across workers. Counters an engine does
@@ -50,6 +51,7 @@ struct OlaCounters {
   uint64_t tip_aborts = 0;       // Audit Join: enumeration-cap aborts
   uint64_t ctj_cache_hits = 0;   // Audit Join: suffix-count memo hits
   uint64_t duplicate_walks = 0;  // Wander Join distinct mode
+  uint64_t pruned_walks = 0;     // walks cut short by the top-K filter
   uint64_t reach_hits = 0;       // reach cache: memoized lookups served
   uint64_t reach_misses = 0;     // reach cache: entries computed
   uint64_t reach_contention = 0;  // reach cache: contended shard inserts
@@ -61,6 +63,7 @@ struct OlaCounters {
     tip_aborts += other.tip_aborts;
     ctj_cache_hits += other.ctj_cache_hits;
     duplicate_walks += other.duplicate_walks;
+    pruned_walks += other.pruned_walks;
     reach_hits += other.reach_hits;
     reach_misses += other.reach_misses;
     reach_contention += other.reach_contention;
@@ -120,6 +123,16 @@ class OlaEngine {
   virtual bool mergeable() const = 0;
 
   virtual OlaEngineKind kind() const = 0;
+
+  // Installs (or clears, with nullptr) a top-K group filter: walks whose
+  // group-by value is already bound to a pruned group end early with a
+  // zero contribution (counted in OlaCounters::pruned_walks). Default is
+  // a no-op for engines without a prune hook (Ripple). Called between
+  // quanta by the slot's driving thread, never concurrently with
+  // RunWalks.
+  virtual void SetGroupFilter(std::shared_ptr<const GroupFilter> filter) {
+    (void)filter;
+  }
 };
 
 // Builds the engine for `options.kind`. The indexes must outlive the

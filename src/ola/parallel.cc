@@ -45,9 +45,25 @@ OlaSnapshot FinalSnapshot(const ParallelOlaResult& result) {
   snapshot.rejection_rate = result.estimates.RejectionRate();
   snapshot.counters = result.counters;
   snapshot.estimates = &result.estimates;
+  snapshot.displayed_converged = result.displayed_converged;
   snapshot.final_snapshot = true;
   FillRates(result.elapsed_seconds, snapshot);
   return snapshot;
+}
+
+// Seconds between top-K tracker refreshes. The refresh is a slot-order
+// merge (same cost as a snapshot); pacing it faster than the display
+// cadence lets pruning kick in early without re-merging every quantum.
+constexpr double kTopKRefreshPeriod = 0.01;
+
+TopKOptions EffectiveTopK(const ChartJobOptions& options) {
+  TopKOptions topk = options.top_k;
+  // Pruning changes which walks complete; a budget-mode estimate must
+  // stay a pure function of (query, seed, budget, workers), so the
+  // tracker runs observe-only there (bounds and convergence signal, no
+  // filter).
+  if (options.walk_budget > 0) topk.prune = false;
+  return topk;
 }
 
 }  // namespace
@@ -153,7 +169,8 @@ class ChartJob {
         query(chart_query),
         options(std::move(job_options)),
         budget_mode(options.walk_budget > 0),
-        quantum(std::max<uint64_t>(1, core->options.quantum_walks)) {
+        quantum(std::max<uint64_t>(1, core->options.quantum_walks)),
+        topk(EffectiveTopK(options)) {
     engine_template.kind = options.engine;
     engine_template.walk_order = options.walk_order;
     engine_template.tipping_threshold = options.tipping_threshold;
@@ -201,6 +218,8 @@ class ChartJob {
                SecondsToDuration(std::max(options.deadline_seconds, 0.0));
     next_tick = SteadyClock::now() +
                 SecondsToDuration(std::max(options.snapshot_period, 1e-4));
+    next_topk_tick = SteadyClock::now() +
+                     SecondsToDuration(kTopKRefreshPeriod);
   }
 
   int ConcurrencyCap() const {
@@ -213,6 +232,7 @@ class ChartJob {
   // Core-mutex-guarded: is there a slot a worker could pick up?
   bool HasAvailableSlot() const {
     if (cancel_requested.load(std::memory_order_relaxed)) return false;
+    if (finish_requested.load(std::memory_order_relaxed)) return false;
     if (checked_out >= ConcurrencyCap()) return false;
     for (const Slot& slot : slots) {
       if (!slot.exhausted && !slot.checked_out) return true;
@@ -262,6 +282,19 @@ class ChartJob {
   std::atomic<bool> cancel_requested{false};
   SteadyClock::time_point cancel_time{};  // written under the core mutex
 
+  // The graceful-finish token: same stopping mechanics as the cancel
+  // token, but the job retires as completed (with its partials) and the
+  // budget walk-count contract is waived. Set by ChartHandle::Finish()
+  // or, with finish_on_displayed_convergence, by the top-K refresh.
+  std::atomic<bool> finish_requested{false};
+
+  // Top-K serving state. The tracker is updated from merged partials
+  // under topk_mutex (try_lock paced, like the snapshot callback);
+  // engines pull immutable filter snapshots at quantum boundaries.
+  TopKTracker topk;
+  std::mutex topk_mutex;
+  SteadyClock::time_point next_topk_tick{};
+
   // Completion signalling; `result` and `final_partials` are written once
   // under done_mutex before `state` advances to kDone/kCancelled.
   mutable std::mutex done_mutex;
@@ -305,8 +338,30 @@ OlaSnapshot MergeJobSnapshot(ChartJob& job, GroupedEstimates* merged) {
   snapshot.rejected_walks = merged->rejected_walks();
   snapshot.rejection_rate = merged->RejectionRate();
   snapshot.estimates = merged;
+  snapshot.displayed_converged = job.topk.displayed_converged();
   FillRates(job.clock.ElapsedSeconds(), snapshot);
   return snapshot;
+}
+
+// Refreshes the top-K tracker from a fresh slot-order merge, paced like
+// the snapshot callback (try_lock + tick: a sampled view, not a log).
+// With finish_on_displayed_convergence the job self-finishes the moment
+// the displayed chart settles — deadline mode only; a budget-mode job
+// always runs its exact budget.
+void MaybeRefreshTopK(ChartJob& job) {
+  if (!job.topk.enabled()) return;
+  std::unique_lock<std::mutex> lock(job.topk_mutex, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  if (SteadyClock::now() < job.next_topk_tick) return;
+  GroupedEstimates merged;
+  MergeJobSnapshot(job, &merged);
+  job.topk.Update(merged);
+  job.next_topk_tick =
+      SteadyClock::now() + SecondsToDuration(kTopKRefreshPeriod);
+  if (!job.budget_mode && job.options.finish_on_displayed_convergence &&
+      job.topk.displayed_converged()) {
+    job.finish_requested.store(true, std::memory_order_release);
+  }
 }
 
 // Delivers a paced live snapshot if the job subscribed and the period
@@ -332,6 +387,7 @@ void MaybeSnapshotCallback(ChartJob& job) {
 uint64_t RunQuantum(ChartJob& job, int slot_index) {
   ChartJob::Slot& slot = job.slots[static_cast<std::size_t>(slot_index)];
   if (job.cancel_requested.load(std::memory_order_acquire)) return 0;
+  if (job.finish_requested.load(std::memory_order_acquire)) return 0;
   if (!job.budget_mode && SteadyClock::now() >= job.deadline) return 0;
 
   if (slot.engine == nullptr) {
@@ -347,6 +403,13 @@ uint64_t RunQuantum(ChartJob& job, int slot_index) {
     KGOA_DCHECK(slot.done < slot.share);
     walks = std::min(walks, slot.share - slot.done);
   }
+  if (job.topk.enabled()) {
+    // Install the current prune set for this quantum. The snapshot is
+    // immutable and slot-private for the quantum's duration; in budget
+    // mode (or before anything is pruned) it is null, clearing any
+    // previous filter.
+    slot.engine->SetGroupFilter(job.topk.FilterSnapshot());
+  }
   slot.engine->RunWalks(walks);
 
   // The copy reads only slot-private engine state; only the handoff into
@@ -359,6 +422,7 @@ uint64_t RunQuantum(ChartJob& job, int slot_index) {
     slot.partial = std::move(partial);
     slot.counters = counters;
   }
+  MaybeRefreshTopK(job);
   MaybeSnapshotCallback(job);
   return walks;
 }
@@ -387,10 +451,13 @@ void FinalizeJob(ChartJob& job, bool cancelled) {
   }
   job.reach_window.AddDelta(result.counters);
   result.elapsed_seconds = job.clock.ElapsedSeconds();
-  if (job.budget_mode && !cancelled && mergeable) {
+  result.displayed_converged = job.topk.displayed_converged();
+  if (job.budget_mode && !cancelled && mergeable &&
+      !job.finish_requested.load(std::memory_order_acquire)) {
     // Walk-budget determinism: every slot ran exactly its share, so the
     // merged walk count must equal the requested budget regardless of how
-    // the quanta were scheduled.
+    // the quanta were scheduled. (A graceful Finish() waives the
+    // contract: the job completes with the walks it got to.)
     KGOA_DCHECK_EQ(result.estimates.walks(), job.options.walk_budget);
   }
   // Release the heavy engine state (estimator arenas, CTJ memos, private
@@ -510,9 +577,12 @@ void ReturnSlot(ServingCore::State& state,
       --job->active_slots;
     }
   };
-  if (job->cancel_requested.load(std::memory_order_relaxed)) {
-    // The token was observed: everything not currently running stops now;
-    // running slots stop as their quanta return.
+  if (job->cancel_requested.load(std::memory_order_relaxed) ||
+      job->finish_requested.load(std::memory_order_relaxed)) {
+    // A stop token was observed: everything not currently running stops
+    // now; running slots stop as their quanta return. (RetireJob decides
+    // completed-vs-cancelled from the cancel token alone, so a finish
+    // retires as completed.)
     for (ChartJob::Slot& s : job->slots) {
       if (!s.checked_out) exhaust(s);
     }
@@ -569,6 +639,7 @@ ParallelOlaResult ChartHandle::Snapshot() const {
   live.estimates = std::move(merged);
   live.counters = snapshot.counters;
   live.elapsed_seconds = snapshot.elapsed_seconds;
+  live.displayed_converged = snapshot.displayed_converged;
   return live;
 }
 
@@ -596,6 +667,33 @@ void ChartHandle::Cancel() const {
     // Nothing of this job is running: retire it inline; the pool never
     // even has to wake up. Otherwise the workers holding its slots observe
     // the token within one quantum and the last one to return retires it.
+    job_->retire_claimed = true;
+    RetireJob(*state, job_, lock);
+  }
+}
+
+void ChartHandle::Finish() const {
+  KGOA_CHECK(job_ != nullptr);
+  const std::shared_ptr<ServingCore::State> state = job_->core;
+  std::unique_lock<std::mutex> lock(state->mutex);
+  if (JobFinished(*job_) || job_->retire_claimed) return;
+  // Same stopping mechanics as Cancel(), without the cancel token:
+  // RetireJob classifies by cancel_requested, so the job counts as
+  // completed and keeps its partials as the final result.
+  job_->finish_requested.store(true, std::memory_order_release);
+  if (job_->in_queue) {
+    job_->in_queue = false;
+    state->queue.erase(std::remove(state->queue.begin(),
+                                   state->queue.end(), job_),
+                       state->queue.end());
+  }
+  for (ChartJob::Slot& slot : job_->slots) {
+    if (!slot.checked_out && !slot.exhausted) {
+      slot.exhausted = true;
+      --job_->active_slots;
+    }
+  }
+  if (job_->checked_out == 0) {
     job_->retire_claimed = true;
     RetireJob(*state, job_, lock);
   }

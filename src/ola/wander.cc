@@ -10,11 +10,22 @@ WanderJoin::WanderJoin(const IndexSet& indexes, const ChainQuery& query,
       query_(query),
       plan_(WalkPlan::Compile(query_, options.walk_order)),
       rng_(options.seed),
-      state_(plan_.num_slots(), kInvalidTerm) {}
+      state_(plan_.num_slots(), kInvalidTerm),
+      alpha_record_step_(plan_.RecordStepOfSlot(plan_.alpha_slot())) {}
 
 void WanderJoin::RunOneWalk() {
   double weight = 1.0;  // prod d_i = 1 / Pr(walk so far)
-  for (const WalkStep& step : plan_.steps()) {
+  for (int q = 0; q < plan_.NumSteps(); ++q) {
+    const WalkStep& step = plan_.steps()[q];
+    // Top-K prune: the previous step bound the group-by value to a group
+    // ruled out of the displayed chart — end the walk with a zero
+    // contribution before resolving this step.
+    if (group_filter_ != nullptr && q == alpha_record_step_ + 1 &&
+        group_filter_->Pruned(state_[plan_.alpha_slot()])) {
+      ++pruned_;
+      estimates_.EndWalk(/*rejected=*/false);
+      return;
+    }
     const TermId bound =
         step.in_slot >= 0 ? state_[step.in_slot] : kInvalidTerm;
     const Range range = step.access.Resolve(indexes_, bound);
@@ -39,6 +50,14 @@ void WanderJoin::RunOneWalk() {
   // inverse sampling probability is at least one.
   KGOA_DCHECK_GE(weight, 1.0);
   const TermId group = state_[plan_.alpha_slot()];
+  // Group bound only by the final step: the in-loop check never saw it.
+  if (group_filter_ != nullptr &&
+      alpha_record_step_ + 1 == plan_.NumSteps() &&
+      group_filter_->Pruned(group)) {
+    ++pruned_;
+    estimates_.EndWalk(/*rejected=*/false);
+    return;
+  }
   if (query_.distinct()) {
     // Ripple-Join style: duplicates of an already-seen (group, beta) pair
     // are rejected (contribute zero).

@@ -18,11 +18,13 @@
 #define KGOA_OLA_WANDER_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/index/flat_table.h"
 #include "src/index/index_set.h"
 #include "src/ola/estimator.h"
+#include "src/ola/topk.h"
 #include "src/ola/walk_plan.h"
 #include "src/query/chain_query.h"
 #include "src/util/rng.h"
@@ -58,6 +60,17 @@ class WanderJoin {
   // mode only). These contribute zero but are not dead-end rejections.
   uint64_t duplicate_walks() const { return duplicates_; }
 
+  // Walks ended early because their group was pruned from top-K
+  // contention (see src/ola/topk.h).
+  uint64_t pruned_walks() const { return pruned_; }
+
+  // Installs (nullptr: clears) a top-K group filter: once the walk binds
+  // its group-by value to a pruned group, it ends with a zero
+  // contribution instead of sampling the remaining steps.
+  void SetGroupFilter(std::shared_ptr<const GroupFilter> filter) {
+    group_filter_ = std::move(filter);
+  }
+
   // Verification hook: enumerates every possible walk with its probability
   // and the contribution it would add (ignoring the distinct seen-set,
   // which makes walks non-independent). Used by the unbiasedness property
@@ -80,6 +93,9 @@ class WanderJoin {
   // walk).
   FlatTable<uint64_t, uint8_t> seen_pairs_{~0ull};
   uint64_t duplicates_ = 0;
+  std::shared_ptr<const GroupFilter> group_filter_;
+  int alpha_record_step_ = -1;  // step binding the group-by slot
+  uint64_t pruned_ = 0;
 };
 
 }  // namespace kgoa

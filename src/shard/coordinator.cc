@@ -62,6 +62,7 @@ ParallelOlaResult ShardChartHandle::Snapshot() const {
   // taken after completion equals Await() exactly.
   if (finished()) return GatherFinal();
   ParallelOlaResult combined;
+  combined.displayed_converged = true;
   for (const ChartHandle& handle : handles_) {
     const ParallelOlaResult shard = handle.Snapshot();
     combined.estimates.Merge(shard.estimates);
@@ -69,6 +70,10 @@ ParallelOlaResult ShardChartHandle::Snapshot() const {
     combined.elapsed_seconds =
         std::max(combined.elapsed_seconds, shard.elapsed_seconds);
     combined.workers += shard.workers;
+    // AND over shards: conservative, since shard-local intervals are
+    // wider than the combined run's.
+    combined.displayed_converged =
+        combined.displayed_converged && shard.displayed_converged;
   }
   return combined;
 }
@@ -76,6 +81,11 @@ ParallelOlaResult ShardChartHandle::Snapshot() const {
 void ShardChartHandle::Cancel() const {
   KGOA_CHECK(valid());
   for (const ChartHandle& handle : handles_) handle.Cancel();
+}
+
+void ShardChartHandle::Finish() const {
+  KGOA_CHECK(valid());
+  for (const ChartHandle& handle : handles_) handle.Finish();
 }
 
 ParallelOlaResult ShardChartHandle::Await() const {
@@ -86,6 +96,7 @@ ParallelOlaResult ShardChartHandle::Await() const {
 
 ParallelOlaResult ShardChartHandle::GatherFinal() const {
   ParallelOlaResult combined;
+  combined.displayed_converged = true;
   for (const ChartHandle& handle : handles_) {
     const ParallelOlaResult shard = handle.Await();
     // Fold the per-slot finals, NOT the shard's pre-merged estimates:
@@ -100,9 +111,14 @@ ParallelOlaResult ShardChartHandle::GatherFinal() const {
     combined.elapsed_seconds =
         std::max(combined.elapsed_seconds, shard.elapsed_seconds);
     combined.workers += shard.workers;
+    combined.displayed_converged =
+        combined.displayed_converged && shard.displayed_converged;
   }
   if (walk_budget_ > 0 && state() == ChartJobState::kDone) {
-    KGOA_DCHECK_EQ(combined.estimates.walks(), walk_budget_);
+    // Exactly the budget unless a graceful Finish() stopped shards short
+    // (each shard job already checks its own exact share when it runs to
+    // completion).
+    KGOA_DCHECK_LE(combined.estimates.walks(), walk_budget_);
   }
   return combined;
 }
@@ -204,6 +220,9 @@ ShardChartHandle ShardCoordinator::Submit(const ChainQuery& query,
     job.engine = options.engine;
     job.walk_order = options.walk_order;
     job.tipping_threshold = options.tipping_threshold;
+    job.top_k = options.top_k;
+    job.finish_on_displayed_convergence =
+        options.finish_on_displayed_convergence;
     if (shared_reach != nullptr) {
       job.share_reach = false;
       job.shared_reach = shared_reach;

@@ -88,6 +88,17 @@ struct ShardChartOptions {
   // Audit-distinct: share one coordinator-owned reach cache across every
   // shard of this job (and across jobs on the same (query, walk order)).
   bool share_reach = true;
+
+  // Top-K chart serving, forwarded to every shard job (src/ola/topk.h).
+  // Each shard tracks bounds over its own walks; the combined
+  // displayed-converged signal is the AND over shards, which is
+  // conservative (shard-local intervals are wider than the combined
+  // run's). Budget mode forces pruning off per the serving core's
+  // bit-identity contract.
+  TopKOptions top_k;
+  // Deadline mode: each shard job retires (as completed) once its
+  // displayed chart converged. Requires top_k.k > 0.
+  bool finish_on_displayed_convergence = false;
 };
 
 // Combined handle over one job per shard. Copyable; outlives the
@@ -114,6 +125,11 @@ class ShardChartHandle {
 
   // Fans the cancellation out to every shard. Idempotent.
   void Cancel() const;
+
+  // Fans a graceful finish out to every shard: each shard job stops
+  // within one quantum and retires as COMPLETED with its partials (see
+  // ChartHandle::Finish). Idempotent.
+  void Finish() const;
 
   // Blocks until every shard finished, then folds all logical slots in
   // global slot order (see file comment) — the bit-identity gather.

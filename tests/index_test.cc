@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include "src/index/block_codec.h"
 #include "src/index/index_set.h"
 #include "src/index/trie_iterator.h"
+#include "src/ola/parallel.h"
 #include "src/util/contract.h"
 #include "tests/test_util.h"
 
@@ -479,6 +481,220 @@ TEST(IndexRandom, RangesAgreeWithScans) {
       ASSERT_EQ(total, g.NumTriples());
       ASSERT_EQ(hash.Ndv1(), level0.size());
       ASSERT_EQ(index.CountDistinct(index.Root(), 0), level0.size());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block codec (src/index/block_codec.h)
+// ---------------------------------------------------------------------------
+
+// Decode-what-you-encode across the value shapes that steer the per-block
+// codec choice: constant blocks (0-bit FOR), narrow bands (bit-packing),
+// sorted small-gap runs (varint-delta), wide random values, and the
+// partial-last-block sizes around the 128-value boundary.
+TEST(BlockCodec, RoundTripProperty) {
+  Rng rng(2024);
+  const uint32_t sizes[] = {0, 1, 63, 127, 128, 129, 255, 256, 1000, 4096};
+  for (const uint32_t n : sizes) {
+    for (int shape = 0; shape < 5; ++shape) {
+      std::vector<uint32_t> values(n);
+      uint32_t running = static_cast<uint32_t>(rng.Below(1000));
+      for (uint32_t i = 0; i < n; ++i) {
+        switch (shape) {
+          case 0:  // constant
+            values[i] = 42;
+            break;
+          case 1:  // narrow band
+            values[i] = 1000 + static_cast<uint32_t>(rng.Below(17));
+            break;
+          case 2:  // sorted, small gaps
+            running += static_cast<uint32_t>(rng.Below(4));
+            values[i] = running;
+            break;
+          case 3:  // wide random
+            values[i] = static_cast<uint32_t>(rng.Below(1u << 30));
+            break;
+          default:  // mostly narrow with rare outliers (FOR poison)
+            values[i] = rng.Below(100) == 0
+                            ? (1u << 29) + static_cast<uint32_t>(rng.Below(7))
+                            : static_cast<uint32_t>(rng.Below(32));
+            break;
+        }
+      }
+      const BlockedColumn col(values.data(), n);
+      ASSERT_EQ(col.size(), n);
+      col.CheckInvariants(values.data());
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSERT_EQ(col.Get(i), values[i]) << "shape " << shape << " pos " << i;
+      }
+      uint32_t decoded[kCodecBlockSize];
+      uint32_t pos = 0;
+      for (uint32_t b = 0; b < col.num_blocks(); ++b) {
+        const uint32_t count = col.DecodeBlock(b, decoded);
+        ASSERT_EQ(count, col.block_meta(b).count);
+        for (uint32_t i = 0; i < count; ++i) {
+          ASSERT_EQ(decoded[i], values[pos + i]);
+        }
+        pos += count;
+      }
+      ASSERT_EQ(pos, n);
+    }
+  }
+}
+
+// SeekGE/SeekGT over sorted windows agree with std::lower_bound /
+// std::upper_bound on the raw array — including windows that straddle
+// block boundaries, where the block-max skip must never overshoot.
+TEST(BlockCodec, SeekMatchesLinearScan) {
+  Rng rng(777);
+  for (int round = 0; round < 20; ++round) {
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.Below(2000));
+    std::vector<uint32_t> values(n);
+    uint32_t running = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      running += static_cast<uint32_t>(rng.Below(8));
+      values[i] = running;
+    }
+    const BlockedColumn col(values.data(), n);
+    for (int probe = 0; probe < 200; ++probe) {
+      uint32_t from = static_cast<uint32_t>(rng.Below(n + 1));
+      uint32_t end = static_cast<uint32_t>(rng.Below(n + 1));
+      if (from > end) std::swap(from, end);
+      const uint32_t v = static_cast<uint32_t>(rng.Below(running + 3));
+      const auto begin_it = values.begin() + from;
+      const auto end_it = values.begin() + end;
+      const uint32_t expect_ge = static_cast<uint32_t>(
+          std::lower_bound(begin_it, end_it, v) - values.begin());
+      const uint32_t expect_gt = static_cast<uint32_t>(
+          std::upper_bound(begin_it, end_it, v) - values.begin());
+      ASSERT_EQ(col.SeekGE(from, end, v), expect_ge)
+          << "[" << from << "," << end << ") v=" << v;
+      ASSERT_EQ(col.SeekGT(from, end, v), expect_gt)
+          << "[" << from << "," << end << ") v=" << v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block storage tier (src/index/trie_index.h, src/index/index_set.h)
+// ---------------------------------------------------------------------------
+
+// Every index operation the engines use — TripleAt, KeyAt, Narrow,
+// SeekGE, BlockEnd — returns identical positions and ranges on the raw
+// and block tiers of the same graph. This is the property that makes
+// estimate bit-identity across tiers automatic: the RNG draws depend only
+// on range sizes, and the position space is shared.
+TEST(IndexRandom, BlockTierMatchesRawOnAllOps) {
+  Rng rng(31337);
+  testing::RandomGraphSpec spec;
+  spec.num_entities = 60;
+  spec.num_property_triples = 600;
+  spec.num_type_triples = 200;
+  for (int round = 0; round < 5; ++round) {
+    Graph g = testing::RandomGraph(rng, spec);
+    IndexSet raw(g);
+    IndexSet block(g, IndexSetOptions{StorageTier::kBlock});
+    ASSERT_EQ(raw.tier(), StorageTier::kRaw);
+    ASSERT_EQ(block.tier(), StorageTier::kBlock);
+    for (IndexOrder order : kAllIndexOrders) {
+      const TrieIndex& a = raw.Index(order);
+      const TrieIndex& b = block.Index(order);
+      ASSERT_EQ(a.size(), b.size());
+      b.CheckInvariants();
+      for (uint32_t pos = 0; pos < a.size(); ++pos) {
+        ASSERT_EQ(a.TripleAt(pos), b.TripleAt(pos)) << OrderName(order);
+      }
+      // Level-0 node walk + per-node level-1 walk, in lockstep.
+      const Range root = a.Root();
+      ASSERT_EQ(root, b.Root());
+      uint32_t pos = root.begin;
+      while (pos < root.end) {
+        const TermId v0 = a.KeyAt(pos, 0);
+        ASSERT_EQ(v0, b.KeyAt(pos, 0));
+        const uint32_t end0 = a.BlockEnd(root, 0, pos);
+        ASSERT_EQ(end0, b.BlockEnd(root, 0, pos));
+        ASSERT_EQ(a.Narrow(root, 0, v0), b.Narrow(root, 0, v0));
+        const Range node{pos, end0};
+        uint32_t p1 = pos;
+        while (p1 < end0) {
+          const TermId v1 = a.KeyAt(p1, 1);
+          ASSERT_EQ(v1, b.KeyAt(p1, 1));
+          const uint32_t end1 = a.BlockEnd(node, 1, p1);
+          ASSERT_EQ(end1, b.BlockEnd(node, 1, p1));
+          ASSERT_EQ(a.Narrow(node, 1, v1), b.Narrow(node, 1, v1));
+          p1 = end1;
+        }
+        pos = end0;
+      }
+      // Random seeks, including missing values.
+      for (int probe = 0; probe < 100; ++probe) {
+        const TermId v =
+            static_cast<TermId>(rng.Below(2 * g.dict().size() + 2));
+        const uint32_t from =
+            root.begin + static_cast<uint32_t>(rng.Below(root.size() + 1));
+        ASSERT_EQ(a.SeekGE(root, 0, v, from), b.SeekGE(root, 0, v, from));
+        ASSERT_EQ(a.Narrow(root, 0, v), b.Narrow(root, 0, v));
+      }
+    }
+    // Tier accounting: exactly one tier's byte count is nonzero per set,
+    // and the block tier is strictly smaller than raw on this data.
+    EXPECT_EQ(raw.BlockStorageBytes(), 0u);
+    EXPECT_EQ(block.RawStorageBytes(), 0u);
+    EXPECT_GT(raw.RawStorageBytes(), 0u);
+    EXPECT_GT(block.BlockStorageBytes(), 0u);
+    EXPECT_LT(block.BlockStorageBytes(), raw.RawStorageBytes());
+    EXPECT_LT(block.ApproxMemoryBytes(), raw.ApproxMemoryBytes());
+  }
+}
+
+// The serving-layer acceptance criterion: a budget-mode estimate is
+// bit-identical between the raw and block tiers across pool sizes
+// {1, 2, 8}. The contract comes for free from BlockTierMatchesRawOnAllOps
+// — this asserts it end-to-end through the engines and the slot merge.
+TEST(BlockTier, BudgetEstimatesBitIdenticalToRawAcrossPools) {
+  const Graph graph = testing::PaperExampleGraph();
+  IndexSet raw(graph);
+  IndexSet block(graph, IndexSetOptions{StorageTier::kBlock});
+
+  auto q = ChainQuery::Create(
+      {MakePattern(Slot::MakeVar(0), Slot::MakeConst(graph.rdf_type()),
+                   Slot::MakeConst(graph.dict().Lookup("Person"))),
+       MakePattern(Slot::MakeVar(0),
+                   Slot::MakeConst(graph.dict().Lookup("birthPlace")),
+                   Slot::MakeVar(1)),
+       MakePattern(Slot::MakeVar(1), Slot::MakeConst(graph.rdf_type()),
+                   Slot::MakeVar(2))},
+      2, 1, /*distinct=*/true);
+  ASSERT_TRUE(q.has_value());
+
+  constexpr uint64_t kBudget = 1501;  // remainder path
+  for (int threads : {1, 2, 8}) {
+    ServingCore::Options core_options;
+    core_options.threads = threads;
+    ServingCore raw_core(raw, core_options);
+    ServingCore block_core(block, core_options);
+
+    ChartJobOptions job;
+    job.walk_budget = kBudget;
+    job.workers = 4;
+    job.seed = 23;
+    job.tipping_threshold = 2.0;  // stochastic mode
+    const ParallelOlaResult from_raw = raw_core.Submit(*q, job).Await();
+    const ParallelOlaResult from_block = block_core.Submit(*q, job).Await();
+
+    ASSERT_EQ(from_raw.estimates.walks(), kBudget);
+    ASSERT_EQ(from_block.estimates.walks(), kBudget);
+    const auto ea = from_raw.estimates.Estimates();
+    const auto eb = from_block.estimates.Estimates();
+    ASSERT_EQ(ea.size(), eb.size()) << threads << " threads";
+    for (const auto& [group, estimate] : ea) {
+      const auto it = eb.find(group);
+      ASSERT_NE(it, eb.end());
+      EXPECT_EQ(estimate, it->second) << "group " << group;
+      EXPECT_EQ(from_raw.estimates.CiHalfWidth(group),
+                from_block.estimates.CiHalfWidth(group))
+          << "group " << group;
     }
   }
 }

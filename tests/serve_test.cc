@@ -378,6 +378,139 @@ TEST_F(ServeTest, SessionAutoCancelsSupersededJobs) {
   EXPECT_GT(explorer.metrics().Counter("serve.jobs_submitted"), 0u);
 }
 
+// Graceful finish: like Cancel, Finish stops a live job within one
+// quantum — but the job retires as COMPLETED with its partials, so
+// serving a chart to a quality target no longer shows up as a
+// cancellation in the job-lifecycle stats.
+TEST_F(ServeTest, FinishStopsJobQuicklyAndRetiresAsCompleted) {
+  ServingCore::Options core_options;
+  core_options.threads = 1;
+  core_options.quantum_walks = 128;
+  ServingCore core(indexes_, core_options);
+
+  ChartJobOptions options;
+  options.walk_budget = kHugeBudget;
+  options.workers = 4;
+  options.seed = 31;
+  ChartHandle handle = core.Submit(Fig5(true), options);
+  // Let it make some progress so the finish gathers real partials.
+  while (handle.Snapshot().estimates.walks() == 0) {
+  }
+  handle.Finish();
+  const ParallelOlaResult& result = handle.Await();
+  EXPECT_TRUE(handle.finished());
+  EXPECT_EQ(handle.state(), ChartJobState::kDone);
+  EXPECT_GT(result.estimates.walks(), 0u);
+  EXPECT_LT(result.estimates.walks(), kHugeBudget);
+
+  const ServeStats stats = core.stats();
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_EQ(stats.jobs_cancelled, 0u);
+  // Idempotent, also after retirement.
+  handle.Finish();
+  EXPECT_EQ(handle.state(), ChartJobState::kDone);
+}
+
+// Top-K serving in deadline mode: with a heavily skewed group
+// distribution and K = 1, the tracker's K-th lower bound separates the
+// tail groups, walks bound to them are pruned, the displayed chart
+// converges, and (with finish_on_displayed_convergence) the job retires
+// itself as completed long before the deadline.
+TEST(TopKServeTest, DeadlineModePrunesTailAndSelfFinishesOnConvergence) {
+  GraphBuilder b;
+  for (int i = 0; i < 400; ++i) {
+    b.AddSpelled("s" + std::to_string(i), "p", "big");
+  }
+  for (int t = 0; t < 20; ++t) {
+    for (int j = 0; j < 5; ++j) {
+      b.AddSpelled("t" + std::to_string(t) + "_" + std::to_string(j), "p",
+                   "tiny" + std::to_string(t));
+    }
+  }
+  const Graph graph = std::move(b).Build();
+  IndexSet indexes(graph);
+  const TermId p = graph.dict().Lookup("p");
+  // One pattern, grouped by object: "big" dwarfs every "tiny" group.
+  auto q = ChainQuery::Create(
+      {MakePattern(Slot::MakeVar(0), Slot::MakeConst(p), Slot::MakeVar(1))},
+      1, 0, /*distinct=*/false);
+  ASSERT_TRUE(q.has_value());
+
+  ServingCore::Options core_options;
+  core_options.threads = 2;
+  core_options.quantum_walks = 256;
+  ServingCore core(indexes, core_options);
+
+  ChartJobOptions options;
+  options.walk_budget = 0;
+  options.deadline_seconds = 0.3;
+  options.workers = 2;
+  options.seed = 7;
+  options.tipping_threshold = 2.0;  // stochastic mode: real CIs
+  options.top_k.k = 1;
+  options.top_k.ci_target = 0.005;
+  options.top_k.min_walks = 256;
+
+  // Run the full deadline (no self-finish) so walks keep flowing after
+  // the first top-K refresh activates the filter.
+  ChartHandle handle = core.Submit(*q, options);
+  const ParallelOlaResult& result = handle.Await();
+  EXPECT_EQ(handle.state(), ChartJobState::kDone);
+  EXPECT_TRUE(result.displayed_converged);
+  // Walks landing on separated tail groups were pruned...
+  EXPECT_GT(result.counters.pruned_walks, 0u);
+  // ...and the displayed group's estimate is still in the right place
+  // (pruned walks decay only the pruned groups).
+  const TermId big = graph.dict().Lookup("big");
+  EXPECT_NEAR(result.estimates.Estimate(big), 400.0, 80.0);
+  // Every pruned tail group decayed below the K-th lower bound.
+  for (const auto& [group, estimate] : result.estimates.Estimates()) {
+    if (group == big) continue;
+    EXPECT_LT(estimate + result.estimates.CiHalfWidth(group),
+              result.estimates.Estimate(big));
+  }
+
+  // The converged flag survives into post-completion snapshots.
+  EXPECT_TRUE(handle.Snapshot().displayed_converged);
+
+  // Self-finish: the same job with finish_on_displayed_convergence stops
+  // itself far before a long deadline and retires as COMPLETED.
+  options.deadline_seconds = 30.0;
+  options.finish_on_displayed_convergence = true;
+  ChartHandle self = core.Submit(*q, options);
+  const ParallelOlaResult& early = self.Await();
+  EXPECT_EQ(self.state(), ChartJobState::kDone);
+  EXPECT_TRUE(early.displayed_converged);
+  EXPECT_LT(early.elapsed_seconds, 5.0);
+  EXPECT_EQ(core.stats().jobs_completed, 2u);
+  EXPECT_EQ(core.stats().jobs_cancelled, 0u);
+}
+
+// Budget mode keeps the bit-identity contract: enabling top-K tracking
+// must not change the estimate (pruning is forced off — observe-only),
+// and no walks are ever counted as pruned.
+TEST_F(ServeTest, BudgetModeTopKIsObserveOnly) {
+  const ChainQuery query = Fig5(true);
+  constexpr uint64_t kBudget = 2002;
+  ServingCore::Options core_options;
+  core_options.threads = 2;
+  ServingCore core(indexes_, core_options);
+
+  ChartJobOptions plain;
+  plain.walk_budget = kBudget;
+  plain.workers = 4;
+  plain.seed = 17;
+  plain.tipping_threshold = 2.0;
+  ChartJobOptions tracked = plain;
+  tracked.top_k.k = 2;
+  tracked.top_k.min_walks = 64;
+
+  const ParallelOlaResult without = core.Submit(query, plain).Await();
+  const ParallelOlaResult with = core.Submit(query, tracked).Await();
+  ExpectBitIdentical(without.estimates, with.estimates);
+  EXPECT_EQ(with.counters.pruned_walks, 0u);
+}
+
 // Destroying a core with live jobs cancels them and wakes Await-ers with
 // well-formed partial results (handles outlive the core).
 TEST_F(ServeTest, CoreDestructionCancelsLiveJobs) {

@@ -208,6 +208,72 @@ TEST_F(ShardTest, CancelFansOutToEveryShard) {
   EXPECT_EQ(stats.shard_jobs_submitted, 4u);
 }
 
+// Regression for the shard.core_jobs_completed = 0 bug: a fan-out whose
+// chart was served to its quality target used to be torn down through
+// Cancel, so every successfully served sharded job counted as cancelled
+// (BENCH_shard.json showed core_jobs_completed 0, core_jobs_cancelled 4).
+// A graceful Finish must stop every shard quickly AND retire the jobs as
+// COMPLETED with their partials.
+TEST_F(ShardTest, FinishRetiresShardJobsAsCompleted) {
+  const ChainQuery query = Fig5(true);
+  ShardCoordinator::Options options;
+  options.num_shards = 4;
+  options.threads_per_shard = 1;
+  options.build_slices = false;
+  ShardCoordinator coordinator(graph_, indexes_, options);
+  ShardChartOptions chart;
+  chart.walk_budget = 0;
+  chart.deadline_seconds = 60.0;  // would block for a minute without Finish
+  ShardChartHandle handle = coordinator.Submit(query, chart);
+  EXPECT_EQ(handle.num_shards(), 4);
+  handle.Finish();
+  const ParallelOlaResult run = handle.Await();
+  EXPECT_TRUE(handle.finished());
+  EXPECT_EQ(handle.state(), ChartJobState::kDone);
+  for (const ChartHandle& shard : handle.shard_handles()) {
+    EXPECT_EQ(shard.state(), ChartJobState::kDone);
+  }
+  // The partials gathered at finish are a well-formed combined result.
+  EXPECT_EQ(run.workers, 4 * 2);
+  const ShardServeStats stats = coordinator.stats();
+  EXPECT_EQ(stats.cores.jobs_completed, 4u);
+  EXPECT_EQ(stats.cores.jobs_cancelled, 0u);
+  // Finish is idempotent, also after retirement.
+  handle.Finish();
+  EXPECT_EQ(handle.state(), ChartJobState::kDone);
+}
+
+// The block storage tier under the scatter: a sharded budget run over a
+// block-tier IndexSet is bit-identical to the sharded run over the raw
+// tier (and hence to the unsharded reference) at 1/2/4 shards.
+TEST_F(ShardTest, BlockTierBudgetBitIdenticalAcrossShardCounts) {
+  const ChainQuery query = Fig5(true);
+  IndexSet block(graph_, IndexSetOptions{StorageTier::kBlock});
+  constexpr uint64_t kBudget = 1003;
+  for (const int shards : {1, 2, 4}) {
+    SCOPED_TRACE(::testing::Message() << shards << " shards");
+    ShardCoordinator::Options options;
+    options.num_shards = shards;
+    options.threads_per_shard = 2;
+    options.build_slices = false;
+    ShardCoordinator raw_coordinator(graph_, indexes_, options);
+    ShardCoordinator block_coordinator(graph_, block, options);
+    ShardChartOptions chart;
+    chart.walk_budget = kBudget;
+    chart.workers_per_shard = 2;
+    chart.seed = 17;
+    chart.tipping_threshold = 2.0;
+    const GroupedEstimates from_raw =
+        raw_coordinator.Submit(query, chart).Await().estimates;
+    const GroupedEstimates from_block =
+        block_coordinator.Submit(query, chart).Await().estimates;
+    ExpectBitIdentical(from_block, from_raw);
+    ExpectBitIdentical(from_block,
+                       Reference(query, OlaEngineKind::kAudit, kBudget,
+                                 shards * 2));
+  }
+}
+
 // A combined snapshot taken after completion is exactly the gathered
 // final result (the deterministic slot-order fold), and the deadline
 // fan-out reports the total logical worker count.
