@@ -36,7 +36,10 @@
 namespace kgoa {
 namespace {
 
-bool BenchQuick() { return std::getenv("KGOA_BENCH_QUICK") != nullptr; }
+// Single-threaded startup read, before any pool exists.
+bool BenchQuick() {
+  return std::getenv("KGOA_BENCH_QUICK") != nullptr;  // NOLINT(concurrency-mt-unsafe)
+}
 
 // Every positive group's 0.95 CI half-width within `target` of its own
 // estimate — the "all bars stabilized" stopping rule, strictly stronger

@@ -311,7 +311,10 @@ double NsPerOp(uint64_t iterations, const Stopwatch& clock) {
 // --------------------------------------------------------------------------
 // Reach-probability cache benches (the Audit Join distinct hot path).
 
-bool BenchQuick() { return std::getenv("KGOA_BENCH_QUICK") != nullptr; }
+// Single-threaded startup read, before any pool exists.
+bool BenchQuick() {
+  return std::getenv("KGOA_BENCH_QUICK") != nullptr;  // NOLINT(concurrency-mt-unsafe)
+}
 
 // A fixed worklist of distinct (a, b) pairs drawn the way the amortized
 // bench above draws them (group x random subject), plus one shared cache

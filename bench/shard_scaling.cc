@@ -33,7 +33,10 @@
 namespace kgoa {
 namespace {
 
-bool BenchQuick() { return std::getenv("KGOA_BENCH_QUICK") != nullptr; }
+// Single-threaded startup read, before any pool exists.
+bool BenchQuick() {
+  return std::getenv("KGOA_BENCH_QUICK") != nullptr;  // NOLINT(concurrency-mt-unsafe)
+}
 
 // True once the snapshot's largest group has a relative CI half-width at
 // or below `target` (with enough walks for the interval to mean

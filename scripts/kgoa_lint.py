@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lint rules for the KGOA codebase.
 
-Rules (see DESIGN.md, "Correctness tooling"):
+Rules (see DESIGN.md, "Correctness tooling" and §11):
 
   bare-assert            No assert()/cassert outside src/util/contract.h —
                          invariants go through the leveled KGOA_CHECK /
@@ -42,10 +42,41 @@ Rules (see DESIGN.md, "Correctness tooling"):
                          soon as an IndexSet is built with
                          StorageTier::kBlock. Only IndexSet's chained radix
                          derivation may touch it.
+  raw-mutex              No std::mutex / std::lock_guard / std::unique_lock
+                         / std::condition_variable (or their timed/shared/
+                         scoped siblings) outside src/util/sync.h: the
+                         annotated kgoa::Mutex / MutexLock / CondVar
+                         wrappers are the only legal lock types, because
+                         the std types carry no thread-safety-analysis
+                         capability attributes and silently disable the
+                         clang -Wthread-safety stage for whatever they
+                         guard (src/util/sync.h).
+  naked-memory-order     Atomic load/store/exchange/fetch_*/
+                         compare_exchange in src/** must name an explicit
+                         std::memory_order. The serving core's lock-free
+                         paths (cancellation tokens, published table
+                         arrays, slot keys) are correctness-ordered; a
+                         defaulted seq_cst is either an unstated crutch or
+                         an accident, and both deserve a spelled-out order.
+  cv-wait-predicate      CondVar::Wait / WaitFor must use the predicate
+                         overload (Wait(mu, pred) / WaitFor(mu, d, pred)):
+                         a bare wait invites the classic spurious-wakeup
+                         bug (also flagged by clang-tidy's
+                         bugprone-spuriously-wake-up-functions).
 
 Suppression: append `// kgoa-lint: allow(<rule>[, <rule>...])` on the
 offending line or the line directly above, with a reason. Exits 1 when any
 finding is reported, 0 on a clean tree.
+
+Modes:
+  (default)        lint the tree.
+  --stale-allows   lint the tree, then report every `kgoa-lint: allow`
+                   whose rule no longer fires on the line it covers (dead
+                   suppressions rot into false documentation). Exits 1 if
+                   any are stale.
+  --self-test      run the built-in rule unit tests (synthetic sources fed
+                   through the same lint path the tree uses). Exits 1 on
+                   any self-test failure.
 """
 
 from __future__ import annotations
@@ -64,6 +95,33 @@ INDEX_SEEK_STMT_RE = re.compile(
 )
 ITER_SEEK_RE = re.compile(r"[.\->]SeekGE\s*\(")
 BOUNDS_RE = re.compile(r"AtEnd\s*\(|Key\s*\(")
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable(?:_any)?)\b"
+)
+
+ATOMIC_OP_RE = re.compile(
+    r"[.\->](load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong|"
+    r"test_and_set|clear|wait)\s*\("
+)
+# Methods above that only LOOK atomic on non-atomic types; `clear`/`wait`
+# are so common they would drown the rule, so they are checked only when
+# the receiver is visibly atomic-ish. Keeping the rule precise beats
+# keeping it total: the TSA stage and TSan cover what slips through.
+ATOMIC_ONLY_OPS = {
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong",
+}
+
+CV_WAIT_RE = re.compile(r"[.\->](Wait|WaitFor)\s*\(")
+
+# How far an argument list may spill across lines before the scanners
+# give up (all real call sites in the tree fit comfortably).
+MAX_ARG_SPAN_LINES = 10
 
 
 def strip_comments(text: str) -> str:
@@ -142,42 +200,90 @@ def top_level_commas(line: str, start: int) -> int:
     return commas
 
 
+def span_call_args(code_lines: list[str], lineno: int, col: int):
+    """Returns (args_text, top_level_commas) for the call whose '(' is at
+    `code_lines[lineno - 1][col]`, scanning across up to MAX_ARG_SPAN_LINES
+    lines. Returns (None, 0) when the call does not close in the window
+    (macro soup, pathological formatting) — callers should not report on a
+    span they could not parse."""
+    depth = 0
+    commas = 0
+    parts: list[str] = []
+    for offset in range(MAX_ARG_SPAN_LINES):
+        idx = lineno - 1 + offset
+        if idx >= len(code_lines):
+            break
+        line = code_lines[idx]
+        start = col if offset == 0 else 0
+        for j in range(start, len(line)):
+            ch = line[j]
+            if ch in "([{":
+                depth += 1
+                if depth == 1:
+                    continue  # the opening paren itself
+            elif ch in ")]}":
+                depth -= 1
+                if depth <= 0:
+                    return "".join(parts), commas
+            elif ch == "," and depth == 1:
+                commas += 1
+            if depth >= 1:
+                parts.append(ch)
+        parts.append("\n")
+    return None, 0
+
+
 class Linter:
     def __init__(self) -> None:
         self.findings: list[str] = []
+        # Every allow comment seen: (rel_path, lineno, rule).
+        self.allows_seen: set[tuple[str, int, str]] = set()
+        # Allow comments that actually suppressed a finding.
+        self.allows_used: set[tuple[str, int, str]] = set()
 
-    def report(self, path: Path, lineno: int, rule: str, msg: str) -> None:
-        rel = path.relative_to(REPO)
+    def report(self, rel: str, lineno: int, rule: str, msg: str) -> None:
         self.findings.append(f"{rel}:{lineno}: [{rule}] {msg}")
 
-    def allowed(self, rule: str, raw_lines: list[str], lineno: int) -> bool:
+    def allowed(self, rel: str, rule: str, raw_lines: list[str],
+                lineno: int) -> bool:
         for ln in (lineno, lineno - 1):
             if 1 <= ln <= len(raw_lines):
                 m = ALLOW_RE.search(raw_lines[ln - 1])
                 if m and rule in [r.strip() for r in m.group(1).split(",")]:
+                    self.allows_used.add((rel, ln, rule))
                     return True
         return False
 
     def lint_file(self, path: Path) -> None:
         raw = path.read_text(encoding="utf-8", errors="replace")
+        self.lint_text(path.relative_to(REPO).as_posix(), raw)
+
+    def lint_text(self, rel: str, raw: str) -> None:
         raw_lines = raw.splitlines()
         code = strip_comments(raw)
         code_lines = code.splitlines()
-        rel = path.relative_to(REPO).as_posix()
         in_src = rel.startswith("src/")
         in_hot = rel.startswith(
             ("src/index/", "src/join/", "src/core/", "src/ola/"))
         is_contract = rel == "src/util/contract.h"
         is_serving_core = rel == "src/ola/parallel.cc"
+        is_sync = rel == "src/util/sync.h"
         is_index_impl = rel in (
             "src/index/trie_index.h",
             "src/index/trie_index.cc",
             "src/index/trie_iterator.cc",
         )
 
+        for i, ln in enumerate(raw_lines, start=1):
+            for m in ALLOW_RE.finditer(ln):
+                for rule in m.group(1).split(","):
+                    rule = rule.strip()
+                    if rule:
+                        self.allows_seen.add((rel, i, rule))
+
         def check(rule: str, lineno: int, msg: str) -> None:
-            if not self.allowed(rule, raw_lines, lineno):
-                self.report(path, lineno, rule, msg)
+            if not self.allowed(rel, rule, raw_lines, lineno):
+                self.report(rel, lineno, rule, msg)
 
         for i, line in enumerate(code_lines, start=1):
             # legacy-check-include: everywhere, including comments is fine
@@ -215,6 +321,34 @@ class Linter:
                           "jobs to the pool or annotate the deliberate "
                           "exception")
 
+            # raw-mutex: applies to every root. Only src/util/sync.h may
+            # touch the unannotated std lock types — it wraps them once,
+            # with the TSA capability attributes attached.
+            if not is_sync:
+                if RAW_MUTEX_RE.search(line):
+                    check("raw-mutex", i,
+                          "std lock types carry no thread-safety "
+                          "annotations; use kgoa::Mutex / kgoa::MutexLock "
+                          "/ kgoa::CondVar (src/util/sync.h) or annotate "
+                          "the deliberate exception")
+
+            # cv-wait-predicate: every root — a CondVar wait must pass a
+            # predicate (Wait(mu, pred) has >= 1 top-level comma,
+            # WaitFor(mu, timeout, pred) >= 2). The span scanner follows
+            # multi-line argument lists.
+            if not is_sync:
+                for m in CV_WAIT_RE.finditer(line):
+                    name = m.group(1)
+                    args, commas = span_call_args(code_lines, i, m.end() - 1)
+                    if args is None:
+                        continue
+                    need = 1 if name == "Wait" else 2
+                    if commas < need:
+                        check("cv-wait-predicate", i,
+                              f"CondVar::{name} must use the predicate "
+                              "overload; a bare wait returns on spurious "
+                              "wakeups")
+
             # raw-level-array: everywhere outside src/index — the raw
             # triple array is a tier-private detail (absent on the block
             # tier); readers must stay behind the iterator contract.
@@ -235,6 +369,24 @@ class Linter:
                           "ShardedFlatTable or annotate the deliberate "
                           "exception")
 
+            # naked-memory-order: src only. The argument span may continue
+            # on later lines; the scanner reads the balanced parens.
+            if in_src:
+                for m in ATOMIC_OP_RE.finditer(line):
+                    op = m.group(1)
+                    if op not in ATOMIC_ONLY_OPS:
+                        continue
+                    args, _ = span_call_args(code_lines, i, m.end() - 1)
+                    if args is None:
+                        continue
+                    if "memory_order" not in args:
+                        check("naked-memory-order", i,
+                              f"atomic {op}() without an explicit "
+                              "std::memory_order; the lock-free paths are "
+                              "correctness-ordered — spell the order out "
+                              "(seq_cst included, if that is really what "
+                              "the site needs)")
+
             if in_src and not is_index_impl:
                 m = INDEX_SEEK_STMT_RE.match(line)
                 if m and top_level_commas(line, m.end() - 1) >= 2:
@@ -252,7 +404,7 @@ class Linter:
                               "TrieIterator::SeekGE can exhaust the level; "
                               "check AtEnd()/Key() near the seek")
 
-    def run(self) -> int:
+    def lint_tree(self) -> None:
         roots = ["src", "fuzz", "tests", "bench", "examples"]
         for root in roots:
             base = REPO / root
@@ -261,12 +413,120 @@ class Linter:
             for path in sorted(base.rglob("*")):
                 if path.suffix in (".h", ".cc"):
                     self.lint_file(path)
+
+    def stale_allows(self) -> list[str]:
+        stale = sorted(self.allows_seen - self.allows_used)
+        return [
+            f"{rel}:{lineno}: stale suppression: allow({rule}) — the rule "
+            "no longer fires here; delete the note"
+            for rel, lineno, rule in stale
+        ]
+
+    def run(self, report_stale: bool = False) -> int:
+        self.lint_tree()
         for finding in self.findings:
             print(finding)
-        n = len(self.findings)
+        extra = self.stale_allows() if report_stale else []
+        for finding in extra:
+            print(finding)
+        n = len(self.findings) + len(extra)
         print(f"kgoa_lint: {n} finding{'s' if n != 1 else ''}")
-        return 1 if self.findings else 0
+        return 1 if n else 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: synthetic sources through the same lint path the tree uses.
+# ---------------------------------------------------------------------------
+
+def self_test() -> int:
+    # (name, pseudo-path, source, expected rules firing in that source)
+    cases = [
+        ("raw mutex in src", "src/foo/bar.cc",
+         "std::mutex m;\n", {"raw-mutex"}),
+        ("raw lock guard in tests", "tests/foo_test.cc",
+         "std::lock_guard<std::mutex> lock(m);\n", {"raw-mutex"}),
+        ("raw condition_variable", "src/foo/bar.h",
+         "std::condition_variable cv_;\n", {"raw-mutex"}),
+        ("sync.h itself is exempt", "src/util/sync.h",
+         "std::mutex mu_;\nstd::condition_variable cv_;\n", set()),
+        ("allowed raw mutex", "src/foo/bar.cc",
+         "// kgoa-lint: allow(raw-mutex) wrapping a C API\n"
+         "std::mutex m;\n", set()),
+        ("kgoa wrappers pass", "src/foo/bar.cc",
+         "Mutex mu_;\nMutexLock lock(mu_);\nCondVar cv_;\n", set()),
+        ("naked load", "src/foo/bar.cc",
+         "int v = flag.load();\n", {"naked-memory-order"}),
+        ("naked exchange", "src/foo/bar.cc",
+         "if (!token.exchange(true)) {}\n", {"naked-memory-order"}),
+        ("ordered load", "src/foo/bar.cc",
+         "int v = flag.load(std::memory_order_acquire);\n", set()),
+        ("order on continuation line", "src/foo/bar.cc",
+         "token.exchange(true,\n"
+         "               std::memory_order_acq_rel);\n", set()),
+        ("ordered fetch_add", "src/foo/bar.cc",
+         "hits.fetch_add(1, std::memory_order_relaxed);\n", set()),
+        ("naked store outside src is fine", "tests/foo_test.cc",
+         "flag.store(true);\n", set()),
+        ("overload.load in comment", "src/foo/bar.cc",
+         "// counters.load() is described here\nint x = 0;\n", set()),
+        ("bare cv wait", "src/foo/bar.cc",
+         "cv.Wait(mu);\n", {"cv-wait-predicate"}),
+        ("predicate cv wait", "src/foo/bar.cc",
+         "cv.Wait(mu, [&] { return done; });\n", set()),
+        ("predicate wait, multi-line", "src/foo/bar.cc",
+         "cv.Wait(mu,\n"
+         "        [&] { return stopping || !queue.empty(); });\n", set()),
+        ("wait-for without predicate", "src/foo/bar.cc",
+         "cv.WaitFor(mu, timeout);\n", {"cv-wait-predicate"}),
+        ("wait-for with predicate", "src/foo/bar.cc",
+         "cv.WaitFor(mu, timeout, [&] { return done; });\n", set()),
+        ("Await is not Wait", "src/foo/bar.cc",
+         "result = handle.Await();\n", set()),
+        ("existing rule still fires", "src/foo/bar.cc",
+         "assert(x > 0);\n", {"bare-assert"}),
+        ("raw thread still fires", "tests/foo_test.cc",
+         "std::thread t([] {});\n", {"raw-thread"}),
+    ]
+
+    failures = []
+    for name, rel, source, expected in cases:
+        linter = Linter()
+        linter.lint_text(rel, source)
+        fired = set()
+        for finding in linter.findings:
+            m = re.search(r"\[([a-z-]+)\]", finding)
+            if m:
+                fired.add(m.group(1))
+        if fired != expected:
+            failures.append(
+                f"  {name}: expected {sorted(expected) or '{}'}, "
+                f"got {sorted(fired) or '{}'}")
+
+    # Stale-allow bookkeeping: a used allow is not stale, an unused one is.
+    linter = Linter()
+    linter.lint_text(
+        "src/foo/bar.cc",
+        "// kgoa-lint: allow(raw-mutex) used below\n"
+        "std::mutex m;\n"
+        "int y;  // kgoa-lint: allow(naked-memory-order) nothing here\n")
+    stale = linter.stale_allows()
+    if linter.findings:
+        failures.append(f"  stale-allows: unexpected findings "
+                        f"{linter.findings}")
+    if len(stale) != 1 or "naked-memory-order" not in stale[0]:
+        failures.append(f"  stale-allows: expected exactly the unused "
+                        f"naked-memory-order note, got {stale}")
+
+    if failures:
+        print("kgoa_lint self-test FAILED:")
+        for f in failures:
+            print(f)
+        return 1
+    print(f"kgoa_lint self-test OK ({len(cases) + 1} cases)")
+    return 0
 
 
 if __name__ == "__main__":
-    sys.exit(Linter().run())
+    if "--self-test" in sys.argv[1:]:
+        sys.exit(self_test())
+    sys.exit(Linter().run(report_stale="--stale-allows" in sys.argv[1:]))

@@ -1,13 +1,28 @@
 #!/usr/bin/env bash
-# Static-analysis driver for the KGOA tree. Three stages, each fatal:
+# Static-analysis driver for the KGOA tree. Four stages, each fatal:
 #
 #   1. -Werror build      the whole tree compiles warning-clean, and the
 #                         configure step exports compile_commands.json
 #   2. kgoa_lint.py       repo-specific rules (contract-macro usage, hot
-#                         path containers, RNG discipline, seek hygiene)
+#                         path containers, RNG discipline, seek hygiene,
+#                         raw-mutex/naked-memory-order/cv-wait-predicate
+#                         concurrency rules) plus stale-suppression
+#                         detection (--stale-allows)
 #   3. clang-tidy         curated .clang-tidy check set over every
 #                         translation unit; skipped with a notice when
 #                         clang-tidy is not installed
+#   4. clang TSA          clang build of the core library with
+#                         -Wthread-safety -Wthread-safety-beta promoted to
+#                         errors (-DKGOA_TSA=ON), including the
+#                         negative-compile harness that proves the
+#                         analysis actually fires
+#                         (tests/tsa_compile_test.cmake); skipped with a
+#                         notice when clang is not installed
+#
+# Each stage prints its wall-clock seconds; the run ends with one
+# machine-readable summary line:
+#
+#   lint: stages=4 findings=<failed stages> seconds=<total>
 #
 # Usage: scripts/lint.sh [build-dir]   (default: build-lint)
 # Exits non-zero on any finding. scripts/tier1.sh invokes this.
@@ -17,8 +32,26 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-lint}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 status=0
+failures=0
+lint_start="${SECONDS}"
+stage_start=0
 
-echo "== lint stage 1: -Werror build (${BUILD_DIR}) =="
+stage_begin() {
+  echo "== lint stage $1: $2 =="
+  stage_start="${SECONDS}"
+}
+
+stage_end() {  # <name> <exit-code>
+  local elapsed=$(( SECONDS - stage_start ))
+  echo "lint: stage $1 took ${elapsed}s"
+  if [ "$2" -ne 0 ]; then
+    failures=$(( failures + 1 ))
+    status=1
+  fi
+}
+
+stage_begin 1 "-Werror build (${BUILD_DIR})"
+stage1=0
 if ! cmake -B "${BUILD_DIR}" -S . \
       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON -DKGOA_WERROR=ON \
       >"${BUILD_DIR}.configure.log" 2>&1; then
@@ -28,36 +61,66 @@ if ! cmake -B "${BUILD_DIR}" -S . \
 fi
 if ! cmake --build "${BUILD_DIR}" -j "${JOBS}"; then
   echo "lint.sh: -Werror build failed" >&2
-  status=1
+  stage1=1
 fi
+stage_end 1 "${stage1}"
 
-echo "== lint stage 2: kgoa_lint.py =="
-if ! python3 scripts/kgoa_lint.py; then
-  status=1
+stage_begin 2 "kgoa_lint.py (with --stale-allows)"
+stage2=0
+if ! python3 scripts/kgoa_lint.py --stale-allows; then
+  stage2=1
 fi
+stage_end 2 "${stage2}"
 
-echo "== lint stage 3: clang-tidy =="
+stage_begin 3 "clang-tidy"
+stage3=0
 if command -v clang-tidy >/dev/null 2>&1; then
   # run-clang-tidy parallelises over compile_commands.json when present.
   if command -v run-clang-tidy >/dev/null 2>&1; then
     if ! run-clang-tidy -p "${BUILD_DIR}" -quiet -j "${JOBS}" \
           "src/.*" "tests/.*" "bench/.*" "fuzz/.*"; then
-      status=1
+      stage3=1
     fi
   else
     mapfile -t tus < <(git ls-files 'src/**/*.cc' 'tests/*.cc' \
                                      'bench/*.cc' 'fuzz/*.cc')
     if ! clang-tidy -p "${BUILD_DIR}" -quiet "${tus[@]}"; then
-      status=1
+      stage3=1
     fi
   fi
 else
   echo "lint.sh: clang-tidy not installed; skipping stage 3" >&2
 fi
+stage_end 3 "${stage3}"
 
+stage_begin 4 "clang thread-safety analysis"
+stage4=0
+if command -v clang++ >/dev/null 2>&1; then
+  TSA_DIR="${BUILD_DIR}-tsa"
+  # Configure runs the negative-compile harness
+  # (tests/tsa_compile_test.cmake): a KGOA_GUARDED_BY violation and an
+  # unannotated REQUIRES call must FAIL to compile, or the configure
+  # aborts — so a silently-rotted analysis can never pass this stage.
+  if ! cmake -B "${TSA_DIR}" -S . \
+        -DCMAKE_CXX_COMPILER=clang++ -DKGOA_TSA=ON -DKGOA_WERROR=ON \
+        >"${TSA_DIR}.configure.log" 2>&1; then
+    cat "${TSA_DIR}.configure.log"
+    echo "lint.sh: TSA configure (or negative-compile harness) failed" >&2
+    stage4=1
+  elif ! cmake --build "${TSA_DIR}" -j "${JOBS}" --target kgoa; then
+    echo "lint.sh: clang -Wthread-safety build failed" >&2
+    stage4=1
+  fi
+else
+  echo "lint.sh: clang++ not installed; skipping stage 4 (TSA)" >&2
+fi
+stage_end 4 "${stage4}"
+
+total=$(( SECONDS - lint_start ))
 if [ "${status}" -ne 0 ]; then
   echo "lint.sh: FINDINGS (see above)" >&2
 else
   echo "lint.sh: clean"
 fi
+echo "lint: stages=4 findings=${failures} seconds=${total}"
 exit "${status}"

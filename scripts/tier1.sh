@@ -2,12 +2,16 @@
 # Tier-1 verification. Stages, all fatal:
 #
 #  1. build + full ctest suite (warnings are errors: KGOA_WERROR=ON)
-#  2. scripts/lint.sh — -Werror rebuild, repo lint rules, clang-tidy
-#  3. parallel_test + serve_test + reach_concurrent_test + shard_test
-#     under ThreadSanitizer (the serving-core scheduler, the
-#     snapshot-publishing path, the shared sharded reach cache and the
-#     scatter-gather coordinator are the repo's multi-threaded code; the
-#     parallel index build rides along)
+#  2. scripts/lint.sh — -Werror rebuild, repo lint rules (incl. the
+#     raw-mutex / naked-memory-order / cv-wait-predicate concurrency
+#     rules and stale-suppression detection), clang-tidy, and the clang
+#     -Wthread-safety stage with its negative-compile harness (the two
+#     clang stages skip with a notice when clang is absent)
+#  3. parallel_test + serve_test + reach_concurrent_test + shard_test +
+#     sync_test under ThreadSanitizer (the serving-core scheduler, the
+#     snapshot-publishing path, the shared sharded reach cache, the
+#     scatter-gather coordinator and the annotated sync wrappers are the
+#     repo's multi-threaded code; the parallel index build rides along)
 #  4. the ENTIRE ctest suite under AddressSanitizer and UBSan
 #  5. the entire suite again with -DKGOA_CONTRACTS=ON, so every
 #     KGOA_DCHECK contract (sortedness, cursor monotonicity, memo
@@ -41,11 +45,12 @@ echo "=== tier-1: concurrency tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DKGOA_SANITIZE=thread -DKGOA_WERROR=ON
 cmake --build build-tsan -j "${JOBS}" --target parallel_test \
       --target serve_test --target reach_concurrent_test \
-      --target shard_test
+      --target shard_test --target sync_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/serve_test
 ./build-tsan/tests/reach_concurrent_test
 ./build-tsan/tests/shard_test
+./build-tsan/tests/sync_test
 
 for san in address undefined; do
   echo

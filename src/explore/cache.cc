@@ -37,7 +37,7 @@ ReachProbability* ReachCacheRegistry::Acquire(
     key += std::to_string(pattern);
     key += ',';
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = caches_.find(key);
   if (it != caches_.end()) {
     ++hits_;
@@ -56,7 +56,7 @@ ReachProbability* ReachCacheRegistry::Acquire(
 
 ShardedTableStats ReachCacheRegistry::stats() const {
   ShardedTableStats total;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [key, entry] : caches_) {
     const ShardedTableStats s = entry.reach->stats();
     total.hits += s.hits;

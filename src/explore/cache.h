@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,9 +20,13 @@
 #include "src/core/reach.h"
 #include "src/join/result.h"
 #include "src/query/chain_query.h"
+#include "src/util/sync.h"
 
 namespace kgoa {
 
+// Thread-compatible, not thread-safe: a ChartCache belongs to one
+// exploration session and is only touched from that session's thread
+// (unlike ReachCacheRegistry below, which async chart jobs share).
 class ChartCache {
  public:
   explicit ChartCache(std::size_t max_entries = 100000)
@@ -91,15 +94,15 @@ class ReachCacheRegistry {
                             const std::vector<int>& walk_order);
 
   std::size_t plans() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return caches_.size();
   }
   uint64_t plan_hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return hits_;
   }
   uint64_t plan_misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return misses_;
   }
 
@@ -115,10 +118,13 @@ class ReachCacheRegistry {
   };
 
   const IndexSet& indexes_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Entry> caches_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  // Guards the registry map and its counters; NEVER held while a handed-
+  // out ReachProbability is probed (Acquire returns a stable pointer, so
+  // lookups and serving never re-enter the registry).
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, Entry> caches_ KGOA_GUARDED_BY(mutex_);
+  uint64_t hits_ KGOA_GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ KGOA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace kgoa

@@ -48,11 +48,11 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <type_traits>
 #include <vector>
 
 #include "src/util/contract.h"
+#include "src/util/sync.h"
 
 namespace kgoa {
 
@@ -87,7 +87,13 @@ class ShardedFlatTable {
     while ((std::size_t{1} << initial_log2_) < initial_shard_capacity) {
       ++initial_log2_;
     }
-    for (Shard& shard : shards_) InstallFreshArray(shard);
+    // Construction is single-threaded, but InstallFreshArray carries a
+    // REQUIRES(shard.mutex) contract — take the (uncontended) lock rather
+    // than punch an analysis hole.
+    for (Shard& shard : shards_) {
+      MutexLock lock(shard.mutex);
+      InstallFreshArray(shard);
+    }
   }
 
   ShardedFlatTable(const ShardedFlatTable&) = delete;
@@ -139,11 +145,13 @@ class ShardedFlatTable {
     KGOA_DCHECK_NE(key, empty_key_);
     const uint64_t h = Mix(key);
     Shard& shard = ShardOf(h);
-    std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
-    if (!lock.owns_lock()) {
+    // Try-then-lock so the contention counter records real waits; the
+    // guard then adopts whichever path acquired the stripe.
+    if (!shard.mutex.TryLock()) {
       shard.contention.fetch_add(1, std::memory_order_relaxed);
-      lock.lock();
+      shard.mutex.Lock();
     }
+    MutexLock lock(shard.mutex, kAdoptLock);
     Array* array = shard.live.load(std::memory_order_relaxed);
     std::size_t i = array->Bucket(h);
     std::size_t probes = 0;
@@ -191,7 +199,7 @@ class ShardedFlatTable {
   std::size_t size() const {
     std::size_t total = 0;
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       total += shard.size;
     }
     return total;
@@ -204,7 +212,7 @@ class ShardedFlatTable {
       s.misses += shard.misses.load(std::memory_order_relaxed);
       s.insert_contention += shard.contention.load(std::memory_order_relaxed);
       s.duplicate_inserts += shard.duplicates.load(std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       s.entries += shard.size;
       for (const auto& array : shard.arenas) {
         s.memory_bytes += (array->mask + 1) * sizeof(Slot);
@@ -220,7 +228,7 @@ class ShardedFlatTable {
   // pointers returned by earlier Find calls.
   void Clear() {
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       shard.arenas.clear();
       shard.live.store(nullptr, std::memory_order_relaxed);
       shard.size = 0;
@@ -266,12 +274,15 @@ class ShardedFlatTable {
   };
 
   struct alignas(64) Shard {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
+    // The reader-visible array: readers acquire-load it lock-free and may
+    // keep probing a retired generation; only the *pointer swap* is
+    // writer-side work (done under `mutex` in GrowLocked/Clear).
     std::atomic<Array*> live{nullptr};
     // Every array ever installed, newest last; retired arrays stay alive
     // for readers that loaded their pointer before a growth.
-    std::vector<std::unique_ptr<Array>> arenas;
-    std::size_t size = 0;
+    std::vector<std::unique_ptr<Array>> arenas KGOA_GUARDED_BY(mutex);
+    std::size_t size KGOA_GUARDED_BY(mutex) = 0;
     mutable std::atomic<uint64_t> hits{0};
     mutable std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> contention{0};
@@ -289,7 +300,7 @@ class ShardedFlatTable {
     return shards_[shard_bits_ == 0 ? 0 : mixed >> (64 - shard_bits_)];
   }
 
-  void InstallFreshArray(Shard& shard) {
+  void InstallFreshArray(Shard& shard) KGOA_REQUIRES(shard.mutex) {
     shard.arenas.push_back(
         std::make_unique<Array>(initial_log2_, shard_bits_, empty_key_));
     shard.live.store(shard.arenas.back().get(), std::memory_order_release);
@@ -298,7 +309,7 @@ class ShardedFlatTable {
   // Doubles the shard's array and migrates every resident entry. Caller
   // holds the shard mutex; readers keep probing the old (now immutable)
   // array until they re-load `live`.
-  Array* GrowLocked(Shard& shard) {
+  Array* GrowLocked(Shard& shard) KGOA_REQUIRES(shard.mutex) {
     Array* old = shard.live.load(std::memory_order_relaxed);
     auto grown =
         std::make_unique<Array>(old->log2 + 1, shard_bits_, empty_key_);

@@ -1,9 +1,9 @@
 #include "src/join/baseline.h"
 
 #include <algorithm>
-// kgoa-lint: allow(unordered-in-hot-path) on this file's uses — this is
-// the deliberately textbook hash-join baseline the paper compares
-// against; swapping its containers would change what it measures.
+// The unordered-in-hot-path allows below are deliberate: this is the
+// deliberately textbook hash-join baseline the paper compares against;
+// swapping its containers would change what it measures.
 #include <unordered_map>  // kgoa-lint: allow(unordered-in-hot-path)
 #include <unordered_set>  // kgoa-lint: allow(unordered-in-hot-path)
 #include <vector>

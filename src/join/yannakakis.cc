@@ -1,6 +1,6 @@
 #include "src/join/yannakakis.h"
 
-// kgoa-lint: allow(unordered-in-hot-path) on this file's uses — the
+// The unordered-in-hot-path allows below are deliberate: the
 // Yannakakis evaluator is the exact reference engine the samplers are
 // verified against; it runs once per differential check, never on the
 // per-walk sampling hot path.

@@ -3,10 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -14,6 +12,7 @@
 #include "src/ola/walk_plan.h"
 #include "src/util/contract.h"
 #include "src/util/stopwatch.h"
+#include "src/util/sync.h"
 
 namespace kgoa {
 
@@ -87,41 +86,62 @@ const char* ChartJobStateName(ChartJobState state) {
 // a ChartHandle stays functional even after the core is destroyed).
 // ---------------------------------------------------------------------------
 
+// Capability model (see DESIGN.md §11): `mutex` is the scheduler lock. It
+// guards every field below AND the cross-object scheduling fields of every
+// live ChartJob (queue membership, slot checkout bits, the retire claim).
+// It is only ever held for O(live jobs) bookkeeping — never across a walk
+// quantum, a final merge, or a user callback.
 struct ServingCore::State {
   State(const IndexSet& idx, Options opts) : indexes(idx), options(opts) {}
 
   const IndexSet& indexes;
   const Options options;
 
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool stopping = false;
+  Mutex mutex;
+  CondVar cv;  // signalled on new work and on shutdown
+  bool stopping KGOA_GUARDED_BY(mutex) = false;
   // Jobs with at least one slot a worker could pick up right now. A job is
   // re-pushed to the back after every quantum, so equal-priority jobs
   // share the pool round-robin.
-  std::deque<std::shared_ptr<ChartJob>> queue;
+  std::deque<std::shared_ptr<ChartJob>> queue KGOA_GUARDED_BY(mutex);
   // Every unretired job (queued, running, or fully checked out).
-  std::vector<std::shared_ptr<ChartJob>> live;
+  std::vector<std::shared_ptr<ChartJob>> live KGOA_GUARDED_BY(mutex);
 
-  uint64_t next_job_id = 1;
-  uint64_t submitted = 0;
-  uint64_t completed = 0;
-  uint64_t cancelled = 0;
-  uint64_t quanta = 0;
-  uint64_t preemptions = 0;
-  uint64_t walks = 0;
-  uint64_t max_live = 0;
-  double last_cancel_latency = 0;
+  uint64_t next_job_id KGOA_GUARDED_BY(mutex) = 1;
+  uint64_t submitted KGOA_GUARDED_BY(mutex) = 0;
+  uint64_t completed KGOA_GUARDED_BY(mutex) = 0;
+  uint64_t cancelled KGOA_GUARDED_BY(mutex) = 0;
+  uint64_t quanta KGOA_GUARDED_BY(mutex) = 0;
+  uint64_t preemptions KGOA_GUARDED_BY(mutex) = 0;
+  uint64_t walks KGOA_GUARDED_BY(mutex) = 0;
+  uint64_t max_live KGOA_GUARDED_BY(mutex) = 0;
+  double last_cancel_latency KGOA_GUARDED_BY(mutex) = 0;
 };
 
 // ---------------------------------------------------------------------------
 // ChartJob
 // ---------------------------------------------------------------------------
 
-// All scheduling fields (slots' checked_out/exhausted, counts, queue
-// membership, retire claim) are guarded by the core State mutex. Engines
-// are only touched by the single worker that checked the slot out, and by
-// the one retiring thread after every slot is exhausted and returned.
+// Locking map. A job is touched by four mutexes, never nested:
+//
+//   core->mutex      all scheduling fields: slots' checked_out/exhausted/
+//                    done/share, checked_out, active_slots, in_queue,
+//                    retire_claimed, cancel_time. These are cross-object
+//                    (the guarding mutex lives in the core's State), which
+//                    clang TSA cannot express as a field annotation
+//                    without aliasing false positives — so the discipline
+//                    is enforced one level up: every helper that touches
+//                    them carries KGOA_REQUIRES(state.mutex) and takes the
+//                    State explicitly.
+//   slot.publish_mutex   that slot's published partial/counters.
+//   topk_mutex       top-K refresh pacing (tracker internals have their
+//                    own lock — src/ola/topk.h).
+//   done_mutex       result/final_partials publication + done_cv.
+//   callback_mutex   snapshot-callback serialization + pacing tick.
+//
+// Engines are only touched by the single worker that checked the slot
+// out, and by the one finalizing thread after every slot is exhausted and
+// returned.
 class ChartJob {
  public:
   // This run's view of a shared reach cache: counters are reported as the
@@ -150,15 +170,17 @@ class ChartJob {
 
   // One logical worker: private engine, deterministic walk share.
   struct Slot {
+    // Scheduling fields, guarded by the core State mutex (see class
+    // comment for why that cannot be a guarded_by annotation).
     uint64_t share = 0;  // budget mode: walks this slot must run
     uint64_t done = 0;
     bool checked_out = false;
     bool exhausted = false;
     std::unique_ptr<OlaEngine> engine;  // built on first quantum
     // Published partials for live snapshots, refreshed every quantum.
-    std::mutex publish_mutex;
-    GroupedEstimates partial;
-    OlaCounters counters;
+    Mutex publish_mutex;
+    GroupedEstimates partial KGOA_GUARDED_BY(publish_mutex);
+    OlaCounters counters KGOA_GUARDED_BY(publish_mutex);
   };
 
   ChartJob(std::shared_ptr<ServingCore::State> core_state,
@@ -229,32 +251,12 @@ class ChartJob {
                : n;
   }
 
-  // Core-mutex-guarded: is there a slot a worker could pick up?
-  bool HasAvailableSlot() const {
-    if (cancel_requested.load(std::memory_order_relaxed)) return false;
-    if (finish_requested.load(std::memory_order_relaxed)) return false;
-    if (checked_out >= ConcurrencyCap()) return false;
-    for (const Slot& slot : slots) {
-      if (!slot.exhausted && !slot.checked_out) return true;
-    }
-    return false;
-  }
-
-  int FirstAvailableSlot() const {
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-      if (!slots[i].exhausted && !slots[i].checked_out) {
-        return static_cast<int>(i);
-      }
-    }
-    return -1;
-  }
-
   std::shared_ptr<ServingCore::State> core;
   const IndexSet& indexes;
   const ChainQuery query;
   // Fixed at submit, except on_snapshot: FinalizeJob clears the closure
-  // after its last invocation so captured state (often the job's own
-  // handle) is released with the retirement.
+  // after its last invocation (under callback_mutex) so captured state
+  // (often the job's own handle) is released with the retirement.
   ChartJobOptions options;
   const bool budget_mode;
   const uint64_t quantum;
@@ -272,15 +274,16 @@ class ChartJob {
 
   // Slots are fixed at construction; deque keeps Slot's mutex immovable.
   std::deque<Slot> slots;
+  // Scheduling fields, guarded by the core State mutex (class comment).
   int active_slots = 0;  // slots not yet exhausted
   int checked_out = 0;
   bool in_queue = false;
   bool retire_claimed = false;
+  SteadyClock::time_point cancel_time{};
 
   // The cancellation token: set once by Cancel(), observed by workers at
   // quantum boundaries without any lock.
   std::atomic<bool> cancel_requested{false};
-  SteadyClock::time_point cancel_time{};  // written under the core mutex
 
   // The graceful-finish token: same stopping mechanics as the cancel
   // token, but the job retires as completed (with its partials) and the
@@ -289,26 +292,26 @@ class ChartJob {
   std::atomic<bool> finish_requested{false};
 
   // Top-K serving state. The tracker is updated from merged partials
-  // under topk_mutex (try_lock paced, like the snapshot callback);
+  // under topk_mutex (try-lock paced, like the snapshot callback);
   // engines pull immutable filter snapshots at quantum boundaries.
   TopKTracker topk;
-  std::mutex topk_mutex;
-  SteadyClock::time_point next_topk_tick{};
+  Mutex topk_mutex;
+  SteadyClock::time_point next_topk_tick KGOA_GUARDED_BY(topk_mutex){};
 
   // Completion signalling; `result` and `final_partials` are written once
   // under done_mutex before `state` advances to kDone/kCancelled.
-  mutable std::mutex done_mutex;
-  mutable std::condition_variable done_cv;
+  mutable Mutex done_mutex;
+  mutable CondVar done_cv;
   std::atomic<int> state{static_cast<int>(ChartJobState::kQueued)};
-  ParallelOlaResult result;
+  ParallelOlaResult result KGOA_GUARDED_BY(done_mutex);
   // Per-slot final estimates in slot order (empty estimates for slots
   // that never built an engine), kept for scatter-gather slot-order folds
   // (ChartHandle::SlotPartials).
-  std::vector<GroupedEstimates> final_partials;
+  std::vector<GroupedEstimates> final_partials KGOA_GUARDED_BY(done_mutex);
 
   // Snapshot-subscription pacing; callbacks are serialized per job.
-  std::mutex callback_mutex;
-  SteadyClock::time_point next_tick{};
+  Mutex callback_mutex;
+  SteadyClock::time_point next_tick KGOA_GUARDED_BY(callback_mutex){};
 };
 
 namespace {
@@ -323,13 +326,39 @@ bool JobFinished(const ChartJob& job) {
   return s == ChartJobState::kDone || s == ChartJobState::kCancelled;
 }
 
+// Core-mutex-guarded: is there a slot a worker could pick up? The mutex
+// lives in `state`, which must be `*job.core` (the REQUIRES annotation
+// names the caller's State so TSA can match the held capability).
+bool HasAvailableSlot(const ServingCore::State& state, const ChartJob& job)
+    KGOA_REQUIRES(state.mutex) {
+  (void)state;
+  if (job.cancel_requested.load(std::memory_order_relaxed)) return false;
+  if (job.finish_requested.load(std::memory_order_relaxed)) return false;
+  if (job.checked_out >= job.ConcurrencyCap()) return false;
+  for (const ChartJob::Slot& slot : job.slots) {
+    if (!slot.exhausted && !slot.checked_out) return true;
+  }
+  return false;
+}
+
+int FirstAvailableSlot(const ServingCore::State& state, const ChartJob& job)
+    KGOA_REQUIRES(state.mutex) {
+  (void)state;
+  for (std::size_t i = 0; i < job.slots.size(); ++i) {
+    if (!job.slots[i].exhausted && !job.slots[i].checked_out) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
 // Merges the published slot partials (slot order, so repeated snapshots of
 // a quiescent job are bit-stable) and describes them.
 OlaSnapshot MergeJobSnapshot(ChartJob& job, GroupedEstimates* merged) {
   OlaSnapshot snapshot;
   *merged = GroupedEstimates();
   for (ChartJob::Slot& slot : job.slots) {
-    std::lock_guard<std::mutex> lock(slot.publish_mutex);
+    MutexLock lock(slot.publish_mutex);
     merged->Merge(slot.partial);
     snapshot.counters.Merge(slot.counters);
   }
@@ -344,14 +373,14 @@ OlaSnapshot MergeJobSnapshot(ChartJob& job, GroupedEstimates* merged) {
 }
 
 // Refreshes the top-K tracker from a fresh slot-order merge, paced like
-// the snapshot callback (try_lock + tick: a sampled view, not a log).
+// the snapshot callback (try-lock + tick: a sampled view, not a log).
 // With finish_on_displayed_convergence the job self-finishes the moment
 // the displayed chart settles — deadline mode only; a budget-mode job
 // always runs its exact budget.
 void MaybeRefreshTopK(ChartJob& job) {
   if (!job.topk.enabled()) return;
-  std::unique_lock<std::mutex> lock(job.topk_mutex, std::try_to_lock);
-  if (!lock.owns_lock()) return;
+  if (!job.topk_mutex.TryLock()) return;
+  MutexLock lock(job.topk_mutex, kAdoptLock);
   if (SteadyClock::now() < job.next_topk_tick) return;
   GroupedEstimates merged;
   MergeJobSnapshot(job, &merged);
@@ -365,12 +394,15 @@ void MaybeRefreshTopK(ChartJob& job) {
 }
 
 // Delivers a paced live snapshot if the job subscribed and the period
-// elapsed. try_lock: if another worker is mid-callback, skip rather than
-// queue up — snapshots are a sampled view, not a log.
+// elapsed. Try-lock: if another worker is mid-callback, skip rather than
+// queue up — snapshots are a sampled view, not a log. (The unlocked
+// on_snapshot pre-check cannot race the closure release in FinalizeJob:
+// this runs only from a checked-out slot's quantum, and FinalizeJob only
+// after every slot was returned.)
 void MaybeSnapshotCallback(ChartJob& job) {
   if (!job.options.on_snapshot) return;
-  std::unique_lock<std::mutex> lock(job.callback_mutex, std::try_to_lock);
-  if (!lock.owns_lock()) return;
+  if (!job.callback_mutex.TryLock()) return;
+  MutexLock lock(job.callback_mutex, kAdoptLock);
   if (SteadyClock::now() < job.next_tick) return;
   GroupedEstimates merged;
   const OlaSnapshot snapshot = MergeJobSnapshot(job, &merged);
@@ -383,7 +415,8 @@ void MaybeSnapshotCallback(ChartJob& job) {
 // Runs one time slice of `slot`: builds the engine on first touch, walks
 // one quantum (clipped to the slot's remaining budget share), publishes
 // the partial. Returns the walks run; 0 means the slot produced no work
-// (cancelled, or the deadline passed) and should be exhausted.
+// (cancelled, or the deadline passed) and should be exhausted. Runs with
+// NO lock held — the slot is exclusively checked out to this worker.
 uint64_t RunQuantum(ChartJob& job, int slot_index) {
   ChartJob::Slot& slot = job.slots[static_cast<std::size_t>(slot_index)];
   if (job.cancel_requested.load(std::memory_order_acquire)) return 0;
@@ -418,7 +451,7 @@ uint64_t RunQuantum(ChartJob& job, int slot_index) {
   OlaCounters counters;
   slot.engine->FillCounters(&counters);
   {
-    std::lock_guard<std::mutex> lock(slot.publish_mutex);
+    MutexLock lock(slot.publish_mutex);
     slot.partial = std::move(partial);
     slot.counters = counters;
   }
@@ -428,9 +461,12 @@ uint64_t RunQuantum(ChartJob& job, int slot_index) {
 }
 
 // Builds the final result (slot-order merge — the determinism contract),
-// frees the engines, publishes the result, and wakes Await-ers. Runs
-// outside the core mutex; the caller claimed the retire.
-void FinalizeJob(ChartJob& job, bool cancelled) {
+// frees the engines, publishes the result, and wakes Await-ers. MUST run
+// with the core mutex released (the merge is O(groups × slots) and the
+// snapshot callback is user code): the caller first claims the retire
+// under the core mutex (RetireJobLocked), then calls this outside it.
+void FinalizeJob(ChartJob& job, bool cancelled)
+    KGOA_EXCLUDES(job.core->mutex) {
   ParallelOlaResult result;
   result.workers = static_cast<int>(job.slots.size());
   bool mergeable = true;
@@ -469,7 +505,7 @@ void FinalizeJob(ChartJob& job, bool cancelled) {
   // Await-ers are woken: Await() returning guarantees the callback will
   // not fire again, so callers may tear down captured state right after.
   if (job.options.on_snapshot) {
-    std::lock_guard<std::mutex> lock(job.callback_mutex);
+    MutexLock lock(job.callback_mutex);
     job.options.on_snapshot(FinalSnapshot(result));
     // Drop the subscription once it can never fire again. Callbacks
     // routinely capture the job's own handle (e.g. to Cancel() from inside
@@ -478,31 +514,34 @@ void FinalizeJob(ChartJob& job, bool cancelled) {
     job.options.on_snapshot = nullptr;
   }
   {
-    std::lock_guard<std::mutex> lock(job.done_mutex);
+    MutexLock lock(job.done_mutex);
     job.result = std::move(result);
     job.final_partials = std::move(final_partials);
     job.state.store(static_cast<int>(cancelled ? ChartJobState::kCancelled
                                                : ChartJobState::kDone),
                     std::memory_order_release);
   }
-  job.done_cv.notify_all();
+  job.done_cv.NotifyAll();
 }
 
-// Removes the job from the live set and finalizes it. The caller holds
-// `lock` (the core mutex) and has set job->retire_claimed; the mutex is
-// released around the merge.
-void RetireJob(ServingCore::State& state,
-               const std::shared_ptr<ChartJob>& job,
-               std::unique_lock<std::mutex>& lock) {
+// Removes the job from the live set and settles the retirement stats. The
+// caller has set job->retire_claimed and MUST call FinalizeJob(job,
+// <return value>) after releasing the core mutex — the lock is never
+// dropped here, so TSA can verify every caller's locking end to end.
+// Returns whether the job retires as cancelled.
+bool RetireJobLocked(ServingCore::State& state,
+                     const std::shared_ptr<ChartJob>& job)
+    KGOA_REQUIRES(state.mutex) {
   KGOA_DCHECK(job->retire_claimed);
   KGOA_DCHECK_EQ(job->checked_out, 0);
   state.live.erase(std::remove(state.live.begin(), state.live.end(), job),
                    state.live.end());
-  const bool cancelled = job->cancel_requested.load();
+  const bool cancelled =
+      job->cancel_requested.load(std::memory_order_acquire);
   // Stats are settled BEFORE the finalize wakes Await-ers, so a stats()
   // call racing an Await() return sees the job counted. The cancellation
   // latency is request -> pool freed (this claim), the quantity the
-  // serving story cares about; the off-pool final merge is excluded.
+  // serving story cares about; the off-mutex final merge is excluded.
   if (cancelled) {
     ++state.cancelled;
     state.last_cancel_latency =
@@ -510,20 +549,18 @@ void RetireJob(ServingCore::State& state,
   } else {
     ++state.completed;
   }
-  lock.unlock();
-  FinalizeJob(*job, cancelled);
-  lock.lock();
+  return cancelled;
 }
 
 // Picks the next (job, slot) to run: highest priority first, round-robin
-// among equals (jobs are re-pushed to the back after each pick). Called
-// with the core mutex held. Returns false when no work is available.
+// among equals (jobs are re-pushed to the back after each pick). Returns
+// false when no work is available.
 bool PickWork(ServingCore::State& state, std::shared_ptr<ChartJob>* out_job,
-              int* out_slot) {
+              int* out_slot) KGOA_REQUIRES(state.mutex) {
   std::size_t best = state.queue.size();
   for (std::size_t i = 0; i < state.queue.size();) {
     ChartJob& job = *state.queue[i];
-    if (!job.HasAvailableSlot()) {
+    if (!HasAvailableSlot(state, job)) {
       // Stale entry (fully checked out, exhausted, or cancelled since it
       // was queued): drop it — workers returning slots re-queue jobs that
       // regain available work.
@@ -541,7 +578,7 @@ bool PickWork(ServingCore::State& state, std::shared_ptr<ChartJob>* out_job,
   if (best == state.queue.size()) return false;
 
   std::shared_ptr<ChartJob> job = state.queue[best];
-  const int slot = job->FirstAvailableSlot();
+  const int slot = FirstAvailableSlot(state, *job);
   KGOA_DCHECK(slot >= 0);
   job->slots[static_cast<std::size_t>(slot)].checked_out = true;
   ++job->checked_out;
@@ -551,7 +588,7 @@ bool PickWork(ServingCore::State& state, std::shared_ptr<ChartJob>* out_job,
   // the queue, so its peers get the next slices.
   state.queue.erase(state.queue.begin() +
                     static_cast<std::ptrdiff_t>(best));
-  if (job->HasAvailableSlot()) {
+  if (HasAvailableSlot(state, *job)) {
     state.queue.push_back(job);
   } else {
     job->in_queue = false;
@@ -562,10 +599,17 @@ bool PickWork(ServingCore::State& state, std::shared_ptr<ChartJob>* out_job,
 }
 
 // Returns a slot after a quantum: updates progress, exhausts finished
-// slots, and either retires the job or re-queues it. Core mutex held.
-void ReturnSlot(ServingCore::State& state,
-                const std::shared_ptr<ChartJob>& job, int slot_index,
-                uint64_t ran, std::unique_lock<std::mutex>& lock) {
+// slots, and either claims the retirement or re-queues the job. When the
+// return value's `finalize` is set, the caller must release the core
+// mutex and run FinalizeJob(job, .cancelled).
+struct RetireAction {
+  bool finalize = false;
+  bool cancelled = false;
+};
+
+RetireAction ReturnSlot(ServingCore::State& state,
+                        const std::shared_ptr<ChartJob>& job, int slot_index,
+                        uint64_t ran) KGOA_REQUIRES(state.mutex) {
   ChartJob::Slot& slot = job->slots[static_cast<std::size_t>(slot_index)];
   slot.checked_out = false;
   --job->checked_out;
@@ -580,9 +624,9 @@ void ReturnSlot(ServingCore::State& state,
   if (job->cancel_requested.load(std::memory_order_relaxed) ||
       job->finish_requested.load(std::memory_order_relaxed)) {
     // A stop token was observed: everything not currently running stops
-    // now; running slots stop as their quanta return. (RetireJob decides
-    // completed-vs-cancelled from the cancel token alone, so a finish
-    // retires as completed.)
+    // now; running slots stop as their quanta return. (RetireJobLocked
+    // decides completed-vs-cancelled from the cancel token alone, so a
+    // finish retires as completed.)
     for (ChartJob::Slot& s : job->slots) {
       if (!s.checked_out) exhaust(s);
     }
@@ -594,16 +638,19 @@ void ReturnSlot(ServingCore::State& state,
     exhaust(slot);
   }
 
+  RetireAction action;
   if (job->active_slots == 0 && job->checked_out == 0) {
     if (!job->retire_claimed) {
       job->retire_claimed = true;
-      RetireJob(state, job, lock);
+      action.finalize = true;
+      action.cancelled = RetireJobLocked(state, job);
     }
-  } else if (!job->in_queue && job->HasAvailableSlot()) {
+  } else if (!job->in_queue && HasAvailableSlot(state, *job)) {
     job->in_queue = true;
     state.queue.push_back(job);
-    state.cv.notify_all();
+    state.cv.NotifyAll();
   }
+  return action;
 }
 
 }  // namespace
@@ -629,7 +676,7 @@ bool ChartHandle::finished() const {
 ParallelOlaResult ChartHandle::Snapshot() const {
   KGOA_CHECK(job_ != nullptr);
   if (JobFinished(*job_)) {
-    std::lock_guard<std::mutex> lock(job_->done_mutex);
+    MutexLock lock(job_->done_mutex);
     return job_->result;
   }
   ParallelOlaResult live;
@@ -645,64 +692,81 @@ ParallelOlaResult ChartHandle::Snapshot() const {
 
 void ChartHandle::Cancel() const {
   KGOA_CHECK(job_ != nullptr);
-  const std::shared_ptr<ServingCore::State> state = job_->core;
-  std::unique_lock<std::mutex> lock(state->mutex);
-  if (JobFinished(*job_) || job_->retire_claimed) return;
-  if (!job_->cancel_requested.exchange(true, std::memory_order_acq_rel)) {
-    job_->cancel_time = SteadyClock::now();
-  }
-  if (job_->in_queue) {
-    job_->in_queue = false;
-    state->queue.erase(std::remove(state->queue.begin(),
-                                   state->queue.end(), job_),
-                       state->queue.end());
-  }
-  for (ChartJob::Slot& slot : job_->slots) {
-    if (!slot.checked_out && !slot.exhausted) {
-      slot.exhausted = true;
-      --job_->active_slots;
+  const std::shared_ptr<ServingCore::State> shared_state = job_->core;
+  ServingCore::State& state = *shared_state;
+  bool finalize = false;
+  bool cancelled = false;
+  {
+    MutexLock lock(state.mutex);
+    if (JobFinished(*job_) || job_->retire_claimed) return;
+    if (!job_->cancel_requested.exchange(true,
+                                         std::memory_order_acq_rel)) {
+      job_->cancel_time = SteadyClock::now();
+    }
+    if (job_->in_queue) {
+      job_->in_queue = false;
+      state.queue.erase(std::remove(state.queue.begin(), state.queue.end(),
+                                    job_),
+                        state.queue.end());
+    }
+    for (ChartJob::Slot& slot : job_->slots) {
+      if (!slot.checked_out && !slot.exhausted) {
+        slot.exhausted = true;
+        --job_->active_slots;
+      }
+    }
+    if (job_->checked_out == 0) {
+      // Nothing of this job is running: retire it inline; the pool never
+      // even has to wake up. Otherwise the workers holding its slots
+      // observe the token within one quantum and the last one to return
+      // retires it.
+      job_->retire_claimed = true;
+      finalize = true;
+      cancelled = RetireJobLocked(state, job_);
     }
   }
-  if (job_->checked_out == 0) {
-    // Nothing of this job is running: retire it inline; the pool never
-    // even has to wake up. Otherwise the workers holding its slots observe
-    // the token within one quantum and the last one to return retires it.
-    job_->retire_claimed = true;
-    RetireJob(*state, job_, lock);
-  }
+  if (finalize) FinalizeJob(*job_, cancelled);
 }
 
 void ChartHandle::Finish() const {
   KGOA_CHECK(job_ != nullptr);
-  const std::shared_ptr<ServingCore::State> state = job_->core;
-  std::unique_lock<std::mutex> lock(state->mutex);
-  if (JobFinished(*job_) || job_->retire_claimed) return;
-  // Same stopping mechanics as Cancel(), without the cancel token:
-  // RetireJob classifies by cancel_requested, so the job counts as
-  // completed and keeps its partials as the final result.
-  job_->finish_requested.store(true, std::memory_order_release);
-  if (job_->in_queue) {
-    job_->in_queue = false;
-    state->queue.erase(std::remove(state->queue.begin(),
-                                   state->queue.end(), job_),
-                       state->queue.end());
-  }
-  for (ChartJob::Slot& slot : job_->slots) {
-    if (!slot.checked_out && !slot.exhausted) {
-      slot.exhausted = true;
-      --job_->active_slots;
+  const std::shared_ptr<ServingCore::State> shared_state = job_->core;
+  ServingCore::State& state = *shared_state;
+  bool finalize = false;
+  bool cancelled = false;
+  {
+    MutexLock lock(state.mutex);
+    if (JobFinished(*job_) || job_->retire_claimed) return;
+    // Same stopping mechanics as Cancel(), without the cancel token:
+    // RetireJobLocked classifies by cancel_requested, so the job counts
+    // as completed and keeps its partials as the final result.
+    job_->finish_requested.store(true, std::memory_order_release);
+    if (job_->in_queue) {
+      job_->in_queue = false;
+      state.queue.erase(std::remove(state.queue.begin(), state.queue.end(),
+                                    job_),
+                        state.queue.end());
+    }
+    for (ChartJob::Slot& slot : job_->slots) {
+      if (!slot.checked_out && !slot.exhausted) {
+        slot.exhausted = true;
+        --job_->active_slots;
+      }
+    }
+    if (job_->checked_out == 0) {
+      job_->retire_claimed = true;
+      finalize = true;
+      cancelled = RetireJobLocked(state, job_);
     }
   }
-  if (job_->checked_out == 0) {
-    job_->retire_claimed = true;
-    RetireJob(*state, job_, lock);
-  }
+  if (finalize) FinalizeJob(*job_, cancelled);
 }
 
 ParallelOlaResult ChartHandle::Await() const {
   KGOA_CHECK(job_ != nullptr);
-  std::unique_lock<std::mutex> lock(job_->done_mutex);
-  job_->done_cv.wait(lock, [&] { return JobFinished(*job_); });
+  MutexLock lock(job_->done_mutex);
+  // The predicate reads only the job's atomic state — no guarded fields.
+  job_->done_cv.Wait(job_->done_mutex, [&] { return JobFinished(*job_); });
   return job_->result;
 }
 
@@ -710,7 +774,7 @@ std::vector<GroupedEstimates> ChartHandle::SlotPartials() const {
   KGOA_CHECK(job_ != nullptr);
   KGOA_CHECK_MSG(JobFinished(*job_),
                  "SlotPartials is only valid once the job finished");
-  std::lock_guard<std::mutex> lock(job_->done_mutex);
+  MutexLock lock(job_->done_mutex);
   return job_->final_partials;
 }
 
@@ -735,88 +799,112 @@ ServingCore::ServingCore(const IndexSet& indexes, Options options)
 }
 
 ServingCore::~ServingCore() {
+  State& state = *state_;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
-    state_->stopping = true;
+    MutexLock lock(state.mutex);
+    state.stopping = true;
   }
-  state_->cv.notify_all();
+  state.cv.NotifyAll();
   for (std::thread& thread : pool_) thread.join();
   // The workers are gone, so nothing is checked out: flush every live job
   // as cancelled so Await-ers (possibly on other threads, holding handles
-  // that outlive this core) wake with a well-formed partial result.
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  while (!state_->live.empty()) {
-    std::shared_ptr<ChartJob> job = state_->live.back();
-    if (!job->cancel_requested.exchange(true)) {
-      job->cancel_time = SteadyClock::now();
-    }
-    job->in_queue = false;
-    for (ChartJob::Slot& slot : job->slots) {
-      if (!slot.exhausted) {
-        slot.exhausted = true;
-        --job->active_slots;
+  // that outlive this core) wake with a well-formed partial result. The
+  // bookkeeping happens under the mutex; the final merges after it (the
+  // lock-order rule: never finalize — user callbacks! — under the
+  // scheduler lock).
+  std::vector<std::shared_ptr<ChartJob>> to_finalize;
+  {
+    MutexLock lock(state.mutex);
+    while (!state.live.empty()) {
+      std::shared_ptr<ChartJob> job = state.live.back();
+      if (!job->cancel_requested.exchange(true,
+                                          std::memory_order_acq_rel)) {
+        job->cancel_time = SteadyClock::now();
       }
+      job->in_queue = false;
+      for (ChartJob::Slot& slot : job->slots) {
+        if (!slot.exhausted) {
+          slot.exhausted = true;
+          --job->active_slots;
+        }
+      }
+      KGOA_CHECK(!job->retire_claimed);
+      job->retire_claimed = true;
+      RetireJobLocked(state, job);
+      to_finalize.push_back(std::move(job));
     }
-    KGOA_CHECK(!job->retire_claimed);
-    job->retire_claimed = true;
-    RetireJob(*state_, job, lock);
+    state.queue.clear();
   }
-  state_->queue.clear();
+  for (const std::shared_ptr<ChartJob>& job : to_finalize) {
+    FinalizeJob(*job, /*cancelled=*/true);
+  }
 }
 
 ChartHandle ServingCore::Submit(const ChainQuery& query,
                                 ChartJobOptions options) {
   auto job = std::make_shared<ChartJob>(state_, indexes_, query,
                                         std::move(options));
-  std::lock_guard<std::mutex> lock(state_->mutex);
-  KGOA_CHECK_MSG(!state_->stopping, "Submit on a stopping ServingCore");
-  job->id = state_->next_job_id++;
-  ++state_->submitted;
-  state_->live.push_back(job);
+  State& state = *state_;
+  MutexLock lock(state.mutex);
+  KGOA_CHECK_MSG(!state.stopping, "Submit on a stopping ServingCore");
+  job->id = state.next_job_id++;
+  ++state.submitted;
+  state.live.push_back(job);
   job->in_queue = true;
-  state_->queue.push_back(job);
-  state_->max_live =
-      std::max<uint64_t>(state_->max_live, state_->live.size());
-  state_->cv.notify_all();
+  state.queue.push_back(job);
+  state.max_live = std::max<uint64_t>(state.max_live, state.live.size());
+  state.cv.NotifyAll();
   return ChartHandle(std::move(job));
 }
 
 ServeStats ServingCore::stats() const {
   ServeStats stats;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  State& state = *state_;
+  MutexLock lock(state.mutex);
   stats.threads = pool_.size();
-  stats.jobs_submitted = state_->submitted;
-  stats.jobs_completed = state_->completed;
-  stats.jobs_cancelled = state_->cancelled;
-  stats.quanta = state_->quanta;
-  stats.preemptions = state_->preemptions;
-  stats.walks = state_->walks;
-  stats.live_jobs = state_->live.size();
-  stats.max_live_jobs = state_->max_live;
-  stats.last_cancel_latency_seconds = state_->last_cancel_latency;
+  stats.jobs_submitted = state.submitted;
+  stats.jobs_completed = state.completed;
+  stats.jobs_cancelled = state.cancelled;
+  stats.quanta = state.quanta;
+  stats.preemptions = state.preemptions;
+  stats.walks = state.walks;
+  stats.live_jobs = state.live.size();
+  stats.max_live_jobs = state.max_live;
+  stats.last_cancel_latency_seconds = state.last_cancel_latency;
   return stats;
 }
 
 void ServingCore::WorkerMain() {
-  const std::shared_ptr<State> state = state_;
+  const std::shared_ptr<State> shared_state = state_;
+  State& state = *shared_state;
   uint64_t last_job_id = 0;
-  std::unique_lock<std::mutex> lock(state->mutex);
+  MutexLock lock(state.mutex);
   for (;;) {
-    if (state->stopping) return;
+    if (state.stopping) return;
     std::shared_ptr<ChartJob> job;
     int slot = -1;
-    if (!PickWork(*state, &job, &slot)) {
-      state->cv.wait(lock);
+    if (!PickWork(state, &job, &slot)) {
+      // The predicate runs with state.mutex held (CondVar::Wait contract)
+      // but in a lambda TSA analyzes as a fresh context — hence the
+      // explicit opt-out.
+      state.cv.Wait(state.mutex, [&state]() KGOA_NO_THREAD_SAFETY_ANALYSIS {
+        return state.stopping || !state.queue.empty();
+      });
       continue;
     }
-    ++state->quanta;
-    if (last_job_id != 0 && last_job_id != job->id) ++state->preemptions;
+    ++state.quanta;
+    if (last_job_id != 0 && last_job_id != job->id) ++state.preemptions;
     last_job_id = job->id;
-    lock.unlock();
+    lock.Unlock();
     const uint64_t ran = RunQuantum(*job, slot);
-    lock.lock();
-    state->walks += ran;
-    ReturnSlot(*state, job, slot, ran, lock);
+    lock.Lock();
+    state.walks += ran;
+    const RetireAction action = ReturnSlot(state, job, slot, ran);
+    if (action.finalize) {
+      lock.Unlock();
+      FinalizeJob(*job, action.cancelled);
+      lock.Lock();
+    }
   }
 }
 
@@ -850,6 +938,12 @@ ParallelOlaExecutor::ParallelOlaExecutor(const IndexSet& indexes,
 ParallelOlaExecutor::~ParallelOlaExecutor() = default;
 
 ServingCore& ParallelOlaExecutor::Core() const {
+  // Guarded lazy construction: Run* calls are const and documented
+  // thread-safe, so two threads' first calls must not race building the
+  // pool. (Annotation-era finding: the pre-TSA code built `core_` behind
+  // no lock — a real construction race under concurrent first Runs,
+  // pinned by SyncTest.ConcurrentExecutorRunsShareOneCore.)
+  MutexLock lock(core_mutex_);
   if (core_ == nullptr) {
     ServingCore::Options core_options;
     core_options.threads = std::max(1, options_.threads);

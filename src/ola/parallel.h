@@ -55,6 +55,7 @@
 #include "src/ola/estimator.h"
 #include "src/ola/topk.h"
 #include "src/query/chain_query.h"
+#include "src/util/sync.h"
 
 namespace kgoa {
 
@@ -340,8 +341,10 @@ class ParallelOlaExecutor {
   std::unique_ptr<ReachProbability> owned_shared_reach_;
   ReachProbability* shared_reach_ = nullptr;  // effective cache, may be null
   // The private pool, spawned on the first Run call and reused by every
-  // later one — no per-serve thread construction.
-  mutable std::unique_ptr<ServingCore> core_;
+  // later one — no per-serve thread construction. Run* calls are const
+  // and thread-safe, so the lazy construction is guarded (Core()).
+  mutable Mutex core_mutex_;
+  mutable std::unique_ptr<ServingCore> core_ KGOA_GUARDED_BY(core_mutex_);
 };
 
 // Legacy wrapper: deadline mode, estimates only.

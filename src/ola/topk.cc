@@ -72,7 +72,7 @@ void TopKTracker::Update(const GroupedEstimates& merged) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     kth_lower_ = kth_lower;
     pruned_count_ = pruned;
     if (options_.prune) {

@@ -21,11 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "src/index/flat_table.h"
 #include "src/ola/estimator.h"
 #include "src/rdf/types.h"
+#include "src/util/sync.h"
 
 namespace kgoa {
 
@@ -83,7 +83,7 @@ class TopKTracker {
   // yet. The snapshot is immutable — engines may read it lock-free for a
   // whole quantum.
   std::shared_ptr<const GroupFilter> FilterSnapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return filter_;
   }
 
@@ -92,21 +92,24 @@ class TopKTracker {
   }
 
   double kth_lower_bound() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return kth_lower_;
   }
 
   uint64_t pruned_groups() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return pruned_count_;
   }
 
  private:
   const TopKOptions options_;
-  mutable std::mutex mutex_;
-  std::shared_ptr<const GroupFilter> filter_;  // guarded by mutex_
-  double kth_lower_ = 0;                       // guarded by mutex_
-  uint64_t pruned_count_ = 0;                  // guarded by mutex_
+  mutable Mutex mutex_;
+  // The published filter is an immutable snapshot: the pointer swap is
+  // guarded; the pointee never mutates after publication, so engines
+  // read it lock-free for a whole quantum.
+  std::shared_ptr<const GroupFilter> filter_ KGOA_GUARDED_BY(mutex_);
+  double kth_lower_ KGOA_GUARDED_BY(mutex_) = 0;
+  uint64_t pruned_count_ KGOA_GUARDED_BY(mutex_) = 0;
   std::atomic<bool> converged_{false};
 };
 

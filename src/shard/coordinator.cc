@@ -232,17 +232,27 @@ ShardChartHandle ShardCoordinator::Submit(const ChainQuery& query,
     handles.push_back(cores_[static_cast<std::size_t>(k)]->Submit(
         query, std::move(job)));
   }
-  ++jobs_submitted_;
-  shard_jobs_submitted_ += handles.size();
-  return ShardChartHandle(next_id_++, shards * workers, options.walk_budget,
+  uint64_t id = 0;
+  {
+    MutexLock lock(mutex_);
+    ++jobs_submitted_;
+    shard_jobs_submitted_ += handles.size();
+    id = next_id_++;
+  }
+  return ShardChartHandle(id, shards * workers, options.walk_budget,
                           std::move(handles));
 }
 
 ShardServeStats ShardCoordinator::stats() const {
   ShardServeStats stats;
   stats.shards = options_.num_shards;
-  stats.jobs_submitted = jobs_submitted_;
-  stats.shard_jobs_submitted = shard_jobs_submitted_;
+  {
+    // Leaf lock: released before the core stats() calls below, per the
+    // never-nested ordering rule in coordinator.h.
+    MutexLock lock(mutex_);
+    stats.jobs_submitted = jobs_submitted_;
+    stats.shard_jobs_submitted = shard_jobs_submitted_;
+  }
   for (const auto& core : cores_) {
     const ServeStats cs = core->stats();
     stats.cores.threads += cs.threads;

@@ -44,15 +44,26 @@
 // the determinism contract), so a pair audited by shard 0 is never
 // re-audited by shard 3.
 //
-// Like Explorer's serving calls, the coordinator is thread-compatible but
-// not internally synchronized: submit from one thread at a time. Returned
-// handles are usable from any thread.
+// Submit() and stats() are thread-safe: the scatter itself only calls
+// thread-safe layers (ReachCacheRegistry::Acquire, ServingCore::Submit)
+// and the coordinator's own scatter counters are guarded by a leaf mutex
+// (see mutex_ below — the annotation era surfaced that these counters
+// were previously read by stats() racing a Submit). Returned handles are
+// usable from any thread.
+//
+// Lock ordering (DESIGN.md §11): the coordinator's mutex and the reach
+// registry's mutex are LEAVES — each is acquired and released around pure
+// bookkeeping, never held across a call into a ServingCore (whose
+// scheduler mutex in turn is never held across user code). No two of
+// these mutexes are ever nested, so no ordering cycle can form.
 #ifndef KGOA_SHARD_COORDINATOR_H_
 #define KGOA_SHARD_COORDINATOR_H_
 
 #include <cstdint>
 #include <memory>
 #include <vector>
+
+#include "src/util/sync.h"
 
 #include "src/explore/cache.h"
 #include "src/index/index_set.h"
@@ -192,7 +203,7 @@ class ShardCoordinator {
   const ShardedGraph* sliced() const { return sliced_.get(); }
 
   // Scatters `query` as one ChartJob per shard (skipping zero-budget
-  // shards) and returns the combined handle. Thread-compatible.
+  // shards) and returns the combined handle. Thread-safe.
   ShardChartHandle Submit(const ChainQuery& query, ShardChartOptions options);
 
   ShardServeStats stats() const;
@@ -208,9 +219,11 @@ class ShardCoordinator {
   // jobs hold pointers into these caches.
   ReachCacheRegistry reach_caches_;
   std::vector<std::unique_ptr<ServingCore>> cores_;
-  uint64_t next_id_ = 1;
-  uint64_t jobs_submitted_ = 0;
-  uint64_t shard_jobs_submitted_ = 0;
+  // Leaf mutex for the scatter counters (never held across a core call).
+  mutable Mutex mutex_;
+  uint64_t next_id_ KGOA_GUARDED_BY(mutex_) = 1;
+  uint64_t jobs_submitted_ KGOA_GUARDED_BY(mutex_) = 0;
+  uint64_t shard_jobs_submitted_ KGOA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace kgoa

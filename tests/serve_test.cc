@@ -11,11 +11,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/core/explorer.h"
 #include "src/ola/parallel.h"
+#include "src/util/sync.h"
 #include "tests/test_util.h"
 
 namespace kgoa {
@@ -74,8 +74,8 @@ TEST_F(ServeTest, CancelObservedWithinOneQuantumNoLeakedPartials) {
   ServingCore core(indexes_, core_options);
 
   struct Shared {
-    std::mutex mutex;
-    ChartHandle handle;
+    Mutex mutex;
+    ChartHandle handle KGOA_GUARDED_BY(mutex);
     std::atomic<bool> armed{false};
     std::atomic<bool> fired{false};
     std::atomic<uint64_t> walks_at_cancel{0};
@@ -94,7 +94,7 @@ TEST_F(ServeTest, CancelObservedWithinOneQuantumNoLeakedPartials) {
     shared->walks_at_cancel.store(snapshot.walks);
     ChartHandle handle;
     {
-      std::lock_guard<std::mutex> lock(shared->mutex);
+      MutexLock lock(shared->mutex);
       handle = shared->handle;
     }
     handle.Cancel();
@@ -102,7 +102,7 @@ TEST_F(ServeTest, CancelObservedWithinOneQuantumNoLeakedPartials) {
 
   ChartHandle handle = core.Submit(Fig5(true), options);
   {
-    std::lock_guard<std::mutex> lock(shared->mutex);
+    MutexLock lock(shared->mutex);
     shared->handle = handle;
   }
   shared->armed.store(true, std::memory_order_release);

@@ -1,0 +1,59 @@
+# Negative-compile harness for the thread-safety annotations in
+# src/util/sync.h.
+#
+# The TSA lint stage (scripts/lint.sh stage 4) proves the tree is clean
+# under -Wthread-safety; THIS file proves the analysis is actually awake.
+# Without it, a broken macro (say, KGOA_GUARDED_BY silently expanding to
+# nothing under a clang upgrade) would make the stage pass vacuously
+# forever. Each snippet in tests/tsa_snippets/ is fed through try_compile
+# with the same flags the stage uses:
+#
+#   tsa_correct_usage.cc      must COMPILE  (harness sanity: failures
+#                             below mean "analysis fired", not "snippet
+#                             was broken C++")
+#   tsa_guarded_by_violation.cc  must NOT compile: reads/writes a
+#                             KGOA_GUARDED_BY field without the mutex
+#   tsa_requires_violation.cc    must NOT compile: calls a
+#                             KGOA_REQUIRES function without the mutex
+#
+# Included at configure time from tests/CMakeLists.txt when KGOA_TSA=ON
+# under clang; any mismatch is a FATAL_ERROR, so the configure (and with
+# it the lint stage) fails loudly.
+
+set(KGOA_TSA_FLAGS
+    -Wthread-safety -Wthread-safety-beta
+    -Werror=thread-safety -Werror=thread-safety-beta)
+
+function(kgoa_tsa_check snippet expect_compile)
+  set(src ${CMAKE_CURRENT_SOURCE_DIR}/tsa_snippets/${snippet})
+  try_compile(compiled
+    SOURCES ${src}
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}"
+      "-DCMAKE_CXX_STANDARD=20"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON"
+    COMPILE_DEFINITIONS "${KGOA_TSA_FLAGS}"
+    OUTPUT_VARIABLE out)
+  if(expect_compile AND NOT compiled)
+    message(FATAL_ERROR
+            "TSA harness: ${snippet} should compile but did not — the "
+            "control snippet is broken, so the violation results below "
+            "would be meaningless.\n${out}")
+  endif()
+  if(NOT expect_compile AND compiled)
+    message(FATAL_ERROR
+            "TSA harness: ${snippet} COMPILED but must not — clang's "
+            "thread-safety analysis did not fire on the annotation it "
+            "violates. The -Wthread-safety stage is passing vacuously.")
+  endif()
+  if(expect_compile)
+    message(STATUS "TSA harness: ${snippet} compiles (control) — ok")
+  else()
+    message(STATUS "TSA harness: ${snippet} rejected — ok")
+  endif()
+  unset(compiled CACHE)
+endfunction()
+
+kgoa_tsa_check(tsa_correct_usage.cc TRUE)
+kgoa_tsa_check(tsa_guarded_by_violation.cc FALSE)
+kgoa_tsa_check(tsa_requires_violation.cc FALSE)

@@ -1,0 +1,47 @@
+// TSA harness control snippet (tests/tsa_compile_test.cmake): correct
+// lock discipline over the annotated wrappers. MUST compile cleanly under
+// -Werror=thread-safety — otherwise the harness's "violation snippets
+// fail to compile" results would prove nothing.
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    kgoa::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int Get() const {
+    kgoa::MutexLock lock(mutex_);
+    return value_;
+  }
+
+  void IncrementLocked() KGOA_REQUIRES(mutex_) { ++value_; }
+
+  void IncrementViaHelper() {
+    kgoa::MutexLock lock(mutex_);
+    IncrementLocked();
+  }
+
+  void TryIncrement() {
+    if (!mutex_.TryLock()) return;
+    kgoa::MutexLock lock(mutex_, kgoa::kAdoptLock);
+    ++value_;
+  }
+
+ private:
+  mutable kgoa::Mutex mutex_;
+  int value_ KGOA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  counter.IncrementViaHelper();
+  counter.TryIncrement();
+  return counter.Get() == 3 ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+// TSA harness violation snippet (tests/tsa_compile_test.cmake): reads
+// and writes a KGOA_GUARDED_BY field with no lock held. MUST FAIL to
+// compile under -Werror=thread-safety; if it compiles, the analysis (or
+// the KGOA_GUARDED_BY macro) is broken.
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Violation: value_ is guarded by mutex_, which is never acquired.
+  void Increment() { ++value_; }
+  int Get() const { return value_; }
+
+ private:
+  mutable kgoa::Mutex mutex_;
+  int value_ KGOA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Get();
+}

@@ -1,0 +1,27 @@
+// TSA harness violation snippet (tests/tsa_compile_test.cmake): calls a
+// KGOA_REQUIRES function without holding the named mutex — the
+// unannotated-lock-access pattern (caller "forgot" the lock entirely).
+// MUST FAIL to compile under -Werror=thread-safety.
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void IncrementLocked() KGOA_REQUIRES(mutex_) { ++value_; }
+
+  // Violation: the REQUIRES contract is called with mutex_ not held.
+  void Increment() { IncrementLocked(); }
+
+ private:
+  kgoa::Mutex mutex_;
+  int value_ KGOA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}
