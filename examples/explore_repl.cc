@@ -260,6 +260,7 @@ struct Repl {
   // this session's interaction counters, as text or JSON.
   void DumpMetrics(bool as_json) {
     kgoa::MetricsRegistry registry = explorer->metrics();
+    kgoa::ExportSimdMetrics("simd.", &registry);
     registry.SetCounter("session.queries_built", session.queries_built());
     registry.SetCounter("session.expansions", session.expansions_applied());
     registry.SetCounter("session.back_navigations",

@@ -10,6 +10,11 @@
 //     against a linear scan of the sorted raw values, exercising the
 //     block-max skip across windows that straddle block boundaries.
 //
+// Every input runs through BOTH kernel dispatch extremes — forced scalar
+// and the highest level the host CPU supports — and the decoded blocks
+// are compared bit for bit, so the fuzzer doubles as a differential
+// harness for the SIMD decode kernels (src/index/kernels.h).
+//
 // Any disagreement aborts via KGOA_CHECK.
 #include <algorithm>
 #include <cstddef>
@@ -18,6 +23,25 @@
 
 #include "src/index/block_codec.h"
 #include "src/util/contract.h"
+#include "src/util/simd.h"
+
+namespace {
+
+// Decodes every block at the given dispatch level into one flat vector.
+std::vector<uint32_t> DecodeAll(const kgoa::BlockedColumn& col,
+                                kgoa::SimdLevel level) {
+  kgoa::SetSimdLevel(level);
+  std::vector<uint32_t> out;
+  out.reserve(col.size());
+  alignas(32) uint32_t vals[kgoa::kCodecBlockSize];
+  for (uint32_t b = 0; b < col.num_blocks(); ++b) {
+    const uint32_t count = col.DecodeBlock(b, vals);
+    out.insert(out.end(), vals, vals + count);
+  }
+  return out;
+}
+
+}  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
   if (size < 4) return 0;
@@ -63,6 +87,17 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
     KGOA_CHECK(col.Get(i) == values[i]);
   }
 
+  // Scalar-vs-SIMD differential: both dispatch extremes must decode the
+  // column to exactly the source values.
+  const kgoa::SimdLevel entry_level = kgoa::CurrentSimdLevel();
+  const std::vector<uint32_t> scalar =
+      DecodeAll(col, kgoa::SimdLevel::kScalar);
+  const std::vector<uint32_t> vectorized =
+      DecodeAll(col, kgoa::MaxSupportedSimdLevel());
+  KGOA_CHECK(scalar == values);
+  KGOA_CHECK(vectorized == scalar);
+  kgoa::SetSimdLevel(entry_level);
+
   if (n == 0) return 0;
 
   // SeekGE/SeekGT vs linear scan on the sorted column.
@@ -91,8 +126,15 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
         break;
       }
     }
-    KGOA_CHECK(sorted.SeekGE(from, end, v) == linear_ge);
-    KGOA_CHECK(sorted.SeekGT(from, end, v) == linear_gt);
+    // Both dispatch extremes of the in-block lower-bound kernel must
+    // agree with the linear scan.
+    for (const kgoa::SimdLevel level :
+         {kgoa::SimdLevel::kScalar, kgoa::MaxSupportedSimdLevel()}) {
+      kgoa::SetSimdLevel(level);
+      KGOA_CHECK(sorted.SeekGE(from, end, v) == linear_ge);
+      KGOA_CHECK(sorted.SeekGT(from, end, v) == linear_gt);
+    }
+    kgoa::SetSimdLevel(entry_level);
   }
   return 0;
 }

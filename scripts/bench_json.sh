@@ -11,14 +11,19 @@
 #                     time-to-CI at 1/2/4 shards.
 #   BENCH_index.json  `index_trace` from index_memory — raw vs block
 #                     storage-tier bytes and top-K time-to-displayed-chart.
+#   BENCH_kernels.json `kernel_trace` from kernel_throughput — the SIMD
+#                     kernel ablation: decode MB/s, in-block seeks/s and
+#                     hash probes/s scalar vs vectorized, plus end-to-end
+#                     time-to-CI scalar vs SIMD vs SIMD+batched walks.
 #
 # Usage: scripts/bench_json.sh [--quick] [reach_out.json] [serve_out.json]
 #                              [shard_out.json] [index_out.json]
+#                              [kernels_out.json]
 #
 #   --quick    Smoke-sized runs (KGOA_BENCH_QUICK=1) — what tier1.sh runs.
 #   outputs    Default to BENCH_reach.json / BENCH_serve.json /
-#              BENCH_shard.json / BENCH_index.json in the repo root (the
-#              tracked copies).
+#              BENCH_shard.json / BENCH_index.json / BENCH_kernels.json in
+#              the repo root (the tracked copies).
 #
 # The build directory defaults to ./build; override with KGOA_BENCH_BUILD.
 # Each emitted JSON has the stable key set checked at the bottom of this
@@ -39,9 +44,11 @@ REACH_OUT="${OUTS[0]:-BENCH_reach.json}"
 SERVE_OUT="${OUTS[1]:-BENCH_serve.json}"
 SHARD_OUT="${OUTS[2]:-BENCH_shard.json}"
 INDEX_OUT="${OUTS[3]:-BENCH_index.json}"
+KERNELS_OUT="${OUTS[4]:-BENCH_kernels.json}"
 
 BUILD="${KGOA_BENCH_BUILD:-build}"
-for bin in micro_sample_time serve_concurrency shard_scaling index_memory; do
+for bin in micro_sample_time serve_concurrency shard_scaling index_memory \
+           kernel_throughput; do
   if [[ ! -x "$BUILD/bench/$bin" ]]; then
     cmake --build "$BUILD" --target "$bin" -j "$(nproc)"
   fi
@@ -56,12 +63,15 @@ if [[ "$QUICK" == "1" ]]; then
               2>/dev/null)
   SHARD_RAW=$(KGOA_BENCH_QUICK=1 "$BUILD/bench/shard_scaling" 2>/dev/null)
   INDEX_RAW=$(KGOA_BENCH_QUICK=1 "$BUILD/bench/index_memory" 2>/dev/null)
+  KERNELS_RAW=$(KGOA_BENCH_QUICK=1 "$BUILD/bench/kernel_throughput" \
+                2>/dev/null)
 else
   RAW=$("$BUILD/bench/micro_sample_time" --benchmark_filter='^BM_Reach' \
         2>/dev/null)
   SERVE_RAW=$("$BUILD/bench/serve_concurrency" 2>/dev/null)
   SHARD_RAW=$("$BUILD/bench/shard_scaling" 2>/dev/null)
   INDEX_RAW=$("$BUILD/bench/index_memory" 2>/dev/null)
+  KERNELS_RAW=$("$BUILD/bench/kernel_throughput" 2>/dev/null)
 fi
 
 echo "$RAW" | grep '^reach_trace ' | sed 's/^reach_trace //' > "$REACH_OUT"
@@ -71,8 +81,11 @@ echo "$SHARD_RAW" | grep '^shard_trace ' | sed 's/^shard_trace //' \
     > "$SHARD_OUT"
 echo "$INDEX_RAW" | grep '^index_trace ' | sed 's/^index_trace //' \
     > "$INDEX_OUT"
+echo "$KERNELS_RAW" | grep '^kernel_trace ' | sed 's/^kernel_trace //' \
+    > "$KERNELS_OUT"
 
-python3 - "$REACH_OUT" "$SERVE_OUT" "$SHARD_OUT" "$INDEX_OUT" <<'EOF'
+python3 - "$REACH_OUT" "$SERVE_OUT" "$SHARD_OUT" "$INDEX_OUT" \
+    "$KERNELS_OUT" <<'EOF'
 import json
 import sys
 
@@ -86,8 +99,8 @@ def require(path, trace, counters, gauges):
     if missing:
         sys.exit(f"bench_json.sh: {path} is missing stable keys: {missing}")
 
-reach_path, serve_path, shard_path, index_path = (
-    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4])
+reach_path, serve_path, shard_path, index_path, kernels_path = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5])
 
 reach = load(reach_path)
 require(reach_path, reach, {
@@ -156,4 +169,26 @@ print(f"bench_json.sh: wrote {index_path} "
       f"{index['gauges']['index.memory_ratio_min']:.2f}x smaller, "
       f"top-K displayed chart "
       f"{index['gauges']['index.topk_speedup']:.2f}x faster than full)")
+
+# Host-portable key set: scalar-vs-best rather than per-level keys, so the
+# same keys validate on machines without AVX2 (where "simd" may be SSE4.2
+# or scalar and the speedups sit near 1.0).
+kernels = load(kernels_path)
+require(kernels_path, kernels, {
+    "kernels.simd_level", "kernels.probe_prefetch_depth",
+    "kernels.default_batch_walks",
+}, {
+    "kernels.decode_mbps.scalar", "kernels.decode_mbps.simd",
+    "kernels.decode_speedup", "kernels.seeks_per_sec.scalar",
+    "kernels.seeks_per_sec.simd", "kernels.seek_speedup",
+    "kernels.probes_per_sec.serial", "kernels.probes_per_sec.batched",
+    "kernels.probe_speedup", "kernels.e2e_seconds.scalar",
+    "kernels.e2e_seconds.simd", "kernels.e2e_seconds.simd_batched",
+    "kernels.e2e_walks_per_sec.simd_batched", "kernels.e2e_speedup",
+})
+print(f"bench_json.sh: wrote {kernels_path} "
+      f"(decode {kernels['gauges']['kernels.decode_speedup']:.2f}x, "
+      f"in-block seek {kernels['gauges']['kernels.seek_speedup']:.2f}x, "
+      f"end-to-end {kernels['gauges']['kernels.e2e_speedup']:.2f}x "
+      f"time-to-CI)")
 EOF

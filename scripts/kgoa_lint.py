@@ -63,6 +63,14 @@ Rules (see DESIGN.md, "Correctness tooling" and §11):
                          a bare wait invites the classic spurious-wakeup
                          bug (also flagged by clang-tidy's
                          bugprone-spuriously-wake-up-functions).
+  raw-intrinsic          No <immintrin.h>-family includes or _mm*/__m128/
+                         __m256 intrinsics outside src/util/simd.h and
+                         src/index/kernels.{h,cc}: the kernel layer is the
+                         single dispatch point (per-function target
+                         attributes, scalar fallback, differential tests);
+                         a stray intrinsic elsewhere either breaks the
+                         no.-march build or silently skips the KGOA_SIMD
+                         scalar-fallback stage.
 
 Suppression: append `// kgoa-lint: allow(<rule>[, <rule>...])` on the
 offending line or the line directly above, with a reason. Exits 1 when any
@@ -118,6 +126,21 @@ ATOMIC_ONLY_OPS = {
 }
 
 CV_WAIT_RE = re.compile(r"[.\->](Wait|WaitFor)\s*\(")
+
+# x86 SIMD surface: the intrinsic headers and the _mm*/__m* value types.
+INTRINSIC_INCLUDE_RE = re.compile(
+    r'#\s*include\s*[<"](immintrin|x86intrin|emmintrin|smmintrin|tmmintrin|'
+    r"nmmintrin|wmmintrin|avxintrin|avx2intrin)\.h")
+INTRINSIC_TOKEN_RE = re.compile(r"\b(_mm(?:256|512)?_\w+|__m(?:128|256|512)[id]?)\b")
+
+# The only translation units allowed to touch raw intrinsics: the dispatch
+# header and the kernel layer itself.
+INTRINSIC_ALLOWED = {
+    "src/util/simd.h",
+    "src/util/simd.cc",
+    "src/index/kernels.h",
+    "src/index/kernels.cc",
+}
 
 # How far an argument list may spill across lines before the scanners
 # give up (all real call sites in the tree fit comfortably).
@@ -349,6 +372,18 @@ class Linter:
                               "overload; a bare wait returns on spurious "
                               "wakeups")
 
+            # raw-intrinsic: every root except the kernel layer itself —
+            # intrinsics behind the runtime dispatch only, so the
+            # no--march build and the KGOA_SIMD=off stage stay honest.
+            if rel not in INTRINSIC_ALLOWED:
+                if INTRINSIC_INCLUDE_RE.search(line) or \
+                        INTRINSIC_TOKEN_RE.search(line):
+                    check("raw-intrinsic", i,
+                          "raw SIMD intrinsics are fenced into src/util/"
+                          "simd.h and src/index/kernels.{h,cc}; route new "
+                          "vector code through the kernel layer's runtime "
+                          "dispatch (scalar fallback + differential tests)")
+
             # raw-level-array: everywhere outside src/index — the raw
             # triple array is a tier-private detail (absent on the block
             # tier); readers must stay behind the iterator contract.
@@ -482,6 +517,22 @@ def self_test() -> int:
          "cv.WaitFor(mu, timeout, [&] { return done; });\n", set()),
         ("Await is not Wait", "src/foo/bar.cc",
          "result = handle.Await();\n", set()),
+        ("intrinsic include outside kernels", "src/core/fast.cc",
+         "#include <immintrin.h>\n", {"raw-intrinsic"}),
+        ("intrinsic call outside kernels", "src/ola/hot.cc",
+         "__m256i v = _mm256_loadu_si256(p);\n", {"raw-intrinsic"}),
+        ("sse intrinsic in tests", "tests/foo_test.cc",
+         "auto x = _mm_crc32_u64(a, b);\n", {"raw-intrinsic"}),
+        ("kernels.cc may use intrinsics", "src/index/kernels.cc",
+         "#include <immintrin.h>\n__m256i v = _mm256_set1_epi32(1);\n",
+         set()),
+        ("simd.h may name intrinsics", "src/util/simd.h",
+         "#include <immintrin.h>\n", set()),
+        ("prefetch builtin is not an intrinsic", "src/index/flat_table.h",
+         "__builtin_prefetch(slots_.data(), 0, 1);\n", set()),
+        ("allowed intrinsic", "src/rdf/hash.cc",
+         "// kgoa-lint: allow(raw-intrinsic) hardware CRC seed\n"
+         "auto x = _mm_crc32_u64(a, b);\n", set()),
         ("existing rule still fires", "src/foo/bar.cc",
          "assert(x > 0);\n", {"bare-assert"}),
         ("raw thread still fires", "tests/foo_test.cc",

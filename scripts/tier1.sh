@@ -19,11 +19,14 @@
 #     otherwise-release build
 #  6. all three fuzz harnesses (-DKGOA_FUZZ=ON) replay their corpus and
 #     fuzz for KGOA_FUZZ_SECONDS (default 60) each
-#  7. bench smoke: scripts/bench_json.sh --quick must emit all four
+#  7. the entire ctest suite once more with KGOA_SIMD=off, so the
+#     scalar kernel fallback (the only dispatch level on non-x86 hosts)
+#     gets the same coverage as the vectorized default
+#  8. bench smoke: scripts/bench_json.sh --quick must emit all five
 #     BENCH JSONs with their stable key sets (written to a temp dir so
 #     the checked-in full-mode BENCH_reach.json / BENCH_serve.json /
-#     BENCH_shard.json / BENCH_index.json are not clobbered with
-#     quick-mode numbers)
+#     BENCH_shard.json / BENCH_index.json / BENCH_kernels.json are not
+#     clobbered with quick-mode numbers)
 #
 # Usage: scripts/tier1.sh   (from the repo root)
 set -euo pipefail
@@ -77,12 +80,16 @@ echo "=== tier-1: fuzz harnesses (${FUZZ_SECONDS}s each) ==="
     "-max_total_time=${FUZZ_SECONDS}"
 
 echo
+echo "=== tier-1: full suite with KGOA_SIMD=off (scalar fallback) ==="
+KGOA_SIMD=off ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo
 echo "=== tier-1: bench smoke (scripts/bench_json.sh) ==="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
 scripts/bench_json.sh --quick "${SMOKE_DIR}/BENCH_reach.json" \
     "${SMOKE_DIR}/BENCH_serve.json" "${SMOKE_DIR}/BENCH_shard.json" \
-    "${SMOKE_DIR}/BENCH_index.json"
+    "${SMOKE_DIR}/BENCH_index.json" "${SMOKE_DIR}/BENCH_kernels.json"
 
 echo
 echo "tier-1 OK"

@@ -1,5 +1,8 @@
 #include "src/core/audit.h"
 
+#include <algorithm>
+
+#include "src/index/kernels.h"
 #include "src/util/contract.h"
 
 namespace kgoa {
@@ -89,7 +92,7 @@ uint64_t AuditJoin::CountFrom(int q, TermId value) {
   return count;
 }
 
-bool AuditJoin::EnumerateRemaining(int q, std::vector<TermId>& state,
+bool AuditJoin::EnumerateRemaining(int q, std::span<TermId> state,
                                    double mass, uint64_t* budget,
                                    FlatAccumulator<uint64_t, double>* acc) {
   if (q == plan_.NumSteps()) {
@@ -131,7 +134,7 @@ bool AuditJoin::EnumerateRemaining(int q, std::vector<TermId>& state,
   return true;
 }
 
-bool AuditJoin::TippedContributions(int q0, std::vector<TermId>& state,
+bool AuditJoin::TippedContributions(int q0, std::span<TermId> state,
                                     double weight, ContributionMap* out) {
   // Fast path: memoized pure counting (the CTJ cache) applies when the
   // group is already fixed by the prefix and the remaining steps chain
@@ -178,28 +181,37 @@ bool AuditJoin::TippedContributions(int q0, std::vector<TermId>& state,
 }
 
 void AuditJoin::FlushContributions() {
-  // Prefetch pass: pull the Pr memo slots of every pending pair toward
-  // the cache before the in-order probe loop below touches them.
-  for (const PendingContribution& p : pending_) {
-    if (p.needs_pr) {
-      reach_->PrefetchPrAB(static_cast<TermId>(p.pair_key >> 32),
-                           static_cast<TermId>(p.pair_key & 0xffffffffu));
-    }
-  }
-  for (const PendingContribution& p : pending_) {
-    double value = p.value;
-    if (p.needs_pr) {
-      const double pr = reach_->PrAB(static_cast<TermId>(p.pair_key >> 32),
-                                     static_cast<TermId>(p.pair_key));
-      KGOA_DCHECK_PROB_POS(pr);
-      value = 1.0 / pr;
-    }
-    estimates_.AddContribution(p.group, value);
-  }
+  // Prefetch-pipelined drain: the Pr memo slot of each pending pair is
+  // hinted a window ahead of the in-order probe that consumes it
+  // (kernels::PrefetchPipeline — the windowed form of the old two-pass
+  // flush). Consumption stays strictly in pending (= walk) order, which
+  // is what the determinism contract needs.
+  kernels::PrefetchPipeline(
+      pending_.size(),
+      [&](std::size_t i) {
+        const PendingContribution& p = pending_[i];
+        if (p.needs_pr) {
+          reach_->PrefetchPrAB(static_cast<TermId>(p.pair_key >> 32),
+                               static_cast<TermId>(p.pair_key & 0xffffffffu));
+        }
+      },
+      [&](std::size_t i) {
+        const PendingContribution& p = pending_[i];
+        double value = p.value;
+        if (p.needs_pr) {
+          const double pr =
+              reach_->PrAB(static_cast<TermId>(p.pair_key >> 32),
+                           static_cast<TermId>(p.pair_key));
+          KGOA_DCHECK_PROB_POS(pr);
+          value = 1.0 / pr;
+        }
+        estimates_.AddContribution(p.group, value);
+      });
   pending_.clear();
 }
 
 void AuditJoin::RunOneWalkInternal() {
+  rng_.Seed(WalkSeed(options_.seed, walk_counter_++));
   double weight = 1.0;  // 1 / Pr(delta) for the sampled prefix
   for (int q = 0; q < plan_.NumSteps(); ++q) {
     const WalkStep& step = plan_.steps()[q];
@@ -302,11 +314,211 @@ void AuditJoin::RunOneWalk() {
 }
 
 void AuditJoin::RunWalks(uint64_t count) {
-  for (uint64_t i = 0; i < count; ++i) {
-    RunOneWalkInternal();
+  const uint32_t batch =
+      options_.batch_walks == 0 ? kDefaultWalkBatch : options_.batch_walks;
+  if (batch <= 1) {
+    for (uint64_t i = 0; i < count; ++i) {
+      RunOneWalkInternal();
+      if (pending_.size() >= kReachFlushBatch) FlushContributions();
+    }
+    FlushContributions();
+    return;
+  }
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const uint32_t b = static_cast<uint32_t>(
+        std::min<uint64_t>(batch, remaining));
+    RunWalkBatch(b);
+    remaining -= b;
     if (pending_.size() >= kReachFlushBatch) FlushContributions();
   }
   FlushContributions();
+}
+
+// Level-synchronous batch execution. The walks of a batch advance one
+// walk level per round; within a level the work splits into phases so the
+// index probes and triple fetches pipeline across walks:
+//
+//   1. scalar prolog, walk order: top-K prune + static tipping (the only
+//      phase-1 writer of shared state is the tip path's abort_memo_[q]);
+//   2. batched range resolve: hash-probe prefetch pipelined across walks;
+//   3. scalar adaptive tipping, walk order (mutually exclusive with the
+//      static check in phase 1);
+//   4. dead-end rejection + per-walk RNG position draw, walk order;
+//   5. batched triple fetch: sampled positions prefetched across walks,
+//      then filter + record per walk.
+//
+// Bit-identity with batch = 1 holds by induction over (level, walk) in
+// lexicographic order: each walk's draws come from its own counter-derived
+// stream (WalkSeed), and the only cross-walk data flow is through
+// abort_memo_[q] — read and written exclusively during level-q processing,
+// in walk order within every phase that touches it, so each read sees
+// exactly the writes of lower-numbered walks' level-q processing, the same
+// set as in sequential execution. count_memo_ values are pure functions of
+// (step, value) and the reach cache's values are pure functions of the
+// plan, so their population order affects hit counters only, never bits.
+// Contributions are buffered per lane and appended to pending_ in walk
+// order at batch end, so AddContribution order — the one FP-order-
+// sensitive sequence — matches the unbatched path exactly.
+void AuditJoin::RunWalkBatch(uint32_t batch) {
+  const int num_slots = plan_.num_slots();
+  batch_rng_.resize(batch);
+  batch_state_.assign(static_cast<std::size_t>(batch) * num_slots,
+                      kInvalidTerm);
+  batch_weight_.assign(batch, 1.0);
+  batch_bound_.assign(batch, kInvalidTerm);
+  batch_range_.assign(batch, Range{});
+  batch_pos_.assign(batch, 0);
+  batch_done_.assign(batch, kLaneAlive);
+  batch_contrib_.resize(batch);
+  for (uint32_t b = 0; b < batch; ++b) {
+    batch_rng_[b].Seed(WalkSeed(options_.seed, walk_counter_ + b));
+    batch_contrib_[b].clear();
+  }
+  walk_counter_ += batch;
+  batched_walks_ += batch;
+
+  const auto lane_state = [&](uint32_t b) {
+    return std::span<TermId>(batch_state_.data() +
+                                 static_cast<std::size_t>(b) * num_slots,
+                             static_cast<std::size_t>(num_slots));
+  };
+  const auto tip_lane = [&](uint32_t b, int q) {
+    ContributionMap contributions;
+    if (TippedContributions(q, lane_state(b), batch_weight_[b],
+                            &contributions)) {
+      for (const auto& [group, value] : contributions) {
+        if (value > 0) {
+          batch_contrib_[b].push_back({group, value, 0, /*needs_pr=*/false});
+        }
+      }
+      ++tipped_;
+      batch_done_[b] = kLaneDone;
+      return true;
+    }
+    ++tip_aborts_;
+    return false;
+  };
+
+  uint32_t alive = batch;
+  for (int q = 0; q < plan_.NumSteps() && alive > 0; ++q) {
+    const WalkStep& step = plan_.steps()[q];
+
+    // Phase 1: prune + static tip, in walk order.
+    for (uint32_t b = 0; b < batch; ++b) {
+      if (batch_done_[b] != kLaneAlive) continue;
+      const std::span<TermId> state = lane_state(b);
+      if (group_filter_ != nullptr && q == alpha_record_step_ + 1 &&
+          group_filter_->Pruned(state[plan_.alpha_slot()])) {
+        ++pruned_;
+        batch_done_[b] = kLaneDone;
+        --alive;
+        continue;
+      }
+      if (options_.enable_tipping && !options_.adaptive_tipping &&
+          tipping_.StaticSuffixEstimate(q) <= options_.tipping_threshold &&
+          tip_lane(b, q)) {
+        --alive;
+        continue;
+      }
+      batch_bound_[b] = step.in_slot >= 0 ? state[step.in_slot] : kInvalidTerm;
+    }
+    if (alive == 0) break;
+
+    // Phase 2: batched resolve, hash probes prefetch-pipelined across the
+    // surviving walks.
+    batch_live_.clear();
+    for (uint32_t b = 0; b < batch; ++b) {
+      if (batch_done_[b] == kLaneAlive) batch_live_.push_back(b);
+    }
+    kernels::PrefetchPipeline(
+        batch_live_.size(),
+        [&](std::size_t i) {
+          step.access.Prefetch(indexes_, batch_bound_[batch_live_[i]]);
+        },
+        [&](std::size_t i) {
+          const uint32_t b = batch_live_[i];
+          batch_range_[b] = step.access.Resolve(indexes_, batch_bound_[b]);
+        });
+
+    // Phase 3: adaptive tip (seeded with the resolved fan-out), walk order.
+    if (options_.enable_tipping && options_.adaptive_tipping) {
+      for (const uint32_t b : batch_live_) {
+        if (tipping_.Estimate(batch_range_[b].size(), q) <=
+                options_.tipping_threshold &&
+            tip_lane(b, q)) {
+          --alive;
+        }
+      }
+    }
+
+    // Phase 4: rejection + per-walk position draw, walk order.
+    for (const uint32_t b : batch_live_) {
+      if (batch_done_[b] != kLaneAlive) continue;  // adaptively tipped
+      const Range range = batch_range_[b];
+      if (range.empty()) {
+        batch_done_[b] = kLaneRejected;
+        --alive;
+        continue;
+      }
+      batch_weight_[b] *= static_cast<double>(range.size());
+      batch_pos_[b] =
+          range.begin + static_cast<uint32_t>(batch_rng_[b].Below(range.size()));
+    }
+    if (alive == 0) break;
+
+    // Phase 5: batched triple fetch + filter + record.
+    batch_live_.clear();
+    for (uint32_t b = 0; b < batch; ++b) {
+      if (batch_done_[b] == kLaneAlive) batch_live_.push_back(b);
+    }
+    const TrieIndex& index = indexes_.Index(step.access.order());
+    kernels::PrefetchPipeline(
+        batch_live_.size(),
+        [&](std::size_t i) { index.PrefetchTriple(batch_pos_[batch_live_[i]]); },
+        [&](std::size_t i) {
+          const uint32_t b = batch_live_[i];
+          const Triple t = index.TripleAt(batch_pos_[b]);
+          if (!step.filter.empty() && !step.filter.Pass(indexes_, t)) {
+            batch_done_[b] = kLaneRejected;
+            --alive;
+            return;
+          }
+          const std::span<TermId> state = lane_state(b);
+          for (const WalkStep::Record& record : step.records) {
+            state[record.slot] = t[record.component];
+          }
+        });
+  }
+
+  // Completion bookkeeping for walks that sampled every step, walk order.
+  for (uint32_t b = 0; b < batch; ++b) {
+    if (batch_done_[b] != kLaneAlive) continue;
+    const std::span<TermId> state = lane_state(b);
+    const TermId a = state[plan_.alpha_slot()];
+    batch_done_[b] = kLaneDone;
+    if (group_filter_ != nullptr &&
+        alpha_record_step_ + 1 == plan_.NumSteps() &&
+        group_filter_->Pruned(a)) {
+      ++pruned_;
+      continue;
+    }
+    if (query_.distinct()) {
+      batch_contrib_[b].push_back(
+          {a, 0.0, PackPair(a, state[plan_.beta_slot()]), /*needs_pr=*/true});
+    } else {
+      batch_contrib_[b].push_back({a, batch_weight_[b], 0, /*needs_pr=*/false});
+    }
+    ++full_;
+  }
+
+  // Append to pending_ and close the walks, in walk order: pending_ order
+  // (hence AddContribution order) matches the unbatched path.
+  for (uint32_t b = 0; b < batch; ++b) {
+    pending_.insert(pending_.end(), batch_contrib_[b].begin(),
+                    batch_contrib_[b].end());
+    estimates_.EndWalk(/*rejected=*/batch_done_[b] == kLaneRejected);
+  }
 }
 
 void AuditJoin::EnumerateAllWalks(

@@ -32,6 +32,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>  // kgoa-lint: allow(unordered-in-hot-path) verification hook only
 #include <vector>
 
@@ -81,6 +82,12 @@ class AuditJoin {
     // one per thread; see src/core/reach.h for why it preserves
     // bit-identical estimates.
     ReachProbability* shared_reach = nullptr;
+    // Walks advanced per structure-of-arrays batch: each level's hash
+    // probes and triple fetches run as a prefetch-pipelined batch across
+    // the walks. 0 = default (kDefaultWalkBatch); 1 = unbatched. Purely a
+    // throughput knob: per-walk counter-derived RNG (WalkSeed) makes the
+    // estimates bit-identical for every batch width.
+    uint32_t batch_walks = 0;
   };
 
   AuditJoin(const IndexSet& indexes, const ChainQuery& query)
@@ -102,6 +109,8 @@ class AuditJoin {
   uint64_t full_walks() const { return full_; }
   uint64_t tip_aborts() const { return tip_aborts_; }
   uint64_t pruned_walks() const { return pruned_; }
+  // Walks executed through the structure-of-arrays batched path.
+  uint64_t batched_walks() const { return batched_walks_; }
   uint64_t suffix_cache_hits() const { return count_cache_hits_; }
   const ReachProbability& reach() const { return *reach_; }
   bool owns_reach() const { return owned_reach_ != nullptr; }
@@ -135,7 +144,7 @@ class AuditJoin {
   // Computes the contributions of tipping at walk position q0 with the
   // current prefix state and weight = 1/Pr(delta). Returns false when the
   // enumeration cap is hit (caller resumes sampling).
-  bool TippedContributions(int q0, std::vector<TermId>& state, double weight,
+  bool TippedContributions(int q0, std::span<TermId> state, double weight,
                            ContributionMap* out);
 
   // Exact number of completions of steps q..n-1 given in-value `value`;
@@ -147,13 +156,18 @@ class AuditJoin {
   // Recursive exact enumeration of the remaining steps; returns false on
   // budget exhaustion. Accumulates either per-alpha counts (non-distinct)
   // or per-(a, b) walk mass (distinct) into the insertion-ordered arena.
-  bool EnumerateRemaining(int q, std::vector<TermId>& state, double mass,
+  bool EnumerateRemaining(int q, std::span<TermId> state, double mass,
                           uint64_t* budget,
                           FlatAccumulator<uint64_t, double>* acc);
 
   // One walk, with contributions deferred into pending_ (flushed by the
   // public entry points).
   void RunOneWalkInternal();
+
+  // `batch` walks advanced level-synchronously (see the .cc for the phase
+  // structure and the walk-order argument that keeps it bit-identical to
+  // batch = 1). Contributions land in pending_ in walk order.
+  void RunWalkBatch(uint32_t batch);
 
   // Drains pending_ in walk order: one prefetch pass over the reach
   // cache's shards for the pairs still owing their Pr division, then one
@@ -177,7 +191,10 @@ class AuditJoin {
   // racing inserts are benign (src/index/concurrent_flat_table.h).
   ReachProbability* reach_;
   GroupedEstimates estimates_;
+  // Re-seeded per walk from WalkSeed(options_.seed, walk_counter_): walk
+  // draws are a pure function of the walk index, independent of batching.
   Rng rng_;
+  uint64_t walk_counter_ = 0;
   std::vector<TermId> state_;
 
   // next_in_component_[q]: component of step q's pattern carrying step
@@ -213,9 +230,24 @@ class AuditJoin {
   };
   std::vector<PendingContribution> pending_;
 
+  // Structure-of-arrays batch state, reused across batches. A lane is one
+  // in-flight walk; done lanes keep their slot so lane index == walk
+  // order within the batch.
+  enum LaneState : uint8_t { kLaneAlive = 0, kLaneDone = 1, kLaneRejected = 2 };
+  std::vector<Rng> batch_rng_;
+  std::vector<TermId> batch_state_;  // walk-major: [lane * num_slots + slot]
+  std::vector<double> batch_weight_;
+  std::vector<TermId> batch_bound_;
+  std::vector<Range> batch_range_;
+  std::vector<uint32_t> batch_pos_;
+  std::vector<uint8_t> batch_done_;  // LaneState
+  std::vector<uint32_t> batch_live_; // alive lane indices, walk order
+  std::vector<std::vector<PendingContribution>> batch_contrib_;
+
   uint64_t tipped_ = 0;
   uint64_t full_ = 0;
   uint64_t tip_aborts_ = 0;
+  uint64_t batched_walks_ = 0;
 };
 
 }  // namespace kgoa

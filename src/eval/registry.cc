@@ -7,9 +7,12 @@
 #include <vector>
 
 #include "src/core/audit.h"
+#include "src/index/block_codec.h"
 #include "src/index/index_set.h"
+#include "src/index/kernels.h"
 #include "src/ola/wander.h"
 #include "src/shard/coordinator.h"
+#include "src/util/simd.h"
 
 namespace kgoa {
 
@@ -112,6 +115,7 @@ void ExportMetrics(const AuditJoin& engine, std::string_view prefix,
   registry->Add(p + "full_walks", engine.full_walks());
   registry->Add(p + "tip_aborts", engine.tip_aborts());
   registry->Add(p + "ctj_cache_hits", engine.suffix_cache_hits());
+  registry->Add(p + "batched_walks", engine.batched_walks());
   if (engine.owns_reach()) {
     // A shared cache is exported once by its owner (executor or
     // session registry), not per engine.
@@ -131,6 +135,7 @@ void ExportMetrics(const WanderJoin& engine, std::string_view prefix,
   registry->Add(p + "full_walks", engine.estimates().walks() -
                                       engine.estimates().rejected_walks());
   registry->Add(p + "duplicate_walks", engine.duplicate_walks());
+  registry->Add(p + "batched_walks", engine.batched_walks());
 }
 
 void ExportMetrics(const OlaCounters& counters, std::string_view prefix,
@@ -145,6 +150,7 @@ void ExportMetrics(const OlaCounters& counters, std::string_view prefix,
   registry->Add(p + "reach_misses", counters.reach_misses);
   registry->Add(p + "reach_contention", counters.reach_contention);
   registry->Add(p + "pruned_walks", counters.pruned_walks);
+  registry->Add(p + "batched_walks", counters.batched_walks);
   registry->SetCounter(p + "reach_entries", counters.reach_entries);
 }
 
@@ -225,6 +231,17 @@ void ExportIndexProbeCounters(std::string_view prefix,
   registry->SetCounter(p + "ndv_probes", probes.ndv_probes);
 }
 
+void ExportSimdMetrics(std::string_view prefix, MetricsRegistry* registry) {
+  const std::string p(prefix);
+  const SimdLevel level = CurrentSimdLevel();
+  registry->SetCounter(p + "level", static_cast<uint64_t>(level));
+  registry->SetCounter(p + "level." + SimdLevelName(level), 1);
+  registry->SetCounter(p + "probe_prefetch_depth",
+                       kernels::kProbePrefetchDepth);
+  registry->SetCounter(p + "decode_cache_hits", t_decode_cache.hits);
+  registry->SetCounter(p + "decode_cache_misses", t_decode_cache.misses);
+}
+
 std::string SnapshotJson(const OlaSnapshot& snapshot) {
   std::string out = "{";
   out += "\"elapsed_seconds\":" + FmtDouble(snapshot.elapsed_seconds);
@@ -247,6 +264,8 @@ std::string SnapshotJson(const OlaSnapshot& snapshot) {
          FmtCounter(snapshot.counters.reach_contention);
   out += ",\"reach_entries\":" + FmtCounter(snapshot.counters.reach_entries);
   out += ",\"pruned_walks\":" + FmtCounter(snapshot.counters.pruned_walks);
+  out += ",\"batched_walks\":" +
+         FmtCounter(snapshot.counters.batched_walks);
   out += ",\"displayed_converged\":" +
          std::string(snapshot.displayed_converged ? "true" : "false");
   out += ",\"groups\":{";

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 
+#include "src/index/kernels.h"
 #include "src/util/contract.h"
 
 namespace kgoa {
@@ -22,7 +23,9 @@ constexpr uint32_t kDecodeCacheSlots = 16;  // power of two
 
 struct DecodeCacheEntry {
   uint64_t key = ~0ull;
-  uint32_t vals[kCodecBlockSize];
+  // 32-byte alignment: the AVX2 unpack kernels store whole vector lanes,
+  // and an aligned buffer keeps every store within one cache line pair.
+  alignas(32) uint32_t vals[kCodecBlockSize];
 };
 
 thread_local DecodeCacheEntry g_decode_cache[kDecodeCacheSlots];
@@ -38,10 +41,6 @@ uint64_t ZigzagEncode(int64_t d) {
   return (static_cast<uint64_t>(d) << 1) ^ static_cast<uint64_t>(d >> 63);
 }
 
-int64_t ZigzagDecode(uint64_t z) {
-  return static_cast<int64_t>(z >> 1) ^ -static_cast<int64_t>(z & 1);
-}
-
 uint32_t VarintLength(uint64_t z) {
   return 1 + (63 - static_cast<uint32_t>(std::countl_zero(z | 1))) / 7;
 }
@@ -52,19 +51,6 @@ void AppendVarint(uint64_t z, std::vector<uint8_t>& out) {
     z >>= 7;
   }
   out.push_back(static_cast<uint8_t>(z));
-}
-
-uint64_t ReadVarint(const uint8_t*& p) {
-  uint64_t z = 0;
-  int shift = 0;
-  while (*p & 0x80) {
-    z |= static_cast<uint64_t>(*p & 0x7f) << shift;
-    shift += 7;
-    ++p;
-  }
-  z |= static_cast<uint64_t>(*p) << shift;
-  ++p;
-  return z;
 }
 
 // Encoded size of `count` values as zigzag varint deltas seeded at `min`.
@@ -123,11 +109,16 @@ BlockedColumn::BlockedColumn(const uint32_t* values, uint32_t n)
     const uint64_t packed_bytes =
         (static_cast<uint64_t>(count) * meta.bit_width + 7) / 8;
     const uint64_t varint_bytes = VarintDeltaBytes(block, count, meta.min);
-    if (varint_bytes < packed_bytes) {
+    // Decode-cost-aware selection: bit-packed blocks unpack branch-free
+    // at a fixed stride (the vector kernels sustain several times the
+    // varint decode rate), while varint-delta parsing is serial in the
+    // worst case. Spend that speed only when varint saves a meaningful
+    // fraction of the block — it must come in under 3/4 of the packed
+    // size, not merely under it.
+    if (varint_bytes * 4 < packed_bytes * 3) {
       meta.encoding = BlockEncoding::kVarintDelta;
       AppendVarintDelta(block, count, meta.min, payload_);
     } else {
-      // Ties go to bit-packing: fixed-stride decode is branch-free.
       meta.encoding = BlockEncoding::kBitPacked;
       AppendBitPacked(block, count, meta.min, meta.bit_width, payload_);
     }
@@ -136,32 +127,27 @@ BlockedColumn::BlockedColumn(const uint32_t* values, uint32_t n)
   payload_.shrink_to_fit();
 }
 
-uint32_t BlockedColumn::DecodeBlock(uint32_t block, uint32_t* out) const {
+uint32_t BlockedColumn::DecodeBlock(uint32_t block,
+                                    std::span<uint32_t> out) const {
   KGOA_DCHECK_LT(block, num_blocks());
+  // Capacity contract: a full block's worth of room even for the short
+  // final block — see the header comment.
+  KGOA_CHECK_GE(out.size(), kCodecBlockSize);
   const BlockMeta& meta = directory_[block];
   const uint8_t* p = payload_.data() + meta.byte_offset;
+  const uint8_t* payload_end = payload_.data() + payload_.size();
   const uint32_t count = meta.count;
   if (meta.encoding == BlockEncoding::kBitPacked) {
-    const uint32_t width = meta.bit_width;
-    const uint64_t mask =
-        width >= 32 ? 0xffffffffULL : ((1ULL << width) - 1);
-    uint64_t acc = 0;
-    int bits = 0;
-    for (uint32_t i = 0; i < count; ++i) {
-      while (bits < static_cast<int>(width)) {
-        acc |= static_cast<uint64_t>(*p++) << bits;
-        bits += 8;
-      }
-      out[i] = meta.min + static_cast<uint32_t>(acc & mask);
-      acc >>= width;
-      bits -= width;
-    }
+    kernels::UnpackBits(p, payload_end, count, meta.min, meta.bit_width,
+                        out.data());
   } else {
-    int64_t prev = meta.min;
-    for (uint32_t i = 0; i < count; ++i) {
-      prev += ZigzagDecode(ReadVarint(p));
-      out[i] = static_cast<uint32_t>(prev);
-    }
+    // The encoded byte length (next block's offset delta) is what enables
+    // the kernel's all-single-byte vector fast path.
+    const uint64_t bytes =
+        (block + 1 < num_blocks() ? directory_[block + 1].byte_offset
+                                  : payload_.size()) -
+        meta.byte_offset;
+    kernels::DecodeVarintDelta(p, bytes, count, meta.min, out.data());
   }
   return count;
 }
@@ -171,8 +157,11 @@ const uint32_t* BlockedColumn::CachedBlock(uint32_t block) const {
   const uint64_t key = (column_id_ << kBlockIndexBits) | block;
   DecodeCacheEntry& entry = g_decode_cache[CacheSlot(key)];
   if (entry.key != key) {
+    ++t_decode_cache.misses;
     DecodeBlock(block, entry.vals);
     entry.key = key;
+  } else {
+    ++t_decode_cache.hits;
   }
   return entry.vals;
 }
@@ -198,9 +187,9 @@ uint32_t BlockedColumn::SeekGE(uint32_t from, uint32_t end, uint32_t v) const {
       continue;
     }
     const uint32_t* vals = CachedBlock(block);
-    const uint32_t* it = std::lower_bound(vals + (from - block_begin),
-                                          vals + (block_end - block_begin), v);
-    const uint32_t offset = static_cast<uint32_t>(it - vals);
+    const uint32_t lo = from - block_begin;
+    const uint32_t offset =
+        lo + kernels::LowerBoundU32(vals + lo, (block_end - block_begin) - lo, v);
     if (offset < block_end - block_begin) return block_begin + offset;
     from = block_end;
   }
@@ -221,9 +210,9 @@ uint32_t BlockedColumn::SeekGT(uint32_t from, uint32_t end, uint32_t v) const {
       continue;
     }
     const uint32_t* vals = CachedBlock(block);
-    const uint32_t* it = std::upper_bound(vals + (from - block_begin),
-                                          vals + (block_end - block_begin), v);
-    const uint32_t offset = static_cast<uint32_t>(it - vals);
+    const uint32_t lo = from - block_begin;
+    const uint32_t offset =
+        lo + kernels::UpperBoundU32(vals + lo, (block_end - block_begin) - lo, v);
     if (offset < block_end - block_begin) return block_begin + offset;
     from = block_end;
   }

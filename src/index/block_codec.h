@@ -29,11 +29,25 @@
 #define KGOA_INDEX_BLOCK_CODEC_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/rdf/types.h"
 
 namespace kgoa {
+
+// Per-thread decoded-block cache statistics, exported into the metrics
+// registry ("simd.decode_cache_*"). Thread-local for the same reason as
+// IndexProbeCounters: the decode path must never touch a shared cache
+// line.
+struct DecodeCacheCounters {
+  uint64_t hits = 0;    // CachedBlock served without decoding
+  uint64_t misses = 0;  // CachedBlock had to decode (cold or evicted)
+
+  void Reset() { *this = DecodeCacheCounters{}; }
+};
+
+inline thread_local DecodeCacheCounters t_decode_cache;
 
 // Values per block. 128 keeps the decoded block in two cache lines'
 // worth of directory strides and makes pos <-> block arithmetic shifts.
@@ -75,9 +89,23 @@ class BlockedColumn {
   // Value at `pos`, through the thread-local decoded-block cache.
   uint32_t Get(uint32_t pos) const;
 
-  // Decodes block `block` into out[0..count); returns count. `out` must
-  // have room for kCodecBlockSize values.
-  uint32_t DecodeBlock(uint32_t block, uint32_t* out) const;
+  // Hints the encoded bytes of the block containing `pos` — what a decode
+  // miss will read. Issued by batched walk loops a prefetch window ahead
+  // of the corresponding Get; a hit in the decoded-block cache simply
+  // ignores the hinted line.
+  void PrefetchBlock(uint32_t pos) const {
+    const BlockMeta& meta = directory_[pos / kCodecBlockSize];
+    __builtin_prefetch(payload_.data() + meta.byte_offset, /*rw=*/0,
+                       /*locality=*/1);
+  }
+
+  // Decodes block `block` into out[0..count); returns count. The span
+  // must have capacity for a FULL block (contract-checked against
+  // kCodecBlockSize even for a short final block): every caller that
+  // decodes one block today decodes another tomorrow, and the capacity
+  // contract is what lets the decode kernels and the thread-local cache
+  // treat a block buffer as a fixed-size, 32-byte-alignable unit.
+  uint32_t DecodeBlock(uint32_t block, std::span<uint32_t> out) const;
 
   // First position in [from, end) whose value is >= v. The caller must
   // guarantee values[from..end) is sorted ascending (a trie-node window);

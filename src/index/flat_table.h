@@ -109,6 +109,14 @@ class FlatTable {
     }
   }
 
+  // Hints the home cache line for `key` into L1 ahead of a Find. Batched
+  // probe kernels (kernels::ProbeBatch) issue a window of these before
+  // consuming the corresponding Finds in order, hiding the random-access
+  // load latency behind the rest of the batch.
+  void Prefetch(Key key) const {
+    __builtin_prefetch(slots_.data() + Bucket(key), /*rw=*/0, /*locality=*/1);
+  }
+
   // Returns the value for `key`, or nullptr if absent.
   const Value* Find(Key key) const {
     KGOA_PROBE_GUARD(probes);

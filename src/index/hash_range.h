@@ -57,6 +57,14 @@ class HashRangeIndex {
     return range == nullptr ? Range{} : *range;
   }
 
+  // Prefetch hints for the batched walk path: hint the home cache line of
+  // the depth-1 / depth-2 slot before the corresponding Depth1/Depth2
+  // probe a few walks later.
+  void PrefetchDepth1(TermId v0) const { depth1_.Prefetch(v0); }
+  void PrefetchDepth2(TermId v0, TermId v1) const {
+    depth2_.Prefetch(PackPair(v0, v1));
+  }
+
   // Number of distinct level-0 values.
   uint64_t Ndv1() const { return depth1_.size(); }
 

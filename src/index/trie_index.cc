@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/index/kernels.h"
 #include "src/index/radix.h"
 #include "src/util/contract.h"
 
@@ -169,10 +170,14 @@ uint32_t TrieIndex::SeekGE(Range range, int level, TermId value,
     step <<= 1;
   }
   const uint64_t hi = std::min<uint64_t>(range.end, lo + step);
-  const auto first = triples_.begin() + static_cast<uint32_t>(lo) + 1;
-  const auto last = triples_.begin() + static_cast<uint32_t>(hi);
-  const auto it = std::lower_bound(first, last, value, LevelLess{order_, level});
-  const auto result = static_cast<uint32_t>(it - triples_.begin());
+  // Binary tail over the galloped window, on the level's component viewed
+  // as a stride-3 array (Triple is standard-layout 3 x uint32).
+  const uint32_t first = static_cast<uint32_t>(lo) + 1;
+  const uint32_t* keys =
+      reinterpret_cast<const uint32_t*>(triples_.data() + first) + c;
+  const uint32_t result =
+      first + kernels::LowerBoundStridedU32(
+                  keys, 3, static_cast<uint32_t>(hi) - first, value);
   // Seek postconditions: the cursor never moves backwards, lands on the
   // first key >= value, and skips only keys < value.
   KGOA_DCHECK_GE(result, from);
@@ -206,10 +211,12 @@ uint32_t TrieIndex::BlockEnd(Range range, int level, uint32_t pos) const {
     step <<= 1;
   }
   const uint32_t hi = std::min<uint64_t>(range.end, lo + step);
-  const auto first = triples_.begin() + static_cast<uint32_t>(lo);
-  const auto last = triples_.begin() + hi;
-  const auto it = std::upper_bound(first, last, value, LevelLess{order_, level});
-  const auto result = static_cast<uint32_t>(it - triples_.begin());
+  const uint32_t first = static_cast<uint32_t>(lo);
+  const uint32_t* keys =
+      reinterpret_cast<const uint32_t*>(triples_.data() + first) +
+      OrderComponent(order_, level);
+  const uint32_t result =
+      first + kernels::UpperBoundStridedU32(keys, 3, hi - first, value);
   // Block postconditions: non-empty, within the node, value-homogeneous.
   KGOA_DCHECK_GT(result, pos);
   KGOA_DCHECK_LE(result, range.end);

@@ -85,6 +85,17 @@ class TrieIndex {
     return Triple{c[0], c[1], c[2]};
   }
 
+  // Hints the memory TripleAt(pos) will touch: the raw triple itself, or
+  // each level column's encoded block bytes on the block tier. Issued by
+  // batched walk loops ahead of the corresponding TripleAt.
+  void PrefetchTriple(uint32_t pos) const {
+    if (tier_ == StorageTier::kRaw) {
+      __builtin_prefetch(triples_.data() + pos, /*rw=*/0, /*locality=*/1);
+      return;
+    }
+    for (const BlockedColumn& col : cols_) col.PrefetchBlock(pos);
+  }
+
   // The raw sorted array, for IndexSet's chained radix derivation only
   // (each order is one counting pass from another). Raw tier only —
   // everything else must go through the tier-agnostic accessors above

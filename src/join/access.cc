@@ -59,4 +59,24 @@ Range PatternAccess::Resolve(const IndexSet& indexes,
   }
 }
 
+void PatternAccess::Prefetch(const IndexSet& indexes,
+                             TermId bound_value) const {
+  std::array<TermId, 3> key = key_;
+  if (bound_level_ >= 0) key[bound_level_] = bound_value;
+
+  const HashRangeIndex& hash = indexes.Hash(order_);
+  switch (depth_) {
+    case 0:
+      return;
+    case 1:
+      hash.PrefetchDepth1(key[0]);
+      return;
+    default:
+      // Depth 3 narrows within the depth-2 range, so its first (and
+      // dominant) memory access is the same depth-2 probe.
+      hash.PrefetchDepth2(key[0], key[1]);
+      return;
+  }
+}
+
 }  // namespace kgoa

@@ -34,6 +34,11 @@ class PatternAccess {
   // `bound_value` is ignored when the access has no bound variable.
   Range Resolve(const IndexSet& indexes, TermId bound_value) const;
 
+  // Hints the hash-table cache line a Resolve with the same bound value
+  // will probe. Issued by the batched walk loop a prefetch-window of walks
+  // ahead of the corresponding Resolve; a no-op for depth-0 accesses.
+  void Prefetch(const IndexSet& indexes, TermId bound_value) const;
+
   // True if any triple matches; for depth-3 accesses this is the
   // existence-check form.
   bool Exists(const IndexSet& indexes, TermId bound_value) const {

@@ -20,6 +20,7 @@ class AuditEngine final : public OlaEngine {
     aj.walk_order = options.walk_order;
     aj.tipping_threshold = options.tipping_threshold;
     aj.shared_reach = options.shared_reach;
+    aj.batch_walks = options.batch_walks;
     audit_ = std::make_unique<AuditJoin>(indexes, query, aj);
   }
 
@@ -35,6 +36,7 @@ class AuditEngine final : public OlaEngine {
     out->tip_aborts += audit_->tip_aborts();
     out->ctj_cache_hits += audit_->suffix_cache_hits();
     out->pruned_walks += audit_->pruned_walks();
+    out->batched_walks += audit_->batched_walks();
     if (audit_->owns_reach()) {
       // Private cache: this engine's stats are its own to report. A
       // shared cache is reported once by the executor instead (as a
@@ -65,6 +67,7 @@ class WanderEngine final : public OlaEngine {
     WanderJoin::Options wj;
     wj.seed = options.seed;
     wj.walk_order = options.walk_order;
+    wj.batch_walks = options.batch_walks;
     wander_ = std::make_unique<WanderJoin>(indexes, query, wj);
   }
 
@@ -79,6 +82,7 @@ class WanderEngine final : public OlaEngine {
                        wander_->estimates().rejected_walks();
     out->duplicate_walks += wander_->duplicate_walks();
     out->pruned_walks += wander_->pruned_walks();
+    out->batched_walks += wander_->batched_walks();
   }
 
   void SetGroupFilter(std::shared_ptr<const GroupFilter> filter) override {

@@ -52,6 +52,7 @@ struct OlaCounters {
   uint64_t ctj_cache_hits = 0;   // Audit Join: suffix-count memo hits
   uint64_t duplicate_walks = 0;  // Wander Join distinct mode
   uint64_t pruned_walks = 0;     // walks cut short by the top-K filter
+  uint64_t batched_walks = 0;    // walks run through the SoA batched path
   uint64_t reach_hits = 0;       // reach cache: memoized lookups served
   uint64_t reach_misses = 0;     // reach cache: entries computed
   uint64_t reach_contention = 0;  // reach cache: contended shard inserts
@@ -64,6 +65,7 @@ struct OlaCounters {
     ctj_cache_hits += other.ctj_cache_hits;
     duplicate_walks += other.duplicate_walks;
     pruned_walks += other.pruned_walks;
+    batched_walks += other.batched_walks;
     reach_hits += other.reach_hits;
     reach_misses += other.reach_misses;
     reach_contention += other.reach_contention;
@@ -95,6 +97,10 @@ struct OlaEngineOptions {
   // reach-probability cache instead of a private one. Must match the
   // engine's (query, walk order) and outlive it — see src/core/reach.h.
   ReachProbability* shared_reach = nullptr;
+  // Walk-sampling engines: walks advanced per structure-of-arrays batch
+  // (0 = kDefaultWalkBatch, 1 = unbatched). Estimates are bit-identical
+  // for every width (per-walk counter-derived RNG); ignored by Ripple.
+  uint32_t batch_walks = 0;
 };
 
 // One worker's engine. Implementations are not thread-safe: the serving

@@ -196,6 +196,7 @@ class ChartJob {
     engine_template.kind = options.engine;
     engine_template.walk_order = options.walk_order;
     engine_template.tipping_threshold = options.tipping_threshold;
+    engine_template.batch_walks = options.batch_walks;
 
     // Non-mergeable engines (Ripple) run on exactly one logical worker:
     // their partials cannot be folded across independently seeded
@@ -960,6 +961,7 @@ ChartJobOptions ParallelOlaExecutor::BaseJobOptions() const {
   job.engine = options_.engine;
   job.walk_order = options_.walk_order;
   job.tipping_threshold = options_.tipping_threshold;
+  job.batch_walks = options_.batch_walks;
   // The executor resolved reach sharing at construction (so the cache
   // stays warm across Run calls); the job must not build its own.
   job.share_reach = false;

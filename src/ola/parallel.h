@@ -70,6 +70,10 @@ struct ParallelOlaOptions {
   OlaEngineKind engine = OlaEngineKind::kAudit;
   std::vector<int> walk_order;   // empty = engine default
   double tipping_threshold = 64.0;  // Audit Join only
+  // Walks per structure-of-arrays batch inside each slot's quantum
+  // (0 = kDefaultWalkBatch, 1 = unbatched). Never affects budget-mode
+  // results: estimates are bit-identical for every width.
+  uint32_t batch_walks = 0;
 
   // Budget mode: number of logical workers the budget is split across.
   // Part of the deterministic run identity — changing it changes the
@@ -163,6 +167,9 @@ struct ChartJobOptions {
   OlaEngineKind engine = OlaEngineKind::kAudit;
   std::vector<int> walk_order;  // empty = engine default
   double tipping_threshold = 64.0;
+  // Walks per structure-of-arrays batch (0 = kDefaultWalkBatch,
+  // 1 = unbatched); bit-identical estimates for every width.
+  uint32_t batch_walks = 0;
 
   // Reach-cache sharing across the job's slots; same semantics as
   // ParallelOlaOptions. `shared_reach` (e.g. from the session's

@@ -21,6 +21,14 @@
 
 namespace kgoa {
 
+// Default walk-batch width for the structure-of-arrays walk loop (engine
+// option batch_walks == 0). 32 walks keep the per-level hash-probe and
+// triple-fetch pipelines deeper than kernels::kProbePrefetchDepth while
+// the batch state stays a few cache lines. Any width produces
+// bit-identical estimates (per-walk counter-derived RNG; see
+// src/util/rng.h WalkSeed), so this is purely a throughput knob.
+inline constexpr uint32_t kDefaultWalkBatch = 32;
+
 struct WalkStep {
   int pattern_index = 0;
   VarId in_var = kNoVar;  // kNoVar only for the first step

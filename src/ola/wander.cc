@@ -1,5 +1,9 @@
 #include "src/ola/wander.h"
 
+#include <algorithm>
+#include <span>
+
+#include "src/index/kernels.h"
 #include "src/util/contract.h"
 
 namespace kgoa {
@@ -8,12 +12,14 @@ WanderJoin::WanderJoin(const IndexSet& indexes, const ChainQuery& query,
                        Options options)
     : indexes_(indexes),
       query_(query),
+      options_(options),
       plan_(WalkPlan::Compile(query_, options.walk_order)),
       rng_(options.seed),
       state_(plan_.num_slots(), kInvalidTerm),
       alpha_record_step_(plan_.RecordStepOfSlot(plan_.alpha_slot())) {}
 
 void WanderJoin::RunOneWalk() {
+  rng_.Seed(WalkSeed(options_.seed, walk_counter_++));
   double weight = 1.0;  // prod d_i = 1 / Pr(walk so far)
   for (int q = 0; q < plan_.NumSteps(); ++q) {
     const WalkStep& step = plan_.steps()[q];
@@ -76,7 +82,155 @@ void WanderJoin::RunOneWalk() {
 }
 
 void WanderJoin::RunWalks(uint64_t count) {
-  for (uint64_t i = 0; i < count; ++i) RunOneWalk();
+  const uint32_t batch =
+      options_.batch_walks == 0 ? kDefaultWalkBatch : options_.batch_walks;
+  if (batch <= 1) {
+    for (uint64_t i = 0; i < count; ++i) RunOneWalk();
+    return;
+  }
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const uint32_t b =
+        static_cast<uint32_t>(std::min<uint64_t>(batch, remaining));
+    RunWalkBatch(b);
+    remaining -= b;
+  }
+}
+
+// Level-synchronous batch execution — the Wander Join specialization of
+// AuditJoin::RunWalkBatch's phase structure (no tipping phases):
+//   1. scalar prolog, walk order: top-K prune + bound extraction;
+//   2. batched range resolve, hash probes prefetch-pipelined;
+//   3. rejection + per-walk RNG position draw, walk order;
+//   4. batched triple fetch + filter + record.
+// Bit-identity with batch = 1: every walk draws from its own
+// counter-derived stream (WalkSeed), and the only cross-walk state — the
+// distinct mode's Ripple seen-set and the estimator — is touched solely in
+// the completion loop at batch end, in walk order, so FindOrInsert and
+// AddContribution sequences match the unbatched path exactly.
+void WanderJoin::RunWalkBatch(uint32_t batch) {
+  const int num_slots = plan_.num_slots();
+  batch_rng_.resize(batch);
+  batch_state_.assign(static_cast<std::size_t>(batch) * num_slots,
+                      kInvalidTerm);
+  batch_weight_.assign(batch, 1.0);
+  batch_bound_.assign(batch, kInvalidTerm);
+  batch_range_.assign(batch, Range{});
+  batch_pos_.assign(batch, 0);
+  batch_done_.assign(batch, kLaneAlive);
+  for (uint32_t b = 0; b < batch; ++b) {
+    batch_rng_[b].Seed(WalkSeed(options_.seed, walk_counter_ + b));
+  }
+  walk_counter_ += batch;
+  batched_walks_ += batch;
+
+  const auto lane_state = [&](uint32_t b) {
+    return std::span<TermId>(batch_state_.data() +
+                                 static_cast<std::size_t>(b) * num_slots,
+                             static_cast<std::size_t>(num_slots));
+  };
+
+  uint32_t alive = batch;
+  for (int q = 0; q < plan_.NumSteps() && alive > 0; ++q) {
+    const WalkStep& step = plan_.steps()[q];
+
+    // Phase 1: prune + bound extraction, walk order.
+    batch_live_.clear();
+    for (uint32_t b = 0; b < batch; ++b) {
+      if (batch_done_[b] != kLaneAlive) continue;
+      const std::span<TermId> state = lane_state(b);
+      if (group_filter_ != nullptr && q == alpha_record_step_ + 1 &&
+          group_filter_->Pruned(state[plan_.alpha_slot()])) {
+        ++pruned_;
+        batch_done_[b] = kLaneDone;
+        --alive;
+        continue;
+      }
+      batch_bound_[b] = step.in_slot >= 0 ? state[step.in_slot] : kInvalidTerm;
+      batch_live_.push_back(b);
+    }
+    if (alive == 0) break;
+
+    // Phase 2: batched resolve.
+    kernels::PrefetchPipeline(
+        batch_live_.size(),
+        [&](std::size_t i) {
+          step.access.Prefetch(indexes_, batch_bound_[batch_live_[i]]);
+        },
+        [&](std::size_t i) {
+          const uint32_t b = batch_live_[i];
+          batch_range_[b] = step.access.Resolve(indexes_, batch_bound_[b]);
+        });
+
+    // Phase 3: rejection + position draw, walk order.
+    for (const uint32_t b : batch_live_) {
+      const Range range = batch_range_[b];
+      if (range.empty()) {
+        batch_done_[b] = kLaneRejected;
+        --alive;
+        continue;
+      }
+      batch_weight_[b] *= static_cast<double>(range.size());
+      batch_pos_[b] = range.begin +
+                      static_cast<uint32_t>(batch_rng_[b].Below(range.size()));
+    }
+    if (alive == 0) break;
+
+    // Phase 4: batched triple fetch + filter + record.
+    batch_live_.clear();
+    for (uint32_t b = 0; b < batch; ++b) {
+      if (batch_done_[b] == kLaneAlive) batch_live_.push_back(b);
+    }
+    const TrieIndex& index = indexes_.Index(step.access.order());
+    kernels::PrefetchPipeline(
+        batch_live_.size(),
+        [&](std::size_t i) { index.PrefetchTriple(batch_pos_[batch_live_[i]]); },
+        [&](std::size_t i) {
+          const uint32_t b = batch_live_[i];
+          const Triple t = index.TripleAt(batch_pos_[b]);
+          if (!step.filter.empty() && !step.filter.Pass(indexes_, t)) {
+            batch_done_[b] = kLaneRejected;
+            --alive;
+            return;
+          }
+          const std::span<TermId> state = lane_state(b);
+          for (const WalkStep::Record& record : step.records) {
+            state[record.slot] = t[record.component];
+          }
+        });
+  }
+
+  // Completion loop, walk order: seen-set probes, contributions and
+  // EndWalk in exactly the unbatched sequence.
+  for (uint32_t b = 0; b < batch; ++b) {
+    if (batch_done_[b] != kLaneAlive) {
+      estimates_.EndWalk(/*rejected=*/batch_done_[b] == kLaneRejected);
+      continue;
+    }
+    const std::span<TermId> state = lane_state(b);
+    KGOA_DCHECK_GE(batch_weight_[b], 1.0);
+    const TermId group = state[plan_.alpha_slot()];
+    if (group_filter_ != nullptr &&
+        alpha_record_step_ + 1 == plan_.NumSteps() &&
+        group_filter_->Pruned(group)) {
+      ++pruned_;
+      estimates_.EndWalk(/*rejected=*/false);
+      continue;
+    }
+    if (query_.distinct()) {
+      const uint64_t pair = PackPair(group, state[plan_.beta_slot()]);
+      bool inserted = false;
+      seen_pairs_.FindOrInsert(pair, &inserted);
+      if (inserted) {
+        estimates_.AddContribution(group, batch_weight_[b]);
+      } else {
+        ++duplicates_;
+      }
+    } else {
+      estimates_.AddContribution(group, batch_weight_[b]);
+    }
+    estimates_.EndWalk(/*rejected=*/false);
+  }
 }
 
 void WanderJoin::EnumerateAllWalks(

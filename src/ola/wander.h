@@ -38,6 +38,10 @@ class WanderJoin {
     // Walk order over pattern indices; empty = forward. The evaluation
     // harness selects the best candidate per query like the paper does.
     std::vector<int> walk_order;
+    // Walks advanced per structure-of-arrays batch (0 = kDefaultWalkBatch,
+    // 1 = unbatched). Purely a throughput knob: per-walk counter-derived
+    // RNG (WalkSeed) makes estimates bit-identical for every width.
+    uint32_t batch_walks = 0;
   };
 
   WanderJoin(const IndexSet& indexes, const ChainQuery& query)
@@ -64,6 +68,9 @@ class WanderJoin {
   // contention (see src/ola/topk.h).
   uint64_t pruned_walks() const { return pruned_; }
 
+  // Walks executed through the structure-of-arrays batched path.
+  uint64_t batched_walks() const { return batched_walks_; }
+
   // Installs (nullptr: clears) a top-K group filter: once the walk binds
   // its group-by value to a pruned group, it ends with a zero
   // contribution instead of sampling the remaining steps.
@@ -81,11 +88,18 @@ class WanderJoin {
                                double contribution)>& callback) const;
 
  private:
+  // `batch` walks advanced level-synchronously; bit-identical to the
+  // unbatched loop (see the .cc walk-order argument).
+  void RunWalkBatch(uint32_t batch);
+
   const IndexSet& indexes_;
   ChainQuery query_;
+  Options options_;
   WalkPlan plan_;
   GroupedEstimates estimates_;
+  // Re-seeded per walk from WalkSeed(options_.seed, walk_counter_).
   Rng rng_;
+  uint64_t walk_counter_ = 0;
   std::vector<TermId> state_;
   // Ripple seen-set, probed once per completed distinct walk. Flat table
   // keyed by PackPair(group, beta); the ~0 sentinel is unreachable (it
@@ -96,6 +110,19 @@ class WanderJoin {
   std::shared_ptr<const GroupFilter> group_filter_;
   int alpha_record_step_ = -1;  // step binding the group-by slot
   uint64_t pruned_ = 0;
+  uint64_t batched_walks_ = 0;
+
+  // Structure-of-arrays batch state, reused across batches. Lane index ==
+  // walk order within the batch.
+  enum LaneState : uint8_t { kLaneAlive = 0, kLaneDone = 1, kLaneRejected = 2 };
+  std::vector<Rng> batch_rng_;
+  std::vector<TermId> batch_state_;  // walk-major: [lane * num_slots + slot]
+  std::vector<double> batch_weight_;
+  std::vector<TermId> batch_bound_;
+  std::vector<Range> batch_range_;
+  std::vector<uint32_t> batch_pos_;
+  std::vector<uint8_t> batch_done_;   // LaneState
+  std::vector<uint32_t> batch_live_;  // alive lane indices, walk order
 };
 
 }  // namespace kgoa

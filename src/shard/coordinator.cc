@@ -220,6 +220,7 @@ ShardChartHandle ShardCoordinator::Submit(const ChainQuery& query,
     job.engine = options.engine;
     job.walk_order = options.walk_order;
     job.tipping_threshold = options.tipping_threshold;
+    job.batch_walks = options.batch_walks;
     job.top_k = options.top_k;
     job.finish_on_displayed_convergence =
         options.finish_on_displayed_convergence;

@@ -95,6 +95,10 @@ struct ShardChartOptions {
   OlaEngineKind engine = OlaEngineKind::kAudit;
   std::vector<int> walk_order;  // empty = engine default
   double tipping_threshold = 64.0;
+  // Walks advanced per structure-of-arrays batch in every shard's engines
+  // (0 = engine default, 1 = unbatched). Not part of the run identity:
+  // estimates are bit-identical at every width.
+  uint32_t batch_walks = 0;
 
   // Audit-distinct: share one coordinator-owned reach cache across every
   // shard of this job (and across jobs on the same (query, walk order)).

@@ -19,6 +19,20 @@ inline uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+// Seed of walk number `walk` under engine seed `engine_seed`. Walk RNG is
+// counter-derived: every walk draws from a private stream seeded by
+// (engine seed, walk index), so a walk's samples are a pure function of
+// its index — the execution order of walks (one at a time, or batched
+// level-synchronously) cannot change any walk's draws, which is what
+// keeps batched estimates bit-identical to the batch=1 path. The engine
+// seed is avalanched through the SplitMix64 mixer so the adjacent engine
+// seeds handed out by the parallel executor (seed + worker) yield
+// decorrelated walk-seed sequences.
+inline uint64_t WalkSeed(uint64_t engine_seed, uint64_t walk) {
+  uint64_t sm = engine_seed;
+  return SplitMix64(sm) + walk;
+}
+
 // xoshiro256** generator. Copyable; copies evolve independently.
 class Rng {
  public:

@@ -14,6 +14,7 @@
 #include "src/core/audit.h"
 #include "src/ola/parallel.h"
 #include "src/ola/wander.h"
+#include "src/util/simd.h"
 #include "tests/test_util.h"
 
 namespace kgoa {
@@ -188,6 +189,77 @@ TEST_F(ParallelTest, WalkBudgetBitIdenticalAcrossThreadCounts) {
       ExpectBitIdentical(reference, run.estimates);
     }
   }
+}
+
+// The batching contract: walk RNG is counter-derived per walk index, so
+// the SoA batched path (any width) produces bit-identical estimates to
+// the unbatched path, at every thread count, for both walk-sampling
+// engines. Widths bracket the default (32) and include a non-divisor of
+// the per-slot budget (the final short batch).
+TEST_F(ParallelTest, WalkBudgetBitIdenticalAcrossBatchWidths) {
+  constexpr uint64_t kBudget = 3000;
+  for (const OlaEngineKind engine :
+       {OlaEngineKind::kAudit, OlaEngineKind::kWander}) {
+    const ChainQuery query = Fig5(engine == OlaEngineKind::kAudit);
+    ParallelOlaOptions options;
+    options.workers = 4;
+    options.engine = engine;
+    options.tipping_threshold = 2.0;
+    GroupedEstimates reference;
+    bool have_reference = false;
+    for (const uint32_t batch : {1u, 2u, 32u, 101u}) {
+      for (const int threads : {1, 2, 8}) {
+        SCOPED_TRACE(::testing::Message()
+                     << OlaEngineName(engine) << " batch=" << batch
+                     << " threads=" << threads);
+        options.threads = threads;
+        options.batch_walks = batch;
+        const ParallelOlaResult run =
+            ParallelOlaExecutor(indexes_, query, options)
+                .RunWalkBudget(kBudget);
+        EXPECT_EQ(run.estimates.walks(), kBudget);
+        if (batch > 1) {
+          EXPECT_EQ(run.counters.batched_walks, kBudget);
+        } else {
+          EXPECT_EQ(run.counters.batched_walks, 0u);
+        }
+        if (!have_reference) {
+          reference = run.estimates;
+          have_reference = true;
+        } else {
+          ExpectBitIdentical(reference, run.estimates);
+        }
+      }
+    }
+  }
+}
+
+// The kernel layer is exact, not approximate: forcing the scalar dispatch
+// level must reproduce the vectorized run bit for bit (decode, seek and
+// probe kernels all sit under the walk inner loop).
+TEST_F(ParallelTest, WalkBudgetBitIdenticalAcrossSimdLevels) {
+  const ChainQuery query = Fig5(true);
+  constexpr uint64_t kBudget = 2002;
+  ParallelOlaOptions options;
+  options.workers = 4;
+  options.threads = 2;
+  options.tipping_threshold = 2.0;
+  const SimdLevel entry_level = CurrentSimdLevel();
+  GroupedEstimates reference;
+  bool have_reference = false;
+  for (const SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse42, SimdLevel::kAvx2}) {
+    SetSimdLevel(level);  // clamped to what the CPU supports
+    const ParallelOlaResult run =
+        ParallelOlaExecutor(indexes_, query, options).RunWalkBudget(kBudget);
+    if (!have_reference) {
+      reference = run.estimates;
+      have_reference = true;
+    } else {
+      ExpectBitIdentical(reference, run.estimates);
+    }
+  }
+  SetSimdLevel(entry_level);
 }
 
 TEST_F(ParallelTest, AuditWorkersConvergeMerged) {

@@ -226,6 +226,40 @@ TEST_F(ServeTest, WalkBudgetBitIdenticalSoloVsConcurrentAcrossPools) {
   }
 }
 
+// Batched walk execution under the serving core: a job's batch width is
+// not part of the run identity — batch_walks 1 (unbatched), the default
+// SoA width, and an oddball width all reproduce the same estimate across
+// pool sizes, interleaved with quantum-level preemption.
+TEST_F(ServeTest, WalkBudgetBitIdenticalAcrossBatchWidths) {
+  const ChainQuery query = Fig5(true);
+  constexpr uint64_t kBudget = 2002;
+  GroupedEstimates reference;
+  bool have_reference = false;
+  for (const uint32_t batch : {1u, 0u, 48u}) {  // 0 = engine default
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "batch=" << batch << " threads=" << threads);
+      ServingCore::Options core_options;
+      core_options.threads = threads;
+      ServingCore core(indexes_, core_options);
+      ChartJobOptions job;
+      job.walk_budget = kBudget;
+      job.workers = 4;
+      job.seed = 17;
+      job.tipping_threshold = 2.0;
+      job.batch_walks = batch;
+      const ParallelOlaResult run = core.Submit(query, job).Await();
+      ASSERT_EQ(run.estimates.walks(), kBudget);
+      if (!have_reference) {
+        reference = run.estimates;
+        have_reference = true;
+      } else {
+        ExpectBitIdentical(reference, run.estimates);
+      }
+    }
+  }
+}
+
 // Priority: a high-priority job submitted while a low-priority job is
 // running takes over the (single) worker until it completes; the
 // low-priority job makes no progress beyond in-flight quanta.

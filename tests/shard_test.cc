@@ -274,6 +274,39 @@ TEST_F(ShardTest, BlockTierBudgetBitIdenticalAcrossShardCounts) {
   }
 }
 
+// Batched walk execution under the scatter: the batch width is not part
+// of the sharded run identity either — unbatched (1), default-width and
+// odd-width runs reproduce each other and the unsharded reference bit
+// for bit at 1/2/4 shards, on both storage tiers.
+TEST_F(ShardTest, BatchedBudgetBitIdenticalAcrossShardsAndTiers) {
+  const ChainQuery query = Fig5(true);
+  IndexSet block(graph_, IndexSetOptions{StorageTier::kBlock});
+  constexpr uint64_t kBudget = 1003;
+  for (const int shards : {1, 2, 4}) {
+    const GroupedEstimates reference =
+        Reference(query, OlaEngineKind::kAudit, kBudget, shards * 2);
+    for (const uint32_t batch : {1u, 0u, 48u}) {  // 0 = engine default
+      SCOPED_TRACE(::testing::Message()
+                   << shards << " shards batch=" << batch);
+      ShardCoordinator::Options options;
+      options.num_shards = shards;
+      options.threads_per_shard = 2;
+      options.build_slices = false;
+      ShardChartOptions chart;
+      chart.walk_budget = kBudget;
+      chart.workers_per_shard = 2;
+      chart.seed = 17;
+      chart.tipping_threshold = 2.0;
+      chart.batch_walks = batch;
+      for (const IndexSet* tier : {&indexes_, &block}) {
+        ShardCoordinator coordinator(graph_, *tier, options);
+        ExpectBitIdentical(coordinator.Submit(query, chart).Await().estimates,
+                           reference);
+      }
+    }
+  }
+}
+
 // A combined snapshot taken after completion is exactly the gathered
 // final result (the deterministic slot-order fold), and the deadline
 // fan-out reports the total logical worker count.
