@@ -25,7 +25,15 @@
 //                                 default the --budget_ms budget)
 //   jobs                          list submitted jobs with live snapshots
 //   cancel <id>                   cancel a submitted job
+//   insert <s> <p> <o>            apply a one-triple insert batch (terms
+//                                 are interned as typed; publishes a new
+//                                 epoch — charts already submitted keep
+//                                 serving their pinned version)
+//   delete <s> <p> <o>            apply a one-triple delete batch
+//   compact                       fold the delta overlay into a rebuilt
+//                                 base (DESIGN.md §13) and report the cost
 //   metrics [json]                dump the serving metrics registry
+//                                 (includes the epoch.* overlay counters)
 //   quit
 //
 // Submitted jobs are tracked by the session: `pick` and `back` supersede
@@ -45,6 +53,7 @@
 #include "src/rdf/ntriples.h"
 #include "src/rdf/schema.h"
 #include "src/util/flags.h"
+#include "src/util/stopwatch.h"
 
 namespace {
 
@@ -256,11 +265,45 @@ struct Repl {
                 static_cast<unsigned long long>(id));
   }
 
+  // One-triple write batch. Terms are interned as typed (so a deleted
+  // triple's terms need not pre-exist; Apply just reports zero changes
+  // when the triple is absent). Every effective batch publishes a new
+  // epoch — submitted jobs keep serving the version they pinned.
+  void Write(bool insert, const std::string& s, const std::string& p,
+             const std::string& o) {
+    const kgoa::Triple triple{explorer->Intern(s), explorer->Intern(p),
+                              explorer->Intern(o)};
+    const uint64_t changes =
+        insert ? explorer->Insert({triple}) : explorer->Delete({triple});
+    const kgoa::MutableGraph::Stats stats = explorer->graph_stats();
+    std::printf("  %llu change(s); epoch %llu, overlay +%llu -%llu over "
+                "%llu base triples\n",
+                static_cast<unsigned long long>(changes),
+                static_cast<unsigned long long>(stats.epoch),
+                static_cast<unsigned long long>(stats.overlay_adds),
+                static_cast<unsigned long long>(stats.overlay_dels),
+                static_cast<unsigned long long>(stats.base_triples));
+  }
+
+  void Compact() {
+    kgoa::Stopwatch clock;
+    const uint64_t epoch = explorer->Compact();
+    const kgoa::MutableGraph::Stats stats = explorer->graph_stats();
+    std::printf("  compacted to epoch %llu in %.1f ms (%llu triples, "
+                "%llu snapshot(s) still pinned)\n",
+                static_cast<unsigned long long>(epoch),
+                clock.ElapsedSeconds() * 1000.0,
+                static_cast<unsigned long long>(stats.live_triples),
+                static_cast<unsigned long long>(stats.snapshots_pinned));
+  }
+
   // Serving metrics (engine counters accumulated by the explorer) plus
-  // this session's interaction counters, as text or JSON.
+  // the epoch/overlay state and this session's interaction counters, as
+  // text or JSON.
   void DumpMetrics(bool as_json) {
     kgoa::MetricsRegistry registry = explorer->metrics();
     kgoa::ExportSimdMetrics("simd.", &registry);
+    kgoa::ExportMetrics(explorer->mutable_graph(), "epoch.", &registry);
     registry.SetCounter("session.queries_built", session.queries_built());
     registry.SetCounter("session.expansions", session.expansions_applied());
     registry.SetCounter("session.back_navigations",
@@ -331,7 +374,8 @@ int main(int argc, char** argv) {
   }
   Repl repl(&explorer, budget, threads, shards);
   std::printf("%zu triples. commands: sub out in obj subj pick <n> back "
-              "plan show submit <exp> [s] jobs cancel <id> metrics quit\n",
+              "plan show submit <exp> [s] jobs cancel <id> "
+              "insert <s> <p> <o> delete <s> <p> <o> compact metrics quit\n",
               explorer.graph().NumTriples());
 
   std::string line;
@@ -375,6 +419,16 @@ int main(int argc, char** argv) {
       } else {
         std::printf("  usage: cancel <job id>\n");
       }
+    } else if (command == "insert" || command == "delete") {
+      std::string s, p, o;
+      if (words >> s >> p >> o) {
+        repl.Write(command == "insert", s, p, o);
+      } else {
+        std::printf("  usage: %s <subject> <predicate> <object>\n",
+                    command.c_str());
+      }
+    } else if (command == "compact") {
+      repl.Compact();
     } else if (command == "metrics") {
       std::string mode;
       words >> mode;

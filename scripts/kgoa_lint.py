@@ -63,6 +63,17 @@ Rules (see DESIGN.md, "Correctness tooling" and §11):
                          a bare wait invites the classic spurious-wakeup
                          bug (also flagged by clang-tidy's
                          bugprone-spuriously-wake-up-functions).
+  raw-graph-retention    No raw `Graph*` / `IndexSet*` (or `const Graph&` /
+                         `const IndexSet&`) members outside src/index and
+                         src/rdf: since the snapshot-epoch refactor
+                         (DESIGN.md §13) the current version's Graph and
+                         IndexSet are replaced by every compaction, so a
+                         raw member held across an epoch boundary dangles.
+                         Long-lived holders keep a GraphSnapshot (which
+                         pins the version); query-scoped engines that
+                         provably live inside one pinned serving call
+                         carry a `kgoa-lint: allow(raw-graph-retention)`
+                         note naming the snapshot that outlives them.
   raw-intrinsic          No <immintrin.h>-family includes or _mm*/__m128/
                          __m256 intrinsics outside src/util/simd.h and
                          src/index/kernels.{h,cc}: the kernel layer is the
@@ -126,6 +137,16 @@ ATOMIC_ONLY_OPS = {
 }
 
 CV_WAIT_RE = re.compile(r"[.\->](Wait|WaitFor)\s*\(")
+
+# Raw Graph/IndexSet retention: a member declaration (trailing-underscore
+# name, any initializer) or a bare field (plain name, no initializer or
+# `= nullptr`) whose type is a raw pointer/reference to Graph or IndexSet.
+# Locals with initializers deliberately do not match: a reference scoped
+# inside one call cannot cross an epoch boundary.
+RAW_GRAPH_RETAIN_RE = re.compile(
+    r"^\s*(?:const\s+)?(?:kgoa::)?(Graph|IndexSet)\s*[*&]\s*"
+    r"(?:\w+_\s*(?:=[^;]*)?|[A-Za-z]\w*\s*(?:=\s*nullptr\s*)?);"
+)
 
 # x86 SIMD surface: the intrinsic headers and the _mm*/__m* value types.
 INTRINSIC_INCLUDE_RE = re.compile(
@@ -395,6 +416,19 @@ class Linter:
                           "the tier-agnostic TripleAt/KeyAt/Narrow/SeekGE/"
                           "BlockEnd accessors")
 
+            # raw-graph-retention: src only, outside the index/rdf layers
+            # that define and version these types. A raw member dangles at
+            # the first compaction; hold a GraphSnapshot instead.
+            if in_src and not rel.startswith(("src/index/", "src/rdf/")):
+                m = RAW_GRAPH_RETAIN_RE.match(line)
+                if m:
+                    check("raw-graph-retention", i,
+                          f"raw {m.group(1)} pointer/reference member "
+                          "dangles when compaction publishes a new epoch; "
+                          "hold a GraphSnapshot (src/index/snapshot.h), or "
+                          "annotate a query-scoped engine that a pinned "
+                          "snapshot provably outlives")
+
             if in_hot:
                 if re.search(r"\bunordered_(map|set)\b", line):
                     check("unordered-in-hot-path", i,
@@ -533,6 +567,30 @@ def self_test() -> int:
         ("allowed intrinsic", "src/rdf/hash.cc",
          "// kgoa-lint: allow(raw-intrinsic) hardware CRC seed\n"
          "auto x = _mm_crc32_u64(a, b);\n", set()),
+        ("raw IndexSet ref member", "src/join/foo.h",
+         "  const IndexSet& indexes_;\n", {"raw-graph-retention"}),
+        ("raw Graph pointer member", "src/core/foo.h",
+         "  Graph* graph_ = nullptr;\n", {"raw-graph-retention"}),
+        ("raw IndexSet field in an options struct", "src/ola/foo.h",
+         "  const IndexSet* indexes = nullptr;\n", {"raw-graph-retention"}),
+        ("qualified Graph ref member", "src/shard/foo.h",
+         "  const kgoa::Graph& graph_;\n", {"raw-graph-retention"}),
+        ("index layer may retain raw", "src/index/foo.h",
+         "  const Graph& graph_;\n", set()),
+        ("rdf layer may retain raw", "src/rdf/foo.h",
+         "  Graph* graph_ = nullptr;\n", set()),
+        ("tests may retain raw", "tests/foo_test.cc",
+         "  const IndexSet& indexes_;\n", set()),
+        ("snapshot member passes", "src/explore/foo.h",
+         "  GraphSnapshot snapshot_;\n", set()),
+        ("owning pointer passes", "src/core/foo.h",
+         "  std::unique_ptr<IndexSet> indexes_;\n", set()),
+        ("call-scoped ref local passes", "src/core/foo.cc",
+         "  const IndexSet& indexes = snapshot.indexes();\n", set()),
+        ("allowed query-scoped engine", "src/join/foo.h",
+         "  // kgoa-lint: allow(raw-graph-retention) engine is query-"
+         "scoped\n"
+         "  const IndexSet& indexes_;\n", set()),
         ("existing rule still fires", "src/foo/bar.cc",
          "assert(x > 0);\n", {"bare-assert"}),
         ("raw thread still fires", "tests/foo_test.cc",

@@ -174,6 +174,7 @@ class AuditJoin {
   // in-order probe-and-accumulate pass.
   void FlushContributions();
 
+  // kgoa-lint: allow(raw-graph-retention) walk engine scoped inside one pinned serving call
   const IndexSet& indexes_;
   ChainQuery query_;
   Options options_;

@@ -10,11 +10,45 @@
 namespace kgoa {
 
 Explorer::Explorer(Graph graph)
-    : graph_(std::move(graph)),
-      indexes_(std::make_unique<IndexSet>(graph_)) {}
+    : Explorer(std::move(graph), MutableGraph::Options()) {}
+
+Explorer::Explorer(Graph graph, MutableGraph::Options options)
+    : mutable_graph_(std::move(graph), options) {}
+
+uint64_t Explorer::Apply(const std::vector<Triple>& inserts,
+                         const std::vector<Triple>& deletes) {
+  const uint64_t changes = mutable_graph_.Apply(inserts, deletes);
+  if (changes > 0) AfterPublish();
+  return changes;
+}
+
+uint64_t Explorer::Compact() {
+  const uint64_t epoch = mutable_graph_.Compact();
+  AfterPublish();
+  return epoch;
+}
+
+MutableGraph::CompactTicket Explorer::CompactAsync() {
+  // Stale-cache eviction for a background fold happens on the NEXT write
+  // (or synchronous Compact); superseded entries only waste memory.
+  return mutable_graph_.CompactAsync(Core());
+}
+
+void Explorer::AfterPublish() {
+  const uint64_t epoch = mutable_graph_.epoch();
+  reach_caches_.EvictStale(epoch);
+  if (shard_coordinator_ != nullptr) {
+    shard_coordinator_->EvictStaleReach(epoch);
+  }
+  ExportMetrics(mutable_graph_, "epoch.", &metrics_);
+  ExportReachMetrics();
+}
 
 GroupedResult Explorer::Evaluate(const ChainQuery& query) const {
-  return CtjEngine(*indexes_).Evaluate(query);
+  // Pinned for the call: an exact evaluation racing a write still reads
+  // one coherent version.
+  const GraphSnapshot snapshot = mutable_graph_.snapshot();
+  return CtjEngine(snapshot.indexes()).Evaluate(query);
 }
 
 namespace {
@@ -71,14 +105,20 @@ Chart Explorer::ApproximateChart(const ChainQuery& query, double seconds,
   if (options.walk_order.empty()) {
     options.walk_order = DefaultAuditOrder(query);
   }
+  // Pinned for the call: walks and audits read one coherent version even
+  // while writes land.
+  const GraphSnapshot snapshot = mutable_graph_.snapshot();
   // Serve distinct charts against the session's warm reach cache so a
-  // revisited (query, walk order) never re-audits a pair (the memos are
-  // exact across servings — src/explore/cache.h).
+  // revisited (epoch, query, walk order) never re-audits a pair (the
+  // memos are exact across servings — src/explore/cache.h). The acquired
+  // keepalive outlives the AuditJoin below.
+  AcquiredReach acquired;
   if (query.distinct() && options.shared_reach == nullptr) {
-    options.shared_reach = reach_caches_.Acquire(query, options.walk_order);
+    acquired = reach_caches_.Acquire(query, options.walk_order, snapshot);
+    options.shared_reach = acquired.reach;
   }
   Stopwatch clock;
-  AuditJoin audit(*indexes_, query, options);
+  AuditJoin audit(snapshot.indexes(), query, options);
   do {
     audit.RunWalks(64);
   } while (clock.ElapsedSeconds() < seconds);
@@ -132,25 +172,31 @@ Chart Explorer::ApproximateChartParallel(const ChainQuery& query,
 
 ServingCore& Explorer::Core() const {
   if (serving_core_ == nullptr) {
-    serving_core_ =
-        std::make_unique<ServingCore>(*indexes_, serving_options_);
+    serving_core_ = std::make_unique<ServingCore>(mutable_graph_.snapshot(),
+                                                  serving_options_);
   }
   return *serving_core_;
 }
 
 ChartHandle Explorer::SubmitChart(const ChainQuery& query,
                                   ChartJobOptions options) const {
+  // Pin the CURRENT version at submit (not the core's construction-time
+  // default, which a long-lived explorer outgrows write by write).
+  if (!options.snapshot.valid()) options.snapshot = mutable_graph_.snapshot();
   if (options.engine == OlaEngineKind::kAudit) {
     if (options.walk_order.empty()) {
       options.walk_order = DefaultAuditOrder(query);
     }
     // Serve distinct jobs against the explorer's warm reach caches so
-    // concurrent and repeated jobs on the same (query, walk order) share
-    // audits instead of redoing them per job.
+    // concurrent and repeated jobs on the same (epoch, query, walk order)
+    // share audits instead of redoing them per job.
     if (query.distinct() && options.shared_reach == nullptr &&
         options.share_reach) {
-      options.shared_reach =
-          reach_caches_.Acquire(query, options.walk_order);
+      AcquiredReach acquired = reach_caches_.Acquire(query, options.walk_order,
+                                                     options.snapshot);
+      options.share_reach = false;
+      options.shared_reach = acquired.reach;
+      options.reach_keepalive = std::move(acquired.keepalive);
     }
   }
   ChartHandle handle = Core().Submit(query, std::move(options));
@@ -166,8 +212,8 @@ void Explorer::ConfigureServing(ServingCore::Options options) const {
 
 void Explorer::EnableSharding(ShardCoordinator::Options options) const {
   shard_coordinator_.reset();  // joins the shard pools first
-  shard_coordinator_ =
-      std::make_unique<ShardCoordinator>(graph_, *indexes_, options);
+  shard_coordinator_ = std::make_unique<ShardCoordinator>(
+      mutable_graph_.snapshot(), options);
   ExportMetrics(*shard_coordinator_, "shard.", &metrics_);
 }
 
@@ -180,6 +226,9 @@ ShardCoordinator& Explorer::shard_coordinator() const {
 ShardChartHandle Explorer::SubmitChartSharded(const ChainQuery& query,
                                               ShardChartOptions options)
     const {
+  // Pin the CURRENT version for the whole fan-out (the coordinator pins
+  // its construction-time version otherwise, which writes supersede).
+  if (!options.snapshot.valid()) options.snapshot = mutable_graph_.snapshot();
   ShardChartHandle handle =
       shard_coordinator().Submit(query, std::move(options));
   metrics_.Add("explorer.sharded_jobs_submitted", 1);
@@ -223,6 +272,8 @@ void Explorer::ExportReachMetrics() const {
   metrics_.SetCounter("explorer.reach.plan_hits", reach_caches_.plan_hits());
   metrics_.SetCounter("explorer.reach.plan_misses",
                       reach_caches_.plan_misses());
+  metrics_.SetCounter("explorer.reach.stale_evictions",
+                      reach_caches_.stale_evictions());
   const ShardedTableStats stats = reach_caches_.stats();
   metrics_.SetCounter("explorer.reach.hits", stats.hits);
   metrics_.SetCounter("explorer.reach.misses", stats.misses);

@@ -165,7 +165,7 @@ double ReachProbability::ComputePrAB(TermId a, TermId b) {
     // range, filtering on the object.
     const TrieIndex& spo = indexes_.Index(IndexOrder::kSpo);
     const Range range =
-        indexes_.Hash(IndexOrder::kSpo).Depth1(subst[kSubject].term());
+        indexes_.Depth1(IndexOrder::kSpo, subst[kSubject].term());
     for (uint32_t pos = range.begin; pos < range.end; ++pos) {
       const Triple& t = spo.TripleAt(pos);
       if (t.o == subst[kObject].term()) handle_tuple(t);

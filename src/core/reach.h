@@ -112,6 +112,7 @@ class ReachProbability {
     return (static_cast<uint64_t>(step) << 32) | value;
   }
 
+  // kgoa-lint: allow(raw-graph-retention) cache body pinned by its registry entry's snapshot
   const IndexSet& indexes_;
   const WalkPlan& plan_;
 

@@ -129,16 +129,16 @@ Range MultiBoundAccess::Resolve(
     if (bound_index_[level] >= 0) key[level] = bound_values[bound_index_[level]];
   }
   const TrieIndex& index = indexes.Index(order_);
-  const HashRangeIndex& hash = indexes.Hash(order_);
   switch (depth_) {
     case 0:
       return index.Root();
     case 1:
-      return hash.Depth1(key[0]);
+      return indexes.Depth1(order_, key[0]);
     case 2:
-      return hash.Depth2(key[0], key[1]);
+      return indexes.Depth2(order_, key[0], key[1]);
     default:
-      return index.Narrow(hash.Depth2(key[0], key[1]), 2, key[2]);
+      return index.Narrow(indexes.Depth2(order_, key[0], key[1]), 2,
+                          key[2]);
   }
 }
 

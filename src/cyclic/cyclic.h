@@ -144,6 +144,7 @@ class CyclicWanderJoin {
                                double contribution)>& callback) const;
 
  private:
+  // kgoa-lint: allow(raw-graph-retention) query-scoped engine; caller's snapshot outlives it
   const IndexSet& indexes_;
   CyclicQuery query_;
   CyclicWalkPlan plan_;
@@ -191,6 +192,7 @@ class CyclicAuditJoin {
   bool TippedContributions(int q, std::vector<TermId>& state, double weight,
                            std::unordered_map<TermId, double>* out);
 
+  // kgoa-lint: allow(raw-graph-retention) query-scoped engine; caller's snapshot outlives it
   const IndexSet& indexes_;
   CyclicQuery query_;
   Options options_;

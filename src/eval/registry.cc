@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/core/audit.h"
+#include "src/core/mutable_graph.h"
 #include "src/index/block_codec.h"
 #include "src/index/index_set.h"
 #include "src/index/kernels.h"
@@ -191,8 +192,11 @@ void ExportMetrics(const IndexSet& indexes, std::string_view prefix,
     for (char& c : name) c = static_cast<char>(std::tolower(c));
     registry->SetGauge(p + "sort_ms." + name, stats.sort_ms[o]);
     registry->SetGauge(p + "hash_ms." + name, stats.hash_ms[o]);
-    depth1_entries += indexes.Hash(order).Depth1Entries();
-    depth2_entries += indexes.Hash(order).Depth2Entries();
+    // Overlay views carry no hash tables (src/index/index_set.h).
+    if (indexes.has_hash()) {
+      depth1_entries += indexes.Hash(order).Depth1Entries();
+      depth2_entries += indexes.Hash(order).Depth2Entries();
+    }
   }
   registry->SetCounter(p + "depth1_entries", depth1_entries);
   registry->SetCounter(p + "depth2_entries", depth2_entries);
@@ -220,6 +224,20 @@ void ExportMetrics(const ShardCoordinator& coordinator,
   registry->SetCounter(p + "triples_max", partition.max_triples);
   registry->SetCounter(p + "triples_total", partition.total_triples);
   registry->SetGauge(p + "balance", partition.balance);
+}
+
+void ExportMetrics(const MutableGraph& mutable_graph, std::string_view prefix,
+                   MetricsRegistry* registry) {
+  const std::string p(prefix);
+  const MutableGraph::Stats stats = mutable_graph.stats();
+  registry->SetCounter(p + "current", stats.epoch);
+  registry->SetCounter(p + "base_triples", stats.base_triples);
+  registry->SetCounter(p + "live_triples", stats.live_triples);
+  registry->SetCounter(p + "overlay_adds", stats.overlay_adds);
+  registry->SetCounter(p + "overlay_dels", stats.overlay_dels);
+  registry->SetCounter(p + "batches_applied", stats.batches_applied);
+  registry->SetCounter(p + "compactions", stats.compactions);
+  registry->SetCounter(p + "snapshots_pinned", stats.snapshots_pinned);
 }
 
 void ExportIndexProbeCounters(std::string_view prefix,

@@ -25,6 +25,7 @@ namespace kgoa {
 
 class AuditJoin;
 class IndexSet;
+class MutableGraph;
 class ShardCoordinator;
 class WanderJoin;
 
@@ -79,6 +80,13 @@ void ExportMetrics(const IndexSet& indexes, std::string_view prefix,
 // Cumulative values are republished with SetCounter.
 void ExportMetrics(const ShardCoordinator& coordinator,
                    std::string_view prefix, MetricsRegistry* registry);
+
+// Snapshot-epoch export ("epoch." by convention): current epoch, overlay
+// sizes, live/base triple counts, applied batches, compactions, and the
+// published-versions-still-pinned gauge. Cumulative values are
+// republished with SetCounter.
+void ExportMetrics(const MutableGraph& mutable_graph, std::string_view prefix,
+                   MetricsRegistry* registry);
 
 // Exports the calling thread's flat-table probe counters
 // (src/index/hash_range.h) — Depth1/Depth2/Ndv2 lookups issued since the

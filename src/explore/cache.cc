@@ -1,9 +1,12 @@
 #include "src/explore/cache.h"
 
+#include <utility>
+
 namespace kgoa {
 
-const GroupedResult* ChartCache::Lookup(const ChainQuery& query) {
-  auto it = cache_.find(KeyOf(query));
+const GroupedResult* ChartCache::Lookup(const ChainQuery& query,
+                                        uint64_t epoch) {
+  auto it = cache_.find(KeyOf(query, epoch));
   if (it == cache_.end()) {
     ++misses_;
     return nullptr;
@@ -12,8 +15,9 @@ const GroupedResult* ChartCache::Lookup(const ChainQuery& query) {
   return &it->second;
 }
 
-void ChartCache::Insert(const ChainQuery& query, GroupedResult result) {
-  std::string key = KeyOf(query);
+void ChartCache::Insert(const ChainQuery& query, GroupedResult result,
+                        uint64_t epoch) {
+  std::string key = KeyOf(query, epoch);
   if (cache_.count(key) > 0) return;
   while (cache_.size() >= max_entries_ && !insertion_order_.empty()) {
     auto evicted = cache_.find(insertion_order_.front());
@@ -29,9 +33,13 @@ void ChartCache::Insert(const ChainQuery& query, GroupedResult result) {
   cache_.emplace(std::move(key), std::move(result));
 }
 
-ReachProbability* ReachCacheRegistry::Acquire(
-    const ChainQuery& query, const std::vector<int>& walk_order) {
-  std::string key = query.ToSparql();
+AcquiredReach ReachCacheRegistry::Acquire(
+    const ChainQuery& query, const std::vector<int>& walk_order,
+    const GraphSnapshot& snapshot) {
+  const uint64_t epoch = snapshot.epoch();
+  std::string key = std::to_string(epoch);
+  key += '@';
+  key += query.ToSparql();
   key += '|';
   for (int pattern : walk_order) {
     key += std::to_string(pattern);
@@ -41,24 +49,43 @@ ReachProbability* ReachCacheRegistry::Acquire(
   auto it = caches_.find(key);
   if (it != caches_.end()) {
     ++hits_;
-    return it->second.reach.get();
+    return AcquiredReach{it->second->reach.get(), it->second,
+                         it->second->epoch};
   }
   ++misses_;
-  Entry entry;
-  entry.query = std::make_unique<ChainQuery>(query);
-  entry.plan = std::make_unique<WalkPlan>(
-      WalkPlan::Compile(*entry.query, walk_order));
-  entry.reach = std::make_unique<ReachProbability>(indexes_, *entry.plan);
-  ReachProbability* reach = entry.reach.get();
+  auto entry = std::make_shared<Entry>();
+  entry->query = std::make_unique<ChainQuery>(query);
+  entry->plan = std::make_unique<WalkPlan>(
+      WalkPlan::Compile(*entry->query, walk_order));
+  entry->snapshot = snapshot;
+  entry->reach = std::make_unique<ReachProbability>(snapshot.indexes(),
+                                                    *entry->plan);
+  entry->epoch = epoch;
+  AcquiredReach acquired{entry->reach.get(), entry, epoch};
   caches_.emplace(std::move(key), std::move(entry));
-  return reach;
+  return acquired;
+}
+
+std::size_t ReachCacheRegistry::EvictStale(uint64_t current_epoch) {
+  MutexLock lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = caches_.begin(); it != caches_.end();) {
+    if (it->second->epoch != current_epoch) {
+      it = caches_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stale_evictions_ += dropped;
+  return dropped;
 }
 
 ShardedTableStats ReachCacheRegistry::stats() const {
   ShardedTableStats total;
   MutexLock lock(mutex_);
   for (const auto& [key, entry] : caches_) {
-    const ShardedTableStats s = entry.reach->stats();
+    const ShardedTableStats s = entry->reach->stats();
     total.hits += s.hits;
     total.misses += s.misses;
     total.insert_contention += s.insert_contention;

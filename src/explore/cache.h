@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/core/reach.h"
+#include "src/index/snapshot.h"
 #include "src/join/result.h"
 #include "src/query/chain_query.h"
 #include "src/util/sync.h"
@@ -27,16 +28,23 @@ namespace kgoa {
 // Thread-compatible, not thread-safe: a ChartCache belongs to one
 // exploration session and is only touched from that session's thread
 // (unlike ReachCacheRegistry below, which async chart jobs share).
+//
+// Epoch-aware: an exact result is only exact for the graph version it was
+// evaluated on, so the key is (epoch, rendered query). Callers on a
+// mutable graph pass their snapshot's epoch; the immutable setups keep the
+// default of 0. Superseded-epoch entries age out through the FIFO bound.
 class ChartCache {
  public:
   explicit ChartCache(std::size_t max_entries = 100000)
       : max_entries_(max_entries) {}
 
-  // Cached exact result for `query`, or nullptr. Counts hits/misses.
-  const GroupedResult* Lookup(const ChainQuery& query);
+  // Cached exact result for `query` at `epoch`, or nullptr. Counts
+  // hits/misses.
+  const GroupedResult* Lookup(const ChainQuery& query, uint64_t epoch = 0);
 
   // Stores a result; evicts the oldest entry when full.
-  void Insert(const ChainQuery& query, GroupedResult result);
+  void Insert(const ChainQuery& query, GroupedResult result,
+              uint64_t epoch = 0);
 
   std::size_t entries() const { return cache_.size(); }
   uint64_t hits() const { return hits_; }
@@ -51,8 +59,11 @@ class ChartCache {
   uint64_t ApproxMemoryBytes() const { return approx_bytes_; }
 
  private:
-  static std::string KeyOf(const ChainQuery& query) {
-    return query.ToSparql();
+  static std::string KeyOf(const ChainQuery& query, uint64_t epoch) {
+    std::string key = std::to_string(epoch);
+    key += '@';
+    key += query.ToSparql();
+    return key;
   }
 
   std::size_t max_entries_;
@@ -63,17 +74,32 @@ class ChartCache {
   uint64_t approx_bytes_ = 0;
 };
 
+// A handed-out reach cache plus the shared ownership that keeps it valid.
+// Wire `reach` into ChartJobOptions::shared_reach and `keepalive` into
+// ChartJobOptions::reach_keepalive: the job then keeps both the memo table
+// AND the graph version it audits against alive even if the registry
+// evicts the entry (stale epoch) mid-flight.
+struct AcquiredReach {
+  ReachProbability* reach = nullptr;
+  std::shared_ptr<const void> keepalive;
+  uint64_t epoch = 0;  // graph version the memos are exact for
+};
+
 // Session-scoped reach-probability caches, one warm ReachProbability per
-// (query, walk order). Exploration revisits charts — back navigation,
-// toggling bar kinds, re-serving the same expansion with a fresh budget —
-// and every such revisit runs walks over the same plan. Because the reach
-// memos are pure functions of (indexes, plan) (src/core/reach.h), the
-// cache from the previous serving is still exact, so each distinct (a, b)
-// pair is audited once per *session* rather than once per chart.
+// (epoch, query, walk order). Exploration revisits charts — back
+// navigation, toggling bar kinds, re-serving the same expansion with a
+// fresh budget — and every such revisit runs walks over the same plan.
+// Because the reach memos are pure functions of (indexes, plan)
+// (src/core/reach.h), the cache from the previous serving is still exact
+// FOR THE SAME GRAPH VERSION, so each distinct (a, b) pair is audited once
+// per session-and-epoch rather than once per chart.
 //
-// Unlike ChartCache this holds derived per-plan state, not results, so
-// entries are never evicted: a session touches a handful of plans and each
-// cache is bounded by the number of reachable (a, b) pairs.
+// Epoch awareness: the epoch is part of the key, so a write batch
+// (publishing epoch N+1) naturally starts fresh caches while jobs pinned
+// on epoch N keep hitting their exact ones. EvictStale(current_epoch)
+// drops superseded entries; in-flight jobs keep theirs alive through the
+// AcquiredReach keepalive, and each entry pins its own GraphSnapshot so
+// the memos never outlive the version they audit.
 //
 // Acquire and stats are thread-safe (a mutex guards the registry map);
 // the handed-out caches themselves are concurrency-safe by design
@@ -81,17 +107,23 @@ class ChartCache {
 // jobs submitted from different threads can share warm caches.
 class ReachCacheRegistry {
  public:
-  // The indexes must outlive the registry.
-  explicit ReachCacheRegistry(const IndexSet& indexes) : indexes_(indexes) {}
+  ReachCacheRegistry() = default;
 
-  // Handed-out ReachProbability pointers must stay stable.
   ReachCacheRegistry(const ReachCacheRegistry&) = delete;
   ReachCacheRegistry& operator=(const ReachCacheRegistry&) = delete;
 
-  // The cache for (query, walk_order), built on first use. The pointer
-  // (and its accumulated memo) stays valid for the registry's lifetime.
-  ReachProbability* Acquire(const ChainQuery& query,
-                            const std::vector<int>& walk_order);
+  // The cache for (snapshot's epoch, query, walk_order), built against the
+  // snapshot's indexes on first use. The returned pointer stays valid as
+  // long as the entry lives in the registry OR the keepalive is held.
+  AcquiredReach Acquire(const ChainQuery& query,
+                        const std::vector<int>& walk_order,
+                        const GraphSnapshot& snapshot);
+
+  // Drops every entry built for an epoch other than `current_epoch`
+  // (superseded memo tables audit a retired version and can only waste
+  // memory). Jobs still running on old epochs are unaffected — their
+  // keepalives pin their entries. Returns the number of entries dropped.
+  std::size_t EvictStale(uint64_t current_epoch);
 
   std::size_t plans() const {
     MutexLock lock(mutex_);
@@ -105,6 +137,10 @@ class ReachCacheRegistry {
     MutexLock lock(mutex_);
     return misses_;
   }
+  uint64_t stale_evictions() const {
+    MutexLock lock(mutex_);
+    return stale_evictions_;
+  }
 
   // Memo-table stats aggregated across every cached plan.
   ShardedTableStats stats() const;
@@ -114,17 +150,22 @@ class ReachCacheRegistry {
     // The plan (and through it, the memo keys) points into this copy.
     std::unique_ptr<ChainQuery> query;
     std::unique_ptr<WalkPlan> plan;
+    // Pins the graph version the memos audit; declared before `reach` so
+    // the cache (which reads through the snapshot's indexes) dies first.
+    GraphSnapshot snapshot;
     std::unique_ptr<ReachProbability> reach;
+    uint64_t epoch = 0;
   };
 
-  const IndexSet& indexes_;
   // Guards the registry map and its counters; NEVER held while a handed-
   // out ReachProbability is probed (Acquire returns a stable pointer, so
   // lookups and serving never re-enter the registry).
   mutable Mutex mutex_;
-  std::unordered_map<std::string, Entry> caches_ KGOA_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::shared_ptr<Entry>> caches_
+      KGOA_GUARDED_BY(mutex_);
   uint64_t hits_ KGOA_GUARDED_BY(mutex_) = 0;
   uint64_t misses_ KGOA_GUARDED_BY(mutex_) = 0;
+  uint64_t stale_evictions_ KGOA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace kgoa

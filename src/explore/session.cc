@@ -6,18 +6,24 @@
 
 namespace kgoa {
 
-ExplorationSession::ExplorationSession(const Graph& graph, TermId root_class)
-    : graph_(graph) {
-  category_ = root_class == kInvalidTerm ? graph.owl_thing() : root_class;
+ExplorationSession::ExplorationSession(GraphSnapshot snapshot,
+                                       TermId root_class)
+    : snapshot_(std::move(snapshot)) {
+  KGOA_CHECK_MSG(snapshot_.has_graph(),
+                 "an exploration session needs a Graph-carrying snapshot");
+  category_ = root_class == kInvalidTerm ? graph().owl_thing() : root_class;
   kind_ = BarKind::kClass;
   focus_ = 0;
   next_var_ = 1;
   patterns_.push_back(MakePattern(Slot::MakeVar(focus_),
-                                  Slot::MakeConst(graph_.rdf_type()),
+                                  Slot::MakeConst(graph().rdf_type()),
                                   Slot::MakeConst(category_)));
   filters_.push_back({});
   tail_type_pattern_ = 0;
 }
+
+ExplorationSession::ExplorationSession(const Graph& graph, TermId root_class)
+    : ExplorationSession(GraphSnapshot::Unowned(graph), root_class) {}
 
 std::vector<ExpansionKind> ExplorationSession::LegalExpansions() const {
   switch (kind_) {
@@ -73,11 +79,11 @@ ExplorationSession::QueryParts ExplorationSession::BuildParts(
       parts.patterns.erase(parts.patterns.begin() + tail_type_pattern_);
       parts.filters.erase(parts.filters.begin() + tail_type_pattern_);
       parts.patterns.push_back(MakePattern(
-          Slot::MakeVar(focus_), Slot::MakeConst(graph_.rdf_type()),
+          Slot::MakeVar(focus_), Slot::MakeConst(graph().rdf_type()),
           Slot::MakeVar(fresh1)));
       parts.filters.push_back(std::move(tail_filters));
       parts.patterns.push_back(MakePattern(
-          Slot::MakeVar(fresh1), Slot::MakeConst(graph_.subclass_of()),
+          Slot::MakeVar(fresh1), Slot::MakeConst(graph().subclass_of()),
           Slot::MakeConst(parent)));
       parts.filters.push_back({});
       parts.alpha = fresh1;
@@ -125,7 +131,7 @@ ExplorationSession::QueryParts ExplorationSession::BuildParts(
       KGOA_CHECK(last[z_component].is_var());
       const VarId z = last[z_component].var();
       parts.patterns.push_back(MakePattern(
-          Slot::MakeVar(z), Slot::MakeConst(graph_.rdf_type()),
+          Slot::MakeVar(z), Slot::MakeConst(graph().rdf_type()),
           Slot::MakeVar(fresh1)));
       parts.filters.push_back({});
       parts.alpha = fresh1;
@@ -245,13 +251,13 @@ void ExplorationSession::ExpandAndSelect(ExpansionKind expansion,
 
 std::string ExplorationSession::Describe() const {
   std::ostringstream out;
-  out << BarKindName(kind_) << " bar <" << graph_.dict().Spell(category_)
+  out << BarKindName(kind_) << " bar <" << graph().dict().Spell(category_)
       << ">, chain:";
   for (std::size_t i = 0; i < patterns_.size(); ++i) {
-    out << "\n  " << patterns_[i].ToString(&graph_.dict());
+    out << "\n  " << patterns_[i].ToString(&graph().dict());
     for (const TypeFilter& f : filters_[i]) {
       out << "  [filter: component " << f.component << " has <"
-          << graph_.dict().Spell(f.value) << ">]";
+          << graph().dict().Spell(f.value) << ">]";
     }
   }
   return out.str();

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/explore/chart.h"
+#include "src/index/snapshot.h"
 #include "src/ola/parallel.h"
 #include "src/query/chain_query.h"
 #include "src/rdf/graph.h"
@@ -31,9 +32,22 @@ namespace kgoa {
 
 class ExplorationSession {
  public:
-  // Starts at `root_class` (the graph's owl:Thing if kInvalidTerm).
+  // Starts at `root_class` (the graph's owl:Thing if kInvalidTerm). The
+  // snapshot must carry a Graph; the session pins it so the vocabulary
+  // terms it translates against (rdf:type, subclass-of, the dictionary)
+  // stay valid across compactions. Sessions only read vocabulary — charts
+  // served for the session may pin NEWER versions, which is sound because
+  // TermIds are stable across epochs (the dictionary is shared).
+  explicit ExplorationSession(GraphSnapshot snapshot,
+                              TermId root_class = kInvalidTerm);
+  // Legacy adapter: wraps an externally owned graph (which must outlive
+  // the session) in an epoch-0 snapshot.
   explicit ExplorationSession(const Graph& graph,
                               TermId root_class = kInvalidTerm);
+
+  // The pinned graph version this session translates against.
+  uint64_t epoch() const { return snapshot_.epoch(); }
+  const GraphSnapshot& snapshot() const { return snapshot_; }
 
   BarKind current_kind() const { return kind_; }
   TermId current_category() const { return category_; }
@@ -100,7 +114,10 @@ class ExplorationSession {
 
   VarId FreshVar() const { return next_var_; }
 
-  const Graph& graph_;
+  const Graph& graph() const { return snapshot_.graph(); }
+
+  // Pinned for the session's lifetime (see ctor comment).
+  GraphSnapshot snapshot_;
 
   std::vector<TriplePattern> patterns_;
   std::vector<std::vector<TypeFilter>> filters_;
@@ -122,7 +139,7 @@ class ExplorationSession {
   // Jobs serving the current selection; superseded on navigation.
   std::vector<ChartHandle> jobs_;
 
-  // Saved states for GoBack (everything except graph_).
+  // Saved states for GoBack (everything except the pinned snapshot).
   struct Snapshot {
     std::vector<TriplePattern> patterns;
     std::vector<std::vector<TypeFilter>> filters;

@@ -1,0 +1,176 @@
+#include "src/index/delta.h"
+
+#include <algorithm>
+
+#include "src/index/index_set.h"
+#include "src/index/trie_index.h"
+
+namespace kgoa {
+
+namespace {
+
+// First base position whose triple is >= `t` under `order`. Tier-agnostic
+// (goes through TripleAt); O(log n) — build-time only, never on a query
+// path.
+uint32_t BaseLowerBound(const TrieIndex& base, const Triple& t) {
+  const OrderLess less{base.order()};
+  uint32_t lo = 0;
+  uint32_t hi = base.size();
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (less(base.TripleAt(mid), t)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Number of tombstones inside [range_begin, range_end).
+uint32_t TombsIn(const std::vector<uint32_t>& tombs, uint32_t range_begin,
+                 uint32_t range_end) {
+  const auto lo = std::lower_bound(tombs.begin(), tombs.end(), range_begin);
+  const auto hi = std::lower_bound(lo, tombs.end(), range_end);
+  return static_cast<uint32_t>(hi - lo);
+}
+
+}  // namespace
+
+OrderDelta::OrderDelta(IndexOrder order, const TrieIndex& base,
+                       const PendingWrites& pending)
+    : order_(order), adds_(pending.adds) {
+  const OrderLess less{order_};
+  std::sort(adds_.begin(), adds_.end(), less);
+
+  // Deletes sorted under the order locate in ascending base positions, so
+  // tombs_ comes out sorted without a second pass.
+  std::vector<Triple> dels = pending.dels;
+  std::sort(dels.begin(), dels.end(), less);
+  tombs_.reserve(dels.size());
+  for (const Triple& t : dels) {
+    const uint32_t pos = BaseLowerBound(base, t);
+    // PendingWrites invariant: every delete names a live base triple.
+    KGOA_CHECK_MSG(pos < base.size() && base.TripleAt(pos) == t,
+                   "tombstone for a triple absent from the base index");
+    tombs_.push_back(pos);
+  }
+  KGOA_DCHECK_SORTED(tombs_.begin(), tombs_.end());
+
+  // Merged position of add i: its rank among the adds (i) plus the live
+  // base triples below its insertion point. Strictly increasing in i.
+  add_merged_pos_.reserve(adds_.size());
+  for (uint32_t i = 0; i < adds_.size(); ++i) {
+    const uint32_t base_pos = BaseLowerBound(base, adds_[i]);
+    // PendingWrites invariant: adds are absent from the base.
+    KGOA_DCHECK(base_pos == base.size() ||
+                !(base.TripleAt(base_pos) == adds_[i]));
+    add_merged_pos_.push_back(i + LiveBefore(base_pos));
+  }
+  KGOA_DCHECK_SORTED(add_merged_pos_.begin(), add_merged_pos_.end());
+
+  // Merged distinct level-0 count: walk the base's level-0 blocks (one
+  // Level0Range hop per distinct base value), drop values whose block is
+  // fully tombstoned, and union in the adds' level-0 values two-pointer
+  // style. O(ndv1 + adds log tombs); build-time only.
+  const int c0 = OrderComponent(order_, 0);
+  uint32_t pos = 0;
+  std::size_t ai = 0;
+  while (pos < base.size()) {
+    const TermId value = base.KeyAt(pos, 0);
+    const Range block = base.Level0Range(value);
+    KGOA_DCHECK_EQ(block.begin, pos);
+    const bool live = TombsIn(tombs_, block.begin, block.end) < block.size();
+    while (ai < adds_.size() && adds_[ai][c0] < value) {
+      ++view_ndv1_;
+      while (ai + 1 < adds_.size() && adds_[ai + 1][c0] == adds_[ai][c0]) ++ai;
+      ++ai;
+    }
+    if (ai < adds_.size() && adds_[ai][c0] == value) {
+      while (ai + 1 < adds_.size() && adds_[ai + 1][c0] == value) ++ai;
+      ++ai;
+      ++view_ndv1_;  // value survives via the adds even if fully deleted
+    } else if (live) {
+      ++view_ndv1_;
+    }
+    pos = block.end;
+  }
+  while (ai < adds_.size()) {
+    ++view_ndv1_;
+    const TermId value = adds_[ai][c0];
+    while (ai < adds_.size() && adds_[ai][c0] == value) ++ai;
+  }
+}
+
+uint32_t OrderDelta::LiveBefore(uint32_t base_pos) const {
+  const auto it = std::lower_bound(tombs_.begin(), tombs_.end(), base_pos);
+  return base_pos - static_cast<uint32_t>(it - tombs_.begin());
+}
+
+uint32_t OrderDelta::SelectLive(uint32_t k) const {
+  // The k-th live base position is k + t, where t is the number of
+  // tombstones at or below it: find the first t with tombs[t] - t > k
+  // (tombs is strictly increasing, so tombs[t] - t is non-decreasing).
+  uint32_t lo = 0;
+  uint32_t hi = static_cast<uint32_t>(tombs_.size());
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (tombs_[mid] - mid > k) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return k + lo;
+}
+
+OrderDelta::Source OrderDelta::MapToSource(uint32_t mpos) const {
+  const auto it = std::upper_bound(add_merged_pos_.begin(),
+                                   add_merged_pos_.end(), mpos);
+  const uint32_t a = static_cast<uint32_t>(it - add_merged_pos_.begin());
+  if (a > 0 && add_merged_pos_[a - 1] == mpos) {
+    return Source{true, a - 1};
+  }
+  return Source{false, SelectLive(mpos - a)};
+}
+
+uint32_t OrderDelta::AddsBefore(uint32_t mpos) const {
+  const auto it = std::lower_bound(add_merged_pos_.begin(),
+                                   add_merged_pos_.end(), mpos);
+  return static_cast<uint32_t>(it - add_merged_pos_.begin());
+}
+
+uint32_t OrderDelta::AddsBelowLevel0(TermId value) const {
+  const int c0 = OrderComponent(order_, 0);
+  const auto it = std::lower_bound(
+      adds_.begin(), adds_.end(), value,
+      [c0](const Triple& t, TermId v) { return t[c0] < v; });
+  return static_cast<uint32_t>(it - adds_.begin());
+}
+
+DeltaOverlay::DeltaOverlay(const IndexSet& base, PendingWrites pending)
+    : pending_(std::move(pending)) {
+  KGOA_DCHECK_SORTED_BY(pending_.adds.begin(), pending_.adds.end(), SpoLess);
+  KGOA_DCHECK_SORTED_BY(pending_.dels.begin(), pending_.dels.end(), SpoLess);
+  uint32_t num_terms = base.Index(IndexOrder::kSpo).num_terms();
+  for (const Triple& t : pending_.adds) {
+    num_terms = std::max({num_terms, t.s + 1, t.p + 1, t.o + 1});
+  }
+  view_num_terms_ = num_terms;
+  for (IndexOrder order : kAllIndexOrders) {
+    deltas_[static_cast<int>(order)] =
+        std::make_unique<OrderDelta>(order, base.Index(order), pending_);
+  }
+}
+
+bool DeltaOverlay::IsAdded(const Triple& t) const {
+  return std::binary_search(pending_.adds.begin(), pending_.adds.end(), t,
+                            SpoLess);
+}
+
+bool DeltaOverlay::IsDeleted(const Triple& t) const {
+  return std::binary_search(pending_.dels.begin(), pending_.dels.end(), t,
+                            SpoLess);
+}
+
+}  // namespace kgoa

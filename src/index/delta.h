@@ -1,0 +1,147 @@
+// LSM-style delta overlay over a built IndexSet: the write side of the
+// snapshot-epoch model (DESIGN.md §13).
+//
+// A MutableGraph absorbs insert/delete batches into a pair of canonical
+// pending sets (adds that are not in the base, deletes that are), and this
+// overlay translates those sets into per-index-order structures that define
+// a MERGED position space per order:
+//
+//   merged = base positions minus tombstones, with each add spliced in at
+//            its sorted insertion point.
+//
+// The merged space is rank-defined: position p of the merged sequence is
+// the p-th smallest triple (under the order) of the live set, exactly as a
+// from-scratch rebuild of base + adds - deletes would lay it out. A view
+// TrieIndex over (base, OrderDelta) therefore satisfies the same
+// SeekGE/Narrow/BlockEnd position-space contract as a rebuilt index,
+// position for position — which is what makes estimates on a snapshot
+// bit-identical to an immutable build of the same triple set (the
+// overlay_fuzz differential harness checks this on random batches).
+//
+// All mapping primitives are O(log overlay) binary searches over three
+// small sorted arrays per order:
+//
+//   tombs           ascending base positions of deleted triples
+//   adds            added triples, sorted under the order
+//   add_merged_pos  each add's merged position (strictly increasing)
+//
+// LiveBefore(p)  = p - #tombs below p      (base -> merged rank shift)
+//   SelectLive(k)  = k-th surviving base position (inverse of LiveBefore)
+//   MapToSource(m) = add index or base position backing merged position m
+//
+// Overlays are immutable once built; MutableGraph rebuilds the overlay on
+// every applied batch and publishes it behind a fresh GraphVersion.
+#ifndef KGOA_INDEX_DELTA_H_
+#define KGOA_INDEX_DELTA_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/index/order.h"
+#include "src/rdf/types.h"
+#include "src/util/contract.h"
+
+namespace kgoa {
+
+class IndexSet;
+class TrieIndex;
+
+// Canonical pending write sets, both sorted by (s, p, o) and duplicate
+// free. Invariants (maintained by MutableGraph, checked by DeltaOverlay):
+// every add is absent from the base graph, every delete is present in it,
+// and the two sets are disjoint.
+struct PendingWrites {
+  std::vector<Triple> adds;
+  std::vector<Triple> dels;
+
+  bool empty() const { return adds.empty() && dels.empty(); }
+};
+
+// The per-order half of the overlay: the pending sets projected into one
+// trie order's position space.
+class OrderDelta {
+ public:
+  // Builds the order's delta against `base` (the same order's base index).
+  // `pending` must satisfy the PendingWrites invariants.
+  OrderDelta(IndexOrder order, const TrieIndex& base,
+             const PendingWrites& pending);
+
+  IndexOrder order() const { return order_; }
+  uint32_t NumAdds() const { return static_cast<uint32_t>(adds_.size()); }
+  uint32_t NumTombs() const { return static_cast<uint32_t>(tombs_.size()); }
+
+  const Triple& Add(uint32_t i) const { return adds_[i]; }
+
+  // Distinct level-0 values of the merged sequence (the view's Ndv1).
+  uint64_t ViewNdv1() const { return view_ndv1_; }
+
+  // Number of surviving base positions strictly below `base_pos`; the
+  // merged-rank contribution of the base prefix [0, base_pos).
+  uint32_t LiveBefore(uint32_t base_pos) const;
+
+  // The k-th (0-based) base position that is not tombstoned. k must be
+  // below base.size() - NumTombs().
+  uint32_t SelectLive(uint32_t k) const;
+
+  // Merged position of add `i` (strictly increasing in i).
+  uint32_t AddMergedPos(uint32_t i) const { return add_merged_pos_[i]; }
+
+  // Source of merged position `mpos`: either an add (index into adds_) or
+  // a surviving base position.
+  struct Source {
+    bool is_add;
+    uint32_t index;  // add index or base position
+  };
+  Source MapToSource(uint32_t mpos) const;
+
+  // Number of adds whose merged position is < `mpos` / <= `mpos`.
+  uint32_t AddsBefore(uint32_t mpos) const;
+
+  // Number of adds whose level-0 key is < `value`.
+  uint32_t AddsBelowLevel0(TermId value) const;
+
+ private:
+  IndexOrder order_;
+  std::vector<Triple> adds_;             // sorted under order_
+  std::vector<uint32_t> tombs_;          // ascending base positions
+  std::vector<uint32_t> add_merged_pos_; // strictly increasing
+  uint64_t view_ndv1_ = 0;
+};
+
+// The full overlay: one OrderDelta per maintained order plus the canonical
+// pending sets (for membership adjustment and compaction folding).
+class DeltaOverlay {
+ public:
+  // `base` must outlive the overlay (views hold pointers into it).
+  DeltaOverlay(const IndexSet& base, PendingWrites pending);
+
+  DeltaOverlay(const DeltaOverlay&) = delete;
+  DeltaOverlay& operator=(const DeltaOverlay&) = delete;
+
+  const OrderDelta& Delta(IndexOrder order) const {
+    return *deltas_[static_cast<int>(order)];
+  }
+
+  const PendingWrites& pending() const { return pending_; }
+
+  uint64_t NumAdds() const { return pending_.adds.size(); }
+  uint64_t NumDels() const { return pending_.dels.size(); }
+
+  // Upper bound (exclusive) on TermIds of the merged triple set: the base
+  // bound widened by any fresh terms the adds introduce.
+  uint32_t ViewNumTerms() const { return view_num_terms_; }
+
+  bool IsAdded(const Triple& t) const;
+  bool IsDeleted(const Triple& t) const;
+
+ private:
+  PendingWrites pending_;
+  uint32_t view_num_terms_ = 0;
+  std::array<std::unique_ptr<OrderDelta>, kNumIndexOrders> deltas_;
+};
+
+}  // namespace kgoa
+
+#endif  // KGOA_INDEX_DELTA_H_

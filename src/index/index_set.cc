@@ -4,6 +4,7 @@
 #include <thread>
 #include <unordered_set>  // kgoa-lint: allow(unordered-in-hot-path) — cold ndv fallback below
 
+#include "src/index/delta.h"
 #include "src/index/radix.h"
 #include "src/util/contract.h"
 #include "src/util/stopwatch.h"
@@ -119,6 +120,52 @@ IndexSet::IndexSet(const Graph& graph, const IndexSetOptions& options)
   }
 }
 
+std::unique_ptr<IndexSet> IndexSet::MakeView(const IndexSet& base,
+                                             const DeltaOverlay& overlay) {
+  KGOA_CHECK_MSG(base.has_hash(),
+                 "views do not stack: the base must be an owning IndexSet");
+  auto view = std::unique_ptr<IndexSet>(new IndexSet());
+  view->num_triples_ =
+      base.NumTriples() - overlay.NumDels() + overlay.NumAdds();
+  view->tier_ = base.tier();
+  view->indexes_.resize(kNumIndexOrders);
+  view->hashes_.resize(kNumIndexOrders);  // all null: has_hash() == false
+  for (IndexOrder order : kAllIndexOrders) {
+    view->indexes_[static_cast<int>(order)] = std::make_unique<TrieIndex>(
+        base.Index(order), overlay.Delta(order), overlay.ViewNumTerms());
+  }
+  return view;
+}
+
+Range IndexSet::Depth1(IndexOrder order, TermId v) const {
+  if (has_hash()) return Hash(order).Depth1(v);
+  return Index(order).Level0Range(v);
+}
+
+Range IndexSet::Depth2(IndexOrder order, TermId v0, TermId v1) const {
+  if (has_hash()) return Hash(order).Depth2(v0, v1);
+  const TrieIndex& index = Index(order);
+  const Range level0 = index.Level0Range(v0);
+  if (level0.empty()) return Range{};
+  return index.Narrow(level0, 1, v1);
+}
+
+uint64_t IndexSet::Ndv2(IndexOrder order, TermId v0) const {
+  if (has_hash()) return Hash(order).Ndv2(v0);
+  const TrieIndex& index = Index(order);
+  const Range level0 = index.Level0Range(v0);
+  if (level0.empty()) return 0;
+  return index.CountDistinct(level0, 1);
+}
+
+void IndexSet::PrefetchDepth1(IndexOrder order, TermId v) const {
+  if (has_hash()) Hash(order).PrefetchDepth1(v);
+}
+
+void IndexSet::PrefetchDepth2(IndexOrder order, TermId v0, TermId v1) const {
+  if (has_hash()) Hash(order).PrefetchDepth2(v0, v1);
+}
+
 uint64_t IndexSet::RawStorageBytes() const {
   uint64_t bytes = 0;
   for (IndexOrder order : kAllIndexOrders) {
@@ -144,6 +191,7 @@ uint64_t IndexSet::TrieMemoryBytes() const {
 }
 
 uint64_t IndexSet::HashMemoryBytes() const {
+  if (!has_hash()) return 0;
   uint64_t bytes = 0;
   for (IndexOrder order : kAllIndexOrders) {
     bytes += Hash(order).MemoryBytes();
@@ -204,19 +252,18 @@ Range IndexSet::ConstantRange(const TriplePattern& pattern, IndexOrder* order,
   KGOA_CHECK_MSG(ChooseOrder(mask, order, depth),
                  "pattern constants do not form an index prefix");
   const TrieIndex& index = Index(*order);
-  const HashRangeIndex& hash = Hash(*order);
   switch (*depth) {
     case 0:
       return index.Root();
     case 1:
-      return hash.Depth1(pattern[OrderComponent(*order, 0)].term());
+      return Depth1(*order, pattern[OrderComponent(*order, 0)].term());
     case 2:
-      return hash.Depth2(pattern[OrderComponent(*order, 0)].term(),
-                         pattern[OrderComponent(*order, 1)].term());
+      return Depth2(*order, pattern[OrderComponent(*order, 0)].term(),
+                    pattern[OrderComponent(*order, 1)].term());
     default: {
       // All three components constant: narrow the depth-2 range.
-      Range r = hash.Depth2(pattern[OrderComponent(*order, 0)].term(),
-                            pattern[OrderComponent(*order, 1)].term());
+      Range r = Depth2(*order, pattern[OrderComponent(*order, 0)].term(),
+                       pattern[OrderComponent(*order, 1)].term());
       return index.Narrow(r, 2, pattern[OrderComponent(*order, 2)].term());
     }
   }
@@ -233,7 +280,7 @@ uint64_t IndexSet::CountMatches(const TriplePattern& pattern) const {
   // range and filter on the object.
   KGOA_DCHECK(mask == 0b101u);
   const TrieIndex& spo = Index(IndexOrder::kSpo);
-  const Range r = Hash(IndexOrder::kSpo).Depth1(pattern[kSubject].term());
+  const Range r = Depth1(IndexOrder::kSpo, pattern[kSubject].term());
   uint64_t count = 0;
   for (uint32_t pos = r.begin; pos < r.end; ++pos) {
     if (spo.TripleAt(pos).o == pattern[kObject].term()) ++count;
@@ -249,17 +296,16 @@ uint64_t IndexSet::CountDistinctVar(const TriplePattern& pattern,
   IndexOrder order;
   int depth;
   if (ChooseOrderWithNext(mask, vc, &order, &depth)) {
-    const HashRangeIndex& hash = Hash(order);
     switch (depth) {
       case 0:
-        return hash.Ndv1();
+        return Ndv1(order);
       case 1:
-        return hash.Ndv2(pattern[OrderComponent(order, 0)].term());
+        return Ndv2(order, pattern[OrderComponent(order, 0)].term());
       default: {
         // Two constants fixed: triples are unique, so every value of the
         // remaining component is distinct.
-        return hash.Depth2(pattern[OrderComponent(order, 0)].term(),
-                           pattern[OrderComponent(order, 1)].term())
+        return Depth2(order, pattern[OrderComponent(order, 0)].term(),
+                      pattern[OrderComponent(order, 1)].term())
             .size();
       }
     }
@@ -277,7 +323,7 @@ uint64_t IndexSet::CountDistinctVar(const TriplePattern& pattern,
   } else {
     KGOA_DCHECK(mask == 0b101u);
     const TrieIndex& spo = Index(IndexOrder::kSpo);
-    const Range r = Hash(IndexOrder::kSpo).Depth1(pattern[kSubject].term());
+    const Range r = Depth1(IndexOrder::kSpo, pattern[kSubject].term());
     for (uint32_t pos = r.begin; pos < r.end; ++pos) {
       const Triple& t = spo.TripleAt(pos);
       if (t.o == pattern[kObject].term()) values.insert(t[vc]);

@@ -37,6 +37,8 @@ struct IndexSetOptions {
   StorageTier tier = StorageTier::kRaw;
 };
 
+class DeltaOverlay;
+
 class IndexSet {
  public:
   // Builds all four orders. O(n) time (counting passes), 4x triple
@@ -47,6 +49,15 @@ class IndexSet {
   // memory by well over 2x.
   explicit IndexSet(const Graph& graph, const IndexSetOptions& options = {});
 
+  // Overlay VIEW over a built set: each order becomes a view TrieIndex
+  // merging `base` with the overlay's OrderDelta (DESIGN.md §13). Views
+  // carry no hash range indexes (has_hash() is false) — the depth helpers
+  // below fall back to trie searches over the merged position space, so
+  // every access path keeps working with identical results. `base` and
+  // `overlay` must outlive the view (GraphVersion pins both).
+  static std::unique_ptr<IndexSet> MakeView(const IndexSet& base,
+                                            const DeltaOverlay& overlay);
+
   IndexSet(const IndexSet&) = delete;
   IndexSet& operator=(const IndexSet&) = delete;
 
@@ -56,6 +67,29 @@ class IndexSet {
   const HashRangeIndex& Hash(IndexOrder order) const {
     return *hashes_[static_cast<int>(order)];
   }
+
+  // False for overlay views, whose range lookups resolve through the trie
+  // helpers below instead of the flat hash tables. Callers outside this
+  // class must route depth lookups through Depth1/Depth2/Ndv2 rather than
+  // Hash() so views work everywhere (the hash tables index the BASE
+  // position space, which shifts under an overlay).
+  bool has_hash() const { return hashes_[0] != nullptr; }
+
+  // Range of triples whose level-0 value is `v` under `order`: the flat
+  // hash table when present, the (view-aware) CSR path otherwise. Both
+  // answer in the same position space.
+  Range Depth1(IndexOrder order, TermId v) const;
+
+  // Range with the first two levels fixed to (v0, v1).
+  Range Depth2(IndexOrder order, TermId v0, TermId v1) const;
+
+  // Distinct level-0 / level-1-under-v0 counts for `order`.
+  uint64_t Ndv1(IndexOrder order) const { return Index(order).Ndv1(); }
+  uint64_t Ndv2(IndexOrder order, TermId v0) const;
+
+  // Prefetch hints for the depth lookups above (no-ops without a hash).
+  void PrefetchDepth1(IndexOrder order, TermId v) const;
+  void PrefetchDepth2(IndexOrder order, TermId v0, TermId v1) const;
 
   uint64_t NumTriples() const { return num_triples_; }
 
@@ -107,6 +141,8 @@ class IndexSet {
   uint64_t CountDistinctVar(const TriplePattern& pattern, VarId v) const;
 
  private:
+  IndexSet() = default;  // MakeView fills the fields directly
+
   uint32_t ConstantMask(const TriplePattern& pattern) const;
 
   uint64_t num_triples_ = 0;

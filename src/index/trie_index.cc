@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/index/delta.h"
 #include "src/index/kernels.h"
 #include "src/index/radix.h"
 #include "src/util/contract.h"
@@ -52,6 +53,22 @@ TrieIndex::TrieIndex(IndexOrder order, std::vector<Triple> sorted,
   BuildLevel0Offsets();
 }
 
+TrieIndex::TrieIndex(const TrieIndex& base, const OrderDelta& delta,
+                     uint32_t num_terms)
+    : order_(base.order_),
+      tier_(base.tier_),
+      size_(base.size_ - delta.NumTombs() + delta.NumAdds()),
+      num_terms_(num_terms),
+      ndv1_(delta.ViewNdv1()),
+      base_(&base),
+      delta_(&delta) {
+  // Views never stack: MutableGraph rebuilds one overlay against the
+  // compacted base, so a view's base is always an owning index.
+  KGOA_CHECK(!base.is_view());
+  KGOA_CHECK(delta.order() == order_);
+  KGOA_CHECK_GE(num_terms_, base.num_terms_);
+}
+
 void TrieIndex::BuildLevel0Offsets() {
   const int c0 = OrderComponent(order_, 0);
   offsets_.assign(static_cast<std::size_t>(num_terms_) + 1, 0);
@@ -69,6 +86,7 @@ void TrieIndex::BuildLevel0Offsets() {
 }
 
 void TrieIndex::CompressToBlockTier() {
+  KGOA_CHECK_MSG(base_ == nullptr, "overlay views own no storage to compress");
   KGOA_CHECK_MSG(tier_ == StorageTier::kRaw,
                  "index is already block-compressed");
   const uint32_t n = size();
@@ -85,6 +103,10 @@ void TrieIndex::CompressToBlockTier() {
 }
 
 void TrieIndex::CheckInvariants() const {
+  if (base_ != nullptr) {
+    ViewCheckInvariants();
+    return;
+  }
   KGOA_CHECK_EQ(offsets_.size(), static_cast<std::size_t>(num_terms_) + 1);
   KGOA_CHECK_EQ(offsets_[0], 0u);
   KGOA_CHECK_EQ(offsets_[num_terms_], size());
@@ -123,6 +145,7 @@ void TrieIndex::CheckInvariants() const {
 
 Range TrieIndex::Narrow(Range range, int level, TermId value) const {
   KGOA_DCHECK(level >= 0 && level < 3);
+  if (base_ != nullptr) return ViewNarrow(range, level, value);
   if (level == 0) {
     // The only depth-0 trie node is the root, covered by the CSR offsets.
     KGOA_DCHECK(range == Root());
@@ -148,6 +171,7 @@ Range TrieIndex::Narrow(Range range, int level, TermId value) const {
 
 uint32_t TrieIndex::SeekGE(Range range, int level, TermId value,
                            uint32_t from) const {
+  if (base_ != nullptr) return ViewSeekGE(range, level, value, from);
   KGOA_DCHECK(from >= range.begin);
   if (from >= range.end) return range.end;
   if (tier_ == StorageTier::kBlock) {
@@ -188,6 +212,7 @@ uint32_t TrieIndex::SeekGE(Range range, int level, TermId value,
 }
 
 uint32_t TrieIndex::BlockEnd(Range range, int level, uint32_t pos) const {
+  if (base_ != nullptr) return ViewBlockEnd(range, level, pos);
   KGOA_DCHECK(pos >= range.begin && pos < range.end);
   if (level == 0) {
     KGOA_DCHECK(range == Root());
@@ -223,6 +248,155 @@ uint32_t TrieIndex::BlockEnd(Range range, int level, uint32_t pos) const {
   KGOA_DCHECK(KeyAt(result - 1, level) == value);
   KGOA_DCHECK(result == range.end || KeyAt(result, level) != value);
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Overlay-view implementations (delta.h defines the merged position space)
+// ---------------------------------------------------------------------------
+
+Triple TrieIndex::ViewTripleAt(uint32_t pos) const {
+  const OrderDelta::Source src = delta_->MapToSource(pos);
+  return src.is_add ? delta_->Add(src.index) : base_->TripleAt(src.index);
+}
+
+TermId TrieIndex::ViewKeyAt(uint32_t pos, int level) const {
+  const OrderDelta::Source src = delta_->MapToSource(pos);
+  if (src.is_add) {
+    return delta_->Add(src.index)[OrderComponent(order_, level)];
+  }
+  return base_->KeyAt(src.index, level);
+}
+
+uint32_t TrieIndex::ViewLowerBound0(TermId value) const {
+  // Merged rank of the first level-0 key >= value: the surviving base
+  // triples below the base's CSR offset for `value`, plus the adds below
+  // it. Both sides are O(log) lookups — the view's stand-in for the CSR
+  // offset array it does not materialize.
+  const uint32_t base_lb = value >= base_->num_terms()
+                               ? base_->size()
+                               : base_->Level0Range(value).begin;
+  return delta_->LiveBefore(base_lb) + delta_->AddsBelowLevel0(value);
+}
+
+Range TrieIndex::ViewLevel0Range(TermId value) const {
+  if (value >= num_terms_) return Range{};
+  return Range{ViewLowerBound0(value), ViewLowerBound0(value + 1)};
+}
+
+uint32_t TrieIndex::ViewLowerBound(uint32_t lo, uint32_t hi, int level,
+                                   TermId value) const {
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (ViewKeyAt(mid, level) < value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint32_t TrieIndex::ViewUpperBound(uint32_t lo, uint32_t hi, int level,
+                                   TermId value) const {
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (ViewKeyAt(mid, level) <= value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Range TrieIndex::ViewNarrow(Range range, int level, TermId value) const {
+  if (level == 0) {
+    KGOA_DCHECK(range == Root());
+    return ViewLevel0Range(value);
+  }
+  KGOA_DCHECK_LE(range.end, size());
+  const uint32_t lo = ViewLowerBound(range.begin, range.end, level, value);
+  if (lo == range.end || ViewKeyAt(lo, level) != value) return Range{lo, lo};
+  return Range{lo, ViewUpperBound(lo, range.end, level, value)};
+}
+
+uint32_t TrieIndex::ViewSeekGE(Range range, int level, TermId value,
+                               uint32_t from) const {
+  KGOA_DCHECK(from >= range.begin);
+  if (from >= range.end) return range.end;
+  if (ViewKeyAt(from, level) >= value) return from;
+  // Gallop as the owning tiers do: leapfrog hops are short relative to
+  // the node, and each probe here costs a MapToSource resolution.
+  uint64_t lo = from;
+  uint64_t step = 1;
+  while (lo + step < range.end &&
+         ViewKeyAt(static_cast<uint32_t>(lo + step), level) < value) {
+    lo += step;
+    step <<= 1;
+  }
+  const uint32_t hi =
+      static_cast<uint32_t>(std::min<uint64_t>(range.end, lo + step));
+  const uint32_t result =
+      ViewLowerBound(static_cast<uint32_t>(lo) + 1, hi, level, value);
+  // Same seek postconditions as the owning tiers.
+  KGOA_DCHECK_GE(result, from);
+  KGOA_DCHECK_LE(result, range.end);
+  KGOA_DCHECK(result == range.end || ViewKeyAt(result, level) >= value);
+  KGOA_DCHECK(result == from || ViewKeyAt(result - 1, level) < value);
+  return result;
+}
+
+uint32_t TrieIndex::ViewBlockEnd(Range range, int level, uint32_t pos) const {
+  KGOA_DCHECK(pos >= range.begin && pos < range.end);
+  const TermId value = ViewKeyAt(pos, level);
+  if (level == 0) {
+    KGOA_DCHECK(range == Root());
+    return ViewLowerBound0(value + 1);
+  }
+  uint64_t lo = pos;
+  uint64_t step = 1;
+  while (lo + step < range.end &&
+         ViewKeyAt(static_cast<uint32_t>(lo + step), level) == value) {
+    lo += step;
+    step <<= 1;
+  }
+  const uint32_t hi =
+      static_cast<uint32_t>(std::min<uint64_t>(range.end, lo + step));
+  const uint32_t result =
+      ViewUpperBound(static_cast<uint32_t>(lo), hi, level, value);
+  KGOA_DCHECK_GT(result, pos);
+  KGOA_DCHECK_LE(result, range.end);
+  KGOA_DCHECK(ViewKeyAt(result - 1, level) == value);
+  KGOA_DCHECK(result == range.end || ViewKeyAt(result, level) != value);
+  return result;
+}
+
+void TrieIndex::ViewCheckInvariants() const {
+  KGOA_CHECK(triples_.empty());
+  KGOA_CHECK(offsets_.empty());
+  KGOA_CHECK_EQ(size_, base_->size() - delta_->NumTombs() + delta_->NumAdds());
+  const OrderLess less{order_};
+  const int c0 = OrderComponent(order_, 0);
+  Triple prev{};
+  uint64_t distinct = 0;
+  for (uint32_t pos = 0; pos < size_; ++pos) {
+    const Triple t = TripleAt(pos);
+    KGOA_CHECK_LT(t.s, num_terms_);
+    KGOA_CHECK_LT(t.p, num_terms_);
+    KGOA_CHECK_LT(t.o, num_terms_);
+    if (pos > 0) {
+      // Strict: the merged set is duplicate-free (adds are disjoint from
+      // the live base by the PendingWrites invariants).
+      KGOA_CHECK_MSG(less(prev, t), "overlay view out of strict order");
+    }
+    if (pos == 0 || prev[c0] != t[c0]) ++distinct;
+    // Each triple must sit inside its own merged level-0 block.
+    const Range block = ViewLevel0Range(t[c0]);
+    KGOA_CHECK_GE(pos, block.begin);
+    KGOA_CHECK_LT(pos, block.end);
+    prev = t;
+  }
+  KGOA_CHECK_EQ(distinct, ndv1_);
 }
 
 uint64_t TrieIndex::CountDistinct(Range range, int level) const {

@@ -48,6 +48,8 @@ inline constexpr const char* StorageTierName(StorageTier tier) {
   return tier == StorageTier::kRaw ? "raw" : "block";
 }
 
+class OrderDelta;
+
 class TrieIndex {
  public:
   // Copies and radix-sorts `triples` under `order`. Input may be in any
@@ -60,6 +62,16 @@ class TrieIndex {
   // chained radix build, which derives each order with one counting pass.
   TrieIndex(IndexOrder order, std::vector<Triple> sorted, uint32_t num_terms);
 
+  // Overlay VIEW: merges `base` with `delta` (adds + tombstones) into the
+  // rank-defined merged position space of DESIGN.md §13, without copying
+  // any base storage. Every accessor answers as a from-scratch rebuild of
+  // the merged triple set would, position for position; seeks and narrows
+  // become O(log n * log overlay) generic binary searches over the merged
+  // key sequence. `base` and `delta` must outlive the view (GraphVersion
+  // pins both). `num_terms` must exceed every TermId of the merged set.
+  TrieIndex(const TrieIndex& base, const OrderDelta& delta,
+            uint32_t num_terms);
+
   TrieIndex(const TrieIndex&) = delete;
   TrieIndex& operator=(const TrieIndex&) = delete;
   TrieIndex(TrieIndex&&) = default;
@@ -69,14 +81,18 @@ class TrieIndex {
   uint32_t size() const { return size_; }
   Range Root() const { return Range{0, size()}; }
 
+  // True for an overlay view (no owned storage; reads merge base + delta).
+  bool is_view() const { return base_ != nullptr; }
+
   // Re-stores the three level columns as compressed BlockedColumns and
   // frees the raw triple array. Positions, ranges and every query result
   // are unchanged; only the physical bytes (and MemoryBytes) move.
   void CompressToBlockTier();
 
   // The triple at `pos` (by value: the block tier reassembles it from the
-  // three level columns).
+  // three level columns; views resolve the merged position to its source).
   Triple TripleAt(uint32_t pos) const {
+    if (base_ != nullptr) return ViewTripleAt(pos);
     if (tier_ == StorageTier::kRaw) return triples_[pos];
     TermId c[3];
     c[OrderComponent(order_, 0)] = cols_[0].Get(pos);
@@ -87,8 +103,11 @@ class TrieIndex {
 
   // Hints the memory TripleAt(pos) will touch: the raw triple itself, or
   // each level column's encoded block bytes on the block tier. Issued by
-  // batched walk loops ahead of the corresponding TripleAt.
+  // batched walk loops ahead of the corresponding TripleAt. Views decline
+  // the hint: resolving the merged position costs more than the fetch it
+  // would hide.
   void PrefetchTriple(uint32_t pos) const {
+    if (base_ != nullptr) return;
     if (tier_ == StorageTier::kRaw) {
       __builtin_prefetch(triples_.data() + pos, /*rw=*/0, /*locality=*/1);
       return;
@@ -102,11 +121,13 @@ class TrieIndex {
   // (enforced by the kgoa_lint raw-level-array rule).
   const Triple* RawTriplesForDerive() const {
     KGOA_DCHECK(tier_ == StorageTier::kRaw);
+    KGOA_DCHECK(base_ == nullptr);
     return triples_.data();
   }
 
   // Value stored at trie `level` for the triple at `pos`.
   TermId KeyAt(uint32_t pos, int level) const {
+    if (base_ != nullptr) return ViewKeyAt(pos, level);
     if (tier_ == StorageTier::kRaw) {
       return triples_[pos][OrderComponent(order_, level)];
     }
@@ -114,8 +135,9 @@ class TrieIndex {
   }
 
   // Range of triples whose level-0 value is `value` (empty if absent).
-  // O(1) via the CSR offsets.
+  // O(1) via the CSR offsets; O(log overlay) for views.
   Range Level0Range(TermId value) const {
+    if (base_ != nullptr) return ViewLevel0Range(value);
     if (value >= num_terms_) return Range{};
     return Range{offsets_[value], offsets_[value + 1]};
   }
@@ -179,6 +201,25 @@ class TrieIndex {
   // Builds offsets_ / ndv1_ from the sorted triples_ in one pass.
   void BuildLevel0Offsets();
 
+  // Overlay-view implementations (out of line; see delta.h for the merged
+  // position space they realize).
+  Triple ViewTripleAt(uint32_t pos) const;
+  TermId ViewKeyAt(uint32_t pos, int level) const;
+  Range ViewLevel0Range(TermId value) const;
+  // First merged position whose level-0 key is >= `value` (the merged CSR
+  // rank: live base triples below the base offset plus adds below value).
+  uint32_t ViewLowerBound0(TermId value) const;
+  // First position in [lo, hi) whose `level` key is >= / > `value`.
+  uint32_t ViewLowerBound(uint32_t lo, uint32_t hi, int level,
+                          TermId value) const;
+  uint32_t ViewUpperBound(uint32_t lo, uint32_t hi, int level,
+                          TermId value) const;
+  Range ViewNarrow(Range range, int level, TermId value) const;
+  uint32_t ViewSeekGE(Range range, int level, TermId value,
+                      uint32_t from) const;
+  uint32_t ViewBlockEnd(Range range, int level, uint32_t pos) const;
+  void ViewCheckInvariants() const;
+
   IndexOrder order_;
   StorageTier tier_ = StorageTier::kRaw;
   uint32_t size_ = 0;
@@ -189,6 +230,10 @@ class TrieIndex {
   std::vector<uint32_t> offsets_;
   uint32_t num_terms_ = 0;
   uint64_t ndv1_ = 0;
+  // Overlay view only: the merged-over base index and its delta. Null for
+  // owning indexes; both pinned by the owning GraphVersion for views.
+  const TrieIndex* base_ = nullptr;
+  const OrderDelta* delta_ = nullptr;
 };
 
 }  // namespace kgoa

@@ -46,16 +46,16 @@ Range PatternAccess::Resolve(const IndexSet& indexes,
   if (bound_level_ >= 0) key[bound_level_] = bound_value;
 
   const TrieIndex& index = indexes.Index(order_);
-  const HashRangeIndex& hash = indexes.Hash(order_);
   switch (depth_) {
     case 0:
       return index.Root();
     case 1:
-      return hash.Depth1(key[0]);
+      return indexes.Depth1(order_, key[0]);
     case 2:
-      return hash.Depth2(key[0], key[1]);
+      return indexes.Depth2(order_, key[0], key[1]);
     default:
-      return index.Narrow(hash.Depth2(key[0], key[1]), 2, key[2]);
+      return index.Narrow(indexes.Depth2(order_, key[0], key[1]), 2,
+                          key[2]);
   }
 }
 
@@ -64,17 +64,16 @@ void PatternAccess::Prefetch(const IndexSet& indexes,
   std::array<TermId, 3> key = key_;
   if (bound_level_ >= 0) key[bound_level_] = bound_value;
 
-  const HashRangeIndex& hash = indexes.Hash(order_);
   switch (depth_) {
     case 0:
       return;
     case 1:
-      hash.PrefetchDepth1(key[0]);
+      indexes.PrefetchDepth1(order_, key[0]);
       return;
     default:
       // Depth 3 narrows within the depth-2 range, so its first (and
       // dominant) memory access is the same depth-2 probe.
-      hash.PrefetchDepth2(key[0], key[1]);
+      indexes.PrefetchDepth2(order_, key[0], key[1]);
       return;
   }
 }

@@ -39,6 +39,7 @@ class BaselineEngine {
   Outcome Evaluate(const ChainQuery& query) const;
 
  private:
+  // kgoa-lint: allow(raw-graph-retention) query-scoped reference baseline; caller pins
   const IndexSet& indexes_;
   Options options_;
 };

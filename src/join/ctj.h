@@ -62,6 +62,7 @@ class ChainSuffixCounter {
   void set_caching_enabled(bool enabled) { caching_enabled_ = enabled; }
 
  private:
+  // kgoa-lint: allow(raw-graph-retention) query-scoped engine; caller's snapshot outlives it
   const IndexSet& indexes_;
   std::vector<TriplePattern> patterns_;
   std::vector<VarId> in_vars_;
@@ -87,6 +88,7 @@ class CtjEngine {
   GroupedResult Evaluate(const ChainQuery& query) const;
 
  private:
+  // kgoa-lint: allow(raw-graph-retention) query-scoped engine; caller's snapshot outlives it
   const IndexSet& indexes_;
 };
 

@@ -68,6 +68,7 @@ class LeapfrogJoin {
   bool TryPlanPattern(const TriplePattern& pattern, IndexOrder order,
                       PatternPlan* plan);
 
+  // kgoa-lint: allow(raw-graph-retention) query-scoped engine; caller's snapshot outlives it
   const IndexSet& indexes_;
   std::vector<TriplePattern> patterns_;
   std::vector<VarId> var_order_;

@@ -92,9 +92,8 @@ const char* ChartJobStateName(ChartJobState state) {
 // It is only ever held for O(live jobs) bookkeeping — never across a walk
 // quantum, a final merge, or a user callback.
 struct ServingCore::State {
-  State(const IndexSet& idx, Options opts) : indexes(idx), options(opts) {}
+  explicit State(Options opts) : options(opts) {}
 
-  const IndexSet& indexes;
   const Options options;
 
   Mutex mutex;
@@ -106,6 +105,10 @@ struct ServingCore::State {
   std::deque<std::shared_ptr<ChartJob>> queue KGOA_GUARDED_BY(mutex);
   // Every unretired job (queued, running, or fully checked out).
   std::vector<std::shared_ptr<ChartJob>> live KGOA_GUARDED_BY(mutex);
+  // Background tasks (compaction folds). Chart quanta take precedence: a
+  // worker only pops a task when PickWork finds nothing runnable.
+  std::deque<std::function<void()>> tasks KGOA_GUARDED_BY(mutex);
+  uint64_t tasks_run KGOA_GUARDED_BY(mutex) = 0;
 
   uint64_t next_job_id KGOA_GUARDED_BY(mutex) = 1;
   uint64_t submitted KGOA_GUARDED_BY(mutex) = 0;
@@ -183,16 +186,17 @@ class ChartJob {
     OlaCounters counters KGOA_GUARDED_BY(publish_mutex);
   };
 
+  // options.snapshot must be valid (Submit resolves the core default
+  // before constructing the job); the job pins it until destruction.
   ChartJob(std::shared_ptr<ServingCore::State> core_state,
-           const IndexSet& index_set, const ChainQuery& chart_query,
-           ChartJobOptions job_options)
+           const ChainQuery& chart_query, ChartJobOptions job_options)
       : core(std::move(core_state)),
-        indexes(index_set),
         query(chart_query),
         options(std::move(job_options)),
         budget_mode(options.walk_budget > 0),
         quantum(std::max<uint64_t>(1, core->options.quantum_walks)),
         topk(EffectiveTopK(options)) {
+    KGOA_CHECK(options.snapshot.valid());
     engine_template.kind = options.engine;
     engine_template.walk_order = options.walk_order;
     engine_template.tipping_threshold = options.tipping_threshold;
@@ -213,8 +217,8 @@ class ChartJob {
       } else if (options.share_reach) {
         owned_plan = std::make_unique<WalkPlan>(
             WalkPlan::Compile(query, options.walk_order));
-        owned_reach =
-            std::make_unique<ReachProbability>(indexes, *owned_plan);
+        owned_reach = std::make_unique<ReachProbability>(
+            options.snapshot.indexes(), *owned_plan);
         shared_reach = owned_reach.get();
       }
     }
@@ -253,11 +257,15 @@ class ChartJob {
   }
 
   std::shared_ptr<ServingCore::State> core;
-  const IndexSet& indexes;
   const ChainQuery query;
   // Fixed at submit, except on_snapshot: FinalizeJob clears the closure
   // after its last invocation (under callback_mutex) so captured state
   // (often the job's own handle) is released with the retirement.
+  // options.snapshot pins this job's graph version (and
+  // options.reach_keepalive its cache entry) until the job — and every
+  // handle on it — is gone: engines, the owned reach cache and the final
+  // merge all read through it, so a compaction publishing epoch N+1
+  // mid-run never invalidates anything this job touches.
   ChartJobOptions options;
   const bool budget_mode;
   const uint64_t quantum;
@@ -429,7 +437,9 @@ uint64_t RunQuantum(ChartJob& job, int slot_index) {
     engine_options.seed =
         job.options.seed + static_cast<uint64_t>(slot_index);
     engine_options.shared_reach = job.shared_reach;
-    slot.engine = MakeOlaEngine(job.indexes, job.query, engine_options);
+    slot.engine =
+        MakeOlaEngine(job.options.snapshot.indexes(), job.query,
+                      engine_options);
   }
 
   uint64_t walks = job.quantum;
@@ -784,13 +794,17 @@ std::vector<GroupedEstimates> ChartHandle::SlotPartials() const {
 // ---------------------------------------------------------------------------
 
 ServingCore::ServingCore(const IndexSet& indexes)
-    : ServingCore(indexes, Options()) {}
+    : ServingCore(GraphSnapshot::Unowned(indexes), Options()) {}
 
 ServingCore::ServingCore(const IndexSet& indexes, Options options)
-    : indexes_(indexes), options_(options) {
+    : ServingCore(GraphSnapshot::Unowned(indexes), options) {}
+
+ServingCore::ServingCore(GraphSnapshot snapshot, Options options)
+    : default_snapshot_(std::move(snapshot)), options_(options) {
+  KGOA_CHECK(default_snapshot_.valid());
   KGOA_CHECK(options_.threads >= 1);
   KGOA_CHECK(options_.quantum_walks >= 1);
-  state_ = std::make_shared<State>(indexes_, options_);
+  state_ = std::make_shared<State>(options_);
   // The one place in the repo that constructs OS threads (lint rule
   // raw-thread): the pool outlives every chart served through it.
   pool_.reserve(static_cast<std::size_t>(options_.threads));
@@ -839,12 +853,22 @@ ServingCore::~ServingCore() {
   for (const std::shared_ptr<ChartJob>& job : to_finalize) {
     FinalizeJob(*job, /*cancelled=*/true);
   }
+  // A submitted task always runs: drain whatever the pool never got to,
+  // inline, after the workers are gone (a compaction scheduled right
+  // before teardown must still fold and publish).
+  std::deque<std::function<void()>> leftover;
+  {
+    MutexLock lock(state.mutex);
+    leftover.swap(state.tasks);
+    state.tasks_run += leftover.size();
+  }
+  for (const std::function<void()>& task : leftover) task();
 }
 
 ChartHandle ServingCore::Submit(const ChainQuery& query,
                                 ChartJobOptions options) {
-  auto job = std::make_shared<ChartJob>(state_, indexes_, query,
-                                        std::move(options));
+  if (!options.snapshot.valid()) options.snapshot = default_snapshot_;
+  auto job = std::make_shared<ChartJob>(state_, query, std::move(options));
   State& state = *state_;
   MutexLock lock(state.mutex);
   KGOA_CHECK_MSG(!state.stopping, "Submit on a stopping ServingCore");
@@ -856,6 +880,17 @@ ChartHandle ServingCore::Submit(const ChainQuery& query,
   state.max_live = std::max<uint64_t>(state.max_live, state.live.size());
   state.cv.NotifyAll();
   return ChartHandle(std::move(job));
+}
+
+void ServingCore::SubmitTask(std::function<void()> task) {
+  KGOA_CHECK(task != nullptr);
+  State& state = *state_;
+  {
+    MutexLock lock(state.mutex);
+    KGOA_CHECK_MSG(!state.stopping, "SubmitTask on a stopping ServingCore");
+    state.tasks.push_back(std::move(task));
+  }
+  state.cv.NotifyAll();
 }
 
 ServeStats ServingCore::stats() const {
@@ -871,6 +906,7 @@ ServeStats ServingCore::stats() const {
   stats.walks = state.walks;
   stats.live_jobs = state.live.size();
   stats.max_live_jobs = state.max_live;
+  stats.tasks_run = state.tasks_run;
   stats.last_cancel_latency_seconds = state.last_cancel_latency;
   return stats;
 }
@@ -885,11 +921,22 @@ void ServingCore::WorkerMain() {
     std::shared_ptr<ChartJob> job;
     int slot = -1;
     if (!PickWork(state, &job, &slot)) {
+      // No chart work runnable: background tasks get the idle cycles.
+      if (!state.tasks.empty()) {
+        std::function<void()> task = std::move(state.tasks.front());
+        state.tasks.pop_front();
+        ++state.tasks_run;
+        lock.Unlock();
+        task();
+        lock.Lock();
+        continue;
+      }
       // The predicate runs with state.mutex held (CondVar::Wait contract)
       // but in a lambda TSA analyzes as a fresh context — hence the
       // explicit opt-out.
       state.cv.Wait(state.mutex, [&state]() KGOA_NO_THREAD_SAFETY_ANALYSIS {
-        return state.stopping || !state.queue.empty();
+        return state.stopping || !state.queue.empty() ||
+               !state.tasks.empty();
       });
       continue;
     }
@@ -916,9 +963,16 @@ void ServingCore::WorkerMain() {
 ParallelOlaExecutor::ParallelOlaExecutor(const IndexSet& indexes,
                                          ChainQuery query,
                                          ParallelOlaOptions options)
-    : indexes_(indexes),
+    : ParallelOlaExecutor(GraphSnapshot::Unowned(indexes), std::move(query),
+                          std::move(options)) {}
+
+ParallelOlaExecutor::ParallelOlaExecutor(GraphSnapshot snapshot,
+                                         ChainQuery query,
+                                         ParallelOlaOptions options)
+    : snapshot_(std::move(snapshot)),
       query_(std::move(query)),
       options_(std::move(options)) {
+  KGOA_CHECK(snapshot_.valid());
   KGOA_CHECK(options_.threads >= 1);
   KGOA_CHECK(options_.workers >= 1);
   // Only the audit engine's distinct estimator audits reach
@@ -929,8 +983,8 @@ ParallelOlaExecutor::ParallelOlaExecutor(const IndexSet& indexes,
     } else if (options_.share_reach) {
       shared_plan_ = std::make_unique<WalkPlan>(
           WalkPlan::Compile(query_, options_.walk_order));
-      owned_shared_reach_ =
-          std::make_unique<ReachProbability>(indexes_, *shared_plan_);
+      owned_shared_reach_ = std::make_unique<ReachProbability>(
+          snapshot_.indexes(), *shared_plan_);
       shared_reach_ = owned_shared_reach_.get();
     }
   }
@@ -950,7 +1004,7 @@ ServingCore& ParallelOlaExecutor::Core() const {
     core_options.threads = std::max(1, options_.threads);
     core_options.quantum_walks =
         std::max<uint64_t>(1, options_.publish_every);
-    core_ = std::make_unique<ServingCore>(indexes_, core_options);
+    core_ = std::make_unique<ServingCore>(snapshot_, core_options);
   }
   return *core_;
 }
@@ -966,6 +1020,7 @@ ChartJobOptions ParallelOlaExecutor::BaseJobOptions() const {
   // stays warm across Run calls); the job must not build its own.
   job.share_reach = false;
   job.shared_reach = shared_reach_;
+  job.snapshot = snapshot_;
   job.snapshot_period = options_.snapshot_period;
   return job;
 }

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "src/index/index_set.h"
+#include "src/index/snapshot.h"
 #include "src/ola/engine.h"
 #include "src/ola/estimator.h"
 #include "src/ola/topk.h"
@@ -174,9 +175,20 @@ struct ChartJobOptions {
   // Reach-cache sharing across the job's slots; same semantics as
   // ParallelOlaOptions. `shared_reach` (e.g. from the session's
   // ReachCacheRegistry) lets concurrent jobs on the same query share one
-  // warm cache; it must outlive the job.
+  // warm cache; it must outlive the job (pair it with `reach_keepalive`
+  // when the cache's owner may evict it mid-flight).
   bool share_reach = true;
   ReachProbability* shared_reach = nullptr;
+  // Pins whatever owns `shared_reach` (a registry cache entry) for the
+  // job's lifetime, so eviction of a stale-epoch entry cannot free a
+  // cache a running slot still audits through.
+  std::shared_ptr<const void> reach_keepalive;
+
+  // The graph version this job reads. Pinned for the job's whole
+  // lifetime: walks keep running against exactly this version even while
+  // writers land batches and compaction publishes newer epochs. Invalid
+  // (default) = the core's default snapshot from construction time.
+  GraphSnapshot snapshot;
 
   // Live snapshot subscription: called from pool threads at
   // `snapshot_period` cadence (serialized per job), plus one final
@@ -261,6 +273,7 @@ struct ServeStats {
   uint64_t walks = 0;            // walk-quanta executed across all jobs
   uint64_t live_jobs = 0;        // queued + running right now
   uint64_t max_live_jobs = 0;
+  uint64_t tasks_run = 0;        // background tasks executed (SubmitTask)
   // Cancel() -> job-retired latency of the most recent cancellation.
   double last_cancel_latency_seconds = 0;
 };
@@ -278,10 +291,16 @@ class ServingCore {
     uint64_t quantum_walks = 256;
   };
 
-  // The indexes must outlive the core AND every outstanding job.
+  // Serves `snapshot`'s version by default; jobs may pin a different
+  // version via ChartJobOptions::snapshot.
+  ServingCore(GraphSnapshot snapshot, Options options);
+  // Legacy adapters: wrap externally owned indexes (which must outlive
+  // the core AND every outstanding job) in an epoch-0 unowned snapshot.
   explicit ServingCore(const IndexSet& indexes);
   ServingCore(const IndexSet& indexes, Options options);
-  // Cancels all live jobs (waking their Await-ers) and joins the pool.
+  // Cancels all live jobs (waking their Await-ers), joins the pool, then
+  // runs any still-queued background tasks inline (a submitted task —
+  // e.g. a pending compaction — always executes).
   ~ServingCore();
 
   ServingCore(const ServingCore&) = delete;
@@ -290,15 +309,23 @@ class ServingCore {
   // Enqueues a job; the query is copied. Thread-safe.
   ChartHandle Submit(const ChainQuery& query, ChartJobOptions options);
 
+  // Enqueues a background task (e.g. MutableGraph compaction) on the
+  // pool. Chart quanta take precedence: a worker only picks a task up
+  // when no chart work is runnable. Thread-safe; tasks submitted before
+  // destruction are guaranteed to run (inline in the destructor if the
+  // pool never got to them).
+  void SubmitTask(std::function<void()> task);
+
   ServeStats stats() const;
   const Options& options() const { return options_; }
+  const GraphSnapshot& default_snapshot() const { return default_snapshot_; }
 
   struct State;  // opaque scheduler state, defined in parallel.cc
 
  private:
   void WorkerMain();
 
-  const IndexSet& indexes_;
+  GraphSnapshot default_snapshot_;
   Options options_;
   // Scheduler state shared with jobs (kept alive by outstanding handles,
   // so a handle may outlive the core).
@@ -315,6 +342,9 @@ class ParallelOlaExecutor {
  public:
   // The indexes must outlive the executor; the query is copied.
   ParallelOlaExecutor(const IndexSet& indexes, ChainQuery query,
+                      ParallelOlaOptions options);
+  // Pins `snapshot` for the executor's lifetime; every Run call reads it.
+  ParallelOlaExecutor(GraphSnapshot snapshot, ChainQuery query,
                       ParallelOlaOptions options);
   ~ParallelOlaExecutor();
 
@@ -337,7 +367,7 @@ class ParallelOlaExecutor {
   ChartJobOptions BaseJobOptions() const;
   ServingCore& Core() const;
 
-  const IndexSet& indexes_;
+  GraphSnapshot snapshot_;
   ChainQuery query_;
   ParallelOlaOptions options_;
   // Run-shared reach cache (audit + distinct + share_reach): the plan is

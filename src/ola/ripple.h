@@ -77,6 +77,7 @@ class RippleJoin {
 
   void Recompute();
 
+  // kgoa-lint: allow(raw-graph-retention) walk engine scoped inside one pinned serving call
   const IndexSet& indexes_;
   ChainQuery query_;
   Options options_;

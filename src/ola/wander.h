@@ -92,6 +92,7 @@ class WanderJoin {
   // unbatched loop (see the .cc walk-order argument).
   void RunWalkBatch(uint32_t batch);
 
+  // kgoa-lint: allow(raw-graph-retention) walk engine scoped inside one pinned serving call
   const IndexSet& indexes_;
   ChainQuery query_;
   Options options_;

@@ -7,6 +7,17 @@
 
 namespace kgoa {
 
+Graph Graph::Rebase(const Graph& base, std::vector<Triple> sorted) {
+  KGOA_DCHECK_SORTED_BY(sorted.begin(), sorted.end(), SpoLess);
+  Graph g;
+  g.dict_ = base.dict_;
+  g.rdf_type_ = base.rdf_type_;
+  g.subclass_of_ = base.subclass_of_;
+  g.owl_thing_ = base.owl_thing_;
+  g.triples_ = std::move(sorted);
+  return g;
+}
+
 std::vector<TermId> Graph::Properties() const {
   std::vector<TermId> props;
   for (const Triple& t : triples_) props.push_back(t.p);
@@ -46,7 +57,7 @@ Graph GraphBuilder::Build() && {
   g.rdf_type_ = dict_.Intern(vocab::kRdfType);
   g.subclass_of_ = dict_.Intern(vocab::kRdfsSubClassOf);
   g.owl_thing_ = dict_.Intern(vocab::kOwlThing);
-  g.dict_ = std::move(dict_);
+  g.dict_ = std::make_shared<Dictionary>(std::move(dict_));
   std::sort(triples_.begin(), triples_.end(), SpoLess);
   triples_.erase(std::unique(triples_.begin(), triples_.end()),
                  triples_.end());

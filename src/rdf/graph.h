@@ -8,6 +8,7 @@
 #define KGOA_RDF_GRAPH_H_
 
 #include <cstddef>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -24,11 +25,24 @@ class Graph {
   Graph(Graph&&) = default;
   Graph& operator=(Graph&&) = default;
 
+  // A graph with `sorted` as its triple set, SHARING `base`'s dictionary
+  // and vocabulary ids. `sorted` must be (s,p,o)-sorted and duplicate
+  // free, and every TermId in it must be interned in the shared
+  // dictionary. This is how compaction folds an overlay into a fresh base
+  // without re-encoding: the same TermIds mean the rebuilt indexes are
+  // byte-identical to a from-scratch build of the merged triple set.
+  static Graph Rebase(const Graph& base, std::vector<Triple> sorted);
+
   // Triples sorted by (s, p, o), without duplicates.
   const std::vector<Triple>& triples() const { return triples_; }
   std::size_t NumTriples() const { return triples_.size(); }
 
-  const Dictionary& dict() const { return dict_; }
+  const Dictionary& dict() const { return *dict_; }
+
+  // The shared dictionary handle (stable across Rebase generations).
+  // MutableGraph interns new terms through this — see the concurrency
+  // notes in src/core/mutable_graph.h.
+  const std::shared_ptr<Dictionary>& dict_ptr() const { return dict_; }
 
   // Well-known term ids (always interned by GraphBuilder::Build).
   TermId rdf_type() const { return rdf_type_; }
@@ -45,7 +59,9 @@ class Graph {
  private:
   friend class GraphBuilder;
 
-  Dictionary dict_;
+  // shared_ptr so Rebase generations (and every GraphVersion pinning
+  // them) share one dictionary: TermIds stay stable across compactions.
+  std::shared_ptr<Dictionary> dict_ = std::make_shared<Dictionary>();
   std::vector<Triple> triples_;
   TermId rdf_type_ = kInvalidTerm;
   TermId subclass_of_ = kInvalidTerm;

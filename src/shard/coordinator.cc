@@ -129,17 +129,18 @@ ParallelOlaResult ShardChartHandle::GatherFinal() const {
 
 ShardCoordinator::ShardCoordinator(const Graph& graph, const IndexSet& indexes,
                                    Options options)
-    : graph_(graph),
-      indexes_(indexes),
+    : ShardCoordinator(GraphSnapshot::Unowned(graph, indexes), options) {}
+
+ShardCoordinator::ShardCoordinator(GraphSnapshot snapshot, Options options)
+    : snapshot_(std::move(snapshot)),
       options_(options),
       partition_(options.num_shards),
-      stats_(SummarizePartition(graph, partition_)),
-      reach_caches_(indexes) {
+      stats_(SummarizePartition(snapshot_.graph(), partition_)) {
   KGOA_CHECK_MSG(options_.num_shards >= 1,
                  "a coordinator needs at least one shard");
   KGOA_CHECK(options_.threads_per_shard >= 1);
   if (options_.build_slices) {
-    sliced_ = std::make_unique<ShardedGraph>(graph_, partition_,
+    sliced_ = std::make_unique<ShardedGraph>(snapshot_.graph(), partition_,
                                              /*build_indexes=*/true);
   }
   ServingCore::Options core_options;
@@ -150,7 +151,7 @@ ShardCoordinator::ShardCoordinator(const Graph& graph, const IndexSet& indexes,
     // Every core serves the GLOBAL index set (see file comment in
     // coordinator.h): walks must sample the whole graph's distribution
     // for the merged estimate to match an unsharded run.
-    cores_.push_back(std::make_unique<ServingCore>(indexes_, core_options));
+    cores_.push_back(std::make_unique<ServingCore>(snapshot_, core_options));
   }
 }
 
@@ -171,12 +172,17 @@ ShardChartHandle ShardCoordinator::Submit(const ChainQuery& query,
       options.walk_order = DefaultAuditOrder(query);
     }
   }
+  // ONE pinned version for the whole fan-out: every shard job samples the
+  // same epoch, so the gather merges estimates of one triple set.
+  if (!options.snapshot.valid()) options.snapshot = snapshot_;
   // One reach cache across all shards of the job (and across jobs on the
-  // same plan): a pair audited by one shard is warm for every other.
-  ReachProbability* shared_reach = nullptr;
+  // same plan and epoch): a pair audited by one shard is warm for every
+  // other.
+  AcquiredReach shared_reach;
   if (options.engine == OlaEngineKind::kAudit && query.distinct() &&
       options.share_reach) {
-    shared_reach = reach_caches_.Acquire(query, options.walk_order);
+    shared_reach =
+        reach_caches_.Acquire(query, options.walk_order, options.snapshot);
   }
 
   const bool budget_mode = options.walk_budget > 0;
@@ -224,9 +230,11 @@ ShardChartHandle ShardCoordinator::Submit(const ChainQuery& query,
     job.top_k = options.top_k;
     job.finish_on_displayed_convergence =
         options.finish_on_displayed_convergence;
-    if (shared_reach != nullptr) {
+    job.snapshot = options.snapshot;
+    if (shared_reach.reach != nullptr) {
       job.share_reach = false;
-      job.shared_reach = shared_reach;
+      job.shared_reach = shared_reach.reach;
+      job.reach_keepalive = shared_reach.keepalive;
     } else {
       job.share_reach = options.share_reach;
     }

@@ -67,6 +67,7 @@
 
 #include "src/explore/cache.h"
 #include "src/index/index_set.h"
+#include "src/index/snapshot.h"
 #include "src/ola/parallel.h"
 #include "src/query/chain_query.h"
 #include "src/rdf/graph.h"
@@ -114,6 +115,13 @@ struct ShardChartOptions {
   // Deadline mode: each shard job retires (as completed) once its
   // displayed chart converged. Requires top_k.k > 0.
   bool finish_on_displayed_convergence = false;
+
+  // The graph version this fan-out reads. The coordinator pins ONE
+  // version for every shard job of the submit, so all shards sample one
+  // coherent epoch (a scatter straddling two epochs would merge estimates
+  // of two different triple sets). Invalid (default) = the coordinator's
+  // construction-time snapshot.
+  GraphSnapshot snapshot;
 };
 
 // Combined handle over one job per shard. Copyable; outlives the
@@ -191,8 +199,12 @@ class ShardCoordinator {
     bool build_slices = true;
   };
 
-  // The graph and indexes must outlive the coordinator and every
-  // outstanding handle.
+  // Pins `snapshot` as the deployment's default version; the snapshot
+  // must carry a Graph (the partition scan and slices read it). Jobs may
+  // pin newer versions via ShardChartOptions::snapshot.
+  ShardCoordinator(GraphSnapshot snapshot, Options options);
+  // Legacy adapter: wraps externally owned structures (which must outlive
+  // the coordinator and every outstanding handle) in an epoch-0 snapshot.
   ShardCoordinator(const Graph& graph, const IndexSet& indexes,
                    Options options);
 
@@ -210,11 +222,17 @@ class ShardCoordinator {
   // shards) and returns the combined handle. Thread-safe.
   ShardChartHandle Submit(const ChainQuery& query, ShardChartOptions options);
 
+  // Drops coordinator-level reach caches built for superseded epochs
+  // (in-flight jobs keep theirs via keepalive). Thread-safe.
+  std::size_t EvictStaleReach(uint64_t current_epoch) {
+    return reach_caches_.EvictStale(current_epoch);
+  }
+
   ShardServeStats stats() const;
 
  private:
-  const Graph& graph_;
-  const IndexSet& indexes_;
+  // The default graph version (pinned for the coordinator's lifetime).
+  GraphSnapshot snapshot_;
   Options options_;
   ShardPartition partition_;
   ShardPartitionStats stats_;

@@ -363,12 +363,13 @@ TEST_F(ReachConcurrentTest, ExternalRegistryCacheMatchesPrivateRuns) {
   const ChainQuery query = Fig5(true);
   constexpr uint64_t kBudget = 2000;
 
-  ReachCacheRegistry registry(indexes_);
-  ReachProbability* cache = registry.Acquire(query, {});
+  ReachCacheRegistry registry;
+  const GraphSnapshot snapshot = GraphSnapshot::Unowned(indexes_);
+  ReachProbability* cache = registry.Acquire(query, {}, snapshot).reach;
   ASSERT_NE(cache, nullptr);
   EXPECT_EQ(registry.plan_misses(), 1u);
   // Re-acquiring the same (query, order) returns the same warm cache.
-  EXPECT_EQ(registry.Acquire(query, {}), cache);
+  EXPECT_EQ(registry.Acquire(query, {}, snapshot).reach, cache);
   EXPECT_EQ(registry.plan_hits(), 1u);
   EXPECT_EQ(registry.plans(), 1u);
 
@@ -402,8 +403,9 @@ TEST_F(ReachConcurrentTest, ExternalRegistryCacheMatchesPrivateRuns) {
 // trips before any stale memo value can be served.
 TEST_F(ReachConcurrentTest, IncompatiblePlanIsRejected) {
   const ChainQuery query = Fig5(true);
-  ReachCacheRegistry registry(indexes_);
-  ReachProbability* cache = registry.Acquire(query, {});
+  ReachCacheRegistry registry;
+  const GraphSnapshot snapshot = GraphSnapshot::Unowned(indexes_);
+  ReachProbability* cache = registry.Acquire(query, {}, snapshot).reach;
 
   // Same query, different pattern order => different walk distribution.
   const std::vector<int> other_order{2, 1, 0};
@@ -411,7 +413,7 @@ TEST_F(ReachConcurrentTest, IncompatiblePlanIsRejected) {
   EXPECT_FALSE(cache->CompatibleWith(other));
   EXPECT_TRUE(cache->CompatibleWith(WalkPlan::Compile(query)));
   // The registry keys on the order, so the other order gets its own cache.
-  EXPECT_NE(registry.Acquire(query, other_order), cache);
+  EXPECT_NE(registry.Acquire(query, other_order, snapshot).reach, cache);
   EXPECT_EQ(registry.plans(), 2u);
 }
 
